@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one ablation
+described in DESIGN.md) and prints the corresponding rows/series, so that
+running ``pytest benchmarks/ --benchmark-only -s`` reproduces the content of
+the evaluation section.  The timing numbers reported by pytest-benchmark are
+secondary; the printed rows are the reproduction artefact and are also
+collected into ``benchmarks/_results/`` as JSON for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "_results")
+
+
+def emit(experiment_id: str, title: str, rows: Sequence[Dict[str, object]],
+         notes: str = "") -> None:
+    """Print the rows of one reproduced table/figure and persist them as JSON."""
+    from repro.reporting.export import rows_to_text
+
+    print()
+    print(f"=== {experiment_id}: {title} ===")
+    if notes:
+        print(notes)
+    print(rows_to_text(list(rows)))
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id.lower().replace(' ', '_')}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"title": title, "notes": notes, "rows": list(rows)}, handle, indent=2)
+
+
+def emit_text(experiment_id: str, title: str, text: str) -> None:
+    """Print a preformatted reproduction artefact (e.g. the figure-3 matrix)."""
+    print()
+    print(f"=== {experiment_id}: {title} ===")
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id.lower().replace(' ', '_')}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def hera_experiments_small():
+    """Scaled-down HERA experiment definitions used by run-heavy benchmarks."""
+    from repro.experiments import build_hera_experiments
+
+    return build_hera_experiments(scale=0.12)

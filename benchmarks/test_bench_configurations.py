@@ -1,0 +1,104 @@
+"""Section 3.1 — the sp-system machine configurations and client requirements.
+
+The paper states: "Within the current sp-system there are virtual machines
+with five different configurations: SL5/32bit with gcc4.1 and gcc4.4,
+SL5/64bit with gcc4.1 and gcc4.4, SL6/64bit with gcc4.4.  In addition, the
+set of external software required by the experiments is also installed, for
+example the ROOT versions used by the experiments: 5.26, 5.28, 5.30, 5.32,
+and 5.34. ... The only requirement of a new machine is to have access to the
+common sp-system storage ... as well as the ability to run a cron-job on the
+client."
+
+The benchmark provisions exactly those images, verifies the ROOT version list,
+and demonstrates that adding a new client (a batch worker node) requires only
+the two documented ingredients.
+"""
+
+import pytest
+
+from repro.environment.configuration import sp_system_root_versions
+from repro.environment.external import ExternalSoftwareCatalog
+from repro.virtualization.provisioning import ProvisioningService
+
+
+def provision_everything():
+    """Provision the standard images, start clients and attach worker nodes."""
+    service = ProvisioningService()
+    image_report = service.provision_standard_images()
+    client_report = service.start_validation_clients()
+    sl6 = next(
+        image.configuration for image in service.hypervisor.images()
+        if image.configuration.key == "SL6_64bit_gcc4.4"
+    )
+    batch = service.attach_batch_worker("batch-worker-042", sl6)
+    grid = service.attach_grid_worker("grid-worker-117", sl6)
+    return service, image_report, client_report, batch, grid
+
+
+def test_sp_system_configurations_and_clients(benchmark):
+    service, image_report, client_report, batch, grid = benchmark.pedantic(
+        provision_everything, rounds=1, iterations=1
+    )
+
+    # The five configurations named in the paper.
+    expected_keys = {
+        "SL5_32bit_gcc4.1",
+        "SL5_32bit_gcc4.4",
+        "SL5_64bit_gcc4.1",
+        "SL5_64bit_gcc4.4",
+        "SL6_64bit_gcc4.4",
+    }
+    provisioned = {image.configuration.key for image in service.hypervisor.images()}
+    assert provisioned == expected_keys
+    assert image_report.n_images == 5
+    assert client_report.n_clients == 5
+
+    # The ROOT versions used by the experiments are available in the catalogue.
+    catalog = ExternalSoftwareCatalog()
+    available_root = {entry.version for entry in catalog.versions_of("ROOT")}
+    for version in sp_system_root_versions():
+        assert version in available_root
+
+    # New clients only need storage access and a cron capability.
+    for client in (batch, grid):
+        assert client.meets_requirements()
+        assert client.missing_requirements() == []
+
+    from conftest import emit
+
+    rows = [
+        {
+            "machine": image.name,
+            "operating system": f"{image.configuration.operating_system.name}/"
+                                 f"{image.configuration.word_size}bit",
+            "compiler": image.configuration.compiler.name,
+            "ROOT": image.configuration.external("ROOT").version,
+            "kind": "virtual machine image",
+        }
+        for image in service.hypervisor.images()
+    ]
+    rows.extend(
+        {
+            "machine": client.name,
+            "operating system": f"{client.configuration.operating_system.name}/"
+                                 f"{client.configuration.word_size}bit",
+            "compiler": client.configuration.compiler.name,
+            "ROOT": client.configuration.external("ROOT").version,
+            "kind": f"{client.kind.value} (storage + cron only)",
+        }
+        for client in service.external_clients()
+    )
+    rows.append(
+        {
+            "machine": "ROOT versions installed for the experiments",
+            "operating system": "-",
+            "compiler": "-",
+            "ROOT": ", ".join(sp_system_root_versions()),
+            "kind": "external software",
+        }
+    )
+    emit(
+        "Section3.1-configurations",
+        "sp-system machine configurations (five VM images plus added clients)",
+        rows,
+    )

@@ -1,0 +1,88 @@
+"""Figure 1 — structure of the validation system.
+
+Figure 1 of the paper illustrates the sp-system with its three clearly
+separated inputs (experiment software, external dependencies, operating
+system + compiler), the virtual machine images hosting the different
+configurations and the common storage connecting everything.  The benchmark
+builds that installation, registers the three HERA experiments and prints the
+resulting inventory: one row per VM configuration with its separated inputs,
+plus the experiment software registered on top.
+"""
+
+import pytest
+
+from repro.core.spsystem import SPSystem
+
+from conftest import emit
+
+
+def build_sp_system(experiments):
+    """Provision the standard images and register the HERA experiments."""
+    system = SPSystem()
+    system.provision_standard_images()
+    for experiment in experiments:
+        system.register_experiment(experiment)
+    system.provisioning.start_validation_clients()
+    return system
+
+
+def test_figure1_validation_system_structure(benchmark, hera_experiments_small):
+    system = benchmark.pedantic(
+        build_sp_system, args=(hera_experiments_small,), rounds=1, iterations=1
+    )
+
+    description = system.describe()
+    # The three separated inputs are visible for every configuration.
+    assert len(description["configurations"]) == 5
+    for configuration in description["configurations"]:
+        assert set(configuration) == {"operating_system", "word_size", "compiler", "externals"}
+        assert configuration["externals"]
+    # One image per configuration, one validation client per image.
+    assert len(system.hypervisor.images()) == 5
+    assert len(system.hypervisor.running_clients()) == 5
+    # All clients satisfy the two documented requirements (storage + cron).
+    for client in system.provisioning.all_clients():
+        assert client.meets_requirements()
+    # The three experiments sit on top as the third, separate input.
+    assert set(description["experiments"]) == {"H1", "ZEUS", "HERMES"}
+
+    rows = []
+    for configuration in description["configurations"]:
+        externals = ", ".join(
+            f"{product} {version}"
+            for product, version in sorted(configuration["externals"].items())
+        )
+        rows.append(
+            {
+                "input: operating system": (
+                    f"{configuration['operating_system']} / "
+                    f"{configuration['word_size']} bit"
+                ),
+                "input: compiler": configuration["compiler"],
+                "input: external dependencies": externals,
+                "virtual machine image": f"vm-{configuration['operating_system']}_"
+                                          f"{configuration['word_size']}bit_"
+                                          f"{configuration['compiler']}",
+            }
+        )
+    for name, info in sorted(description["experiments"].items()):
+        rows.append(
+            {
+                "input: operating system": "-",
+                "input: compiler": "-",
+                "input: external dependencies": f"experiment software: {name}",
+                "virtual machine image": (
+                    f"{info['packages']} packages, {info['tests']} tests, "
+                    f"DPHEP level {info['preservation_level']}"
+                ),
+            }
+        )
+    emit(
+        "Figure1",
+        "The validation system: separated inputs hosted as virtual machine images",
+        rows,
+        notes=(
+            "Each VM image combines an OS/compiler with the installed external "
+            "dependencies; the experiment software is the third, separate input."
+        ),
+    )

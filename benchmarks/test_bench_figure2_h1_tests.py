@@ -1,0 +1,82 @@
+"""Figure 2 — outline of the validation tests prepared by the H1 experiment.
+
+Figure 2 of the paper describes the structure of the H1 level-4 test suite:
+the compilation of approximately 100 individual software packages, a series
+of standalone validation tests run in parallel, and several sequential full
+analysis chains running from MC generation and simulation through multi-level
+file production to a full physics analysis — up to 500 tests in total.  The
+benchmark regenerates that outline from the full-size synthetic H1 definition.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.testspec import TestKind
+from repro.experiments.h1 import build_h1_experiment
+
+from conftest import emit
+
+
+def test_figure2_h1_test_outline(benchmark):
+    h1 = benchmark.pedantic(build_h1_experiment, rounds=1, iterations=1)
+
+    # "approximately 100 individual H1 software packages"
+    assert 95 <= len(h1.inventory) <= 105
+    # "expected to comprise of up to 500 tests in total"
+    assert 400 <= h1.total_test_count() <= 500
+    # Full level-4 chains for every physics process, each running from MC
+    # generation to the validation of the physics result.
+    assert len(h1.chains) == 4
+    for chain in h1.chains:
+        names = chain.step_names()
+        assert names[0].endswith("mc-generation")
+        assert any(name.endswith("detector-simulation") for name in names)
+        assert any(name.endswith("physics-analysis") for name in names)
+        assert names[-1].endswith("result-validation")
+
+    standalone_by_process = Counter(test.process for test in h1.standalone_tests)
+    rows = [
+        {
+            "test group": "compilation of individual H1 software packages",
+            "kind": TestKind.COMPILATION.value,
+            "execution": "parallel (dependency levels)",
+            "count": h1.compilation_test_count(),
+        },
+        {
+            "test group": "standalone validation tests "
+                          f"({len(standalone_by_process)} process groups)",
+            "kind": TestKind.STANDALONE.value,
+            "execution": "parallel",
+            "count": len(h1.standalone_tests),
+        },
+    ]
+    for chain in h1.chains:
+        step_sequence = " -> ".join(
+            step.description.split(" step")[0] for step in chain.steps
+        )
+        rows.append(
+            {
+                "test group": f"analysis chain: {chain.name}",
+                "kind": TestKind.CHAIN_STEP.value,
+                "execution": f"sequential ({step_sequence})",
+                "count": len(chain),
+            }
+        )
+    rows.append(
+        {
+            "test group": "TOTAL (paper expectation: up to 500)",
+            "kind": "-",
+            "execution": "-",
+            "count": h1.total_test_count(),
+        }
+    )
+    emit(
+        "Figure2",
+        "Outline of the validation tests prepared by the H1 experiment (level 4)",
+        rows,
+        notes=(
+            "Compilation of ~100 packages plus standalone tests run in parallel "
+            "and sequential full analysis chains, up to ~500 tests in total."
+        ),
+    )

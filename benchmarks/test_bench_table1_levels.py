@@ -1,0 +1,45 @@
+"""Table 1 — DPHEP data preservation levels.
+
+Regenerates the four rows of Table 1 (level, preservation model, use case)
+from the :mod:`repro.core.levels` model and checks their content against the
+paper.
+"""
+
+from repro.core.levels import (
+    PreservationLevel,
+    preservation_table,
+    required_capabilities,
+)
+
+from conftest import emit
+
+
+def test_table1_preservation_levels(benchmark):
+    table = benchmark(preservation_table)
+
+    assert len(table) == 4
+    assert table[0]["preservation_model"] == "Provide additional documentation"
+    assert table[1]["use_case"] == "Outreach, simple training analyses"
+    assert "analysis level software" in table[2]["preservation_model"]
+    assert table[3]["use_case"] == "Retain the full potential of the experimental data"
+
+    rows = [
+        {
+            "level": row["level"],
+            "preservation_model": row["preservation_model"],
+            "use_case": row["use_case"],
+            "capabilities_kept_alive": ", ".join(
+                required_capabilities(PreservationLevel(row["level"]))
+            ) or "(documentation only)",
+        }
+        for row in table
+    ]
+    emit(
+        "Table1",
+        "Data preservation levels as defined by the DPHEP Collaboration",
+        rows,
+        notes=(
+            "Levels 1-2 cover documentation and outreach; levels 3-4 are the "
+            "technical preservation projects the sp-system supports."
+        ),
+    )

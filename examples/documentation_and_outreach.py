@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Levels 1 and 2: documentation archive and simplified outreach data.
+
+Most of the sp-system targets the technical preservation levels 3 and 4, but
+Table 1 of the paper also defines level 1 (additional documentation, for
+publication-related info search) and level 2 (data in a simplified format,
+for outreach and simple training analyses).  This example exercises both:
+
+1. the HERA documentation corpora are archived and searched, and each
+   experiment's level-1 completeness is assessed;
+2. an H1 micro-DST produced by the full analysis chain is exported into the
+   simplified outreach format and a "training analysis" (plain event counting
+   in Q² bins, no experiment software needed) is run on it.
+
+Run with::
+
+    python examples/documentation_and_outreach.py
+"""
+
+from __future__ import annotations
+
+from repro.hepdata.dst import DSTProducer, MicroDSTProducer
+from repro.hepdata.generator import GeneratorSettings, MonteCarloGenerator
+from repro.hepdata.reconstruction import EventReconstruction
+from repro.hepdata.simulation import DetectorSimulation, detector_for_experiment
+from repro.preservation.documentation import (
+    DocumentationArchive,
+    default_hera_documentation,
+)
+from repro.preservation.outreach import SimplifiedDatasetExporter, run_training_analysis
+from repro.storage.common_storage import CommonStorage
+
+
+def main() -> None:
+    storage = CommonStorage()
+
+    # ------------------------------------------------------------------ level 1
+    print("Level 1: documentation archive")
+    print("=" * 60)
+    archive = DocumentationArchive(storage)
+    for item in default_hera_documentation():
+        archive.archive(item)
+    print(f"archived {len(archive)} documents for the HERA experiments\n")
+
+    for experiment in ("H1", "ZEUS", "HERMES"):
+        report = archive.level1_report(experiment)
+        status = "complete" if report.complete else f"missing {report.missing_categories}"
+        print(f"  {experiment}: {report.n_documents} documents, level-1 coverage {status}")
+
+    print("\nPublication related info search (the level-1 use case):")
+    for query in ("cross section", "calibration", "spectrometer"):
+        matches = archive.search(query)
+        print(f"  query {query!r}: {len(matches)} hit(s)")
+        for item in matches:
+            print(f"    [{item.experiment}] {item.title} ({item.year})")
+
+    # ------------------------------------------------------------------ level 2
+    print("\nLevel 2: simplified data format for outreach")
+    print("=" * 60)
+    print("producing an analysis-level micro-DST with the full H1 toy chain...")
+    generator = MonteCarloGenerator(GeneratorSettings(process="nc_dis"))
+    record = generator.generate(300, seed=2013)
+    simulated = DetectorSimulation(detector_for_experiment("H1")).simulate(record, seed=2014)
+    reconstructed = EventReconstruction().reconstruct(simulated)
+    micro_dst = MicroDSTProducer().produce(DSTProducer().produce(reconstructed))
+    print(f"  micro-DST with {len(micro_dst)} events")
+
+    exporter = SimplifiedDatasetExporter(storage)
+    dataset = exporter.export(
+        "H1", "open-data-2013", micro_dst,
+        provenance="toy nc_dis sample, full simulation and reconstruction chain",
+    )
+    print(f"  exported simplified dataset {dataset.name!r} with {len(dataset)} rows")
+    print("  schema:")
+    for name, unit, description in dataset.schema:
+        unit_text = f" [{unit}]" if unit else ""
+        print(f"    {name}{unit_text}: {description}")
+
+    print("\nSimple training analysis on the simplified data (no experiment software):")
+    result = run_training_analysis(dataset)
+    print(f"  events analysed:        {result.n_events}")
+    print(f"  mean charged multiplicity: {result.mean_multiplicity:.1f}")
+    print(f"  DIS fraction (Q2 > 4 GeV2): {result.dis_fraction:.0%}")
+    print("  events per Q2 bin:")
+    for label, count in result.events_per_q2_bin.items():
+        bar = "#" * max(1, count // 2) if count else ""
+        print(f"    Q2 {label:>14}: {count:4d} {bar}")
+
+    print(f"\ncommon storage now holds {storage.total_documents()} documents "
+          "(documentation + outreach datasets)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Simulated nightly operation of the sp-system over one month.
+
+The regular builds and validations of the sp-system are driven by cron jobs
+on the client machines.  This example installs a nightly build-and-validate
+job and a weekly full-chain validation job for the HERMES experiment, then
+advances the simulated clock by 28 days and shows what the framework did:
+which cron firings happened, how the run catalogue filled up, and how the
+common storage can be persisted to disk and inspected afterwards.
+
+Run with::
+
+    python examples/nightly_cron_operation.py [output-directory]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SPSystem
+from repro.core.runner import RunnerSettings
+from repro.experiments import build_hermes_experiment
+from repro.reporting.export import catalog_to_rows, rows_to_text
+from repro.virtualization.cron import NIGHTLY_BUILD_SCHEDULE, WEEKLY_VALIDATION_SCHEDULE
+
+
+def main() -> None:
+    system = SPSystem(
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
+    )
+    system.provision_standard_images()
+    hermes = build_hermes_experiment(scale=0.3)
+    system.register_experiment(hermes)
+    client = system.provisioning.hypervisor.start_client(
+        "vm-SL5_64bit_gcc4.4", "hermes-validation-client"
+    )
+    print(f"started client {client.name} ({client.configuration.label})")
+
+    def nightly_smoke_validation(timestamp: int) -> str:
+        """The nightly cron action: a quick validation on the established platform."""
+        result = system.validate(
+            "HERMES", "SL5_64bit_gcc4.4", description="nightly validation"
+        )
+        return result.run.run_id
+
+    def weekly_sl6_validation(timestamp: int) -> str:
+        """The weekly cron action: validate the SL6 migration target."""
+        result = system.validate(
+            "HERMES", "SL6_64bit_gcc4.4", description="weekly SL6 validation"
+        )
+        return result.run.run_id
+
+    client.cron.install("nightly-validation", NIGHTLY_BUILD_SCHEDULE, nightly_smoke_validation)
+    client.cron.install("weekly-sl6", WEEKLY_VALIDATION_SCHEDULE, weekly_sl6_validation)
+    print("installed cron jobs:")
+    for job in client.cron.jobs():
+        print(f"  {job.name}: {job.expression.text}")
+
+    print("\nAdvancing the simulated clock by 28 days...")
+    fired = client.cron.advance_days(28)
+    print(f"  {len(fired)} cron firings")
+    nightly_firings = [entry for entry in fired if entry[1] == "nightly-validation"]
+    weekly_firings = [entry for entry in fired if entry[1] == "weekly-sl6"]
+    print(f"  nightly validations: {len(nightly_firings)}")
+    print(f"  weekly SL6 validations: {len(weekly_firings)}")
+
+    print(f"\nRun catalogue now holds {system.total_runs()} validation runs:")
+    rows = catalog_to_rows(system.catalog)
+    print(rows_to_text(rows, columns=["run_id", "configuration", "description", "overall_status"]))
+
+    descriptions = system.tag_registry.descriptions()
+    print(f"\ndescription tags in the bookkeeping: {descriptions}")
+
+    if len(sys.argv) > 1:
+        output_directory = sys.argv[1]
+        written = system.storage.persist(output_directory)
+        print(f"\npersisted {len(written)} storage documents below {output_directory}")
+
+
+if __name__ == "__main__":
+    main()

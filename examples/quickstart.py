@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up the sp-system and run one validation cycle.
+
+This example reproduces the everyday use of the validation framework:
+
+1. provision the five standard virtual machine configurations;
+2. register an experiment (a scaled-down H1 definition so the example runs in
+   a few seconds);
+3. run a full validation cycle — build every package, run the standalone
+   tests and the analysis chains — on the established SL5/64bit platform;
+4. print the resulting status summary and the generated status web page key.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SPSystem
+from repro.experiments import build_h1_experiment
+from repro.reporting.webpages import StatusPageGenerator
+
+
+def main() -> None:
+    print("Provisioning the sp-system (five standard VM configurations)...")
+    system = SPSystem()
+    images = system.provision_standard_images()
+    for image_name in images:
+        print(f"  built image {image_name}")
+
+    print("\nRegistering the H1 experiment (scaled-down level-4 suite)...")
+    h1 = build_h1_experiment(scale=0.25)
+    system.register_experiment(h1)
+    print(
+        f"  {len(h1.inventory)} packages, {len(h1.standalone_tests)} standalone tests, "
+        f"{h1.chain_test_count()} chain steps ({h1.total_test_count()} tests in total)"
+    )
+
+    print("\nRunning a validation cycle on SL5/64bit gcc4.4...")
+    result = system.validate("H1", "SL5_64bit_gcc4.4", description="quickstart run")
+    run = result.run
+    print(f"  {result.summary()}")
+    print(f"  run id: {run.run_id}, description tag: {run.description!r}")
+    print(f"  simulated duration: {run.total_duration_seconds() / 3600.0:.1f} hours")
+
+    print("\nPer test-kind breakdown:")
+    for kind in ("compilation", "standalone", "chain-step"):
+        jobs = [job for job in run.jobs if job.kind.value == kind]
+        passed = sum(1 for job in jobs if job.passed)
+        print(f"  {kind:12s}: {passed}/{len(jobs)} passed")
+
+    print("\nGenerating the script-based status web pages...")
+    pages = StatusPageGenerator(system.storage, system.catalog)
+    pages.run_page(run)
+    pages.index_page()
+    print("  stored under the 'reports' namespace of the common storage:")
+    for key in system.storage.keys("reports"):
+        print(f"    reports/{key}")
+
+    if result.successful:
+        recipe = system.publish_recipe(result)
+        print(f"\nPublished validated recipe {recipe.recipe_id}")
+        plan = system.recipe_book.deployment_plan(recipe.recipe_id, "institute-cluster")
+        print(plan.rendered())
+
+
+if __name__ == "__main__":
+    main()

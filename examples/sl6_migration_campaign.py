@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The SL6 migration campaign of the HERA experiments.
+
+Reproduces the situation described in section 3.3 of the paper: the HERA
+experiments (ZEUS, H1, HERMES) run their validation suites on all five
+sp-system configurations while migrating from SL5 to SL6/64bit.  The example
+
+* validates the three experiments everywhere,
+* prints the figure-3 style summary matrix,
+* shows the regression reports and diagnoses for the failing SL6 runs,
+* opens intervention tickets routed to the host IT department or the
+  experiment, and finally
+* plans the next migration (SL7 + ROOT 6, the "next challenge").
+
+Run with::
+
+    python examples/sl6_migration_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import SPSystem
+from repro.environment.configuration import next_generation_configuration
+from repro.experiments import build_hera_experiments
+from repro.migration.planner import MigrationPlanner
+from repro.reporting.summary import ValidationSummaryBuilder
+
+
+def main() -> None:
+    system = SPSystem()
+    system.provision_standard_images()
+    experiments = build_hera_experiments(scale=0.2)
+    for experiment in experiments:
+        system.register_experiment(experiment)
+        print(
+            f"registered {experiment.name}: DPHEP level "
+            f"{int(experiment.preservation_level)}, {experiment.total_test_count()} tests"
+        )
+
+    print("\nValidating every experiment on every configuration...")
+    all_results = system.validate_all_experiments()
+    runs = [result.run for results in all_results.values() for result in results]
+
+    print("\n" + "=" * 72)
+    print("Figure-3 style summary matrix")
+    print("=" * 72)
+    matrix = ValidationSummaryBuilder().from_runs(runs)
+    print(matrix.render_text())
+
+    print("\n" + "=" * 72)
+    print("Problems found during the SL6/64bit migration")
+    print("=" * 72)
+    for experiment_name, results in sorted(all_results.items()):
+        for result in results:
+            if result.successful or result.run.configuration_key != "SL6_64bit_gcc4.4":
+                continue
+            print(f"\n{experiment_name} on {result.run.configuration_key}:")
+            print(f"  regression report: {result.regression_report.summary()}")
+            for name in result.regression_report.regression_names()[:5]:
+                print(f"    regressed test: {name}")
+            print(f"  diagnosis by category: {result.diagnosis.by_category()}")
+            for ticket in result.tickets[:5]:
+                print(f"  ticket {ticket.ticket_id} -> {ticket.party.value}: {ticket.description}")
+
+    print("\n" + "=" * 72)
+    print("Open intervention tickets by responsible party")
+    print("=" * 72)
+    for party in ("host IT department", "experiment"):
+        tickets = [
+            ticket for ticket in system.interventions.open_tickets()
+            if ticket.party.value == party
+        ]
+        print(f"  {party}: {len(tickets)} open ticket(s)")
+
+    print("\n" + "=" * 72)
+    print("Planning the next challenge: SL7 with ROOT 6")
+    print("=" * 72)
+    sl7 = next_generation_configuration()
+    planner = MigrationPlanner()
+    for experiment in experiments:
+        plan = planner.plan(
+            experiment, system.configuration("SL5_64bit_gcc4.4"), sl7
+        )
+        print(
+            f"  {experiment.name}: {len(plan.items)} item(s) to fix, "
+            f"predicted pass fraction {plan.predicted_pass_fraction:.0%}, "
+            f"estimated effort {plan.total_effort_person_weeks:.1f} person-weeks"
+        )
+        for item in plan.ordered_items()[:3]:
+            print(
+                f"      {item.item_type} {item.name}: {', '.join(item.categories)} "
+                f"(blocks {item.blocking} item(s))"
+            )
+
+    print(f"\nTotal validation runs recorded: {system.total_runs()}")
+
+
+if __name__ == "__main__":
+    main()

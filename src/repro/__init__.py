@@ -1,0 +1,28 @@
+"""repro: a reproduction of the DESY/DPHEP sp-system validation framework.
+
+The package implements the validation framework described in
+"A Validation Framework for the Long Term Preservation of High Energy
+Physics Data" (Ozerov and South, DESY), together with every substrate the
+framework depends on: environment and external-software catalogues, a
+simulated virtualization layer, an automated build system, the common
+sp-system storage, a synthetic HEP analysis-chain substrate and the three
+HERA experiment definitions (H1, ZEUS, HERMES).
+
+Typical use::
+
+    from repro import SPSystem
+    from repro.experiments import build_h1_experiment
+
+    system = SPSystem()
+    system.provision_standard_images()
+    system.register_experiment(build_h1_experiment(scale=0.2))
+    result = system.validate("H1", "SL6_64bit_gcc4.4")
+    print(result.summary())
+"""
+
+from repro._common import ReproError
+from repro.core.spsystem import SPSystem, ValidationCycleResult
+
+__version__ = "1.0.0"
+
+__all__ = ["SPSystem", "ValidationCycleResult", "ReproError", "__version__"]

@@ -1,0 +1,32 @@
+"""Build system substrate: packages, dependency graphs and simulated builds."""
+
+from repro.buildsys.builder import (
+    BuildCampaign,
+    BuildResult,
+    BuildStatus,
+    Diagnostic,
+    PackageBuilder,
+)
+from repro.buildsys.graph import DependencyCycleError, DependencyGraph
+from repro.buildsys.package import (
+    Language,
+    PackageCategory,
+    PackageInventory,
+    SoftwarePackage,
+)
+from repro.buildsys.tarball import Tarball
+
+__all__ = [
+    "BuildCampaign",
+    "BuildResult",
+    "BuildStatus",
+    "Diagnostic",
+    "PackageBuilder",
+    "DependencyCycleError",
+    "DependencyGraph",
+    "Language",
+    "PackageCategory",
+    "PackageInventory",
+    "SoftwarePackage",
+    "Tarball",
+]

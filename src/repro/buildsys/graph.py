@@ -1,0 +1,183 @@
+"""Dependency graph and build ordering for experiment packages.
+
+The automated build step of the sp-system compiles on the order of a hundred
+packages per experiment.  Packages depend on each other (reconstruction needs
+the core event model, analysis needs reconstruction), so the builder needs a
+topological order and needs to know which downstream packages become
+unbuildable when one package fails.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro._common import BuildError
+from repro.buildsys.package import PackageInventory, SoftwarePackage
+
+
+class DependencyCycleError(BuildError):
+    """Raised when the package dependency graph contains a cycle."""
+
+    def __init__(self, cycle: Sequence[str]):
+        self.cycle = list(cycle)
+        super().__init__("dependency cycle: " + " -> ".join(self.cycle))
+
+
+class DependencyGraph:
+    """Directed dependency graph over the packages of one experiment."""
+
+    def __init__(self, inventory: PackageInventory) -> None:
+        problems = inventory.validate_dependencies()
+        if problems:
+            raise BuildError("; ".join(problems))
+        self.inventory = inventory
+        self._edges: Dict[str, Tuple[str, ...]] = {
+            package.name: package.dependencies for package in inventory.all()
+        }
+        self._reverse: Dict[str, Set[str]] = {name: set() for name in self._edges}
+        for name, dependencies in self._edges.items():
+            for dependency in dependencies:
+                self._reverse[dependency].add(name)
+        # Fail fast on cycles so every other method can assume a DAG.
+        self._order = self._topological_order()
+
+    def dependencies_of(self, name: str) -> List[str]:
+        """Direct dependencies of *name*."""
+        if name not in self._edges:
+            raise BuildError(f"unknown package {name!r}")
+        return list(self._edges[name])
+
+    def dependents_of(self, name: str) -> List[str]:
+        """Packages that directly depend on *name*."""
+        if name not in self._reverse:
+            raise BuildError(f"unknown package {name!r}")
+        return sorted(self._reverse[name])
+
+    def build_order(self) -> List[str]:
+        """Topological build order (dependencies before dependents)."""
+        return list(self._order)
+
+    def transitive_dependencies(self, name: str) -> Set[str]:
+        """All packages that must be built before *name*."""
+        if name not in self._edges:
+            raise BuildError(f"unknown package {name!r}")
+        visited: Set[str] = set()
+        stack = list(self._edges[name])
+        while stack:
+            current = stack.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            stack.extend(self._edges[current])
+        return visited
+
+    def transitive_dependents(self, name: str) -> Set[str]:
+        """All packages that become unbuildable when *name* fails."""
+        if name not in self._reverse:
+            raise BuildError(f"unknown package {name!r}")
+        visited: Set[str] = set()
+        stack = list(self._reverse[name])
+        while stack:
+            current = stack.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            stack.extend(self._reverse[current])
+        return visited
+
+    def build_levels(self) -> List[List[str]]:
+        """Group packages into levels that can be built in parallel.
+
+        Level 0 contains packages without dependencies; level N contains
+        packages whose dependencies all live in levels < N.  The runner uses
+        this to model the "some tests run in parallel" behaviour.
+        """
+        level_of: Dict[str, int] = {}
+        for name in self._order:
+            dependencies = self._edges[name]
+            if not dependencies:
+                level_of[name] = 0
+            else:
+                level_of[name] = 1 + max(level_of[dependency] for dependency in dependencies)
+        n_levels = max(level_of.values(), default=-1) + 1
+        levels: List[List[str]] = [[] for _ in range(n_levels)]
+        for name, level in level_of.items():
+            levels[level].append(name)
+        for level in levels:
+            level.sort()
+        return levels
+
+    def critical_path(self) -> List[str]:
+        """Longest dependency chain, weighted by estimated build time."""
+        best_cost: Dict[str, float] = {}
+        best_prev: Dict[str, Optional[str]] = {}
+        for name in self._order:
+            package = self.inventory.get(name)
+            own_cost = package.estimated_build_seconds()
+            dependencies = self._edges[name]
+            if dependencies:
+                predecessor = max(dependencies, key=lambda dep: best_cost[dep])
+                best_cost[name] = best_cost[predecessor] + own_cost
+                best_prev[name] = predecessor
+            else:
+                best_cost[name] = own_cost
+                best_prev[name] = None
+        if not best_cost:
+            return []
+        end = max(best_cost, key=lambda name: best_cost[name])
+        path = [end]
+        while best_prev[path[-1]] is not None:
+            path.append(best_prev[path[-1]])
+        return list(reversed(path))
+
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm; deterministic by sorting ready nodes."""
+        in_degree: Dict[str, int] = {
+            name: len(dependencies) for name, dependencies in self._edges.items()
+        }
+        ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+        queue = deque(ready)
+        order: List[str] = []
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for dependent in sorted(self._reverse[current]):
+                in_degree[dependent] -= 1
+                if in_degree[dependent] == 0:
+                    queue.append(dependent)
+        if len(order) != len(self._edges):
+            remaining = [name for name in self._edges if name not in set(order)]
+            cycle = self._find_cycle(remaining)
+            raise DependencyCycleError(cycle)
+        return order
+
+    def _find_cycle(self, candidates: Sequence[str]) -> List[str]:
+        """Find one concrete cycle among *candidates* for the error message."""
+        candidate_set = set(candidates)
+        for start in candidates:
+            path: List[str] = []
+            visited: Set[str] = set()
+
+            def visit(node: str) -> Optional[List[str]]:
+                if node in path:
+                    return path[path.index(node):] + [node]
+                if node in visited:
+                    return None
+                visited.add(node)
+                path.append(node)
+                for dependency in self._edges[node]:
+                    if dependency in candidate_set:
+                        found = visit(dependency)
+                        if found:
+                            return found
+                path.pop()
+                return None
+
+            cycle = visit(start)
+            if cycle:
+                return cycle
+        return list(candidates)
+
+
+__all__ = ["DependencyGraph", "DependencyCycleError"]

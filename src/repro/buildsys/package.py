@@ -1,0 +1,211 @@
+"""Software package model for the simulated experiment code bases.
+
+The H1 level-4 preservation programme compiles "approximately 100 individual
+H1 software packages and the identified external dependencies" on every
+validation run.  A :class:`SoftwarePackage` describes one such package: its
+language, size, internal dependencies and its
+:class:`~repro.environment.compatibility.SoftwareRequirements`, which
+determine on which environment configurations it builds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro._common import ConfigurationError, ensure_identifier
+from repro.environment.compatibility import SoftwareRequirements
+
+
+class PackageCategory(enum.Enum):
+    """Functional category of an experiment software package.
+
+    The categories mirror the structure of a level-4 preservation programme:
+    everything from event simulation down to analysis utilities has to keep
+    building for the full potential of the data to be retained.
+    """
+
+    CORE = "core"
+    DATABASE = "database"
+    SIMULATION = "simulation"
+    RECONSTRUCTION = "reconstruction"
+    CALIBRATION = "calibration"
+    ANALYSIS = "analysis"
+    UTILITIES = "utilities"
+    MONITORING = "monitoring"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Language(enum.Enum):
+    """Implementation language of a package (HERA software is mostly Fortran)."""
+
+    FORTRAN = "fortran"
+    CPP = "c++"
+    C = "c"
+    PYTHON = "python"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class SoftwarePackage:
+    """One experiment software package.
+
+    Attributes
+    ----------
+    name:
+        Package name, unique within an experiment (e.g. ``"h1-h1rec"``).
+    version:
+        Package version string.
+    experiment:
+        Owning experiment name.
+    category:
+        Functional category; reporting groups per-package results by it.
+    language:
+        Main implementation language.
+    lines_of_code:
+        Approximate size; build durations scale with it.
+    dependencies:
+        Names of other packages of the same experiment that must be built
+        first (the build system orders builds topologically).
+    requirements:
+        Environment requirements checked before the simulated compilation.
+    fragility:
+        A 0–1 number describing how likely the package is to develop problems
+        under environment changes that are not captured by hard requirements
+        (legacy code with undefined behaviour).  Used by the builder to derive
+        deterministic warning counts.
+    """
+
+    name: str
+    version: str
+    experiment: str
+    category: PackageCategory
+    language: Language
+    lines_of_code: int
+    dependencies: Tuple[str, ...] = ()
+    requirements: SoftwareRequirements = field(default_factory=SoftwareRequirements)
+    fragility: float = 0.1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        ensure_identifier(self.name, "package name")
+        ensure_identifier(self.experiment, "experiment name")
+        if self.lines_of_code <= 0:
+            raise ConfigurationError(f"{self.name}: lines_of_code must be positive")
+        if not 0.0 <= self.fragility <= 1.0:
+            raise ConfigurationError(f"{self.name}: fragility must be in [0, 1]")
+        if self.name in self.dependencies:
+            raise ConfigurationError(f"{self.name}: package cannot depend on itself")
+
+    @property
+    def key(self) -> str:
+        """Canonical identifier, e.g. ``"h1-h1rec-4.2"``."""
+        return f"{self.name}-{self.version}"
+
+    def with_requirements(self, requirements: SoftwareRequirements) -> "SoftwarePackage":
+        """Return a copy with different environment requirements.
+
+        Porting a package to a new environment (e.g. removing a 32-bit-only
+        restriction) is modelled as replacing its requirements; the migration
+        planner uses this to apply fixes.
+        """
+        return replace(self, requirements=requirements)
+
+    def with_version(self, version: str) -> "SoftwarePackage":
+        """Return a copy with a bumped version string."""
+        return replace(self, version=version)
+
+    def estimated_build_seconds(self) -> float:
+        """Rough build duration used for resource accounting on the clients."""
+        base = {
+            Language.FORTRAN: 0.8,
+            Language.CPP: 1.6,
+            Language.C: 0.9,
+            Language.PYTHON: 0.1,
+        }[self.language]
+        return base * self.lines_of_code / 1000.0
+
+
+class PackageInventory:
+    """The complete set of packages of one experiment."""
+
+    def __init__(self, experiment: str, packages: Optional[Iterable[SoftwarePackage]] = None):
+        self.experiment = ensure_identifier(experiment, "experiment name")
+        self._packages: Dict[str, SoftwarePackage] = {}
+        for package in packages or []:
+            self.add(package)
+
+    def add(self, package: SoftwarePackage) -> None:
+        """Add a package, rejecting duplicates and foreign experiments."""
+        if package.experiment != self.experiment:
+            raise ConfigurationError(
+                f"package {package.name} belongs to {package.experiment}, "
+                f"not {self.experiment}"
+            )
+        if package.name in self._packages:
+            raise ConfigurationError(f"duplicate package {package.name!r}")
+        self._packages[package.name] = package
+
+    def replace(self, package: SoftwarePackage) -> None:
+        """Replace an existing package definition (e.g. after porting it)."""
+        if package.name not in self._packages:
+            raise ConfigurationError(f"unknown package {package.name!r}")
+        self._packages[package.name] = package
+
+    def get(self, name: str) -> SoftwarePackage:
+        """Return the package called *name*."""
+        try:
+            return self._packages[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"experiment {self.experiment} has no package {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+    def __iter__(self):
+        return iter(self.all())
+
+    def all(self) -> List[SoftwarePackage]:
+        """All packages sorted by name."""
+        return [self._packages[name] for name in sorted(self._packages)]
+
+    def names(self) -> List[str]:
+        """Sorted package names."""
+        return sorted(self._packages)
+
+    def by_category(self, category: PackageCategory) -> List[SoftwarePackage]:
+        """All packages of the given category."""
+        return [package for package in self.all() if package.category is category]
+
+    def total_lines_of_code(self) -> int:
+        """Summed size of the code base."""
+        return sum(package.lines_of_code for package in self.all())
+
+    def validate_dependencies(self) -> List[str]:
+        """Return a list of dependency problems (missing packages)."""
+        problems = []
+        for package in self.all():
+            for dependency in package.dependencies:
+                if dependency not in self._packages:
+                    problems.append(
+                        f"{package.name} depends on unknown package {dependency!r}"
+                    )
+        return problems
+
+
+__all__ = [
+    "PackageCategory",
+    "Language",
+    "SoftwarePackage",
+    "PackageInventory",
+]

@@ -1,0 +1,82 @@
+"""Build artifacts: the tar-balls stored on the common sp-system storage.
+
+"...the resulting binaries are stored as tar-balls on the common storage
+within the sp-system."  A :class:`Tarball` is the simulated equivalent: it
+records which package was built, for which environment, and carries a
+deterministic content digest so that two builds of the same package on the
+same environment produce identical artifacts (and different environments
+produce different ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro._common import stable_digest
+from repro.environment.configuration import EnvironmentConfiguration
+
+
+@dataclass(frozen=True)
+class Tarball:
+    """A built, packaged binary artifact."""
+
+    package_name: str
+    package_version: str
+    configuration_key: str
+    digest: str
+    size_bytes: int
+
+    @property
+    def filename(self) -> str:
+        """Conventional artifact file name."""
+        return (
+            f"{self.package_name}-{self.package_version}"
+            f"_{self.configuration_key}.tar.gz"
+        )
+
+    @classmethod
+    def for_build(
+        cls, package: "SoftwarePackage", configuration: EnvironmentConfiguration
+    ) -> "Tarball":
+        """Create the artifact produced by building *package* on *configuration*."""
+        digest = stable_digest(
+            package.name,
+            package.version,
+            configuration.key,
+            sorted(configuration.external_map().items()),
+        )
+        # Binary size scales with code size; 64-bit binaries are a bit larger.
+        size = int(package.lines_of_code * 42 * (1.15 if configuration.word_size == 64 else 1.0))
+        return cls(
+            package_name=package.name,
+            package_version=package.version,
+            configuration_key=configuration.key,
+            digest=digest,
+            size_bytes=size,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for storage in the run catalogue."""
+        return {
+            "package_name": self.package_name,
+            "package_version": self.package_version,
+            "configuration_key": self.configuration_key,
+            "digest": self.digest,
+            "size_bytes": self.size_bytes,
+            "filename": self.filename,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Tarball":
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls(
+            package_name=str(payload["package_name"]),
+            package_version=str(payload["package_version"]),
+            configuration_key=str(payload["configuration_key"]),
+            digest=str(payload["digest"]),
+            size_bytes=int(payload["size_bytes"]),
+        )
+
+
+__all__ = ["Tarball"]

@@ -1,0 +1,212 @@
+"""Command line interface to the sp-system reproduction.
+
+The original sp-system is operated through shell scripts and cron entries on
+the DESY machines; the reproduction offers an equivalent command line front
+end so the framework can be driven without writing Python::
+
+    python -m repro.cli describe
+    python -m repro.cli validate --experiment H1 --configuration SL6_64bit_gcc4.4
+    python -m repro.cli campaign --scale 0.15 --output /tmp/sp-storage
+    python -m repro.cli migrate-plan --experiment H1 --target SL7
+    python -m repro.cli levels
+
+Every command provisions a fresh in-memory sp-system (the library is fully
+deterministic, so this is cheap and reproducible); ``--output`` persists the
+common storage to disk for inspection afterwards.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro._common import ReproError, format_table
+from repro.core.levels import preservation_table
+from repro.core.spsystem import SPSystem
+from repro.environment.configuration import next_generation_configuration
+from repro.experiments import (
+    build_h1_experiment,
+    build_hera_experiments,
+    build_hermes_experiment,
+    build_zeus_experiment,
+)
+from repro.migration.planner import MigrationPlanner
+from repro.reporting.export import catalog_to_rows, rows_to_text
+from repro.reporting.summary import ValidationSummaryBuilder
+from repro.reporting.webpages import StatusPageGenerator
+
+
+_EXPERIMENT_BUILDERS = {
+    "H1": build_h1_experiment,
+    "ZEUS": build_zeus_experiment,
+    "HERMES": build_hermes_experiment,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sp",
+        description="sp-system: validation framework for HEP data preservation",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    levels = subparsers.add_parser("levels", help="print the DPHEP preservation levels (Table 1)")
+    levels.set_defaults(handler=_cmd_levels)
+
+    describe = subparsers.add_parser("describe", help="describe the provisioned sp-system")
+    describe.add_argument("--scale", type=float, default=0.15,
+                          help="scale factor for the experiment suites (default 0.15)")
+    describe.set_defaults(handler=_cmd_describe)
+
+    validate = subparsers.add_parser("validate", help="run one validation cycle")
+    validate.add_argument("--experiment", required=True, choices=sorted(_EXPERIMENT_BUILDERS))
+    validate.add_argument("--configuration", default="SL6_64bit_gcc4.4",
+                          help="configuration key (default SL6_64bit_gcc4.4)")
+    validate.add_argument("--scale", type=float, default=0.15)
+    validate.add_argument("--reference-configuration", default=None,
+                          help="run a reference validation on this configuration first")
+    validate.add_argument("--output", default=None,
+                          help="directory to persist the common storage to")
+    validate.set_defaults(handler=_cmd_validate)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="validate all HERA experiments on all configurations"
+    )
+    campaign.add_argument("--scale", type=float, default=0.15)
+    campaign.add_argument("--rounds", type=int, default=1,
+                          help="number of repeated campaign rounds (default 1)")
+    campaign.add_argument("--output", default=None)
+    campaign.set_defaults(handler=_cmd_campaign)
+
+    migrate = subparsers.add_parser("migrate-plan", help="plan a migration to a new platform")
+    migrate.add_argument("--experiment", required=True, choices=sorted(_EXPERIMENT_BUILDERS))
+    migrate.add_argument("--source", default="SL5_64bit_gcc4.4")
+    migrate.add_argument("--target", default="SL7",
+                         help="'SL7' for the SL7+ROOT6 challenge, or a configuration key")
+    migrate.add_argument("--scale", type=float, default=0.3)
+    migrate.set_defaults(handler=_cmd_migrate_plan)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+# -- command handlers -------------------------------------------------------------
+def _cmd_levels(arguments: argparse.Namespace) -> int:
+    rows = preservation_table()
+    print(format_table(
+        ["level", "preservation model", "use case"],
+        [[row["level"], row["preservation_model"], row["use_case"]] for row in rows],
+    ))
+    return 0
+
+
+def _provisioned_system(scale: float, experiments: Optional[List[str]] = None) -> SPSystem:
+    system = SPSystem()
+    system.provision_standard_images()
+    names = experiments if experiments is not None else list(_EXPERIMENT_BUILDERS)
+    for name in names:
+        system.register_experiment(_EXPERIMENT_BUILDERS[name](scale=scale))
+    return system
+
+
+def _cmd_describe(arguments: argparse.Namespace) -> int:
+    system = _provisioned_system(arguments.scale)
+    description = system.describe()
+    print("Configurations:")
+    for configuration in description["configurations"]:
+        externals = ", ".join(
+            f"{product} {version}"
+            for product, version in sorted(configuration["externals"].items())
+        )
+        print(
+            f"  {configuration['operating_system']}/{configuration['word_size']}bit "
+            f"{configuration['compiler']}  [{externals}]"
+        )
+    print("\nExperiments:")
+    for name, info in sorted(description["experiments"].items()):
+        print(
+            f"  {name}: DPHEP level {info['preservation_level']}, "
+            f"{info['packages']} packages, {info['tests']} tests, phase {info['phase']}"
+        )
+    return 0
+
+
+def _cmd_validate(arguments: argparse.Namespace) -> int:
+    system = _provisioned_system(arguments.scale, [arguments.experiment])
+    if arguments.reference_configuration:
+        reference = system.validate(
+            arguments.experiment, arguments.reference_configuration,
+            description="reference run",
+        )
+        print(reference.summary())
+    result = system.validate(arguments.experiment, arguments.configuration)
+    print(result.summary())
+    print(result.regression_report.summary())
+    if result.diagnosis is not None:
+        print("diagnosis by category:", result.diagnosis.by_category())
+        for ticket in result.tickets:
+            print(f"  {ticket.ticket_id} -> {ticket.party.value}: {ticket.description}")
+    if arguments.output:
+        StatusPageGenerator(system.storage, system.catalog).run_page(result.run)
+        written = system.storage.persist(arguments.output)
+        print(f"persisted {len(written)} documents below {arguments.output}")
+    return 0 if result.successful else 1
+
+
+def _cmd_campaign(arguments: argparse.Namespace) -> int:
+    system = _provisioned_system(arguments.scale)
+    runs = []
+    for round_index in range(max(arguments.rounds, 1)):
+        results = system.validate_all_experiments()
+        runs.extend(result.run for cycles in results.values() for result in cycles)
+    matrix = ValidationSummaryBuilder().from_runs(runs)
+    print(matrix.render_text())
+    print()
+    print(rows_to_text(
+        catalog_to_rows(system.catalog),
+        columns=["run_id", "experiment", "configuration", "overall_status"],
+    ))
+    if arguments.output:
+        pages = StatusPageGenerator(system.storage, system.catalog)
+        pages.index_page()
+        pages.summary_page(matrix.render_text())
+        written = system.storage.persist(arguments.output)
+        print(f"\npersisted {len(written)} documents below {arguments.output}")
+    return 0
+
+
+def _cmd_migrate_plan(arguments: argparse.Namespace) -> int:
+    system = _provisioned_system(arguments.scale, [arguments.experiment])
+    if arguments.target.upper() == "SL7":
+        target = next_generation_configuration()
+        system.add_configuration(target)
+    else:
+        target = system.configuration(arguments.target)
+    source = system.configuration(arguments.source)
+    plan = MigrationPlanner().plan(system.experiment(arguments.experiment), source, target)
+    print(
+        f"Migration of {arguments.experiment} from {source.key} to {target.key}: "
+        f"predicted pass fraction {plan.predicted_pass_fraction:.0%}, "
+        f"{plan.total_effort_person_weeks:.1f} person-weeks of porting"
+    )
+    if plan.is_trivial:
+        print("nothing to do — the software already builds and runs on the target")
+        return 0
+    print(rows_to_text(plan.rows()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

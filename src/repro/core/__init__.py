@@ -1,0 +1,107 @@
+"""Core of the reproduction: the sp-system validation framework."""
+
+from repro.core.comparison import ComparisonOutcome, ComparisonPolicy, OutputComparator
+from repro.core.diagnosis import (
+    Diagnosis,
+    DiagnosisReport,
+    FailureDiagnosisEngine,
+    RESPONSIBLE_PARTY,
+)
+from repro.core.freeze import FreezeManager, FreezeReason, FrozenSystem
+from repro.core.intervention import (
+    InterventionParty,
+    InterventionTicket,
+    InterventionTracker,
+    TicketStatus,
+)
+from repro.core.jobs import JobStatus, ValidationJob, ValidationRun
+from repro.core.levels import (
+    DPHEP_LEVELS,
+    PreservationLevel,
+    PreservationLevelDefinition,
+    level_definition,
+    preservation_table,
+    required_capabilities,
+    requires_full_chain,
+)
+from repro.core.recipe import DEPLOYMENT_TARGETS, DeploymentPlan, RecipeBook, ValidatedRecipe
+from repro.core.regression import RegressionDetector, RegressionReport, TestRegression
+from repro.core.service import (
+    RegularValidationService,
+    ScheduledValidation,
+    ServiceReport,
+)
+from repro.core.runner import (
+    RunnerSettings,
+    ValidationRunner,
+    default_numeric_context,
+)
+from repro.core.spsystem import SPSystem, ValidationCycleResult
+from repro.core.testspec import (
+    AnalysisChain,
+    ExecutionContext,
+    ExperimentDefinition,
+    OutputKind,
+    TestKind,
+    TestOutput,
+    ValidationTestSpec,
+)
+from repro.core.workflow import (
+    PhaseTransition,
+    PreparationReport,
+    PreservationWorkflow,
+    WorkflowPhase,
+)
+
+__all__ = [
+    "ComparisonOutcome",
+    "ComparisonPolicy",
+    "OutputComparator",
+    "Diagnosis",
+    "DiagnosisReport",
+    "FailureDiagnosisEngine",
+    "RESPONSIBLE_PARTY",
+    "FreezeManager",
+    "FreezeReason",
+    "FrozenSystem",
+    "InterventionParty",
+    "InterventionTicket",
+    "InterventionTracker",
+    "TicketStatus",
+    "JobStatus",
+    "ValidationJob",
+    "ValidationRun",
+    "DPHEP_LEVELS",
+    "PreservationLevel",
+    "PreservationLevelDefinition",
+    "level_definition",
+    "preservation_table",
+    "required_capabilities",
+    "requires_full_chain",
+    "DEPLOYMENT_TARGETS",
+    "DeploymentPlan",
+    "RecipeBook",
+    "ValidatedRecipe",
+    "RegressionDetector",
+    "RegressionReport",
+    "TestRegression",
+    "RegularValidationService",
+    "ScheduledValidation",
+    "ServiceReport",
+    "RunnerSettings",
+    "ValidationRunner",
+    "default_numeric_context",
+    "SPSystem",
+    "ValidationCycleResult",
+    "AnalysisChain",
+    "ExecutionContext",
+    "ExperimentDefinition",
+    "OutputKind",
+    "TestKind",
+    "TestOutput",
+    "ValidationTestSpec",
+    "PhaseTransition",
+    "PreparationReport",
+    "PreservationWorkflow",
+    "WorkflowPhase",
+]

@@ -1,0 +1,187 @@
+"""Comparison of validation outputs between runs.
+
+"This allows the validation of all versions against each other and ensures
+reproducibility of previous results."  The :class:`OutputComparator` decides
+whether the output a test produced in the current run is compatible with the
+output of a reference run: yes/no results must match exactly, numbers must
+agree within tolerance, text must be identical, histograms must pass a
+statistical compatibility test and file summaries must agree field by field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ValidationError
+from repro.core.testspec import OutputKind, TestOutput
+from repro.hepdata.histogram import ComparisonResult, chi2_comparison, ks_comparison
+
+
+@dataclass
+class ComparisonOutcome:
+    """Result of comparing a candidate output against a reference output."""
+
+    test_name: str
+    compatible: bool
+    messages: List[str] = field(default_factory=list)
+    histogram_results: Dict[str, ComparisonResult] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line summary used in reports and intervention tickets."""
+        verdict = "compatible" if self.compatible else "INCOMPATIBLE"
+        detail = f" ({'; '.join(self.messages)})" if self.messages else ""
+        return f"{self.test_name}: {verdict}{detail}"
+
+
+@dataclass(frozen=True)
+class ComparisonPolicy:
+    """Tolerances applied when comparing outputs."""
+
+    relative_tolerance: float = 1e-6
+    absolute_tolerance: float = 1e-9
+    histogram_p_value: float = 0.01
+    histogram_method: str = "chi2"
+    file_summary_relative_tolerance: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.relative_tolerance < 0 or self.absolute_tolerance < 0:
+            raise ValidationError("tolerances must be non-negative")
+        if not 0.0 <= self.histogram_p_value <= 1.0:
+            raise ValidationError("p-value threshold must lie in [0, 1]")
+        if self.histogram_method not in ("chi2", "ks"):
+            raise ValidationError("histogram method must be 'chi2' or 'ks'")
+
+
+class OutputComparator:
+    """Compares :class:`TestOutput` objects field by field."""
+
+    def __init__(self, policy: Optional[ComparisonPolicy] = None) -> None:
+        self.policy = policy or ComparisonPolicy()
+
+    def compare(
+        self, test_name: str, reference: TestOutput, candidate: TestOutput
+    ) -> ComparisonOutcome:
+        """Compare *candidate* against *reference* for the named test."""
+        if reference.kind is not candidate.kind:
+            return ComparisonOutcome(
+                test_name=test_name,
+                compatible=False,
+                messages=[
+                    f"output kind changed: {reference.kind.value} -> {candidate.kind.value}"
+                ],
+            )
+        handler = {
+            OutputKind.YES_NO: self._compare_yes_no,
+            OutputKind.NUMBERS: self._compare_numbers,
+            OutputKind.TEXT: self._compare_text,
+            OutputKind.HISTOGRAMS: self._compare_histograms,
+            OutputKind.FILE_SUMMARY: self._compare_file_summary,
+        }[reference.kind]
+        return handler(test_name, reference, candidate)
+
+    # -- per-kind comparisons ---------------------------------------------
+    def _compare_yes_no(
+        self, test_name: str, reference: TestOutput, candidate: TestOutput
+    ) -> ComparisonOutcome:
+        compatible = reference.yes_no == candidate.yes_no
+        messages = []
+        if not compatible:
+            messages.append(
+                f"yes/no result changed: {reference.yes_no} -> {candidate.yes_no}"
+            )
+        return ComparisonOutcome(test_name, compatible, messages)
+
+    def _compare_numbers(
+        self, test_name: str, reference: TestOutput, candidate: TestOutput
+    ) -> ComparisonOutcome:
+        messages: List[str] = []
+        for key in sorted(set(reference.numbers) | set(candidate.numbers)):
+            if key not in reference.numbers:
+                messages.append(f"new quantity {key!r} appeared")
+                continue
+            if key not in candidate.numbers:
+                messages.append(f"quantity {key!r} disappeared")
+                continue
+            ref_value = reference.numbers[key]
+            cand_value = candidate.numbers[key]
+            if not self._close(ref_value, cand_value, self.policy.relative_tolerance):
+                messages.append(
+                    f"{key}: {ref_value:.6g} -> {cand_value:.6g} "
+                    f"(relative change {self._relative_change(ref_value, cand_value):.3g})"
+                )
+        return ComparisonOutcome(test_name, not messages, messages)
+
+    def _compare_text(
+        self, test_name: str, reference: TestOutput, candidate: TestOutput
+    ) -> ComparisonOutcome:
+        if reference.text == candidate.text:
+            return ComparisonOutcome(test_name, True)
+        reference_lines = reference.text.splitlines()
+        candidate_lines = candidate.text.splitlines()
+        messages = [
+            f"text output differs ({len(reference_lines)} vs {len(candidate_lines)} lines)"
+        ]
+        for index, (ref_line, cand_line) in enumerate(
+            zip(reference_lines, candidate_lines)
+        ):
+            if ref_line != cand_line:
+                messages.append(f"first difference at line {index + 1}")
+                break
+        return ComparisonOutcome(test_name, False, messages)
+
+    def _compare_histograms(
+        self, test_name: str, reference: TestOutput, candidate: TestOutput
+    ) -> ComparisonOutcome:
+        if reference.histograms is None or candidate.histograms is None:
+            return ComparisonOutcome(
+                test_name, False, ["histogram payload missing in one of the outputs"]
+            )
+        results = reference.histograms.compare(
+            candidate.histograms,
+            method=self.policy.histogram_method,
+            threshold_p_value=self.policy.histogram_p_value,
+        )
+        messages: List[str] = []
+        missing = set(reference.histograms.names()) - set(candidate.histograms.names())
+        extra = set(candidate.histograms.names()) - set(reference.histograms.names())
+        for name in sorted(missing):
+            messages.append(f"histogram {name!r} disappeared")
+        for name in sorted(extra):
+            messages.append(f"new histogram {name!r} appeared")
+        for name, result in sorted(results.items()):
+            if not result.compatible:
+                messages.append(f"histogram {name!r}: {result}")
+        return ComparisonOutcome(test_name, not messages, messages, results)
+
+    def _compare_file_summary(
+        self, test_name: str, reference: TestOutput, candidate: TestOutput
+    ) -> ComparisonOutcome:
+        messages: List[str] = []
+        for key in sorted(set(reference.file_summary) | set(candidate.file_summary)):
+            ref_value = reference.file_summary.get(key)
+            cand_value = candidate.file_summary.get(key)
+            if ref_value is None or cand_value is None:
+                messages.append(f"file summary field {key!r} present in only one output")
+                continue
+            if not self._close(
+                ref_value, cand_value, self.policy.file_summary_relative_tolerance
+            ):
+                messages.append(f"{key}: {ref_value:.6g} -> {cand_value:.6g}")
+        return ComparisonOutcome(test_name, not messages, messages)
+
+    # -- helpers ------------------------------------------------------------
+    def _close(self, reference: float, candidate: float, relative: float) -> bool:
+        difference = abs(reference - candidate)
+        if difference <= self.policy.absolute_tolerance:
+            return True
+        scale = max(abs(reference), abs(candidate))
+        return difference <= relative * scale
+
+    @staticmethod
+    def _relative_change(reference: float, candidate: float) -> float:
+        scale = max(abs(reference), abs(candidate), 1e-300)
+        return abs(reference - candidate) / scale
+
+
+__all__ = ["ComparisonOutcome", "ComparisonPolicy", "OutputComparator"]

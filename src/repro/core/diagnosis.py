@@ -1,0 +1,199 @@
+"""Failure diagnosis: which of the three inputs broke the validation?
+
+The clear separation of the inputs — experiment software, external
+dependencies, operating system (figure 1) — is what makes it possible to
+attribute a failed validation to one of them and route the intervention to
+the right party ("Intervention is then required either by the host of the
+validation suite or the experiment themselves, depending on the nature of the
+reported problem").  The :class:`FailureDiagnosisEngine` combines three
+signals:
+
+* the compatibility issues attached to failed jobs (each carries a category);
+* the configuration difference between the failing run and its reference;
+* which groups of tests fail together (all chains failing at the simulation
+  step points at the simulation software, not the OS).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.jobs import JobStatus, ValidationJob, ValidationRun
+from repro.core.regression import RegressionReport
+from repro.environment.compatibility import IssueCategory
+from repro.environment.configuration import EnvironmentConfiguration
+
+
+#: Responsible party for each issue category.
+RESPONSIBLE_PARTY: Dict[IssueCategory, str] = {
+    IssueCategory.OPERATING_SYSTEM: "host IT department",
+    IssueCategory.COMPILER: "host IT department",
+    IssueCategory.EXTERNAL_DEPENDENCY: "host IT department",
+    IssueCategory.EXPERIMENT_SOFTWARE: "experiment",
+}
+
+
+@dataclass
+class Diagnosis:
+    """Diagnosis for one failed test."""
+
+    test_name: str
+    category: IssueCategory
+    responsible_party: str
+    confidence: float
+    evidence: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line summary for intervention tickets."""
+        return (
+            f"{self.test_name}: {self.category.value} "
+            f"(confidence {self.confidence:.0%}, action: {self.responsible_party})"
+        )
+
+
+@dataclass
+class DiagnosisReport:
+    """All diagnoses of one failing validation run."""
+
+    run_id: str
+    experiment: str
+    configuration_key: str
+    diagnoses: List[Diagnosis] = field(default_factory=list)
+    configuration_changes: List[str] = field(default_factory=list)
+
+    def by_category(self) -> Dict[str, int]:
+        """Number of failing tests attributed to each category."""
+        counts: Dict[str, int] = {}
+        for diagnosis in self.diagnoses:
+            counts[diagnosis.category.value] = counts.get(diagnosis.category.value, 0) + 1
+        return counts
+
+    def dominant_category(self) -> Optional[IssueCategory]:
+        """The category blamed for most failures, if any."""
+        if not self.diagnoses:
+            return None
+        counts: Dict[IssueCategory, int] = {}
+        for diagnosis in self.diagnoses:
+            counts[diagnosis.category] = counts.get(diagnosis.category, 0) + 1
+        return max(counts, key=lambda category: (counts[category], category.value))
+
+    def for_party(self, party: str) -> List[Diagnosis]:
+        """All diagnoses routed to the given responsible party."""
+        return [
+            diagnosis for diagnosis in self.diagnoses
+            if diagnosis.responsible_party == party
+        ]
+
+
+#: Issue-category keywords found in job messages (fallback evidence).
+_MESSAGE_PATTERNS: Tuple[Tuple[IssueCategory, re.Pattern], ...] = (
+    (IssueCategory.OPERATING_SYSTEM, re.compile(r"word_size|abi|operating.system|-bit", re.I)),
+    (IssueCategory.COMPILER, re.compile(r"compiler|gcc|strictness|standard", re.I)),
+    (IssueCategory.EXTERNAL_DEPENDENCY, re.compile(r"external|ROOT|CERNLIB|interface|api", re.I)),
+)
+
+
+class FailureDiagnosisEngine:
+    """Attributes failing validation jobs to one of the separated inputs."""
+
+    def diagnose_run(
+        self,
+        run: ValidationRun,
+        reference_configuration: Optional[EnvironmentConfiguration] = None,
+        current_configuration: Optional[EnvironmentConfiguration] = None,
+        regression_report: Optional[RegressionReport] = None,
+    ) -> DiagnosisReport:
+        """Diagnose every failed job of *run*.
+
+        When both configurations are supplied, their differences serve as
+        additional evidence; when a regression report is supplied, tests that
+        regressed only in their numeric output (but still pass) are ignored.
+        """
+        configuration_changes: List[str] = []
+        environment_known_unchanged = False
+        if reference_configuration is not None and current_configuration is not None:
+            configuration_changes = current_configuration.differences(reference_configuration)
+            environment_known_unchanged = not configuration_changes
+        report = DiagnosisReport(
+            run_id=run.run_id,
+            experiment=run.experiment,
+            configuration_key=run.configuration_key,
+            configuration_changes=configuration_changes,
+        )
+        for job in run.failed_jobs():
+            report.diagnoses.append(
+                self._diagnose_job(job, configuration_changes, environment_known_unchanged)
+            )
+        return report
+
+    def _diagnose_job(
+        self,
+        job: ValidationJob,
+        configuration_changes: List[str],
+        environment_known_unchanged: bool = False,
+    ) -> Diagnosis:
+        evidence: List[str] = []
+        votes: Dict[IssueCategory, float] = {category: 0.0 for category in IssueCategory}
+
+        # Strongest signal: explicit compatibility issues in the job messages.
+        for message in job.messages:
+            matched = False
+            for category, pattern in _MESSAGE_PATTERNS:
+                if pattern.search(message):
+                    votes[category] += 1.0
+                    matched = True
+            if not matched:
+                votes[IssueCategory.EXPERIMENT_SOFTWARE] += 0.5
+            evidence.append(message)
+
+        # Medium signal: what changed in the environment since the reference.
+        for change in configuration_changes:
+            if change.startswith("operating_system") or change.startswith("word_size"):
+                votes[IssueCategory.OPERATING_SYSTEM] += 0.75
+            elif change.startswith("compiler"):
+                votes[IssueCategory.COMPILER] += 0.75
+            elif change.startswith("external"):
+                votes[IssueCategory.EXTERNAL_DEPENDENCY] += 0.75
+            evidence.append(f"environment change: {change}")
+
+        # Strong counter-evidence: the last successful run used exactly the same
+        # environment, so keyword matches against OS / compiler / external names
+        # in the messages cannot reflect an environment change — the experiment
+        # software itself is the prime suspect (the paper's "changes to the
+        # experiment software itself" failure class).
+        if environment_known_unchanged:
+            environment_votes = sum(
+                votes[category]
+                for category in (
+                    IssueCategory.OPERATING_SYSTEM,
+                    IssueCategory.COMPILER,
+                    IssueCategory.EXTERNAL_DEPENDENCY,
+                )
+            )
+            votes[IssueCategory.EXPERIMENT_SOFTWARE] += environment_votes + 1.0
+            evidence.append(
+                "environment identical to the last successful run; suspect the "
+                "experiment software"
+            )
+
+        # Weak prior: with no evidence at all, the experiment software itself
+        # (a genuine bug or an un-ported assumption) is the default suspect.
+        if all(value == 0.0 for value in votes.values()):
+            votes[IssueCategory.EXPERIMENT_SOFTWARE] = 1.0
+            evidence.append("no environment-related evidence; suspect experiment software")
+
+        total = sum(votes.values())
+        category = max(votes, key=lambda cat: (votes[cat], cat.value))
+        confidence = votes[category] / total if total > 0 else 0.0
+        return Diagnosis(
+            test_name=job.test_name,
+            category=category,
+            responsible_party=RESPONSIBLE_PARTY[category],
+            confidence=confidence,
+            evidence=evidence,
+        )
+
+
+__all__ = ["Diagnosis", "DiagnosisReport", "FailureDiagnosisEngine", "RESPONSIBLE_PARTY"]

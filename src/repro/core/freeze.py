@@ -1,0 +1,166 @@
+"""The final phase: conserving the last working virtual image.
+
+Work flow step (iv): "The final phase occurs either when no person-power is
+available from the experiment or IT side or the current system is deemed
+satisfactory for the long-term need or stable enough.  At this point the last
+working virtual image is conserved and constitutes the last version of the
+experimental software and environment."  The :class:`FreezeManager` performs
+that conservation and records the caveat the paper attaches to it: a frozen
+system "is unlikely to persist in a useful manner much beyond this point".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ValidationError
+from repro.core.jobs import ValidationRun
+from repro.core.recipe import RecipeBook, ValidatedRecipe
+from repro.storage.common_storage import CommonStorage
+from repro.virtualization.hypervisor import Hypervisor
+from repro.virtualization.image import VirtualMachineImage
+
+
+class FreezeReason(enum.Enum):
+    """Why the preservation programme enters its final phase."""
+
+    NO_PERSON_POWER = "no person-power available from the experiment or IT side"
+    SATISFACTORY = "the current system is deemed satisfactory for the long-term need"
+    STABLE = "the current system is deemed stable enough"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class FrozenSystem:
+    """Record of a conserved (frozen) experiment software environment."""
+
+    experiment: str
+    image_name: str
+    recipe_id: str
+    frozen_at: int
+    reason: FreezeReason
+    last_validation_run: str
+    caveat: str = (
+        "this now frozen system is unlikely to persist in a useful manner "
+        "much beyond this point"
+    )
+
+    def to_document(self) -> Dict[str, object]:
+        """Serialise for the common storage."""
+        return {
+            "experiment": self.experiment,
+            "image_name": self.image_name,
+            "recipe_id": self.recipe_id,
+            "frozen_at": self.frozen_at,
+            "reason": self.reason.value,
+            "last_validation_run": self.last_validation_run,
+            "caveat": self.caveat,
+        }
+
+
+class FreezeManager:
+    """Conserves the last working image of an experiment."""
+
+    NAMESPACE = "reports"
+
+    def __init__(
+        self,
+        hypervisor: Hypervisor,
+        recipe_book: RecipeBook,
+        storage: Optional[CommonStorage] = None,
+    ) -> None:
+        self.hypervisor = hypervisor
+        self.recipe_book = recipe_book
+        self.storage = storage or recipe_book.storage
+        self.storage.create_namespace(self.NAMESPACE)
+        self._frozen: Dict[str, FrozenSystem] = {}
+
+    def freeze(
+        self,
+        experiment: str,
+        last_successful_run: ValidationRun,
+        reason: FreezeReason,
+    ) -> FrozenSystem:
+        """Conserve the image that hosted the last successful validation run.
+
+        The run must have passed completely: freezing a broken system would
+        conserve exactly the kind of silent incompatibility the validation
+        framework exists to prevent.
+        """
+        if experiment in self._frozen:
+            raise ValidationError(f"experiment {experiment!r} is already frozen")
+        if last_successful_run.experiment != experiment:
+            raise ValidationError(
+                f"run {last_successful_run.run_id} belongs to "
+                f"{last_successful_run.experiment}, not {experiment}"
+            )
+        if not last_successful_run.all_passed:
+            raise ValidationError(
+                f"run {last_successful_run.run_id} did not pass completely; "
+                "only a fully working system may be conserved"
+            )
+        image = self._image_for_configuration(last_successful_run.configuration_key)
+        if image is None:
+            raise ValidationError(
+                "no hypervisor image matches configuration "
+                f"{last_successful_run.configuration_key!r}"
+            )
+        recipe = self._latest_recipe(experiment, last_successful_run)
+        self.hypervisor.conserve_image(
+            image.name,
+            reason=f"{experiment}: {reason.value}",
+        )
+        frozen = FrozenSystem(
+            experiment=experiment,
+            image_name=image.name,
+            recipe_id=recipe.recipe_id,
+            frozen_at=last_successful_run.started_at,
+            reason=reason,
+            last_validation_run=last_successful_run.run_id,
+        )
+        self._frozen[experiment] = frozen
+        self.storage.put(self.NAMESPACE, f"frozen_{experiment}", frozen.to_document())
+        return frozen
+
+    def is_frozen(self, experiment: str) -> bool:
+        """True once the experiment's programme has entered the final phase."""
+        return experiment in self._frozen
+
+    def frozen_system(self, experiment: str) -> FrozenSystem:
+        """Return the conserved system of *experiment*."""
+        try:
+            return self._frozen[experiment]
+        except KeyError:
+            raise ValidationError(f"experiment {experiment!r} is not frozen") from None
+
+    def frozen_experiments(self) -> List[str]:
+        """All experiments whose systems have been conserved."""
+        return sorted(self._frozen)
+
+    def _image_for_configuration(self, configuration_key: str) -> Optional[VirtualMachineImage]:
+        for image in self.hypervisor.images():
+            if image.configuration.key == configuration_key:
+                return image
+        return None
+
+    def _latest_recipe(
+        self, experiment: str, run: ValidationRun
+    ) -> ValidatedRecipe:
+        recipe = self.recipe_book.latest_for(experiment)
+        if recipe is None or recipe.validated_by_run != run.run_id:
+            # Publish the recipe proven by this run so the frozen system is
+            # always accompanied by a redeployable prescription.
+            configuration = self._image_for_configuration(run.configuration_key)
+            if configuration is None:
+                raise ValidationError(
+                    f"cannot publish recipe: no image for {run.configuration_key!r}"
+                )
+            recipe = self.recipe_book.publish_from_run(run, configuration.configuration)
+        return recipe
+
+
+__all__ = ["FreezeReason", "FrozenSystem", "FreezeManager"]

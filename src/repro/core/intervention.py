@@ -1,0 +1,170 @@
+"""Intervention tickets: routing problems to IT or the experiment.
+
+Work flow step (iii) ends with: "Intervention is then required either by the
+host of the validation suite or the experiment themselves, depending on the
+nature of the reported problem."  The :class:`InterventionTracker` turns a
+diagnosis report into tickets addressed to the right party, tracks their
+lifecycle and feeds the "identified and helped to solve several long-standing
+bugs" statistic of the reporting layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ValidationError
+from repro.core.diagnosis import Diagnosis, DiagnosisReport
+from repro.environment.compatibility import IssueCategory
+
+
+class TicketStatus(enum.Enum):
+    """Lifecycle of an intervention ticket."""
+
+    OPEN = "open"
+    IN_PROGRESS = "in-progress"
+    RESOLVED = "resolved"
+    WONT_FIX = "wont-fix"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class InterventionParty(enum.Enum):
+    """Who has to act on a ticket."""
+
+    HOST_IT = "host IT department"
+    EXPERIMENT = "experiment"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class InterventionTicket:
+    """One problem reported by the validation system."""
+
+    ticket_id: str
+    run_id: str
+    experiment: str
+    test_name: str
+    category: IssueCategory
+    party: InterventionParty
+    opened_at: int
+    description: str
+    status: TicketStatus = TicketStatus.OPEN
+    resolution: str = ""
+    resolved_at: Optional[int] = None
+    long_standing_bug: bool = False
+
+    def resolve(self, resolution: str, timestamp: int, long_standing_bug: bool = False) -> None:
+        """Mark the ticket as resolved."""
+        if self.status in (TicketStatus.RESOLVED, TicketStatus.WONT_FIX):
+            raise ValidationError(f"ticket {self.ticket_id} is already closed")
+        self.status = TicketStatus.RESOLVED
+        self.resolution = resolution
+        self.resolved_at = timestamp
+        self.long_standing_bug = long_standing_bug
+
+    def close_wont_fix(self, reason: str, timestamp: int) -> None:
+        """Close the ticket without a fix (e.g. the platform is abandoned)."""
+        if self.status in (TicketStatus.RESOLVED, TicketStatus.WONT_FIX):
+            raise ValidationError(f"ticket {self.ticket_id} is already closed")
+        self.status = TicketStatus.WONT_FIX
+        self.resolution = reason
+        self.resolved_at = timestamp
+
+    @property
+    def is_open(self) -> bool:
+        """True while the ticket still needs action."""
+        return self.status in (TicketStatus.OPEN, TicketStatus.IN_PROGRESS)
+
+
+class InterventionTracker:
+    """Creates and tracks intervention tickets from diagnosis reports."""
+
+    def __init__(self) -> None:
+        self._tickets: Dict[str, InterventionTicket] = {}
+        self._counter = 0
+
+    def open_from_diagnosis(
+        self, report: DiagnosisReport, timestamp: int
+    ) -> List[InterventionTicket]:
+        """Open one ticket per diagnosed failure (deduplicated per test/run)."""
+        tickets = []
+        for diagnosis in report.diagnoses:
+            if self._already_open(report.run_id, diagnosis.test_name):
+                continue
+            tickets.append(self._open_ticket(report, diagnosis, timestamp))
+        return tickets
+
+    def _already_open(self, run_id: str, test_name: str) -> bool:
+        return any(
+            ticket.run_id == run_id and ticket.test_name == test_name and ticket.is_open
+            for ticket in self._tickets.values()
+        )
+
+    def _open_ticket(
+        self, report: DiagnosisReport, diagnosis: Diagnosis, timestamp: int
+    ) -> InterventionTicket:
+        self._counter += 1
+        ticket_id = f"ticket-{self._counter:05d}"
+        party = (
+            InterventionParty.EXPERIMENT
+            if diagnosis.category is IssueCategory.EXPERIMENT_SOFTWARE
+            else InterventionParty.HOST_IT
+        )
+        ticket = InterventionTicket(
+            ticket_id=ticket_id,
+            run_id=report.run_id,
+            experiment=report.experiment,
+            test_name=diagnosis.test_name,
+            category=diagnosis.category,
+            party=party,
+            opened_at=timestamp,
+            description=diagnosis.summary(),
+        )
+        self._tickets[ticket_id] = ticket
+        return ticket
+
+    def ticket(self, ticket_id: str) -> InterventionTicket:
+        """Return the ticket with the given ID."""
+        try:
+            return self._tickets[ticket_id]
+        except KeyError:
+            raise ValidationError(f"unknown ticket {ticket_id!r}") from None
+
+    def all(self) -> List[InterventionTicket]:
+        """All tickets, oldest first."""
+        return [self._tickets[key] for key in sorted(self._tickets)]
+
+    def open_tickets(self, party: Optional[InterventionParty] = None) -> List[InterventionTicket]:
+        """Open tickets, optionally restricted to one party."""
+        return [
+            ticket for ticket in self.all()
+            if ticket.is_open and (party is None or ticket.party is party)
+        ]
+
+    def resolved_tickets(self) -> List[InterventionTicket]:
+        """All resolved tickets."""
+        return [ticket for ticket in self.all() if ticket.status is TicketStatus.RESOLVED]
+
+    def long_standing_bugs_found(self) -> int:
+        """How many resolved tickets uncovered long-standing bugs.
+
+        The paper notes the SL6 migration tests "have already identified and
+        helped to solve several long-standing bugs".
+        """
+        return sum(1 for ticket in self.resolved_tickets() if ticket.long_standing_bug)
+
+    def __len__(self) -> int:
+        return len(self._tickets)
+
+
+__all__ = [
+    "TicketStatus",
+    "InterventionParty",
+    "InterventionTicket",
+    "InterventionTracker",
+]

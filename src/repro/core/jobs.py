@@ -1,0 +1,193 @@
+"""Validation jobs and validation runs.
+
+A :class:`ValidationJob` is one executed test with its unique ID, timing and
+stored output location; a :class:`ValidationRun` is the set of jobs produced
+by running an experiment's suite once on one environment configuration —
+the unit that gets a description tag, appears in the run catalogue and is
+displayed as a row block on the status web pages.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ValidationError
+from repro.core.testspec import TestKind, TestOutput
+from repro.storage.bookkeeping import format_timestamp
+
+
+class JobStatus(enum.Enum):
+    """Final status of one validation job."""
+
+    PASSED = "passed"
+    FAILED = "failed"
+    SKIPPED = "skipped"
+    NOT_RUN = "not-run"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ValidationJob:
+    """One executed validation test."""
+
+    job_id: str
+    test_name: str
+    experiment: str
+    configuration_key: str
+    kind: TestKind
+    status: JobStatus
+    started_at: int
+    duration_seconds: float = 0.0
+    output: Optional[TestOutput] = None
+    output_key: Optional[str] = None
+    messages: List[str] = field(default_factory=list)
+    chain: Optional[str] = None
+    process: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """True when the job passed."""
+        return self.status is JobStatus.PASSED
+
+    def to_document(self) -> Dict[str, object]:
+        """Serialise job metadata (not the full output) for the storage."""
+        return {
+            "job_id": self.job_id,
+            "test_name": self.test_name,
+            "experiment": self.experiment,
+            "configuration_key": self.configuration_key,
+            "kind": self.kind.value,
+            "status": self.status.value,
+            "started_at": self.started_at,
+            "started_at_readable": format_timestamp(self.started_at),
+            "duration_seconds": self.duration_seconds,
+            "output_key": self.output_key,
+            "messages": list(self.messages),
+            "chain": self.chain,
+            "process": self.process,
+        }
+
+
+@dataclass
+class ValidationRun:
+    """All jobs of one execution of an experiment suite on one configuration."""
+
+    run_id: str
+    experiment: str
+    configuration_key: str
+    description: str
+    started_at: int
+    software_versions: Dict[str, str] = field(default_factory=dict)
+    jobs: List[ValidationJob] = field(default_factory=list)
+
+    def add_job(self, job: ValidationJob) -> None:
+        """Append a job, enforcing that it belongs to this run's experiment."""
+        if job.experiment != self.experiment:
+            raise ValidationError(
+                f"job {job.job_id} belongs to {job.experiment}, not {self.experiment}"
+            )
+        self.jobs.append(job)
+
+    def job_for(self, test_name: str) -> ValidationJob:
+        """Return the job for the named test."""
+        for job in self.jobs:
+            if job.test_name == test_name:
+                return job
+        raise ValidationError(f"run {self.run_id} has no job for test {test_name!r}")
+
+    def has_job(self, test_name: str) -> bool:
+        """True if the run executed the named test."""
+        return any(job.test_name == test_name for job in self.jobs)
+
+    # -- aggregate statistics ----------------------------------------------
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for job in self.jobs if job.status is JobStatus.PASSED)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for job in self.jobs if job.status is JobStatus.FAILED)
+
+    @property
+    def n_skipped(self) -> int:
+        return sum(1 for job in self.jobs if job.status is JobStatus.SKIPPED)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every executed job passed (skipped jobs count as failures).
+
+        A skipped job means part of the preservation target could not even be
+        exercised, so a run with skips must not be considered successful.
+        """
+        return self.n_jobs > 0 and self.n_passed == self.n_jobs
+
+    @property
+    def overall_status(self) -> str:
+        """Aggregate status recorded in the run catalogue."""
+        if self.n_jobs == 0:
+            return "empty"
+        return "passed" if self.all_passed else "failed"
+
+    def pass_fraction(self) -> float:
+        """Fraction of jobs that passed."""
+        if not self.jobs:
+            return 0.0
+        return self.n_passed / self.n_jobs
+
+    def failed_jobs(self) -> List[ValidationJob]:
+        """All failed jobs, in execution order."""
+        return [job for job in self.jobs if job.status is JobStatus.FAILED]
+
+    def jobs_of_kind(self, kind: TestKind) -> List[ValidationJob]:
+        """All jobs of one test kind."""
+        return [job for job in self.jobs if job.kind is kind]
+
+    def statuses_by_test(self) -> Dict[str, str]:
+        """Mapping test name -> status value, as stored in the catalogue."""
+        return {job.test_name: job.status.value for job in self.jobs}
+
+    def statuses_by_process(self) -> Dict[str, Dict[str, int]]:
+        """Per-process pass/fail counts, the quantity shown in figure 3."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for job in self.jobs:
+            process = job.process or "other"
+            bucket = summary.setdefault(process, {"passed": 0, "failed": 0, "skipped": 0})
+            if job.status is JobStatus.PASSED:
+                bucket["passed"] += 1
+            elif job.status is JobStatus.FAILED:
+                bucket["failed"] += 1
+            elif job.status is JobStatus.SKIPPED:
+                bucket["skipped"] += 1
+        return summary
+
+    def total_duration_seconds(self) -> float:
+        """Accumulated simulated duration of all jobs."""
+        return sum(job.duration_seconds for job in self.jobs)
+
+    def to_document(self) -> Dict[str, object]:
+        """Serialise run metadata for the storage."""
+        return {
+            "run_id": self.run_id,
+            "experiment": self.experiment,
+            "configuration_key": self.configuration_key,
+            "description": self.description,
+            "started_at": self.started_at,
+            "software_versions": dict(self.software_versions),
+            "overall_status": self.overall_status,
+            "n_jobs": self.n_jobs,
+            "n_passed": self.n_passed,
+            "n_failed": self.n_failed,
+            "n_skipped": self.n_skipped,
+            "jobs": [job.to_document() for job in self.jobs],
+        }
+
+
+__all__ = ["JobStatus", "ValidationJob", "ValidationRun"]

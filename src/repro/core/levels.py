@@ -1,0 +1,135 @@
+"""DPHEP data preservation levels (Table 1 of the paper).
+
+The DPHEP collaboration defines four preservation levels of increasing
+benefit, complexity and cost.  The level an experiment adopts determines how
+many validation tests it has to define: a level-3 programme only needs the
+analysis-level software to keep working, a level-4 programme must keep the
+simulation and reconstruction chains alive as well.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro._common import ConfigurationError
+
+
+class PreservationLevel(enum.IntEnum):
+    """The four DPHEP preservation levels."""
+
+    DOCUMENTATION = 1
+    SIMPLIFIED_FORMAT = 2
+    ANALYSIS_SOFTWARE = 3
+    FULL_SOFTWARE = 4
+
+
+@dataclass(frozen=True)
+class PreservationLevelDefinition:
+    """One row of Table 1: level, preservation model and use case."""
+
+    level: PreservationLevel
+    preservation_model: str
+    use_case: str
+    area: str
+
+    @property
+    def number(self) -> int:
+        """Numeric level (1–4)."""
+        return int(self.level)
+
+
+#: Table 1 of the paper, verbatim in content.
+DPHEP_LEVELS: Tuple[PreservationLevelDefinition, ...] = (
+    PreservationLevelDefinition(
+        level=PreservationLevel.DOCUMENTATION,
+        preservation_model="Provide additional documentation",
+        use_case="Publication related info search",
+        area="documentation",
+    ),
+    PreservationLevelDefinition(
+        level=PreservationLevel.SIMPLIFIED_FORMAT,
+        preservation_model="Preserve the data in a simplified format",
+        use_case="Outreach, simple training analyses",
+        area="outreach",
+    ),
+    PreservationLevelDefinition(
+        level=PreservationLevel.ANALYSIS_SOFTWARE,
+        preservation_model=(
+            "Preserve the analysis level software and data format based on "
+            "the existing reconstruction"
+        ),
+        use_case="Full scientific analyses, based on the existing reconstruction",
+        area="technical",
+    ),
+    PreservationLevelDefinition(
+        level=PreservationLevel.FULL_SOFTWARE,
+        preservation_model=(
+            "Preserve the simulation and reconstruction software as well as "
+            "basic level data"
+        ),
+        use_case="Retain the full potential of the experimental data",
+        area="technical",
+    ),
+)
+
+
+def level_definition(level: PreservationLevel) -> PreservationLevelDefinition:
+    """Return the Table 1 row for *level*."""
+    for definition in DPHEP_LEVELS:
+        if definition.level is level or definition.level == level:
+            return definition
+    raise ConfigurationError(f"unknown preservation level {level!r}")
+
+
+def preservation_table() -> List[Dict[str, object]]:
+    """Table 1 as a list of row dictionaries (used by the Table 1 benchmark)."""
+    return [
+        {
+            "level": definition.number,
+            "preservation_model": definition.preservation_model,
+            "use_case": definition.use_case,
+        }
+        for definition in DPHEP_LEVELS
+    ]
+
+
+#: Which functional areas of the experiment software each level must keep alive.
+REQUIRED_CAPABILITIES: Dict[PreservationLevel, Tuple[str, ...]] = {
+    PreservationLevel.DOCUMENTATION: (),
+    PreservationLevel.SIMPLIFIED_FORMAT: ("data-export",),
+    PreservationLevel.ANALYSIS_SOFTWARE: ("data-export", "analysis"),
+    PreservationLevel.FULL_SOFTWARE: (
+        "data-export",
+        "analysis",
+        "reconstruction",
+        "simulation",
+        "mc-generation",
+    ),
+}
+
+
+def required_capabilities(level: PreservationLevel) -> Tuple[str, ...]:
+    """Capabilities the experiment software must retain at *level*."""
+    try:
+        return REQUIRED_CAPABILITIES[PreservationLevel(level)]
+    except (KeyError, ValueError):
+        raise ConfigurationError(f"unknown preservation level {level!r}") from None
+
+
+def requires_full_chain(level: PreservationLevel) -> bool:
+    """True when the level requires simulation + reconstruction chains (level 4)."""
+    return PreservationLevel(level) is PreservationLevel.FULL_SOFTWARE
+
+
+__all__ = [
+    "PreservationLevel",
+    "PreservationLevelDefinition",
+    "DPHEP_LEVELS",
+    "level_definition",
+    "preservation_table",
+    "required_capabilities",
+    "requires_full_chain",
+    "REQUIRED_CAPABILITIES",
+]

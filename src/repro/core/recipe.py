@@ -1,0 +1,177 @@
+"""Validated configuration recipes.
+
+"The framework is rather used to establish the latest working version of the
+computing and software environment and it can help to prepare a production
+system by supplying the successfully validated recipe of the latest
+configuration.  If a production system is required, then this recipe should be
+deployed on a suitable resource at the time: an institute cluster, grid,
+cloud, sky, quantum computer, and so on."
+
+A :class:`ValidatedRecipe` captures exactly that: the environment
+configuration, the experiment software versions and the validation run that
+proved the combination works.  The :class:`RecipeBook` stores recipes on the
+common storage and can "deploy" one onto any resource description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ValidationError
+from repro.core.jobs import ValidationRun
+from repro.environment.configuration import EnvironmentConfiguration
+from repro.storage.common_storage import CommonStorage
+
+
+#: Resources a validated recipe can be deployed on (wording from the paper).
+DEPLOYMENT_TARGETS = (
+    "institute-cluster",
+    "grid",
+    "cloud",
+    "sky",
+    "quantum-computer",
+)
+
+
+@dataclass(frozen=True)
+class ValidatedRecipe:
+    """A successfully validated environment + software prescription."""
+
+    recipe_id: str
+    experiment: str
+    configuration: Dict[str, object]
+    software_versions: Dict[str, str]
+    validated_by_run: str
+    validated_at: int
+    pass_fraction: float
+
+    def to_document(self) -> Dict[str, object]:
+        """Serialise for the recipes namespace of the common storage."""
+        return {
+            "recipe_id": self.recipe_id,
+            "experiment": self.experiment,
+            "configuration": dict(self.configuration),
+            "software_versions": dict(self.software_versions),
+            "validated_by_run": self.validated_by_run,
+            "validated_at": self.validated_at,
+            "pass_fraction": self.pass_fraction,
+        }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, object]) -> "ValidatedRecipe":
+        """Reconstruct a recipe stored by :meth:`to_document`."""
+        return cls(
+            recipe_id=str(document["recipe_id"]),
+            experiment=str(document["experiment"]),
+            configuration=dict(document["configuration"]),
+            software_versions=dict(document["software_versions"]),
+            validated_by_run=str(document["validated_by_run"]),
+            validated_at=int(document["validated_at"]),
+            pass_fraction=float(document["pass_fraction"]),
+        )
+
+
+@dataclass
+class DeploymentPlan:
+    """Instructions for deploying a recipe on a production resource."""
+
+    recipe_id: str
+    target: str
+    steps: List[str] = field(default_factory=list)
+
+    def rendered(self) -> str:
+        """Human-readable deployment plan."""
+        lines = [f"Deployment of {self.recipe_id} on {self.target}:"]
+        lines.extend(f"  {index + 1}. {step}" for index, step in enumerate(self.steps))
+        return "\n".join(lines)
+
+
+class RecipeBook:
+    """Stores validated recipes and produces deployment plans."""
+
+    NAMESPACE = "recipes"
+
+    def __init__(self, storage: Optional[CommonStorage] = None) -> None:
+        self.storage = storage or CommonStorage()
+        self.storage.create_namespace(self.NAMESPACE)
+
+    def publish_from_run(
+        self,
+        run: ValidationRun,
+        configuration: EnvironmentConfiguration,
+        minimum_pass_fraction: float = 1.0,
+    ) -> ValidatedRecipe:
+        """Publish the recipe proven by a (successful) validation run.
+
+        Only runs whose pass fraction reaches *minimum_pass_fraction* may be
+        published — an unvalidated recipe is worse than none, because it would
+        be deployed unquestioned on a production resource later.
+        """
+        if run.configuration_key != configuration.key:
+            raise ValidationError(
+                "run and configuration do not match: "
+                f"{run.configuration_key} vs {configuration.key}"
+            )
+        if run.pass_fraction() < minimum_pass_fraction:
+            raise ValidationError(
+                f"run {run.run_id} passed only {run.pass_fraction():.1%} of its tests; "
+                f"{minimum_pass_fraction:.1%} required to publish a recipe"
+            )
+        recipe = ValidatedRecipe(
+            recipe_id=f"recipe-{run.experiment}-{run.run_id}",
+            experiment=run.experiment,
+            configuration=configuration.describe(),
+            software_versions=dict(run.software_versions),
+            validated_by_run=run.run_id,
+            validated_at=run.started_at,
+            pass_fraction=run.pass_fraction(),
+        )
+        self.storage.put(self.NAMESPACE, recipe.recipe_id, recipe.to_document())
+        return recipe
+
+    def get(self, recipe_id: str) -> ValidatedRecipe:
+        """Load a recipe from the storage."""
+        document = self.storage.get(self.NAMESPACE, recipe_id)
+        return ValidatedRecipe.from_document(document)  # type: ignore[arg-type]
+
+    def recipes_for(self, experiment: str) -> List[ValidatedRecipe]:
+        """All published recipes of one experiment, oldest first."""
+        recipes = []
+        for key in self.storage.keys(self.NAMESPACE, prefix=f"recipe-{experiment}-"):
+            recipes.append(self.get(key))
+        return sorted(recipes, key=lambda recipe: recipe.validated_at)
+
+    def latest_for(self, experiment: str) -> Optional[ValidatedRecipe]:
+        """The most recently validated recipe of *experiment*, if any."""
+        recipes = self.recipes_for(experiment)
+        return recipes[-1] if recipes else None
+
+    def deployment_plan(self, recipe_id: str, target: str) -> DeploymentPlan:
+        """Produce a deployment plan for *recipe_id* on *target*."""
+        if target not in DEPLOYMENT_TARGETS:
+            raise ValidationError(
+                f"unknown deployment target {target!r}; "
+                f"choose one of {', '.join(DEPLOYMENT_TARGETS)}"
+            )
+        recipe = self.get(recipe_id)
+        configuration = recipe.configuration
+        steps = [
+            f"provision a {target} node with "
+            f"{configuration['operating_system']} / {configuration['word_size']}-bit",
+            f"install compiler {configuration['compiler']}",
+        ]
+        for product, version in sorted(dict(configuration["externals"]).items()):
+            steps.append(f"install external software {product} {version}")
+        steps.append(
+            f"deploy the experiment software of {recipe.experiment} at the versions "
+            "recorded in the recipe"
+        )
+        steps.append(
+            f"re-run the validation suite and require the pass fraction of run "
+            f"{recipe.validated_by_run} ({recipe.pass_fraction:.0%}) to be reproduced"
+        )
+        return DeploymentPlan(recipe_id=recipe_id, target=target, steps=steps)
+
+
+__all__ = ["ValidatedRecipe", "DeploymentPlan", "RecipeBook", "DEPLOYMENT_TARGETS"]

@@ -1,0 +1,187 @@
+"""Regression detection: comparing a run against the last successful one.
+
+Work flow step (iii): "If the validation is successful, no further action must
+be taken.  If a test fails, any differences compared to the last successful
+test are examined and problems identified."  The :class:`RegressionDetector`
+implements the "examined" part: given the current run and the catalogue, it
+finds the last successful reference, re-loads the stored outputs of both runs
+and produces a per-test :class:`RegressionReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import StorageError
+from repro.core.comparison import ComparisonOutcome, ComparisonPolicy, OutputComparator
+from repro.core.jobs import JobStatus, ValidationRun
+from repro.core.testspec import TestOutput
+from repro.storage.catalog import RunCatalog, RunRecord
+from repro.storage.common_storage import CommonStorage
+
+
+@dataclass
+class TestRegression:
+    """Findings for one test when comparing two runs."""
+
+    test_name: str
+    current_status: str
+    reference_status: Optional[str]
+    newly_failing: bool
+    newly_passing: bool
+    output_comparison: Optional[ComparisonOutcome] = None
+    messages: List[str] = field(default_factory=list)
+
+    @property
+    def is_regression(self) -> bool:
+        """True when the test regressed (newly failing or incompatible output)."""
+        if self.newly_failing:
+            return True
+        if self.output_comparison is not None and not self.output_comparison.compatible:
+            return True
+        return False
+
+
+@dataclass
+class RegressionReport:
+    """Full comparison of one run against a reference run."""
+
+    current_run_id: str
+    reference_run_id: Optional[str]
+    experiment: str
+    configuration_key: str
+    reference_configuration_key: Optional[str]
+    regressions: List[TestRegression] = field(default_factory=list)
+    improvements: List[TestRegression] = field(default_factory=list)
+    unchanged: int = 0
+
+    @property
+    def has_regressions(self) -> bool:
+        """True when at least one test regressed."""
+        return bool(self.regressions)
+
+    @property
+    def n_regressions(self) -> int:
+        return len(self.regressions)
+
+    def regression_names(self) -> List[str]:
+        """Names of the regressed tests, sorted."""
+        return sorted(finding.test_name for finding in self.regressions)
+
+    def summary(self) -> str:
+        """One-line summary for logs and web pages."""
+        reference = self.reference_run_id or "none"
+        return (
+            f"run {self.current_run_id} vs {reference}: "
+            f"{self.n_regressions} regression(s), {len(self.improvements)} improvement(s), "
+            f"{self.unchanged} unchanged"
+        )
+
+
+class RegressionDetector:
+    """Compares validation runs against their last successful predecessor."""
+
+    def __init__(
+        self,
+        storage: CommonStorage,
+        catalog: RunCatalog,
+        comparator: Optional[OutputComparator] = None,
+    ) -> None:
+        self.storage = storage
+        self.catalog = catalog
+        self.comparator = comparator or OutputComparator()
+
+    def find_reference(
+        self, run: ValidationRun, same_configuration_only: bool = False
+    ) -> Optional[RunRecord]:
+        """Find the last successful run to compare against.
+
+        By default the detector prefers the last successful run on the *same*
+        configuration and falls back to the last successful run on any
+        configuration (which is exactly what is needed when validating a new
+        OS against the established one).
+        """
+        same_config = self.catalog.last_successful(
+            run.experiment, configuration_key=run.configuration_key
+        )
+        if same_config is not None and same_config.run_id != run.run_id:
+            return same_config
+        if same_configuration_only:
+            return None
+        for record in reversed(self.catalog.for_experiment(run.experiment)):
+            if record.run_id == run.run_id:
+                continue
+            if record.overall_status == "passed":
+                return record
+        return None
+
+    def compare_to_reference(
+        self,
+        run: ValidationRun,
+        reference: Optional[RunRecord] = None,
+        same_configuration_only: bool = False,
+    ) -> RegressionReport:
+        """Produce the regression report of *run* against *reference*.
+
+        When *reference* is omitted it is looked up via :meth:`find_reference`.
+        """
+        if reference is None:
+            reference = self.find_reference(run, same_configuration_only)
+        report = RegressionReport(
+            current_run_id=run.run_id,
+            reference_run_id=reference.run_id if reference else None,
+            experiment=run.experiment,
+            configuration_key=run.configuration_key,
+            reference_configuration_key=(
+                reference.configuration_key if reference else None
+            ),
+        )
+        reference_statuses: Dict[str, str] = (
+            dict(reference.test_statuses) if reference else {}
+        )
+        for job in run.jobs:
+            reference_status = reference_statuses.get(job.test_name)
+            newly_failing = (
+                job.status is JobStatus.FAILED and reference_status == "passed"
+            )
+            newly_passing = (
+                job.status is JobStatus.PASSED and reference_status == "failed"
+            )
+            finding = TestRegression(
+                test_name=job.test_name,
+                current_status=job.status.value,
+                reference_status=reference_status,
+                newly_failing=newly_failing,
+                newly_passing=newly_passing,
+                messages=list(job.messages),
+            )
+            # Even a passing test may have drifted numerically; compare stored
+            # outputs whenever both runs have one.
+            if reference is not None and job.status is JobStatus.PASSED:
+                comparison = self._compare_outputs(reference.run_id, run.run_id, job.test_name)
+                finding.output_comparison = comparison
+            if finding.is_regression:
+                report.regressions.append(finding)
+            elif newly_passing:
+                report.improvements.append(finding)
+            else:
+                report.unchanged += 1
+        return report
+
+    def _compare_outputs(
+        self, reference_run_id: str, current_run_id: str, test_name: str
+    ) -> Optional[ComparisonOutcome]:
+        reference_key = f"{reference_run_id}_{test_name}"
+        current_key = f"{current_run_id}_{test_name}"
+        try:
+            reference_document = self.storage.get("results", reference_key)
+            current_document = self.storage.get("results", current_key)
+        except StorageError:
+            return None
+        reference_output = TestOutput.from_document(reference_document)  # type: ignore[arg-type]
+        current_output = TestOutput.from_document(current_document)  # type: ignore[arg-type]
+        return self.comparator.compare(test_name, reference_output, current_output)
+
+
+__all__ = ["TestRegression", "RegressionReport", "RegressionDetector"]

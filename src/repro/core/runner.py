@@ -1,0 +1,385 @@
+"""The validation runner: executes an experiment's suite on one environment.
+
+This is step (ii) of the sp-system work flow: "A regular build of the
+experimental software is done automatically according to the current
+prescription of the working environment, and the validation tests are
+performed."  One invocation of :meth:`ValidationRunner.run` produces a
+:class:`~repro.core.jobs.ValidationRun`:
+
+1. every package of the experiment is compiled (one compilation job each,
+   artifacts stored as tar-balls);
+2. the standalone tests run, grouped into parallel batches;
+3. the analysis chains run sequentially, each step consuming the products of
+   the previous one; a failing step causes the remaining steps of that chain
+   to be skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro._common import ValidationError
+from repro.buildsys.builder import BuildCampaign, PackageBuilder
+from repro.core.jobs import JobStatus, ValidationJob, ValidationRun
+from repro.core.testspec import (
+    ExecutionContext,
+    ExperimentDefinition,
+    OutputKind,
+    TestKind,
+    TestOutput,
+    ValidationTestSpec,
+)
+from repro.environment.compatibility import CompatibilityChecker
+from repro.environment.configuration import EnvironmentConfiguration
+from repro.hepdata.numerics import NumericContext, context_for_environment
+from repro.storage.artifacts import ArtifactStore
+from repro.storage.bookkeeping import JobIdAllocator, SimulatedClock, TagRegistry
+from repro.storage.catalog import RunCatalog, RunRecord
+from repro.storage.common_storage import CommonStorage
+from repro.storage.shellvars import ShellVariableInterface
+
+
+#: Signature of the hook deriving numeric behaviour from an environment.
+NumericContextFactory = Callable[[EnvironmentConfiguration], NumericContext]
+
+
+def default_numeric_context(configuration: EnvironmentConfiguration) -> NumericContext:
+    """Benign numeric behaviour: recompilation-level rounding differences only."""
+    return context_for_environment(
+        label=configuration.key,
+        word_size=configuration.word_size,
+        compiler_strictness=configuration.compiler.strictness,
+        libm_generation=configuration.operating_system.abi_level,
+    )
+
+
+@dataclass
+class RunnerSettings:
+    """Tunable behaviour of the validation runner."""
+
+    simulated_seconds_per_test: float = 120.0
+    seed: int = 20131029
+    stop_chain_on_failure: bool = True
+    record_in_catalog: bool = True
+
+
+class ValidationRunner:
+    """Builds and validates one experiment on one environment configuration."""
+
+    def __init__(
+        self,
+        storage: Optional[CommonStorage] = None,
+        catalog: Optional[RunCatalog] = None,
+        artifact_store: Optional[ArtifactStore] = None,
+        clock: Optional[SimulatedClock] = None,
+        id_allocator: Optional[JobIdAllocator] = None,
+        tag_registry: Optional[TagRegistry] = None,
+        builder: Optional[PackageBuilder] = None,
+        checker: Optional[CompatibilityChecker] = None,
+        shell_interface: Optional[ShellVariableInterface] = None,
+        numeric_context_factory: NumericContextFactory = default_numeric_context,
+        settings: Optional[RunnerSettings] = None,
+    ) -> None:
+        # "x if x is not None else default" (not "or"): several of these
+        # collaborators define __len__ and an empty instance must not be
+        # silently replaced by a fresh private one.
+        self.storage = storage if storage is not None else CommonStorage()
+        self.catalog = catalog if catalog is not None else RunCatalog(self.storage)
+        self.artifact_store = (
+            artifact_store if artifact_store is not None else ArtifactStore()
+        )
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.id_allocator = id_allocator if id_allocator is not None else JobIdAllocator()
+        self.tag_registry = tag_registry if tag_registry is not None else TagRegistry()
+        self.builder = builder if builder is not None else PackageBuilder()
+        self.checker = checker if checker is not None else CompatibilityChecker()
+        self.shell_interface = (
+            shell_interface if shell_interface is not None else ShellVariableInterface()
+        )
+        self.numeric_context_factory = numeric_context_factory
+        self.settings = settings or RunnerSettings()
+
+    # -- public API ----------------------------------------------------------
+    def run(
+        self,
+        experiment: ExperimentDefinition,
+        configuration: EnvironmentConfiguration,
+        description: Optional[str] = None,
+    ) -> ValidationRun:
+        """Run the full suite of *experiment* on *configuration*."""
+        run_id = self.id_allocator.allocate()
+        description = description or f"{experiment.name}-{configuration.key}"
+        software_versions = dict(configuration.external_map())
+        software_versions["operating_system"] = configuration.operating_system.name
+        software_versions["compiler"] = configuration.compiler.name
+        run = ValidationRun(
+            run_id=run_id,
+            experiment=experiment.name,
+            configuration_key=configuration.key,
+            description=description,
+            started_at=self.clock.now,
+            software_versions=software_versions,
+        )
+        campaign = self._run_compilation_phase(run, experiment, configuration)
+        numeric_context = self.numeric_context_factory(configuration)
+        self._run_standalone_phase(run, experiment, configuration, campaign, numeric_context)
+        self._run_chain_phase(run, experiment, configuration, campaign, numeric_context)
+        self._record(run)
+        return run
+
+    # -- phase 1: compilation -------------------------------------------------
+    def _run_compilation_phase(
+        self,
+        run: ValidationRun,
+        experiment: ExperimentDefinition,
+        configuration: EnvironmentConfiguration,
+    ) -> BuildCampaign:
+        campaign = self.builder.build_inventory(experiment.inventory, configuration)
+        for package in experiment.inventory.all():
+            result = campaign.result_for(package.name)
+            job_id = self.id_allocator.allocate()
+            if result.succeeded:
+                status = JobStatus.PASSED
+            elif result.status.value == "skipped":
+                status = JobStatus.SKIPPED
+            else:
+                status = JobStatus.FAILED
+            messages = [str(diagnostic) for diagnostic in result.diagnostics]
+            if result.tarball is not None:
+                self.artifact_store.store(result.tarball, label=run.run_id)
+            output = TestOutput(
+                kind=OutputKind.YES_NO,
+                passed=status is JobStatus.PASSED,
+                yes_no=status is JobStatus.PASSED,
+                messages=messages,
+            )
+            job = ValidationJob(
+                job_id=job_id,
+                test_name=f"compile-{package.name}",
+                experiment=experiment.name,
+                configuration_key=configuration.key,
+                kind=TestKind.COMPILATION,
+                status=status,
+                started_at=self.clock.now,
+                duration_seconds=result.build_seconds,
+                output=output,
+                output_key=self._store_output(run.run_id, f"compile-{package.name}", output),
+                messages=messages,
+                process="compilation",
+            )
+            run.add_job(job)
+            self.clock.advance(int(result.build_seconds) + 1)
+        return campaign
+
+    # -- phase 2: standalone tests ---------------------------------------------
+    def _run_standalone_phase(
+        self,
+        run: ValidationRun,
+        experiment: ExperimentDefinition,
+        configuration: EnvironmentConfiguration,
+        campaign: BuildCampaign,
+        numeric_context: NumericContext,
+    ) -> None:
+        for test in experiment.standalone_tests:
+            job = self._execute_test(
+                run, test, configuration, campaign, numeric_context, chain_state=None
+            )
+            run.add_job(job)
+
+    # -- phase 3: analysis chains ------------------------------------------------
+    def _run_chain_phase(
+        self,
+        run: ValidationRun,
+        experiment: ExperimentDefinition,
+        configuration: EnvironmentConfiguration,
+        campaign: BuildCampaign,
+        numeric_context: NumericContext,
+    ) -> None:
+        for chain in experiment.chains:
+            chain_state: Dict[str, object] = {}
+            chain_broken = False
+            for step in chain.steps:
+                if chain_broken and self.settings.stop_chain_on_failure:
+                    job = self._skipped_job(
+                        run, step, configuration,
+                        reason=f"previous step of chain {chain.name!r} failed",
+                    )
+                else:
+                    job = self._execute_test(
+                        run, step, configuration, campaign, numeric_context, chain_state
+                    )
+                if job.status is not JobStatus.PASSED:
+                    chain_broken = True
+                run.add_job(job)
+
+    # -- job execution -------------------------------------------------------
+    def _execute_test(
+        self,
+        run: ValidationRun,
+        test: ValidationTestSpec,
+        configuration: EnvironmentConfiguration,
+        campaign: BuildCampaign,
+        numeric_context: NumericContext,
+        chain_state: Optional[Dict[str, object]],
+    ) -> ValidationJob:
+        job_id = self.id_allocator.allocate()
+        started_at = self.clock.now
+        duration = self.settings.simulated_seconds_per_test
+        # A test cannot run if a package it needs did not build.
+        missing_packages = [
+            name for name in test.required_packages
+            if name in campaign.results and not campaign.result_for(name).succeeded
+        ]
+        if missing_packages:
+            self.clock.advance(1)
+            return ValidationJob(
+                job_id=job_id,
+                test_name=test.name,
+                experiment=test.experiment,
+                configuration_key=configuration.key,
+                kind=test.kind,
+                status=JobStatus.SKIPPED,
+                started_at=started_at,
+                duration_seconds=0.0,
+                messages=[
+                    "required package(s) failed to build: " + ", ".join(missing_packages)
+                ],
+                chain=test.chain,
+                process=test.process,
+            )
+        # Environment incompatibilities declared by the test itself.
+        issues = self.checker.check(test.requirements, configuration)
+        errors = [issue for issue in issues if issue.is_error()]
+        messages = [str(issue) for issue in issues]
+        if errors:
+            self.clock.advance(int(duration * 0.1) + 1)
+            output = TestOutput(
+                kind=OutputKind.YES_NO, passed=False, yes_no=False, messages=messages
+            )
+            return ValidationJob(
+                job_id=job_id,
+                test_name=test.name,
+                experiment=test.experiment,
+                configuration_key=configuration.key,
+                kind=test.kind,
+                status=JobStatus.FAILED,
+                started_at=started_at,
+                duration_seconds=duration * 0.1,
+                output=output,
+                output_key=self._store_output(run.run_id, test.name, output),
+                messages=messages,
+                chain=test.chain,
+                process=test.process,
+            )
+        # Run the experiment-provided executor through the thin shell interface.
+        shell_environment = self.shell_interface.environment_for(
+            run_id=run.run_id,
+            test_name=test.name,
+            experiment=test.experiment,
+            configuration_key=configuration.key,
+        )
+        context = ExecutionContext(
+            configuration=configuration,
+            numeric_context=numeric_context,
+            seed=self.settings.seed,
+            chain_state=chain_state if chain_state is not None else {},
+            shell_variables=dict(shell_environment.variables),
+        )
+        try:
+            output = test.executor(context)
+            output.validate()
+        except ValidationError as error:
+            output = TestOutput(
+                kind=OutputKind.YES_NO,
+                passed=False,
+                yes_no=False,
+                messages=[f"test execution error: {error}"],
+            )
+        except Exception as error:  # noqa: BLE001 - a broken experiment test
+            # script must never take down the validation framework itself; the
+            # crash is recorded as a failed job with the exception as evidence.
+            output = TestOutput(
+                kind=OutputKind.YES_NO,
+                passed=False,
+                yes_no=False,
+                messages=[f"test crashed: {type(error).__name__}: {error}"],
+            )
+        output.messages.extend(messages)
+        status = JobStatus.PASSED if output.passed else JobStatus.FAILED
+        self.clock.advance(int(duration) + 1)
+        return ValidationJob(
+            job_id=job_id,
+            test_name=test.name,
+            experiment=test.experiment,
+            configuration_key=configuration.key,
+            kind=test.kind,
+            status=status,
+            started_at=started_at,
+            duration_seconds=duration,
+            output=output,
+            output_key=self._store_output(run.run_id, test.name, output),
+            messages=list(output.messages),
+            chain=test.chain,
+            process=test.process,
+        )
+
+    def _skipped_job(
+        self,
+        run: ValidationRun,
+        test: ValidationTestSpec,
+        configuration: EnvironmentConfiguration,
+        reason: str,
+    ) -> ValidationJob:
+        job_id = self.id_allocator.allocate()
+        self.clock.advance(1)
+        return ValidationJob(
+            job_id=job_id,
+            test_name=test.name,
+            experiment=test.experiment,
+            configuration_key=configuration.key,
+            kind=test.kind,
+            status=JobStatus.SKIPPED,
+            started_at=self.clock.now,
+            duration_seconds=0.0,
+            messages=[reason],
+            chain=test.chain,
+            process=test.process,
+        )
+
+    # -- persistence ------------------------------------------------------------
+    def _store_output(self, run_id: str, test_name: str, output: TestOutput) -> str:
+        key = f"{run_id}_{test_name}"
+        self.storage.put("results", key, output.to_document())
+        return key
+
+    def _record(self, run: ValidationRun) -> None:
+        self.storage.put("results", f"runmeta_{run.run_id}", run.to_document())
+        self.tag_registry.record(run.description, run.run_id)
+        if self.settings.record_in_catalog:
+            self.catalog.record(
+                RunRecord(
+                    run_id=run.run_id,
+                    experiment=run.experiment,
+                    configuration_key=run.configuration_key,
+                    description=run.description,
+                    timestamp=run.started_at,
+                    software_versions=dict(run.software_versions),
+                    test_statuses=run.statuses_by_test(),
+                    overall_status=run.overall_status,
+                )
+            )
+
+    # -- convenience -------------------------------------------------------------
+    def load_output(self, output_key: str) -> TestOutput:
+        """Re-load a stored test output (used for run-against-run comparison)."""
+        document = self.storage.get("results", output_key)
+        return TestOutput.from_document(document)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "ValidationRunner",
+    "RunnerSettings",
+    "default_numeric_context",
+    "NumericContextFactory",
+]

@@ -1,0 +1,231 @@
+"""Regular operation of the sp-system: scheduled validations over time.
+
+Work-flow step (ii) says the build and validation happen "automatically
+according to the current prescription of the working environment" and that
+"at regular intervals, new OS and software versions will then be integrated
+into the system".  The :class:`RegularValidationService` automates exactly
+that on top of the :class:`~repro.core.spsystem.SPSystem` facade: it installs
+cron schedules per experiment and configuration, advances the simulated clock
+day by day, runs the due validations, and can integrate a new environment
+configuration into the rotation mid-campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro._common import SchedulingError, ValidationError
+from repro.core.spsystem import SPSystem, ValidationCycleResult
+from repro.core.workflow import WorkflowPhase
+from repro.virtualization.cron import CronExpression
+
+
+@dataclass
+class ScheduledValidation:
+    """One recurring validation entry in the service's schedule."""
+
+    experiment_name: str
+    configuration_key: str
+    cron_expression: CronExpression
+    description: str
+    enabled: bool = True
+    run_count: int = 0
+    last_result_successful: Optional[bool] = None
+
+    @property
+    def key(self) -> str:
+        """Unique key of the schedule entry."""
+        return f"{self.experiment_name}@{self.configuration_key}"
+
+
+@dataclass
+class ServiceReport:
+    """What one advance of the service clock did."""
+
+    days_advanced: float
+    cycles_run: List[ValidationCycleResult] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.cycles_run)
+
+    @property
+    def n_failed_cycles(self) -> int:
+        return sum(1 for cycle in self.cycles_run if not cycle.successful)
+
+
+class RegularValidationService:
+    """Drives the regular, cron-scheduled validation of all experiments."""
+
+    def __init__(self, system: SPSystem) -> None:
+        self.system = system
+        self._schedule: Dict[str, ScheduledValidation] = {}
+
+    # -- schedule management ---------------------------------------------------
+    def schedule(
+        self,
+        experiment_name: str,
+        configuration_key: str,
+        cron_expression: str,
+        description: Optional[str] = None,
+    ) -> ScheduledValidation:
+        """Add a recurring validation of one experiment on one configuration."""
+        # Fail fast on unknown names so a typo does not silently never run.
+        self.system.experiment(experiment_name)
+        self.system.configuration(configuration_key)
+        entry = ScheduledValidation(
+            experiment_name=experiment_name,
+            configuration_key=configuration_key,
+            cron_expression=CronExpression.parse(cron_expression),
+            description=description
+            or f"{experiment_name} regular validation on {configuration_key}",
+        )
+        if entry.key in self._schedule:
+            raise SchedulingError(f"validation {entry.key!r} is already scheduled")
+        self._schedule[entry.key] = entry
+        return entry
+
+    def schedule_experiment_everywhere(
+        self, experiment_name: str, cron_expression: str = "30 2 * * *"
+    ) -> List[ScheduledValidation]:
+        """Schedule one experiment on every known configuration (nightly by default)."""
+        return [
+            self.schedule(experiment_name, configuration.key, cron_expression)
+            for configuration in self.system.configurations()
+            if f"{experiment_name}@{configuration.key}" not in self._schedule
+        ]
+
+    def unschedule(self, experiment_name: str, configuration_key: str) -> None:
+        """Remove a schedule entry."""
+        key = f"{experiment_name}@{configuration_key}"
+        if key not in self._schedule:
+            raise SchedulingError(f"no scheduled validation {key!r}")
+        del self._schedule[key]
+
+    def entries(self) -> List[ScheduledValidation]:
+        """All schedule entries, sorted by key."""
+        return [self._schedule[key] for key in sorted(self._schedule)]
+
+    def entry(self, experiment_name: str, configuration_key: str) -> ScheduledValidation:
+        """Return one schedule entry."""
+        key = f"{experiment_name}@{configuration_key}"
+        try:
+            return self._schedule[key]
+        except KeyError:
+            raise SchedulingError(f"no scheduled validation {key!r}") from None
+
+    # -- integrating new platforms ----------------------------------------------
+    def integrate_new_configuration(
+        self,
+        configuration,
+        cron_expression: str = "0 4 * * 0",
+    ) -> List[ScheduledValidation]:
+        """Add a new environment configuration to the system and the rotation.
+
+        This is the "new OS and software versions will then be integrated into
+        the system" step: the configuration is provisioned as an image and a
+        (weekly, by default) validation of every registered experiment on it is
+        scheduled.
+        """
+        key = self.system.add_configuration(configuration)
+        added = []
+        for experiment in self.system.experiments():
+            entry_key = f"{experiment.name}@{key}"
+            if entry_key in self._schedule:
+                continue
+            added.append(self.schedule(experiment.name, key, cron_expression))
+        return added
+
+    # -- driving the clock ----------------------------------------------------------
+    def advance_days(self, days: float) -> ServiceReport:
+        """Advance the simulated clock and run every validation that comes due.
+
+        Firing times are determined from the cron schedule alone (a schedule
+        cursor), not from how long the previous validations took: the real
+        sp-system runs each configuration on its own client machine, so one
+        long nightly run does not delay the others.  Validations due at the
+        same minute run in schedule-key order.
+        """
+        if days < 0:
+            raise SchedulingError("cannot advance the service backwards")
+        report = ServiceReport(days_advanced=days)
+        cursor = self.system.clock.now
+        end = cursor + int(days * 86400)
+        while True:
+            due = self._next_due(cursor, end)
+            if due is None:
+                break
+            fire_time, due_entries = due
+            if self.system.clock.now < fire_time:
+                self.system.clock.advance(fire_time - self.system.clock.now)
+            for entry in due_entries:
+                if self.system.workflow.phase_of(entry.experiment_name) is WorkflowPhase.FROZEN:
+                    entry.enabled = False
+                    report.failures.append(
+                        f"{entry.key}: experiment is frozen, schedule entry disabled"
+                    )
+                    continue
+                try:
+                    cycle = self.system.validate(
+                        entry.experiment_name,
+                        entry.configuration_key,
+                        description=entry.description,
+                    )
+                except ValidationError as error:
+                    report.failures.append(f"{entry.key}: {error}")
+                    continue
+                entry.run_count += 1
+                entry.last_result_successful = cycle.successful
+                report.cycles_run.append(cycle)
+            cursor = fire_time
+        if self.system.clock.now < end:
+            self.system.clock.advance(end - self.system.clock.now)
+        return report
+
+    def _next_due(
+        self, cursor: int, end_timestamp: int
+    ) -> Optional[Tuple[int, List[ScheduledValidation]]]:
+        """The earliest firing minute after *cursor* and every entry due then."""
+        best_time: Optional[int] = None
+        fire_times: Dict[str, int] = {}
+        for entry in self.entries():
+            if not entry.enabled:
+                continue
+            try:
+                fire_time = entry.cron_expression.next_fire(cursor)
+            except SchedulingError:
+                continue
+            if fire_time > end_timestamp:
+                continue
+            fire_times[entry.key] = fire_time
+            if best_time is None or fire_time < best_time:
+                best_time = fire_time
+        if best_time is None:
+            return None
+        due_entries = [
+            entry for entry in self.entries() if fire_times.get(entry.key) == best_time
+        ]
+        return best_time, due_entries
+
+    # -- reporting --------------------------------------------------------------------
+    def status_rows(self) -> List[Dict[str, object]]:
+        """One row per schedule entry, for the operations report."""
+        return [
+            {
+                "experiment": entry.experiment_name,
+                "configuration": entry.configuration_key,
+                "schedule": entry.cron_expression.text,
+                "enabled": entry.enabled,
+                "runs": entry.run_count,
+                "last_result": (
+                    "-" if entry.last_result_successful is None
+                    else ("passed" if entry.last_result_successful else "failed")
+                ),
+            }
+            for entry in self.entries()
+        ]
+
+
+__all__ = ["ScheduledValidation", "ServiceReport", "RegularValidationService"]

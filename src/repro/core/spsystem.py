@@ -1,0 +1,298 @@
+"""The sp-system facade: the validation framework as a single object.
+
+:class:`SPSystem` wires the substrates together the way the DESY installation
+does: a hypervisor hosting the standard virtual machine images, the common
+storage every client mounts, the run catalogue and bookkeeping, the builder
+and validation runner, regression detection, failure diagnosis, intervention
+tickets, recipes and the freeze manager.  It is the main entry point of the
+library; the examples and the figure benchmarks drive everything through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro._common import ValidationError
+from repro.buildsys.builder import PackageBuilder
+from repro.core.diagnosis import DiagnosisReport, FailureDiagnosisEngine
+from repro.core.freeze import FreezeManager, FreezeReason, FrozenSystem
+from repro.core.intervention import InterventionTicket, InterventionTracker
+from repro.core.jobs import ValidationRun
+from repro.core.recipe import RecipeBook, ValidatedRecipe
+from repro.core.regression import RegressionDetector, RegressionReport
+from repro.core.runner import (
+    NumericContextFactory,
+    RunnerSettings,
+    ValidationRunner,
+    default_numeric_context,
+)
+from repro.core.testspec import ExperimentDefinition
+from repro.core.workflow import PreservationWorkflow, WorkflowPhase
+from repro.environment.configuration import (
+    EnvironmentConfiguration,
+    sp_system_configurations,
+)
+from repro.storage.artifacts import ArtifactStore
+from repro.storage.bookkeeping import JobIdAllocator, SimulatedClock, TagRegistry
+from repro.storage.catalog import RunCatalog
+from repro.storage.common_storage import CommonStorage
+from repro.virtualization.hypervisor import Hypervisor
+from repro.virtualization.provisioning import ProvisioningService
+
+
+@dataclass
+class ValidationCycleResult:
+    """Everything one validation cycle of an experiment produced."""
+
+    run: ValidationRun
+    regression_report: RegressionReport
+    diagnosis: Optional[DiagnosisReport] = None
+    tickets: List[InterventionTicket] = field(default_factory=list)
+
+    @property
+    def successful(self) -> bool:
+        """True when the run passed completely."""
+        return self.run.all_passed
+
+    def summary(self) -> str:
+        """One-line summary for logs."""
+        verdict = "PASSED" if self.successful else "FAILED"
+        return (
+            f"{self.run.experiment} on {self.run.configuration_key}: {verdict} "
+            f"({self.run.n_passed}/{self.run.n_jobs} tests, "
+            f"{len(self.tickets)} ticket(s) opened)"
+        )
+
+
+class SPSystem:
+    """The software preservation validation system."""
+
+    def __init__(
+        self,
+        clock: Optional[SimulatedClock] = None,
+        numeric_context_factory: NumericContextFactory = default_numeric_context,
+        runner_settings: Optional[RunnerSettings] = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.storage = CommonStorage()
+        self.catalog = RunCatalog(self.storage)
+        self.artifact_store = ArtifactStore()
+        self.id_allocator = JobIdAllocator()
+        self.tag_registry = TagRegistry()
+        self.hypervisor = Hypervisor(clock=self.clock, storage=self.storage)
+        self.provisioning = ProvisioningService(self.hypervisor, self.storage)
+        self.builder = PackageBuilder()
+        self.runner = ValidationRunner(
+            storage=self.storage,
+            catalog=self.catalog,
+            artifact_store=self.artifact_store,
+            clock=self.clock,
+            id_allocator=self.id_allocator,
+            tag_registry=self.tag_registry,
+            builder=self.builder,
+            numeric_context_factory=numeric_context_factory,
+            settings=runner_settings,
+        )
+        self.regression_detector = RegressionDetector(self.storage, self.catalog)
+        self.diagnosis_engine = FailureDiagnosisEngine()
+        self.interventions = InterventionTracker()
+        self.recipe_book = RecipeBook(self.storage)
+        self.freeze_manager = FreezeManager(self.hypervisor, self.recipe_book, self.storage)
+        self.workflow = PreservationWorkflow()
+        self._experiments: Dict[str, ExperimentDefinition] = {}
+        self._configurations: Dict[str, EnvironmentConfiguration] = {}
+
+    # -- setup ----------------------------------------------------------------
+    def provision_standard_images(self) -> List[str]:
+        """Build the five standard sp-system virtual machine images."""
+        report = self.provisioning.provision_standard_images()
+        for configuration in sp_system_configurations():
+            self._configurations[configuration.key] = configuration
+        return report.images_built
+
+    def add_configuration(self, configuration: EnvironmentConfiguration) -> str:
+        """Add an additional environment configuration (and build its image)."""
+        if configuration.key not in self._configurations:
+            self._configurations[configuration.key] = configuration
+            if self.hypervisor.image_for_configuration(configuration) is None:
+                self.hypervisor.build_image(configuration)
+        return configuration.key
+
+    def configurations(self) -> List[EnvironmentConfiguration]:
+        """All configurations known to the system, sorted by key."""
+        return [self._configurations[key] for key in sorted(self._configurations)]
+
+    def configuration(self, key: str) -> EnvironmentConfiguration:
+        """Return the configuration with the given key."""
+        try:
+            return self._configurations[key]
+        except KeyError:
+            known = ", ".join(sorted(self._configurations))
+            raise ValidationError(
+                f"unknown configuration {key!r} (known: {known})"
+            ) from None
+
+    def register_experiment(
+        self,
+        experiment: ExperimentDefinition,
+        baseline_configuration: Optional[EnvironmentConfiguration] = None,
+    ) -> None:
+        """Register an experiment and complete its preparation phase."""
+        if experiment.name in self._experiments:
+            raise ValidationError(f"experiment {experiment.name!r} already registered")
+        self._experiments[experiment.name] = experiment
+        self.workflow.register(experiment.name)
+        if baseline_configuration is not None:
+            self.workflow.complete_preparation(
+                experiment, baseline_configuration, self.clock.now
+            )
+
+    def experiment(self, name: str) -> ExperimentDefinition:
+        """Return the registered experiment called *name*."""
+        try:
+            return self._experiments[name]
+        except KeyError:
+            raise ValidationError(f"experiment {name!r} is not registered") from None
+
+    def experiments(self) -> List[ExperimentDefinition]:
+        """All registered experiments sorted by name."""
+        return [self._experiments[name] for name in sorted(self._experiments)]
+
+    # -- validation cycles ------------------------------------------------------
+    def validate(
+        self,
+        experiment_name: str,
+        configuration_key: str,
+        description: Optional[str] = None,
+        reference_configuration_key: Optional[str] = None,
+    ) -> ValidationCycleResult:
+        """Run one full validation cycle (work-flow steps ii and iii).
+
+        The experiment suite is built and run on the named configuration, the
+        result is compared against the last successful run, failures are
+        diagnosed and intervention tickets opened.
+        """
+        experiment = self.experiment(experiment_name)
+        configuration = self.configuration(configuration_key)
+        phase = self.workflow.phase_of(experiment_name)
+        if phase is WorkflowPhase.FROZEN:
+            raise ValidationError(
+                f"experiment {experiment_name} is frozen; no further validation runs"
+            )
+        if phase is WorkflowPhase.PREPARATION:
+            self.workflow.complete_preparation(experiment, configuration, self.clock.now)
+        run = self.runner.run(experiment, configuration, description)
+        regression_report = self.regression_detector.compare_to_reference(run)
+        diagnosis: Optional[DiagnosisReport] = None
+        tickets: List[InterventionTicket] = []
+        if not run.all_passed:
+            reference_configuration = None
+            if reference_configuration_key is not None:
+                reference_configuration = self.configuration(reference_configuration_key)
+            elif regression_report.reference_configuration_key in self._configurations:
+                reference_configuration = self._configurations[
+                    regression_report.reference_configuration_key
+                ]
+            diagnosis = self.diagnosis_engine.diagnose_run(
+                run,
+                reference_configuration=reference_configuration,
+                current_configuration=configuration,
+                regression_report=regression_report,
+            )
+            tickets = self.interventions.open_from_diagnosis(diagnosis, self.clock.now)
+            if self.workflow.phase_of(experiment_name) is WorkflowPhase.REGULAR_VALIDATION:
+                self.workflow.transition(
+                    experiment_name,
+                    WorkflowPhase.INTERVENTION,
+                    self.clock.now,
+                    reason=f"run {run.run_id} failed {run.n_failed} test(s)",
+                )
+        else:
+            if self.workflow.phase_of(experiment_name) is WorkflowPhase.INTERVENTION:
+                self.workflow.transition(
+                    experiment_name,
+                    WorkflowPhase.REGULAR_VALIDATION,
+                    self.clock.now,
+                    reason=f"run {run.run_id} passed; problems resolved",
+                )
+        return ValidationCycleResult(
+            run=run,
+            regression_report=regression_report,
+            diagnosis=diagnosis,
+            tickets=tickets,
+        )
+
+    def validate_everywhere(
+        self,
+        experiment_name: str,
+        configuration_keys: Optional[Iterable[str]] = None,
+        description: Optional[str] = None,
+    ) -> List[ValidationCycleResult]:
+        """Validate one experiment on every (or the given) configuration."""
+        keys = list(configuration_keys) if configuration_keys is not None else sorted(
+            self._configurations
+        )
+        return [
+            self.validate(experiment_name, key, description=description) for key in keys
+        ]
+
+    def validate_all_experiments(
+        self, configuration_keys: Optional[Iterable[str]] = None
+    ) -> Dict[str, List[ValidationCycleResult]]:
+        """Validate every registered experiment on every configuration."""
+        results: Dict[str, List[ValidationCycleResult]] = {}
+        for experiment in self.experiments():
+            results[experiment.name] = self.validate_everywhere(
+                experiment.name, configuration_keys
+            )
+        return results
+
+    # -- recipes and freezing ------------------------------------------------------
+    def publish_recipe(self, result: ValidationCycleResult) -> ValidatedRecipe:
+        """Publish the validated recipe proven by a successful cycle."""
+        configuration = self.configuration(result.run.configuration_key)
+        return self.recipe_book.publish_from_run(result.run, configuration)
+
+    def freeze_experiment(
+        self, experiment_name: str, result: ValidationCycleResult, reason: FreezeReason
+    ) -> FrozenSystem:
+        """Enter the final phase: conserve the last working image."""
+        frozen = self.freeze_manager.freeze(experiment_name, result.run, reason)
+        self.workflow.transition(
+            experiment_name,
+            WorkflowPhase.FROZEN,
+            self.clock.now,
+            reason=reason.value,
+        )
+        return frozen
+
+    # -- bookkeeping -----------------------------------------------------------------
+    def total_runs(self) -> int:
+        """Total number of validation runs recorded so far."""
+        return self.catalog.total_runs()
+
+    def describe(self) -> Dict[str, object]:
+        """Structured description of the installation (used by figure 1)."""
+        return {
+            "configurations": [
+                configuration.describe() for configuration in self.configurations()
+            ],
+            "images": [image.describe() for image in self.hypervisor.images()],
+            "experiments": {
+                experiment.name: {
+                    "full_name": experiment.full_name,
+                    "preservation_level": int(experiment.preservation_level),
+                    "packages": len(experiment.inventory),
+                    "tests": experiment.total_test_count(),
+                    "phase": self.workflow.phase_of(experiment.name).value,
+                }
+                for experiment in self.experiments()
+            },
+            "total_runs": self.total_runs(),
+            "storage_documents": self.storage.total_documents(),
+            "artifacts": len(self.artifact_store),
+        }
+
+
+__all__ = ["SPSystem", "ValidationCycleResult"]

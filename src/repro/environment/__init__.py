@@ -1,0 +1,68 @@
+"""Environment substrate: operating systems, compilers and external software.
+
+This package models the two "moving" inputs of the validation framework — the
+operating system (with its compiler) and the external software dependencies —
+as catalogues of versioned releases, plus the compatibility rules that decide
+whether a given piece of experiment software builds and runs on a given
+:class:`~repro.environment.configuration.EnvironmentConfiguration`.
+"""
+
+from repro.environment.compilers import Compiler, CompilerCatalog, default_compilers
+from repro.environment.compatibility import (
+    CompatibilityChecker,
+    CompatibilityIssue,
+    ExternalRequirement,
+    IssueCategory,
+    IssueSeverity,
+    SoftwareRequirements,
+    summarise_issues,
+)
+from repro.environment.configuration import (
+    EnvironmentConfiguration,
+    EnvironmentFactory,
+    next_generation_configuration,
+    sp_system_configurations,
+    sp_system_root_versions,
+)
+from repro.environment.evolution import (
+    EnvironmentEvent,
+    EnvironmentTimeline,
+    TimelineSnapshot,
+)
+from repro.environment.external import (
+    ExternalSoftwareCatalog,
+    ExternalSoftwareVersion,
+    default_external_software,
+)
+from repro.environment.os_catalog import (
+    OperatingSystemCatalog,
+    OperatingSystemRelease,
+    default_releases,
+)
+
+__all__ = [
+    "Compiler",
+    "CompilerCatalog",
+    "default_compilers",
+    "CompatibilityChecker",
+    "CompatibilityIssue",
+    "ExternalRequirement",
+    "IssueCategory",
+    "IssueSeverity",
+    "SoftwareRequirements",
+    "summarise_issues",
+    "EnvironmentConfiguration",
+    "EnvironmentFactory",
+    "next_generation_configuration",
+    "sp_system_configurations",
+    "sp_system_root_versions",
+    "EnvironmentEvent",
+    "EnvironmentTimeline",
+    "TimelineSnapshot",
+    "ExternalSoftwareCatalog",
+    "ExternalSoftwareVersion",
+    "default_external_software",
+    "OperatingSystemCatalog",
+    "OperatingSystemRelease",
+    "default_releases",
+]

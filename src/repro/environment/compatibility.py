@@ -1,0 +1,412 @@
+"""Compatibility checking between software requirements and environments.
+
+Experiment packages and tests declare :class:`SoftwareRequirements`; the
+:class:`CompatibilityChecker` evaluates them against an
+:class:`~repro.environment.configuration.EnvironmentConfiguration` and returns
+a list of :class:`CompatibilityIssue` objects.  The builder and the validation
+runner turn *error*-severity issues into build/test failures, while
+*warning*-severity issues are recorded but do not fail the validation — this
+mirrors how a stricter compiler or a deprecated ROOT interface first shows up
+as warnings before eventually breaking a migration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro._common import ConfigurationError, version_at_least, version_less_than
+from repro.environment.configuration import EnvironmentConfiguration
+
+
+class IssueSeverity(enum.Enum):
+    """Severity of a compatibility issue."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class IssueCategory(enum.Enum):
+    """Which of the paper's three separated inputs an issue originates from.
+
+    The explicit separation of the inputs (figure 1 of the paper) is what
+    allows a failed validation to be attributed to the operating system, an
+    external dependency or the experiment software itself.
+    """
+
+    OPERATING_SYSTEM = "operating_system"
+    COMPILER = "compiler"
+    EXTERNAL_DEPENDENCY = "external_dependency"
+    EXPERIMENT_SOFTWARE = "experiment_software"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CompatibilityIssue:
+    """A single incompatibility between requirements and an environment."""
+
+    severity: IssueSeverity
+    category: IssueCategory
+    component: str
+    message: str
+
+    def is_error(self) -> bool:
+        """Return True for issues that must fail a build or test."""
+        return self.severity is IssueSeverity.ERROR
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.category.value}/{self.component}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ExternalRequirement:
+    """A requirement on one external software product."""
+
+    product: str
+    min_api_level: int = 0
+    max_api_level: Optional[int] = None
+    used_apis: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.max_api_level is not None and self.max_api_level < self.min_api_level:
+            raise ConfigurationError(
+                f"{self.product}: max_api_level < min_api_level"
+            )
+
+
+@dataclass(frozen=True)
+class SoftwareRequirements:
+    """Environment requirements declared by a package or validation test.
+
+    Attributes
+    ----------
+    min_compiler / max_compiler:
+        Range of compiler versions the code is known to build with.
+        ``max_compiler`` is *exclusive*: legacy Fortran code typically states
+        "builds with anything below gcc 4.8" until it is ported.
+    max_strictness:
+        The highest compiler strictness the code tolerates without patches.
+    word_sizes:
+        Word sizes the code supports.  Much HERA-era code started 32-bit-only
+        and had to be ported to 64 bit — exactly the kind of migration the
+        sp-system validates.
+    cxx_standard:
+        Language standard the code is written against, or None.
+    min_os_abi / max_os_abi:
+        Range of OS ABI levels the code supports (``max_os_abi`` inclusive,
+        None meaning "no known upper limit").
+    externals:
+        Requirements on external products.
+    """
+
+    min_compiler: str = "3.4"
+    max_compiler: Optional[str] = None
+    max_strictness: int = 99
+    word_sizes: Tuple[int, ...] = (32, 64)
+    cxx_standard: Optional[str] = None
+    min_os_abi: int = 0
+    max_os_abi: Optional[int] = None
+    externals: Tuple[ExternalRequirement, ...] = ()
+
+    def external(self, product: str) -> Optional[ExternalRequirement]:
+        """Return the requirement on *product*, or None."""
+        for requirement in self.externals:
+            if requirement.product == product:
+                return requirement
+        return None
+
+    def required_products(self) -> List[str]:
+        """Return the external products this requirement set depends on."""
+        return [requirement.product for requirement in self.externals]
+
+
+class CompatibilityChecker:
+    """Evaluates :class:`SoftwareRequirements` against an environment."""
+
+    def check(
+        self,
+        requirements: SoftwareRequirements,
+        configuration: EnvironmentConfiguration,
+    ) -> List[CompatibilityIssue]:
+        """Return all issues between *requirements* and *configuration*."""
+        issues: List[CompatibilityIssue] = []
+        issues.extend(self._check_word_size(requirements, configuration))
+        issues.extend(self._check_os(requirements, configuration))
+        issues.extend(self._check_compiler(requirements, configuration))
+        issues.extend(self._check_externals(requirements, configuration))
+        return issues
+
+    def errors(
+        self,
+        requirements: SoftwareRequirements,
+        configuration: EnvironmentConfiguration,
+    ) -> List[CompatibilityIssue]:
+        """Return only the error-severity issues."""
+        return [issue for issue in self.check(requirements, configuration) if issue.is_error()]
+
+    def is_compatible(
+        self,
+        requirements: SoftwareRequirements,
+        configuration: EnvironmentConfiguration,
+    ) -> bool:
+        """Return True when no error-severity issue exists."""
+        return not self.errors(requirements, configuration)
+
+    def _check_word_size(
+        self,
+        requirements: SoftwareRequirements,
+        configuration: EnvironmentConfiguration,
+    ) -> List[CompatibilityIssue]:
+        if configuration.word_size in requirements.word_sizes:
+            return []
+        return [
+            CompatibilityIssue(
+                severity=IssueSeverity.ERROR,
+                category=IssueCategory.OPERATING_SYSTEM,
+                component=f"{configuration.word_size}bit",
+                message=(
+                    "code only supports "
+                    f"{'/'.join(str(size) for size in requirements.word_sizes)}-bit "
+                    f"builds but the environment is {configuration.word_size}-bit"
+                ),
+            )
+        ]
+
+    def _check_os(
+        self,
+        requirements: SoftwareRequirements,
+        configuration: EnvironmentConfiguration,
+    ) -> List[CompatibilityIssue]:
+        issues: List[CompatibilityIssue] = []
+        abi = configuration.operating_system.abi_level
+        if abi < requirements.min_os_abi:
+            issues.append(
+                CompatibilityIssue(
+                    severity=IssueSeverity.ERROR,
+                    category=IssueCategory.OPERATING_SYSTEM,
+                    component=configuration.operating_system.name,
+                    message=(
+                        f"OS ABI level {abi} is older than the minimum "
+                        f"{requirements.min_os_abi} required by the software"
+                    ),
+                )
+            )
+        if requirements.max_os_abi is not None and abi > requirements.max_os_abi:
+            issues.append(
+                CompatibilityIssue(
+                    severity=IssueSeverity.ERROR,
+                    category=IssueCategory.OPERATING_SYSTEM,
+                    component=configuration.operating_system.name,
+                    message=(
+                        f"software has not been ported beyond OS ABI level "
+                        f"{requirements.max_os_abi} (environment is {abi})"
+                    ),
+                )
+            )
+        return issues
+
+    def _check_compiler(
+        self,
+        requirements: SoftwareRequirements,
+        configuration: EnvironmentConfiguration,
+    ) -> List[CompatibilityIssue]:
+        issues: List[CompatibilityIssue] = []
+        compiler = configuration.compiler
+        if not version_at_least(compiler.version, requirements.min_compiler):
+            issues.append(
+                CompatibilityIssue(
+                    severity=IssueSeverity.ERROR,
+                    category=IssueCategory.COMPILER,
+                    component=compiler.name,
+                    message=(
+                        f"compiler {compiler.version} is older than required "
+                        f"minimum {requirements.min_compiler}"
+                    ),
+                )
+            )
+        if requirements.max_compiler is not None and not version_less_than(
+            compiler.version, requirements.max_compiler
+        ):
+            issues.append(
+                CompatibilityIssue(
+                    severity=IssueSeverity.ERROR,
+                    category=IssueCategory.COMPILER,
+                    component=compiler.name,
+                    message=(
+                        f"code has not been ported to compilers newer than "
+                        f"{requirements.max_compiler} (environment has "
+                        f"{compiler.version})"
+                    ),
+                )
+            )
+        if compiler.strictness > requirements.max_strictness:
+            issues.append(
+                CompatibilityIssue(
+                    severity=IssueSeverity.ERROR,
+                    category=IssueCategory.COMPILER,
+                    component=compiler.name,
+                    message=(
+                        f"compiler strictness {compiler.strictness} exceeds the "
+                        f"maximum {requirements.max_strictness} the code tolerates"
+                    ),
+                )
+            )
+        elif compiler.strictness == requirements.max_strictness:
+            issues.append(
+                CompatibilityIssue(
+                    severity=IssueSeverity.WARNING,
+                    category=IssueCategory.COMPILER,
+                    component=compiler.name,
+                    message=(
+                        "code compiles at the limit of its tolerated compiler "
+                        "strictness; the next compiler generation will break it"
+                    ),
+                )
+            )
+        if (
+            requirements.cxx_standard is not None
+            and not compiler.supports_cxx_standard(requirements.cxx_standard)
+        ):
+            issues.append(
+                CompatibilityIssue(
+                    severity=IssueSeverity.ERROR,
+                    category=IssueCategory.COMPILER,
+                    component=compiler.name,
+                    message=(
+                        f"compiler does not support the required "
+                        f"{requirements.cxx_standard} standard"
+                    ),
+                )
+            )
+        return issues
+
+    def _check_externals(
+        self,
+        requirements: SoftwareRequirements,
+        configuration: EnvironmentConfiguration,
+    ) -> List[CompatibilityIssue]:
+        issues: List[CompatibilityIssue] = []
+        for requirement in requirements.externals:
+            installed = configuration.external(requirement.product)
+            if installed is None:
+                issues.append(
+                    CompatibilityIssue(
+                        severity=IssueSeverity.ERROR,
+                        category=IssueCategory.EXTERNAL_DEPENDENCY,
+                        component=requirement.product,
+                        message="required external product is not installed",
+                    )
+                )
+                continue
+            if installed.api_level < requirement.min_api_level:
+                issues.append(
+                    CompatibilityIssue(
+                        severity=IssueSeverity.ERROR,
+                        category=IssueCategory.EXTERNAL_DEPENDENCY,
+                        component=installed.key,
+                        message=(
+                            f"API level {installed.api_level} is older than the "
+                            f"required minimum {requirement.min_api_level}"
+                        ),
+                    )
+                )
+            if (
+                requirement.max_api_level is not None
+                and installed.api_level > requirement.max_api_level
+            ):
+                issues.append(
+                    CompatibilityIssue(
+                        severity=IssueSeverity.ERROR,
+                        category=IssueCategory.EXTERNAL_DEPENDENCY,
+                        component=installed.key,
+                        message=(
+                            f"software has not been ported beyond API level "
+                            f"{requirement.max_api_level} (installed: "
+                            f"{installed.api_level})"
+                        ),
+                    )
+                )
+            for api in sorted(requirement.used_apis):
+                if installed.removes(api):
+                    issues.append(
+                        CompatibilityIssue(
+                            severity=IssueSeverity.ERROR,
+                            category=IssueCategory.EXTERNAL_DEPENDENCY,
+                            component=installed.key,
+                            message=f"used interface {api!r} was removed in this version",
+                        )
+                    )
+                elif installed.deprecates(api):
+                    issues.append(
+                        CompatibilityIssue(
+                            severity=IssueSeverity.WARNING,
+                            category=IssueCategory.EXTERNAL_DEPENDENCY,
+                            component=installed.key,
+                            message=f"used interface {api!r} is deprecated",
+                        )
+                    )
+                elif not installed.provides(api):
+                    issues.append(
+                        CompatibilityIssue(
+                            severity=IssueSeverity.ERROR,
+                            category=IssueCategory.EXTERNAL_DEPENDENCY,
+                            component=installed.key,
+                            message=f"used interface {api!r} is not provided",
+                        )
+                    )
+            if not installed.compiler_is_sufficient(configuration.compiler.version):
+                issues.append(
+                    CompatibilityIssue(
+                        severity=IssueSeverity.ERROR,
+                        category=IssueCategory.EXTERNAL_DEPENDENCY,
+                        component=installed.key,
+                        message=(
+                            f"external requires at least gcc {installed.min_compiler} "
+                            f"but the environment has {configuration.compiler.version}"
+                        ),
+                    )
+                )
+            if (
+                installed.requires_cxx_standard is not None
+                and not configuration.compiler.supports_cxx_standard(
+                    installed.requires_cxx_standard
+                )
+            ):
+                issues.append(
+                    CompatibilityIssue(
+                        severity=IssueSeverity.ERROR,
+                        category=IssueCategory.EXTERNAL_DEPENDENCY,
+                        component=installed.key,
+                        message=(
+                            f"external requires the {installed.requires_cxx_standard} "
+                            "standard which the compiler does not support"
+                        ),
+                    )
+                )
+        return issues
+
+
+def summarise_issues(issues: Sequence[CompatibilityIssue]) -> str:
+    """Return a one-line summary of *issues* suitable for log messages."""
+    if not issues:
+        return "compatible"
+    errors = sum(1 for issue in issues if issue.is_error())
+    warnings = len(issues) - errors
+    return f"{errors} error(s), {warnings} warning(s)"
+
+
+__all__ = [
+    "IssueSeverity",
+    "IssueCategory",
+    "CompatibilityIssue",
+    "ExternalRequirement",
+    "SoftwareRequirements",
+    "CompatibilityChecker",
+    "summarise_issues",
+]

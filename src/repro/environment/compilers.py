@@ -1,0 +1,211 @@
+"""Compiler models used when simulating experiment software builds.
+
+The sp-system builds the experiment software under several compiler versions
+(gcc 4.1 and gcc 4.4 on SL5, gcc 4.4 on SL6, with gcc 4.8 arriving with SL7).
+Newer compilers are stricter: code that compiled cleanly with an old gcc may
+produce new warnings or hard errors.  The :class:`Compiler` model captures the
+properties the validation framework cares about — version, strictness,
+supported language standards — without simulating actual compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro._common import ConfigurationError, parse_version, version_at_least
+
+
+#: Language standards in increasing order of modernity.
+CXX_STANDARDS = ("c++98", "c++03", "gnu++98", "c++11", "c++14")
+FORTRAN_STANDARDS = ("f77", "f90", "f95", "f2003")
+
+
+@dataclass(frozen=True)
+class Compiler:
+    """A compiler release available on sp-system machines.
+
+    Attributes
+    ----------
+    family:
+        Compiler family, e.g. ``"gcc"``.
+    version:
+        Dotted version string such as ``"4.4"``.
+    release_year:
+        Year the compiler was released.
+    strictness:
+        Integer describing how aggressively the compiler rejects legacy
+        idioms.  A package whose ``max_strictness`` is below the compiler's
+        strictness fails to compile until it is patched.
+    cxx_standards:
+        C++ standards this compiler can target.
+    fortran_standards:
+        Fortran standards this compiler can target (HEP software of the HERA
+        era is largely Fortran).
+    default_cxx_standard:
+        The standard used when a package does not request one explicitly.
+    """
+
+    family: str
+    version: str
+    release_year: int
+    strictness: int
+    cxx_standards: Tuple[str, ...]
+    fortran_standards: Tuple[str, ...]
+    default_cxx_standard: str
+
+    def __post_init__(self) -> None:
+        if not self.family:
+            raise ConfigurationError("compiler family must be non-empty")
+        parse_version(self.version)
+        if self.default_cxx_standard not in self.cxx_standards:
+            raise ConfigurationError(
+                f"{self.name}: default standard {self.default_cxx_standard!r} "
+                "not among supported standards"
+            )
+        if self.strictness < 0:
+            raise ConfigurationError("compiler strictness must be non-negative")
+
+    @property
+    def name(self) -> str:
+        """Canonical short name, e.g. ``"gcc4.4"``."""
+        return f"{self.family}{self.version}"
+
+    def supports_cxx_standard(self, standard: str) -> bool:
+        """Return True if this compiler can target the given C++ standard."""
+        return standard in self.cxx_standards
+
+    def supports_fortran_standard(self, standard: str) -> bool:
+        """Return True if this compiler can target the given Fortran standard."""
+        return standard in self.fortran_standards
+
+    def is_at_least(self, version: str) -> bool:
+        """Return True if this compiler's version is >= *version*."""
+        return version_at_least(self.version, version)
+
+    def is_newer_than(self, other: "Compiler") -> bool:
+        """Return True if this compiler is a newer release than *other*."""
+        if self.family != other.family:
+            raise ConfigurationError(
+                f"cannot order compilers of different families "
+                f"({self.family} vs {other.family})"
+            )
+        return parse_version(self.version) > parse_version(other.version)
+
+
+class CompilerCatalog:
+    """Registry of compiler releases, keyed by canonical name (``gcc4.4``)."""
+
+    def __init__(self, compilers: Optional[Iterable[Compiler]] = None):
+        self._compilers: Dict[str, Compiler] = {}
+        for compiler in compilers if compilers is not None else default_compilers():
+            self.register(compiler)
+
+    def register(self, compiler: Compiler) -> None:
+        """Add *compiler* to the catalogue, rejecting duplicates."""
+        if compiler.name in self._compilers:
+            raise ConfigurationError(f"duplicate compiler {compiler.name!r}")
+        self._compilers[compiler.name] = compiler
+
+    def get(self, name_or_version: str, family: str = "gcc") -> Compiler:
+        """Look up a compiler by canonical name (``gcc4.4``) or version (``4.4``)."""
+        if name_or_version in self._compilers:
+            return self._compilers[name_or_version]
+        candidate = f"{family}{name_or_version}"
+        if candidate in self._compilers:
+            return self._compilers[candidate]
+        known = ", ".join(sorted(self._compilers))
+        raise ConfigurationError(
+            f"unknown compiler {name_or_version!r} (known: {known})"
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._compilers
+
+    def __len__(self) -> int:
+        return len(self._compilers)
+
+    def all(self) -> List[Compiler]:
+        """Return all compilers ordered by family then version."""
+        return sorted(
+            self._compilers.values(),
+            key=lambda compiler: (compiler.family, parse_version(compiler.version)),
+        )
+
+    def family(self, family: str) -> List[Compiler]:
+        """Return all compilers of *family*, oldest first."""
+        return [compiler for compiler in self.all() if compiler.family == family]
+
+    def latest(self, family: str = "gcc", year: Optional[int] = None) -> Compiler:
+        """Return the newest compiler of *family*, optionally as of *year*."""
+        candidates = [
+            compiler
+            for compiler in self.family(family)
+            if year is None or compiler.release_year <= year
+        ]
+        if not candidates:
+            raise ConfigurationError(
+                f"no {family} compiler released by {year}" if year is not None
+                else f"no compiler of family {family!r}"
+            )
+        return candidates[-1]
+
+
+def default_compilers() -> List[Compiler]:
+    """The gcc lineage relevant to the HERA software preservation effort."""
+    return [
+        Compiler(
+            family="gcc",
+            version="3.4",
+            release_year=2004,
+            strictness=1,
+            cxx_standards=("c++98", "gnu++98"),
+            fortran_standards=("f77", "f90"),
+            default_cxx_standard="gnu++98",
+        ),
+        Compiler(
+            family="gcc",
+            version="4.1",
+            release_year=2006,
+            strictness=2,
+            cxx_standards=("c++98", "c++03", "gnu++98"),
+            fortran_standards=("f77", "f90", "f95"),
+            default_cxx_standard="gnu++98",
+        ),
+        Compiler(
+            family="gcc",
+            version="4.4",
+            release_year=2009,
+            strictness=3,
+            cxx_standards=("c++98", "c++03", "gnu++98"),
+            fortran_standards=("f77", "f90", "f95", "f2003"),
+            default_cxx_standard="gnu++98",
+        ),
+        Compiler(
+            family="gcc",
+            version="4.8",
+            release_year=2013,
+            strictness=4,
+            cxx_standards=("c++98", "c++03", "gnu++98", "c++11"),
+            fortran_standards=("f77", "f90", "f95", "f2003"),
+            default_cxx_standard="gnu++98",
+        ),
+        Compiler(
+            family="gcc",
+            version="4.9",
+            release_year=2014,
+            strictness=5,
+            cxx_standards=("c++98", "c++03", "gnu++98", "c++11", "c++14"),
+            fortran_standards=("f77", "f90", "f95", "f2003"),
+            default_cxx_standard="gnu++98",
+        ),
+    ]
+
+
+__all__ = [
+    "Compiler",
+    "CompilerCatalog",
+    "default_compilers",
+    "CXX_STANDARDS",
+    "FORTRAN_STANDARDS",
+]

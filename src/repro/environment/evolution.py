@@ -1,0 +1,197 @@
+"""Simulated evolution of the computing environment over time.
+
+The motivation for the sp-system is that the computing environment keeps
+changing underneath preserved software: operating systems reach end of life,
+new compiler generations arrive, external software removes old interfaces.
+:class:`EnvironmentTimeline` generates that history year by year so that the
+migration-versus-freeze ablation and the lifetime model can replay it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro._common import ConfigurationError
+from repro.environment.compilers import Compiler, CompilerCatalog
+from repro.environment.configuration import (
+    DEFAULT_EXTERNALS_64BIT,
+    EnvironmentConfiguration,
+    EnvironmentFactory,
+)
+from repro.environment.external import ExternalSoftwareCatalog, ExternalSoftwareVersion
+from repro.environment.os_catalog import OperatingSystemCatalog, OperatingSystemRelease
+
+
+@dataclass(frozen=True)
+class EnvironmentEvent:
+    """A single change of the computing landscape in a given year."""
+
+    year: int
+    kind: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.year}: [{self.kind}] {self.subject} — {self.detail}"
+
+
+#: Event kinds produced by the timeline.
+EVENT_OS_RELEASE = "os-release"
+EVENT_OS_EOL = "os-end-of-life"
+EVENT_COMPILER_RELEASE = "compiler-release"
+EVENT_EXTERNAL_RELEASE = "external-release"
+
+
+@dataclass(frozen=True)
+class TimelineSnapshot:
+    """The state of the computing landscape at the end of a year."""
+
+    year: int
+    events: Tuple[EnvironmentEvent, ...]
+    recommended: EnvironmentConfiguration
+    supported_operating_systems: Tuple[str, ...]
+
+    def has_events(self) -> bool:
+        """Return True if anything changed during the year."""
+        return bool(self.events)
+
+
+class EnvironmentTimeline:
+    """Replays the evolution of OS, compiler and external software releases.
+
+    The timeline is driven entirely by the release and end-of-life years
+    recorded in the catalogues, so registering additional releases
+    automatically extends the simulated future.
+    """
+
+    def __init__(
+        self,
+        os_catalog: Optional[OperatingSystemCatalog] = None,
+        compiler_catalog: Optional[CompilerCatalog] = None,
+        external_catalog: Optional[ExternalSoftwareCatalog] = None,
+        tracked_products: Optional[List[str]] = None,
+    ) -> None:
+        self.os_catalog = os_catalog or OperatingSystemCatalog()
+        self.compiler_catalog = compiler_catalog or CompilerCatalog()
+        self.external_catalog = external_catalog or ExternalSoftwareCatalog()
+        self._factory = EnvironmentFactory(
+            self.os_catalog, self.compiler_catalog, self.external_catalog
+        )
+        self.tracked_products = (
+            list(tracked_products)
+            if tracked_products is not None
+            else list(DEFAULT_EXTERNALS_64BIT)
+        )
+
+    def events_in(self, year: int) -> List[EnvironmentEvent]:
+        """Return the environment changes happening in *year*."""
+        events: List[EnvironmentEvent] = []
+        for release in self.os_catalog.all():
+            if release.release_year == year:
+                events.append(
+                    EnvironmentEvent(
+                        year=year,
+                        kind=EVENT_OS_RELEASE,
+                        subject=release.name,
+                        detail=f"{release.label} released",
+                    )
+                )
+            if release.end_of_life_year == year:
+                events.append(
+                    EnvironmentEvent(
+                        year=year,
+                        kind=EVENT_OS_EOL,
+                        subject=release.name,
+                        detail=f"{release.label} reaches end of security support",
+                    )
+                )
+        for compiler in self.compiler_catalog.all():
+            if compiler.release_year == year:
+                events.append(
+                    EnvironmentEvent(
+                        year=year,
+                        kind=EVENT_COMPILER_RELEASE,
+                        subject=compiler.name,
+                        detail=f"{compiler.name} released (strictness {compiler.strictness})",
+                    )
+                )
+        for product in self.external_catalog.products():
+            for version in self.external_catalog.versions_of(product):
+                if version.release_year == year:
+                    removed = (
+                        f", removes {len(version.removed_apis)} legacy interface(s)"
+                        if version.removed_apis
+                        else ""
+                    )
+                    events.append(
+                        EnvironmentEvent(
+                            year=year,
+                            kind=EVENT_EXTERNAL_RELEASE,
+                            subject=version.key,
+                            detail=f"{version.key} released{removed}",
+                        )
+                    )
+        return sorted(events, key=lambda event: (event.kind, event.subject))
+
+    def recommended_configuration(self, year: int) -> EnvironmentConfiguration:
+        """The configuration a new machine deployed in *year* would use.
+
+        The recommendation is the most recent supported OS with its widest
+        word size, the newest compiler released by then and the newest
+        version of every tracked external product available for that word
+        size.
+        """
+        supported = self.os_catalog.supported_in(year)
+        candidates = supported or self.os_catalog.released_in(year)
+        if not candidates:
+            raise ConfigurationError(f"no operating system available in {year}")
+        os_release = candidates[-1]
+        word_size = max(os_release.word_sizes)
+        compiler = self.compiler_catalog.latest(year=year)
+        externals: Dict[str, str] = {}
+        for product in self.tracked_products:
+            if product not in self.external_catalog:
+                continue
+            versions = [
+                version
+                for version in self.external_catalog.versions_of(product)
+                if version.release_year <= year
+                and version.supports_word_size(word_size)
+            ]
+            if versions:
+                externals[product] = versions[-1].version
+        return self._factory.create(os_release.name, word_size, compiler.name, externals)
+
+    def snapshot(self, year: int) -> TimelineSnapshot:
+        """Return the events of *year* together with the recommended setup."""
+        return TimelineSnapshot(
+            year=year,
+            events=tuple(self.events_in(year)),
+            recommended=self.recommended_configuration(year),
+            supported_operating_systems=tuple(
+                release.name for release in self.os_catalog.supported_in(year)
+            ),
+        )
+
+    def replay(self, start_year: int, end_year: int) -> Iterator[TimelineSnapshot]:
+        """Yield a snapshot for every year from *start_year* to *end_year*."""
+        if end_year < start_year:
+            raise ConfigurationError("end_year must not precede start_year")
+        for year in range(start_year, end_year + 1):
+            yield self.snapshot(year)
+
+    def operating_system_is_safe(self, name: str, year: int) -> bool:
+        """Return True if OS *name* still receives security support in *year*."""
+        return self.os_catalog.get(name).is_supported_in(year)
+
+
+__all__ = [
+    "EnvironmentEvent",
+    "TimelineSnapshot",
+    "EnvironmentTimeline",
+    "EVENT_OS_RELEASE",
+    "EVENT_OS_EOL",
+    "EVENT_COMPILER_RELEASE",
+    "EVENT_EXTERNAL_RELEASE",
+]

@@ -1,0 +1,308 @@
+"""Catalogue of external software dependencies.
+
+The paper identifies *external software dependencies* as one of the three
+separate inputs to the validation system, with ROOT as the canonical example
+(versions 5.26, 5.28, 5.30, 5.32 and 5.34 are installed on the sp-system
+machines, and compatibility with ROOT 6 is listed as an upcoming challenge).
+This module models such external packages: each version exposes an *API
+level*, may deprecate or remove interfaces, and carries its own build
+requirements (word size, minimum compiler, language standard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro._common import (
+    ConfigurationError,
+    ensure_identifier,
+    parse_version,
+    version_at_least,
+)
+
+
+@dataclass(frozen=True)
+class ExternalSoftwareVersion:
+    """One installable version of an external software product.
+
+    Attributes
+    ----------
+    product:
+        Product name, e.g. ``"ROOT"`` or ``"CERNLIB"``.
+    version:
+        Version string, e.g. ``"5.34"``.
+    release_year:
+        Year of release; used by the environment evolution timeline.
+    api_level:
+        Monotonically increasing integer per product.  Experiment packages
+        declare the minimum API level they need and, optionally, the maximum
+        API level they have been ported to.
+    provided_apis:
+        Named interfaces this version provides.
+    removed_apis:
+        Interfaces that previous versions provided but this one removed
+        (e.g. ROOT 6 removing the CINT interpreter interfaces).
+    deprecated_apis:
+        Interfaces still present but scheduled for removal; using them
+        produces warnings rather than failures.
+    min_compiler:
+        Minimum gcc version required to build or link against this version.
+    word_sizes:
+        Word sizes for which binary distributions exist.
+    requires_cxx_standard:
+        C++ standard required to compile against the headers (ROOT 6 requires
+        C++11), or None when any standard works.
+    """
+
+    product: str
+    version: str
+    release_year: int
+    api_level: int
+    provided_apis: FrozenSet[str] = field(default_factory=frozenset)
+    removed_apis: FrozenSet[str] = field(default_factory=frozenset)
+    deprecated_apis: FrozenSet[str] = field(default_factory=frozenset)
+    min_compiler: str = "3.4"
+    word_sizes: Tuple[int, ...] = (32, 64)
+    requires_cxx_standard: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        ensure_identifier(self.product, "external product name")
+        parse_version(self.version)
+        if self.api_level < 0:
+            raise ConfigurationError("api_level must be non-negative")
+        overlap = self.provided_apis & self.removed_apis
+        if overlap:
+            raise ConfigurationError(
+                f"{self.key}: APIs cannot be both provided and removed: "
+                f"{sorted(overlap)}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Canonical identifier, e.g. ``"ROOT-5.34"``."""
+        return f"{self.product}-{self.version}"
+
+    def provides(self, api: str) -> bool:
+        """Return True if the named interface is available in this version."""
+        return api in self.provided_apis
+
+    def deprecates(self, api: str) -> bool:
+        """Return True if the named interface is deprecated in this version."""
+        return api in self.deprecated_apis
+
+    def removes(self, api: str) -> bool:
+        """Return True if the named interface was removed in this version."""
+        return api in self.removed_apis
+
+    def supports_word_size(self, word_size: int) -> bool:
+        """Return True if binaries exist for the given word size."""
+        return word_size in self.word_sizes
+
+    def compiler_is_sufficient(self, compiler_version: str) -> bool:
+        """Return True if *compiler_version* meets the minimum requirement."""
+        return version_at_least(compiler_version, self.min_compiler)
+
+
+class ExternalSoftwareCatalog:
+    """Registry of external software products and their versions."""
+
+    def __init__(
+        self, versions: Optional[Iterable[ExternalSoftwareVersion]] = None
+    ) -> None:
+        self._versions: Dict[str, Dict[str, ExternalSoftwareVersion]] = {}
+        for version in versions if versions is not None else default_external_software():
+            self.register(version)
+
+    def register(self, version: ExternalSoftwareVersion) -> None:
+        """Add a product version to the catalogue, rejecting duplicates."""
+        product_versions = self._versions.setdefault(version.product, {})
+        if version.version in product_versions:
+            raise ConfigurationError(f"duplicate external version {version.key!r}")
+        product_versions[version.version] = version
+
+    def products(self) -> List[str]:
+        """Return the known product names, sorted."""
+        return sorted(self._versions)
+
+    def versions_of(self, product: str) -> List[ExternalSoftwareVersion]:
+        """Return all versions of *product*, oldest API level first."""
+        try:
+            versions = self._versions[product]
+        except KeyError:
+            known = ", ".join(self.products())
+            raise ConfigurationError(
+                f"unknown external product {product!r} (known: {known})"
+            ) from None
+        return sorted(versions.values(), key=lambda entry: entry.api_level)
+
+    def get(self, product: str, version: str) -> ExternalSoftwareVersion:
+        """Return a specific product version."""
+        for candidate in self.versions_of(product):
+            if candidate.version == version:
+                return candidate
+        available = ", ".join(entry.version for entry in self.versions_of(product))
+        raise ConfigurationError(
+            f"unknown version {version!r} of {product} (available: {available})"
+        )
+
+    def latest(self, product: str, year: Optional[int] = None) -> ExternalSoftwareVersion:
+        """Return the newest version of *product*, optionally as of *year*."""
+        candidates = [
+            entry
+            for entry in self.versions_of(product)
+            if year is None or entry.release_year <= year
+        ]
+        if not candidates:
+            raise ConfigurationError(
+                f"no version of {product} released by {year}"
+            )
+        return candidates[-1]
+
+    def __contains__(self, product: str) -> bool:
+        return product in self._versions
+
+    def __len__(self) -> int:
+        return sum(len(versions) for versions in self._versions.values())
+
+
+#: Interfaces used by the synthetic experiment software.  The names mirror the
+#: real ROOT transition: the CINT interpreter and the old TCint bindings were
+#: removed with ROOT 6, while TTree/TH1-style interfaces survived.
+ROOT_CORE_APIS = frozenset({"TTree", "TH1", "TFile", "TLorentzVector", "TMinuit"})
+ROOT_LEGACY_APIS = frozenset({"CINT", "TCint", "RootCintDictionary", "PROOF-lite-legacy"})
+ROOT6_NEW_APIS = frozenset({"Cling", "TTreeReader"})
+
+CERNLIB_APIS = frozenset({"HBOOK", "PAW", "ZEBRA", "KUIP", "GEANT3-interface"})
+MYSQL_APIS = frozenset({"mysql-client-api"})
+GEANT_APIS = frozenset({"geometry", "tracking", "digitisation"})
+
+
+def default_external_software() -> List[ExternalSoftwareVersion]:
+    """External software versions installed on the sp-system machines.
+
+    The ROOT versions are exactly the ones listed in the paper (5.26 to 5.34)
+    plus ROOT 6.02, which the paper names as the next compatibility challenge.
+    CERNLIB, GEANT3, a Monte Carlo generator library and MySQL are included
+    because a level-4 preservation programme of a HERA experiment depends on
+    them; their precise identity does not matter to the framework, only that
+    they are versioned external inputs.
+    """
+    catalogue: List[ExternalSoftwareVersion] = []
+
+    root_versions = [
+        ("5.26", 2009, 1),
+        ("5.28", 2010, 2),
+        ("5.30", 2011, 3),
+        ("5.32", 2012, 4),
+        ("5.34", 2012, 5),
+    ]
+    for version, year, api_level in root_versions:
+        catalogue.append(
+            ExternalSoftwareVersion(
+                product="ROOT",
+                version=version,
+                release_year=year,
+                api_level=api_level,
+                provided_apis=ROOT_CORE_APIS | ROOT_LEGACY_APIS,
+                deprecated_apis=frozenset({"PROOF-lite-legacy"})
+                if api_level >= 4
+                else frozenset(),
+                min_compiler="4.1",
+                word_sizes=(32, 64),
+            )
+        )
+    catalogue.append(
+        ExternalSoftwareVersion(
+            product="ROOT",
+            version="6.02",
+            release_year=2014,
+            api_level=6,
+            provided_apis=ROOT_CORE_APIS | ROOT6_NEW_APIS,
+            removed_apis=ROOT_LEGACY_APIS,
+            deprecated_apis=frozenset(),
+            min_compiler="4.8",
+            word_sizes=(64,),
+            requires_cxx_standard="c++11",
+        )
+    )
+
+    catalogue.extend(
+        [
+            ExternalSoftwareVersion(
+                product="CERNLIB",
+                version="2005",
+                release_year=2005,
+                api_level=1,
+                provided_apis=CERNLIB_APIS,
+                min_compiler="3.4",
+                word_sizes=(32,),
+            ),
+            ExternalSoftwareVersion(
+                product="CERNLIB",
+                version="2006",
+                release_year=2006,
+                api_level=2,
+                provided_apis=CERNLIB_APIS,
+                min_compiler="3.4",
+                word_sizes=(32, 64),
+            ),
+            ExternalSoftwareVersion(
+                product="GEANT3",
+                version="3.21",
+                release_year=1994,
+                api_level=1,
+                provided_apis=GEANT_APIS,
+                min_compiler="3.4",
+                word_sizes=(32, 64),
+            ),
+            ExternalSoftwareVersion(
+                product="MCGEN",
+                version="1.4",
+                release_year=2006,
+                api_level=1,
+                provided_apis=frozenset({"lepto", "pythia6", "django"}),
+                min_compiler="3.4",
+                word_sizes=(32, 64),
+            ),
+            ExternalSoftwareVersion(
+                product="MCGEN",
+                version="2.0",
+                release_year=2012,
+                api_level=2,
+                provided_apis=frozenset({"lepto", "pythia6", "pythia8", "django"}),
+                min_compiler="4.4",
+                word_sizes=(64,),
+            ),
+            ExternalSoftwareVersion(
+                product="MySQL",
+                version="5.0",
+                release_year=2005,
+                api_level=1,
+                provided_apis=MYSQL_APIS,
+                min_compiler="3.4",
+                word_sizes=(32, 64),
+            ),
+            ExternalSoftwareVersion(
+                product="MySQL",
+                version="5.5",
+                release_year=2010,
+                api_level=2,
+                provided_apis=MYSQL_APIS,
+                min_compiler="4.1",
+                word_sizes=(32, 64),
+            ),
+        ]
+    )
+    return catalogue
+
+
+__all__ = [
+    "ExternalSoftwareVersion",
+    "ExternalSoftwareCatalog",
+    "default_external_software",
+    "ROOT_CORE_APIS",
+    "ROOT_LEGACY_APIS",
+    "ROOT6_NEW_APIS",
+    "CERNLIB_APIS",
+]

@@ -1,0 +1,216 @@
+"""Catalogue of operating system releases known to the sp-system.
+
+The paper's validation framework hosts virtual machine images built from
+different Scientific Linux releases (SL5 and SL6 at the time of writing, with
+SL7 named as the next challenge).  This module models those releases: their
+release and end-of-life years, the word sizes they support, the system
+compiler they ship and an abstract *ABI level* which increases with every
+release and is what ultimately breaks old binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro._common import ConfigurationError, ensure_identifier
+
+
+@dataclass(frozen=True)
+class OperatingSystemRelease:
+    """A single operating system release, e.g. Scientific Linux 6.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used throughout the system, e.g. ``"SL6"``.
+    family:
+        Distribution family, e.g. ``"Scientific Linux"``.
+    major_version:
+        The major version number (5 for SL5).
+    release_year:
+        First year the release was generally available.
+    end_of_life_year:
+        Year in which security support ends.  After this year a frozen
+        system based on the release is considered unsafe to operate.
+    word_sizes:
+        Word sizes (in bits) for which installation images exist.
+    system_compiler:
+        The default compiler version shipped with the release
+        (``("gcc", "4.1")`` for SL5).
+    abi_level:
+        Monotonically increasing integer describing the kernel/libc ABI
+        generation.  Binaries built against a higher ABI level do not run on
+        a lower one; the converse usually works but is what the validation
+        system has to verify.
+    libc_version:
+        The glibc version shipped with the release.
+    """
+
+    name: str
+    family: str
+    major_version: int
+    release_year: int
+    end_of_life_year: int
+    word_sizes: Tuple[int, ...]
+    system_compiler: Tuple[str, str]
+    abi_level: int
+    libc_version: str
+
+    def __post_init__(self) -> None:
+        ensure_identifier(self.name, "operating system name")
+        if self.release_year >= self.end_of_life_year:
+            raise ConfigurationError(
+                f"{self.name}: end of life ({self.end_of_life_year}) must be "
+                f"after release ({self.release_year})"
+            )
+        if not self.word_sizes:
+            raise ConfigurationError(f"{self.name}: at least one word size required")
+        for word_size in self.word_sizes:
+            if word_size not in (32, 64):
+                raise ConfigurationError(
+                    f"{self.name}: unsupported word size {word_size}"
+                )
+
+    def supports_word_size(self, word_size: int) -> bool:
+        """Return True if installation images exist for *word_size* bits."""
+        return word_size in self.word_sizes
+
+    def is_supported_in(self, year: int) -> bool:
+        """Return True if the release still receives support in *year*."""
+        return self.release_year <= year <= self.end_of_life_year
+
+    def is_released_by(self, year: int) -> bool:
+        """Return True if the release exists at all in *year*."""
+        return year >= self.release_year
+
+    @property
+    def label(self) -> str:
+        """Human readable label, e.g. ``"SL6 (Scientific Linux 6)"``."""
+        return f"{self.name} ({self.family} {self.major_version})"
+
+
+class OperatingSystemCatalog:
+    """Registry of known operating system releases.
+
+    The catalogue is ordered by ABI level so that "the most recent release"
+    and "the successor of release X" are well defined, which the migration
+    planner relies on.
+    """
+
+    def __init__(self, releases: Optional[Iterable[OperatingSystemRelease]] = None):
+        self._releases: Dict[str, OperatingSystemRelease] = {}
+        for release in releases if releases is not None else default_releases():
+            self.register(release)
+
+    def register(self, release: OperatingSystemRelease) -> None:
+        """Add *release* to the catalogue, rejecting duplicate names."""
+        if release.name in self._releases:
+            raise ConfigurationError(f"duplicate OS release {release.name!r}")
+        self._releases[release.name] = release
+
+    def get(self, name: str) -> OperatingSystemRelease:
+        """Return the release called *name* or raise ``ConfigurationError``."""
+        try:
+            return self._releases[name]
+        except KeyError:
+            known = ", ".join(sorted(self._releases))
+            raise ConfigurationError(
+                f"unknown operating system {name!r} (known: {known})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._releases
+
+    def __len__(self) -> int:
+        return len(self._releases)
+
+    def all(self) -> List[OperatingSystemRelease]:
+        """Return all releases ordered by increasing ABI level."""
+        return sorted(self._releases.values(), key=lambda release: release.abi_level)
+
+    def released_in(self, year: int) -> List[OperatingSystemRelease]:
+        """Return the releases that exist in *year*, oldest first."""
+        return [release for release in self.all() if release.is_released_by(year)]
+
+    def supported_in(self, year: int) -> List[OperatingSystemRelease]:
+        """Return the releases still supported in *year*, oldest first."""
+        return [release for release in self.all() if release.is_supported_in(year)]
+
+    def latest(self, year: Optional[int] = None) -> OperatingSystemRelease:
+        """Return the most recent release, optionally as of *year*."""
+        candidates = self.all() if year is None else self.released_in(year)
+        if not candidates:
+            raise ConfigurationError(f"no operating system released by {year}")
+        return candidates[-1]
+
+    def successor_of(self, name: str) -> Optional[OperatingSystemRelease]:
+        """Return the next release after *name*, or None if it is the latest."""
+        ordered = self.all()
+        current = self.get(name)
+        for release in ordered:
+            if release.abi_level > current.abi_level:
+                return release
+        return None
+
+
+def default_releases() -> List[OperatingSystemRelease]:
+    """The Scientific Linux lineage referenced by the paper.
+
+    SL4 is included because legacy experiment software was originally built
+    there; SL7 is included because the paper names it as the next migration
+    target.
+    """
+    return [
+        OperatingSystemRelease(
+            name="SL4",
+            family="Scientific Linux",
+            major_version=4,
+            release_year=2005,
+            end_of_life_year=2012,
+            word_sizes=(32, 64),
+            system_compiler=("gcc", "3.4"),
+            abi_level=1,
+            libc_version="2.3",
+        ),
+        OperatingSystemRelease(
+            name="SL5",
+            family="Scientific Linux",
+            major_version=5,
+            release_year=2007,
+            end_of_life_year=2017,
+            word_sizes=(32, 64),
+            system_compiler=("gcc", "4.1"),
+            abi_level=2,
+            libc_version="2.5",
+        ),
+        OperatingSystemRelease(
+            name="SL6",
+            family="Scientific Linux",
+            major_version=6,
+            release_year=2011,
+            end_of_life_year=2020,
+            word_sizes=(64,),
+            system_compiler=("gcc", "4.4"),
+            abi_level=3,
+            libc_version="2.12",
+        ),
+        OperatingSystemRelease(
+            name="SL7",
+            family="Scientific Linux",
+            major_version=7,
+            release_year=2014,
+            end_of_life_year=2024,
+            word_sizes=(64,),
+            system_compiler=("gcc", "4.8"),
+            abi_level=4,
+            libc_version="2.17",
+        ),
+    ]
+
+
+__all__ = [
+    "OperatingSystemRelease",
+    "OperatingSystemCatalog",
+    "default_releases",
+]

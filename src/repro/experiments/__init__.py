@@ -1,0 +1,47 @@
+"""Synthetic experiment definitions for the HERA collaborations.
+
+The three HERA experiments named in the paper — H1, ZEUS and HERMES — are
+provided as ready-made :class:`~repro.core.testspec.ExperimentDefinition`
+builders, together with the building blocks (package inventories, test
+executors and analysis chains) needed to define further experiments.
+"""
+
+from repro.experiments.declarative import experiment_from_spec, spec_from_experiment
+from repro.experiments.chains import (
+    ANALYSIS_ONLY_STEPS,
+    FULL_CHAIN_STEPS,
+    STEP_CAPABILITY,
+    build_analysis_chain,
+)
+from repro.experiments.h1 import H1_PROCESSES, build_h1_experiment
+from repro.experiments.hermes import HERMES_PROCESSES, build_hermes_experiment
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.experiments.zeus import ZEUS_PROCESSES, build_zeus_experiment
+
+
+def build_hera_experiments(scale: float = 1.0):
+    """Build all three HERA experiment definitions at the given scale."""
+    return [
+        build_zeus_experiment(scale=scale),
+        build_h1_experiment(scale=scale),
+        build_hermes_experiment(scale=scale),
+    ]
+
+
+__all__ = [
+    "ANALYSIS_ONLY_STEPS",
+    "FULL_CHAIN_STEPS",
+    "STEP_CAPABILITY",
+    "build_analysis_chain",
+    "H1_PROCESSES",
+    "build_h1_experiment",
+    "HERMES_PROCESSES",
+    "build_hermes_experiment",
+    "InventoryQuirks",
+    "build_inventory",
+    "ZEUS_PROCESSES",
+    "build_zeus_experiment",
+    "build_hera_experiments",
+    "experiment_from_spec",
+    "spec_from_experiment",
+]

@@ -1,0 +1,284 @@
+"""Full analysis chains: from MC generation to the validated physics result.
+
+Figure 2 of the paper describes the H1 validation tests as partly standalone
+and partly "run sequentially [forming] discrete parts in one of several full
+analysis chains: from MC generation and simulation, through multi-level file
+production and ending with a full physics analysis and subsequent validation
+of the results."  :func:`build_analysis_chain` constructs exactly such a
+chain for one physics process: seven sequential steps that pass their
+products to each other through the shared chain state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.testspec import (
+    AnalysisChain,
+    ExecutionContext,
+    OutputKind,
+    TestKind,
+    TestOutput,
+    ValidationTestSpec,
+)
+from repro.environment.compatibility import SoftwareRequirements
+from repro.hepdata.analysis import PhysicsAnalysis, SelectionCuts
+from repro.hepdata.dst import DSTProducer, MicroDSTProducer
+from repro.hepdata.generator import GeneratorSettings, MonteCarloGenerator
+from repro.hepdata.reconstruction import EventReconstruction
+from repro.hepdata.simulation import DetectorSimulation, detector_for_experiment
+
+
+#: Ordered step names of a full (level 4) analysis chain.
+FULL_CHAIN_STEPS = (
+    "mc-generation",
+    "detector-simulation",
+    "reconstruction",
+    "dst-production",
+    "microdst-production",
+    "physics-analysis",
+    "result-validation",
+)
+
+#: Steps needed for a level-3 (analysis software only) chain.
+ANALYSIS_ONLY_STEPS = (
+    "mc-generation",
+    "reconstruction",
+    "microdst-production",
+    "physics-analysis",
+    "result-validation",
+)
+
+#: Which preservation capability each step exercises.
+STEP_CAPABILITY = {
+    "mc-generation": "mc-generation",
+    "detector-simulation": "simulation",
+    "reconstruction": "reconstruction",
+    "dst-production": "reconstruction",
+    "microdst-production": "analysis",
+    "physics-analysis": "analysis",
+    "result-validation": "analysis",
+}
+
+
+def build_analysis_chain(
+    experiment: str,
+    process: str,
+    generator_settings: GeneratorSettings,
+    n_events: int = 200,
+    chain_name: Optional[str] = None,
+    steps: Tuple[str, ...] = FULL_CHAIN_STEPS,
+    requirements: Optional[SoftwareRequirements] = None,
+    required_packages: Tuple[str, ...] = (),
+) -> AnalysisChain:
+    """Build a sequential analysis chain for one physics process."""
+    chain_name = chain_name or f"{process}-chain"
+    requirements = requirements or SoftwareRequirements()
+    chain = AnalysisChain(
+        name=chain_name,
+        experiment=experiment,
+        description=(
+            f"full analysis chain for the {process} process of {experiment}: "
+            + " -> ".join(steps)
+        ),
+    )
+    executors = _step_executors(experiment, process, generator_settings, n_events)
+    for index, step_name in enumerate(steps):
+        spec = ValidationTestSpec(
+            name=f"{chain_name}-{index:02d}-{step_name}",
+            experiment=experiment,
+            kind=TestKind.CHAIN_STEP,
+            executor=executors[step_name],
+            description=f"{step_name} step of the {process} chain",
+            process=process,
+            requirements=requirements,
+            required_packages=required_packages,
+            chain=chain_name,
+            chain_index=index,
+            capability=STEP_CAPABILITY[step_name],
+        )
+        chain.add_step(spec)
+    return chain
+
+
+def _step_executors(
+    experiment: str,
+    process: str,
+    generator_settings: GeneratorSettings,
+    n_events: int,
+) -> Dict[str, Callable[[ExecutionContext], TestOutput]]:
+    """Build the executor for every chain step."""
+
+    def mc_generation(context: ExecutionContext) -> TestOutput:
+        generator = MonteCarloGenerator(generator_settings, context.numeric_context)
+        record = generator.generate(n_events, seed=context.seed)
+        context.chain_state["generated"] = record
+        summary = record.summary()
+        passed = summary["n_events"] == float(n_events) and summary["mean_q2"] > 0
+        return TestOutput(
+            kind=OutputKind.NUMBERS,
+            passed=passed,
+            numbers=summary,
+            messages=[] if passed else ["MC generation produced an inconsistent sample"],
+        )
+
+    def detector_simulation(context: ExecutionContext) -> TestOutput:
+        record = context.chain_state.get("generated")
+        if record is None:
+            return _missing_input("detector-simulation", "generated")
+        simulation = DetectorSimulation(
+            detector_for_experiment(experiment), context.numeric_context
+        )
+        simulated = simulation.simulate(record, seed=context.seed + 1)
+        context.chain_state["simulated"] = simulated
+        summary = simulated.summary()
+        # The detector must keep a reasonable fraction of the generated events.
+        retention = summary["mean_multiplicity"] / max(record.summary()["mean_multiplicity"], 1e-9)
+        passed = summary["n_events"] > 0 and retention > 0.3
+        summary["multiplicity_retention"] = retention
+        return TestOutput(
+            kind=OutputKind.NUMBERS,
+            passed=passed,
+            numbers=summary,
+            messages=[] if passed else ["detector simulation lost too many particles"],
+        )
+
+    def reconstruction(context: ExecutionContext) -> TestOutput:
+        simulated = context.chain_state.get("simulated", context.chain_state.get("generated"))
+        if simulated is None:
+            return _missing_input("reconstruction", "simulated")
+        reconstructor = EventReconstruction(context.numeric_context)
+        reconstructed = reconstructor.reconstruct(simulated)
+        context.chain_state["reconstructed"] = reconstructed
+        with_lepton = [
+            event for event in reconstructed if event.kinematics.has_scattered_lepton
+        ]
+        consistent = sum(1 for event in with_lepton if event.kinematics.consistent())
+        fraction = consistent / len(with_lepton) if with_lepton else 0.0
+        passed = bool(with_lepton) and fraction >= 0.25
+        return TestOutput(
+            kind=OutputKind.NUMBERS,
+            passed=passed,
+            numbers={
+                "n_reconstructed": float(len(reconstructed)),
+                "n_with_lepton": float(len(with_lepton)),
+                "kinematic_consistency": fraction,
+            },
+            messages=[] if passed else ["kinematic reconstruction is internally inconsistent"],
+        )
+
+    def dst_production(context: ExecutionContext) -> TestOutput:
+        reconstructed = context.chain_state.get("reconstructed")
+        if reconstructed is None:
+            return _missing_input("dst-production", "reconstructed")
+        producer = DSTProducer(production_tag=f"{experiment}-{process}")
+        dst = producer.produce(reconstructed)
+        context.chain_state["dst"] = dst
+        summary = dst.summary()
+        passed = summary["n_records"] == float(len(reconstructed))
+        return TestOutput(
+            kind=OutputKind.FILE_SUMMARY,
+            passed=passed,
+            file_summary=summary,
+            messages=[] if passed else ["DST production dropped events"],
+        )
+
+    def microdst_production(context: ExecutionContext) -> TestOutput:
+        dst = context.chain_state.get("dst")
+        if dst is None:
+            # Level-3 chains skip the DST level and go straight from the
+            # reconstruction output to the analysis ntuple.
+            reconstructed = context.chain_state.get("reconstructed")
+            if reconstructed is None:
+                return _missing_input("microdst-production", "dst")
+            dst = DSTProducer(production_tag=f"{experiment}-{process}").produce(reconstructed)
+        micro = MicroDSTProducer().produce(dst)
+        context.chain_state["microdst"] = micro
+        passed = len(micro) == len(dst)
+        return TestOutput(
+            kind=OutputKind.FILE_SUMMARY,
+            passed=passed,
+            file_summary={
+                "n_rows": float(len(micro)),
+                "n_dst_records": float(len(dst)),
+                "mean_q2": float(micro.column("q2").mean()) if len(micro) else 0.0,
+            },
+            messages=[] if passed else ["micro-DST production dropped rows"],
+        )
+
+    def physics_analysis(context: ExecutionContext) -> TestOutput:
+        micro = context.chain_state.get("microdst")
+        if micro is None:
+            return _missing_input("physics-analysis", "microdst")
+        # The selection and the measurement binning follow the kinematic range
+        # of the generated process, so that even small validation samples leave
+        # a non-empty selected sample and a measurable cross section.
+        min_q2 = generator_settings.q2_min * 1.2
+        max_q2 = generator_settings.q2_max
+        n_bins = 6
+        ratio = (max_q2 / min_q2) ** (1.0 / n_bins)
+        q2_bins = tuple(min_q2 * ratio ** index for index in range(n_bins + 1))
+        analysis = PhysicsAnalysis(
+            process=process,
+            cuts=SelectionCuts(min_q2=min_q2, max_q2=max_q2),
+            q2_bins=q2_bins,
+            numeric_context=context.numeric_context,
+        )
+        result = analysis.run(micro)
+        context.chain_state["analysis_result"] = result
+        passed = result.n_selected_events > 0
+        return TestOutput(
+            kind=OutputKind.HISTOGRAMS,
+            passed=passed,
+            histograms=result.histograms,
+            messages=[] if passed else ["physics analysis selected no events"],
+        )
+
+    def result_validation(context: ExecutionContext) -> TestOutput:
+        result = context.chain_state.get("analysis_result")
+        if result is None:
+            return _missing_input("result-validation", "analysis_result")
+        summary = dict(result.summary)
+        efficiency = summary.get("selection_efficiency", 0.0)
+        total_xsec = summary.get("total_cross_section_pb", 0.0)
+        messages = []
+        if not 0.005 <= efficiency <= 1.0:
+            messages.append(
+                f"selection efficiency {efficiency:.3f} is outside the expected range"
+            )
+        if total_xsec <= 0.0:
+            messages.append("measured total cross section is not positive")
+        passed = not messages
+        return TestOutput(
+            kind=OutputKind.NUMBERS,
+            passed=passed,
+            numbers=summary,
+            messages=messages,
+        )
+
+    return {
+        "mc-generation": mc_generation,
+        "detector-simulation": detector_simulation,
+        "reconstruction": reconstruction,
+        "dst-production": dst_production,
+        "microdst-production": microdst_production,
+        "physics-analysis": physics_analysis,
+        "result-validation": result_validation,
+    }
+
+
+def _missing_input(step: str, expected_key: str) -> TestOutput:
+    return TestOutput(
+        kind=OutputKind.YES_NO,
+        passed=False,
+        yes_no=False,
+        messages=[f"{step}: expected chain product {expected_key!r} is missing"],
+    )
+
+
+__all__ = [
+    "FULL_CHAIN_STEPS",
+    "ANALYSIS_ONLY_STEPS",
+    "STEP_CAPABILITY",
+    "build_analysis_chain",
+]

@@ -1,0 +1,274 @@
+"""Declarative experiment definitions.
+
+"By design the sp-system is expandable and able to host and validate the
+requirements of multiple experiments."  New experiments join the framework by
+supplying a *recipe* of their software and tests.  This module lets such a
+recipe be written as a plain dictionary (JSON/YAML friendly) and turned into a
+full :class:`~repro.core.testspec.ExperimentDefinition`, and conversely lets
+an existing definition be summarised back into a specification document that
+can be stored on the common storage.
+
+Specification format (all sections optional unless noted)::
+
+    {
+        "name": "NEWEXP",                      # required
+        "full_name": "A new experiment",
+        "preservation_level": 4,               # 1-4, default 4
+        "colour": "green",
+        "packages": {"count": 40,              # synthetic inventory size
+                      "quirks": {"not_ported_to_newest_abi": 1,
+                                 "legacy_root_api": 1,
+                                 "strictness_limited": 0,
+                                 "only_32bit": 0}},
+        "processes": ["nc_dis", "photoproduction"],
+        "events_per_chain": 100,
+        "events_per_test": 40,
+        "standalone": {"smoke_tests": true,
+                        "root_io_tests": true,
+                        "database_tests": true,
+                        "calibration_tests": true,
+                        "kinematics_tests": true,
+                        "data_export_test": true,
+                        "regression_tests_per_package": 1}
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro._common import ValidationError
+from repro.buildsys.package import PackageCategory
+from repro.core.levels import PreservationLevel, requires_full_chain
+from repro.core.testspec import ExperimentDefinition, TestKind, ValidationTestSpec
+from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
+from repro.experiments import executors
+from repro.experiments.chains import ANALYSIS_ONLY_STEPS, FULL_CHAIN_STEPS, build_analysis_chain
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.hepdata.generator import GeneratorSettings, default_processes
+
+
+#: Processes the declarative builder knows generator settings for.
+_KNOWN_PROCESSES = {settings.process: settings for settings in default_processes()}
+
+
+def experiment_from_spec(spec: Dict[str, object]) -> ExperimentDefinition:
+    """Build an :class:`ExperimentDefinition` from a specification dictionary."""
+    if "name" not in spec:
+        raise ValidationError("experiment specification requires a 'name'")
+    name = str(spec["name"])
+    full_name = str(spec.get("full_name", name))
+    level = PreservationLevel(int(spec.get("preservation_level", 4)))
+    colour = str(spec.get("colour", "grey"))
+
+    packages_spec = dict(spec.get("packages", {}))
+    quirks_spec = dict(packages_spec.get("quirks", {}))
+    quirks = InventoryQuirks(
+        n_not_ported_to_newest_abi=int(quirks_spec.get("not_ported_to_newest_abi", 0)),
+        n_legacy_root_api=int(quirks_spec.get("legacy_root_api", 0)),
+        n_strictness_limited=int(quirks_spec.get("strictness_limited", 0)),
+        n_32bit_only=int(quirks_spec.get("only_32bit", 0)),
+    )
+    n_packages = int(packages_spec.get("count", 30))
+    if n_packages < 4:
+        raise ValidationError("an experiment needs at least 4 packages")
+    inventory = build_inventory(name, n_packages, quirks)
+
+    processes = list(spec.get("processes", ["nc_dis"]))
+    unknown = [process for process in processes if process not in _KNOWN_PROCESSES]
+    if unknown:
+        raise ValidationError(
+            f"unknown processes {unknown}; known: {sorted(_KNOWN_PROCESSES)}"
+        )
+    events_per_chain = int(spec.get("events_per_chain", 100))
+    events_per_test = int(spec.get("events_per_test", 40))
+    if events_per_chain <= 0 or events_per_test <= 0:
+        raise ValidationError("event counts must be positive")
+
+    standalone_spec = dict(spec.get("standalone", {}))
+    standalone = _build_standalone_tests(
+        name, inventory, processes, events_per_test, standalone_spec
+    )
+
+    steps = FULL_CHAIN_STEPS if requires_full_chain(level) else ANALYSIS_ONLY_STEPS
+    chains = [
+        build_analysis_chain(
+            experiment=name,
+            process=process,
+            generator_settings=_KNOWN_PROCESSES[process],
+            n_events=events_per_chain,
+            chain_name=f"{name.lower()}-{process.replace('_', '-')}-chain",
+            steps=steps,
+        )
+        for process in processes
+    ]
+
+    return ExperimentDefinition(
+        name=name,
+        full_name=full_name,
+        preservation_level=level,
+        inventory=inventory,
+        standalone_tests=standalone,
+        chains=chains,
+        display_colour=colour,
+    )
+
+
+def _build_standalone_tests(
+    name: str,
+    inventory,
+    processes: List[str],
+    events_per_test: int,
+    options: Dict[str, object],
+) -> List[ValidationTestSpec]:
+    """Assemble the standalone test list according to the spec options."""
+    tests: List[ValidationTestSpec] = []
+
+    if options.get("smoke_tests", True):
+        for package in inventory.all():
+            tests.append(
+                ValidationTestSpec(
+                    name=f"smoke-{package.name}",
+                    experiment=name,
+                    kind=TestKind.STANDALONE,
+                    executor=executors.smoke_test_executor(package.name),
+                    description=f"start-up check of {package.name}",
+                    process="infrastructure",
+                    required_packages=(package.name,),
+                )
+            )
+    if options.get("root_io_tests", True):
+        for package in inventory.by_category(PackageCategory.ANALYSIS):
+            tests.append(
+                ValidationTestSpec(
+                    name=f"rootio-{package.name}",
+                    experiment=name,
+                    kind=TestKind.STANDALONE,
+                    executor=executors.root_io_executor(package.name),
+                    description=f"ROOT I/O round trip of {package.name}",
+                    process="infrastructure",
+                    requirements=SoftwareRequirements(
+                        externals=(
+                            ExternalRequirement(
+                                product="ROOT", min_api_level=1,
+                                used_apis=frozenset({"TFile", "TTree"}),
+                            ),
+                        )
+                    ),
+                    required_packages=(package.name,),
+                )
+            )
+    if options.get("database_tests", True):
+        for package in inventory.by_category(PackageCategory.DATABASE):
+            tests.append(
+                ValidationTestSpec(
+                    name=f"database-{package.name}",
+                    experiment=name,
+                    kind=TestKind.STANDALONE,
+                    executor=executors.database_access_executor(name),
+                    description=f"conditions database access through {package.name}",
+                    process="infrastructure",
+                    requirements=SoftwareRequirements(
+                        externals=(ExternalRequirement(product="MySQL", min_api_level=1),)
+                    ),
+                    required_packages=(package.name,),
+                )
+            )
+    if options.get("calibration_tests", True):
+        for index, package in enumerate(inventory.by_category(PackageCategory.CALIBRATION)):
+            tests.append(
+                ValidationTestSpec(
+                    name=f"calibration-{package.name}",
+                    experiment=name,
+                    kind=TestKind.STANDALONE,
+                    executor=executors.calibration_constants_executor(
+                        package.name, nominal_value=1.0 + 0.01 * index
+                    ),
+                    description=f"calibration constants of {package.name}",
+                    process="calibration",
+                    required_packages=(package.name,),
+                    capability="reconstruction",
+                )
+            )
+    if options.get("kinematics_tests", True):
+        for process in processes:
+            tests.append(
+                ValidationTestSpec(
+                    name=f"kinematics-{process}",
+                    experiment=name,
+                    kind=TestKind.STANDALONE,
+                    executor=executors.kinematics_consistency_executor(
+                        name, process, n_events=events_per_test
+                    ),
+                    description=f"kinematic consistency for {process}",
+                    process=process,
+                    capability="reconstruction",
+                )
+            )
+    if options.get("data_export_test", True):
+        tests.append(
+            ValidationTestSpec(
+                name="data-export-simplified",
+                experiment=name,
+                kind=TestKind.STANDALONE,
+                executor=executors.data_export_executor(name, n_events=events_per_test),
+                description="simplified outreach format export",
+                process="outreach",
+                capability="data-export",
+            )
+        )
+    regression_per_package = int(options.get("regression_tests_per_package", 0))
+    if regression_per_package > 0:
+        variables = ("q2", "x", "multiplicity")
+        targets = (
+            inventory.by_category(PackageCategory.ANALYSIS)
+            + inventory.by_category(PackageCategory.RECONSTRUCTION)
+        )
+        for package in targets:
+            for index in range(regression_per_package):
+                variable = variables[index % len(variables)]
+                process = processes[index % len(processes)]
+                tests.append(
+                    ValidationTestSpec(
+                        name=f"regression-{package.name}-{variable}-{index}",
+                        experiment=name,
+                        kind=TestKind.STANDALONE,
+                        executor=executors.control_histogram_executor(
+                            name, process, variable, n_events=events_per_test
+                        ),
+                        description=f"control distribution of {variable} ({package.name})",
+                        process=process,
+                        required_packages=(package.name,),
+                    )
+                )
+    return tests
+
+
+def spec_from_experiment(experiment: ExperimentDefinition) -> Dict[str, object]:
+    """Summarise an experiment definition back into a specification document.
+
+    The summary is content-level (counts and structure), suitable for storing
+    on the common storage so that the framework can display what each hosted
+    experiment has registered.
+    """
+    return {
+        "name": experiment.name,
+        "full_name": experiment.full_name,
+        "preservation_level": int(experiment.preservation_level),
+        "colour": experiment.display_colour,
+        "packages": {"count": len(experiment.inventory)},
+        "processes": [
+            process for process in experiment.processes()
+            if process in _KNOWN_PROCESSES
+        ],
+        "test_counts": {
+            "compilation": experiment.compilation_test_count(),
+            "standalone": len(experiment.standalone_tests),
+            "chain_steps": experiment.chain_test_count(),
+            "total": experiment.total_test_count(),
+        },
+        "chains": {chain.name: chain.step_names() for chain in experiment.chains},
+    }
+
+
+__all__ = ["experiment_from_spec", "spec_from_experiment"]

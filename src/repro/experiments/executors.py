@@ -1,0 +1,227 @@
+"""Executor factories for the synthetic experiment validation tests.
+
+The experiments' real validation tests wrap their own executables behind the
+thin shell-variable interface.  In the reproduction each test is a Python
+callable built by one of the factories in this module: smoke tests,
+kinematics-consistency checks, histogram producers, database and ROOT I/O
+checks, and the individual steps of the full analysis chains.  Every factory
+returns a function with the :data:`repro.core.testspec.TestExecutor`
+signature, so the validation runner treats them exactly like user-supplied
+test scripts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from repro._common import stable_fraction
+from repro.core.testspec import ExecutionContext, OutputKind, TestOutput
+from repro.hepdata.analysis import PhysicsAnalysis, SelectionCuts
+from repro.hepdata.dst import DSTProducer, MicroDSTProducer
+from repro.hepdata.generator import GeneratorSettings, MonteCarloGenerator
+from repro.hepdata.histogram import Histogram1D, HistogramSet
+from repro.hepdata.reconstruction import EventReconstruction
+from repro.hepdata.simulation import DetectorSimulation, detector_for_experiment
+
+
+def smoke_test_executor(package_name: str) -> Callable[[ExecutionContext], TestOutput]:
+    """A yes/no test that an installed executable starts and exits cleanly.
+
+    The outcome only depends on the numeric context's defects: a genuinely
+    broken environment (e.g. an interface silently removed) makes a fraction
+    of executables fail to start.
+    """
+
+    def execute(context: ExecutionContext) -> TestOutput:
+        broken = context.numeric_context.has_defect("removed-interface-returns-zero") and (
+            stable_fraction("smoke", package_name, context.configuration.key) < 0.5
+        )
+        return TestOutput(
+            kind=OutputKind.YES_NO,
+            passed=not broken,
+            yes_no=not broken,
+            messages=[] if not broken else [f"{package_name} executable aborted at start-up"],
+        )
+
+    return execute
+
+
+def calibration_constants_executor(
+    subsystem: str, nominal_value: float, tolerance: float = 0.05
+) -> Callable[[ExecutionContext], TestOutput]:
+    """Check that re-derived calibration constants stay near their nominal value."""
+
+    def execute(context: ExecutionContext) -> TestOutput:
+        derived = context.numeric_context.perturb_scalar(
+            nominal_value, f"calib:{subsystem}"
+        )
+        deviation = abs(derived - nominal_value) / abs(nominal_value)
+        passed = deviation <= tolerance
+        return TestOutput(
+            kind=OutputKind.NUMBERS,
+            passed=passed,
+            numbers={
+                "nominal": nominal_value,
+                "derived": derived,
+                "relative_deviation": deviation,
+            },
+            messages=[] if passed else [
+                f"calibration constant of {subsystem} moved by {deviation:.2%}"
+            ],
+        )
+
+    return execute
+
+
+def database_access_executor(
+    experiment: str,
+) -> Callable[[ExecutionContext], TestOutput]:
+    """Yes/no check that the conditions database can be reached."""
+
+    def execute(context: ExecutionContext) -> TestOutput:
+        available = context.configuration.has_external("MySQL")
+        return TestOutput(
+            kind=OutputKind.YES_NO,
+            passed=available,
+            yes_no=available,
+            messages=[] if available else [
+                f"{experiment} conditions database client found no MySQL installation"
+            ],
+        )
+
+    return execute
+
+
+def kinematics_consistency_executor(
+    experiment: str, process: str, n_events: int = 60
+) -> Callable[[ExecutionContext], TestOutput]:
+    """Compare the electron and Jacquet–Blondel kinematic reconstructions."""
+
+    def execute(context: ExecutionContext) -> TestOutput:
+        generator = MonteCarloGenerator(
+            GeneratorSettings(process=process), context.numeric_context
+        )
+        record = generator.generate(n_events, seed=context.seed)
+        simulation = DetectorSimulation(
+            detector_for_experiment(experiment), context.numeric_context
+        )
+        simulated = simulation.simulate(record, seed=context.seed + 1)
+        reconstruction = EventReconstruction(context.numeric_context)
+        reconstructed = reconstruction.reconstruct(simulated)
+        with_lepton = [
+            event for event in reconstructed if event.kinematics.has_scattered_lepton
+        ]
+        consistent = [event for event in with_lepton if event.kinematics.consistent()]
+        fraction = len(consistent) / len(with_lepton) if with_lepton else 0.0
+        passed = fraction >= 0.25 and bool(with_lepton)
+        return TestOutput(
+            kind=OutputKind.NUMBERS,
+            passed=passed,
+            numbers={
+                "n_events": float(len(reconstructed)),
+                "n_with_lepton": float(len(with_lepton)),
+                "consistency_fraction": fraction,
+            },
+            messages=[] if passed else [
+                "electron and hadron (Jacquet-Blondel) kinematics disagree"
+            ],
+        )
+
+    return execute
+
+
+def control_histogram_executor(
+    experiment: str, process: str, variable: str = "q2", n_events: int = 80
+) -> Callable[[ExecutionContext], TestOutput]:
+    """Produce a control histogram of one variable for regression comparison."""
+
+    def execute(context: ExecutionContext) -> TestOutput:
+        generator = MonteCarloGenerator(
+            GeneratorSettings(process=process), context.numeric_context
+        )
+        record = generator.generate(n_events, seed=context.seed)
+        histograms = HistogramSet()
+        if variable == "q2":
+            histogram = Histogram1D("q2", 30, 4.0, 10000.0, log_bins=True)
+            histogram.fill_many([event.q_squared for event in record])
+        elif variable == "multiplicity":
+            histogram = Histogram1D("multiplicity", 30, 0.0, 60.0)
+            histogram.fill_many([len(event.particles) for event in record])
+        else:
+            histogram = Histogram1D("x", 30, 1e-5, 1.0, log_bins=True)
+            histogram.fill_many([event.bjorken_x for event in record])
+        histograms.add(histogram)
+        passed = histogram.total > 0
+        return TestOutput(
+            kind=OutputKind.HISTOGRAMS,
+            passed=passed,
+            histograms=histograms,
+            messages=[] if passed else ["control histogram is empty"],
+        )
+
+    return execute
+
+
+def root_io_executor(package_name: str) -> Callable[[ExecutionContext], TestOutput]:
+    """Write-and-read-back check of the ROOT based I/O layer."""
+
+    def execute(context: ExecutionContext) -> TestOutput:
+        root = context.configuration.external("ROOT")
+        if root is None:
+            return TestOutput(
+                kind=OutputKind.YES_NO,
+                passed=False,
+                yes_no=False,
+                messages=["ROOT is not installed on this configuration"],
+            )
+        written = 1000.0
+        read_back = context.numeric_context.perturb_scalar(
+            written, f"rootio:{package_name}:{root.version}"
+        )
+        passed = math.isclose(written, read_back, rel_tol=1e-6)
+        return TestOutput(
+            kind=OutputKind.FILE_SUMMARY,
+            passed=passed,
+            file_summary={
+                "objects_written": written,
+                "objects_read": read_back,
+                "root_api_level": float(root.api_level),
+            },
+            messages=[] if passed else [
+                f"{package_name}: ROOT file read back {read_back:.1f} of {written:.0f} objects"
+            ],
+        )
+
+    return execute
+
+
+def data_export_executor(
+    experiment: str, n_events: int = 50
+) -> Callable[[ExecutionContext], TestOutput]:
+    """Level-2 style export of a simplified data format (outreach use case)."""
+
+    def execute(context: ExecutionContext) -> TestOutput:
+        generator = MonteCarloGenerator(numeric_context=context.numeric_context)
+        record = generator.generate(n_events, seed=context.seed + 7)
+        summary = record.summary()
+        passed = summary["n_events"] == float(n_events)
+        return TestOutput(
+            kind=OutputKind.FILE_SUMMARY,
+            passed=passed,
+            file_summary=summary,
+            messages=[] if passed else ["simplified-format export lost events"],
+        )
+
+    return execute
+
+
+__all__ = [
+    "smoke_test_executor",
+    "calibration_constants_executor",
+    "database_access_executor",
+    "kinematics_consistency_executor",
+    "control_histogram_executor",
+    "root_io_executor",
+    "data_export_executor",
+]

@@ -1,0 +1,220 @@
+"""The H1 experiment: a full level-4 preservation programme.
+
+Figure 2 of the paper outlines the H1 validation tests: the compilation of
+approximately 100 individual software packages plus a series of validation
+tests over the full spectrum of the H1 software — standalone executables run
+in parallel and several sequential full analysis chains — expected to
+comprise up to 500 tests in total.  :func:`build_h1_experiment` constructs a
+synthetic experiment definition with exactly that structure; the counts are
+tunable so the expensive benchmarks can run a scaled-down but structurally
+identical suite.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.buildsys.package import PackageCategory
+from repro.core.levels import PreservationLevel
+from repro.core.testspec import ExperimentDefinition, TestKind, ValidationTestSpec
+from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
+from repro.experiments import executors
+from repro.experiments.chains import FULL_CHAIN_STEPS, build_analysis_chain
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.hepdata.generator import GeneratorSettings, default_processes
+
+
+#: The physics processes whose full chains H1 validates.
+H1_PROCESSES = ("nc_dis", "cc_dis", "photoproduction", "heavy_flavour")
+
+#: Control variables histogrammed by the per-package regression tests.
+_REGRESSION_VARIABLES = ("q2", "x", "multiplicity")
+
+
+def build_h1_experiment(
+    n_packages: int = 100,
+    events_per_chain: int = 200,
+    events_per_test: int = 60,
+    regression_tests_per_package: int = 3,
+    quirks: Optional[InventoryQuirks] = None,
+    scale: float = 1.0,
+) -> ExperimentDefinition:
+    """Build the synthetic H1 experiment definition.
+
+    With the default parameters the experiment defines close to 500 tests
+    (~100 compilations, ~370 standalone tests, 28 chain steps), matching the
+    expectation stated in the paper.  *scale* < 1 shrinks the package count,
+    the number of standalone tests and the event counts proportionally while
+    keeping the structure (all categories, all processes, all chain steps).
+    """
+    scale = max(min(scale, 1.0), 0.01)
+    n_packages = max(int(round(n_packages * scale)), 8)
+    events_per_chain = max(int(round(events_per_chain * scale)), 10)
+    events_per_test = max(int(round(events_per_test * scale)), 10)
+    regression_tests_per_package = max(
+        int(round(regression_tests_per_package * scale)), 0 if scale < 1.0 else 1
+    )
+
+    inventory = build_inventory("H1", n_packages, quirks or InventoryQuirks())
+    standalone: List[ValidationTestSpec] = []
+
+    generator_settings = {
+        settings.process: settings for settings in default_processes()
+    }
+
+    # 1. One smoke test per package: does the installed executable start?
+    for package in inventory.all():
+        standalone.append(
+            ValidationTestSpec(
+                name=f"smoke-{package.name}",
+                experiment="H1",
+                kind=TestKind.STANDALONE,
+                executor=executors.smoke_test_executor(package.name),
+                description=f"start-up check of the {package.name} executable",
+                process="infrastructure",
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    # 2. ROOT I/O round-trip per analysis package.
+    for package in inventory.by_category(PackageCategory.ANALYSIS):
+        standalone.append(
+            ValidationTestSpec(
+                name=f"rootio-{package.name}",
+                experiment="H1",
+                kind=TestKind.STANDALONE,
+                executor=executors.root_io_executor(package.name),
+                description=f"ROOT file write/read round trip of {package.name}",
+                process="infrastructure",
+                requirements=SoftwareRequirements(
+                    externals=(
+                        ExternalRequirement(
+                            product="ROOT",
+                            min_api_level=1,
+                            used_apis=frozenset({"TFile", "TTree"}),
+                        ),
+                    )
+                ),
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    # 3. Calibration constant re-derivation per calibration package.
+    for index, package in enumerate(inventory.by_category(PackageCategory.CALIBRATION)):
+        standalone.append(
+            ValidationTestSpec(
+                name=f"calibration-{package.name}",
+                experiment="H1",
+                kind=TestKind.STANDALONE,
+                executor=executors.calibration_constants_executor(
+                    subsystem=package.name, nominal_value=1.0 + 0.01 * index
+                ),
+                description=f"re-derive calibration constants with {package.name}",
+                process="calibration",
+                required_packages=(package.name,),
+                capability="reconstruction",
+            )
+        )
+
+    # 4. Conditions-database access checks.
+    for package in inventory.by_category(PackageCategory.DATABASE):
+        standalone.append(
+            ValidationTestSpec(
+                name=f"database-{package.name}",
+                experiment="H1",
+                kind=TestKind.STANDALONE,
+                executor=executors.database_access_executor("H1"),
+                description=f"conditions database access through {package.name}",
+                process="infrastructure",
+                requirements=SoftwareRequirements(
+                    externals=(ExternalRequirement(product="MySQL", min_api_level=1),)
+                ),
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    # 5. Kinematic reconstruction consistency per physics process.
+    for process in H1_PROCESSES:
+        standalone.append(
+            ValidationTestSpec(
+                name=f"kinematics-{process}",
+                experiment="H1",
+                kind=TestKind.STANDALONE,
+                executor=executors.kinematics_consistency_executor(
+                    "H1", process, n_events=events_per_test
+                ),
+                description=f"electron vs Jacquet-Blondel kinematics for {process}",
+                process=process,
+                capability="reconstruction",
+            )
+        )
+
+    # 6. Simplified-format export (level-2 obligation kept alive alongside level 4).
+    standalone.append(
+        ValidationTestSpec(
+            name="data-export-simplified",
+            experiment="H1",
+            kind=TestKind.STANDALONE,
+            executor=executors.data_export_executor("H1", n_events=events_per_test),
+            description="export of the simplified outreach data format",
+            process="outreach",
+            capability="data-export",
+        )
+    )
+
+    # 7. Per-package control-histogram regression tests (the bulk of the suite).
+    regression_targets = (
+        inventory.by_category(PackageCategory.ANALYSIS)
+        + inventory.by_category(PackageCategory.RECONSTRUCTION)
+        + inventory.by_category(PackageCategory.SIMULATION)
+    )
+    for package in regression_targets:
+        for variable_index in range(regression_tests_per_package):
+            variable = _REGRESSION_VARIABLES[variable_index % len(_REGRESSION_VARIABLES)]
+            process = H1_PROCESSES[variable_index % len(H1_PROCESSES)]
+            standalone.append(
+                ValidationTestSpec(
+                    name=f"regression-{package.name}-{variable}-{variable_index}",
+                    experiment="H1",
+                    kind=TestKind.STANDALONE,
+                    executor=executors.control_histogram_executor(
+                        "H1", process, variable, n_events=events_per_test
+                    ),
+                    description=(
+                        f"control distribution of {variable} produced with {package.name}"
+                    ),
+                    process=process,
+                    required_packages=(package.name,),
+                    capability="analysis",
+                )
+            )
+
+    # Full analysis chains, one per physics process (level 4: MC generation
+    # and simulation through file production to physics analysis).
+    chains = [
+        build_analysis_chain(
+            experiment="H1",
+            process=process,
+            generator_settings=generator_settings[process],
+            n_events=events_per_chain,
+            chain_name=f"h1-{process.replace('_', '-')}-chain",
+            steps=FULL_CHAIN_STEPS,
+        )
+        for process in H1_PROCESSES
+    ]
+
+    return ExperimentDefinition(
+        name="H1",
+        full_name="H1 experiment at HERA",
+        preservation_level=PreservationLevel.FULL_SOFTWARE,
+        inventory=inventory,
+        standalone_tests=standalone,
+        chains=chains,
+        display_colour="blue",
+    )
+
+
+__all__ = ["build_h1_experiment", "H1_PROCESSES"]

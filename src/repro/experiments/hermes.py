@@ -1,0 +1,145 @@
+"""The HERMES experiment: a level-3 programme (analysis-level preservation).
+
+HERMES appears in figure 3 (red, bottom block) with the smallest set of
+validated processes.  In the reproduction HERMES adopts DPHEP level 3:
+analysis-level software and data formats are preserved on top of the existing
+reconstruction, so its chains omit the detector-simulation and DST steps and
+its suite is considerably smaller than the H1 one — which is exactly the
+relationship the counts in the paper's figures suggest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.buildsys.package import PackageCategory
+from repro.core.levels import PreservationLevel
+from repro.core.testspec import ExperimentDefinition, TestKind, ValidationTestSpec
+from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
+from repro.experiments import executors
+from repro.experiments.chains import ANALYSIS_ONLY_STEPS, build_analysis_chain
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.hepdata.generator import GeneratorSettings
+
+
+#: HERMES validates spin-physics style DIS processes; the toy generator
+#: approximates them with low-Q2 neutral current samples.
+HERMES_PROCESSES = ("nc_dis", "photoproduction")
+
+
+def build_hermes_experiment(
+    n_packages: int = 30,
+    events_per_chain: int = 100,
+    events_per_test: int = 40,
+    quirks: Optional[InventoryQuirks] = None,
+    scale: float = 1.0,
+) -> ExperimentDefinition:
+    """Build the synthetic HERMES experiment definition (level 3, ~80 tests)."""
+    scale = max(min(scale, 1.0), 0.01)
+    n_packages = max(int(round(n_packages * scale)), 8)
+    events_per_chain = max(int(round(events_per_chain * scale)), 10)
+    events_per_test = max(int(round(events_per_test * scale)), 10)
+
+    inventory = build_inventory(
+        "HERMES",
+        n_packages,
+        quirks
+        or InventoryQuirks(
+            n_not_ported_to_newest_abi=1, n_legacy_root_api=1, n_strictness_limited=1
+        ),
+    )
+    standalone: List[ValidationTestSpec] = []
+
+    for package in inventory.all():
+        standalone.append(
+            ValidationTestSpec(
+                name=f"smoke-{package.name}",
+                experiment="HERMES",
+                kind=TestKind.STANDALONE,
+                executor=executors.smoke_test_executor(package.name),
+                description=f"start-up check of the {package.name} executable",
+                process="infrastructure",
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    for package in inventory.by_category(PackageCategory.ANALYSIS):
+        standalone.append(
+            ValidationTestSpec(
+                name=f"rootio-{package.name}",
+                experiment="HERMES",
+                kind=TestKind.STANDALONE,
+                executor=executors.root_io_executor(package.name),
+                description=f"ROOT file write/read round trip of {package.name}",
+                process="infrastructure",
+                requirements=SoftwareRequirements(
+                    externals=(
+                        ExternalRequirement(
+                            product="ROOT",
+                            min_api_level=1,
+                            used_apis=frozenset({"TFile", "TTree"}),
+                        ),
+                    )
+                ),
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    for process in HERMES_PROCESSES:
+        standalone.append(
+            ValidationTestSpec(
+                name=f"kinematics-{process}",
+                experiment="HERMES",
+                kind=TestKind.STANDALONE,
+                executor=executors.kinematics_consistency_executor(
+                    "HERMES", process, n_events=events_per_test
+                ),
+                description=f"electron vs Jacquet-Blondel kinematics for {process}",
+                process=process,
+                capability="reconstruction",
+            )
+        )
+
+    standalone.append(
+        ValidationTestSpec(
+            name="data-export-simplified",
+            experiment="HERMES",
+            kind=TestKind.STANDALONE,
+            executor=executors.data_export_executor("HERMES", n_events=events_per_test),
+            description="export of the simplified outreach data format",
+            process="outreach",
+            capability="data-export",
+        )
+    )
+
+    # Level 3: the chains are based on the existing reconstruction, so the
+    # simulation and DST-production steps are not part of the programme.
+    chains = [
+        build_analysis_chain(
+            experiment="HERMES",
+            process=process,
+            generator_settings=GeneratorSettings(
+                process=process, q2_min=1.0 if process == "nc_dis" else 4.0, q2_max=100.0,
+                mean_charged_multiplicity=6.0, cross_section_pb=52000.0,
+            ),
+            n_events=events_per_chain,
+            chain_name=f"hermes-{process.replace('_', '-')}-chain",
+            steps=ANALYSIS_ONLY_STEPS,
+        )
+        for process in HERMES_PROCESSES
+    ]
+
+    return ExperimentDefinition(
+        name="HERMES",
+        full_name="HERMES experiment at HERA",
+        preservation_level=PreservationLevel.ANALYSIS_SOFTWARE,
+        inventory=inventory,
+        standalone_tests=standalone,
+        chains=chains,
+        display_colour="red",
+    )
+
+
+__all__ = ["build_hermes_experiment", "HERMES_PROCESSES"]

@@ -1,0 +1,316 @@
+"""Synthetic package inventories for the HERA experiments.
+
+The sp-system compiles the experiments' software packages on every validation
+run; H1 alone has on the order of one hundred packages.  The real package
+lists are internal to the collaborations, so this module generates synthetic
+inventories with the properties the validation framework actually exercises:
+realistic category mix, a layered dependency graph (core → database →
+simulation/reconstruction → analysis), and a small, controlled number of
+packages that carry migration problems (32-bit assumptions, not yet ported to
+the newest OS ABI, legacy ROOT interfaces, intolerance of stricter
+compilers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._common import stable_hash
+from repro.buildsys.package import (
+    Language,
+    PackageCategory,
+    PackageInventory,
+    SoftwarePackage,
+)
+from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
+
+
+@dataclass(frozen=True)
+class InventoryQuirks:
+    """How many packages carry each kind of migration problem.
+
+    The defaults keep the standard five sp-system configurations mostly green
+    (the paper's figure 3 shows predominantly successful tests) while leaving
+    known work for the newest platforms:
+
+    * ``n_not_ported_to_newest_abi`` packages fail on OS releases newer than
+      SL5/SL6 (max_os_abi limited) — the SL6/SL7 migration work;
+    * ``n_legacy_root_api`` packages use interfaces removed in ROOT 6;
+    * ``n_strictness_limited`` packages break under the next compiler
+      generation (gcc 4.8);
+    * ``n_32bit_only`` packages have never been ported to 64 bit.
+    """
+
+    n_not_ported_to_newest_abi: int = 2
+    n_legacy_root_api: int = 3
+    n_strictness_limited: int = 2
+    n_32bit_only: int = 0
+    max_abi_for_unported: int = 2
+
+
+#: Subsystem name fragments per category, used to generate package names.
+_CATEGORY_NAMES: Dict[PackageCategory, Tuple[str, ...]] = {
+    PackageCategory.CORE: ("bank", "steering", "geometry", "kernel", "records", "pointers"),
+    PackageCategory.DATABASE: ("dbio", "conditions", "runcatalog", "keytable"),
+    PackageCategory.SIMULATION: ("simrec", "geant-interface", "fastsim", "digitiser", "mcprod"),
+    PackageCategory.RECONSTRUCTION: (
+        "tracking", "calorimeter", "vertexing", "muon-id", "electron-id", "jetfinder",
+        "trigger-emulation",
+    ),
+    PackageCategory.CALIBRATION: ("calib-tracker", "calib-calo", "alignment", "dead-material"),
+    PackageCategory.ANALYSIS: (
+        "physics-utils", "ntuple-maker", "selection", "unfolding", "cross-section",
+        "systematics", "luminosity",
+    ),
+    PackageCategory.UTILITIES: ("tape-io", "histogramming", "random-service", "bookkeeping"),
+    PackageCategory.MONITORING: ("dqm", "event-display", "logbook"),
+}
+
+#: Fraction of the inventory assigned to each category.
+_CATEGORY_WEIGHTS: Tuple[Tuple[PackageCategory, float], ...] = (
+    (PackageCategory.CORE, 0.12),
+    (PackageCategory.DATABASE, 0.06),
+    (PackageCategory.SIMULATION, 0.14),
+    (PackageCategory.RECONSTRUCTION, 0.22),
+    (PackageCategory.CALIBRATION, 0.10),
+    (PackageCategory.ANALYSIS, 0.22),
+    (PackageCategory.UTILITIES, 0.08),
+    (PackageCategory.MONITORING, 0.06),
+)
+
+
+def build_inventory(
+    experiment: str,
+    n_packages: int,
+    quirks: Optional[InventoryQuirks] = None,
+    prefix: Optional[str] = None,
+) -> PackageInventory:
+    """Build a synthetic package inventory of *n_packages* for *experiment*."""
+    quirks = quirks or InventoryQuirks()
+    prefix = prefix or experiment.lower()
+    inventory = PackageInventory(experiment)
+    counts = _category_counts(n_packages)
+    packages: List[SoftwarePackage] = []
+    per_category_names: Dict[PackageCategory, List[str]] = {}
+
+    for category, count in counts.items():
+        names = []
+        base_names = _CATEGORY_NAMES[category]
+        for index in range(count):
+            base = base_names[index % len(base_names)]
+            suffix = "" if index < len(base_names) else f"-{index // len(base_names) + 1}"
+            names.append(f"{prefix}-{base}{suffix}")
+        per_category_names[category] = names
+
+    core_names = per_category_names.get(PackageCategory.CORE, [])
+    database_names = per_category_names.get(PackageCategory.DATABASE, [])
+    reco_names = per_category_names.get(PackageCategory.RECONSTRUCTION, [])
+    sim_names = per_category_names.get(PackageCategory.SIMULATION, [])
+
+    for category, names in per_category_names.items():
+        for index, name in enumerate(names):
+            dependencies = _dependencies_for(
+                category, index, core_names, database_names, sim_names, reco_names
+            )
+            language = _language_for(experiment, category, name)
+            lines = 2000 + (stable_hash(experiment, name, "loc") % 40000)
+            fragility = 0.05 + (stable_hash(experiment, name, "fragility") % 30) / 100.0
+            packages.append(
+                SoftwarePackage(
+                    name=name,
+                    version=f"{1 + stable_hash(name) % 5}.{stable_hash(name, 'minor') % 10}",
+                    experiment=experiment,
+                    category=category,
+                    language=language,
+                    lines_of_code=lines,
+                    dependencies=tuple(dependencies),
+                    requirements=_baseline_requirements(category),
+                    fragility=min(fragility, 0.6),
+                    description=f"{category.value} package {name} of {experiment}",
+                )
+            )
+
+    packages = _apply_quirks(packages, quirks)
+    for package in packages:
+        inventory.add(package)
+    return inventory
+
+
+def _category_counts(n_packages: int) -> Dict[PackageCategory, int]:
+    """Split *n_packages* over the categories according to the weights."""
+    counts: Dict[PackageCategory, int] = {}
+    assigned = 0
+    for category, weight in _CATEGORY_WEIGHTS[:-1]:
+        count = max(1, int(round(n_packages * weight)))
+        counts[category] = count
+        assigned += count
+    last_category = _CATEGORY_WEIGHTS[-1][0]
+    counts[last_category] = max(1, n_packages - assigned)
+    # Trim any overshoot from the largest categories so the total is exact.
+    total = sum(counts.values())
+    ordered = sorted(counts, key=lambda cat: counts[cat], reverse=True)
+    index = 0
+    while total > n_packages and index < 1000:
+        category = ordered[index % len(ordered)]
+        if counts[category] > 1:
+            counts[category] -= 1
+            total -= 1
+        index += 1
+    return counts
+
+
+def _dependencies_for(
+    category: PackageCategory,
+    index: int,
+    core_names: Sequence[str],
+    database_names: Sequence[str],
+    sim_names: Sequence[str],
+    reco_names: Sequence[str],
+) -> List[str]:
+    """Layered dependency structure: everything builds on the core layer."""
+    dependencies: List[str] = []
+    if category is PackageCategory.CORE:
+        if index > 0 and core_names:
+            dependencies.append(core_names[0])
+        return dependencies
+    if core_names:
+        dependencies.append(core_names[index % len(core_names)])
+    if category in (PackageCategory.SIMULATION, PackageCategory.RECONSTRUCTION,
+                    PackageCategory.CALIBRATION) and database_names:
+        dependencies.append(database_names[index % len(database_names)])
+    if category is PackageCategory.ANALYSIS and reco_names:
+        dependencies.append(reco_names[index % len(reco_names)])
+    if category is PackageCategory.MONITORING and reco_names:
+        dependencies.append(reco_names[index % len(reco_names)])
+    if category is PackageCategory.CALIBRATION and reco_names:
+        dependencies.append(reco_names[index % len(reco_names)])
+    return list(dict.fromkeys(dependencies))
+
+
+def _language_for(experiment: str, category: PackageCategory, name: str) -> Language:
+    """HERA-era software: mostly Fortran, analysis layers increasingly C++."""
+    if category in (PackageCategory.ANALYSIS, PackageCategory.MONITORING):
+        return Language.CPP if stable_hash(experiment, name, "lang") % 3 else Language.PYTHON
+    if category is PackageCategory.UTILITIES:
+        return Language.C
+    return Language.FORTRAN if stable_hash(experiment, name, "lang") % 4 else Language.CPP
+
+
+def _baseline_requirements(category: PackageCategory) -> SoftwareRequirements:
+    """Requirements shared by healthy, already-ported packages."""
+    externals: List[ExternalRequirement] = []
+    if category in (PackageCategory.ANALYSIS, PackageCategory.MONITORING):
+        externals.append(
+            ExternalRequirement(product="ROOT", min_api_level=1, used_apis=frozenset({"TTree", "TH1"}))
+        )
+    if category is PackageCategory.DATABASE:
+        externals.append(ExternalRequirement(product="MySQL", min_api_level=1))
+    if category is PackageCategory.SIMULATION:
+        externals.append(ExternalRequirement(product="GEANT3", min_api_level=1))
+        externals.append(ExternalRequirement(product="MCGEN", min_api_level=1))
+    if category in (PackageCategory.RECONSTRUCTION, PackageCategory.CALIBRATION):
+        externals.append(ExternalRequirement(product="CERNLIB", min_api_level=1))
+    return SoftwareRequirements(
+        min_compiler="3.4",
+        max_strictness=6,
+        word_sizes=(32, 64),
+        externals=tuple(externals),
+    )
+
+
+def _apply_quirks(
+    packages: List[SoftwarePackage], quirks: InventoryQuirks
+) -> List[SoftwarePackage]:
+    """Inject the configured number of migration problems into the inventory.
+
+    Quirky packages are chosen deterministically from the analysis and
+    monitoring layers (leaf packages), so that a failing quirky package does
+    not cascade into skipping most of the inventory.
+    """
+    result = list(packages)
+    leaf_indices = [
+        index for index, package in enumerate(result)
+        if package.category in (PackageCategory.ANALYSIS, PackageCategory.MONITORING,
+                                PackageCategory.UTILITIES)
+    ]
+    cursor = 0
+
+    def take() -> Optional[int]:
+        nonlocal cursor
+        if cursor >= len(leaf_indices):
+            return None
+        index = leaf_indices[cursor]
+        cursor += 1
+        return index
+
+    for _ in range(quirks.n_not_ported_to_newest_abi):
+        index = take()
+        if index is None:
+            break
+        package = result[index]
+        requirements = SoftwareRequirements(
+            min_compiler=package.requirements.min_compiler,
+            max_strictness=package.requirements.max_strictness,
+            word_sizes=package.requirements.word_sizes,
+            max_os_abi=quirks.max_abi_for_unported,
+            externals=package.requirements.externals,
+        )
+        result[index] = package.with_requirements(requirements)
+
+    for _ in range(quirks.n_legacy_root_api):
+        index = take()
+        if index is None:
+            break
+        package = result[index]
+        externals = tuple(
+            requirement for requirement in package.requirements.externals
+            if requirement.product != "ROOT"
+        ) + (
+            ExternalRequirement(
+                product="ROOT",
+                min_api_level=1,
+                used_apis=frozenset({"TTree", "TH1", "CINT", "RootCintDictionary"}),
+            ),
+        )
+        requirements = SoftwareRequirements(
+            min_compiler=package.requirements.min_compiler,
+            max_strictness=package.requirements.max_strictness,
+            word_sizes=package.requirements.word_sizes,
+            max_os_abi=package.requirements.max_os_abi,
+            externals=externals,
+        )
+        result[index] = package.with_requirements(requirements)
+
+    for _ in range(quirks.n_strictness_limited):
+        index = take()
+        if index is None:
+            break
+        package = result[index]
+        requirements = SoftwareRequirements(
+            min_compiler=package.requirements.min_compiler,
+            max_strictness=3,
+            word_sizes=package.requirements.word_sizes,
+            max_os_abi=package.requirements.max_os_abi,
+            externals=package.requirements.externals,
+        )
+        result[index] = package.with_requirements(requirements)
+
+    for _ in range(quirks.n_32bit_only):
+        index = take()
+        if index is None:
+            break
+        package = result[index]
+        requirements = SoftwareRequirements(
+            min_compiler=package.requirements.min_compiler,
+            max_strictness=package.requirements.max_strictness,
+            word_sizes=(32,),
+            max_os_abi=package.requirements.max_os_abi,
+            externals=package.requirements.externals,
+        )
+        result[index] = package.with_requirements(requirements)
+
+    return result
+
+
+__all__ = ["InventoryQuirks", "build_inventory"]

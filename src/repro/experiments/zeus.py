@@ -1,0 +1,200 @@
+"""The ZEUS experiment: a level-4 programme with a more compact test suite.
+
+ZEUS appears in figure 3 of the paper (orange, top block) with its own set of
+processes validated under the different sp-system configurations.  The
+synthetic definition mirrors the H1 structure — per-package compilations,
+standalone tests and full analysis chains — at a somewhat smaller scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.buildsys.package import PackageCategory
+from repro.core.levels import PreservationLevel
+from repro.core.testspec import ExperimentDefinition, TestKind, ValidationTestSpec
+from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
+from repro.experiments import executors
+from repro.experiments.chains import FULL_CHAIN_STEPS, build_analysis_chain
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.hepdata.generator import GeneratorSettings, default_processes
+
+
+#: The processes ZEUS validates in the reproduction.
+ZEUS_PROCESSES = ("nc_dis", "photoproduction", "heavy_flavour")
+
+
+def build_zeus_experiment(
+    n_packages: int = 60,
+    events_per_chain: int = 150,
+    events_per_test: int = 50,
+    regression_tests_per_package: int = 2,
+    quirks: Optional[InventoryQuirks] = None,
+    scale: float = 1.0,
+) -> ExperimentDefinition:
+    """Build the synthetic ZEUS experiment definition (level 4, ~200 tests)."""
+    scale = max(min(scale, 1.0), 0.01)
+    n_packages = max(int(round(n_packages * scale)), 8)
+    events_per_chain = max(int(round(events_per_chain * scale)), 10)
+    events_per_test = max(int(round(events_per_test * scale)), 10)
+    regression_tests_per_package = max(
+        int(round(regression_tests_per_package * scale)), 0 if scale < 1.0 else 1
+    )
+
+    inventory = build_inventory(
+        "ZEUS",
+        n_packages,
+        quirks or InventoryQuirks(n_not_ported_to_newest_abi=1, n_legacy_root_api=2),
+    )
+    standalone: List[ValidationTestSpec] = []
+    generator_settings = {
+        settings.process: settings for settings in default_processes()
+    }
+
+    for package in inventory.all():
+        standalone.append(
+            ValidationTestSpec(
+                name=f"smoke-{package.name}",
+                experiment="ZEUS",
+                kind=TestKind.STANDALONE,
+                executor=executors.smoke_test_executor(package.name),
+                description=f"start-up check of the {package.name} executable",
+                process="infrastructure",
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    for package in inventory.by_category(PackageCategory.ANALYSIS):
+        standalone.append(
+            ValidationTestSpec(
+                name=f"rootio-{package.name}",
+                experiment="ZEUS",
+                kind=TestKind.STANDALONE,
+                executor=executors.root_io_executor(package.name),
+                description=f"ROOT file write/read round trip of {package.name}",
+                process="infrastructure",
+                requirements=SoftwareRequirements(
+                    externals=(
+                        ExternalRequirement(
+                            product="ROOT",
+                            min_api_level=1,
+                            used_apis=frozenset({"TFile", "TTree"}),
+                        ),
+                    )
+                ),
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    for index, package in enumerate(inventory.by_category(PackageCategory.CALIBRATION)):
+        standalone.append(
+            ValidationTestSpec(
+                name=f"calibration-{package.name}",
+                experiment="ZEUS",
+                kind=TestKind.STANDALONE,
+                executor=executors.calibration_constants_executor(
+                    subsystem=package.name, nominal_value=2.0 + 0.02 * index
+                ),
+                description=f"re-derive calibration constants with {package.name}",
+                process="calibration",
+                required_packages=(package.name,),
+                capability="reconstruction",
+            )
+        )
+
+    for package in inventory.by_category(PackageCategory.DATABASE):
+        standalone.append(
+            ValidationTestSpec(
+                name=f"database-{package.name}",
+                experiment="ZEUS",
+                kind=TestKind.STANDALONE,
+                executor=executors.database_access_executor("ZEUS"),
+                description=f"conditions database access through {package.name}",
+                process="infrastructure",
+                requirements=SoftwareRequirements(
+                    externals=(ExternalRequirement(product="MySQL", min_api_level=1),)
+                ),
+                required_packages=(package.name,),
+                capability="analysis",
+            )
+        )
+
+    for process in ZEUS_PROCESSES:
+        standalone.append(
+            ValidationTestSpec(
+                name=f"kinematics-{process}",
+                experiment="ZEUS",
+                kind=TestKind.STANDALONE,
+                executor=executors.kinematics_consistency_executor(
+                    "ZEUS", process, n_events=events_per_test
+                ),
+                description=f"electron vs Jacquet-Blondel kinematics for {process}",
+                process=process,
+                capability="reconstruction",
+            )
+        )
+
+    standalone.append(
+        ValidationTestSpec(
+            name="data-export-simplified",
+            experiment="ZEUS",
+            kind=TestKind.STANDALONE,
+            executor=executors.data_export_executor("ZEUS", n_events=events_per_test),
+            description="export of the simplified outreach data format",
+            process="outreach",
+            capability="data-export",
+        )
+    )
+
+    regression_targets = (
+        inventory.by_category(PackageCategory.ANALYSIS)
+        + inventory.by_category(PackageCategory.RECONSTRUCTION)
+    )
+    variables = ("q2", "multiplicity")
+    for package in regression_targets:
+        for variable_index in range(regression_tests_per_package):
+            variable = variables[variable_index % len(variables)]
+            process = ZEUS_PROCESSES[variable_index % len(ZEUS_PROCESSES)]
+            standalone.append(
+                ValidationTestSpec(
+                    name=f"regression-{package.name}-{variable}-{variable_index}",
+                    experiment="ZEUS",
+                    kind=TestKind.STANDALONE,
+                    executor=executors.control_histogram_executor(
+                        "ZEUS", process, variable, n_events=events_per_test
+                    ),
+                    description=(
+                        f"control distribution of {variable} produced with {package.name}"
+                    ),
+                    process=process,
+                    required_packages=(package.name,),
+                    capability="analysis",
+                )
+            )
+
+    chains = [
+        build_analysis_chain(
+            experiment="ZEUS",
+            process=process,
+            generator_settings=generator_settings[process],
+            n_events=events_per_chain,
+            chain_name=f"zeus-{process.replace('_', '-')}-chain",
+            steps=FULL_CHAIN_STEPS,
+        )
+        for process in ZEUS_PROCESSES
+    ]
+
+    return ExperimentDefinition(
+        name="ZEUS",
+        full_name="ZEUS experiment at HERA",
+        preservation_level=PreservationLevel.FULL_SOFTWARE,
+        inventory=inventory,
+        standalone_tests=standalone,
+        chains=chains,
+        display_colour="orange",
+    )
+
+
+__all__ = ["build_zeus_experiment", "ZEUS_PROCESSES"]

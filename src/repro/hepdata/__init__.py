@@ -1,0 +1,87 @@
+"""Synthetic HEP data substrate.
+
+Implements the full toy analysis chain the experiment validation tests run:
+Monte Carlo generation, detector simulation, reconstruction, multi-level file
+production (DST and micro-DST) and a physics analysis, plus the histogramming
+and statistical comparison machinery the validation framework uses to decide
+whether two runs agree.
+"""
+
+from repro.hepdata.analysis import (
+    AnalysisResult,
+    CrossSectionPoint,
+    PhysicsAnalysis,
+    SelectionCuts,
+    compare_cross_sections,
+)
+from repro.hepdata.dst import (
+    DSTFile,
+    DSTProducer,
+    DSTRecord,
+    MicroDST,
+    MicroDSTProducer,
+)
+from repro.hepdata.event import Event, EventRecord, FourVector, Particle
+from repro.hepdata.generator import (
+    GeneratorSettings,
+    MonteCarloGenerator,
+    default_processes,
+)
+from repro.hepdata.histogram import (
+    ComparisonResult,
+    Histogram1D,
+    HistogramSet,
+    chi2_comparison,
+    ks_comparison,
+)
+from repro.hepdata.numerics import (
+    NumericContext,
+    REFERENCE_CONTEXT,
+    context_for_environment,
+)
+from repro.hepdata.reconstruction import (
+    EventReconstruction,
+    Jet,
+    ReconstructedEvent,
+    ReconstructedKinematics,
+)
+from repro.hepdata.simulation import (
+    DetectorSettings,
+    DetectorSimulation,
+    detector_for_experiment,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "CrossSectionPoint",
+    "PhysicsAnalysis",
+    "SelectionCuts",
+    "compare_cross_sections",
+    "DSTFile",
+    "DSTProducer",
+    "DSTRecord",
+    "MicroDST",
+    "MicroDSTProducer",
+    "Event",
+    "EventRecord",
+    "FourVector",
+    "Particle",
+    "GeneratorSettings",
+    "MonteCarloGenerator",
+    "default_processes",
+    "ComparisonResult",
+    "Histogram1D",
+    "HistogramSet",
+    "chi2_comparison",
+    "ks_comparison",
+    "NumericContext",
+    "REFERENCE_CONTEXT",
+    "context_for_environment",
+    "EventReconstruction",
+    "Jet",
+    "ReconstructedEvent",
+    "ReconstructedKinematics",
+    "DetectorSettings",
+    "DetectorSimulation",
+    "detector_for_experiment",
+]

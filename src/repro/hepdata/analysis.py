@@ -1,0 +1,278 @@
+"""Physics analysis: the last step of a full validation chain.
+
+The final step of the H1 chain is "a full physics analysis and subsequent
+validation of the results".  This module implements a toy but complete
+analysis on the micro-DST level: event selection, control histograms, a
+single-differential cross-section measurement in Q² and a compact numeric
+summary.  The validation framework compares the histograms and the summary
+numbers between environments; the cross-section shape is also what the
+physics-level regression tests look at.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._common import ValidationError
+from repro.hepdata.dst import MicroDST
+from repro.hepdata.histogram import Histogram1D, HistogramSet
+from repro.hepdata.numerics import NumericContext, REFERENCE_CONTEXT
+
+
+@dataclass(frozen=True)
+class SelectionCuts:
+    """Event selection applied by the analysis."""
+
+    min_q2: float = 10.0
+    max_q2: float = 10000.0
+    min_y: float = 0.05
+    max_y: float = 0.9
+    min_jets: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_q2 >= self.max_q2:
+            raise ValidationError("min_q2 must be below max_q2")
+        if not 0.0 <= self.min_y < self.max_y <= 1.0:
+            raise ValidationError("require 0 <= min_y < max_y <= 1")
+        if self.min_jets < 0:
+            raise ValidationError("min_jets must be non-negative")
+
+
+@dataclass
+class CrossSectionPoint:
+    """One bin of the measured differential cross section."""
+
+    q2_low: float
+    q2_high: float
+    n_events: float
+    cross_section_pb: float
+    statistical_error_pb: float
+
+    @property
+    def q2_center(self) -> float:
+        """Geometric bin centre (the spectrum is steeply falling)."""
+        return math.sqrt(self.q2_low * self.q2_high)
+
+
+@dataclass
+class AnalysisResult:
+    """Full output of one physics analysis run."""
+
+    process: str
+    n_input_events: int
+    n_selected_events: int
+    histograms: HistogramSet
+    cross_section: List[CrossSectionPoint]
+    summary: Dict[str, float]
+
+    @property
+    def selection_efficiency(self) -> float:
+        """Fraction of input events passing the selection."""
+        if self.n_input_events == 0:
+            return 0.0
+        return self.n_selected_events / self.n_input_events
+
+
+#: Q² bin edges of the cross-section measurement (GeV²).
+DEFAULT_Q2_BINS = (10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 3000.0, 10000.0)
+
+
+class PhysicsAnalysis:
+    """Runs the toy physics analysis on a micro-DST."""
+
+    def __init__(
+        self,
+        process: str = "nc_dis",
+        cuts: Optional[SelectionCuts] = None,
+        luminosity_pb: float = 100.0,
+        q2_bins: Sequence[float] = DEFAULT_Q2_BINS,
+        numeric_context: Optional[NumericContext] = None,
+    ) -> None:
+        if luminosity_pb <= 0:
+            raise ValidationError("luminosity must be positive")
+        if len(q2_bins) < 2:
+            raise ValidationError("need at least two Q2 bin edges")
+        if list(q2_bins) != sorted(q2_bins):
+            raise ValidationError("Q2 bin edges must be increasing")
+        self.process = process
+        self.cuts = cuts or SelectionCuts()
+        self.luminosity_pb = luminosity_pb
+        self.q2_bins = tuple(float(edge) for edge in q2_bins)
+        self.numeric_context = numeric_context or REFERENCE_CONTEXT
+
+    def run(self, micro_dst: MicroDST) -> AnalysisResult:
+        """Apply the selection, fill histograms and measure the cross section."""
+        n_input = len(micro_dst)
+        selected = self._select(micro_dst)
+        histograms = self._fill_histograms(selected)
+        cross_section = self._measure_cross_section(selected)
+        summary = self._summarise(selected, cross_section, n_input)
+        return AnalysisResult(
+            process=self.process,
+            n_input_events=n_input,
+            n_selected_events=len(selected),
+            histograms=histograms,
+            cross_section=cross_section,
+            summary=summary,
+        )
+
+    def _select(self, micro_dst: MicroDST) -> MicroDST:
+        """Apply the analysis selection cuts."""
+        if len(micro_dst) == 0:
+            return micro_dst
+        q2 = micro_dst.column("q2")
+        y = micro_dst.column("y")
+        n_jets = micro_dst.column("n_jets")
+        mask = (
+            (q2 >= self.cuts.min_q2)
+            & (q2 < self.cuts.max_q2)
+            & (y >= self.cuts.min_y)
+            & (y < self.cuts.max_y)
+            & (n_jets >= self.cuts.min_jets)
+        )
+        return micro_dst.select(mask)
+
+    def _fill_histograms(self, selected: MicroDST) -> HistogramSet:
+        """Fill the control distributions of the analysis."""
+        histograms = HistogramSet()
+        q2_hist = Histogram1D("q2", 40, self.cuts.min_q2, self.cuts.max_q2, log_bins=True)
+        x_hist = Histogram1D("x", 40, 1e-5, 1.0, log_bins=True)
+        y_hist = Histogram1D("y", 20, 0.0, 1.0)
+        mult_hist = Histogram1D("charged_multiplicity", 30, 0.0, 60.0)
+        jet_pt_hist = Histogram1D("leading_jet_pt", 30, 0.0, 60.0)
+        et_hist = Histogram1D("transverse_energy", 40, 0.0, 200.0)
+        if len(selected) > 0:
+            weights = selected.column("weight")
+            q2_hist.fill_many(
+                self.numeric_context.perturb_array(selected.column("q2"), "hist:q2"),
+                weights,
+            )
+            x_hist.fill_many(selected.column("x"), weights)
+            y_hist.fill_many(selected.column("y"), weights)
+            mult_hist.fill_many(selected.column("charged_multiplicity"), weights)
+            jet_pt_hist.fill_many(selected.column("leading_jet_pt"), weights)
+            et_hist.fill_many(
+                self.numeric_context.perturb_array(
+                    selected.column("transverse_energy"), "hist:et"
+                ),
+                weights,
+            )
+        for histogram in (q2_hist, x_hist, y_hist, mult_hist, jet_pt_hist, et_hist):
+            histograms.add(histogram)
+        return histograms
+
+    def _measure_cross_section(self, selected: MicroDST) -> List[CrossSectionPoint]:
+        """Single-differential cross section dσ/dQ² from the selected events."""
+        points: List[CrossSectionPoint] = []
+        if len(selected) > 0:
+            q2 = selected.column("q2")
+            weights = selected.column("weight")
+        else:
+            q2 = np.array([])
+            weights = np.array([])
+        for low, high in zip(self.q2_bins[:-1], self.q2_bins[1:]):
+            if len(q2) > 0:
+                mask = (q2 >= low) & (q2 < high)
+                yield_in_bin = float(weights[mask].sum())
+            else:
+                yield_in_bin = 0.0
+            width = high - low
+            cross_section = yield_in_bin / (self.luminosity_pb * width)
+            error = math.sqrt(max(yield_in_bin, 0.0)) / (self.luminosity_pb * width)
+            cross_section = self.numeric_context.perturb_scalar(
+                cross_section, f"xsec:{low}:{high}"
+            )
+            points.append(
+                CrossSectionPoint(
+                    q2_low=low,
+                    q2_high=high,
+                    n_events=yield_in_bin,
+                    cross_section_pb=cross_section,
+                    statistical_error_pb=error,
+                )
+            )
+        return points
+
+    def _summarise(
+        self,
+        selected: MicroDST,
+        cross_section: List[CrossSectionPoint],
+        n_input: int,
+    ) -> Dict[str, float]:
+        """Numeric summary compared between validation runs."""
+        total_xsec = sum(
+            point.cross_section_pb * (point.q2_high - point.q2_low)
+            for point in cross_section
+        )
+        summary = {
+            "n_input_events": float(n_input),
+            "n_selected_events": float(len(selected)),
+            "selection_efficiency": (len(selected) / n_input) if n_input else 0.0,
+            "total_cross_section_pb": total_xsec,
+        }
+        if len(selected) > 0:
+            summary["mean_q2"] = float(selected.column("q2").mean())
+            summary["mean_multiplicity"] = float(
+                selected.column("charged_multiplicity").mean()
+            )
+            summary["mean_jet_pt"] = float(selected.column("leading_jet_pt").mean())
+        else:
+            summary["mean_q2"] = 0.0
+            summary["mean_multiplicity"] = 0.0
+            summary["mean_jet_pt"] = 0.0
+        return summary
+
+
+def compare_cross_sections(
+    reference: Sequence[CrossSectionPoint],
+    candidate: Sequence[CrossSectionPoint],
+    n_sigma: float = 3.0,
+) -> Tuple[bool, List[str]]:
+    """Compare two cross-section measurements bin by bin.
+
+    Returns a (compatible, messages) pair; bins differing by more than
+    ``n_sigma`` combined standard deviations are reported.
+    """
+    if len(reference) != len(candidate):
+        return False, ["different number of cross-section bins"]
+    messages: List[str] = []
+    for ref_point, cand_point in zip(reference, candidate):
+        if not math.isclose(ref_point.q2_low, cand_point.q2_low) or not math.isclose(
+            ref_point.q2_high, cand_point.q2_high
+        ):
+            messages.append(
+                f"bin edges differ: [{ref_point.q2_low}, {ref_point.q2_high}) vs "
+                f"[{cand_point.q2_low}, {cand_point.q2_high})"
+            )
+            continue
+        combined_error = math.hypot(
+            ref_point.statistical_error_pb, cand_point.statistical_error_pb
+        )
+        difference = abs(ref_point.cross_section_pb - cand_point.cross_section_pb)
+        if combined_error == 0.0:
+            if difference > 0.0:
+                messages.append(
+                    f"bin [{ref_point.q2_low}, {ref_point.q2_high}): values differ "
+                    "with zero statistical error"
+                )
+            continue
+        if difference > n_sigma * combined_error:
+            messages.append(
+                f"bin [{ref_point.q2_low}, {ref_point.q2_high}): "
+                f"{difference / combined_error:.1f} sigma deviation"
+            )
+    return not messages, messages
+
+
+__all__ = [
+    "SelectionCuts",
+    "CrossSectionPoint",
+    "AnalysisResult",
+    "PhysicsAnalysis",
+    "compare_cross_sections",
+    "DEFAULT_Q2_BINS",
+]

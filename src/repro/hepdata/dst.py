@@ -1,0 +1,205 @@
+"""Data summary formats: the multi-level file production of the chains.
+
+The H1 chain in the paper goes "from MC generation and simulation, through
+multi-level file production and ending with a full physics analysis".  This
+module models that multi-level file production: reconstructed events are
+condensed into DST (data summary tape) records, which are further reduced to
+analysis-level micro-DST (ntuple-like) rows.  Both levels can be serialised to
+plain dictionaries, which is how the validation framework stores chain
+outputs on the common storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro._common import ValidationError
+from repro.hepdata.reconstruction import ReconstructedEvent
+
+
+#: Columns of the analysis-level micro-DST ntuple.
+MICRO_DST_COLUMNS = (
+    "event_number",
+    "q2",
+    "x",
+    "y",
+    "n_jets",
+    "leading_jet_pt",
+    "charged_multiplicity",
+    "transverse_energy",
+    "weight",
+)
+
+
+@dataclass(frozen=True)
+class DSTRecord:
+    """One event on the data summary tape."""
+
+    event_number: int
+    process: str
+    q_squared: float
+    bjorken_x: float
+    inelasticity: float
+    n_jets: int
+    leading_jet_pt: float
+    charged_multiplicity: int
+    transverse_energy: float
+    kinematics_consistent: bool
+    weight: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to plain types for storage."""
+        return {
+            "event_number": self.event_number,
+            "process": self.process,
+            "q_squared": self.q_squared,
+            "bjorken_x": self.bjorken_x,
+            "inelasticity": self.inelasticity,
+            "n_jets": self.n_jets,
+            "leading_jet_pt": self.leading_jet_pt,
+            "charged_multiplicity": self.charged_multiplicity,
+            "transverse_energy": self.transverse_energy,
+            "kinematics_consistent": self.kinematics_consistent,
+            "weight": self.weight,
+        }
+
+
+class DSTFile:
+    """An ordered collection of :class:`DSTRecord` objects."""
+
+    def __init__(self, records: Optional[Sequence[DSTRecord]] = None,
+                 production_tag: str = "") -> None:
+        self.records: List[DSTRecord] = list(records or [])
+        self.production_tag = production_tag
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def append(self, record: DSTRecord) -> None:
+        """Add a record to the file."""
+        self.records.append(record)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise the whole file."""
+        return {
+            "production_tag": self.production_tag,
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics used by file-level validation comparisons."""
+        if not self.records:
+            return {"n_records": 0.0, "mean_q2": 0.0, "mean_jets": 0.0, "total_weight": 0.0}
+        q2 = np.array([record.q_squared for record in self.records])
+        jets = np.array([record.n_jets for record in self.records], dtype=float)
+        weights = np.array([record.weight for record in self.records])
+        return {
+            "n_records": float(len(self.records)),
+            "mean_q2": float(q2.mean()),
+            "mean_jets": float(jets.mean()),
+            "total_weight": float(weights.sum()),
+        }
+
+
+class DSTProducer:
+    """Produces DST files from reconstructed events."""
+
+    def __init__(self, production_tag: str = "dst-production") -> None:
+        self.production_tag = production_tag
+
+    def produce(self, reconstructed: Iterable[ReconstructedEvent]) -> DSTFile:
+        """Condense reconstructed events into a DST file."""
+        dst = DSTFile(production_tag=self.production_tag)
+        for event in reconstructed:
+            leading_pt = max((jet.pt for jet in event.jets), default=0.0)
+            dst.append(
+                DSTRecord(
+                    event_number=event.event_number,
+                    process=event.process,
+                    q_squared=event.kinematics.q_squared_electron,
+                    bjorken_x=event.kinematics.bjorken_x_electron,
+                    inelasticity=event.kinematics.inelasticity_electron,
+                    n_jets=len(event.jets),
+                    leading_jet_pt=leading_pt,
+                    charged_multiplicity=event.charged_multiplicity,
+                    transverse_energy=event.transverse_energy,
+                    kinematics_consistent=event.kinematics.consistent(),
+                    weight=event.weight,
+                )
+            )
+        return dst
+
+
+class MicroDST:
+    """Analysis-level ntuple: a column-oriented reduction of a DST file."""
+
+    def __init__(self, columns: Optional[Dict[str, np.ndarray]] = None) -> None:
+        self.columns: Dict[str, np.ndarray] = columns or {
+            name: np.array([]) for name in MICRO_DST_COLUMNS
+        }
+        lengths = {len(values) for values in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValidationError("micro-DST columns must have equal length")
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the named column."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ValidationError(f"micro-DST has no column {name!r}") from None
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        """Serialise columns to plain lists."""
+        return {name: values.tolist() for name, values in self.columns.items()}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, List[float]]) -> "MicroDST":
+        """Reconstruct from :meth:`to_dict` output."""
+        return cls({name: np.array(values, dtype=float) for name, values in payload.items()})
+
+    def select(self, mask: np.ndarray) -> "MicroDST":
+        """Return a micro-DST containing only the rows where *mask* is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != len(self):
+            raise ValidationError("selection mask length does not match rows")
+        return MicroDST({name: values[mask] for name, values in self.columns.items()})
+
+
+class MicroDSTProducer:
+    """Reduces DST files to analysis-level micro-DSTs."""
+
+    def produce(self, dst: DSTFile) -> MicroDST:
+        """Flatten a DST file into columns."""
+        columns: Dict[str, List[float]] = {name: [] for name in MICRO_DST_COLUMNS}
+        for record in dst:
+            columns["event_number"].append(float(record.event_number))
+            columns["q2"].append(record.q_squared)
+            columns["x"].append(record.bjorken_x)
+            columns["y"].append(record.inelasticity)
+            columns["n_jets"].append(float(record.n_jets))
+            columns["leading_jet_pt"].append(record.leading_jet_pt)
+            columns["charged_multiplicity"].append(float(record.charged_multiplicity))
+            columns["transverse_energy"].append(record.transverse_energy)
+            columns["weight"].append(record.weight)
+        return MicroDST({name: np.array(values, dtype=float) for name, values in columns.items()})
+
+
+__all__ = [
+    "DSTRecord",
+    "DSTFile",
+    "DSTProducer",
+    "MicroDST",
+    "MicroDSTProducer",
+    "MICRO_DST_COLUMNS",
+]

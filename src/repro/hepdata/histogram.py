@@ -1,0 +1,384 @@
+"""Histogramming and statistical comparison of validation outputs.
+
+Many of the sp-system validation outputs are histograms ("This file may be a
+simple yes/no, a text file, a histogram, a root file...").  The validation
+framework needs to decide whether a histogram produced in a new environment is
+statistically compatible with the one from the last successful run.  This
+module provides a small 1-D histogram class plus the chi-square and
+Kolmogorov–Smirnov compatibility tests used for that decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._common import ValidationError
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing two histograms."""
+
+    statistic: float
+    p_value: float
+    compatible: bool
+    method: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method}: statistic={self.statistic:.4g}, "
+            f"p={self.p_value:.4g} -> {'compatible' if self.compatible else 'INCOMPATIBLE'}"
+        )
+
+
+class Histogram1D:
+    """A fixed-binning one dimensional histogram with sum-of-weights errors."""
+
+    def __init__(
+        self,
+        name: str,
+        n_bins: int,
+        low: float,
+        high: float,
+        log_bins: bool = False,
+    ) -> None:
+        if n_bins <= 0:
+            raise ValidationError("histogram needs at least one bin")
+        if high <= low:
+            raise ValidationError("histogram upper edge must exceed lower edge")
+        if log_bins and low <= 0:
+            raise ValidationError("logarithmic binning requires a positive lower edge")
+        self.name = name
+        self.n_bins = n_bins
+        self.low = low
+        self.high = high
+        self.log_bins = log_bins
+        if log_bins:
+            self.edges = np.logspace(math.log10(low), math.log10(high), n_bins + 1)
+        else:
+            self.edges = np.linspace(low, high, n_bins + 1)
+        self.counts = np.zeros(n_bins, dtype=float)
+        self.sum_weights_squared = np.zeros(n_bins, dtype=float)
+        self.underflow = 0.0
+        self.overflow = 0.0
+        self.n_entries = 0
+
+    def fill(self, value: float, weight: float = 1.0) -> None:
+        """Add one entry to the histogram."""
+        self.n_entries += 1
+        if value < self.low:
+            self.underflow += weight
+            return
+        if value >= self.high:
+            self.overflow += weight
+            return
+        index = int(np.searchsorted(self.edges, value, side="right")) - 1
+        index = min(max(index, 0), self.n_bins - 1)
+        self.counts[index] += weight
+        self.sum_weights_squared[index] += weight * weight
+
+    def fill_many(self, values: Iterable[float], weights: Optional[Iterable[float]] = None) -> None:
+        """Add many entries; *weights* defaults to one per entry."""
+        values = list(values)
+        if weights is None:
+            weights = [1.0] * len(values)
+        else:
+            weights = list(weights)
+        if len(weights) != len(values):
+            raise ValidationError("values and weights must have equal length")
+        for value, weight in zip(values, weights):
+            self.fill(float(value), float(weight))
+
+    @property
+    def total(self) -> float:
+        """Integral of the histogram (excluding under/overflow)."""
+        return float(self.counts.sum())
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        """Centres of all bins."""
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    def bin_errors(self) -> np.ndarray:
+        """Per-bin statistical errors (sqrt of the sum of squared weights)."""
+        return np.sqrt(self.sum_weights_squared)
+
+    def mean(self) -> float:
+        """Weighted mean of the histogrammed variable."""
+        if self.total == 0:
+            return 0.0
+        return float(np.average(self.bin_centers, weights=self.counts))
+
+    def std(self) -> float:
+        """Weighted standard deviation of the histogrammed variable."""
+        if self.total == 0:
+            return 0.0
+        mean = self.mean()
+        variance = float(np.average((self.bin_centers - mean) ** 2, weights=self.counts))
+        return math.sqrt(max(variance, 0.0))
+
+    def normalised(self) -> np.ndarray:
+        """Bin contents normalised to unit integral."""
+        if self.total == 0:
+            return np.zeros_like(self.counts)
+        return self.counts / self.total
+
+    def scaled(self, factor: float) -> "Histogram1D":
+        """Return a copy with contents and errors scaled by *factor*."""
+        clone = self.clone()
+        clone.counts = self.counts * factor
+        clone.sum_weights_squared = self.sum_weights_squared * factor * factor
+        clone.underflow = self.underflow * factor
+        clone.overflow = self.overflow * factor
+        return clone
+
+    def clone(self, name: Optional[str] = None) -> "Histogram1D":
+        """Return a deep copy of the histogram, optionally renamed."""
+        clone = Histogram1D(
+            name or self.name, self.n_bins, self.low, self.high, self.log_bins
+        )
+        clone.counts = self.counts.copy()
+        clone.sum_weights_squared = self.sum_weights_squared.copy()
+        clone.underflow = self.underflow
+        clone.overflow = self.overflow
+        clone.n_entries = self.n_entries
+        return clone
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise the histogram to plain Python types (for storage)."""
+        return {
+            "name": self.name,
+            "n_bins": self.n_bins,
+            "low": self.low,
+            "high": self.high,
+            "log_bins": self.log_bins,
+            "counts": self.counts.tolist(),
+            "sum_weights_squared": self.sum_weights_squared.tolist(),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "n_entries": self.n_entries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Histogram1D":
+        """Reconstruct a histogram serialised by :meth:`to_dict`."""
+        histogram = cls(
+            str(payload["name"]),
+            int(payload["n_bins"]),
+            float(payload["low"]),
+            float(payload["high"]),
+            bool(payload.get("log_bins", False)),
+        )
+        histogram.counts = np.array(payload["counts"], dtype=float)
+        histogram.sum_weights_squared = np.array(
+            payload["sum_weights_squared"], dtype=float
+        )
+        histogram.underflow = float(payload.get("underflow", 0.0))
+        histogram.overflow = float(payload.get("overflow", 0.0))
+        histogram.n_entries = int(payload.get("n_entries", 0))
+        return histogram
+
+    def compatible_binning(self, other: "Histogram1D") -> bool:
+        """Return True if *other* has identical binning."""
+        return (
+            self.n_bins == other.n_bins
+            and math.isclose(self.low, other.low)
+            and math.isclose(self.high, other.high)
+            and self.log_bins == other.log_bins
+        )
+
+
+def chi2_comparison(
+    reference: Histogram1D,
+    candidate: Histogram1D,
+    threshold_p_value: float = 0.01,
+) -> ComparisonResult:
+    """Bin-by-bin chi-square compatibility test between two histograms."""
+    _require_same_binning(reference, candidate)
+    errors_squared = reference.sum_weights_squared + candidate.sum_weights_squared
+    mask = errors_squared > 0
+    n_dof = int(mask.sum())
+    if n_dof == 0:
+        return ComparisonResult(0.0, 1.0, True, "chi2", "both histograms empty")
+    delta = reference.counts[mask] - candidate.counts[mask]
+    chi2 = float(np.sum(delta * delta / errors_squared[mask]))
+    p_value = _chi2_survival(chi2, n_dof)
+    return ComparisonResult(
+        statistic=chi2,
+        p_value=p_value,
+        compatible=p_value >= threshold_p_value,
+        method="chi2",
+        detail=f"chi2/ndof = {chi2:.2f}/{n_dof}",
+    )
+
+
+def ks_comparison(
+    reference: Histogram1D,
+    candidate: Histogram1D,
+    threshold_p_value: float = 0.01,
+) -> ComparisonResult:
+    """Kolmogorov–Smirnov compatibility test on the binned distributions."""
+    _require_same_binning(reference, candidate)
+    total_ref = reference.total
+    total_cand = candidate.total
+    if total_ref == 0 and total_cand == 0:
+        return ComparisonResult(0.0, 1.0, True, "ks", "both histograms empty")
+    if total_ref == 0 or total_cand == 0:
+        return ComparisonResult(1.0, 0.0, False, "ks", "one histogram empty")
+    cdf_ref = np.cumsum(reference.counts) / total_ref
+    cdf_cand = np.cumsum(candidate.counts) / total_cand
+    statistic = float(np.max(np.abs(cdf_ref - cdf_cand)))
+    effective_n = total_ref * total_cand / (total_ref + total_cand)
+    p_value = _ks_survival(statistic * (math.sqrt(effective_n) + 0.12 + 0.11 / math.sqrt(effective_n)))
+    return ComparisonResult(
+        statistic=statistic,
+        p_value=p_value,
+        compatible=p_value >= threshold_p_value,
+        method="ks",
+        detail=f"max CDF distance = {statistic:.4f}",
+    )
+
+
+def _require_same_binning(reference: Histogram1D, candidate: Histogram1D) -> None:
+    if not reference.compatible_binning(candidate):
+        raise ValidationError(
+            f"histograms {reference.name!r} and {candidate.name!r} have different binning"
+        )
+
+
+def _chi2_survival(chi2: float, n_dof: int) -> float:
+    """Survival function of the chi-square distribution (regularised gamma)."""
+    if chi2 <= 0:
+        return 1.0
+    return float(_upper_incomplete_gamma_regularised(n_dof / 2.0, chi2 / 2.0))
+
+
+def _upper_incomplete_gamma_regularised(a: float, x: float) -> float:
+    """Q(a, x) using a series / continued fraction split, as in Numerical Recipes."""
+    if x < 0 or a <= 0:
+        raise ValidationError("invalid arguments to incomplete gamma")
+    if x == 0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _lower_gamma_series(a, x)
+    return _upper_gamma_continued_fraction(a, x)
+
+
+def _lower_gamma_series(a: float, x: float) -> float:
+    term = 1.0 / a
+    total = term
+    for n in range(1, 500):
+        term *= x / (a + n)
+        total += term
+        if abs(term) < abs(total) * 1e-14:
+            break
+    log_prefactor = -x + a * math.log(x) - math.lgamma(a)
+    return total * math.exp(log_prefactor)
+
+
+def _upper_gamma_continued_fraction(a: float, x: float) -> float:
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    log_prefactor = -x + a * math.log(x) - math.lgamma(a)
+    return math.exp(log_prefactor) * h
+
+
+def _ks_survival(lam: float) -> float:
+    """Kolmogorov distribution survival function."""
+    if lam <= 0:
+        return 1.0
+    total = 0.0
+    for j in range(1, 101):
+        term = 2.0 * (-1.0) ** (j - 1) * math.exp(-2.0 * j * j * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return min(max(total, 0.0), 1.0)
+
+
+class HistogramSet:
+    """A named collection of histograms, the typical output of one test."""
+
+    def __init__(self, histograms: Optional[Sequence[Histogram1D]] = None) -> None:
+        self._histograms: Dict[str, Histogram1D] = {}
+        for histogram in histograms or []:
+            self.add(histogram)
+
+    def add(self, histogram: Histogram1D) -> None:
+        """Add a histogram, rejecting duplicate names."""
+        if histogram.name in self._histograms:
+            raise ValidationError(f"duplicate histogram name {histogram.name!r}")
+        self._histograms[histogram.name] = histogram
+
+    def get(self, name: str) -> Histogram1D:
+        """Return the histogram called *name*."""
+        try:
+            return self._histograms[name]
+        except KeyError:
+            raise ValidationError(f"no histogram named {name!r}") from None
+
+    def names(self) -> List[str]:
+        """Sorted list of histogram names."""
+        return sorted(self._histograms)
+
+    def __len__(self) -> int:
+        return len(self._histograms)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._histograms
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """Serialise every histogram in the set."""
+        return {name: histogram.to_dict() for name, histogram in self._histograms.items()}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Dict[str, object]]) -> "HistogramSet":
+        """Reconstruct a set serialised by :meth:`to_dict`."""
+        return cls([Histogram1D.from_dict(entry) for entry in payload.values()])
+
+    def compare(
+        self,
+        other: "HistogramSet",
+        method: str = "chi2",
+        threshold_p_value: float = 0.01,
+    ) -> Dict[str, ComparisonResult]:
+        """Compare all histograms present in both sets."""
+        compare_fn = chi2_comparison if method == "chi2" else ks_comparison
+        results: Dict[str, ComparisonResult] = {}
+        for name in self.names():
+            if name in other:
+                results[name] = compare_fn(
+                    self.get(name), other.get(name), threshold_p_value
+                )
+        return results
+
+
+__all__ = [
+    "Histogram1D",
+    "HistogramSet",
+    "ComparisonResult",
+    "chi2_comparison",
+    "ks_comparison",
+]

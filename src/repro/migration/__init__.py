@@ -1,0 +1,27 @@
+"""Migration strategies, lifetime modelling and migration planning."""
+
+from repro.migration.lifetime import (
+    LifetimeComparison,
+    LifetimeResult,
+    LifetimeSimulator,
+)
+from repro.migration.planner import MigrationItem, MigrationPlan, MigrationPlanner
+from repro.migration.strategies import (
+    ActiveMigrationStrategy,
+    FreezeStrategy,
+    PreservationStrategy,
+    StrategyYearResult,
+)
+
+__all__ = [
+    "LifetimeComparison",
+    "LifetimeResult",
+    "LifetimeSimulator",
+    "MigrationItem",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "ActiveMigrationStrategy",
+    "FreezeStrategy",
+    "PreservationStrategy",
+    "StrategyYearResult",
+]

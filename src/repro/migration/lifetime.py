@@ -1,0 +1,152 @@
+"""Software lifetime model: how long does the data stay usable?
+
+The paper's central argument for active migration is that it "substantially
+extend[s] the lifetime of the software, and hence the data".  The
+:class:`LifetimeSimulator` quantifies that: it replays the environment
+timeline year by year, lets a :class:`PreservationStrategy` react to it, and
+records for every year whether the experiment software is still fully usable.
+The resulting :class:`LifetimeComparison` is the basis of the
+freeze-versus-migration ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro._common import ValidationError
+from repro.buildsys.package import PackageInventory
+from repro.environment.evolution import EnvironmentTimeline
+from repro.migration.strategies import PreservationStrategy, StrategyYearResult
+
+
+@dataclass
+class LifetimeResult:
+    """Year-by-year usability of one strategy."""
+
+    strategy_name: str
+    start_year: int
+    end_year: int
+    yearly: List[StrategyYearResult] = field(default_factory=list)
+
+    @property
+    def usable_years(self) -> int:
+        """Number of years in which the software stack was fully usable."""
+        return sum(1 for result in self.yearly if result.fully_usable)
+
+    @property
+    def lifetime_years(self) -> int:
+        """Years until the first year in which the stack is no longer usable."""
+        lifetime = 0
+        for result in self.yearly:
+            if result.fully_usable:
+                lifetime += 1
+            else:
+                break
+        return lifetime
+
+    @property
+    def total_effort_person_weeks(self) -> float:
+        """Accumulated migration effort over the whole period."""
+        return sum(result.migration_effort_person_weeks for result in self.yearly)
+
+    def usable_fraction_by_year(self) -> Dict[int, float]:
+        """Mapping year -> fraction of packages usable that year."""
+        return {result.year: result.usable_fraction for result in self.yearly}
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flatten for the benchmark harness output."""
+        return [
+            {
+                "year": result.year,
+                "strategy": self.strategy_name,
+                "configuration": result.configuration_key,
+                "usable_fraction": round(result.usable_fraction, 4),
+                "security_supported": result.security_supported,
+                "effort_person_weeks": round(result.migration_effort_person_weeks, 2),
+            }
+            for result in self.yearly
+        ]
+
+
+@dataclass
+class LifetimeComparison:
+    """Side-by-side lifetime results of several strategies."""
+
+    results: Dict[str, LifetimeResult] = field(default_factory=dict)
+
+    def add(self, result: LifetimeResult) -> None:
+        """Record the result of one strategy."""
+        self.results[result.strategy_name] = result
+
+    def result(self, strategy_name: str) -> LifetimeResult:
+        """Return the result of the named strategy."""
+        try:
+            return self.results[strategy_name]
+        except KeyError:
+            raise ValidationError(f"no lifetime result for strategy {strategy_name!r}") from None
+
+    def lifetime_extension_years(
+        self, baseline: str = "freeze", improved: str = "active-migration"
+    ) -> int:
+        """How many more usable years the improved strategy provides."""
+        return self.result(improved).usable_years - self.result(baseline).usable_years
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All strategies' year-by-year rows, interleaved by year."""
+        rows: List[Dict[str, object]] = []
+        for result in self.results.values():
+            rows.extend(result.rows())
+        return sorted(rows, key=lambda row: (row["year"], row["strategy"]))
+
+
+class LifetimeSimulator:
+    """Replays the environment timeline against preservation strategies."""
+
+    def __init__(self, timeline: Optional[EnvironmentTimeline] = None) -> None:
+        self.timeline = timeline or EnvironmentTimeline()
+
+    def simulate(
+        self,
+        strategy: PreservationStrategy,
+        inventory: PackageInventory,
+        start_year: int,
+        end_year: int,
+    ) -> LifetimeResult:
+        """Run one strategy over the given year range.
+
+        The inventory is deep-copied so that the porting performed by the
+        active-migration strategy does not leak into other simulations.
+        """
+        if end_year < start_year:
+            raise ValidationError("end_year must not precede start_year")
+        working_inventory = copy.deepcopy(inventory)
+        result = LifetimeResult(
+            strategy_name=strategy.name, start_year=start_year, end_year=end_year
+        )
+        for snapshot in self.timeline.replay(start_year, end_year):
+            year_result = strategy.evaluate_year(
+                year=snapshot.year,
+                inventory=working_inventory,
+                recommended=snapshot.recommended,
+                supported_os_names=snapshot.supported_operating_systems,
+            )
+            result.yearly.append(year_result)
+        return result
+
+    def compare(
+        self,
+        strategies: Sequence[PreservationStrategy],
+        inventory: PackageInventory,
+        start_year: int,
+        end_year: int,
+    ) -> LifetimeComparison:
+        """Run several strategies over the same period and inventory."""
+        comparison = LifetimeComparison()
+        for strategy in strategies:
+            comparison.add(self.simulate(strategy, inventory, start_year, end_year))
+        return comparison
+
+
+__all__ = ["LifetimeResult", "LifetimeComparison", "LifetimeSimulator"]

@@ -1,0 +1,172 @@
+"""Migration planner: preparing the move to the next platform.
+
+"The experiments are in the process of migrating to SL6/64bit, and the tests
+performed so far using the sp-system have already identified and helped to
+solve several long-standing bugs.  The next challenges include the testing of
+the SL7 environment and checking the compatibility of the experiments
+software with ROOT 6."  The :class:`MigrationPlanner` produces exactly that
+kind of assessment: given an experiment and a target configuration it
+predicts which packages and tests will break, estimates the porting effort
+and orders the work by how much of the suite each fix unblocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.buildsys.builder import PackageBuilder
+from repro.buildsys.graph import DependencyGraph
+from repro.core.testspec import ExperimentDefinition
+from repro.environment.compatibility import CompatibilityChecker, IssueCategory
+from repro.environment.configuration import EnvironmentConfiguration
+
+
+@dataclass
+class MigrationItem:
+    """One package or test that needs work before the migration can succeed."""
+
+    name: str
+    item_type: str
+    categories: List[str] = field(default_factory=list)
+    blocking: int = 0
+    effort_person_weeks: float = 0.0
+    details: List[str] = field(default_factory=list)
+
+
+@dataclass
+class MigrationPlan:
+    """The full migration assessment for one experiment and target."""
+
+    experiment: str
+    source_configuration: str
+    target_configuration: str
+    items: List[MigrationItem] = field(default_factory=list)
+    predicted_pass_fraction: float = 1.0
+    total_effort_person_weeks: float = 0.0
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when nothing needs to be done for the migration."""
+        return not self.items
+
+    def ordered_items(self) -> List[MigrationItem]:
+        """Items ordered by how much of the suite they block (most first)."""
+        return sorted(
+            self.items, key=lambda item: (-item.blocking, -item.effort_person_weeks, item.name)
+        )
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Flatten for report output."""
+        return [
+            {
+                "name": item.name,
+                "type": item.item_type,
+                "categories": ",".join(item.categories),
+                "blocking": item.blocking,
+                "effort_person_weeks": round(item.effort_person_weeks, 2),
+            }
+            for item in self.ordered_items()
+        ]
+
+
+class MigrationPlanner:
+    """Predicts the work needed to migrate an experiment to a new environment."""
+
+    def __init__(
+        self,
+        builder: Optional[PackageBuilder] = None,
+        checker: Optional[CompatibilityChecker] = None,
+        port_effort_weeks_per_10kloc: float = 0.5,
+    ) -> None:
+        self.builder = builder or PackageBuilder()
+        self.checker = checker or CompatibilityChecker()
+        self.port_effort_weeks_per_10kloc = port_effort_weeks_per_10kloc
+
+    def plan(
+        self,
+        experiment: ExperimentDefinition,
+        source: EnvironmentConfiguration,
+        target: EnvironmentConfiguration,
+    ) -> MigrationPlan:
+        """Assess the migration of *experiment* from *source* to *target*."""
+        plan = MigrationPlan(
+            experiment=experiment.name,
+            source_configuration=source.key,
+            target_configuration=target.key,
+        )
+        graph = DependencyGraph(experiment.inventory)
+        campaign = self.builder.build_inventory(experiment.inventory, target)
+        broken_packages = set(campaign.failed_packages())
+        unusable_packages = broken_packages | set(campaign.skipped_packages())
+
+        for package_name in sorted(broken_packages):
+            package = experiment.inventory.get(package_name)
+            issues = self.checker.errors(package.requirements, target)
+            dependents = graph.transitive_dependents(package_name)
+            tests_blocked = sum(
+                1 for test in experiment.all_tests()
+                if any(required in ({package_name} | dependents) for required in test.required_packages)
+            )
+            plan.items.append(
+                MigrationItem(
+                    name=package_name,
+                    item_type="package",
+                    categories=sorted({issue.category.value for issue in issues}),
+                    blocking=len(dependents) + tests_blocked + 1,
+                    effort_person_weeks=(
+                        self.port_effort_weeks_per_10kloc * package.lines_of_code / 10000.0
+                    ),
+                    details=[str(issue) for issue in issues],
+                )
+            )
+
+        broken_tests = 0
+        total_tests = 0
+        for test in experiment.all_tests():
+            total_tests += 1
+            issues = self.checker.errors(test.requirements, target)
+            needs_broken_package = any(
+                required in unusable_packages for required in test.required_packages
+            )
+            if needs_broken_package:
+                broken_tests += 1
+                continue
+            if issues:
+                broken_tests += 1
+                plan.items.append(
+                    MigrationItem(
+                        name=test.name,
+                        item_type="test",
+                        categories=sorted({issue.category.value for issue in issues}),
+                        blocking=1,
+                        effort_person_weeks=0.2,
+                        details=[str(issue) for issue in issues],
+                    )
+                )
+
+        total_tests += len(experiment.inventory)
+        broken_compilations = len(unusable_packages)
+        plan.predicted_pass_fraction = (
+            (total_tests - broken_tests - broken_compilations) / total_tests
+            if total_tests
+            else 1.0
+        )
+        plan.total_effort_person_weeks = sum(
+            item.effort_person_weeks for item in plan.items
+        )
+        return plan
+
+    def compare_targets(
+        self,
+        experiment: ExperimentDefinition,
+        source: EnvironmentConfiguration,
+        targets: List[EnvironmentConfiguration],
+    ) -> Dict[str, MigrationPlan]:
+        """Plan the migration to each of several candidate targets."""
+        return {
+            target.key: self.plan(experiment, source, target) for target in targets
+        }
+
+
+__all__ = ["MigrationItem", "MigrationPlan", "MigrationPlanner"]

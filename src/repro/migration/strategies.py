@@ -1,0 +1,210 @@
+"""Preservation strategies: freeze versus active migration.
+
+Section 2 of the paper contrasts two ways of reaching a level-4 preservation
+goal: freezing the current system inside a virtual machine ("a workable
+solution for the medium-term future", but "the operability of the software and
+correctness of the results are not guaranteed"), and the approach taken at
+DESY — actively adapting and validating the software whenever the environment
+changes.  The two :class:`PreservationStrategy` implementations reproduce
+exactly that trade-off so the lifetime model can quantify it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro._common import ValidationError
+from repro.buildsys.builder import PackageBuilder
+from repro.buildsys.package import PackageInventory, SoftwarePackage
+from repro.environment.compatibility import (
+    CompatibilityChecker,
+    ExternalRequirement,
+    SoftwareRequirements,
+)
+from repro.environment.configuration import EnvironmentConfiguration
+
+
+@dataclass
+class StrategyYearResult:
+    """State of a preserved software stack at the end of one simulated year."""
+
+    year: int
+    configuration_key: str
+    usable_fraction: float
+    security_supported: bool
+    migration_effort_person_weeks: float
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def fully_usable(self) -> bool:
+        """True when every package still builds and the platform is supported."""
+        return self.usable_fraction >= 0.999 and self.security_supported
+
+
+class PreservationStrategy(abc.ABC):
+    """Common interface of the freeze and active-migration strategies."""
+
+    name: str = "abstract"
+
+    def __init__(self, builder: Optional[PackageBuilder] = None) -> None:
+        self.builder = builder or PackageBuilder()
+
+    @abc.abstractmethod
+    def evaluate_year(
+        self,
+        year: int,
+        inventory: PackageInventory,
+        recommended: EnvironmentConfiguration,
+        supported_os_names: Tuple[str, ...],
+    ) -> StrategyYearResult:
+        """Evaluate the stack for one simulated year."""
+
+
+class FreezeStrategy(PreservationStrategy):
+    """Freeze the system on its original configuration and never touch it.
+
+    The frozen image keeps building its software by construction, but the
+    platform underneath ages: once the frozen OS loses security support the
+    system can no longer be operated on general-purpose infrastructure, and
+    the usable fraction reflects only what was working at freeze time.
+    """
+
+    name = "freeze"
+
+    def __init__(
+        self,
+        frozen_configuration: EnvironmentConfiguration,
+        builder: Optional[PackageBuilder] = None,
+    ) -> None:
+        super().__init__(builder)
+        self.frozen_configuration = frozen_configuration
+        self._frozen_fraction: Optional[float] = None
+
+    def evaluate_year(
+        self,
+        year: int,
+        inventory: PackageInventory,
+        recommended: EnvironmentConfiguration,
+        supported_os_names: Tuple[str, ...],
+    ) -> StrategyYearResult:
+        if self._frozen_fraction is None:
+            campaign = self.builder.build_inventory(inventory, self.frozen_configuration)
+            self._frozen_fraction = campaign.usable_fraction()
+        supported = self.frozen_configuration.operating_system.name in supported_os_names
+        notes = []
+        if not supported:
+            notes.append(
+                f"{self.frozen_configuration.operating_system.name} has no security "
+                "support; the frozen image must be isolated from the network"
+            )
+        return StrategyYearResult(
+            year=year,
+            configuration_key=self.frozen_configuration.key,
+            usable_fraction=self._frozen_fraction if supported else 0.0,
+            security_supported=supported,
+            migration_effort_person_weeks=0.0,
+            notes=notes,
+        )
+
+
+class ActiveMigrationStrategy(PreservationStrategy):
+    """Adapt and validate the software whenever the environment changes.
+
+    Every year the inventory is rebuilt on the recommended configuration of
+    that year.  Packages that fail are "ported": their requirements are
+    relaxed to accept the new environment, at a simulated cost in person-weeks
+    proportional to the package size.  This mirrors the paper's claim that
+    migrating as changes happen keeps the effort small and the software alive.
+    """
+
+    name = "active-migration"
+
+    def __init__(
+        self,
+        port_effort_weeks_per_10kloc: float = 0.5,
+        builder: Optional[PackageBuilder] = None,
+    ) -> None:
+        super().__init__(builder)
+        if port_effort_weeks_per_10kloc <= 0:
+            raise ValidationError("porting effort must be positive")
+        self.port_effort_weeks_per_10kloc = port_effort_weeks_per_10kloc
+
+    def evaluate_year(
+        self,
+        year: int,
+        inventory: PackageInventory,
+        recommended: EnvironmentConfiguration,
+        supported_os_names: Tuple[str, ...],
+    ) -> StrategyYearResult:
+        campaign = self.builder.build_inventory(inventory, recommended)
+        effort = 0.0
+        ported: List[str] = []
+        for package_name in campaign.failed_packages():
+            package = inventory.get(package_name)
+            inventory.replace(self._port_package(package, recommended))
+            effort += self.port_effort_weeks_per_10kloc * package.lines_of_code / 10000.0
+            ported.append(package_name)
+        if ported:
+            campaign = self.builder.build_inventory(inventory, recommended)
+        notes = []
+        if ported:
+            notes.append(
+                f"ported {len(ported)} package(s) to {recommended.key}: "
+                + ", ".join(sorted(ported))
+            )
+        supported = recommended.operating_system.name in supported_os_names or bool(
+            supported_os_names
+        )
+        return StrategyYearResult(
+            year=year,
+            configuration_key=recommended.key,
+            usable_fraction=campaign.usable_fraction(),
+            security_supported=supported,
+            migration_effort_person_weeks=effort,
+            notes=notes,
+        )
+
+    def _port_package(
+        self, package: SoftwarePackage, target: EnvironmentConfiguration
+    ) -> SoftwarePackage:
+        """Return a ported copy of *package* compatible with *target*."""
+        old = package.requirements
+        externals = []
+        for requirement in old.externals:
+            installed = target.external(requirement.product)
+            used_apis = requirement.used_apis
+            if installed is not None:
+                # Porting replaces calls to removed interfaces by their successors.
+                used_apis = frozenset(
+                    api for api in requirement.used_apis if not installed.removes(api)
+                )
+            externals.append(
+                ExternalRequirement(
+                    product=requirement.product,
+                    min_api_level=requirement.min_api_level,
+                    max_api_level=None,
+                    used_apis=used_apis,
+                )
+            )
+        new_requirements = SoftwareRequirements(
+            min_compiler=old.min_compiler,
+            max_compiler=None,
+            max_strictness=max(old.max_strictness, target.compiler.strictness + 1),
+            word_sizes=tuple(sorted(set(old.word_sizes) | {target.word_size})),
+            cxx_standard=old.cxx_standard,
+            min_os_abi=old.min_os_abi,
+            max_os_abi=None,
+            externals=tuple(externals),
+        )
+        bumped_version = f"{package.version}.post{1}"
+        return package.with_requirements(new_requirements).with_version(bumped_version)
+
+
+__all__ = [
+    "StrategyYearResult",
+    "PreservationStrategy",
+    "FreezeStrategy",
+    "ActiveMigrationStrategy",
+]

@@ -1,0 +1,38 @@
+"""Level-1 and level-2 preservation: documentation and simplified formats.
+
+The technical validation framework (levels 3 and 4) is the core of the
+reproduction; this package covers the complementary initiatives of Table 1 —
+the documentation archive (level 1) and the simplified outreach data format
+(level 2) — so that a full DPHEP preservation programme can be modelled end
+to end.
+"""
+
+from repro.preservation.documentation import (
+    DocumentCategory,
+    DocumentationArchive,
+    DocumentationItem,
+    LEVEL1_REQUIRED_CATEGORIES,
+    Level1Report,
+    default_hera_documentation,
+)
+from repro.preservation.outreach import (
+    SIMPLIFIED_SCHEMA,
+    SimplifiedDataset,
+    SimplifiedDatasetExporter,
+    TrainingAnalysisResult,
+    run_training_analysis,
+)
+
+__all__ = [
+    "DocumentCategory",
+    "DocumentationArchive",
+    "DocumentationItem",
+    "LEVEL1_REQUIRED_CATEGORIES",
+    "Level1Report",
+    "default_hera_documentation",
+    "SIMPLIFIED_SCHEMA",
+    "SimplifiedDataset",
+    "SimplifiedDatasetExporter",
+    "TrainingAnalysisResult",
+    "run_training_analysis",
+]

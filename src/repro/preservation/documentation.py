@@ -1,0 +1,257 @@
+"""Level-1 preservation: the documentation archive.
+
+Table 1 defines level 1 as "provide additional documentation" with the use
+case "publication related info search".  The paper stresses that "just as
+important are the various types of documentation, covering all facets of an
+experiment".  This module provides that substrate: a searchable archive of
+documentation items (publications, theses, internal notes, meeting minutes,
+manuals, metadata descriptions) stored on the common sp-system storage, with
+the completeness checks an experiment needs before declaring its level-1
+obligation fulfilled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro._common import ValidationError, ensure_identifier
+from repro.storage.common_storage import CommonStorage
+
+
+class DocumentCategory(enum.Enum):
+    """Categories of experiment documentation ("all facets of an experiment")."""
+
+    PUBLICATION = "publication"
+    THESIS = "thesis"
+    INTERNAL_NOTE = "internal-note"
+    MEETING_MINUTES = "meeting-minutes"
+    MANUAL = "manual"
+    DETECTOR_DESCRIPTION = "detector-description"
+    SOFTWARE_GUIDE = "software-guide"
+    DATA_FORMAT_DESCRIPTION = "data-format-description"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Categories an experiment must cover to satisfy a level-1 programme.
+LEVEL1_REQUIRED_CATEGORIES: Tuple[DocumentCategory, ...] = (
+    DocumentCategory.PUBLICATION,
+    DocumentCategory.MANUAL,
+    DocumentCategory.DETECTOR_DESCRIPTION,
+    DocumentCategory.SOFTWARE_GUIDE,
+    DocumentCategory.DATA_FORMAT_DESCRIPTION,
+)
+
+
+@dataclass(frozen=True)
+class DocumentationItem:
+    """One archived document."""
+
+    identifier: str
+    experiment: str
+    category: DocumentCategory
+    title: str
+    year: int
+    authors: Tuple[str, ...] = ()
+    keywords: Tuple[str, ...] = ()
+    abstract: str = ""
+
+    def __post_init__(self) -> None:
+        ensure_identifier(self.identifier, "document identifier")
+        ensure_identifier(self.experiment, "experiment name")
+        if not self.title:
+            raise ValidationError("a document needs a title")
+        if self.year < 1950 or self.year > 2100:
+            raise ValidationError(f"implausible document year {self.year}")
+
+    def matches(self, query: str) -> bool:
+        """Case-insensitive search over title, keywords, authors and abstract."""
+        needle = query.lower()
+        haystacks = [self.title, self.abstract]
+        haystacks.extend(self.keywords)
+        haystacks.extend(self.authors)
+        return any(needle in haystack.lower() for haystack in haystacks)
+
+    def to_document(self) -> Dict[str, object]:
+        """Serialise for the common storage."""
+        return {
+            "identifier": self.identifier,
+            "experiment": self.experiment,
+            "category": self.category.value,
+            "title": self.title,
+            "year": self.year,
+            "authors": list(self.authors),
+            "keywords": list(self.keywords),
+            "abstract": self.abstract,
+        }
+
+    @classmethod
+    def from_document(cls, payload: Dict[str, object]) -> "DocumentationItem":
+        """Reconstruct an item stored by :meth:`to_document`."""
+        return cls(
+            identifier=str(payload["identifier"]),
+            experiment=str(payload["experiment"]),
+            category=DocumentCategory(payload["category"]),
+            title=str(payload["title"]),
+            year=int(payload["year"]),
+            authors=tuple(payload.get("authors", [])),
+            keywords=tuple(payload.get("keywords", [])),
+            abstract=str(payload.get("abstract", "")),
+        )
+
+
+@dataclass
+class Level1Report:
+    """Completeness assessment of an experiment's documentation archive."""
+
+    experiment: str
+    n_documents: int
+    documents_per_category: Dict[str, int]
+    missing_categories: List[str]
+
+    @property
+    def complete(self) -> bool:
+        """True when every required category has at least one document."""
+        return not self.missing_categories
+
+
+class DocumentationArchive:
+    """Searchable archive of experiment documentation (level 1)."""
+
+    NAMESPACE = "documentation"
+
+    def __init__(self, storage: Optional[CommonStorage] = None) -> None:
+        self.storage = storage if storage is not None else CommonStorage()
+        self.storage.create_namespace(self.NAMESPACE)
+        self._items: Dict[str, DocumentationItem] = {}
+        for key in self.storage.keys(self.NAMESPACE):
+            payload = self.storage.get(self.NAMESPACE, key)
+            item = DocumentationItem.from_document(payload)  # type: ignore[arg-type]
+            self._items[item.identifier] = item
+
+    def archive(self, item: DocumentationItem) -> None:
+        """Add a document to the archive (duplicate identifiers are rejected)."""
+        if item.identifier in self._items:
+            raise ValidationError(f"document {item.identifier!r} is already archived")
+        self._items[item.identifier] = item
+        self.storage.put(self.NAMESPACE, item.identifier, item.to_document())
+
+    def get(self, identifier: str) -> DocumentationItem:
+        """Return the archived document with the given identifier."""
+        try:
+            return self._items[identifier]
+        except KeyError:
+            raise ValidationError(f"no archived document {identifier!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self._items
+
+    def for_experiment(self, experiment: str) -> List[DocumentationItem]:
+        """All documents of one experiment, sorted by year then identifier."""
+        return sorted(
+            (item for item in self._items.values() if item.experiment == experiment),
+            key=lambda item: (item.year, item.identifier),
+        )
+
+    def by_category(
+        self, experiment: str, category: DocumentCategory
+    ) -> List[DocumentationItem]:
+        """All documents of one experiment in one category."""
+        return [
+            item for item in self.for_experiment(experiment) if item.category is category
+        ]
+
+    def search(self, query: str, experiment: Optional[str] = None) -> List[DocumentationItem]:
+        """The level-1 use case: publication related info search."""
+        if not query:
+            raise ValidationError("search query must be non-empty")
+        candidates = (
+            self.for_experiment(experiment)
+            if experiment is not None
+            else sorted(self._items.values(), key=lambda item: item.identifier)
+        )
+        return [item for item in candidates if item.matches(query)]
+
+    def level1_report(self, experiment: str) -> Level1Report:
+        """Assess whether the experiment's documentation covers all facets."""
+        items = self.for_experiment(experiment)
+        per_category: Dict[str, int] = {}
+        for item in items:
+            per_category[item.category.value] = per_category.get(item.category.value, 0) + 1
+        missing = [
+            category.value
+            for category in LEVEL1_REQUIRED_CATEGORIES
+            if category.value not in per_category
+        ]
+        return Level1Report(
+            experiment=experiment,
+            n_documents=len(items),
+            documents_per_category=per_category,
+            missing_categories=missing,
+        )
+
+
+def default_hera_documentation() -> List[DocumentationItem]:
+    """A small synthetic documentation corpus for the HERA experiments."""
+    items: List[DocumentationItem] = []
+    corpus = {
+        "H1": [
+            (DocumentCategory.PUBLICATION, "Inclusive deep inelastic scattering at high Q2", 2012,
+             ("nc_dis", "cross-section")),
+            (DocumentCategory.PUBLICATION, "Measurement of charm production in DIS", 2011,
+             ("heavy_flavour",)),
+            (DocumentCategory.MANUAL, "H1 analysis software user guide", 2010, ("software",)),
+            (DocumentCategory.DETECTOR_DESCRIPTION, "The H1 detector at HERA", 1997, ("detector",)),
+            (DocumentCategory.SOFTWARE_GUIDE, "H1 reconstruction software overview", 2008, ("software",)),
+            (DocumentCategory.DATA_FORMAT_DESCRIPTION, "H1 DST and microDST formats", 2009, ("dst",)),
+            (DocumentCategory.THESIS, "Measurement of the longitudinal structure function", 2010, ("structure-function",)),
+            (DocumentCategory.INTERNAL_NOTE, "Calibration of the LAr calorimeter", 2006, ("calibration",)),
+        ],
+        "ZEUS": [
+            (DocumentCategory.PUBLICATION, "Inclusive jet cross sections in photoproduction", 2012,
+             ("photoproduction", "jets")),
+            (DocumentCategory.MANUAL, "ZEUS offline software manual", 2009, ("software",)),
+            (DocumentCategory.DETECTOR_DESCRIPTION, "The ZEUS detector status report", 1993, ("detector",)),
+            (DocumentCategory.SOFTWARE_GUIDE, "ZEUS common ntuple guide", 2010, ("ntuple",)),
+            (DocumentCategory.DATA_FORMAT_DESCRIPTION, "ZEUS MDST format definition", 2008, ("mdst",)),
+        ],
+        "HERMES": [
+            (DocumentCategory.PUBLICATION, "Quark helicity distributions from semi-inclusive DIS", 2005,
+             ("spin", "semi-inclusive")),
+            (DocumentCategory.MANUAL, "HERMES analysis framework manual", 2007, ("software",)),
+            (DocumentCategory.DETECTOR_DESCRIPTION, "The HERMES spectrometer", 1998, ("detector",)),
+            (DocumentCategory.SOFTWARE_GUIDE, "HERMES productions and smearing guide", 2009, ("software",)),
+            (DocumentCategory.DATA_FORMAT_DESCRIPTION, "HERMES microDST description", 2006, ("microdst",)),
+        ],
+    }
+    for experiment, entries in corpus.items():
+        for index, (category, title, year, keywords) in enumerate(entries):
+            items.append(
+                DocumentationItem(
+                    identifier=f"{experiment.lower()}-doc-{index:03d}",
+                    experiment=experiment,
+                    category=category,
+                    title=title,
+                    year=year,
+                    keywords=tuple(keywords),
+                    authors=(f"{experiment} Collaboration",),
+                    abstract=f"{title} ({experiment}, {year}).",
+                )
+            )
+    return items
+
+
+__all__ = [
+    "DocumentCategory",
+    "DocumentationItem",
+    "DocumentationArchive",
+    "Level1Report",
+    "LEVEL1_REQUIRED_CATEGORIES",
+    "default_hera_documentation",
+]

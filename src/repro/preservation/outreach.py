@@ -1,0 +1,184 @@
+"""Level-2 preservation: simplified data formats for outreach and training.
+
+Table 1 defines level 2 as "preserve the data in a simplified format" with the
+use case "outreach, simple training analyses".  This module converts
+analysis-level micro-DSTs into a self-describing simplified dataset (a small
+schema of per-event columns in plain Python types), validates exported
+datasets against their schema, and provides the kind of simple training
+analysis (counting events in kinematic bins) the preserved format is meant to
+enable without any experiment software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro._common import ValidationError
+from repro.hepdata.dst import MicroDST
+from repro.storage.common_storage import CommonStorage
+
+
+#: Columns of the simplified outreach format: name, unit, description.
+SIMPLIFIED_SCHEMA: Tuple[Tuple[str, str, str], ...] = (
+    ("event_number", "", "sequential event number"),
+    ("q2", "GeV^2", "negative four-momentum transfer squared"),
+    ("x", "", "Bjorken scaling variable"),
+    ("y", "", "inelasticity"),
+    ("n_jets", "", "number of reconstructed jets"),
+    ("charged_multiplicity", "", "number of charged particles"),
+)
+
+
+@dataclass
+class SimplifiedDataset:
+    """A level-2 simplified dataset: schema plus rows of plain Python values."""
+
+    experiment: str
+    name: str
+    schema: Tuple[Tuple[str, str, str], ...]
+    rows: List[Dict[str, float]] = field(default_factory=list)
+    provenance: str = ""
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[float]:
+        """Return one column as a plain list."""
+        if name not in {entry[0] for entry in self.schema}:
+            raise ValidationError(f"simplified dataset has no column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def validate(self) -> List[str]:
+        """Check every row against the schema; returns the list of problems."""
+        problems: List[str] = []
+        expected = [entry[0] for entry in self.schema]
+        for index, row in enumerate(self.rows):
+            missing = [name for name in expected if name not in row]
+            extra = [name for name in row if name not in expected]
+            if missing:
+                problems.append(f"row {index}: missing columns {missing}")
+            if extra:
+                problems.append(f"row {index}: unexpected columns {extra}")
+            for name, value in row.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(f"row {index}: column {name!r} is not numeric")
+        return problems
+
+    def to_document(self) -> Dict[str, object]:
+        """Serialise for the common storage (plain JSON types only)."""
+        return {
+            "experiment": self.experiment,
+            "name": self.name,
+            "schema": [list(entry) for entry in self.schema],
+            "rows": [dict(row) for row in self.rows],
+            "provenance": self.provenance,
+        }
+
+    @classmethod
+    def from_document(cls, payload: Dict[str, object]) -> "SimplifiedDataset":
+        """Reconstruct a dataset stored by :meth:`to_document`."""
+        return cls(
+            experiment=str(payload["experiment"]),
+            name=str(payload["name"]),
+            schema=tuple(tuple(entry) for entry in payload["schema"]),
+            rows=[dict(row) for row in payload.get("rows", [])],
+            provenance=str(payload.get("provenance", "")),
+        )
+
+
+class SimplifiedDatasetExporter:
+    """Exports micro-DSTs into the simplified level-2 format."""
+
+    NAMESPACE = "outreach"
+
+    def __init__(self, storage: Optional[CommonStorage] = None) -> None:
+        self.storage = storage if storage is not None else CommonStorage()
+        self.storage.create_namespace(self.NAMESPACE)
+
+    def export(
+        self,
+        experiment: str,
+        name: str,
+        micro_dst: MicroDST,
+        provenance: str = "",
+        max_events: Optional[int] = None,
+    ) -> SimplifiedDataset:
+        """Convert *micro_dst* into a simplified dataset and store it."""
+        dataset = SimplifiedDataset(
+            experiment=experiment,
+            name=name,
+            schema=SIMPLIFIED_SCHEMA,
+            provenance=provenance,
+        )
+        limit = len(micro_dst) if max_events is None else min(max_events, len(micro_dst))
+        columns = {entry[0]: micro_dst.column(entry[0]) for entry in SIMPLIFIED_SCHEMA}
+        for index in range(limit):
+            dataset.rows.append(
+                {name: float(values[index]) for name, values in columns.items()}
+            )
+        problems = dataset.validate()
+        if problems:
+            raise ValidationError(
+                "exported simplified dataset violates its schema: " + "; ".join(problems)
+            )
+        self.storage.put(
+            self.NAMESPACE, f"{experiment}_{name}", dataset.to_document()
+        )
+        return dataset
+
+    def load(self, experiment: str, name: str) -> SimplifiedDataset:
+        """Load a previously exported dataset."""
+        payload = self.storage.get(self.NAMESPACE, f"{experiment}_{name}")
+        return SimplifiedDataset.from_document(payload)  # type: ignore[arg-type]
+
+    def datasets_for(self, experiment: str) -> List[str]:
+        """Names of the datasets exported for one experiment."""
+        prefix = f"{experiment}_"
+        return [
+            key[len(prefix):]
+            for key in self.storage.keys(self.NAMESPACE, prefix=prefix)
+        ]
+
+
+@dataclass
+class TrainingAnalysisResult:
+    """Result of the simple training analysis on a simplified dataset."""
+
+    dataset_name: str
+    n_events: int
+    events_per_q2_bin: Dict[str, int]
+    mean_multiplicity: float
+    dis_fraction: float
+
+
+def run_training_analysis(
+    dataset: SimplifiedDataset, q2_bins: Sequence[float] = (4.0, 10.0, 100.0, 1000.0, 10000.0)
+) -> TrainingAnalysisResult:
+    """The level-2 use case: a simple counting analysis without any experiment code."""
+    if list(q2_bins) != sorted(q2_bins) or len(q2_bins) < 2:
+        raise ValidationError("q2_bins must be an increasing sequence of at least two edges")
+    q2_values = dataset.column("q2")
+    multiplicities = dataset.column("charged_multiplicity")
+    events_per_bin: Dict[str, int] = {}
+    for low, high in zip(q2_bins[:-1], q2_bins[1:]):
+        label = f"[{low:g}, {high:g})"
+        events_per_bin[label] = sum(1 for value in q2_values if low <= value < high)
+    n_events = len(dataset)
+    dis_events = sum(1 for value in q2_values if value >= 4.0)
+    return TrainingAnalysisResult(
+        dataset_name=dataset.name,
+        n_events=n_events,
+        events_per_q2_bin=events_per_bin,
+        mean_multiplicity=(sum(multiplicities) / n_events) if n_events else 0.0,
+        dis_fraction=(dis_events / n_events) if n_events else 0.0,
+    )
+
+
+__all__ = [
+    "SIMPLIFIED_SCHEMA",
+    "SimplifiedDataset",
+    "SimplifiedDatasetExporter",
+    "TrainingAnalysisResult",
+    "run_training_analysis",
+]

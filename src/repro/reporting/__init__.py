@@ -1,0 +1,36 @@
+"""Reporting: summary matrices, status web pages and tabular exports."""
+
+from repro.reporting.figures import (
+    comparison_table,
+    fraction_series,
+    horizontal_bar_chart,
+    pass_fail_strip,
+)
+from repro.reporting.export import (
+    catalog_to_rows,
+    matrix_to_csv,
+    matrix_to_json,
+    rows_to_csv,
+    rows_to_json,
+    rows_to_text,
+)
+from repro.reporting.summary import MatrixCell, SummaryMatrix, ValidationSummaryBuilder
+from repro.reporting.webpages import STATUS_COLOURS, StatusPageGenerator
+
+__all__ = [
+    "comparison_table",
+    "fraction_series",
+    "horizontal_bar_chart",
+    "pass_fail_strip",
+    "catalog_to_rows",
+    "matrix_to_csv",
+    "matrix_to_json",
+    "rows_to_csv",
+    "rows_to_json",
+    "rows_to_text",
+    "MatrixCell",
+    "SummaryMatrix",
+    "ValidationSummaryBuilder",
+    "STATUS_COLOURS",
+    "StatusPageGenerator",
+]

@@ -1,0 +1,83 @@
+"""Tabular exports (CSV / JSON) of validation results.
+
+The original sp-system keeps everything as files on the common storage; for
+downstream analysis of the validation history this module adds flat exports
+of the run catalogue and of summary matrices, plus the plain-text rendering
+used by the benchmark harness to print the rows a table or figure reports.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro._common import format_table
+from repro.reporting.summary import SummaryMatrix
+from repro.storage.catalog import RunCatalog
+
+
+def catalog_to_rows(catalog: RunCatalog) -> List[Dict[str, object]]:
+    """Flatten the run catalogue into one dictionary per run."""
+    rows = []
+    for record in catalog.all():
+        rows.append(
+            {
+                "run_id": record.run_id,
+                "experiment": record.experiment,
+                "configuration": record.configuration_key,
+                "description": record.description,
+                "timestamp": record.timestamp,
+                "n_tests": record.n_tests,
+                "n_passed": record.n_passed,
+                "n_failed": record.n_failed,
+                "overall_status": record.overall_status,
+            }
+        )
+    return rows
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Render rows as CSV text (header derived from the first row)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Dict[str, object]]) -> str:
+    """Render rows as pretty-printed JSON."""
+    return json.dumps(list(rows), indent=2, sort_keys=True)
+
+
+def rows_to_text(rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as an aligned text table (benchmark harness output)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    return format_table(columns, [[row.get(column, "") for column in columns] for row in rows])
+
+
+def matrix_to_csv(matrix: SummaryMatrix) -> str:
+    """Export a summary matrix as CSV."""
+    return rows_to_csv(matrix.rows())
+
+
+def matrix_to_json(matrix: SummaryMatrix) -> str:
+    """Export a summary matrix as JSON."""
+    return rows_to_json(matrix.rows())
+
+
+__all__ = [
+    "catalog_to_rows",
+    "rows_to_csv",
+    "rows_to_json",
+    "rows_to_text",
+    "matrix_to_csv",
+    "matrix_to_json",
+]

@@ -1,0 +1,129 @@
+"""Text figures: bar charts and year series for terminal reports.
+
+The original sp-system publishes its results as simple script-generated web
+pages; for terminal use the reproduction adds equally simple text figures.
+They are deliberately dependency-free (no plotting libraries are available on
+a preservation system decades from now — which is rather the point of the
+paper) and are used by the examples and the benchmark harness to visualise
+the figure-3 matrix and the lifetime comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro._common import ValidationError
+
+
+def horizontal_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    sort_by_value: bool = False,
+) -> str:
+    """Render a labelled horizontal bar chart.
+
+    Bars are scaled to the largest value; zero and negative values render as
+    empty bars (negative values do not occur in validation counts).
+    """
+    if width <= 0:
+        raise ValidationError("chart width must be positive")
+    if not values:
+        return "(no data)"
+    items = list(values.items())
+    if sort_by_value:
+        items.sort(key=lambda item: item[1], reverse=True)
+    label_width = max(len(str(label)) for label, _value in items)
+    maximum = max(value for _label, value in items)
+    scale = (width / maximum) if maximum > 0 else 0.0
+    lines = []
+    for label, value in items:
+        bar_length = int(round(max(value, 0.0) * scale))
+        bar = "#" * bar_length
+        suffix = f" {value:g}{unit}"
+        lines.append(f"{str(label).ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def fraction_series(
+    series: Mapping[str, Mapping[int, float]],
+    levels: str = " .:-=+*#%@",
+) -> str:
+    """Render one character-per-year usability series for several strategies.
+
+    Each value must lie in [0, 1]; it is mapped onto the ``levels`` ramp
+    (space = 0, last character = 1).  Used for the freeze-vs-migration
+    comparison where each year has a "fraction of packages still usable".
+    """
+    if not series:
+        return "(no data)"
+    if len(levels) < 2:
+        raise ValidationError("the character ramp needs at least two levels")
+    all_years = sorted({year for values in series.values() for year in values})
+    if not all_years:
+        return "(no data)"
+    label_width = max(len(name) for name in series)
+    lines = [" " * label_width + "  " + " ".join(str(year)[-2:] for year in all_years)]
+    for name, values in series.items():
+        cells = []
+        for year in all_years:
+            value = values.get(year)
+            if value is None:
+                cells.append("? ")
+                continue
+            if not 0.0 <= value <= 1.0 + 1e-9:
+                raise ValidationError(
+                    f"series {name!r} year {year}: value {value} outside [0, 1]"
+                )
+            index = int(round(min(value, 1.0) * (len(levels) - 1)))
+            cells.append(levels[index] * 2)
+        lines.append(f"{name.ljust(label_width)}  " + " ".join(cells))
+    lines.append(
+        " " * label_width
+        + f"  (ramp: '{levels[0]}'=0% ... '{levels[-1]}'=100% of packages usable)"
+    )
+    return "\n".join(lines)
+
+
+def pass_fail_strip(statuses: Sequence[str], symbols: Optional[Dict[str, str]] = None) -> str:
+    """Render a compact strip of job outcomes (one character per job).
+
+    The default symbols follow the web page colours: ``.`` passed, ``F``
+    failed, ``s`` skipped, ``?`` anything else.
+    """
+    mapping = symbols or {"passed": ".", "failed": "F", "skipped": "s"}
+    return "".join(mapping.get(status, "?") for status in statuses)
+
+
+def comparison_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    highlight_column: Optional[str] = None,
+    highlight_predicate=lambda value: False,
+) -> str:
+    """Render rows as a table, marking highlighted cells with ``<<``.
+
+    A tiny convenience over :func:`repro._common.format_table` used by the
+    migration reports to draw attention to regressed entries.
+    """
+    from repro._common import format_table
+
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for column in columns:
+            value = row.get(column, "")
+            text = str(value)
+            if column == highlight_column and highlight_predicate(value):
+                text += " <<"
+            rendered.append(text)
+        rendered_rows.append(rendered)
+    return format_table(list(columns), rendered_rows)
+
+
+__all__ = [
+    "horizontal_bar_chart",
+    "fraction_series",
+    "pass_fail_strip",
+    "comparison_table",
+]

@@ -1,0 +1,145 @@
+"""Script-based status web pages.
+
+"Script-based web pages are used to record and display available validation
+runs for a given description and indicate the status of the compilation for
+the individual packages or tests within table cells, which are linked to a
+corresponding output file."  The :class:`StatusPageGenerator` produces those
+pages as self-contained static HTML: an index of runs per description, and a
+per-run page with one coloured cell per test linking to the stored output
+document.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional
+
+from repro.core.jobs import JobStatus, ValidationRun
+from repro.storage.bookkeeping import TagRegistry, format_timestamp
+from repro.storage.catalog import RunCatalog
+from repro.storage.common_storage import CommonStorage
+
+
+#: Cell colours per job status, in the spirit of the original pages.
+STATUS_COLOURS = {
+    "passed": "#4caf50",
+    "failed": "#f44336",
+    "skipped": "#ff9800",
+    "not-run": "#9e9e9e",
+}
+
+
+class StatusPageGenerator:
+    """Generates static HTML status pages and stores them on the common storage."""
+
+    NAMESPACE = "reports"
+
+    def __init__(self, storage: CommonStorage, catalog: RunCatalog) -> None:
+        self.storage = storage
+        self.catalog = catalog
+        self.storage.create_namespace(self.NAMESPACE)
+
+    # -- per-run page ---------------------------------------------------------
+    def run_page(self, run: ValidationRun) -> str:
+        """Render the status page of one validation run."""
+        rows = []
+        for job in run.jobs:
+            colour = STATUS_COLOURS.get(job.status.value, "#9e9e9e")
+            output_link = (
+                f'<a href="results/{html.escape(job.output_key)}.json">output</a>'
+                if job.output_key
+                else "&mdash;"
+            )
+            rows.append(
+                "<tr>"
+                f"<td>{html.escape(job.test_name)}</td>"
+                f"<td>{html.escape(job.kind.value)}</td>"
+                f'<td style="background-color:{colour}">{html.escape(job.status.value)}</td>'
+                f"<td>{output_link}</td>"
+                f"<td>{html.escape('; '.join(job.messages[:2]))}</td>"
+                "</tr>"
+            )
+        header = (
+            f"<h1>Validation run {html.escape(run.run_id)}</h1>"
+            f"<p>{html.escape(run.experiment)} on {html.escape(run.configuration_key)} "
+            f"&mdash; {html.escape(run.description)} &mdash; "
+            f"{format_timestamp(run.started_at)}</p>"
+            f"<p>{run.n_passed} passed, {run.n_failed} failed, {run.n_skipped} skipped "
+            f"of {run.n_jobs} tests</p>"
+        )
+        table = (
+            "<table border='1' cellspacing='0' cellpadding='3'>"
+            "<tr><th>test</th><th>kind</th><th>status</th><th>output</th><th>messages</th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+        page = _wrap_page(f"sp-system run {run.run_id}", header + table)
+        self.storage.put(self.NAMESPACE, f"runpage_{run.run_id}", {"html": page})
+        return page
+
+    # -- index page -----------------------------------------------------------
+    def index_page(self, tag_registry: Optional[TagRegistry] = None) -> str:
+        """Render the index of all recorded runs, grouped by description tag."""
+        records = self.catalog.all()
+        groups: Dict[str, List] = {}
+        for record in records:
+            groups.setdefault(record.description, []).append(record)
+        sections = []
+        for description in sorted(groups):
+            rows = []
+            for record in groups[description]:
+                colour = STATUS_COLOURS.get(
+                    "passed" if record.overall_status == "passed" else "failed", "#9e9e9e"
+                )
+                rows.append(
+                    "<tr>"
+                    f"<td><a href='runpage_{html.escape(record.run_id)}.html'>"
+                    f"{html.escape(record.run_id)}</a></td>"
+                    f"<td>{html.escape(record.experiment)}</td>"
+                    f"<td>{html.escape(record.configuration_key)}</td>"
+                    f"<td>{format_timestamp(record.timestamp)}</td>"
+                    f'<td style="background-color:{colour}">'
+                    f"{html.escape(record.overall_status)}</td>"
+                    f"<td>{record.n_passed}/{record.n_tests}</td>"
+                    "</tr>"
+                )
+            sections.append(
+                f"<h2>{html.escape(description)}</h2>"
+                "<table border='1' cellspacing='0' cellpadding='3'>"
+                "<tr><th>run</th><th>experiment</th><th>configuration</th>"
+                "<th>time</th><th>status</th><th>passed</th></tr>"
+                + "".join(rows)
+                + "</table>"
+            )
+        body = "<h1>sp-system validation runs</h1>" + "".join(sections)
+        page = _wrap_page("sp-system validation runs", body)
+        self.storage.put(self.NAMESPACE, "index", {"html": page})
+        return page
+
+    # -- summary page ------------------------------------------------------------
+    def summary_page(self, matrix_text: str) -> str:
+        """Render the figure-3 style summary matrix as a preformatted page."""
+        body = (
+            "<h1>Summary of the validation tests</h1>"
+            f"<pre>{html.escape(matrix_text)}</pre>"
+        )
+        page = _wrap_page("sp-system summary", body)
+        self.storage.put(self.NAMESPACE, "summary", {"html": page})
+        return page
+
+
+def _wrap_page(title: str, body: str) -> str:
+    """Wrap a body in a minimal self-contained HTML document."""
+    return (
+        "<!DOCTYPE html>"
+        "<html><head>"
+        f"<title>{html.escape(title)}</title>"
+        "<meta charset='utf-8'/>"
+        "<style>body{font-family:sans-serif} td,th{font-size:12px}</style>"
+        "</head><body>"
+        + body
+        + "</body></html>"
+    )
+
+
+__all__ = ["StatusPageGenerator", "STATUS_COLOURS"]

@@ -1,0 +1,41 @@
+"""Storage substrate: the common sp-system storage and its bookkeeping."""
+
+from repro.storage.artifacts import ArtifactStore, StoredArtifact
+from repro.storage.bookkeeping import (
+    EPOCH_2013,
+    JobIdAllocator,
+    RunTag,
+    SimulatedClock,
+    TagRegistry,
+    format_timestamp,
+)
+from repro.storage.catalog import RunCatalog, RunRecord
+from repro.storage.common_storage import (
+    CommonStorage,
+    DEFAULT_NAMESPACES,
+    StorageNamespace,
+)
+from repro.storage.shellvars import (
+    SP_VARIABLES,
+    ShellEnvironment,
+    ShellVariableInterface,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "StoredArtifact",
+    "EPOCH_2013",
+    "JobIdAllocator",
+    "RunTag",
+    "SimulatedClock",
+    "TagRegistry",
+    "format_timestamp",
+    "RunCatalog",
+    "RunRecord",
+    "CommonStorage",
+    "DEFAULT_NAMESPACES",
+    "StorageNamespace",
+    "SP_VARIABLES",
+    "ShellEnvironment",
+    "ShellVariableInterface",
+]

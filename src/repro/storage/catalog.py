@@ -1,0 +1,181 @@
+"""Run catalogue: the queryable record of every validation run.
+
+The sp-system keeps "all scripts and input files used in the test as well as
+all output files ... This allows the validation of all versions against each
+other and ensures reproducibility of previous results."  The
+:class:`RunCatalog` is the index over that material: every run is recorded
+with its unique ID, description tag, timestamp, environment configuration and
+per-test outcomes, and can be looked up later for run-against-run comparison
+or for the summary web pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro._common import StorageError
+from repro.storage.bookkeeping import format_timestamp
+from repro.storage.common_storage import CommonStorage
+
+
+@dataclass
+class RunRecord:
+    """Summary record of one validation run stored in the catalogue."""
+
+    run_id: str
+    experiment: str
+    configuration_key: str
+    description: str
+    timestamp: int
+    software_versions: Dict[str, str] = field(default_factory=dict)
+    test_statuses: Dict[str, str] = field(default_factory=dict)
+    overall_status: str = "unknown"
+
+    @property
+    def n_tests(self) -> int:
+        """Number of tests recorded for the run."""
+        return len(self.test_statuses)
+
+    @property
+    def n_passed(self) -> int:
+        """Number of tests with a passing status."""
+        return sum(1 for status in self.test_statuses.values() if status == "passed")
+
+    @property
+    def n_failed(self) -> int:
+        """Number of tests with a failing status."""
+        return sum(1 for status in self.test_statuses.values() if status == "failed")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for the common storage."""
+        return {
+            "run_id": self.run_id,
+            "experiment": self.experiment,
+            "configuration_key": self.configuration_key,
+            "description": self.description,
+            "timestamp": self.timestamp,
+            "timestamp_readable": format_timestamp(self.timestamp),
+            "software_versions": dict(self.software_versions),
+            "test_statuses": dict(self.test_statuses),
+            "overall_status": self.overall_status,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunRecord":
+        """Reconstruct a record serialised by :meth:`to_dict`."""
+        return cls(
+            run_id=str(payload["run_id"]),
+            experiment=str(payload["experiment"]),
+            configuration_key=str(payload["configuration_key"]),
+            description=str(payload["description"]),
+            timestamp=int(payload["timestamp"]),
+            software_versions=dict(payload.get("software_versions", {})),
+            test_statuses=dict(payload.get("test_statuses", {})),
+            overall_status=str(payload.get("overall_status", "unknown")),
+        )
+
+
+class RunCatalog:
+    """Index of validation runs backed by the common storage."""
+
+    NAMESPACE = "results"
+
+    def __init__(self, storage: Optional[CommonStorage] = None) -> None:
+        self.storage = storage or CommonStorage()
+        self.storage.create_namespace(self.NAMESPACE)
+        self._records: Dict[str, RunRecord] = {}
+        # Re-hydrate any records already present in the storage (e.g. loaded
+        # from disk), so the catalogue survives a framework restart.
+        for key in self.storage.keys(self.NAMESPACE, prefix="run_"):
+            payload = self.storage.get(self.NAMESPACE, key)
+            record = RunRecord.from_dict(payload)  # type: ignore[arg-type]
+            self._records[record.run_id] = record
+
+    def record(self, record: RunRecord) -> None:
+        """Add a run record to the catalogue and the backing storage."""
+        if record.run_id in self._records:
+            raise StorageError(f"run {record.run_id!r} is already recorded")
+        self._records[record.run_id] = record
+        self.storage.put(self.NAMESPACE, f"run_{record.run_id}", record.to_dict())
+
+    def update(self, record: RunRecord) -> None:
+        """Replace an existing record (e.g. after adding late test results)."""
+        if record.run_id not in self._records:
+            raise StorageError(f"run {record.run_id!r} is not recorded")
+        self._records[record.run_id] = record
+        self.storage.put(self.NAMESPACE, f"run_{record.run_id}", record.to_dict())
+
+    def get(self, run_id: str) -> RunRecord:
+        """Return the record of *run_id*."""
+        try:
+            return self._records[run_id]
+        except KeyError:
+            raise StorageError(f"unknown run {run_id!r}") from None
+
+    def __contains__(self, run_id: str) -> bool:
+        return run_id in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def all(self) -> List[RunRecord]:
+        """All records ordered by timestamp then run ID."""
+        return sorted(self._records.values(), key=lambda record: (record.timestamp, record.run_id))
+
+    def for_experiment(self, experiment: str) -> List[RunRecord]:
+        """All records of one experiment, oldest first."""
+        return [record for record in self.all() if record.experiment == experiment]
+
+    def for_configuration(self, configuration_key: str) -> List[RunRecord]:
+        """All records on one environment configuration, oldest first."""
+        return [
+            record for record in self.all()
+            if record.configuration_key == configuration_key
+        ]
+
+    def for_description(self, description: str) -> List[RunRecord]:
+        """All records sharing a description tag, oldest first."""
+        return [record for record in self.all() if record.description == description]
+
+    def last_successful(
+        self,
+        experiment: str,
+        test_name: Optional[str] = None,
+        configuration_key: Optional[str] = None,
+    ) -> Optional[RunRecord]:
+        """The most recent run of *experiment* that passed.
+
+        With *test_name* the run only needs that particular test to have
+        passed; with *configuration_key* the search is restricted to runs on
+        that configuration.  This is the lookup behind "any differences
+        compared to the last successful test are examined".
+        """
+        candidates = self.for_experiment(experiment)
+        if configuration_key is not None:
+            candidates = [
+                record for record in candidates
+                if record.configuration_key == configuration_key
+            ]
+        for record in reversed(candidates):
+            if test_name is None:
+                if record.overall_status == "passed":
+                    return record
+            elif record.test_statuses.get(test_name) == "passed":
+                return record
+        return None
+
+    def experiments(self) -> List[str]:
+        """All experiments with at least one recorded run."""
+        return sorted({record.experiment for record in self._records.values()})
+
+    def configurations(self) -> List[str]:
+        """All configuration keys with at least one recorded run."""
+        return sorted({record.configuration_key for record in self._records.values()})
+
+    def total_runs(self) -> int:
+        """Total number of recorded runs (the paper reports more than 300)."""
+        return len(self._records)
+
+
+__all__ = ["RunRecord", "RunCatalog"]

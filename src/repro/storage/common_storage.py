@@ -1,0 +1,165 @@
+"""The common sp-system storage.
+
+"The only requirement of a new machine is to have access to the common
+sp-system storage where the tests from the experiments as well as the test
+results are stored..."  The :class:`CommonStorage` models that shared area as
+a set of namespaces (tests, results, tarballs, recipes, reports) holding
+JSON-serialisable documents.  It works purely in memory by default and can
+optionally persist itself to a directory, which the examples use to leave
+inspectable output behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro._common import StorageError, ensure_identifier
+
+
+#: Namespaces every sp-system installation provides.
+DEFAULT_NAMESPACES = ("tests", "results", "tarballs", "recipes", "reports", "images")
+
+
+class StorageNamespace:
+    """One namespace of the common storage (a directory-like key space)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = ensure_identifier(name, "namespace name")
+        self._documents: Dict[str, object] = {}
+
+    def put(self, key: str, document: object, overwrite: bool = True) -> None:
+        """Store *document* under *key*.
+
+        Documents must be JSON serialisable so that run outputs remain
+        portable between clients and across time — a document that cannot be
+        re-read in ten years defeats the purpose of the preservation system.
+        """
+        ensure_identifier(key, "storage key")
+        try:
+            json.dumps(document)
+        except (TypeError, ValueError) as error:
+            raise StorageError(
+                f"document for {self.name}/{key} is not JSON serialisable: {error}"
+            ) from None
+        if not overwrite and key in self._documents:
+            raise StorageError(f"{self.name}/{key} already exists")
+        self._documents[key] = document
+
+    def get(self, key: str) -> object:
+        """Return the document stored under *key*."""
+        try:
+            return self._documents[key]
+        except KeyError:
+            raise StorageError(f"no document {self.name}/{key}") from None
+
+    def exists(self, key: str) -> bool:
+        """Return True if *key* is present."""
+        return key in self._documents
+
+    def delete(self, key: str) -> None:
+        """Remove the document stored under *key*."""
+        if key not in self._documents:
+            raise StorageError(f"no document {self.name}/{key}")
+        del self._documents[key]
+
+    def keys(self, prefix: str = "") -> List[str]:
+        """Return all keys, optionally restricted to a prefix, sorted."""
+        return sorted(key for key in self._documents if key.startswith(prefix))
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def items(self) -> List[Tuple[str, object]]:
+        """All (key, document) pairs, sorted by key."""
+        return [(key, self._documents[key]) for key in self.keys()]
+
+
+class CommonStorage:
+    """The shared storage every sp-system client mounts."""
+
+    def __init__(self, namespaces: Iterable[str] = DEFAULT_NAMESPACES) -> None:
+        self._namespaces: Dict[str, StorageNamespace] = {}
+        for name in namespaces:
+            self.create_namespace(name)
+
+    def create_namespace(self, name: str) -> StorageNamespace:
+        """Create a namespace; returns the existing one if already present."""
+        if name not in self._namespaces:
+            self._namespaces[name] = StorageNamespace(name)
+        return self._namespaces[name]
+
+    def namespace(self, name: str) -> StorageNamespace:
+        """Return an existing namespace."""
+        try:
+            return self._namespaces[name]
+        except KeyError:
+            known = ", ".join(sorted(self._namespaces))
+            raise StorageError(f"unknown namespace {name!r} (known: {known})") from None
+
+    def namespaces(self) -> List[str]:
+        """Sorted namespace names."""
+        return sorted(self._namespaces)
+
+    # Convenience pass-throughs used heavily by the core framework.
+    def put(self, namespace: str, key: str, document: object, overwrite: bool = True) -> None:
+        """Store a document in ``namespace`` under ``key``."""
+        self.namespace(namespace).put(key, document, overwrite=overwrite)
+
+    def get(self, namespace: str, key: str) -> object:
+        """Fetch a document from ``namespace``."""
+        return self.namespace(namespace).get(key)
+
+    def exists(self, namespace: str, key: str) -> bool:
+        """Return True if ``namespace/key`` exists."""
+        return namespace in self._namespaces and self.namespace(namespace).exists(key)
+
+    def keys(self, namespace: str, prefix: str = "") -> List[str]:
+        """Return the keys of ``namespace`` with the given prefix."""
+        return self.namespace(namespace).keys(prefix)
+
+    def total_documents(self) -> int:
+        """Total number of stored documents across all namespaces."""
+        return sum(len(namespace) for namespace in self._namespaces.values())
+
+    def persist(self, directory: str) -> List[str]:
+        """Write every document as a JSON file below *directory*.
+
+        Returns the list of written file paths.  Used by the examples to
+        leave a browsable copy of the storage behind; the library itself
+        never requires disk access.
+        """
+        written: List[str] = []
+        for namespace_name in self.namespaces():
+            namespace = self.namespace(namespace_name)
+            target_dir = os.path.join(directory, namespace_name)
+            os.makedirs(target_dir, exist_ok=True)
+            for key, document in namespace.items():
+                path = os.path.join(target_dir, f"{key}.json")
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, indent=2, sort_keys=True)
+                written.append(path)
+        return written
+
+    @classmethod
+    def load(cls, directory: str) -> "CommonStorage":
+        """Re-create a storage previously written by :meth:`persist`."""
+        if not os.path.isdir(directory):
+            raise StorageError(f"no such storage directory: {directory}")
+        storage = cls(namespaces=())
+        for namespace_name in sorted(os.listdir(directory)):
+            namespace_dir = os.path.join(directory, namespace_name)
+            if not os.path.isdir(namespace_dir):
+                continue
+            namespace = storage.create_namespace(namespace_name)
+            for filename in sorted(os.listdir(namespace_dir)):
+                if not filename.endswith(".json"):
+                    continue
+                key = filename[:-len(".json")]
+                with open(os.path.join(namespace_dir, filename), encoding="utf-8") as handle:
+                    namespace.put(key, json.load(handle))
+        return storage
+
+
+__all__ = ["CommonStorage", "StorageNamespace", "DEFAULT_NAMESPACES"]

@@ -1,0 +1,110 @@
+"""The thin shell-variable interface between sp-system and experiment tests.
+
+"...the common storage allows communication between the sp-system and the
+experiment tests using only a few shell variables.  These variables describe
+for example the location of the input file of the tests, the test outputs and
+the external software on the client.  Using thin layers of scripts, a
+separation of the user part from the details of the sp-system is possible."
+
+The :class:`ShellVariableInterface` builds exactly that small, documented set
+of variables for a given job, so that experiment-side test code never needs
+to know anything else about the framework — which is what makes tests
+portable between the sp-system and other platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro._common import ValidationError, ensure_identifier
+
+
+#: The variables the sp-system exports to every experiment test.
+SP_VARIABLES = (
+    "SP_RUN_ID",
+    "SP_TEST_NAME",
+    "SP_EXPERIMENT",
+    "SP_CONFIGURATION",
+    "SP_INPUT_DIR",
+    "SP_OUTPUT_DIR",
+    "SP_EXTERNAL_DIR",
+    "SP_TARBALL_DIR",
+    "SP_REFERENCE_DIR",
+)
+
+
+@dataclass(frozen=True)
+class ShellEnvironment:
+    """An immutable set of exported shell variables for one test job."""
+
+    variables: Dict[str, str]
+
+    def get(self, name: str) -> str:
+        """Return the value of *name*; unknown names raise."""
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise ValidationError(f"shell variable {name!r} is not exported") from None
+
+    def as_export_lines(self) -> List[str]:
+        """Render as ``export NAME=value`` lines for a thin wrapper script."""
+        return [
+            f"export {name}={self.variables[name]}"
+            for name in sorted(self.variables)
+        ]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.variables
+
+
+class ShellVariableInterface:
+    """Builds the shell environment handed to experiment test scripts."""
+
+    def __init__(self, storage_root: str = "/sp-storage") -> None:
+        if not storage_root or not storage_root.startswith("/"):
+            raise ValidationError("storage root must be an absolute path")
+        self.storage_root = storage_root.rstrip("/")
+
+    def environment_for(
+        self,
+        run_id: str,
+        test_name: str,
+        experiment: str,
+        configuration_key: str,
+        reference_run_id: Optional[str] = None,
+    ) -> ShellEnvironment:
+        """Build the variable set for one test job."""
+        ensure_identifier(run_id, "run id")
+        ensure_identifier(test_name, "test name")
+        ensure_identifier(experiment, "experiment name")
+        ensure_identifier(configuration_key, "configuration key")
+        variables = {
+            "SP_RUN_ID": run_id,
+            "SP_TEST_NAME": test_name,
+            "SP_EXPERIMENT": experiment,
+            "SP_CONFIGURATION": configuration_key,
+            "SP_INPUT_DIR": f"{self.storage_root}/tests/{experiment}/{test_name}/input",
+            "SP_OUTPUT_DIR": f"{self.storage_root}/results/{run_id}/{test_name}",
+            "SP_EXTERNAL_DIR": f"{self.storage_root}/externals/{configuration_key}",
+            "SP_TARBALL_DIR": f"{self.storage_root}/tarballs/{configuration_key}",
+            "SP_REFERENCE_DIR": (
+                f"{self.storage_root}/results/{reference_run_id}/{test_name}"
+                if reference_run_id
+                else f"{self.storage_root}/references/{experiment}/{test_name}"
+            ),
+        }
+        return ShellEnvironment(variables=variables)
+
+    @staticmethod
+    def required_variables() -> List[str]:
+        """The documented variable names (the full "interface contract")."""
+        return list(SP_VARIABLES)
+
+    @staticmethod
+    def is_complete(environment: ShellEnvironment) -> bool:
+        """Check that an environment exports every documented variable."""
+        return all(name in environment for name in SP_VARIABLES)
+
+
+__all__ = ["ShellEnvironment", "ShellVariableInterface", "SP_VARIABLES"]

@@ -1,0 +1,52 @@
+"""Virtualization substrate: images, hypervisor, clients and cron scheduling."""
+
+from repro.virtualization.client import (
+    BatchWorkerClient,
+    ClientKind,
+    ClientMachine,
+    GridWorkerClient,
+    VirtualMachineClient,
+)
+from repro.virtualization.cron import (
+    CronExpression,
+    CronJob,
+    CronScheduler,
+    NIGHTLY_BUILD_SCHEDULE,
+    WEEKLY_VALIDATION_SCHEDULE,
+)
+from repro.virtualization.hypervisor import Hypervisor
+from repro.virtualization.image import ImageState, VirtualMachineImage, image_name_for
+from repro.virtualization.provisioning import ProvisioningReport, ProvisioningService
+from repro.virtualization.resources import (
+    BATCH_WORKER_PROFILE,
+    GRID_WORKER_PROFILE,
+    ResourceAccountant,
+    ResourceProfile,
+    ResourceReservation,
+    VALIDATION_VM_PROFILE,
+)
+
+__all__ = [
+    "BatchWorkerClient",
+    "ClientKind",
+    "ClientMachine",
+    "GridWorkerClient",
+    "VirtualMachineClient",
+    "CronExpression",
+    "CronJob",
+    "CronScheduler",
+    "NIGHTLY_BUILD_SCHEDULE",
+    "WEEKLY_VALIDATION_SCHEDULE",
+    "Hypervisor",
+    "ImageState",
+    "VirtualMachineImage",
+    "image_name_for",
+    "ProvisioningReport",
+    "ProvisioningService",
+    "BATCH_WORKER_PROFILE",
+    "GRID_WORKER_PROFILE",
+    "ResourceAccountant",
+    "ResourceProfile",
+    "ResourceReservation",
+    "VALIDATION_VM_PROFILE",
+]

@@ -1,0 +1,186 @@
+"""Client machines of the sp-system.
+
+"The sp-system is designed and constructed in such a way that new client
+machines (as a virtual machine or a normal physical machine like a batch or
+grid worker node) can easily be added.  The only requirement of a new machine
+is to have access to the common sp-system storage ... as well as the ability
+to run a cron-job on the client."
+
+:class:`ClientMachine` captures those two requirements; the three concrete
+flavours (virtual machine, batch worker, grid worker) differ only in their
+resource profile and in how their environment is defined (a VM boots an
+image, a physical node has whatever is installed on it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ConfigurationError, ensure_identifier
+from repro.environment.configuration import EnvironmentConfiguration
+from repro.storage.common_storage import CommonStorage
+from repro.virtualization.cron import CronScheduler
+from repro.virtualization.image import VirtualMachineImage
+from repro.virtualization.resources import (
+    BATCH_WORKER_PROFILE,
+    GRID_WORKER_PROFILE,
+    ResourceAccountant,
+    ResourceProfile,
+    VALIDATION_VM_PROFILE,
+)
+from repro.storage.bookkeeping import SimulatedClock
+
+
+class ClientKind(enum.Enum):
+    """The kinds of machine that can join the sp-system."""
+
+    VIRTUAL_MACHINE = "virtual-machine"
+    BATCH_WORKER = "batch-worker"
+    GRID_WORKER = "grid-worker"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class ClientMachine:
+    """A machine attached to the sp-system.
+
+    A client is usable only when it satisfies the two documented
+    requirements: it mounts the common storage and it can run cron jobs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: ClientKind,
+        configuration: EnvironmentConfiguration,
+        storage: Optional[CommonStorage] = None,
+        clock: Optional[SimulatedClock] = None,
+        profile: Optional[ResourceProfile] = None,
+        cron_capable: bool = True,
+    ) -> None:
+        self.name = ensure_identifier(name, "client name")
+        self.kind = kind
+        self.configuration = configuration
+        self.storage = storage
+        self.clock = clock or SimulatedClock()
+        self.cron_capable = cron_capable
+        self.cron = CronScheduler(self.clock) if cron_capable else None
+        default_profile = {
+            ClientKind.VIRTUAL_MACHINE: VALIDATION_VM_PROFILE,
+            ClientKind.BATCH_WORKER: BATCH_WORKER_PROFILE,
+            ClientKind.GRID_WORKER: GRID_WORKER_PROFILE,
+        }[kind]
+        self.resources = ResourceAccountant(profile or default_profile)
+        self.booted_image: Optional[VirtualMachineImage] = None
+
+    @property
+    def has_storage_access(self) -> bool:
+        """True if the client mounts the common sp-system storage."""
+        return self.storage is not None
+
+    def attach_storage(self, storage: CommonStorage) -> None:
+        """Mount the common storage on this client."""
+        self.storage = storage
+
+    def meets_requirements(self) -> bool:
+        """Check the two requirements the paper states for new clients."""
+        return self.has_storage_access and self.cron_capable
+
+    def missing_requirements(self) -> List[str]:
+        """Return which of the two client requirements are not met."""
+        missing = []
+        if not self.has_storage_access:
+            missing.append("access to the common sp-system storage")
+        if not self.cron_capable:
+            missing.append("ability to run a cron-job")
+        return missing
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serialisable client description."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "configuration": self.configuration.describe(),
+            "has_storage_access": self.has_storage_access,
+            "cron_capable": self.cron_capable,
+            "cpu_cores": self.resources.profile.cpu_cores,
+            "memory_gb": self.resources.profile.memory_gb,
+        }
+
+
+class VirtualMachineClient(ClientMachine):
+    """A client booted from a hypervisor-hosted virtual machine image."""
+
+    def __init__(
+        self,
+        name: str,
+        image: VirtualMachineImage,
+        storage: Optional[CommonStorage] = None,
+        clock: Optional[SimulatedClock] = None,
+        profile: Optional[ResourceProfile] = None,
+    ) -> None:
+        if not image.is_usable:
+            raise ConfigurationError(
+                f"image {image.name!r} is in state {image.state.value} and cannot be booted"
+            )
+        super().__init__(
+            name=name,
+            kind=ClientKind.VIRTUAL_MACHINE,
+            configuration=image.configuration,
+            storage=storage,
+            clock=clock,
+            profile=profile,
+        )
+        self.booted_image = image
+
+
+class BatchWorkerClient(ClientMachine):
+    """A physical batch-farm worker node added as an sp-system client."""
+
+    def __init__(
+        self,
+        name: str,
+        configuration: EnvironmentConfiguration,
+        storage: Optional[CommonStorage] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        super().__init__(
+            name=name,
+            kind=ClientKind.BATCH_WORKER,
+            configuration=configuration,
+            storage=storage,
+            clock=clock,
+            profile=BATCH_WORKER_PROFILE,
+        )
+
+
+class GridWorkerClient(ClientMachine):
+    """A grid worker node added as an sp-system client."""
+
+    def __init__(
+        self,
+        name: str,
+        configuration: EnvironmentConfiguration,
+        storage: Optional[CommonStorage] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        super().__init__(
+            name=name,
+            kind=ClientKind.GRID_WORKER,
+            configuration=configuration,
+            storage=storage,
+            clock=clock,
+            profile=GRID_WORKER_PROFILE,
+        )
+
+
+__all__ = [
+    "ClientKind",
+    "ClientMachine",
+    "VirtualMachineClient",
+    "BatchWorkerClient",
+    "GridWorkerClient",
+]

@@ -1,0 +1,243 @@
+"""Cron scheduling on sp-system clients.
+
+The second requirement for a new client machine, besides access to the common
+storage, is "the ability to run a cron-job on the client".  The regular
+automated builds and validations of the sp-system are driven by exactly such
+cron jobs.  This module implements a small cron expression parser (minute,
+hour, day-of-month, month, day-of-week) and a scheduler that, given a
+simulated clock, determines which jobs fire in a time window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro._common import SchedulingError
+from repro.storage.bookkeeping import SimulatedClock, format_timestamp
+
+
+_FIELD_RANGES = (
+    ("minute", 0, 59),
+    ("hour", 0, 23),
+    ("day_of_month", 1, 31),
+    ("month", 1, 12),
+    ("day_of_week", 0, 6),
+)
+
+_DAYS_PER_MONTH = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+@dataclass(frozen=True)
+class CronExpression:
+    """A parsed five-field cron expression."""
+
+    text: str
+    minutes: frozenset
+    hours: frozenset
+    days_of_month: frozenset
+    months: frozenset
+    days_of_week: frozenset
+
+    @classmethod
+    def parse(cls, text: str) -> "CronExpression":
+        """Parse a standard five-field cron expression.
+
+        Supported syntax per field: ``*``, single values, comma lists,
+        ranges (``1-5``) and step values (``*/6`` or ``2-10/2``).
+        """
+        fields = text.split()
+        if len(fields) != 5:
+            raise SchedulingError(
+                f"cron expression must have 5 fields, got {len(fields)}: {text!r}"
+            )
+        parsed: List[frozenset] = []
+        for value, (name, low, high) in zip(fields, _FIELD_RANGES):
+            parsed.append(frozenset(cls._parse_field(value, name, low, high)))
+        return cls(text, *parsed)
+
+    @staticmethod
+    def _parse_field(value: str, name: str, low: int, high: int) -> Set[int]:
+        result: Set[int] = set()
+        for part in value.split(","):
+            part = part.strip()
+            if not part:
+                raise SchedulingError(f"empty component in cron field {name}")
+            step = 1
+            if "/" in part:
+                part, step_text = part.split("/", 1)
+                if not step_text.isdigit() or int(step_text) == 0:
+                    raise SchedulingError(f"invalid step {step_text!r} in field {name}")
+                step = int(step_text)
+            if part == "*":
+                start, end = low, high
+            elif "-" in part:
+                start_text, end_text = part.split("-", 1)
+                if not (start_text.isdigit() and end_text.isdigit()):
+                    raise SchedulingError(f"invalid range {part!r} in field {name}")
+                start, end = int(start_text), int(end_text)
+            elif part.isdigit():
+                start = end = int(part)
+            else:
+                raise SchedulingError(f"invalid value {part!r} in cron field {name}")
+            if start < low or end > high or start > end:
+                raise SchedulingError(
+                    f"cron field {name} value out of range [{low}, {high}]: {part!r}"
+                )
+            result.update(range(start, end + 1, step))
+        return result
+
+    def matches(self, timestamp: int) -> bool:
+        """Return True if the expression fires at the given Unix timestamp."""
+        minute, hour, day, month, weekday = _broken_down(timestamp)
+        return (
+            minute in self.minutes
+            and hour in self.hours
+            and day in self.days_of_month
+            and month in self.months
+            and weekday in self.days_of_week
+        )
+
+    def next_fire(self, after_timestamp: int, horizon_days: int = 366) -> int:
+        """Return the first firing strictly after *after_timestamp*.
+
+        Searches minute by minute up to *horizon_days*; raises if the
+        expression never fires in that window (e.g. ``0 0 31 2 *``).
+        """
+        timestamp = (after_timestamp // 60 + 1) * 60
+        limit = after_timestamp + horizon_days * 86400
+        while timestamp <= limit:
+            if self.matches(timestamp):
+                return timestamp
+            timestamp += 60
+        raise SchedulingError(
+            f"cron expression {self.text!r} does not fire within {horizon_days} days"
+        )
+
+
+def _broken_down(timestamp: int) -> Tuple[int, int, int, int, int]:
+    """Return (minute, hour, day-of-month, month, day-of-week) for a timestamp."""
+    days_since_epoch, seconds_in_day = divmod(int(timestamp), 86400)
+    hour, remainder = divmod(seconds_in_day, 3600)
+    minute = remainder // 60
+    # 1 January 1970 was a Thursday; cron uses 0 = Sunday.
+    weekday = (days_since_epoch + 4) % 7
+    year, month, day = _civil(days_since_epoch)
+    return minute, hour, day, month, weekday
+
+
+def _civil(days: int) -> Tuple[int, int, int]:
+    days += 719468
+    era = (days if days >= 0 else days - 146096) // 146097
+    day_of_era = days - era * 146097
+    year_of_era = (
+        day_of_era - day_of_era // 1460 + day_of_era // 36524 - day_of_era // 146096
+    ) // 365
+    year = year_of_era + era * 400
+    day_of_year = day_of_era - (365 * year_of_era + year_of_era // 4 - year_of_era // 100)
+    month_prime = (5 * day_of_year + 2) // 153
+    day = day_of_year - (153 * month_prime + 2) // 5 + 1
+    month = month_prime + 3 if month_prime < 10 else month_prime - 9
+    year = year + (1 if month <= 2 else 0)
+    return year, month, day
+
+
+@dataclass
+class CronJob:
+    """A named cron job installed on a client machine."""
+
+    name: str
+    expression: CronExpression
+    action: Callable[[int], object]
+    enabled: bool = True
+    fire_count: int = 0
+    last_fired: Optional[int] = None
+
+    def fire(self, timestamp: int) -> object:
+        """Run the job's action at *timestamp*."""
+        self.fire_count += 1
+        self.last_fired = timestamp
+        return self.action(timestamp)
+
+
+class CronScheduler:
+    """Evaluates the cron tables of a client against the simulated clock."""
+
+    def __init__(self, clock: Optional[SimulatedClock] = None) -> None:
+        self.clock = clock or SimulatedClock()
+        self._jobs: Dict[str, CronJob] = {}
+
+    def install(
+        self, name: str, expression: str, action: Callable[[int], object]
+    ) -> CronJob:
+        """Install a cron job; duplicate names are rejected."""
+        if name in self._jobs:
+            raise SchedulingError(f"cron job {name!r} already installed")
+        job = CronJob(name=name, expression=CronExpression.parse(expression), action=action)
+        self._jobs[name] = job
+        return job
+
+    def remove(self, name: str) -> None:
+        """Remove an installed job."""
+        if name not in self._jobs:
+            raise SchedulingError(f"no cron job named {name!r}")
+        del self._jobs[name]
+
+    def disable(self, name: str) -> None:
+        """Disable a job without removing it."""
+        self.job(name).enabled = False
+
+    def enable(self, name: str) -> None:
+        """Re-enable a disabled job."""
+        self.job(name).enabled = True
+
+    def job(self, name: str) -> CronJob:
+        """Return the job called *name*."""
+        try:
+            return self._jobs[name]
+        except KeyError:
+            raise SchedulingError(f"no cron job named {name!r}") from None
+
+    def jobs(self) -> List[CronJob]:
+        """All installed jobs sorted by name."""
+        return [self._jobs[name] for name in sorted(self._jobs)]
+
+    def advance(self, seconds: int) -> List[Tuple[int, str, object]]:
+        """Advance the clock and fire every job due in the window.
+
+        Returns a list of ``(timestamp, job_name, action_result)`` tuples in
+        firing order.  Jobs with the same firing minute run in name order,
+        which keeps the whole simulation deterministic.
+        """
+        if seconds < 0:
+            raise SchedulingError("cannot advance the scheduler backwards")
+        start = self.clock.now
+        end = self.clock.advance(seconds)
+        fired: List[Tuple[int, str, object]] = []
+        # Iterate over whole minutes inside (start, end].
+        timestamp = (start // 60 + 1) * 60
+        while timestamp <= end:
+            for job in self.jobs():
+                if job.enabled and job.expression.matches(timestamp):
+                    fired.append((timestamp, job.name, job.fire(timestamp)))
+            timestamp += 60
+        return fired
+
+    def advance_days(self, days: float) -> List[Tuple[int, str, object]]:
+        """Advance by a number of days (convenience wrapper)."""
+        return self.advance(int(days * 86400))
+
+
+#: The nightly build schedule used by the sp-system examples (02:30 every day).
+NIGHTLY_BUILD_SCHEDULE = "30 2 * * *"
+#: Weekly full-chain validation (Sunday 04:00).
+WEEKLY_VALIDATION_SCHEDULE = "0 4 * * 0"
+
+
+__all__ = [
+    "CronExpression",
+    "CronJob",
+    "CronScheduler",
+    "NIGHTLY_BUILD_SCHEDULE",
+    "WEEKLY_VALIDATION_SCHEDULE",
+]

@@ -1,0 +1,154 @@
+"""The hypervisor hosting the sp-system's virtual machine images.
+
+The framework is "capable of hosting a number of virtual machine images".
+The :class:`Hypervisor` keeps the image library, instantiates images into
+:class:`VirtualMachineClient` instances, tracks which clients are running and
+enforces a (generous) capacity limit — the sp-system is a validation facility,
+not a production farm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro._common import ConfigurationError
+from repro.environment.configuration import EnvironmentConfiguration
+from repro.storage.bookkeeping import SimulatedClock
+from repro.storage.common_storage import CommonStorage
+from repro.virtualization.client import VirtualMachineClient
+from repro.virtualization.image import ImageState, VirtualMachineImage, image_name_for
+
+
+class Hypervisor:
+    """Hosts virtual machine images and running clients."""
+
+    def __init__(
+        self,
+        name: str = "sp-hypervisor",
+        max_running_clients: int = 16,
+        clock: Optional[SimulatedClock] = None,
+        storage: Optional[CommonStorage] = None,
+    ) -> None:
+        if max_running_clients <= 0:
+            raise ConfigurationError("the hypervisor must allow at least one client")
+        self.name = name
+        self.max_running_clients = max_running_clients
+        self.clock = clock or SimulatedClock()
+        self.storage = storage
+        self._images: Dict[str, VirtualMachineImage] = {}
+        self._running: Dict[str, VirtualMachineClient] = {}
+
+    # -- image management -------------------------------------------------
+    def build_image(
+        self,
+        configuration: EnvironmentConfiguration,
+        name: Optional[str] = None,
+        disk_gb: float = 20.0,
+    ) -> VirtualMachineImage:
+        """Build (register) an image for *configuration*."""
+        image_name = name or image_name_for(configuration)
+        if image_name in self._images:
+            raise ConfigurationError(f"image {image_name!r} already exists")
+        image = VirtualMachineImage(
+            name=image_name,
+            configuration=configuration,
+            built_at=self.clock.now,
+            state=ImageState.READY,
+            disk_gb=disk_gb,
+        )
+        self._images[image_name] = image
+        if self.storage is not None:
+            self.storage.create_namespace("images")
+            self.storage.put("images", image_name, image.describe())
+        return image
+
+    def image(self, name: str) -> VirtualMachineImage:
+        """Return the image called *name*."""
+        try:
+            return self._images[name]
+        except KeyError:
+            known = ", ".join(sorted(self._images))
+            raise ConfigurationError(f"unknown image {name!r} (known: {known})") from None
+
+    def images(self) -> List[VirtualMachineImage]:
+        """All hosted images sorted by name."""
+        return [self._images[name] for name in sorted(self._images)]
+
+    def usable_images(self) -> List[VirtualMachineImage]:
+        """Images that can currently be booted."""
+        return [image for image in self.images() if image.is_usable]
+
+    def image_for_configuration(
+        self, configuration: EnvironmentConfiguration
+    ) -> Optional[VirtualMachineImage]:
+        """Return the image matching *configuration*, if one exists."""
+        for image in self.images():
+            if image.configuration.key == configuration.key:
+                return image
+        return None
+
+    def deprecate_image(self, name: str, reason: str) -> None:
+        """Deprecate an image (e.g. its OS reached end of life)."""
+        self.image(name).deprecate(reason)
+
+    def conserve_image(self, name: str, reason: str) -> VirtualMachineImage:
+        """Conserve an image as the final frozen system (workflow phase iv)."""
+        image = self.image(name)
+        image.conserve(reason)
+        if self.storage is not None:
+            self.storage.create_namespace("images")
+            self.storage.put("images", image.name, image.describe())
+        return image
+
+    def conserved_images(self) -> List[VirtualMachineImage]:
+        """All conserved (frozen) images."""
+        return [image for image in self.images() if image.state is ImageState.CONSERVED]
+
+    # -- client management -------------------------------------------------
+    def start_client(
+        self, image_name: str, client_name: Optional[str] = None
+    ) -> VirtualMachineClient:
+        """Boot a client from the named image."""
+        if len(self._running) >= self.max_running_clients:
+            raise ConfigurationError(
+                f"hypervisor {self.name} is at capacity "
+                f"({self.max_running_clients} running clients)"
+            )
+        image = self.image(image_name)
+        name = client_name or f"{image_name}-client{len(self._running):02d}"
+        if name in self._running:
+            raise ConfigurationError(f"client {name!r} is already running")
+        client = VirtualMachineClient(
+            name=name, image=image, storage=self.storage, clock=self.clock
+        )
+        self._running[name] = client
+        return client
+
+    def stop_client(self, client_name: str) -> None:
+        """Stop a running client."""
+        if client_name not in self._running:
+            raise ConfigurationError(f"no running client named {client_name!r}")
+        del self._running[client_name]
+
+    def running_clients(self) -> List[VirtualMachineClient]:
+        """All running clients sorted by name."""
+        return [self._running[name] for name in sorted(self._running)]
+
+    def client(self, name: str) -> VirtualMachineClient:
+        """Return the running client called *name*."""
+        try:
+            return self._running[name]
+        except KeyError:
+            raise ConfigurationError(f"no running client named {name!r}") from None
+
+    def capacity_remaining(self) -> int:
+        """How many more clients can be started."""
+        return self.max_running_clients - len(self._running)
+
+    def total_image_disk_gb(self) -> float:
+        """Disk consumed by the hosted image library."""
+        return sum(image.disk_gb for image in self.images())
+
+
+__all__ = ["Hypervisor"]

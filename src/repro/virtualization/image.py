@@ -1,0 +1,105 @@
+"""Virtual machine images built from environment configurations.
+
+"Technically, this is realised using a framework capable of hosting a number
+of virtual machine images, built with different configurations of operating
+systems and the relevant software, including any necessary external
+dependencies."  A :class:`VirtualMachineImage` is the simulated counterpart:
+an immutable snapshot of an :class:`EnvironmentConfiguration` plus build
+metadata, which the hypervisor can instantiate into running clients and which
+can be conserved ("frozen") at the end of the preservation programme.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ConfigurationError, stable_digest
+from repro.environment.configuration import EnvironmentConfiguration
+
+
+class ImageState(enum.Enum):
+    """Lifecycle state of a virtual machine image."""
+
+    BUILDING = "building"
+    READY = "ready"
+    DEPRECATED = "deprecated"
+    CONSERVED = "conserved"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class VirtualMachineImage:
+    """A bootable image with a fixed environment configuration.
+
+    Attributes
+    ----------
+    name:
+        Image name, normally derived from the configuration key.
+    configuration:
+        The environment baked into the image.
+    built_at:
+        Unix timestamp of the image build.
+    state:
+        Lifecycle state; only ``READY`` images can be instantiated.
+    disk_gb:
+        Size of the image on the hypervisor's store.
+    notes:
+        Free-form annotations (e.g. "conserved as last working H1 image").
+    """
+
+    name: str
+    configuration: EnvironmentConfiguration
+    built_at: int
+    state: ImageState = ImageState.READY
+    disk_gb: float = 20.0
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.disk_gb <= 0:
+            raise ConfigurationError("image disk size must be positive")
+
+    @property
+    def image_id(self) -> str:
+        """Deterministic identifier derived from name, configuration and build time."""
+        return stable_digest(self.name, self.configuration.key, self.built_at)[:12]
+
+    @property
+    def is_usable(self) -> bool:
+        """True when the image can be booted into a client."""
+        return self.state in (ImageState.READY, ImageState.CONSERVED)
+
+    def deprecate(self, reason: str) -> None:
+        """Mark the image as deprecated (superseded by a newer configuration)."""
+        if self.state is ImageState.CONSERVED:
+            raise ConfigurationError("a conserved image cannot be deprecated")
+        self.state = ImageState.DEPRECATED
+        self.notes.append(f"deprecated: {reason}")
+
+    def conserve(self, reason: str) -> None:
+        """Conserve the image as the final frozen system (workflow phase iv)."""
+        self.state = ImageState.CONSERVED
+        self.notes.append(f"conserved: {reason}")
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-serialisable description stored in the image namespace."""
+        return {
+            "name": self.name,
+            "image_id": self.image_id,
+            "configuration": self.configuration.describe(),
+            "built_at": self.built_at,
+            "state": self.state.value,
+            "disk_gb": self.disk_gb,
+            "notes": list(self.notes),
+        }
+
+
+def image_name_for(configuration: EnvironmentConfiguration) -> str:
+    """Conventional image name for a configuration (``vm-SL6_64bit_gcc4.4``)."""
+    return f"vm-{configuration.key}"
+
+
+__all__ = ["VirtualMachineImage", "ImageState", "image_name_for"]

@@ -1,0 +1,141 @@
+"""Provisioning: building the sp-system's image library from recipes.
+
+The experiments provide "recipes" describing which OS, compiler and external
+software a machine needs; the IT department turns them into virtual machine
+images.  :class:`ProvisioningService` automates that: given environment
+configurations (or the standard five sp-system ones) it builds the images on
+a hypervisor and can attach new client machines, checking the two documented
+client requirements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro._common import ConfigurationError
+from repro.environment.configuration import (
+    EnvironmentConfiguration,
+    sp_system_configurations,
+)
+from repro.storage.common_storage import CommonStorage
+from repro.virtualization.client import (
+    BatchWorkerClient,
+    ClientMachine,
+    GridWorkerClient,
+)
+from repro.virtualization.hypervisor import Hypervisor
+from repro.virtualization.image import VirtualMachineImage
+
+
+@dataclass
+class ProvisioningReport:
+    """What a provisioning round created."""
+
+    images_built: List[str] = field(default_factory=list)
+    clients_started: List[str] = field(default_factory=list)
+    clients_rejected: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def n_images(self) -> int:
+        return len(self.images_built)
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.clients_started)
+
+
+class ProvisioningService:
+    """Builds images and attaches clients according to recipes."""
+
+    def __init__(
+        self,
+        hypervisor: Optional[Hypervisor] = None,
+        storage: Optional[CommonStorage] = None,
+    ) -> None:
+        self.storage = storage or CommonStorage()
+        self.hypervisor = hypervisor or Hypervisor(storage=self.storage)
+        if self.hypervisor.storage is None:
+            self.hypervisor.storage = self.storage
+        self._external_clients: Dict[str, ClientMachine] = {}
+
+    def provision_standard_images(self) -> ProvisioningReport:
+        """Build the five standard sp-system virtual machine images."""
+        return self.provision_images(sp_system_configurations())
+
+    def provision_images(
+        self, configurations: Iterable[EnvironmentConfiguration]
+    ) -> ProvisioningReport:
+        """Build one image per configuration (skipping already-built ones)."""
+        report = ProvisioningReport()
+        for configuration in configurations:
+            existing = self.hypervisor.image_for_configuration(configuration)
+            if existing is not None:
+                continue
+            image = self.hypervisor.build_image(configuration)
+            report.images_built.append(image.name)
+        return report
+
+    def start_validation_clients(
+        self, one_per_image: bool = True
+    ) -> ProvisioningReport:
+        """Start one validation client per usable image."""
+        report = ProvisioningReport()
+        for image in self.hypervisor.usable_images():
+            client_name = f"{image.name}-validation"
+            already_running = any(
+                client.name == client_name
+                for client in self.hypervisor.running_clients()
+            )
+            if one_per_image and already_running:
+                continue
+            client = self.hypervisor.start_client(image.name, client_name)
+            report.clients_started.append(client.name)
+        return report
+
+    def attach_batch_worker(
+        self, name: str, configuration: EnvironmentConfiguration
+    ) -> BatchWorkerClient:
+        """Attach a physical batch worker node as an additional client."""
+        client = BatchWorkerClient(name, configuration, storage=self.storage)
+        self._register_external(client)
+        return client
+
+    def attach_grid_worker(
+        self, name: str, configuration: EnvironmentConfiguration
+    ) -> GridWorkerClient:
+        """Attach a grid worker node as an additional client."""
+        client = GridWorkerClient(name, configuration, storage=self.storage)
+        self._register_external(client)
+        return client
+
+    def _register_external(self, client: ClientMachine) -> None:
+        missing = client.missing_requirements()
+        if missing:
+            raise ConfigurationError(
+                f"client {client.name} does not meet the sp-system requirements: "
+                + "; ".join(missing)
+            )
+        if client.name in self._external_clients:
+            raise ConfigurationError(f"client {client.name!r} already attached")
+        self._external_clients[client.name] = client
+
+    def external_clients(self) -> List[ClientMachine]:
+        """All attached non-VM clients, sorted by name."""
+        return [self._external_clients[name] for name in sorted(self._external_clients)]
+
+    def all_clients(self) -> List[ClientMachine]:
+        """Every client currently attached to the sp-system."""
+        clients: List[ClientMachine] = list(self.hypervisor.running_clients())
+        clients.extend(self.external_clients())
+        return sorted(clients, key=lambda client: client.name)
+
+    def clients_for_configuration(self, configuration_key: str) -> List[ClientMachine]:
+        """Clients whose environment matches *configuration_key*."""
+        return [
+            client for client in self.all_clients()
+            if client.configuration.key == configuration_key
+        ]
+
+
+__all__ = ["ProvisioningService", "ProvisioningReport"]

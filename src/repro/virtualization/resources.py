@@ -1,0 +1,129 @@
+"""Resource accounting for sp-system client machines.
+
+"Neither the hardware resources nor the interface are designed for mass
+production or large-scale analysis."  The resource model keeps the simulated
+clients honest about that constraint: each client has a small CPU/memory/disk
+budget, jobs reserve and release slots, and the accounting records utilisation
+so the reports can show that the system stays "very light".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro._common import ConfigurationError, SchedulingError
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Hardware profile of a client machine."""
+
+    cpu_cores: int
+    memory_gb: float
+    disk_gb: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_cores <= 0:
+            raise ConfigurationError("a client needs at least one CPU core")
+        if self.memory_gb <= 0 or self.disk_gb <= 0:
+            raise ConfigurationError("memory and disk sizes must be positive")
+
+
+#: Typical profiles: the validation VMs are small, batch/grid nodes larger.
+VALIDATION_VM_PROFILE = ResourceProfile(cpu_cores=2, memory_gb=4.0, disk_gb=100.0)
+BATCH_WORKER_PROFILE = ResourceProfile(cpu_cores=8, memory_gb=16.0, disk_gb=500.0)
+GRID_WORKER_PROFILE = ResourceProfile(cpu_cores=16, memory_gb=32.0, disk_gb=1000.0)
+
+
+@dataclass
+class ResourceReservation:
+    """An active reservation of client resources by a running job."""
+
+    job_id: str
+    cpu_cores: int
+    memory_gb: float
+    disk_gb: float
+
+
+class ResourceAccountant:
+    """Tracks reservations and cumulative usage on one client."""
+
+    def __init__(self, profile: ResourceProfile) -> None:
+        self.profile = profile
+        self._reservations: Dict[str, ResourceReservation] = {}
+        self.total_cpu_seconds: float = 0.0
+        self.peak_concurrent_jobs: int = 0
+
+    @property
+    def used_cores(self) -> int:
+        """CPU cores currently reserved."""
+        return sum(reservation.cpu_cores for reservation in self._reservations.values())
+
+    @property
+    def used_memory_gb(self) -> float:
+        """Memory currently reserved."""
+        return sum(reservation.memory_gb for reservation in self._reservations.values())
+
+    @property
+    def used_disk_gb(self) -> float:
+        """Disk currently reserved."""
+        return sum(reservation.disk_gb for reservation in self._reservations.values())
+
+    @property
+    def free_cores(self) -> int:
+        """CPU cores still available."""
+        return self.profile.cpu_cores - self.used_cores
+
+    def can_accommodate(self, cpu_cores: int, memory_gb: float, disk_gb: float) -> bool:
+        """Return True if a job with the given demands fits right now."""
+        return (
+            cpu_cores <= self.free_cores
+            and memory_gb <= self.profile.memory_gb - self.used_memory_gb
+            and disk_gb <= self.profile.disk_gb - self.used_disk_gb
+        )
+
+    def reserve(
+        self, job_id: str, cpu_cores: int = 1, memory_gb: float = 1.0, disk_gb: float = 5.0
+    ) -> ResourceReservation:
+        """Reserve resources for a job; raises when the client is full."""
+        if job_id in self._reservations:
+            raise SchedulingError(f"job {job_id!r} already holds a reservation")
+        if cpu_cores <= 0:
+            raise SchedulingError("a job must reserve at least one core")
+        if not self.can_accommodate(cpu_cores, memory_gb, disk_gb):
+            raise SchedulingError(
+                f"client cannot accommodate job {job_id!r}: "
+                f"{self.free_cores} cores free, {cpu_cores} requested"
+            )
+        reservation = ResourceReservation(job_id, cpu_cores, memory_gb, disk_gb)
+        self._reservations[job_id] = reservation
+        self.peak_concurrent_jobs = max(self.peak_concurrent_jobs, len(self._reservations))
+        return reservation
+
+    def release(self, job_id: str, cpu_seconds_used: float = 0.0) -> None:
+        """Release a reservation and account the consumed CPU time."""
+        if job_id not in self._reservations:
+            raise SchedulingError(f"job {job_id!r} holds no reservation")
+        if cpu_seconds_used < 0:
+            raise SchedulingError("CPU seconds used cannot be negative")
+        del self._reservations[job_id]
+        self.total_cpu_seconds += cpu_seconds_used
+
+    def active_jobs(self) -> List[str]:
+        """IDs of jobs currently holding reservations."""
+        return sorted(self._reservations)
+
+    def utilisation(self) -> float:
+        """Fraction of CPU cores currently in use."""
+        return self.used_cores / self.profile.cpu_cores
+
+
+__all__ = [
+    "ResourceProfile",
+    "ResourceReservation",
+    "ResourceAccountant",
+    "VALIDATION_VM_PROFILE",
+    "BATCH_WORKER_PROFILE",
+    "GRID_WORKER_PROFILE",
+]

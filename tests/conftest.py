@@ -1,0 +1,99 @@
+"""Shared fixtures for the repro test suite.
+
+The fixtures provide small, fast instances of the main building blocks: the
+standard environment configurations, tiny experiment definitions (scaled-down
+H1/ZEUS/HERMES) and a ready-to-use sp-system.  Everything is deterministic,
+so the tests never need to seed anything themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spsystem import SPSystem
+from repro.environment.configuration import (
+    EnvironmentFactory,
+    next_generation_configuration,
+    sp_system_configurations,
+)
+from repro.experiments.h1 import build_h1_experiment
+from repro.experiments.hermes import build_hermes_experiment
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.experiments.zeus import build_zeus_experiment
+
+
+@pytest.fixture(scope="session")
+def environment_factory():
+    """A shared factory over the default catalogues."""
+    return EnvironmentFactory()
+
+
+@pytest.fixture(scope="session")
+def standard_configurations():
+    """The five standard sp-system configurations."""
+    return sp_system_configurations()
+
+
+@pytest.fixture(scope="session")
+def sl5_64_gcc44(standard_configurations):
+    """The SL5/64bit gcc4.4 configuration (the 'established' platform)."""
+    return next(
+        configuration for configuration in standard_configurations
+        if configuration.key == "SL5_64bit_gcc4.4"
+    )
+
+
+@pytest.fixture(scope="session")
+def sl6_64_gcc44(standard_configurations):
+    """The SL6/64bit gcc4.4 configuration (the migration target)."""
+    return next(
+        configuration for configuration in standard_configurations
+        if configuration.key == "SL6_64bit_gcc4.4"
+    )
+
+
+@pytest.fixture(scope="session")
+def sl7_root6():
+    """The SL7 + ROOT 6 'next challenge' configuration."""
+    return next_generation_configuration()
+
+
+@pytest.fixture(scope="session")
+def tiny_h1():
+    """A small but structurally complete H1 definition (fast to run)."""
+    return build_h1_experiment(scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def tiny_zeus():
+    """A small ZEUS definition."""
+    return build_zeus_experiment(scale=0.2)
+
+
+@pytest.fixture(scope="session")
+def tiny_hermes():
+    """A small HERMES definition."""
+    return build_hermes_experiment(scale=0.3)
+
+
+@pytest.fixture(scope="session")
+def small_inventory():
+    """A 20-package inventory without any migration quirks."""
+    return build_inventory(
+        "TESTEXP",
+        20,
+        quirks=InventoryQuirks(
+            n_not_ported_to_newest_abi=0,
+            n_legacy_root_api=0,
+            n_strictness_limited=0,
+            n_32bit_only=0,
+        ),
+    )
+
+
+@pytest.fixture()
+def sp_system():
+    """A freshly provisioned sp-system with the five standard images."""
+    system = SPSystem()
+    system.provision_standard_images()
+    return system

@@ -1,0 +1,154 @@
+"""Tests for the simulated package builder and build campaigns."""
+
+import pytest
+
+from repro._common import BuildError
+from repro.buildsys.builder import BuildStatus, PackageBuilder
+from repro.buildsys.package import (
+    Language,
+    PackageCategory,
+    PackageInventory,
+    SoftwarePackage,
+)
+from repro.buildsys.tarball import Tarball
+from repro.environment.compatibility import SoftwareRequirements
+
+
+def make_package(name, dependencies=(), requirements=None, fragility=0.1):
+    return SoftwarePackage(
+        name=name,
+        version="1.0",
+        experiment="TESTEXP",
+        category=PackageCategory.RECONSTRUCTION,
+        language=Language.FORTRAN,
+        lines_of_code=3000,
+        dependencies=tuple(dependencies),
+        requirements=requirements or SoftwareRequirements(),
+        fragility=fragility,
+    )
+
+
+@pytest.fixture()
+def builder():
+    return PackageBuilder()
+
+
+class TestBuildPackage:
+    def test_successful_build_produces_tarball(self, builder, sl5_64_gcc44):
+        result = builder.build_package(make_package("pkg-ok"), sl5_64_gcc44)
+        assert result.succeeded
+        assert result.tarball is not None
+        assert result.tarball.package_name == "pkg-ok"
+        assert result.build_seconds > 0
+
+    def test_incompatible_package_fails(self, builder, sl6_64_gcc44):
+        package = make_package(
+            "pkg-old", requirements=SoftwareRequirements(max_os_abi=2)
+        )
+        result = builder.build_package(package, sl6_64_gcc44)
+        assert result.status is BuildStatus.FAILED
+        assert not result.succeeded
+        assert result.tarball is None
+        assert result.n_errors >= 1
+
+    def test_fragile_package_warns_more_with_strict_compiler(
+        self, builder, sl5_64_gcc44
+    ):
+        from repro.environment.compilers import CompilerCatalog
+
+        fragile = make_package("pkg-fragile", fragility=0.6)
+        gcc41_config = sl5_64_gcc44.with_compiler(CompilerCatalog().get("gcc4.1"))
+        lenient = builder.build_package(fragile, gcc41_config)
+        strict = builder.build_package(fragile, sl5_64_gcc44)
+        assert strict.n_warnings >= lenient.n_warnings
+
+    def test_warning_only_build_is_usable(self, builder, sl6_64_gcc44):
+        package = make_package(
+            "pkg-at-limit",
+            requirements=SoftwareRequirements(
+                max_strictness=sl6_64_gcc44.compiler.strictness
+            ),
+        )
+        result = builder.build_package(package, sl6_64_gcc44)
+        assert result.status in (BuildStatus.WARNINGS, BuildStatus.SUCCESS)
+        assert result.succeeded
+
+    def test_build_is_deterministic(self, builder, sl5_64_gcc44):
+        package = make_package("pkg-det", fragility=0.4)
+        first = builder.build_package(package, sl5_64_gcc44)
+        second = builder.build_package(package, sl5_64_gcc44)
+        assert first.status == second.status
+        assert first.n_warnings == second.n_warnings
+        assert first.tarball.digest == second.tarball.digest
+
+
+class TestBuildCampaign:
+    def _inventory(self):
+        return PackageInventory(
+            "TESTEXP",
+            [
+                make_package("core"),
+                make_package(
+                    "legacy", requirements=SoftwareRequirements(max_os_abi=2)
+                ),
+                make_package("analysis", dependencies=("core", "legacy")),
+                make_package("standalone", dependencies=("core",)),
+            ],
+        )
+
+    def test_all_green_on_old_platform(self, builder, sl5_64_gcc44):
+        campaign = builder.build_inventory(self._inventory(), sl5_64_gcc44)
+        assert campaign.all_usable
+        assert campaign.n_failed == 0
+        assert campaign.usable_fraction() == pytest.approx(1.0)
+
+    def test_failure_cascades_to_dependents(self, builder, sl6_64_gcc44):
+        campaign = builder.build_inventory(self._inventory(), sl6_64_gcc44)
+        assert campaign.result_for("legacy").status is BuildStatus.FAILED
+        assert campaign.result_for("analysis").status is BuildStatus.SKIPPED
+        assert campaign.result_for("core").succeeded
+        assert campaign.result_for("standalone").succeeded
+        assert campaign.failed_packages() == ["legacy"]
+        assert campaign.skipped_packages() == ["analysis"]
+
+    def test_stop_on_failure(self, builder, sl6_64_gcc44):
+        campaign = builder.build_inventory(
+            self._inventory(), sl6_64_gcc44, stop_on_failure=True
+        )
+        assert campaign.n_failed == 1
+        # Everything ordered after the failure is skipped, not attempted.
+        assert campaign.n_skipped >= 1
+
+    def test_missing_result_lookup_raises(self, builder, sl5_64_gcc44):
+        campaign = builder.build_inventory(self._inventory(), sl5_64_gcc44)
+        with pytest.raises(BuildError):
+            campaign.result_for("ghost")
+
+    def test_total_build_seconds_positive(self, builder, sl5_64_gcc44):
+        campaign = builder.build_inventory(self._inventory(), sl5_64_gcc44)
+        assert campaign.total_build_seconds() > 0
+
+
+class TestTarball:
+    def test_filename_contains_configuration(self, sl5_64_gcc44):
+        tarball = Tarball.for_build(make_package("pkg-a"), sl5_64_gcc44)
+        assert "pkg-a-1.0" in tarball.filename
+        assert sl5_64_gcc44.key in tarball.filename
+
+    def test_digest_differs_between_configurations(self, sl5_64_gcc44, sl6_64_gcc44):
+        package = make_package("pkg-a")
+        first = Tarball.for_build(package, sl5_64_gcc44)
+        second = Tarball.for_build(package, sl6_64_gcc44)
+        assert first.digest != second.digest
+
+    def test_digest_stable_for_same_inputs(self, sl5_64_gcc44):
+        package = make_package("pkg-a")
+        assert (
+            Tarball.for_build(package, sl5_64_gcc44).digest
+            == Tarball.for_build(package, sl5_64_gcc44).digest
+        )
+
+    def test_serialisation_round_trip(self, sl5_64_gcc44):
+        tarball = Tarball.for_build(make_package("pkg-a"), sl5_64_gcc44)
+        rebuilt = Tarball.from_dict(tarball.to_dict())
+        assert rebuilt == tarball

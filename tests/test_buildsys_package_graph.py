@@ -1,0 +1,181 @@
+"""Tests for the package model and the dependency graph."""
+
+import pytest
+
+from repro._common import BuildError, ConfigurationError
+from repro.buildsys.graph import DependencyCycleError, DependencyGraph
+from repro.buildsys.package import (
+    Language,
+    PackageCategory,
+    PackageInventory,
+    SoftwarePackage,
+)
+
+
+def make_package(name, experiment="TESTEXP", dependencies=(), **kwargs):
+    defaults = dict(
+        version="1.0",
+        category=PackageCategory.ANALYSIS,
+        language=Language.CPP,
+        lines_of_code=1000,
+        dependencies=tuple(dependencies),
+    )
+    defaults.update(kwargs)
+    return SoftwarePackage(name=name, experiment=experiment, **defaults)
+
+
+class TestSoftwarePackage:
+    def test_key(self):
+        assert make_package("pkg-a").key == "pkg-a-1.0"
+
+    def test_invalid_lines_of_code(self):
+        with pytest.raises(ConfigurationError):
+            make_package("pkg-a", lines_of_code=0)
+
+    def test_invalid_fragility(self):
+        with pytest.raises(ConfigurationError):
+            make_package("pkg-a", fragility=1.5)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_package("pkg-a", dependencies=("pkg-a",))
+
+    def test_with_requirements_and_version(self):
+        from repro.environment.compatibility import SoftwareRequirements
+
+        package = make_package("pkg-a")
+        ported = package.with_requirements(SoftwareRequirements(word_sizes=(64,)))
+        assert ported.requirements.word_sizes == (64,)
+        assert package.requirements.word_sizes == (32, 64)
+        bumped = package.with_version("2.0")
+        assert bumped.version == "2.0"
+
+    def test_build_time_scales_with_size(self):
+        small = make_package("pkg-a", lines_of_code=1000)
+        large = make_package("pkg-b", lines_of_code=10000)
+        assert large.estimated_build_seconds() > small.estimated_build_seconds()
+
+    def test_fortran_builds_faster_than_cpp_per_line(self):
+        fortran = make_package("pkg-f", language=Language.FORTRAN)
+        cpp = make_package("pkg-c", language=Language.CPP)
+        assert fortran.estimated_build_seconds() < cpp.estimated_build_seconds()
+
+
+class TestPackageInventory:
+    def test_add_and_get(self):
+        inventory = PackageInventory("TESTEXP", [make_package("pkg-a")])
+        assert "pkg-a" in inventory
+        assert inventory.get("pkg-a").name == "pkg-a"
+        assert len(inventory) == 1
+
+    def test_wrong_experiment_rejected(self):
+        inventory = PackageInventory("TESTEXP")
+        with pytest.raises(ConfigurationError):
+            inventory.add(make_package("pkg-a", experiment="OTHER"))
+
+    def test_duplicate_rejected(self):
+        inventory = PackageInventory("TESTEXP", [make_package("pkg-a")])
+        with pytest.raises(ConfigurationError):
+            inventory.add(make_package("pkg-a"))
+
+    def test_replace_requires_existing(self):
+        inventory = PackageInventory("TESTEXP", [make_package("pkg-a")])
+        inventory.replace(make_package("pkg-a", lines_of_code=5))
+        assert inventory.get("pkg-a").lines_of_code == 5
+        with pytest.raises(ConfigurationError):
+            inventory.replace(make_package("pkg-b"))
+
+    def test_by_category_and_totals(self):
+        inventory = PackageInventory(
+            "TESTEXP",
+            [
+                make_package("pkg-a", category=PackageCategory.CORE),
+                make_package("pkg-b", category=PackageCategory.ANALYSIS),
+            ],
+        )
+        assert [pkg.name for pkg in inventory.by_category(PackageCategory.CORE)] == ["pkg-a"]
+        assert inventory.total_lines_of_code() == 2000
+
+    def test_validate_dependencies_detects_missing(self):
+        inventory = PackageInventory(
+            "TESTEXP", [make_package("pkg-a", dependencies=("pkg-missing",))]
+        )
+        problems = inventory.validate_dependencies()
+        assert problems and "pkg-missing" in problems[0]
+
+    def test_names_sorted(self):
+        inventory = PackageInventory(
+            "TESTEXP", [make_package("pkg-b"), make_package("pkg-a")]
+        )
+        assert inventory.names() == ["pkg-a", "pkg-b"]
+
+
+class TestDependencyGraph:
+    def _diamond_inventory(self):
+        return PackageInventory(
+            "TESTEXP",
+            [
+                make_package("core"),
+                make_package("left", dependencies=("core",)),
+                make_package("right", dependencies=("core",)),
+                make_package("top", dependencies=("left", "right")),
+            ],
+        )
+
+    def test_build_order_respects_dependencies(self):
+        graph = DependencyGraph(self._diamond_inventory())
+        order = graph.build_order()
+        assert order.index("core") < order.index("left")
+        assert order.index("core") < order.index("right")
+        assert order.index("left") < order.index("top")
+        assert order.index("right") < order.index("top")
+
+    def test_missing_dependency_rejected(self):
+        inventory = PackageInventory(
+            "TESTEXP", [make_package("a", dependencies=("ghost",))]
+        )
+        with pytest.raises(BuildError):
+            DependencyGraph(inventory)
+
+    def test_cycle_detected(self):
+        inventory = PackageInventory(
+            "TESTEXP",
+            [
+                make_package("a", dependencies=("b",)),
+                make_package("b", dependencies=("a",)),
+            ],
+        )
+        with pytest.raises(DependencyCycleError) as excinfo:
+            DependencyGraph(inventory)
+        assert set(excinfo.value.cycle) >= {"a", "b"}
+
+    def test_transitive_dependencies_and_dependents(self):
+        graph = DependencyGraph(self._diamond_inventory())
+        assert graph.transitive_dependencies("top") == {"core", "left", "right"}
+        assert graph.transitive_dependents("core") == {"left", "right", "top"}
+        assert graph.dependents_of("core") == ["left", "right"]
+
+    def test_build_levels(self):
+        graph = DependencyGraph(self._diamond_inventory())
+        levels = graph.build_levels()
+        assert levels[0] == ["core"]
+        assert set(levels[1]) == {"left", "right"}
+        assert levels[2] == ["top"]
+
+    def test_critical_path_ends_at_top(self):
+        graph = DependencyGraph(self._diamond_inventory())
+        path = graph.critical_path()
+        assert path[0] == "core"
+        assert path[-1] == "top"
+
+    def test_unknown_package_queries(self):
+        graph = DependencyGraph(self._diamond_inventory())
+        with pytest.raises(BuildError):
+            graph.dependencies_of("ghost")
+        with pytest.raises(BuildError):
+            graph.transitive_dependents("ghost")
+
+    def test_hera_inventories_are_acyclic(self, tiny_h1, tiny_zeus, tiny_hermes):
+        for experiment in (tiny_h1, tiny_zeus, tiny_hermes):
+            graph = DependencyGraph(experiment.inventory)
+            assert len(graph.build_order()) == len(experiment.inventory)

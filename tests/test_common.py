@@ -1,0 +1,112 @@
+"""Tests for the shared helpers in repro._common."""
+
+import pytest
+
+from repro._common import (
+    ReproError,
+    chunked,
+    ensure_identifier,
+    format_table,
+    parse_version,
+    stable_digest,
+    stable_fraction,
+    stable_hash,
+    unique_preserving_order,
+    version_at_least,
+    version_less_than,
+)
+
+
+class TestEnsureIdentifier:
+    def test_accepts_simple_names(self):
+        assert ensure_identifier("h1-tracking") == "h1-tracking"
+        assert ensure_identifier("SL6_64bit") == "SL6_64bit"
+        assert ensure_identifier("ROOT-5.34") == "ROOT-5.34"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            ensure_identifier("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(ReproError):
+            ensure_identifier(42)  # type: ignore[arg-type]
+
+    def test_rejects_spaces_and_slashes(self):
+        with pytest.raises(ReproError):
+            ensure_identifier("a b")
+        with pytest.raises(ReproError):
+            ensure_identifier("a/b")
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(ReproError):
+            ensure_identifier("1abc")
+
+
+class TestStableHashing:
+    def test_stable_across_calls(self):
+        assert stable_hash("a", 1, 2.5) == stable_hash("a", 1, 2.5)
+
+    def test_different_inputs_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_fraction_in_unit_interval(self):
+        for value in ("x", "y", 123, ("a", "b")):
+            fraction = stable_fraction(value)
+            assert 0.0 <= fraction < 1.0
+
+    def test_digest_is_hex_and_stable(self):
+        digest = stable_digest("package", "1.0")
+        assert digest == stable_digest("package", "1.0")
+        assert len(digest) == 40
+        int(digest, 16)  # must be valid hex
+
+
+class TestVersionParsing:
+    def test_parse_simple(self):
+        assert parse_version("5.34") == (5, 34)
+
+    def test_parse_with_slash(self):
+        assert parse_version("6.02/05") == (6, 2, 5)
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ReproError):
+            parse_version("")
+
+    def test_version_at_least(self):
+        assert version_at_least("4.4", "4.1")
+        assert version_at_least("4.4", "4.4")
+        assert not version_at_least("4.1", "4.4")
+
+    def test_version_less_than(self):
+        assert version_less_than("4.1", "4.4")
+        assert not version_less_than("4.4", "4.4")
+
+    def test_two_component_versus_three_component(self):
+        assert version_at_least("5.34.1", "5.34")
+        assert version_less_than("5.34", "5.34.1")
+
+
+class TestSmallUtilities:
+    def test_chunked_splits_evenly(self):
+        assert list(chunked([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_chunked_last_chunk_short(self):
+        assert list(chunked([1, 2, 3], 2)) == [[1, 2], [3]]
+
+    def test_chunked_rejects_non_positive(self):
+        with pytest.raises(ReproError):
+            list(chunked([1], 0))
+
+    def test_unique_preserving_order(self):
+        assert unique_preserving_order([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_format_table_handles_extra_columns(self):
+        text = format_table(["a"], [["x", "y"]])
+        assert "y" in text

@@ -1,0 +1,144 @@
+"""Tests for the output comparator used in run-against-run validation."""
+
+import pytest
+
+from repro._common import ValidationError
+from repro.core.comparison import ComparisonPolicy, OutputComparator
+from repro.core.testspec import OutputKind, TestOutput
+from repro.hepdata.histogram import Histogram1D, HistogramSet
+
+
+@pytest.fixture()
+def comparator():
+    return OutputComparator()
+
+
+def yes_no(value=True):
+    return TestOutput(kind=OutputKind.YES_NO, passed=value, yes_no=value)
+
+
+def numbers(**values):
+    return TestOutput(kind=OutputKind.NUMBERS, passed=True, numbers=dict(values))
+
+
+def histograms(shift=0.0, n=300):
+    import numpy as np
+
+    rng = np.random.default_rng(7)
+    histogram = Histogram1D("q2", 20, -5.0, 5.0)
+    histogram.fill_many(rng.normal(shift, 1.0, n))
+    return TestOutput(
+        kind=OutputKind.HISTOGRAMS, passed=True,
+        histograms=HistogramSet([histogram]),
+    )
+
+
+class TestComparisonPolicy:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            ComparisonPolicy(relative_tolerance=-1.0)
+        with pytest.raises(ValidationError):
+            ComparisonPolicy(histogram_p_value=2.0)
+        with pytest.raises(ValidationError):
+            ComparisonPolicy(histogram_method="anderson")
+
+
+class TestYesNoAndText:
+    def test_matching_yes_no(self, comparator):
+        assert comparator.compare("t", yes_no(True), yes_no(True)).compatible
+
+    def test_flipped_yes_no(self, comparator):
+        outcome = comparator.compare("t", yes_no(True), yes_no(False))
+        assert not outcome.compatible
+        assert "changed" in outcome.messages[0]
+
+    def test_kind_change_detected(self, comparator):
+        outcome = comparator.compare("t", yes_no(True), numbers(x=1.0))
+        assert not outcome.compatible
+        assert "kind changed" in outcome.messages[0]
+
+    def test_text_identical_and_different(self, comparator):
+        same = TestOutput(kind=OutputKind.TEXT, passed=True, text="a\nb")
+        other = TestOutput(kind=OutputKind.TEXT, passed=True, text="a\nc")
+        assert comparator.compare("t", same, same).compatible
+        outcome = comparator.compare("t", same, other)
+        assert not outcome.compatible
+        assert any("line 2" in message for message in outcome.messages)
+
+
+class TestNumbers:
+    def test_within_tolerance(self, comparator):
+        outcome = comparator.compare(
+            "t", numbers(value=100.0), numbers(value=100.0 * (1 + 1e-9))
+        )
+        assert outcome.compatible
+
+    def test_outside_tolerance(self, comparator):
+        outcome = comparator.compare("t", numbers(value=100.0), numbers(value=101.0))
+        assert not outcome.compatible
+        assert "value" in outcome.messages[0]
+
+    def test_appearing_and_disappearing_quantities(self, comparator):
+        outcome = comparator.compare(
+            "t", numbers(a=1.0, b=2.0), numbers(a=1.0, c=3.0)
+        )
+        assert not outcome.compatible
+        joined = " ".join(outcome.messages)
+        assert "disappeared" in joined
+        assert "appeared" in joined
+
+    def test_custom_tolerance(self):
+        loose = OutputComparator(ComparisonPolicy(relative_tolerance=0.1))
+        assert loose.compare("t", numbers(value=100.0), numbers(value=105.0)).compatible
+
+    def test_zero_values_compared_absolutely(self, comparator):
+        assert comparator.compare("t", numbers(value=0.0), numbers(value=0.0)).compatible
+
+
+class TestHistogramsAndFiles:
+    def test_identical_histograms(self, comparator):
+        assert comparator.compare("t", histograms(), histograms()).compatible
+
+    def test_shifted_histograms_detected(self, comparator):
+        outcome = comparator.compare("t", histograms(0.0), histograms(2.0))
+        assert not outcome.compatible
+        assert outcome.histogram_results["q2"].compatible is False
+
+    def test_missing_histogram_detected(self, comparator):
+        reference = histograms()
+        candidate = TestOutput(
+            kind=OutputKind.HISTOGRAMS, passed=True, histograms=HistogramSet()
+        )
+        # An empty candidate set means the reference histogram disappeared.
+        outcome = comparator.compare("t", reference, candidate)
+        assert not outcome.compatible
+
+    def test_ks_method(self):
+        comparator = OutputComparator(ComparisonPolicy(histogram_method="ks"))
+        assert comparator.compare("t", histograms(), histograms()).compatible
+        assert not comparator.compare("t", histograms(), histograms(2.0)).compatible
+
+    def test_file_summary_comparison(self, comparator):
+        reference = TestOutput(
+            kind=OutputKind.FILE_SUMMARY, passed=True,
+            file_summary={"n_records": 100.0, "mean_q2": 25.0},
+        )
+        same = TestOutput(
+            kind=OutputKind.FILE_SUMMARY, passed=True,
+            file_summary={"n_records": 100.0, "mean_q2": 25.0},
+        )
+        different = TestOutput(
+            kind=OutputKind.FILE_SUMMARY, passed=True,
+            file_summary={"n_records": 90.0, "mean_q2": 25.0},
+        )
+        missing_field = TestOutput(
+            kind=OutputKind.FILE_SUMMARY, passed=True, file_summary={"n_records": 100.0},
+        )
+        assert comparator.compare("t", reference, same).compatible
+        assert not comparator.compare("t", reference, different).compatible
+        assert not comparator.compare("t", reference, missing_field).compatible
+
+    def test_outcome_summary_text(self, comparator):
+        outcome = comparator.compare("t", yes_no(True), yes_no(False))
+        assert "INCOMPATIBLE" in outcome.summary()
+        assert "t:" in outcome.summary()

@@ -1,0 +1,175 @@
+"""Tests for intervention tickets, validated recipes and the freeze manager."""
+
+import pytest
+
+from repro._common import ValidationError
+from repro.core.diagnosis import FailureDiagnosisEngine
+from repro.core.freeze import FreezeManager, FreezeReason
+from repro.core.intervention import (
+    InterventionParty,
+    InterventionTracker,
+    TicketStatus,
+)
+from repro.core.recipe import DEPLOYMENT_TARGETS, RecipeBook
+from repro.core.runner import ValidationRunner
+from repro.storage.bookkeeping import EPOCH_2013
+from repro.virtualization.hypervisor import Hypervisor
+
+
+@pytest.fixture()
+def failing_cycle(tiny_zeus, sl5_64_gcc44, sl6_64_gcc44):
+    """A reference run on SL5 plus a failing run on SL6, with its diagnosis."""
+    runner = ValidationRunner()
+    reference = runner.run(tiny_zeus, sl5_64_gcc44)
+    failing = runner.run(tiny_zeus, sl6_64_gcc44)
+    diagnosis = FailureDiagnosisEngine().diagnose_run(
+        failing, reference_configuration=sl5_64_gcc44, current_configuration=sl6_64_gcc44
+    )
+    return runner, reference, failing, diagnosis
+
+
+class TestInterventionTracker:
+    def test_tickets_opened_from_diagnosis(self, failing_cycle):
+        _, _, failing, diagnosis = failing_cycle
+        tracker = InterventionTracker()
+        tickets = tracker.open_from_diagnosis(diagnosis, timestamp=EPOCH_2013)
+        assert len(tickets) == len(diagnosis.diagnoses)
+        assert len(tracker) == len(tickets)
+        for ticket in tickets:
+            assert ticket.is_open
+            assert ticket.run_id == failing.run_id
+
+    def test_duplicate_tickets_not_opened(self, failing_cycle):
+        _, _, _, diagnosis = failing_cycle
+        tracker = InterventionTracker()
+        first = tracker.open_from_diagnosis(diagnosis, timestamp=EPOCH_2013)
+        second = tracker.open_from_diagnosis(diagnosis, timestamp=EPOCH_2013 + 10)
+        assert first
+        assert second == []
+
+    def test_resolution_lifecycle(self, failing_cycle):
+        _, _, _, diagnosis = failing_cycle
+        tracker = InterventionTracker()
+        tickets = tracker.open_from_diagnosis(diagnosis, timestamp=EPOCH_2013)
+        ticket = tickets[0]
+        ticket.resolve("ported package to SL6", EPOCH_2013 + 86400, long_standing_bug=True)
+        assert ticket.status is TicketStatus.RESOLVED
+        assert not ticket.is_open
+        assert tracker.long_standing_bugs_found() == 1
+        with pytest.raises(ValidationError):
+            ticket.resolve("again", EPOCH_2013)
+
+    def test_wont_fix(self, failing_cycle):
+        _, _, _, diagnosis = failing_cycle
+        tracker = InterventionTracker()
+        ticket = tracker.open_from_diagnosis(diagnosis, timestamp=EPOCH_2013)[0]
+        ticket.close_wont_fix("platform abandoned", EPOCH_2013)
+        assert ticket.status is TicketStatus.WONT_FIX
+        with pytest.raises(ValidationError):
+            ticket.close_wont_fix("again", EPOCH_2013)
+
+    def test_open_tickets_by_party(self, failing_cycle):
+        _, _, _, diagnosis = failing_cycle
+        tracker = InterventionTracker()
+        tracker.open_from_diagnosis(diagnosis, timestamp=EPOCH_2013)
+        it_tickets = tracker.open_tickets(InterventionParty.HOST_IT)
+        experiment_tickets = tracker.open_tickets(InterventionParty.EXPERIMENT)
+        assert len(it_tickets) + len(experiment_tickets) == len(tracker.open_tickets())
+
+    def test_unknown_ticket_raises(self):
+        with pytest.raises(ValidationError):
+            InterventionTracker().ticket("ticket-99999")
+
+
+class TestRecipeBook:
+    def test_publish_requires_matching_configuration(self, tiny_hermes, sl5_64_gcc44, sl6_64_gcc44):
+        runner = ValidationRunner()
+        run = runner.run(tiny_hermes, sl5_64_gcc44)
+        book = RecipeBook(runner.storage)
+        with pytest.raises(ValidationError):
+            book.publish_from_run(run, sl6_64_gcc44)
+
+    def test_publish_requires_full_pass(self, tiny_zeus, sl6_64_gcc44):
+        runner = ValidationRunner()
+        failing = runner.run(tiny_zeus, sl6_64_gcc44)
+        book = RecipeBook(runner.storage)
+        with pytest.raises(ValidationError):
+            book.publish_from_run(failing, sl6_64_gcc44)
+
+    def test_publish_and_reload(self, tiny_hermes, sl5_64_gcc44):
+        runner = ValidationRunner()
+        run = runner.run(tiny_hermes, sl5_64_gcc44)
+        book = RecipeBook(runner.storage)
+        recipe = book.publish_from_run(run, sl5_64_gcc44)
+        assert recipe.pass_fraction == 1.0
+        reloaded = book.get(recipe.recipe_id)
+        assert reloaded == recipe
+        assert book.latest_for("HERMES") == recipe
+        assert book.recipes_for("HERMES") == [recipe]
+
+    def test_latest_for_unknown_experiment(self):
+        assert RecipeBook().latest_for("GHOST") is None
+
+    def test_deployment_plan(self, tiny_hermes, sl5_64_gcc44):
+        runner = ValidationRunner()
+        run = runner.run(tiny_hermes, sl5_64_gcc44)
+        book = RecipeBook(runner.storage)
+        recipe = book.publish_from_run(run, sl5_64_gcc44)
+        plan = book.deployment_plan(recipe.recipe_id, "grid")
+        assert plan.target == "grid"
+        assert any("SL5" in step for step in plan.steps)
+        assert any("ROOT" in step for step in plan.steps)
+        assert recipe.recipe_id in plan.rendered()
+
+    def test_deployment_target_validated(self, tiny_hermes, sl5_64_gcc44):
+        runner = ValidationRunner()
+        run = runner.run(tiny_hermes, sl5_64_gcc44)
+        book = RecipeBook(runner.storage)
+        recipe = book.publish_from_run(run, sl5_64_gcc44)
+        with pytest.raises(ValidationError):
+            book.deployment_plan(recipe.recipe_id, "abacus")
+        assert "quantum-computer" in DEPLOYMENT_TARGETS
+
+
+class TestFreezeManager:
+    def _manager_with_run(self, experiment, configuration):
+        runner = ValidationRunner()
+        run = runner.run(experiment, configuration)
+        hypervisor = Hypervisor(storage=runner.storage)
+        hypervisor.build_image(configuration)
+        book = RecipeBook(runner.storage)
+        manager = FreezeManager(hypervisor, book, runner.storage)
+        return runner, hypervisor, manager, run
+
+    def test_freeze_conserves_image_and_publishes_recipe(self, tiny_hermes, sl5_64_gcc44):
+        _, hypervisor, manager, run = self._manager_with_run(tiny_hermes, sl5_64_gcc44)
+        frozen = manager.freeze("HERMES", run, FreezeReason.NO_PERSON_POWER)
+        assert manager.is_frozen("HERMES")
+        assert manager.frozen_experiments() == ["HERMES"]
+        assert hypervisor.conserved_images()
+        assert frozen.recipe_id.startswith("recipe-HERMES-")
+        assert "unlikely to persist" in frozen.caveat
+
+    def test_freeze_requires_fully_passing_run(self, tiny_zeus, sl6_64_gcc44):
+        _, _, manager, run = self._manager_with_run(tiny_zeus, sl6_64_gcc44)
+        assert not run.all_passed
+        with pytest.raises(ValidationError):
+            manager.freeze("ZEUS", run, FreezeReason.STABLE)
+
+    def test_freeze_requires_matching_experiment(self, tiny_hermes, sl5_64_gcc44):
+        _, _, manager, run = self._manager_with_run(tiny_hermes, sl5_64_gcc44)
+        with pytest.raises(ValidationError):
+            manager.freeze("H1", run, FreezeReason.STABLE)
+
+    def test_double_freeze_rejected(self, tiny_hermes, sl5_64_gcc44):
+        _, _, manager, run = self._manager_with_run(tiny_hermes, sl5_64_gcc44)
+        manager.freeze("HERMES", run, FreezeReason.SATISFACTORY)
+        with pytest.raises(ValidationError):
+            manager.freeze("HERMES", run, FreezeReason.SATISFACTORY)
+
+    def test_frozen_system_lookup(self, tiny_hermes, sl5_64_gcc44):
+        _, _, manager, run = self._manager_with_run(tiny_hermes, sl5_64_gcc44)
+        manager.freeze("HERMES", run, FreezeReason.SATISFACTORY)
+        assert manager.frozen_system("HERMES").last_validation_run == run.run_id
+        with pytest.raises(ValidationError):
+            manager.frozen_system("H1")

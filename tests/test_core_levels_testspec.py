@@ -1,0 +1,212 @@
+"""Tests for the DPHEP preservation levels and the test specification model."""
+
+import pytest
+
+from repro._common import ConfigurationError, ValidationError
+from repro.core.levels import (
+    DPHEP_LEVELS,
+    PreservationLevel,
+    level_definition,
+    preservation_table,
+    required_capabilities,
+    requires_full_chain,
+)
+from repro.core.testspec import (
+    AnalysisChain,
+    ExecutionContext,
+    OutputKind,
+    TestKind,
+    TestOutput,
+    ValidationTestSpec,
+)
+from repro.hepdata.histogram import Histogram1D, HistogramSet
+
+
+class TestPreservationLevels:
+    def test_table_has_four_levels(self):
+        assert len(DPHEP_LEVELS) == 4
+        assert [definition.number for definition in DPHEP_LEVELS] == [1, 2, 3, 4]
+
+    def test_table_rows_match_paper(self):
+        table = preservation_table()
+        assert table[0]["preservation_model"] == "Provide additional documentation"
+        assert table[0]["use_case"] == "Publication related info search"
+        assert table[1]["use_case"] == "Outreach, simple training analyses"
+        assert "analysis level software" in table[2]["preservation_model"]
+        assert "simulation and reconstruction software" in table[3]["preservation_model"]
+        assert table[3]["use_case"] == "Retain the full potential of the experimental data"
+
+    def test_level_definition_lookup(self):
+        definition = level_definition(PreservationLevel.FULL_SOFTWARE)
+        assert definition.number == 4
+        assert definition.area == "technical"
+
+    def test_required_capabilities_grow_with_level(self):
+        lengths = [
+            len(required_capabilities(level))
+            for level in (
+                PreservationLevel.DOCUMENTATION,
+                PreservationLevel.SIMPLIFIED_FORMAT,
+                PreservationLevel.ANALYSIS_SOFTWARE,
+                PreservationLevel.FULL_SOFTWARE,
+            )
+        ]
+        assert lengths == sorted(lengths)
+        assert "simulation" in required_capabilities(PreservationLevel.FULL_SOFTWARE)
+        assert "simulation" not in required_capabilities(PreservationLevel.ANALYSIS_SOFTWARE)
+
+    def test_requires_full_chain_only_level4(self):
+        assert requires_full_chain(PreservationLevel.FULL_SOFTWARE)
+        assert not requires_full_chain(PreservationLevel.ANALYSIS_SOFTWARE)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_capabilities(7)  # type: ignore[arg-type]
+
+
+def _passing_executor(context: ExecutionContext) -> TestOutput:
+    return TestOutput(kind=OutputKind.YES_NO, passed=True, yes_no=True)
+
+
+class TestTestOutput:
+    def test_yes_no_requires_payload(self):
+        output = TestOutput(kind=OutputKind.YES_NO, passed=True)
+        with pytest.raises(ValidationError):
+            output.validate()
+
+    def test_numbers_requires_payload(self):
+        with pytest.raises(ValidationError):
+            TestOutput(kind=OutputKind.NUMBERS, passed=True).validate()
+
+    def test_text_and_file_summary_require_payload(self):
+        with pytest.raises(ValidationError):
+            TestOutput(kind=OutputKind.TEXT, passed=True).validate()
+        with pytest.raises(ValidationError):
+            TestOutput(kind=OutputKind.FILE_SUMMARY, passed=True).validate()
+
+    def test_histograms_require_non_empty_set(self):
+        with pytest.raises(ValidationError):
+            TestOutput(kind=OutputKind.HISTOGRAMS, passed=True, histograms=HistogramSet()).validate()
+
+    def test_valid_outputs_pass_validation(self):
+        TestOutput(kind=OutputKind.YES_NO, passed=True, yes_no=True).validate()
+        TestOutput(kind=OutputKind.NUMBERS, passed=True, numbers={"x": 1.0}).validate()
+        TestOutput(kind=OutputKind.TEXT, passed=True, text="ok").validate()
+        histograms = HistogramSet([Histogram1D("h", 2, 0.0, 1.0)])
+        TestOutput(kind=OutputKind.HISTOGRAMS, passed=True, histograms=histograms).validate()
+
+    def test_document_round_trip(self):
+        histograms = HistogramSet([Histogram1D("h", 2, 0.0, 1.0)])
+        histograms.get("h").fill(0.3)
+        output = TestOutput(
+            kind=OutputKind.HISTOGRAMS, passed=True, histograms=histograms,
+            messages=["note"],
+        )
+        rebuilt = TestOutput.from_document(output.to_document())
+        assert rebuilt.kind is OutputKind.HISTOGRAMS
+        assert rebuilt.passed
+        assert rebuilt.histograms.get("h").total == 1.0
+        assert rebuilt.messages == ["note"]
+
+    def test_numbers_document_round_trip(self):
+        output = TestOutput(kind=OutputKind.NUMBERS, passed=False, numbers={"a": 1.5})
+        rebuilt = TestOutput.from_document(output.to_document())
+        assert rebuilt.numbers == {"a": 1.5}
+        assert not rebuilt.passed
+
+
+class TestValidationTestSpec:
+    def test_chain_step_requires_chain_name(self):
+        with pytest.raises(ValidationError):
+            ValidationTestSpec(
+                name="step", experiment="H1", kind=TestKind.CHAIN_STEP,
+                executor=_passing_executor,
+            )
+
+    def test_standalone_must_not_name_chain(self):
+        with pytest.raises(ValidationError):
+            ValidationTestSpec(
+                name="test", experiment="H1", kind=TestKind.STANDALONE,
+                executor=_passing_executor, chain="some-chain",
+            )
+
+    def test_negative_chain_index_rejected(self):
+        with pytest.raises(ValidationError):
+            ValidationTestSpec(
+                name="step", experiment="H1", kind=TestKind.CHAIN_STEP,
+                executor=_passing_executor, chain="c", chain_index=-1,
+            )
+
+
+class TestAnalysisChain:
+    def _step(self, index, chain="my-chain"):
+        return ValidationTestSpec(
+            name=f"step-{index}", experiment="H1", kind=TestKind.CHAIN_STEP,
+            executor=_passing_executor, chain=chain, chain_index=index,
+        )
+
+    def test_steps_must_be_added_in_order(self):
+        chain = AnalysisChain(name="my-chain", experiment="H1")
+        chain.add_step(self._step(0))
+        with pytest.raises(ValidationError):
+            chain.add_step(self._step(2))
+        chain.add_step(self._step(1))
+        assert chain.step_names() == ["step-0", "step-1"]
+        assert len(chain) == 2
+
+    def test_step_must_belong_to_chain(self):
+        chain = AnalysisChain(name="my-chain", experiment="H1")
+        with pytest.raises(ValidationError):
+            chain.add_step(self._step(0, chain="other-chain"))
+
+    def test_standalone_test_rejected_as_step(self):
+        chain = AnalysisChain(name="my-chain", experiment="H1")
+        standalone = ValidationTestSpec(
+            name="test", experiment="H1", kind=TestKind.STANDALONE,
+            executor=_passing_executor,
+        )
+        with pytest.raises(ValidationError):
+            chain.add_step(standalone)
+
+
+class TestExperimentDefinition:
+    def test_counts(self, tiny_h1):
+        assert tiny_h1.compilation_test_count() == len(tiny_h1.inventory)
+        assert tiny_h1.chain_test_count() == sum(len(chain) for chain in tiny_h1.chains)
+        assert tiny_h1.total_test_count() == (
+            tiny_h1.compilation_test_count()
+            + len(tiny_h1.standalone_tests)
+            + tiny_h1.chain_test_count()
+        )
+
+    def test_all_tests_order(self, tiny_h1):
+        tests = tiny_h1.all_tests()
+        assert len(tests) == len(tiny_h1.standalone_tests) + tiny_h1.chain_test_count()
+        # Standalone tests come first, chain steps afterwards.
+        assert tests[0].kind is TestKind.STANDALONE
+        assert tests[-1].kind is TestKind.CHAIN_STEP
+
+    def test_chain_lookup(self, tiny_h1):
+        chain = tiny_h1.chains[0]
+        assert tiny_h1.chain(chain.name) is chain
+        with pytest.raises(ValidationError):
+            tiny_h1.chain("ghost-chain")
+
+    def test_processes_listed(self, tiny_h1):
+        processes = tiny_h1.processes()
+        assert "nc_dis" in processes
+        assert "infrastructure" in processes
+
+    def test_foreign_test_rejected(self, tiny_h1):
+        from repro.core.testspec import ExperimentDefinition
+        from repro.core.levels import PreservationLevel
+
+        foreign_test = ValidationTestSpec(
+            name="foreign", experiment="ZEUS", kind=TestKind.STANDALONE,
+            executor=_passing_executor,
+        )
+        with pytest.raises(ValidationError):
+            ExperimentDefinition(
+                name="H1", full_name="H1", preservation_level=PreservationLevel.FULL_SOFTWARE,
+                inventory=tiny_h1.inventory, standalone_tests=[foreign_test],
+            )

@@ -1,0 +1,139 @@
+"""Tests for regression detection and failure diagnosis."""
+
+import pytest
+
+from repro.core.diagnosis import FailureDiagnosisEngine, RESPONSIBLE_PARTY
+from repro.core.regression import RegressionDetector
+from repro.core.runner import ValidationRunner
+from repro.environment.compatibility import IssueCategory
+from repro.hepdata.numerics import NumericContext, context_for_environment
+
+
+@pytest.fixture()
+def runner():
+    return ValidationRunner()
+
+
+class TestRegressionDetector:
+    def test_no_reference_for_first_run(self, runner, tiny_hermes, sl5_64_gcc44):
+        run = runner.run(tiny_hermes, sl5_64_gcc44)
+        detector = RegressionDetector(runner.storage, runner.catalog)
+        report = detector.compare_to_reference(run)
+        assert report.reference_run_id is None
+        assert not report.has_regressions
+        assert report.unchanged == run.n_jobs
+
+    def test_identical_rerun_has_no_regressions(self, runner, tiny_hermes, sl5_64_gcc44):
+        first = runner.run(tiny_hermes, sl5_64_gcc44)
+        second = runner.run(tiny_hermes, sl5_64_gcc44)
+        detector = RegressionDetector(runner.storage, runner.catalog)
+        report = detector.compare_to_reference(second)
+        assert report.reference_run_id == first.run_id
+        assert not report.has_regressions
+
+    def test_migration_failures_reported_as_regressions(
+        self, runner, tiny_zeus, sl5_64_gcc44, sl6_64_gcc44
+    ):
+        runner.run(tiny_zeus, sl5_64_gcc44)
+        sl6_run = runner.run(tiny_zeus, sl6_64_gcc44)
+        detector = RegressionDetector(runner.storage, runner.catalog)
+        report = detector.compare_to_reference(sl6_run)
+        assert report.has_regressions
+        assert report.reference_configuration_key == sl5_64_gcc44.key
+        assert any("compile-" in name for name in report.regression_names())
+
+    def test_same_configuration_only_restriction(
+        self, runner, tiny_hermes, sl5_64_gcc44, sl6_64_gcc44
+    ):
+        runner.run(tiny_hermes, sl5_64_gcc44)
+        sl6_run = runner.run(tiny_hermes, sl6_64_gcc44)
+        detector = RegressionDetector(runner.storage, runner.catalog)
+        assert detector.find_reference(sl6_run, same_configuration_only=True) is None
+        assert detector.find_reference(sl6_run) is not None
+
+    def test_numeric_drift_detected_in_outputs(self, tiny_hermes, sl5_64_gcc44):
+        # First run with the reference numeric behaviour, second with a
+        # defective environment: results shift far outside tolerance even
+        # though the tests themselves may still "pass".
+        healthy_runner = ValidationRunner()
+        healthy_runner.run(tiny_hermes, sl5_64_gcc44)
+
+        def defective_context(configuration):
+            return NumericContext(
+                label=configuration.key,
+                rounding_scale=1e-12,
+                defects=(("uninitialised-memory", 0.3),),
+            )
+
+        defective_runner = ValidationRunner(
+            storage=healthy_runner.storage,
+            catalog=healthy_runner.catalog,
+            artifact_store=healthy_runner.artifact_store,
+            id_allocator=healthy_runner.id_allocator,
+            numeric_context_factory=defective_context,
+        )
+        drifted = defective_runner.run(tiny_hermes, sl5_64_gcc44)
+        detector = RegressionDetector(healthy_runner.storage, healthy_runner.catalog)
+        report = detector.compare_to_reference(drifted)
+        assert report.has_regressions
+
+    def test_report_summary_text(self, runner, tiny_hermes, sl5_64_gcc44):
+        run = runner.run(tiny_hermes, sl5_64_gcc44)
+        detector = RegressionDetector(runner.storage, runner.catalog)
+        summary = detector.compare_to_reference(run).summary()
+        assert run.run_id in summary
+        assert "regression" in summary
+
+
+class TestFailureDiagnosis:
+    def test_healthy_run_has_no_diagnoses(self, runner, tiny_hermes, sl5_64_gcc44):
+        run = runner.run(tiny_hermes, sl5_64_gcc44)
+        report = FailureDiagnosisEngine().diagnose_run(run)
+        assert report.diagnoses == []
+        assert report.dominant_category() is None
+
+    def test_sl6_migration_failures_attributed_to_environment(
+        self, runner, tiny_zeus, sl5_64_gcc44, sl6_64_gcc44
+    ):
+        runner.run(tiny_zeus, sl5_64_gcc44)
+        sl6_run = runner.run(tiny_zeus, sl6_64_gcc44)
+        report = FailureDiagnosisEngine().diagnose_run(
+            sl6_run,
+            reference_configuration=sl5_64_gcc44,
+            current_configuration=sl6_64_gcc44,
+        )
+        assert report.diagnoses
+        dominant = report.dominant_category()
+        assert dominant in (IssueCategory.OPERATING_SYSTEM, IssueCategory.COMPILER)
+        assert report.configuration_changes
+        for diagnosis in report.diagnoses:
+            assert diagnosis.responsible_party == RESPONSIBLE_PARTY[diagnosis.category]
+            assert 0.0 < diagnosis.confidence <= 1.0
+            assert diagnosis.evidence
+
+    def test_experiment_software_is_default_suspect(self, runner, tiny_hermes, sl5_64_gcc44):
+        def broken_context(configuration):
+            return NumericContext(
+                label=configuration.key,
+                defects=(("uninitialised-memory", 0.5),),
+            )
+
+        broken_runner = ValidationRunner(numeric_context_factory=broken_context)
+        run = broken_runner.run(tiny_hermes, sl5_64_gcc44)
+        if run.all_passed:
+            pytest.skip("defect did not trigger a failure in this tiny suite")
+        report = FailureDiagnosisEngine().diagnose_run(run)
+        categories = report.by_category()
+        assert "experiment_software" in categories
+
+    def test_by_category_counts_sum_to_diagnoses(self, runner, tiny_zeus, sl6_64_gcc44):
+        run = runner.run(tiny_zeus, sl6_64_gcc44)
+        report = FailureDiagnosisEngine().diagnose_run(run)
+        assert sum(report.by_category().values()) == len(report.diagnoses)
+
+    def test_for_party_partition(self, runner, tiny_zeus, sl6_64_gcc44):
+        run = runner.run(tiny_zeus, sl6_64_gcc44)
+        report = FailureDiagnosisEngine().diagnose_run(run)
+        it_count = len(report.for_party("host IT department"))
+        experiment_count = len(report.for_party("experiment"))
+        assert it_count + experiment_count == len(report.diagnoses)

@@ -1,0 +1,216 @@
+"""Tests for declarative experiment specs, the regular-operation service and the CLI."""
+
+import pytest
+
+from repro._common import SchedulingError, ValidationError
+from repro.cli import main as cli_main
+from repro.core.levels import PreservationLevel
+from repro.core.service import RegularValidationService
+from repro.core.spsystem import SPSystem
+from repro.core.testspec import TestKind
+from repro.environment.configuration import next_generation_configuration
+from repro.experiments.declarative import experiment_from_spec, spec_from_experiment
+from repro.experiments.hermes import build_hermes_experiment
+
+
+BASIC_SPEC = {
+    "name": "NEWEXP",
+    "full_name": "A newly joining experiment",
+    "preservation_level": 4,
+    "colour": "green",
+    "packages": {"count": 20, "quirks": {"not_ported_to_newest_abi": 1}},
+    "processes": ["nc_dis", "photoproduction"],
+    "events_per_chain": 30,
+    "events_per_test": 20,
+    "standalone": {"regression_tests_per_package": 1},
+}
+
+
+class TestDeclarativeExperiments:
+    def test_spec_builds_complete_experiment(self):
+        experiment = experiment_from_spec(BASIC_SPEC)
+        assert experiment.name == "NEWEXP"
+        assert experiment.preservation_level is PreservationLevel.FULL_SOFTWARE
+        assert len(experiment.inventory) == 20
+        assert len(experiment.chains) == 2
+        # Level 4: full chains including detector simulation.
+        assert any(
+            name.endswith("detector-simulation")
+            for name in experiment.chains[0].step_names()
+        )
+        assert experiment.display_colour == "green"
+        assert experiment.standalone_tests
+
+    def test_level3_spec_uses_analysis_only_chains(self):
+        spec = dict(BASIC_SPEC, name="LEVEL3EXP", preservation_level=3)
+        experiment = experiment_from_spec(spec)
+        for chain in experiment.chains:
+            assert not any(
+                name.endswith("detector-simulation") for name in chain.step_names()
+            )
+
+    def test_spec_validation_errors(self):
+        with pytest.raises(ValidationError):
+            experiment_from_spec({})
+        with pytest.raises(ValidationError):
+            experiment_from_spec(dict(BASIC_SPEC, processes=["ttbar"]))
+        with pytest.raises(ValidationError):
+            experiment_from_spec(dict(BASIC_SPEC, packages={"count": 2}))
+        with pytest.raises(ValidationError):
+            experiment_from_spec(dict(BASIC_SPEC, events_per_chain=0))
+
+    def test_standalone_options_respected(self):
+        spec = dict(
+            BASIC_SPEC,
+            name="MINIMAL",
+            standalone={
+                "smoke_tests": False,
+                "root_io_tests": False,
+                "database_tests": False,
+                "calibration_tests": False,
+                "kinematics_tests": True,
+                "data_export_test": False,
+                "regression_tests_per_package": 0,
+            },
+        )
+        experiment = experiment_from_spec(spec)
+        names = [test.name for test in experiment.standalone_tests]
+        assert all(name.startswith("kinematics-") for name in names)
+
+    def test_declarative_experiment_validates_in_sp_system(self):
+        system = SPSystem()
+        system.provision_standard_images()
+        system.register_experiment(experiment_from_spec(BASIC_SPEC))
+        result = system.validate("NEWEXP", "SL5_64bit_gcc4.4")
+        assert result.successful
+
+    def test_spec_round_trip_summary(self):
+        experiment = experiment_from_spec(BASIC_SPEC)
+        summary = spec_from_experiment(experiment)
+        assert summary["name"] == "NEWEXP"
+        assert summary["packages"]["count"] == 20
+        assert summary["test_counts"]["total"] == experiment.total_test_count()
+        assert set(summary["chains"]) == {chain.name for chain in experiment.chains}
+        # The summary itself is a valid JSON document.
+        import json
+
+        json.dumps(summary)
+
+
+class TestRegularValidationService:
+    def _system(self):
+        system = SPSystem()
+        system.provision_standard_images()
+        system.register_experiment(build_hermes_experiment(scale=0.2))
+        return system
+
+    def test_schedule_and_entries(self):
+        system = self._system()
+        service = RegularValidationService(system)
+        service.schedule("HERMES", "SL5_64bit_gcc4.4", "30 2 * * *")
+        assert len(service.entries()) == 1
+        assert service.entry("HERMES", "SL5_64bit_gcc4.4").run_count == 0
+        with pytest.raises(SchedulingError):
+            service.schedule("HERMES", "SL5_64bit_gcc4.4", "30 2 * * *")
+        with pytest.raises(ValidationError):
+            service.schedule("GHOST", "SL5_64bit_gcc4.4", "30 2 * * *")
+
+    def test_schedule_everywhere_and_advance(self):
+        system = self._system()
+        service = RegularValidationService(system)
+        entries = service.schedule_experiment_everywhere("HERMES", "30 2 * * *")
+        assert len(entries) == 5
+        report = service.advance_days(2)
+        # Two nights, five configurations each.
+        assert report.n_cycles == 10
+        assert system.total_runs() == 10
+        assert all(entry.run_count == 2 for entry in service.entries())
+        # The SL6 entry fails, the SL5 entries pass.
+        sl6_entry = service.entry("HERMES", "SL6_64bit_gcc4.4")
+        assert sl6_entry.last_result_successful is False
+        assert report.n_failed_cycles >= 1
+
+    def test_integrate_new_configuration(self):
+        system = self._system()
+        service = RegularValidationService(system)
+        service.schedule_experiment_everywhere("HERMES", "30 2 * * *")
+        added = service.integrate_new_configuration(
+            next_generation_configuration(), cron_expression="0 4 * * 0"
+        )
+        assert len(added) == 1
+        assert len(service.entries()) == 6
+        report = service.advance_days(7)
+        sl7_runs = [
+            cycle for cycle in report.cycles_run
+            if cycle.run.configuration_key.startswith("SL7")
+        ]
+        assert len(sl7_runs) == 1
+        assert not sl7_runs[0].successful
+
+    def test_unschedule_and_invalid_advance(self):
+        system = self._system()
+        service = RegularValidationService(system)
+        service.schedule("HERMES", "SL5_64bit_gcc4.4", "30 2 * * *")
+        service.unschedule("HERMES", "SL5_64bit_gcc4.4")
+        assert service.entries() == []
+        with pytest.raises(SchedulingError):
+            service.unschedule("HERMES", "SL5_64bit_gcc4.4")
+        with pytest.raises(SchedulingError):
+            service.advance_days(-1)
+
+    def test_status_rows(self):
+        system = self._system()
+        service = RegularValidationService(system)
+        service.schedule("HERMES", "SL5_64bit_gcc4.4", "30 2 * * *")
+        service.advance_days(1)
+        rows = service.status_rows()
+        assert rows[0]["experiment"] == "HERMES"
+        assert rows[0]["runs"] == 1
+        assert rows[0]["last_result"] == "passed"
+
+
+class TestCommandLineInterface:
+    def test_levels_command(self, capsys):
+        assert cli_main(["levels"]) == 0
+        output = capsys.readouterr().out
+        assert "Provide additional documentation" in output
+        assert "Retain the full potential" in output
+
+    def test_describe_command(self, capsys):
+        assert cli_main(["describe", "--scale", "0.1"]) == 0
+        output = capsys.readouterr().out
+        assert "SL6/64bit" in output
+        assert "H1" in output and "ZEUS" in output and "HERMES" in output
+
+    def test_validate_command_success_and_failure_exit_codes(self, capsys):
+        assert cli_main([
+            "validate", "--experiment", "HERMES",
+            "--configuration", "SL5_64bit_gcc4.4", "--scale", "0.15",
+        ]) == 0
+        assert cli_main([
+            "validate", "--experiment", "HERMES",
+            "--configuration", "SL6_64bit_gcc4.4", "--scale", "0.15",
+        ]) == 1
+        output = capsys.readouterr().out
+        assert "FAILED" in output
+
+    def test_validate_unknown_configuration_reports_error(self, capsys):
+        assert cli_main([
+            "validate", "--experiment", "HERMES", "--configuration", "SL9", "--scale", "0.1",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_migrate_plan_command(self, capsys):
+        assert cli_main([
+            "migrate-plan", "--experiment", "HERMES", "--target", "SL7", "--scale", "0.2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "person-weeks" in output
+
+    def test_campaign_command_with_output(self, tmp_path, capsys):
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(tmp_path / "storage"),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "total validation runs recorded" in output
+        assert (tmp_path / "storage" / "reports").is_dir()

@@ -1,0 +1,142 @@
+"""Tests for the compatibility checker: requirements against environments."""
+
+import pytest
+
+from repro._common import ConfigurationError
+from repro.environment.compatibility import (
+    CompatibilityChecker,
+    ExternalRequirement,
+    IssueCategory,
+    IssueSeverity,
+    SoftwareRequirements,
+    summarise_issues,
+)
+
+
+@pytest.fixture()
+def checker():
+    return CompatibilityChecker()
+
+
+class TestWordSizeAndOs:
+    def test_32bit_only_code_fails_on_64bit(self, checker, sl6_64_gcc44):
+        requirements = SoftwareRequirements(word_sizes=(32,))
+        errors = checker.errors(requirements, sl6_64_gcc44)
+        assert len(errors) == 1
+        assert errors[0].category is IssueCategory.OPERATING_SYSTEM
+
+    def test_unported_code_fails_on_newer_abi(self, checker, sl6_64_gcc44, sl5_64_gcc44):
+        requirements = SoftwareRequirements(max_os_abi=2)
+        assert checker.is_compatible(requirements, sl5_64_gcc44)
+        assert not checker.is_compatible(requirements, sl6_64_gcc44)
+
+    def test_minimum_abi_enforced(self, checker, sl5_64_gcc44):
+        requirements = SoftwareRequirements(min_os_abi=3)
+        errors = checker.errors(requirements, sl5_64_gcc44)
+        assert errors and errors[0].category is IssueCategory.OPERATING_SYSTEM
+
+
+class TestCompilerChecks:
+    def test_minimum_compiler(self, checker, sl5_64_gcc44):
+        requirements = SoftwareRequirements(min_compiler="4.8")
+        errors = checker.errors(requirements, sl5_64_gcc44)
+        assert errors and errors[0].category is IssueCategory.COMPILER
+
+    def test_maximum_compiler_exclusive(self, checker, sl5_64_gcc44):
+        # Code not ported beyond gcc 4.4 fails when built *with* gcc 4.4 or newer.
+        requirements = SoftwareRequirements(max_compiler="4.4")
+        assert not checker.is_compatible(requirements, sl5_64_gcc44)
+        requirements_ok = SoftwareRequirements(max_compiler="4.5")
+        assert checker.is_compatible(requirements_ok, sl5_64_gcc44)
+
+    def test_strictness_at_limit_gives_warning_not_error(self, checker, sl6_64_gcc44):
+        strictness_of_gcc44 = sl6_64_gcc44.compiler.strictness
+        requirements = SoftwareRequirements(max_strictness=strictness_of_gcc44)
+        issues = checker.check(requirements, sl6_64_gcc44)
+        assert any(issue.severity is IssueSeverity.WARNING for issue in issues)
+        assert checker.is_compatible(requirements, sl6_64_gcc44)
+
+    def test_strictness_exceeded_is_error(self, checker, sl6_64_gcc44):
+        requirements = SoftwareRequirements(max_strictness=1)
+        assert not checker.is_compatible(requirements, sl6_64_gcc44)
+
+    def test_missing_cxx_standard_support(self, checker, sl6_64_gcc44):
+        requirements = SoftwareRequirements(cxx_standard="c++11")
+        errors = checker.errors(requirements, sl6_64_gcc44)
+        assert errors and errors[0].category is IssueCategory.COMPILER
+
+
+class TestExternalChecks:
+    def test_missing_product_is_error(self, checker, sl6_64_gcc44):
+        requirements = SoftwareRequirements(
+            externals=(ExternalRequirement(product="GEANT4", min_api_level=1),)
+        )
+        errors = checker.errors(requirements, sl6_64_gcc44)
+        assert errors and errors[0].category is IssueCategory.EXTERNAL_DEPENDENCY
+
+    def test_api_level_range(self, checker, sl6_64_gcc44):
+        too_new = SoftwareRequirements(
+            externals=(ExternalRequirement(product="ROOT", min_api_level=6),)
+        )
+        assert not checker.is_compatible(too_new, sl6_64_gcc44)
+        capped = SoftwareRequirements(
+            externals=(ExternalRequirement(product="ROOT", max_api_level=3),)
+        )
+        assert not checker.is_compatible(capped, sl6_64_gcc44)
+
+    def test_removed_api_is_error_on_root6(self, checker, sl6_64_gcc44, sl7_root6):
+        requirements = SoftwareRequirements(
+            externals=(
+                ExternalRequirement(
+                    product="ROOT", min_api_level=1, used_apis=frozenset({"CINT"})
+                ),
+            )
+        )
+        assert checker.is_compatible(requirements, sl6_64_gcc44)
+        errors = checker.errors(requirements, sl7_root6)
+        assert errors
+        assert all(issue.category is IssueCategory.EXTERNAL_DEPENDENCY for issue in errors)
+
+    def test_deprecated_api_is_warning(self, checker, sl6_64_gcc44):
+        requirements = SoftwareRequirements(
+            externals=(
+                ExternalRequirement(
+                    product="ROOT",
+                    min_api_level=1,
+                    used_apis=frozenset({"PROOF-lite-legacy"}),
+                ),
+            )
+        )
+        issues = checker.check(requirements, sl6_64_gcc44)
+        assert any(issue.severity is IssueSeverity.WARNING for issue in issues)
+        assert checker.is_compatible(requirements, sl6_64_gcc44)
+
+    def test_unknown_api_is_error(self, checker, sl6_64_gcc44):
+        requirements = SoftwareRequirements(
+            externals=(
+                ExternalRequirement(
+                    product="ROOT", min_api_level=1, used_apis=frozenset({"RooStats"})
+                ),
+            )
+        )
+        assert not checker.is_compatible(requirements, sl6_64_gcc44)
+
+    def test_invalid_api_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExternalRequirement(product="ROOT", min_api_level=3, max_api_level=1)
+
+
+class TestSummaries:
+    def test_summarise_compatible(self):
+        assert summarise_issues([]) == "compatible"
+
+    def test_summarise_counts(self, checker, sl6_64_gcc44):
+        requirements = SoftwareRequirements(word_sizes=(32,), max_strictness=1)
+        issues = checker.check(requirements, sl6_64_gcc44)
+        summary = summarise_issues(issues)
+        assert "error" in summary
+
+    def test_healthy_requirements_everywhere(self, checker, standard_configurations):
+        requirements = SoftwareRequirements()
+        for configuration in standard_configurations:
+            assert checker.is_compatible(requirements, configuration)

@@ -1,0 +1,107 @@
+"""Tests for environment configurations and the standard sp-system set."""
+
+import pytest
+
+from repro._common import ConfigurationError
+from repro.environment.configuration import (
+    EnvironmentFactory,
+    next_generation_configuration,
+    sp_system_configurations,
+    sp_system_root_versions,
+)
+
+
+class TestEnvironmentConfiguration:
+    def test_key_and_label(self, sl6_64_gcc44):
+        assert sl6_64_gcc44.key == "SL6_64bit_gcc4.4"
+        assert sl6_64_gcc44.label == "SL6/64bit gcc4.4"
+        assert "ROOT-5.34" in sl6_64_gcc44.full_label
+
+    def test_external_lookup(self, sl6_64_gcc44):
+        assert sl6_64_gcc44.has_external("ROOT")
+        assert sl6_64_gcc44.external("ROOT").version == "5.34"
+        assert sl6_64_gcc44.external("GEANT4") is None
+
+    def test_external_map(self, sl5_64_gcc44):
+        mapping = sl5_64_gcc44.external_map()
+        assert mapping["ROOT"] == "5.34"
+        assert mapping["CERNLIB"] == "2006"
+
+    def test_with_external_replaces_product(self, sl6_64_gcc44, environment_factory):
+        root6 = environment_factory.external_catalog.get("ROOT", "6.02")
+        updated = sl6_64_gcc44.with_external(root6)
+        assert updated.external("ROOT").version == "6.02"
+        # The original configuration is untouched (immutability).
+        assert sl6_64_gcc44.external("ROOT").version == "5.34"
+
+    def test_without_external(self, sl6_64_gcc44):
+        stripped = sl6_64_gcc44.without_external("MySQL")
+        assert not stripped.has_external("MySQL")
+        assert sl6_64_gcc44.has_external("MySQL")
+
+    def test_word_size_must_be_supported_by_os(self, environment_factory):
+        with pytest.raises(ConfigurationError):
+            environment_factory.create("SL6", 32, "gcc4.4", {})
+
+    def test_duplicate_externals_rejected(self, environment_factory):
+        factory = environment_factory
+        root = factory.external_catalog.get("ROOT", "5.34")
+        configuration = factory.create("SL6", 64, "gcc4.4", {})
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError):
+            replace(configuration, externals=(root, root))
+
+    def test_32bit_only_external_rejected_on_64bit(self, environment_factory):
+        with pytest.raises(ConfigurationError):
+            environment_factory.create("SL5", 64, "gcc4.4", {"CERNLIB": "2005"})
+
+    def test_differences_lists_all_changes(self, sl5_64_gcc44, sl6_64_gcc44):
+        differences = sl6_64_gcc44.differences(sl5_64_gcc44)
+        assert any("operating_system" in diff for diff in differences)
+        # Same compiler and externals: only the OS change is reported.
+        assert not any(diff.startswith("compiler") for diff in differences)
+
+    def test_differences_empty_for_identical(self, sl6_64_gcc44):
+        assert sl6_64_gcc44.differences(sl6_64_gcc44) == []
+
+    def test_describe_is_json_like(self, sl6_64_gcc44):
+        description = sl6_64_gcc44.describe()
+        assert description["operating_system"] == "SL6"
+        assert description["word_size"] == 64
+        assert description["compiler"] == "gcc4.4"
+        assert isinstance(description["externals"], dict)
+
+    def test_with_operating_system_adjusts_word_size(self, environment_factory):
+        sl5_32 = environment_factory.create("SL5", 32, "gcc4.4", {})
+        sl6 = environment_factory.os_catalog.get("SL6")
+        migrated = sl5_32.with_operating_system(sl6)
+        assert migrated.word_size == 64
+
+
+class TestStandardConfigurations:
+    def test_exactly_five_configurations(self):
+        assert len(sp_system_configurations()) == 5
+
+    def test_paper_configuration_keys(self):
+        keys = {configuration.key for configuration in sp_system_configurations()}
+        assert keys == {
+            "SL5_32bit_gcc4.1",
+            "SL5_32bit_gcc4.4",
+            "SL5_64bit_gcc4.1",
+            "SL5_64bit_gcc4.4",
+            "SL6_64bit_gcc4.4",
+        }
+
+    def test_root_versions_listed_in_paper(self):
+        assert sp_system_root_versions() == ["5.26", "5.28", "5.30", "5.32", "5.34"]
+
+    def test_all_configurations_have_root_installed(self):
+        for configuration in sp_system_configurations():
+            assert configuration.has_external("ROOT")
+
+    def test_next_generation_is_sl7_with_root6(self):
+        configuration = next_generation_configuration()
+        assert configuration.operating_system.name == "SL7"
+        assert configuration.compiler.name == "gcc4.8"
+        assert configuration.external("ROOT").version == "6.02"

@@ -1,0 +1,100 @@
+"""Tests for the environment evolution timeline."""
+
+import pytest
+
+from repro._common import ConfigurationError
+from repro.environment.evolution import (
+    EVENT_COMPILER_RELEASE,
+    EVENT_EXTERNAL_RELEASE,
+    EVENT_OS_EOL,
+    EVENT_OS_RELEASE,
+    EnvironmentTimeline,
+)
+
+
+@pytest.fixture(scope="module")
+def timeline():
+    return EnvironmentTimeline()
+
+
+class TestEvents:
+    def test_sl6_release_event_in_2011(self, timeline):
+        events = timeline.events_in(2011)
+        assert any(
+            event.kind == EVENT_OS_RELEASE and event.subject == "SL6" for event in events
+        )
+
+    def test_sl5_end_of_life_event(self, timeline):
+        events = timeline.events_in(2017)
+        assert any(
+            event.kind == EVENT_OS_EOL and event.subject == "SL5" for event in events
+        )
+
+    def test_root6_release_event(self, timeline):
+        events = timeline.events_in(2014)
+        assert any(
+            event.kind == EVENT_EXTERNAL_RELEASE and event.subject == "ROOT-6.02"
+            for event in events
+        )
+
+    def test_compiler_release_event(self, timeline):
+        events = timeline.events_in(2013)
+        assert any(
+            event.kind == EVENT_COMPILER_RELEASE and event.subject == "gcc4.8"
+            for event in events
+        )
+
+    def test_quiet_year_has_no_events(self, timeline):
+        assert timeline.events_in(2018) == []
+
+    def test_event_string_rendering(self, timeline):
+        event = timeline.events_in(2011)[0]
+        assert str(event).startswith("2011:")
+
+
+class TestRecommendedConfiguration:
+    def test_recommendation_in_2010_is_sl5(self, timeline):
+        recommended = timeline.recommended_configuration(2010)
+        assert recommended.operating_system.name == "SL5"
+        assert recommended.word_size == 64
+
+    def test_recommendation_in_2013_is_sl6(self, timeline):
+        recommended = timeline.recommended_configuration(2013)
+        assert recommended.operating_system.name == "SL6"
+        assert recommended.compiler.name == "gcc4.8"
+
+    def test_recommendation_in_2015_is_sl7_with_root6(self, timeline):
+        recommended = timeline.recommended_configuration(2015)
+        assert recommended.operating_system.name == "SL7"
+        assert recommended.external("ROOT").version == "6.02"
+
+    def test_recommendation_tracks_only_released_externals(self, timeline):
+        recommended = timeline.recommended_configuration(2009)
+        assert recommended.external("ROOT").version == "5.26"
+
+    def test_recommendation_before_any_os_raises(self, timeline):
+        with pytest.raises(ConfigurationError):
+            timeline.recommended_configuration(1990)
+
+
+class TestReplay:
+    def test_replay_yields_one_snapshot_per_year(self, timeline):
+        snapshots = list(timeline.replay(2010, 2015))
+        assert [snapshot.year for snapshot in snapshots] == list(range(2010, 2016))
+
+    def test_replay_rejects_reversed_range(self, timeline):
+        with pytest.raises(ConfigurationError):
+            list(timeline.replay(2015, 2010))
+
+    def test_snapshot_supported_operating_systems(self, timeline):
+        snapshot = timeline.snapshot(2013)
+        assert "SL5" in snapshot.supported_operating_systems
+        assert "SL6" in snapshot.supported_operating_systems
+
+    def test_has_events_flag(self, timeline):
+        assert timeline.snapshot(2011).has_events()
+        assert not timeline.snapshot(2018).has_events()
+
+    def test_operating_system_is_safe(self, timeline):
+        assert timeline.operating_system_is_safe("SL6", 2015)
+        assert not timeline.operating_system_is_safe("SL5", 2019)

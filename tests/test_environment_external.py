@@ -1,0 +1,98 @@
+"""Tests for the external software catalogue (ROOT, CERNLIB, ...)."""
+
+import pytest
+
+from repro._common import ConfigurationError
+from repro.environment.external import (
+    ExternalSoftwareCatalog,
+    ExternalSoftwareVersion,
+    ROOT_LEGACY_APIS,
+    default_external_software,
+)
+
+
+class TestExternalSoftwareVersion:
+    def test_root_key(self):
+        root = ExternalSoftwareCatalog().get("ROOT", "5.34")
+        assert root.key == "ROOT-5.34"
+
+    def test_api_queries(self):
+        root5 = ExternalSoftwareCatalog().get("ROOT", "5.34")
+        assert root5.provides("TTree")
+        assert root5.provides("CINT")
+        assert not root5.removes("CINT")
+
+    def test_root6_removes_legacy_interfaces(self):
+        root6 = ExternalSoftwareCatalog().get("ROOT", "6.02")
+        for api in ROOT_LEGACY_APIS:
+            assert root6.removes(api)
+            assert not root6.provides(api)
+
+    def test_root6_requires_cxx11_and_gcc48(self):
+        root6 = ExternalSoftwareCatalog().get("ROOT", "6.02")
+        assert root6.requires_cxx_standard == "c++11"
+        assert not root6.compiler_is_sufficient("4.4")
+        assert root6.compiler_is_sufficient("4.8")
+
+    def test_word_size_support(self):
+        cernlib_2005 = ExternalSoftwareCatalog().get("CERNLIB", "2005")
+        assert cernlib_2005.supports_word_size(32)
+        assert not cernlib_2005.supports_word_size(64)
+
+    def test_provided_and_removed_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExternalSoftwareVersion(
+                product="X", version="1.0", release_year=2010, api_level=1,
+                provided_apis=frozenset({"a"}), removed_apis=frozenset({"a"}),
+            )
+
+    def test_negative_api_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExternalSoftwareVersion(
+                product="X", version="1.0", release_year=2010, api_level=-1,
+            )
+
+
+class TestExternalSoftwareCatalog:
+    def test_paper_root_versions_present(self):
+        catalog = ExternalSoftwareCatalog()
+        versions = [entry.version for entry in catalog.versions_of("ROOT")]
+        for version in ("5.26", "5.28", "5.30", "5.32", "5.34"):
+            assert version in versions
+
+    def test_versions_sorted_by_api_level(self):
+        catalog = ExternalSoftwareCatalog()
+        levels = [entry.api_level for entry in catalog.versions_of("ROOT")]
+        assert levels == sorted(levels)
+
+    def test_latest_overall_and_by_year(self):
+        catalog = ExternalSoftwareCatalog()
+        assert catalog.latest("ROOT").version == "6.02"
+        assert catalog.latest("ROOT", year=2012).version == "5.34"
+        assert catalog.latest("ROOT", year=2009).version == "5.26"
+
+    def test_latest_before_first_release_raises(self):
+        with pytest.raises(ConfigurationError):
+            ExternalSoftwareCatalog().latest("ROOT", year=2000)
+
+    def test_unknown_product_and_version(self):
+        catalog = ExternalSoftwareCatalog()
+        with pytest.raises(ConfigurationError):
+            catalog.versions_of("GEANT4")
+        with pytest.raises(ConfigurationError):
+            catalog.get("ROOT", "9.99")
+
+    def test_duplicate_registration_rejected(self):
+        catalog = ExternalSoftwareCatalog()
+        with pytest.raises(ConfigurationError):
+            catalog.register(default_external_software()[0])
+
+    def test_contains_and_len(self):
+        catalog = ExternalSoftwareCatalog()
+        assert "ROOT" in catalog
+        assert "MySQL" in catalog
+        assert len(catalog) >= 10
+
+    def test_products_sorted(self):
+        products = ExternalSoftwareCatalog().products()
+        assert products == sorted(products)

@@ -1,0 +1,146 @@
+"""Tests for the operating system and compiler catalogues."""
+
+import pytest
+
+from repro._common import ConfigurationError
+from repro.environment.compilers import Compiler, CompilerCatalog, default_compilers
+from repro.environment.os_catalog import (
+    OperatingSystemCatalog,
+    OperatingSystemRelease,
+    default_releases,
+)
+
+
+class TestOperatingSystemRelease:
+    def test_default_catalog_contains_sl5_and_sl6(self):
+        catalog = OperatingSystemCatalog()
+        assert "SL5" in catalog
+        assert "SL6" in catalog
+        assert "SL7" in catalog
+
+    def test_sl6_is_64bit_only(self):
+        sl6 = OperatingSystemCatalog().get("SL6")
+        assert sl6.supports_word_size(64)
+        assert not sl6.supports_word_size(32)
+
+    def test_sl5_supports_both_word_sizes(self):
+        sl5 = OperatingSystemCatalog().get("SL5")
+        assert sl5.supports_word_size(32)
+        assert sl5.supports_word_size(64)
+
+    def test_support_window(self):
+        sl5 = OperatingSystemCatalog().get("SL5")
+        assert sl5.is_supported_in(2013)
+        assert not sl5.is_supported_in(2019)
+        assert not sl5.is_supported_in(2005)
+
+    def test_invalid_eol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingSystemRelease(
+                name="BAD", family="Test", major_version=1,
+                release_year=2010, end_of_life_year=2009,
+                word_sizes=(64,), system_compiler=("gcc", "4.4"),
+                abi_level=9, libc_version="2.12",
+            )
+
+    def test_invalid_word_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingSystemRelease(
+                name="BAD", family="Test", major_version=1,
+                release_year=2010, end_of_life_year=2015,
+                word_sizes=(16,), system_compiler=("gcc", "4.4"),
+                abi_level=9, libc_version="2.12",
+            )
+
+
+class TestOperatingSystemCatalog:
+    def test_ordering_by_abi_level(self):
+        names = [release.name for release in OperatingSystemCatalog().all()]
+        assert names == ["SL4", "SL5", "SL6", "SL7"]
+
+    def test_latest_overall_and_by_year(self):
+        catalog = OperatingSystemCatalog()
+        assert catalog.latest().name == "SL7"
+        assert catalog.latest(year=2012).name == "SL6"
+        assert catalog.latest(year=2008).name == "SL5"
+
+    def test_latest_before_any_release_raises(self):
+        with pytest.raises(ConfigurationError):
+            OperatingSystemCatalog().latest(year=1990)
+
+    def test_successor(self):
+        catalog = OperatingSystemCatalog()
+        assert catalog.successor_of("SL5").name == "SL6"
+        assert catalog.successor_of("SL7") is None
+
+    def test_duplicate_registration_rejected(self):
+        catalog = OperatingSystemCatalog()
+        with pytest.raises(ConfigurationError):
+            catalog.register(default_releases()[0])
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(ConfigurationError):
+            OperatingSystemCatalog().get("Windows95")
+
+    def test_supported_in_excludes_eol(self):
+        names = [release.name for release in OperatingSystemCatalog().supported_in(2019)]
+        assert "SL5" not in names
+        assert "SL6" in names
+
+
+class TestCompilerCatalog:
+    def test_default_compilers_present(self):
+        catalog = CompilerCatalog()
+        assert "gcc4.1" in catalog
+        assert "gcc4.4" in catalog
+        assert "gcc4.8" in catalog
+
+    def test_lookup_by_version_only(self):
+        assert CompilerCatalog().get("4.4").name == "gcc4.4"
+
+    def test_strictness_increases_with_version(self):
+        catalog = CompilerCatalog()
+        strictness = [compiler.strictness for compiler in catalog.family("gcc")]
+        assert strictness == sorted(strictness)
+
+    def test_gcc48_supports_cxx11_but_gcc44_does_not(self):
+        catalog = CompilerCatalog()
+        assert catalog.get("gcc4.8").supports_cxx_standard("c++11")
+        assert not catalog.get("gcc4.4").supports_cxx_standard("c++11")
+
+    def test_latest_by_year(self):
+        catalog = CompilerCatalog()
+        assert catalog.latest(year=2010).name == "gcc4.4"
+        assert catalog.latest(year=2014).name == "gcc4.9"
+
+    def test_is_newer_than(self):
+        catalog = CompilerCatalog()
+        assert catalog.get("gcc4.4").is_newer_than(catalog.get("gcc4.1"))
+        assert not catalog.get("gcc4.1").is_newer_than(catalog.get("gcc4.4"))
+
+    def test_ordering_different_families_rejected(self):
+        gcc = CompilerCatalog().get("gcc4.4")
+        clang = Compiler(
+            family="clang", version="3.4", release_year=2013, strictness=4,
+            cxx_standards=("c++98", "c++11"), fortran_standards=(),
+            default_cxx_standard="c++98",
+        )
+        with pytest.raises(ConfigurationError):
+            gcc.is_newer_than(clang)
+
+    def test_unknown_compiler_raises(self):
+        with pytest.raises(ConfigurationError):
+            CompilerCatalog().get("gcc99")
+
+    def test_duplicate_registration_rejected(self):
+        catalog = CompilerCatalog()
+        with pytest.raises(ConfigurationError):
+            catalog.register(default_compilers()[0])
+
+    def test_invalid_default_standard_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Compiler(
+                family="gcc", version="9.9", release_year=2020, strictness=9,
+                cxx_standards=("c++11",), fortran_standards=(),
+                default_cxx_standard="c++98",
+            )

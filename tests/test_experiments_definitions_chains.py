@@ -1,0 +1,128 @@
+"""Tests for the HERA experiment definitions and the analysis chains."""
+
+import pytest
+
+from repro.core.levels import PreservationLevel
+from repro.core.testspec import ExecutionContext, TestKind
+from repro.experiments import build_hera_experiments
+from repro.experiments.chains import (
+    ANALYSIS_ONLY_STEPS,
+    FULL_CHAIN_STEPS,
+    build_analysis_chain,
+)
+from repro.experiments.h1 import H1_PROCESSES, build_h1_experiment
+from repro.experiments.hermes import build_hermes_experiment
+from repro.experiments.zeus import build_zeus_experiment
+from repro.hepdata.generator import GeneratorSettings
+from repro.hepdata.numerics import REFERENCE_CONTEXT
+
+
+class TestChainConstruction:
+    def test_full_chain_has_seven_ordered_steps(self):
+        chain = build_analysis_chain(
+            "H1", "nc_dis", GeneratorSettings(), n_events=30, chain_name="test-chain"
+        )
+        assert len(chain) == len(FULL_CHAIN_STEPS)
+        assert chain.step_names()[0].endswith("mc-generation")
+        assert chain.step_names()[-1].endswith("result-validation")
+        for index, step in enumerate(chain.steps):
+            assert step.chain_index == index
+            assert step.kind is TestKind.CHAIN_STEP
+            assert step.chain == "test-chain"
+
+    def test_analysis_only_chain_skips_simulation(self):
+        chain = build_analysis_chain(
+            "HERMES", "nc_dis", GeneratorSettings(), n_events=30,
+            steps=ANALYSIS_ONLY_STEPS,
+        )
+        names = chain.step_names()
+        assert not any(name.endswith("detector-simulation") for name in names)
+        assert not any(name.endswith("-dst-production") for name in names)
+        assert any(name.endswith("microdst-production") for name in names)
+
+    def test_chain_executes_end_to_end(self):
+        chain = build_analysis_chain(
+            "H1", "nc_dis", GeneratorSettings(), n_events=40, chain_name="exec-chain"
+        )
+        context = ExecutionContext(
+            configuration=None, numeric_context=REFERENCE_CONTEXT, seed=3,
+        )
+        for step in chain.steps:
+            output = step.executor(context)
+            assert output.passed, f"{step.name} failed: {output.messages}"
+        assert "analysis_result" in context.chain_state
+
+    def test_chain_step_fails_gracefully_without_input(self):
+        chain = build_analysis_chain(
+            "H1", "nc_dis", GeneratorSettings(), n_events=10, chain_name="broken-chain"
+        )
+        # Execute the reconstruction step without running generation first.
+        context = ExecutionContext(
+            configuration=None, numeric_context=REFERENCE_CONTEXT, seed=3,
+        )
+        reconstruction_step = chain.steps[2]
+        output = reconstruction_step.executor(context)
+        assert not output.passed
+        assert "missing" in output.messages[0]
+
+    def test_chain_capabilities_follow_steps(self):
+        chain = build_analysis_chain("H1", "nc_dis", GeneratorSettings(), n_events=10)
+        capabilities = {step.capability for step in chain.steps}
+        assert "mc-generation" in capabilities
+        assert "simulation" in capabilities
+        assert "analysis" in capabilities
+
+
+class TestExperimentBuilders:
+    def test_h1_full_size_matches_paper_outline(self):
+        h1 = build_h1_experiment()
+        # "the compilation of approximately 100 individual H1 software packages"
+        assert 95 <= len(h1.inventory) <= 105
+        # "expected to comprise of up to 500 tests in total"
+        assert 400 <= h1.total_test_count() <= 500
+        assert h1.preservation_level is PreservationLevel.FULL_SOFTWARE
+        # One full chain per physics process.
+        assert len(h1.chains) == len(H1_PROCESSES)
+        for chain in h1.chains:
+            assert len(chain) == len(FULL_CHAIN_STEPS)
+
+    def test_zeus_is_smaller_than_h1(self):
+        h1 = build_h1_experiment()
+        zeus = build_zeus_experiment()
+        assert zeus.total_test_count() < h1.total_test_count()
+        assert zeus.preservation_level is PreservationLevel.FULL_SOFTWARE
+        assert zeus.display_colour == "orange"
+
+    def test_hermes_is_level3_and_smallest(self):
+        hermes = build_hermes_experiment()
+        zeus = build_zeus_experiment()
+        assert hermes.preservation_level is PreservationLevel.ANALYSIS_SOFTWARE
+        assert hermes.total_test_count() < zeus.total_test_count()
+        # Level 3: no simulation steps in the chains.
+        for chain in hermes.chains:
+            assert all("detector-simulation" not in name for name in chain.step_names())
+
+    def test_scaling_preserves_structure(self):
+        full = build_h1_experiment()
+        scaled = build_h1_experiment(scale=0.2)
+        assert scaled.total_test_count() < full.total_test_count()
+        assert len(scaled.chains) == len(full.chains)
+        assert scaled.processes() == full.processes()
+
+    def test_build_hera_experiments_order_and_colours(self):
+        experiments = build_hera_experiments(scale=0.1)
+        names = [experiment.name for experiment in experiments]
+        assert names == ["ZEUS", "H1", "HERMES"]
+        colours = {experiment.name: experiment.display_colour for experiment in experiments}
+        assert colours == {"ZEUS": "orange", "H1": "blue", "HERMES": "red"}
+
+    def test_test_names_are_unique_within_experiment(self):
+        for experiment in build_hera_experiments(scale=0.15):
+            names = [test.name for test in experiment.all_tests()]
+            assert len(names) == len(set(names))
+
+    def test_required_packages_exist_in_inventory(self):
+        for experiment in build_hera_experiments(scale=0.15):
+            for test in experiment.all_tests():
+                for package_name in test.required_packages:
+                    assert package_name in experiment.inventory

@@ -1,0 +1,151 @@
+"""Tests for the synthetic package inventories and the test executors."""
+
+import pytest
+
+from repro.buildsys.builder import PackageBuilder
+from repro.buildsys.graph import DependencyGraph
+from repro.buildsys.package import PackageCategory
+from repro.core.testspec import ExecutionContext, OutputKind
+from repro.experiments import executors
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.hepdata.numerics import NumericContext, REFERENCE_CONTEXT
+
+
+class TestBuildInventory:
+    def test_requested_size_respected(self):
+        for size in (10, 30, 100):
+            inventory = build_inventory("EXPA", size)
+            assert len(inventory) == size
+
+    def test_all_categories_represented_at_realistic_size(self):
+        inventory = build_inventory("EXPA", 60)
+        for category in PackageCategory:
+            assert inventory.by_category(category), f"no {category.value} packages"
+
+    def test_dependency_graph_is_valid(self):
+        inventory = build_inventory("EXPA", 50)
+        assert inventory.validate_dependencies() == []
+        graph = DependencyGraph(inventory)
+        assert len(graph.build_order()) == 50
+
+    def test_deterministic_generation(self):
+        first = build_inventory("EXPA", 40)
+        second = build_inventory("EXPA", 40)
+        assert first.names() == second.names()
+        assert [pkg.lines_of_code for pkg in first.all()] == [
+            pkg.lines_of_code for pkg in second.all()
+        ]
+
+    def test_different_experiments_get_different_names(self):
+        h1_like = build_inventory("EXPA", 20)
+        zeus_like = build_inventory("EXPB", 20)
+        assert set(h1_like.names()).isdisjoint(zeus_like.names())
+
+    def test_quirks_control_migration_problems(self, sl5_64_gcc44, sl6_64_gcc44):
+        clean = build_inventory(
+            "EXPA", 40,
+            quirks=InventoryQuirks(0, 0, 0, 0),
+        )
+        quirky = build_inventory(
+            "EXPB", 40,
+            quirks=InventoryQuirks(n_not_ported_to_newest_abi=3, n_legacy_root_api=0,
+                                   n_strictness_limited=0),
+        )
+        builder = PackageBuilder()
+        assert builder.build_inventory(clean, sl6_64_gcc44).all_usable
+        quirky_campaign = builder.build_inventory(quirky, sl6_64_gcc44)
+        assert len(quirky_campaign.failed_packages()) == 3
+        # The same quirky inventory still builds on the old platform.
+        assert builder.build_inventory(quirky, sl5_64_gcc44).all_usable
+
+    def test_root6_quirks_break_on_next_generation(self, sl7_root6):
+        inventory = build_inventory(
+            "EXPC", 40,
+            quirks=InventoryQuirks(n_not_ported_to_newest_abi=0, n_legacy_root_api=2,
+                                   n_strictness_limited=0),
+        )
+        campaign = PackageBuilder().build_inventory(inventory, sl7_root6)
+        assert len(campaign.failed_packages()) >= 2
+
+    def test_32bit_only_quirk(self, sl5_64_gcc44):
+        inventory = build_inventory(
+            "EXPD", 40,
+            quirks=InventoryQuirks(0, 0, 0, n_32bit_only=2),
+        )
+        campaign = PackageBuilder().build_inventory(inventory, sl5_64_gcc44)
+        assert len(campaign.failed_packages()) == 2
+
+
+def make_context(configuration, numeric_context=None, chain_state=None):
+    return ExecutionContext(
+        configuration=configuration,
+        numeric_context=numeric_context or REFERENCE_CONTEXT,
+        seed=5,
+        chain_state=chain_state if chain_state is not None else {},
+    )
+
+
+class TestExecutors:
+    def test_smoke_test_passes_in_healthy_environment(self, sl5_64_gcc44):
+        output = executors.smoke_test_executor("pkg-a")(make_context(sl5_64_gcc44))
+        assert output.kind is OutputKind.YES_NO
+        assert output.passed
+
+    def test_smoke_test_fails_with_removed_interface_defect(self, sl5_64_gcc44):
+        context = make_context(
+            sl5_64_gcc44,
+            NumericContext(label="broken", defects=(("removed-interface-returns-zero", 1.0),)),
+        )
+        outcomes = [
+            executors.smoke_test_executor(f"pkg-{index}")(context).passed
+            for index in range(20)
+        ]
+        assert not all(outcomes)
+
+    def test_calibration_executor_detects_large_shift(self, sl5_64_gcc44):
+        healthy = executors.calibration_constants_executor("tracker", 1.0)(
+            make_context(sl5_64_gcc44)
+        )
+        assert healthy.passed
+        broken_context = make_context(
+            sl5_64_gcc44, NumericContext(label="bad", defects=(("32bit-index-overflow", 0.2),))
+        )
+        broken = executors.calibration_constants_executor("tracker", 1.0)(broken_context)
+        assert not broken.passed
+
+    def test_database_executor_requires_mysql(self, sl5_64_gcc44):
+        output = executors.database_access_executor("H1")(make_context(sl5_64_gcc44))
+        assert output.passed
+        stripped = sl5_64_gcc44.without_external("MySQL")
+        output = executors.database_access_executor("H1")(make_context(stripped))
+        assert not output.passed
+
+    def test_kinematics_executor_outputs_numbers(self, sl5_64_gcc44):
+        output = executors.kinematics_consistency_executor("H1", "nc_dis", n_events=40)(
+            make_context(sl5_64_gcc44)
+        )
+        assert output.kind is OutputKind.NUMBERS
+        assert output.passed
+        assert output.numbers["n_events"] == 40.0
+
+    def test_control_histogram_executor_variables(self, sl5_64_gcc44):
+        for variable in ("q2", "x", "multiplicity"):
+            output = executors.control_histogram_executor(
+                "H1", "nc_dis", variable, n_events=30
+            )(make_context(sl5_64_gcc44))
+            assert output.kind is OutputKind.HISTOGRAMS
+            assert output.passed
+            assert variable in output.histograms.names()[0]
+
+    def test_root_io_executor(self, sl5_64_gcc44):
+        output = executors.root_io_executor("pkg-ntuple")(make_context(sl5_64_gcc44))
+        assert output.passed
+        without_root = sl5_64_gcc44.without_external("ROOT")
+        output = executors.root_io_executor("pkg-ntuple")(make_context(without_root))
+        assert not output.passed
+
+    def test_data_export_executor(self, sl5_64_gcc44):
+        output = executors.data_export_executor("H1", n_events=20)(make_context(sl5_64_gcc44))
+        assert output.kind is OutputKind.FILE_SUMMARY
+        assert output.passed
+        assert output.file_summary["n_events"] == 20.0

@@ -1,0 +1,163 @@
+"""Tests for the physics analysis step and the numeric context model."""
+
+import numpy as np
+import pytest
+
+from repro._common import ValidationError
+from repro.hepdata.analysis import (
+    DEFAULT_Q2_BINS,
+    PhysicsAnalysis,
+    SelectionCuts,
+    compare_cross_sections,
+)
+from repro.hepdata.dst import DSTProducer, MicroDSTProducer
+from repro.hepdata.generator import MonteCarloGenerator
+from repro.hepdata.numerics import (
+    NumericContext,
+    REFERENCE_CONTEXT,
+    context_for_environment,
+)
+from repro.hepdata.reconstruction import EventReconstruction
+from repro.hepdata.simulation import DetectorSimulation
+
+
+@pytest.fixture(scope="module")
+def micro_dst():
+    record = MonteCarloGenerator().generate(150, seed=21)
+    simulated = DetectorSimulation().simulate(record, seed=22)
+    reconstructed = EventReconstruction().reconstruct(simulated)
+    return MicroDSTProducer().produce(DSTProducer().produce(reconstructed))
+
+
+class TestSelectionCuts:
+    def test_invalid_ranges(self):
+        with pytest.raises(ValidationError):
+            SelectionCuts(min_q2=100.0, max_q2=10.0)
+        with pytest.raises(ValidationError):
+            SelectionCuts(min_y=0.9, max_y=0.1)
+        with pytest.raises(ValidationError):
+            SelectionCuts(min_jets=-1)
+
+
+class TestPhysicsAnalysis:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            PhysicsAnalysis(luminosity_pb=0.0)
+        with pytest.raises(ValidationError):
+            PhysicsAnalysis(q2_bins=(10.0,))
+        with pytest.raises(ValidationError):
+            PhysicsAnalysis(q2_bins=(100.0, 10.0))
+
+    def test_analysis_selects_events_and_fills_histograms(self, micro_dst):
+        result = PhysicsAnalysis().run(micro_dst)
+        assert result.n_input_events == len(micro_dst)
+        assert 0 < result.n_selected_events <= result.n_input_events
+        assert len(result.histograms) == 6
+        assert result.histograms.get("q2").total > 0
+
+    def test_selection_efficiency_between_zero_and_one(self, micro_dst):
+        result = PhysicsAnalysis().run(micro_dst)
+        assert 0.0 < result.selection_efficiency <= 1.0
+
+    def test_cross_section_bins_match_configuration(self, micro_dst):
+        result = PhysicsAnalysis().run(micro_dst)
+        assert len(result.cross_section) == len(DEFAULT_Q2_BINS) - 1
+        for point, low, high in zip(
+            result.cross_section, DEFAULT_Q2_BINS[:-1], DEFAULT_Q2_BINS[1:]
+        ):
+            assert point.q2_low == low
+            assert point.q2_high == high
+            assert point.cross_section_pb >= 0.0
+
+    def test_cross_section_falls_with_q2(self, micro_dst):
+        result = PhysicsAnalysis().run(micro_dst)
+        values = [point.cross_section_pb for point in result.cross_section]
+        # The spectrum is steeply falling: the first bin dominates the last.
+        assert values[0] > values[-1]
+
+    def test_empty_input(self):
+        from repro.hepdata.dst import MicroDST
+
+        result = PhysicsAnalysis().run(MicroDST())
+        assert result.n_selected_events == 0
+        assert result.summary["total_cross_section_pb"] == 0.0
+
+    def test_summary_keys(self, micro_dst):
+        summary = PhysicsAnalysis().run(micro_dst).summary
+        for key in (
+            "n_input_events", "n_selected_events", "selection_efficiency",
+            "total_cross_section_pb", "mean_q2",
+        ):
+            assert key in summary
+
+
+class TestCrossSectionComparison:
+    def test_identical_measurements_compatible(self, micro_dst):
+        result = PhysicsAnalysis().run(micro_dst)
+        compatible, messages = compare_cross_sections(
+            result.cross_section, result.cross_section
+        )
+        assert compatible
+        assert messages == []
+
+    def test_different_binning_detected(self, micro_dst):
+        result = PhysicsAnalysis().run(micro_dst)
+        other = PhysicsAnalysis(q2_bins=(10.0, 100.0, 1000.0)).run(micro_dst)
+        compatible, messages = compare_cross_sections(
+            result.cross_section, other.cross_section
+        )
+        assert not compatible
+        assert messages
+
+    def test_large_shift_detected(self, micro_dst):
+        result = PhysicsAnalysis().run(micro_dst)
+        shifted = [
+            type(point)(
+                q2_low=point.q2_low, q2_high=point.q2_high, n_events=point.n_events,
+                cross_section_pb=point.cross_section_pb * 10.0 + 1.0,
+                statistical_error_pb=point.statistical_error_pb,
+            )
+            for point in result.cross_section
+        ]
+        compatible, messages = compare_cross_sections(result.cross_section, shifted)
+        assert not compatible
+
+
+class TestNumericContext:
+    def test_reference_context_is_identity(self):
+        assert REFERENCE_CONTEXT.perturb_scalar(3.14, "x") == 3.14
+
+    def test_perturbation_is_deterministic(self):
+        context = NumericContext(label="env", rounding_scale=1e-10)
+        assert context.perturb_scalar(1.0, "tag") == context.perturb_scalar(1.0, "tag")
+
+    def test_perturbation_is_small(self):
+        context = context_for_environment("SL6", 64, 3, 3)
+        value = context.perturb_scalar(100.0, "tag")
+        assert value != 100.0
+        assert value == pytest.approx(100.0, rel=1e-8)
+
+    def test_defect_changes_results_strongly(self):
+        context = NumericContext(
+            label="broken", defects=(("32bit-index-overflow", 0.2),)
+        )
+        assert context.perturb_scalar(100.0, "tag") == pytest.approx(80.0)
+
+    def test_removed_interface_defect_zeroes_some_values(self):
+        context = NumericContext(
+            label="broken", defects=(("removed-interface-returns-zero", 1.0),)
+        )
+        assert context.perturb_scalar(5.0, "any") == 0.0
+
+    def test_array_perturbation_shape_preserved(self):
+        context = context_for_environment("SL6", 64, 3, 3)
+        values = np.ones((4, 3))
+        perturbed = context.perturb_array(values, "tag")
+        assert perturbed.shape == values.shape
+        assert np.allclose(perturbed, values, rtol=1e-8)
+
+    def test_defect_map_and_has_defect(self):
+        context = NumericContext(defects=(("uninitialised-memory", 0.1),))
+        assert context.has_defect("uninitialised-memory")
+        assert not context.has_defect("other")
+        assert context.defect_map() == {"uninitialised-memory": 0.1}

@@ -1,0 +1,150 @@
+"""Tests for the event model: four vectors, particles and event records."""
+
+import math
+
+import pytest
+
+from repro._common import ValidationError
+from repro.hepdata.event import Event, EventRecord, FourVector, Particle
+
+
+class TestFourVector:
+    def test_pt_and_momentum(self):
+        vector = FourVector(energy=5.0, px=3.0, py=4.0, pz=0.0)
+        assert vector.pt == pytest.approx(5.0)
+        assert vector.momentum == pytest.approx(5.0)
+
+    def test_mass_of_massless_vector(self):
+        vector = FourVector(energy=5.0, px=3.0, py=4.0, pz=0.0)
+        assert vector.mass == pytest.approx(0.0, abs=1e-9)
+
+    def test_mass_never_negative(self):
+        vector = FourVector(energy=1.0, px=2.0, py=0.0, pz=0.0)
+        assert vector.mass == 0.0
+
+    def test_addition(self):
+        a = FourVector(1.0, 0.5, 0.0, 0.2)
+        b = FourVector(2.0, -0.5, 1.0, 0.3)
+        total = a + b
+        assert total.energy == pytest.approx(3.0)
+        assert total.px == pytest.approx(0.0)
+        assert total.pz == pytest.approx(0.5)
+
+    def test_from_pt_eta_phi_round_trip(self):
+        vector = FourVector.from_pt_eta_phi(pt=2.0, eta=1.0, phi=0.3, mass=0.14)
+        assert vector.pt == pytest.approx(2.0)
+        assert vector.phi == pytest.approx(0.3)
+        assert vector.mass == pytest.approx(0.14, rel=1e-6)
+
+    def test_rapidity_sign_follows_pz(self):
+        forward = FourVector.from_pt_eta_phi(1.0, 2.0, 0.0)
+        backward = FourVector.from_pt_eta_phi(1.0, -2.0, 0.0)
+        assert forward.rapidity > 0
+        assert backward.rapidity < 0
+
+    def test_theta_range(self):
+        vector = FourVector.from_pt_eta_phi(1.0, 0.0, 0.0)
+        assert vector.theta == pytest.approx(math.pi / 2.0)
+
+
+class TestParticle:
+    def test_name_lookup(self):
+        particle = Particle(pdg_code=211, four_vector=FourVector(1, 0.5, 0, 0), charge=1)
+        assert particle.name == "pi+"
+
+    def test_unknown_code_falls_back_to_number(self):
+        particle = Particle(pdg_code=99999, four_vector=FourVector(1, 0.5, 0, 0), charge=0)
+        assert particle.name == "99999"
+
+    def test_charged_flag(self):
+        charged = Particle(pdg_code=211, four_vector=FourVector(1, 0.5, 0, 0), charge=1)
+        neutral = Particle(pdg_code=22, four_vector=FourVector(1, 0.5, 0, 0), charge=0)
+        assert charged.is_charged
+        assert not neutral.is_charged
+
+
+class TestEvent:
+    def _event(self, particles=None):
+        return Event(
+            event_number=1, process="nc_dis", q_squared=10.0, bjorken_x=0.01,
+            inelasticity=0.3, particles=particles or [],
+        )
+
+    def test_invalid_kinematics_rejected(self):
+        with pytest.raises(ValidationError):
+            Event(event_number=1, process="p", q_squared=-1.0, bjorken_x=0.1, inelasticity=0.5)
+        with pytest.raises(ValidationError):
+            Event(event_number=1, process="p", q_squared=1.0, bjorken_x=0.1, inelasticity=1.5)
+
+    def test_scattered_lepton_found(self):
+        lepton = Particle(pdg_code=11, four_vector=FourVector(10, 1, 0, 5), charge=-1)
+        pion = Particle(pdg_code=211, four_vector=FourVector(2, 0.5, 0, 1), charge=1)
+        event = self._event([pion, lepton])
+        assert event.scattered_lepton is lepton
+        assert event.hadronic_final_state == [pion]
+
+    def test_no_lepton(self):
+        event = self._event([Particle(pdg_code=211, four_vector=FourVector(2, 0.5, 0, 1), charge=1)])
+        assert event.scattered_lepton is None
+
+    def test_charged_multiplicity_and_et(self):
+        particles = [
+            Particle(pdg_code=211, four_vector=FourVector(2, 1.0, 0, 1), charge=1),
+            Particle(pdg_code=22, four_vector=FourVector(3, 0.0, 2.0, 1), charge=0),
+        ]
+        event = self._event(particles)
+        assert event.charged_multiplicity == 1
+        assert event.transverse_energy() == pytest.approx(3.0)
+
+    def test_total_four_vector(self):
+        particles = [
+            Particle(pdg_code=211, four_vector=FourVector(2, 1.0, 0, 1), charge=1),
+            Particle(pdg_code=-211, four_vector=FourVector(2, -1.0, 0, 1), charge=-1),
+        ]
+        total = self._event(particles).total_four_vector()
+        assert total.px == pytest.approx(0.0)
+        assert total.energy == pytest.approx(4.0)
+
+
+class TestEventRecord:
+    def _record(self, n=3):
+        record = EventRecord()
+        for index in range(n):
+            record.append(
+                Event(
+                    event_number=index, process="nc_dis", q_squared=10.0 * (index + 1),
+                    bjorken_x=0.01, inelasticity=0.4, weight=2.0,
+                )
+            )
+        return record
+
+    def test_len_iter_and_getitem(self):
+        record = self._record(3)
+        assert len(record) == 3
+        assert record[0].event_number == 0
+        assert [event.event_number for event in record] == [0, 1, 2]
+
+    def test_total_weight(self):
+        assert self._record(3).total_weight() == pytest.approx(6.0)
+
+    def test_summary_of_empty_record(self):
+        summary = EventRecord().summary()
+        assert summary["n_events"] == 0.0
+        assert summary["total_weight"] == 0.0
+
+    def test_summary_values(self):
+        summary = self._record(2).summary()
+        assert summary["n_events"] == 2.0
+        assert summary["mean_q2"] == pytest.approx(15.0)
+
+    def test_select_adds_provenance_and_filters(self):
+        record = self._record(3)
+        selected = record.select(lambda event: event.q_squared > 15.0)
+        assert len(selected) == 2
+        assert "selection" in selected.provenance
+
+    def test_provenance_tracking(self):
+        record = self._record(1)
+        record.add_provenance("mc-generation")
+        record.add_provenance("simulation")
+        assert record.provenance == ["mc-generation", "simulation"]

@@ -1,0 +1,148 @@
+"""Tests for the Monte Carlo generator and the detector simulation."""
+
+import numpy as np
+import pytest
+
+from repro._common import ValidationError
+from repro.hepdata.generator import (
+    GeneratorSettings,
+    LEPTON_BEAM_ENERGY,
+    MonteCarloGenerator,
+    default_processes,
+)
+from repro.hepdata.numerics import NumericContext
+from repro.hepdata.simulation import (
+    DetectorSettings,
+    DetectorSimulation,
+    detector_for_experiment,
+)
+
+
+class TestGeneratorSettings:
+    def test_defaults_valid(self):
+        settings = GeneratorSettings()
+        assert settings.process == "nc_dis"
+
+    def test_invalid_q2_range(self):
+        with pytest.raises(ValidationError):
+            GeneratorSettings(q2_min=0.0)
+        with pytest.raises(ValidationError):
+            GeneratorSettings(q2_min=100.0, q2_max=10.0)
+
+    def test_invalid_multiplicity_and_cross_section(self):
+        with pytest.raises(ValidationError):
+            GeneratorSettings(mean_charged_multiplicity=0.0)
+        with pytest.raises(ValidationError):
+            GeneratorSettings(cross_section_pb=-1.0)
+
+    def test_default_processes_cover_four_channels(self):
+        processes = {settings.process for settings in default_processes()}
+        assert processes == {"nc_dis", "cc_dis", "photoproduction", "heavy_flavour"}
+
+
+class TestMonteCarloGenerator:
+    def test_generates_requested_number_of_events(self):
+        record = MonteCarloGenerator().generate(25, seed=3)
+        assert len(record) == 25
+
+    def test_zero_events_allowed(self):
+        assert len(MonteCarloGenerator().generate(0)) == 0
+
+    def test_negative_events_rejected(self):
+        with pytest.raises(ValidationError):
+            MonteCarloGenerator().generate(-1)
+
+    def test_determinism_per_seed(self):
+        first = MonteCarloGenerator().generate(10, seed=7)
+        second = MonteCarloGenerator().generate(10, seed=7)
+        assert [event.q_squared for event in first] == [event.q_squared for event in second]
+
+    def test_different_seeds_differ(self):
+        first = MonteCarloGenerator().generate(10, seed=7)
+        second = MonteCarloGenerator().generate(10, seed=8)
+        assert [event.q_squared for event in first] != [event.q_squared for event in second]
+
+    def test_q2_within_configured_range(self):
+        settings = GeneratorSettings(process="cc_dis", q2_min=100.0, q2_max=20000.0)
+        record = MonteCarloGenerator(settings).generate(50, seed=1)
+        for event in record:
+            assert 50.0 <= event.q_squared <= 40000.0  # allow for numeric perturbation
+
+    def test_every_event_has_scattered_lepton(self):
+        record = MonteCarloGenerator().generate(30, seed=2)
+        for event in record:
+            assert event.scattered_lepton is not None
+
+    def test_hadronic_system_balances_lepton_pt(self):
+        record = MonteCarloGenerator().generate(50, seed=4)
+        ratios = []
+        for event in record:
+            lepton_pt = event.scattered_lepton.four_vector.pt
+            total = event.total_four_vector()
+            residual_pt = np.hypot(total.px, total.py)
+            ratios.append(residual_pt / max(lepton_pt, 1e-9))
+        # Transverse momentum is approximately conserved event by event.
+        assert np.median(ratios) < 0.6
+
+    def test_provenance_recorded(self):
+        record = MonteCarloGenerator().generate(3, seed=1)
+        assert any("mc-generation" in step for step in record.provenance)
+
+    def test_numeric_context_changes_values_slightly(self):
+        reference = MonteCarloGenerator().generate(10, seed=5)
+        perturbed_context = NumericContext(label="other", rounding_scale=1e-10)
+        perturbed = MonteCarloGenerator(numeric_context=perturbed_context).generate(10, seed=5)
+        ref_q2 = [event.q_squared for event in reference]
+        other_q2 = [event.q_squared for event in perturbed]
+        assert ref_q2 != other_q2
+        assert np.allclose(ref_q2, other_q2, rtol=1e-6)
+
+
+class TestDetectorSimulation:
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValidationError):
+            DetectorSettings(track_efficiency=0.0)
+        with pytest.raises(ValidationError):
+            DetectorSettings(momentum_resolution=-0.1)
+        with pytest.raises(ValidationError):
+            DetectorSettings(min_pt=-0.1)
+
+    def test_simulation_preserves_event_count(self):
+        record = MonteCarloGenerator().generate(20, seed=1)
+        simulated = DetectorSimulation().simulate(record, seed=2)
+        assert len(simulated) == len(record)
+
+    def test_simulation_removes_some_particles(self):
+        record = MonteCarloGenerator().generate(40, seed=1)
+        simulated = DetectorSimulation().simulate(record, seed=2)
+        generated_particles = sum(len(event.particles) for event in record)
+        simulated_particles = sum(len(event.particles) for event in simulated)
+        assert 0 < simulated_particles <= generated_particles
+
+    def test_simulation_is_deterministic(self):
+        record = MonteCarloGenerator().generate(15, seed=1)
+        first = DetectorSimulation().simulate(record, seed=9)
+        second = DetectorSimulation().simulate(record, seed=9)
+        assert [len(event.particles) for event in first] == [
+            len(event.particles) for event in second
+        ]
+
+    def test_acceptance_cut_respected(self):
+        settings = DetectorSettings(min_pt=0.5, max_abs_eta=2.0)
+        record = MonteCarloGenerator().generate(20, seed=1)
+        simulated = DetectorSimulation(settings).simulate(record, seed=2)
+        for event in simulated:
+            for particle in event.particles:
+                assert particle.four_vector.pt >= 0.5 * 0.9  # smearing margin
+
+    def test_experiment_presets(self):
+        for name in ("H1", "ZEUS", "HERMES"):
+            settings = detector_for_experiment(name)
+            assert name.split("-")[0] in settings.name or name in settings.name
+        assert detector_for_experiment("UNKNOWN").name == "generic-detector"
+
+    def test_provenance_extended(self):
+        record = MonteCarloGenerator().generate(5, seed=1)
+        simulated = DetectorSimulation().simulate(record, seed=2)
+        assert any("detector-simulation" in step for step in simulated.provenance)
+        assert any("mc-generation" in step for step in simulated.provenance)

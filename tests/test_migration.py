@@ -1,0 +1,166 @@
+"""Tests for the preservation strategies, lifetime model and migration planner."""
+
+import pytest
+
+from repro._common import ValidationError
+from repro.environment.configuration import EnvironmentFactory
+from repro.environment.evolution import EnvironmentTimeline
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.migration.lifetime import LifetimeSimulator
+from repro.migration.planner import MigrationPlanner
+from repro.migration.strategies import ActiveMigrationStrategy, FreezeStrategy
+
+
+@pytest.fixture(scope="module")
+def quirky_inventory():
+    """An inventory with problems waiting on newer platforms."""
+    return build_inventory(
+        "EXPM", 40,
+        quirks=InventoryQuirks(
+            n_not_ported_to_newest_abi=2,
+            n_legacy_root_api=2,
+            n_strictness_limited=2,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def frozen_configuration():
+    return EnvironmentFactory().create(
+        "SL5", 64, "gcc4.1",
+        {"ROOT": "5.26", "CERNLIB": "2006", "GEANT3": "3.21", "MCGEN": "1.4", "MySQL": "5.0"},
+    )
+
+
+class TestStrategies:
+    def test_freeze_keeps_building_but_loses_support(
+        self, quirky_inventory, frozen_configuration
+    ):
+        strategy = FreezeStrategy(frozen_configuration)
+        timeline = EnvironmentTimeline()
+        early = strategy.evaluate_year(
+            2012, quirky_inventory, timeline.recommended_configuration(2012),
+            tuple(name for name in ("SL5", "SL6")),
+        )
+        assert early.fully_usable
+        assert early.migration_effort_person_weeks == 0.0
+        late = strategy.evaluate_year(
+            2019, quirky_inventory, timeline.recommended_configuration(2019),
+            tuple(("SL6", "SL7")),
+        )
+        assert not late.security_supported
+        assert not late.fully_usable
+        assert late.notes
+
+    def test_active_migration_ports_failing_packages(self, quirky_inventory):
+        import copy
+
+        inventory = copy.deepcopy(quirky_inventory)
+        strategy = ActiveMigrationStrategy()
+        timeline = EnvironmentTimeline()
+        result_2015 = strategy.evaluate_year(
+            2015, inventory, timeline.recommended_configuration(2015), ("SL6", "SL7"),
+        )
+        assert result_2015.usable_fraction == pytest.approx(1.0)
+        assert result_2015.migration_effort_person_weeks > 0.0
+        assert result_2015.notes
+        # A second year on the same platform needs no further porting.
+        result_again = strategy.evaluate_year(
+            2016, inventory, timeline.recommended_configuration(2015), ("SL6", "SL7"),
+        )
+        assert result_again.migration_effort_person_weeks == 0.0
+
+    def test_invalid_port_effort_rejected(self):
+        with pytest.raises(ValidationError):
+            ActiveMigrationStrategy(port_effort_weeks_per_10kloc=0.0)
+
+
+class TestLifetimeSimulator:
+    def test_migration_outlives_freeze(self, quirky_inventory, frozen_configuration):
+        simulator = LifetimeSimulator()
+        comparison = simulator.compare(
+            [FreezeStrategy(frozen_configuration), ActiveMigrationStrategy()],
+            quirky_inventory,
+            start_year=2012,
+            end_year=2022,
+        )
+        freeze_result = comparison.result("freeze")
+        migration_result = comparison.result("active-migration")
+        assert migration_result.usable_years > freeze_result.usable_years
+        assert comparison.lifetime_extension_years() > 0
+        # Migration costs effort, freezing does not.
+        assert migration_result.total_effort_person_weeks > 0.0
+        assert freeze_result.total_effort_person_weeks == 0.0
+
+    def test_original_inventory_not_mutated(self, quirky_inventory):
+        simulator = LifetimeSimulator()
+        before = {pkg.name: pkg.version for pkg in quirky_inventory.all()}
+        simulator.simulate(ActiveMigrationStrategy(), quirky_inventory, 2012, 2016)
+        after = {pkg.name: pkg.version for pkg in quirky_inventory.all()}
+        assert before == after
+
+    def test_rows_and_fraction_by_year(self, quirky_inventory, frozen_configuration):
+        simulator = LifetimeSimulator()
+        result = simulator.simulate(
+            FreezeStrategy(frozen_configuration), quirky_inventory, 2012, 2015
+        )
+        assert len(result.yearly) == 4
+        assert set(result.usable_fraction_by_year()) == {2012, 2013, 2014, 2015}
+        rows = result.rows()
+        assert rows[0]["strategy"] == "freeze"
+
+    def test_invalid_year_range(self, quirky_inventory, frozen_configuration):
+        with pytest.raises(ValidationError):
+            LifetimeSimulator().simulate(
+                FreezeStrategy(frozen_configuration), quirky_inventory, 2015, 2012
+            )
+
+    def test_unknown_strategy_lookup(self):
+        from repro.migration.lifetime import LifetimeComparison
+
+        with pytest.raises(ValidationError):
+            LifetimeComparison().result("ghost")
+
+
+class TestMigrationPlanner:
+    def test_sl5_to_sl6_plan_identifies_unported_packages(
+        self, tiny_zeus, sl5_64_gcc44, sl6_64_gcc44
+    ):
+        planner = MigrationPlanner()
+        plan = planner.plan(tiny_zeus, sl5_64_gcc44, sl6_64_gcc44)
+        assert not plan.is_trivial
+        package_items = [item for item in plan.items if item.item_type == "package"]
+        assert package_items
+        assert plan.total_effort_person_weeks > 0.0
+        assert 0.0 < plan.predicted_pass_fraction < 1.0
+
+    def test_same_platform_plan_is_trivial(self, tiny_hermes, sl5_64_gcc44):
+        plan = MigrationPlanner().plan(tiny_hermes, sl5_64_gcc44, sl5_64_gcc44)
+        assert plan.is_trivial
+        assert plan.predicted_pass_fraction == pytest.approx(1.0)
+
+    def test_root6_plan_blames_external_dependency(self, tiny_h1, sl5_64_gcc44, sl7_root6):
+        plan = MigrationPlanner().plan(tiny_h1, sl5_64_gcc44, sl7_root6)
+        categories = {
+            category for item in plan.items for category in item.categories
+        }
+        assert "external_dependency" in categories
+
+    def test_items_ordered_by_blocking_impact(self, tiny_h1, sl5_64_gcc44, sl7_root6):
+        plan = MigrationPlanner().plan(tiny_h1, sl5_64_gcc44, sl7_root6)
+        ordered = plan.ordered_items()
+        blocking = [item.blocking for item in ordered]
+        assert blocking == sorted(blocking, reverse=True)
+        rows = plan.rows()
+        assert rows and "effort_person_weeks" in rows[0]
+
+    def test_compare_targets(self, tiny_hermes, sl5_64_gcc44, sl6_64_gcc44, sl7_root6):
+        plans = MigrationPlanner().compare_targets(
+            tiny_hermes, sl5_64_gcc44, [sl6_64_gcc44, sl7_root6]
+        )
+        assert set(plans) == {sl6_64_gcc44.key, sl7_root6.key}
+        # The further the target, the more work is expected.
+        assert (
+            plans[sl7_root6.key].total_effort_person_weeks
+            >= plans[sl6_64_gcc44.key].total_effort_person_weeks
+        )

@@ -1,0 +1,184 @@
+"""Tests for the level-1 documentation archive and the level-2 outreach format."""
+
+import pytest
+
+from repro._common import ValidationError
+from repro.hepdata.dst import DSTProducer, MicroDSTProducer
+from repro.hepdata.generator import MonteCarloGenerator
+from repro.hepdata.reconstruction import EventReconstruction
+from repro.hepdata.simulation import DetectorSimulation
+from repro.preservation.documentation import (
+    DocumentCategory,
+    DocumentationArchive,
+    DocumentationItem,
+    LEVEL1_REQUIRED_CATEGORIES,
+    default_hera_documentation,
+)
+from repro.preservation.outreach import (
+    SIMPLIFIED_SCHEMA,
+    SimplifiedDataset,
+    SimplifiedDatasetExporter,
+    run_training_analysis,
+)
+from repro.storage.common_storage import CommonStorage
+
+
+@pytest.fixture(scope="module")
+def populated_archive():
+    archive = DocumentationArchive()
+    for item in default_hera_documentation():
+        archive.archive(item)
+    return archive
+
+
+class TestDocumentationItem:
+    def test_invalid_items_rejected(self):
+        with pytest.raises(ValidationError):
+            DocumentationItem(
+                identifier="doc-1", experiment="H1",
+                category=DocumentCategory.PUBLICATION, title="", year=2010,
+            )
+        with pytest.raises(ValidationError):
+            DocumentationItem(
+                identifier="doc-1", experiment="H1",
+                category=DocumentCategory.PUBLICATION, title="T", year=1500,
+            )
+
+    def test_matches_searches_all_fields(self):
+        item = DocumentationItem(
+            identifier="doc-1", experiment="H1",
+            category=DocumentCategory.PUBLICATION,
+            title="Inclusive DIS cross sections", year=2012,
+            authors=("H1 Collaboration",), keywords=("nc_dis",),
+            abstract="Measurement of neutral current cross sections.",
+        )
+        assert item.matches("cross section")
+        assert item.matches("NC_DIS")
+        assert item.matches("collaboration")
+        assert not item.matches("supersymmetry")
+
+    def test_round_trip(self):
+        item = default_hera_documentation()[0]
+        rebuilt = DocumentationItem.from_document(item.to_document())
+        assert rebuilt == item
+
+
+class TestDocumentationArchive:
+    def test_archive_and_lookup(self, populated_archive):
+        assert len(populated_archive) == len(default_hera_documentation())
+        assert "h1-doc-000" in populated_archive
+        assert populated_archive.get("h1-doc-000").experiment == "H1"
+        with pytest.raises(ValidationError):
+            populated_archive.get("ghost")
+
+    def test_duplicate_rejected(self, populated_archive):
+        with pytest.raises(ValidationError):
+            populated_archive.archive(default_hera_documentation()[0])
+
+    def test_per_experiment_and_category_queries(self, populated_archive):
+        h1_docs = populated_archive.for_experiment("H1")
+        assert len(h1_docs) == 8
+        publications = populated_archive.by_category("H1", DocumentCategory.PUBLICATION)
+        assert len(publications) == 2
+
+    def test_search_use_case(self, populated_archive):
+        # Level 1 use case: publication related info search.
+        results = populated_archive.search("charm")
+        assert len(results) == 1
+        assert results[0].experiment == "H1"
+        scoped = populated_archive.search("detector", experiment="ZEUS")
+        assert all(item.experiment == "ZEUS" for item in scoped)
+        with pytest.raises(ValidationError):
+            populated_archive.search("")
+
+    def test_level1_report_complete_for_hera(self, populated_archive):
+        for experiment in ("H1", "ZEUS", "HERMES"):
+            report = populated_archive.level1_report(experiment)
+            assert report.complete, report.missing_categories
+            assert report.n_documents >= len(LEVEL1_REQUIRED_CATEGORIES)
+
+    def test_level1_report_detects_gaps(self):
+        archive = DocumentationArchive()
+        archive.archive(
+            DocumentationItem(
+                identifier="new-doc-1", experiment="NEWEXP",
+                category=DocumentCategory.PUBLICATION, title="A result", year=2013,
+            )
+        )
+        report = archive.level1_report("NEWEXP")
+        assert not report.complete
+        assert "manual" in report.missing_categories
+
+    def test_rehydration_from_storage(self):
+        storage = CommonStorage()
+        archive = DocumentationArchive(storage)
+        archive.archive(default_hera_documentation()[0])
+        rebuilt = DocumentationArchive(storage)
+        assert len(rebuilt) == 1
+
+
+@pytest.fixture(scope="module")
+def micro_dst():
+    record = MonteCarloGenerator().generate(80, seed=31)
+    simulated = DetectorSimulation().simulate(record, seed=32)
+    reconstructed = EventReconstruction().reconstruct(simulated)
+    return MicroDSTProducer().produce(DSTProducer().produce(reconstructed))
+
+
+class TestSimplifiedDataset:
+    def test_export_respects_schema(self, micro_dst):
+        exporter = SimplifiedDatasetExporter()
+        dataset = exporter.export("H1", "outreach-2013", micro_dst, provenance="test")
+        assert len(dataset) == len(micro_dst)
+        assert dataset.validate() == []
+        assert set(dataset.rows[0]) == {entry[0] for entry in SIMPLIFIED_SCHEMA}
+
+    def test_export_with_event_limit(self, micro_dst):
+        exporter = SimplifiedDatasetExporter()
+        dataset = exporter.export("H1", "outreach-small", micro_dst, max_events=10)
+        assert len(dataset) == 10
+
+    def test_load_round_trip(self, micro_dst):
+        exporter = SimplifiedDatasetExporter()
+        exporter.export("ZEUS", "outreach-2013", micro_dst)
+        loaded = exporter.load("ZEUS", "outreach-2013")
+        assert len(loaded) == len(micro_dst)
+        assert loaded.experiment == "ZEUS"
+        assert exporter.datasets_for("ZEUS") == ["outreach-2013"]
+
+    def test_unknown_column_raises(self, micro_dst):
+        dataset = SimplifiedDatasetExporter().export("H1", "x", micro_dst)
+        with pytest.raises(ValidationError):
+            dataset.column("missing_energy")
+
+    def test_validate_detects_schema_violations(self):
+        dataset = SimplifiedDataset(
+            experiment="H1", name="broken", schema=SIMPLIFIED_SCHEMA,
+            rows=[{"q2": 10.0, "unexpected": 1.0}],
+        )
+        problems = dataset.validate()
+        assert any("missing columns" in problem for problem in problems)
+        assert any("unexpected columns" in problem for problem in problems)
+
+
+class TestTrainingAnalysis:
+    def test_counts_and_fractions(self, micro_dst):
+        dataset = SimplifiedDatasetExporter().export("H1", "training", micro_dst)
+        result = run_training_analysis(dataset)
+        assert result.n_events == len(dataset)
+        assert sum(result.events_per_q2_bin.values()) <= result.n_events
+        assert 0.0 <= result.dis_fraction <= 1.0
+        assert result.mean_multiplicity > 0.0
+
+    def test_invalid_bins_rejected(self, micro_dst):
+        dataset = SimplifiedDatasetExporter().export("H1", "training2", micro_dst)
+        with pytest.raises(ValidationError):
+            run_training_analysis(dataset, q2_bins=(10.0,))
+        with pytest.raises(ValidationError):
+            run_training_analysis(dataset, q2_bins=(100.0, 10.0))
+
+    def test_empty_dataset(self):
+        dataset = SimplifiedDataset(experiment="H1", name="empty", schema=SIMPLIFIED_SCHEMA)
+        result = run_training_analysis(dataset)
+        assert result.n_events == 0
+        assert result.dis_fraction == 0.0

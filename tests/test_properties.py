@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro._common import parse_version, stable_fraction, stable_hash, version_at_least
+from repro.core.comparison import OutputComparator
+from repro.core.testspec import OutputKind, TestOutput
+from repro.hepdata.event import FourVector
+from repro.hepdata.histogram import Histogram1D, chi2_comparison, ks_comparison
+from repro.storage.bookkeeping import format_timestamp
+from repro.storage.common_storage import StorageNamespace
+from repro.virtualization.cron import CronExpression
+
+
+# -- stable hashing -----------------------------------------------------------
+@given(st.lists(st.one_of(st.text(), st.integers(), st.floats(allow_nan=False))))
+def test_stable_hash_is_deterministic(parts):
+    assert stable_hash(*parts) == stable_hash(*parts)
+
+
+@given(st.text(min_size=1), st.text(min_size=1))
+def test_stable_fraction_always_in_unit_interval(a, b):
+    fraction = stable_fraction(a, b)
+    assert 0.0 <= fraction < 1.0
+
+
+# -- version ordering ---------------------------------------------------------
+version_strategy = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=4
+).map(lambda parts: ".".join(str(part) for part in parts))
+
+
+@given(version_strategy, version_strategy)
+def test_version_at_least_is_total_order(a, b):
+    assert version_at_least(a, b) or version_at_least(b, a)
+
+
+@given(version_strategy)
+def test_version_at_least_is_reflexive(version):
+    assert version_at_least(version, version)
+    assert parse_version(version) == parse_version(version)
+
+
+# -- four vectors ------------------------------------------------------------
+finite = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+positive = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+@given(positive, st.floats(min_value=-5, max_value=5), st.floats(min_value=-math.pi, max_value=math.pi))
+def test_four_vector_pt_eta_phi_round_trip(pt, eta, phi):
+    vector = FourVector.from_pt_eta_phi(pt, eta, phi)
+    assert vector.pt == pytest_approx(pt)
+    assert vector.mass <= 1e-3 * max(pt, 1.0)
+
+
+@given(finite, finite, finite, finite, finite, finite, finite, finite)
+def test_four_vector_addition_is_componentwise(e1, x1, y1, z1, e2, x2, y2, z2):
+    a = FourVector(e1, x1, y1, z1)
+    b = FourVector(e2, x2, y2, z2)
+    total = a + b
+    assert total.energy == e1 + e2
+    assert total.px == x1 + x2
+    assert total.py == y1 + y2
+    assert total.pz == z1 + z2
+
+
+def pytest_approx(value, rel=1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel, abs=1e-9)
+
+
+# -- histograms ---------------------------------------------------------------
+@given(
+    st.lists(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False), max_size=200)
+)
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_histogram_total_conserves_entries(values):
+    histogram = Histogram1D("h", 25, -50.0, 50.0)
+    histogram.fill_many(values)
+    accounted = histogram.total + histogram.underflow + histogram.overflow
+    assert accounted == pytest_approx(float(len(values)))
+    assert histogram.n_entries == len(values)
+
+
+@given(
+    st.lists(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), min_size=1, max_size=200)
+)
+@settings(deadline=None)
+def test_histogram_is_compatible_with_itself(values):
+    histogram = Histogram1D("h", 20, -10.0, 10.0)
+    histogram.fill_many(values)
+    assert chi2_comparison(histogram, histogram.clone()).compatible
+    assert ks_comparison(histogram, histogram.clone()).compatible
+
+
+@given(
+    st.lists(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), max_size=100)
+)
+@settings(deadline=None)
+def test_histogram_serialisation_round_trip(values):
+    histogram = Histogram1D("h", 10, -10.0, 10.0)
+    histogram.fill_many(values)
+    rebuilt = Histogram1D.from_dict(histogram.to_dict())
+    assert rebuilt.total == pytest_approx(histogram.total)
+    assert rebuilt.mean() == pytest_approx(histogram.mean())
+
+
+# -- output comparison --------------------------------------------------------
+number_maps = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "mean_q2", "n_events"]),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(number_maps)
+def test_numeric_output_always_compatible_with_itself(numbers):
+    output = TestOutput(kind=OutputKind.NUMBERS, passed=True, numbers=numbers)
+    outcome = OutputComparator().compare("t", output, output)
+    assert outcome.compatible
+
+
+@given(number_maps, st.sampled_from(["a", "b", "c"]))
+def test_removed_quantity_always_detected(numbers, removed_key):
+    reference = TestOutput(kind=OutputKind.NUMBERS, passed=True, numbers=dict(numbers))
+    candidate_numbers = dict(numbers)
+    candidate_numbers.pop(removed_key, None)
+    if not candidate_numbers:
+        candidate_numbers = {"other": 1.0}
+    candidate = TestOutput(kind=OutputKind.NUMBERS, passed=True, numbers=candidate_numbers)
+    outcome = OutputComparator().compare("t", reference, candidate)
+    if removed_key in numbers:
+        assert not outcome.compatible
+
+
+# -- storage namespaces -------------------------------------------------------
+keys_strategy = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.\-]{0,20}", fullmatch=True)
+
+
+@given(st.dictionaries(keys_strategy, st.integers(), max_size=20))
+def test_namespace_keys_are_sorted_and_complete(documents):
+    namespace = StorageNamespace("tests")
+    for key, value in documents.items():
+        namespace.put(key, value)
+    assert namespace.keys() == sorted(documents)
+    for key, value in documents.items():
+        assert namespace.get(key) == value
+
+
+# -- timestamps and cron -----------------------------------------------------
+@given(st.integers(min_value=0, max_value=4_000_000_000))
+def test_format_timestamp_shape(timestamp):
+    text = format_timestamp(timestamp)
+    assert len(text) == 19
+    year, month, day = int(text[0:4]), int(text[5:7]), int(text[8:10])
+    assert 1970 <= year <= 2100 + 30
+    assert 1 <= month <= 12
+    assert 1 <= day <= 31
+
+
+@given(
+    st.integers(min_value=0, max_value=59),
+    st.integers(min_value=0, max_value=23),
+    st.integers(min_value=1356998400, max_value=1356998400 + 2 * 366 * 86400),
+)
+def test_cron_next_fire_matches_expression(minute, hour, after):
+    expression = CronExpression.parse(f"{minute} {hour} * * *")
+    fire = expression.next_fire(after)
+    assert fire > after
+    assert expression.matches(fire)

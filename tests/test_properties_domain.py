@@ -1,0 +1,201 @@
+"""Property-based tests on domain invariants (inventories, builds, schedules)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buildsys.builder import PackageBuilder
+from repro.buildsys.graph import DependencyGraph
+from repro.core.comparison import OutputComparator
+from repro.core.testspec import OutputKind, TestOutput
+from repro.environment.compatibility import CompatibilityChecker, SoftwareRequirements
+from repro.environment.configuration import sp_system_configurations
+from repro.environment.evolution import EnvironmentTimeline
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.hepdata.generator import GeneratorSettings, MonteCarloGenerator
+from repro.preservation.outreach import SIMPLIFIED_SCHEMA, SimplifiedDataset
+from repro.virtualization.cron import CronExpression
+
+
+CONFIGURATIONS = sp_system_configurations()
+
+
+# -- synthetic inventories ----------------------------------------------------------
+@given(
+    st.integers(min_value=8, max_value=40),
+    st.sampled_from(["ALPHA", "BETA", "GAMMA"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_inventories_are_valid_dags_of_requested_size(n_packages, experiment):
+    inventory = build_inventory(experiment, n_packages)
+    assert len(inventory) == n_packages
+    assert inventory.validate_dependencies() == []
+    graph = DependencyGraph(inventory)
+    order = graph.build_order()
+    assert len(order) == n_packages
+    positions = {name: index for index, name in enumerate(order)}
+    for package in inventory.all():
+        for dependency in package.dependencies:
+            assert positions[dependency] < positions[package.name]
+
+
+@given(
+    st.integers(min_value=8, max_value=30),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_quirk_free_inventories_build_everywhere(n_packages, n_unported, n_legacy_root):
+    inventory = build_inventory(
+        "PROP",
+        n_packages,
+        quirks=InventoryQuirks(
+            n_not_ported_to_newest_abi=n_unported,
+            n_legacy_root_api=n_legacy_root,
+            n_strictness_limited=0,
+        ),
+    )
+    builder = PackageBuilder()
+    # On the established SL5/64 platform everything always builds, regardless
+    # of the quirks aimed at newer platforms.
+    sl5 = CONFIGURATIONS[3]
+    campaign = builder.build_inventory(inventory, sl5)
+    assert campaign.all_usable
+    # On SL6 exactly the un-ported packages fail (legacy ROOT still works there).
+    sl6 = CONFIGURATIONS[4]
+    campaign_sl6 = builder.build_inventory(inventory, sl6)
+    assert len(campaign_sl6.failed_packages()) == min(n_unported, _leaf_budget(inventory))
+
+
+def _leaf_budget(inventory):
+    """Number of leaf-layer packages available to carry quirks."""
+    from repro.buildsys.package import PackageCategory
+
+    return len(
+        inventory.by_category(PackageCategory.ANALYSIS)
+        + inventory.by_category(PackageCategory.MONITORING)
+        + inventory.by_category(PackageCategory.UTILITIES)
+    )
+
+
+# -- builds are deterministic --------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from([configuration.key for configuration in CONFIGURATIONS]),
+)
+@settings(max_examples=20, deadline=None)
+def test_builds_are_deterministic(max_strictness, configuration_key):
+    configuration = next(
+        configuration for configuration in CONFIGURATIONS
+        if configuration.key == configuration_key
+    )
+    inventory = build_inventory("DETEXP", 10)
+    builder = PackageBuilder()
+    first = builder.build_inventory(inventory, configuration)
+    second = builder.build_inventory(inventory, configuration)
+    assert {name: result.status for name, result in first.results.items()} == {
+        name: result.status for name, result in second.results.items()
+    }
+
+
+# -- compatibility checking is monotone in the requirements ---------------------------
+@given(
+    st.integers(min_value=0, max_value=6),
+    st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_stricter_requirements_never_reduce_issues(strictness_a, strictness_b):
+    lenient_limit = max(strictness_a, strictness_b)
+    strict_limit = min(strictness_a, strictness_b)
+    checker = CompatibilityChecker()
+    for configuration in CONFIGURATIONS:
+        lenient_issues = checker.errors(
+            SoftwareRequirements(max_strictness=lenient_limit), configuration
+        )
+        strict_issues = checker.errors(
+            SoftwareRequirements(max_strictness=strict_limit), configuration
+        )
+        assert len(strict_issues) >= len(lenient_issues)
+
+
+# -- the generator respects its configuration ------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_generator_event_count_and_determinism(n_events, seed):
+    generator = MonteCarloGenerator(GeneratorSettings())
+    first = generator.generate(n_events, seed=seed)
+    second = generator.generate(n_events, seed=seed)
+    assert len(first) == n_events
+    assert [event.q_squared for event in first] == [event.q_squared for event in second]
+    assert all(event.scattered_lepton is not None for event in first)
+
+
+# -- the recommended configuration always moves forward in time -------------------------
+@given(st.integers(min_value=2008, max_value=2023))
+@settings(max_examples=30, deadline=None)
+def test_recommended_configuration_never_regresses(year):
+    timeline = EnvironmentTimeline()
+    earlier = timeline.recommended_configuration(year)
+    later = timeline.recommended_configuration(year + 1)
+    assert later.operating_system.abi_level >= earlier.operating_system.abi_level
+    assert later.compiler.strictness >= earlier.compiler.strictness
+
+
+# -- simplified datasets always validate after construction from rows --------------------
+simplified_row = st.fixed_dictionaries(
+    {name: st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+     for name, _unit, _description in SIMPLIFIED_SCHEMA}
+)
+
+
+@given(st.lists(simplified_row, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_simplified_dataset_schema_round_trip(rows):
+    dataset = SimplifiedDataset(
+        experiment="H1", name="prop", schema=SIMPLIFIED_SCHEMA, rows=list(rows)
+    )
+    assert dataset.validate() == []
+    rebuilt = SimplifiedDataset.from_document(dataset.to_document())
+    assert len(rebuilt) == len(dataset)
+    assert rebuilt.validate() == []
+
+
+# -- cron expressions: parsing is stable and matching respects fields ---------------------
+@given(
+    st.integers(min_value=0, max_value=59),
+    st.integers(min_value=0, max_value=23),
+    st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_cron_specific_fields_only_match_those_values(minute, hour, weekday):
+    expression = CronExpression.parse(f"{minute} {hour} * * {weekday}")
+    fire = expression.next_fire(1356998400)
+    assert expression.matches(fire)
+    # One minute later can only match if the expression is minute-insensitive,
+    # which a pinned minute never is.
+    assert not expression.matches(fire + 60)
+
+
+# -- output comparison symmetry ------------------------------------------------------------
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=1, max_size=3,
+    ),
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=1, max_size=3,
+    ),
+)
+@settings(max_examples=50, deadline=None)
+def test_numeric_comparison_is_symmetric_in_verdict(reference_numbers, candidate_numbers):
+    comparator = OutputComparator()
+    reference = TestOutput(kind=OutputKind.NUMBERS, passed=True, numbers=reference_numbers)
+    candidate = TestOutput(kind=OutputKind.NUMBERS, passed=True, numbers=candidate_numbers)
+    forward = comparator.compare("t", reference, candidate)
+    backward = comparator.compare("t", candidate, reference)
+    assert forward.compatible == backward.compatible

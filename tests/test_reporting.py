@@ -1,0 +1,155 @@
+"""Tests for the reporting layer: summary matrices, web pages and exports."""
+
+import json
+
+import pytest
+
+from repro.core.runner import ValidationRunner
+from repro.reporting.export import (
+    catalog_to_rows,
+    matrix_to_csv,
+    matrix_to_json,
+    rows_to_csv,
+    rows_to_json,
+    rows_to_text,
+)
+from repro.reporting.summary import ValidationSummaryBuilder
+from repro.reporting.webpages import STATUS_COLOURS, StatusPageGenerator
+
+
+@pytest.fixture(scope="module")
+def validation_history(tiny_zeus, tiny_hermes, standard_configurations):
+    """Runs of two experiments over two configurations, with SL6 failures."""
+    runner = ValidationRunner()
+    runs = []
+    keys = {"SL5_64bit_gcc4.4", "SL6_64bit_gcc4.4"}
+    for configuration in standard_configurations:
+        if configuration.key not in keys:
+            continue
+        for experiment in (tiny_zeus, tiny_hermes):
+            runs.append(runner.run(experiment, configuration))
+    return runner, runs
+
+
+class TestSummaryMatrix:
+    def test_matrix_dimensions(self, validation_history):
+        _, runs = validation_history
+        matrix = ValidationSummaryBuilder().from_runs(runs)
+        assert set(matrix.experiments) == {"ZEUS", "HERMES"}
+        assert matrix.experiments[0] == "ZEUS"  # figure-3 stacking order
+        assert len(matrix.configurations) == 2
+        assert matrix.total_runs == len(runs)
+
+    def test_problem_cells_only_on_sl6(self, validation_history):
+        _, runs = validation_history
+        matrix = ValidationSummaryBuilder().from_runs(runs)
+        for cell in matrix.problem_cells():
+            assert cell.configuration_key == "SL6_64bit_gcc4.4"
+        assert 0.9 < matrix.overall_pass_fraction() < 1.0
+
+    def test_cell_status_values(self, validation_history):
+        _, runs = validation_history
+        matrix = ValidationSummaryBuilder().from_runs(runs)
+        statuses = {cell.status for cell in matrix.cells.values()}
+        assert "ok" in statuses
+        assert statuses <= {"ok", "problems", "incomplete", "not-run"}
+
+    def test_render_text_contains_experiments_and_total(self, validation_history):
+        _, runs = validation_history
+        matrix = ValidationSummaryBuilder().from_runs(runs)
+        text = matrix.render_text()
+        assert "ZEUS (orange)" in text
+        assert "HERMES (red)" in text
+        assert f"total validation runs recorded: {len(runs)}" in text
+
+    def test_rows_flattening(self, validation_history):
+        _, runs = validation_history
+        matrix = ValidationSummaryBuilder().from_runs(runs)
+        rows = matrix.rows()
+        assert rows
+        assert {"experiment", "process", "configuration", "passed", "failed",
+                "skipped", "status"} <= set(rows[0])
+
+    def test_from_catalog_matches_run_totals(self, validation_history):
+        runner, runs = validation_history
+        matrix = ValidationSummaryBuilder().from_catalog(runner.catalog)
+        total_executions = sum(cell.n_total for cell in matrix.cells.values())
+        assert total_executions == sum(run.n_jobs for run in runs)
+
+    def test_headline_numbers(self, validation_history):
+        runner, runs = validation_history
+        numbers = ValidationSummaryBuilder().headline_numbers(runner.catalog)
+        assert numbers["total_runs"] == len(runs)
+        assert numbers["experiments"] == 2
+        assert numbers["configurations"] == 2
+        assert numbers["total_failures"] > 0
+
+
+class TestStatusPages:
+    def test_run_page_contains_all_tests(self, validation_history):
+        runner, runs = validation_history
+        generator = StatusPageGenerator(runner.storage, runner.catalog)
+        run = runs[0]
+        page = generator.run_page(run)
+        assert page.startswith("<!DOCTYPE html>")
+        assert run.run_id in page
+        for job in run.jobs[:5]:
+            assert job.test_name in page
+        assert runner.storage.exists("reports", f"runpage_{run.run_id}")
+
+    def test_failed_cells_coloured_red(self, validation_history):
+        runner, runs = validation_history
+        generator = StatusPageGenerator(runner.storage, runner.catalog)
+        failing_run = next(run for run in runs if not run.all_passed)
+        page = generator.run_page(failing_run)
+        assert STATUS_COLOURS["failed"] in page
+
+    def test_index_page_groups_by_description(self, validation_history):
+        runner, runs = validation_history
+        generator = StatusPageGenerator(runner.storage, runner.catalog)
+        page = generator.index_page()
+        for run in runs:
+            assert run.run_id in page
+        assert runner.storage.exists("reports", "index")
+
+    def test_summary_page_escapes_content(self, validation_history):
+        runner, _ = validation_history
+        generator = StatusPageGenerator(runner.storage, runner.catalog)
+        page = generator.summary_page("ZEUS <matrix> & stuff")
+        assert "&lt;matrix&gt;" in page
+        assert "&amp;" in page
+
+
+class TestExports:
+    def test_catalog_rows_and_csv(self, validation_history):
+        runner, runs = validation_history
+        rows = catalog_to_rows(runner.catalog)
+        assert len(rows) == len(runs)
+        csv_text = rows_to_csv(rows)
+        assert csv_text.splitlines()[0].startswith("run_id,")
+        assert len(csv_text.splitlines()) == len(runs) + 1
+
+    def test_empty_rows_to_csv_and_text(self):
+        assert rows_to_csv([]) == ""
+        assert rows_to_text([]) == "(no rows)"
+
+    def test_rows_to_json_round_trip(self, validation_history):
+        runner, _ = validation_history
+        rows = catalog_to_rows(runner.catalog)
+        parsed = json.loads(rows_to_json(rows))
+        assert parsed[0]["run_id"] == rows[0]["run_id"]
+
+    def test_rows_to_text_column_selection(self, validation_history):
+        runner, _ = validation_history
+        rows = catalog_to_rows(runner.catalog)
+        text = rows_to_text(rows, columns=["run_id", "overall_status"])
+        assert "run_id" in text
+        assert "configuration" not in text.splitlines()[0]
+
+    def test_matrix_exports(self, validation_history):
+        _, runs = validation_history
+        matrix = ValidationSummaryBuilder().from_runs(runs)
+        csv_text = matrix_to_csv(matrix)
+        json_text = matrix_to_json(matrix)
+        assert csv_text.splitlines()[0].startswith("experiment,")
+        assert json.loads(json_text)

@@ -1,0 +1,95 @@
+"""Tests for the text figures used by terminal reports."""
+
+import pytest
+
+from repro._common import ValidationError
+from repro.reporting.figures import (
+    comparison_table,
+    fraction_series,
+    horizontal_bar_chart,
+    pass_fail_strip,
+)
+
+
+class TestHorizontalBarChart:
+    def test_bars_scale_to_maximum(self):
+        chart = horizontal_bar_chart({"H1": 10.0, "ZEUS": 5.0}, width=20)
+        lines = chart.splitlines()
+        h1_line = next(line for line in lines if line.startswith("H1"))
+        zeus_line = next(line for line in lines if line.startswith("ZEUS"))
+        assert h1_line.count("#") == 20
+        assert zeus_line.count("#") == 10
+
+    def test_values_appear_with_unit(self):
+        chart = horizontal_bar_chart({"runs": 315.0}, unit=" runs")
+        assert "315 runs" in chart
+
+    def test_zero_values_render_empty_bars(self):
+        chart = horizontal_bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in chart
+
+    def test_sorting_by_value(self):
+        chart = horizontal_bar_chart({"small": 1.0, "big": 9.0}, sort_by_value=True)
+        assert chart.splitlines()[0].startswith("big")
+
+    def test_empty_and_invalid_inputs(self):
+        assert horizontal_bar_chart({}) == "(no data)"
+        with pytest.raises(ValidationError):
+            horizontal_bar_chart({"a": 1.0}, width=0)
+
+
+class TestFractionSeries:
+    def test_series_renders_one_line_per_strategy(self):
+        text = fraction_series(
+            {
+                "freeze": {2012: 1.0, 2013: 1.0, 2014: 0.0},
+                "active-migration": {2012: 1.0, 2013: 1.0, 2014: 1.0},
+            }
+        )
+        lines = text.splitlines()
+        assert any(line.startswith("freeze") for line in lines)
+        assert any(line.startswith("active-migration") for line in lines)
+        # Header lists the (two-digit) years.
+        assert "12" in lines[0] and "14" in lines[0]
+
+    def test_missing_years_marked(self):
+        text = fraction_series({"a": {2012: 1.0}, "b": {2013: 1.0}})
+        assert "?" in text
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ValidationError):
+            fraction_series({"a": {2012: 1.5}})
+
+    def test_empty_series(self):
+        assert fraction_series({}) == "(no data)"
+        with pytest.raises(ValidationError):
+            fraction_series({"a": {2012: 1.0}}, levels="#")
+
+
+class TestPassFailStrip:
+    def test_default_symbols(self):
+        strip = pass_fail_strip(["passed", "failed", "skipped", "weird"])
+        assert strip == ".Fs?"
+
+    def test_custom_symbols(self):
+        strip = pass_fail_strip(["passed", "failed"], symbols={"passed": "+", "failed": "-"})
+        assert strip == "+-"
+
+
+class TestComparisonTable:
+    def test_highlighting(self):
+        rows = [
+            {"test": "a", "status": "passed"},
+            {"test": "b", "status": "failed"},
+        ]
+        table = comparison_table(
+            rows, ["test", "status"],
+            highlight_column="status",
+            highlight_predicate=lambda value: value == "failed",
+        )
+        assert "failed <<" in table
+        assert "passed <<" not in table
+
+    def test_missing_columns_render_empty(self):
+        table = comparison_table([{"a": 1}], ["a", "b"])
+        assert "a" in table.splitlines()[0]

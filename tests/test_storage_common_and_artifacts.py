@@ -1,0 +1,145 @@
+"""Tests for the common storage, namespaces and the artifact store."""
+
+import pytest
+
+from repro._common import StorageError
+from repro.buildsys.builder import PackageBuilder
+from repro.buildsys.package import Language, PackageCategory, SoftwarePackage
+from repro.storage.artifacts import ArtifactStore
+from repro.storage.common_storage import CommonStorage, DEFAULT_NAMESPACES, StorageNamespace
+
+
+class TestStorageNamespace:
+    def test_put_get_exists(self):
+        namespace = StorageNamespace("tests")
+        namespace.put("doc1", {"value": 1})
+        assert namespace.exists("doc1")
+        assert namespace.get("doc1") == {"value": 1}
+
+    def test_missing_key_raises(self):
+        with pytest.raises(StorageError):
+            StorageNamespace("tests").get("ghost")
+
+    def test_overwrite_control(self):
+        namespace = StorageNamespace("tests")
+        namespace.put("doc", 1)
+        namespace.put("doc", 2)
+        assert namespace.get("doc") == 2
+        with pytest.raises(StorageError):
+            namespace.put("doc", 3, overwrite=False)
+
+    def test_non_json_document_rejected(self):
+        namespace = StorageNamespace("tests")
+        with pytest.raises(StorageError):
+            namespace.put("doc", object())
+
+    def test_delete(self):
+        namespace = StorageNamespace("tests")
+        namespace.put("doc", 1)
+        namespace.delete("doc")
+        assert not namespace.exists("doc")
+        with pytest.raises(StorageError):
+            namespace.delete("doc")
+
+    def test_keys_with_prefix(self):
+        namespace = StorageNamespace("tests")
+        namespace.put("run_001", 1)
+        namespace.put("run_002", 2)
+        namespace.put("other", 3)
+        assert namespace.keys("run_") == ["run_001", "run_002"]
+        assert len(namespace) == 3
+
+
+class TestCommonStorage:
+    def test_default_namespaces_exist(self):
+        storage = CommonStorage()
+        for name in DEFAULT_NAMESPACES:
+            assert name in storage.namespaces()
+
+    def test_unknown_namespace_raises(self):
+        with pytest.raises(StorageError):
+            CommonStorage().namespace("ghost")
+
+    def test_put_and_get_via_facade(self):
+        storage = CommonStorage()
+        storage.put("results", "doc", {"passed": True})
+        assert storage.get("results", "doc") == {"passed": True}
+        assert storage.exists("results", "doc")
+        assert not storage.exists("results", "other")
+        assert not storage.exists("ghost-namespace", "doc")
+
+    def test_total_documents(self):
+        storage = CommonStorage()
+        storage.put("results", "a", 1)
+        storage.put("tests", "b", 2)
+        assert storage.total_documents() == 2
+
+    def test_create_namespace_idempotent(self):
+        storage = CommonStorage()
+        first = storage.create_namespace("extra")
+        second = storage.create_namespace("extra")
+        assert first is second
+
+    def test_persist_and_load_round_trip(self, tmp_path):
+        storage = CommonStorage()
+        storage.put("results", "run_001", {"status": "passed"})
+        storage.put("recipes", "recipe_a", {"os": "SL6"})
+        written = storage.persist(str(tmp_path))
+        assert len(written) == 2
+        loaded = CommonStorage.load(str(tmp_path))
+        assert loaded.get("results", "run_001") == {"status": "passed"}
+        assert loaded.get("recipes", "recipe_a") == {"os": "SL6"}
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(StorageError):
+            CommonStorage.load(str(tmp_path / "does-not-exist"))
+
+
+class TestArtifactStore:
+    def _tarball(self, configuration, name="pkg-a"):
+        package = SoftwarePackage(
+            name=name, version="1.0", experiment="TESTEXP",
+            category=PackageCategory.CORE, language=Language.FORTRAN,
+            lines_of_code=1000,
+        )
+        return PackageBuilder().build_package(package, configuration).tarball
+
+    def test_store_and_fetch(self, sl5_64_gcc44):
+        store = ArtifactStore()
+        tarball = self._tarball(sl5_64_gcc44)
+        digest = store.store(tarball, label="run-1")
+        assert store.exists(digest)
+        assert store.fetch(digest) == tarball
+        assert store.labels_for(digest) == ["run-1"]
+
+    def test_deduplication(self, sl5_64_gcc44):
+        store = ArtifactStore()
+        tarball = self._tarball(sl5_64_gcc44)
+        store.store(tarball, label="run-1")
+        store.store(tarball, label="run-2")
+        assert len(store) == 1
+        assert store.labels_for(tarball.digest) == ["run-1", "run-2"]
+
+    def test_missing_digest_raises(self):
+        store = ArtifactStore()
+        with pytest.raises(StorageError):
+            store.fetch("deadbeef")
+        with pytest.raises(StorageError):
+            store.labels_for("deadbeef")
+
+    def test_queries_by_package_and_configuration(self, sl5_64_gcc44, sl6_64_gcc44):
+        store = ArtifactStore()
+        store.store(self._tarball(sl5_64_gcc44), label="run-1")
+        store.store(self._tarball(sl6_64_gcc44), label="run-2")
+        store.store(self._tarball(sl5_64_gcc44, name="pkg-b"), label="run-1")
+        assert len(store.artifacts_for_package("pkg-a")) == 2
+        assert len(store.artifacts_for_configuration(sl5_64_gcc44.key)) == 2
+        assert store.total_size_bytes() > 0
+
+    def test_prune_unlabelled(self, sl5_64_gcc44):
+        store = ArtifactStore()
+        store.store(self._tarball(sl5_64_gcc44))
+        store.store(self._tarball(sl5_64_gcc44, name="pkg-b"), label="run-1")
+        removed = store.prune_unlabelled()
+        assert removed == 1
+        assert len(store) == 1

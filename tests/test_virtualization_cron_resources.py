@@ -1,0 +1,148 @@
+"""Tests for the cron scheduler and the resource accounting."""
+
+import pytest
+
+from repro._common import SchedulingError
+from repro.storage.bookkeeping import EPOCH_2013, SimulatedClock
+from repro.virtualization.cron import (
+    CronExpression,
+    CronScheduler,
+    NIGHTLY_BUILD_SCHEDULE,
+    WEEKLY_VALIDATION_SCHEDULE,
+)
+from repro.virtualization.resources import (
+    BATCH_WORKER_PROFILE,
+    ResourceAccountant,
+    ResourceProfile,
+    VALIDATION_VM_PROFILE,
+)
+
+
+class TestCronExpression:
+    def test_parse_wildcards(self):
+        expression = CronExpression.parse("* * * * *")
+        assert len(expression.minutes) == 60
+        assert len(expression.hours) == 24
+
+    def test_parse_lists_ranges_steps(self):
+        expression = CronExpression.parse("0,30 2-4 */10 1 0-6/2")
+        assert expression.minutes == frozenset({0, 30})
+        assert expression.hours == frozenset({2, 3, 4})
+        assert expression.days_of_month == frozenset({1, 11, 21, 31})
+        assert expression.months == frozenset({1})
+        assert expression.days_of_week == frozenset({0, 2, 4, 6})
+
+    def test_invalid_expressions_rejected(self):
+        for text in ("* * * *", "61 * * * *", "* 25 * * *", "a * * * *", "*/0 * * * *",
+                     "5-1 * * * *", "1,, * * * *"):
+            with pytest.raises(SchedulingError):
+                CronExpression.parse(text)
+
+    def test_matches_midnight(self):
+        # EPOCH_2013 is 1 January 2013 00:00 UTC, a Tuesday.
+        expression = CronExpression.parse("0 0 1 1 *")
+        assert expression.matches(EPOCH_2013)
+        assert not expression.matches(EPOCH_2013 + 60)
+
+    def test_matches_weekday(self):
+        tuesday_expression = CronExpression.parse("0 0 * * 2")
+        sunday_expression = CronExpression.parse("0 0 * * 0")
+        assert tuesday_expression.matches(EPOCH_2013)
+        assert not sunday_expression.matches(EPOCH_2013)
+
+    def test_next_fire(self):
+        expression = CronExpression.parse("30 2 * * *")
+        fire = expression.next_fire(EPOCH_2013)
+        assert fire == EPOCH_2013 + 2 * 3600 + 30 * 60
+
+    def test_next_fire_never_raises(self):
+        expression = CronExpression.parse("0 0 31 2 *")  # 31 February never exists
+        with pytest.raises(SchedulingError):
+            expression.next_fire(EPOCH_2013, horizon_days=400)
+
+
+class TestCronScheduler:
+    def test_nightly_job_fires_once_per_day(self):
+        scheduler = CronScheduler(SimulatedClock())
+        fired = []
+        scheduler.install("nightly", NIGHTLY_BUILD_SCHEDULE, lambda ts: fired.append(ts))
+        events = scheduler.advance_days(3)
+        assert len(events) == 3
+        assert len(fired) == 3
+        assert scheduler.job("nightly").fire_count == 3
+
+    def test_weekly_job(self):
+        scheduler = CronScheduler(SimulatedClock())
+        scheduler.install("weekly", WEEKLY_VALIDATION_SCHEDULE, lambda ts: "ok")
+        events = scheduler.advance_days(14)
+        assert len(events) == 2
+
+    def test_duplicate_and_missing_jobs(self):
+        scheduler = CronScheduler()
+        scheduler.install("job", "0 0 * * *", lambda ts: None)
+        with pytest.raises(SchedulingError):
+            scheduler.install("job", "0 0 * * *", lambda ts: None)
+        with pytest.raises(SchedulingError):
+            scheduler.job("ghost")
+        scheduler.remove("job")
+        with pytest.raises(SchedulingError):
+            scheduler.remove("job")
+
+    def test_disabled_job_does_not_fire(self):
+        scheduler = CronScheduler(SimulatedClock())
+        scheduler.install("nightly", NIGHTLY_BUILD_SCHEDULE, lambda ts: "ok")
+        scheduler.disable("nightly")
+        assert scheduler.advance_days(2) == []
+        scheduler.enable("nightly")
+        assert len(scheduler.advance_days(1)) == 1
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SchedulingError):
+            CronScheduler().advance(-10)
+
+    def test_results_carried_in_events(self):
+        scheduler = CronScheduler(SimulatedClock())
+        scheduler.install("nightly", NIGHTLY_BUILD_SCHEDULE, lambda ts: ts + 1)
+        events = scheduler.advance_days(1)
+        timestamp, name, result = events[0]
+        assert name == "nightly"
+        assert result == timestamp + 1
+
+
+class TestResources:
+    def test_invalid_profile(self):
+        with pytest.raises(Exception):
+            ResourceProfile(cpu_cores=0, memory_gb=1.0, disk_gb=1.0)
+
+    def test_reserve_and_release(self):
+        accountant = ResourceAccountant(VALIDATION_VM_PROFILE)
+        accountant.reserve("job-1", cpu_cores=1, memory_gb=1.0, disk_gb=5.0)
+        assert accountant.used_cores == 1
+        assert accountant.free_cores == 1
+        accountant.release("job-1", cpu_seconds_used=120.0)
+        assert accountant.used_cores == 0
+        assert accountant.total_cpu_seconds == 120.0
+
+    def test_overcommit_rejected(self):
+        accountant = ResourceAccountant(VALIDATION_VM_PROFILE)
+        accountant.reserve("job-1", cpu_cores=2)
+        with pytest.raises(SchedulingError):
+            accountant.reserve("job-2", cpu_cores=1)
+
+    def test_duplicate_and_unknown_jobs(self):
+        accountant = ResourceAccountant(BATCH_WORKER_PROFILE)
+        accountant.reserve("job-1")
+        with pytest.raises(SchedulingError):
+            accountant.reserve("job-1")
+        with pytest.raises(SchedulingError):
+            accountant.release("ghost")
+        with pytest.raises(SchedulingError):
+            accountant.release("job-1", cpu_seconds_used=-1.0)
+
+    def test_utilisation_and_peak(self):
+        accountant = ResourceAccountant(BATCH_WORKER_PROFILE)
+        accountant.reserve("job-1", cpu_cores=4)
+        accountant.reserve("job-2", cpu_cores=4)
+        assert accountant.utilisation() == pytest.approx(1.0)
+        assert accountant.peak_concurrent_jobs == 2
+        assert accountant.active_jobs() == ["job-1", "job-2"]

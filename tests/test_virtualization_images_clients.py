@@ -1,0 +1,171 @@
+"""Tests for virtual machine images, the hypervisor, clients and provisioning."""
+
+import pytest
+
+from repro._common import ConfigurationError
+from repro.storage.common_storage import CommonStorage
+from repro.virtualization.client import (
+    BatchWorkerClient,
+    ClientKind,
+    ClientMachine,
+    GridWorkerClient,
+    VirtualMachineClient,
+)
+from repro.virtualization.hypervisor import Hypervisor
+from repro.virtualization.image import ImageState, VirtualMachineImage, image_name_for
+from repro.virtualization.provisioning import ProvisioningService
+
+
+class TestVirtualMachineImage:
+    def test_image_name_convention(self, sl6_64_gcc44):
+        assert image_name_for(sl6_64_gcc44) == "vm-SL6_64bit_gcc4.4"
+
+    def test_lifecycle(self, sl6_64_gcc44):
+        image = VirtualMachineImage("img", sl6_64_gcc44, built_at=0)
+        assert image.is_usable
+        image.deprecate("superseded")
+        assert image.state is ImageState.DEPRECATED
+        assert not image.is_usable
+
+    def test_conserved_image_cannot_be_deprecated(self, sl6_64_gcc44):
+        image = VirtualMachineImage("img", sl6_64_gcc44, built_at=0)
+        image.conserve("final H1 system")
+        assert image.state is ImageState.CONSERVED
+        assert image.is_usable
+        with pytest.raises(ConfigurationError):
+            image.deprecate("too late")
+
+    def test_invalid_disk_size(self, sl6_64_gcc44):
+        with pytest.raises(ConfigurationError):
+            VirtualMachineImage("img", sl6_64_gcc44, built_at=0, disk_gb=0.0)
+
+    def test_describe_serialisable(self, sl6_64_gcc44):
+        import json
+
+        image = VirtualMachineImage("img", sl6_64_gcc44, built_at=10)
+        json.dumps(image.describe())
+
+
+class TestHypervisor:
+    def test_build_and_lookup_images(self, sl5_64_gcc44, sl6_64_gcc44):
+        hypervisor = Hypervisor()
+        hypervisor.build_image(sl5_64_gcc44)
+        hypervisor.build_image(sl6_64_gcc44)
+        assert len(hypervisor.images()) == 2
+        assert hypervisor.image_for_configuration(sl6_64_gcc44) is not None
+        assert hypervisor.total_image_disk_gb() == pytest.approx(40.0)
+
+    def test_duplicate_image_rejected(self, sl6_64_gcc44):
+        hypervisor = Hypervisor()
+        hypervisor.build_image(sl6_64_gcc44)
+        with pytest.raises(ConfigurationError):
+            hypervisor.build_image(sl6_64_gcc44)
+
+    def test_unknown_image_raises(self):
+        with pytest.raises(ConfigurationError):
+            Hypervisor().image("ghost")
+
+    def test_start_and_stop_clients(self, sl6_64_gcc44):
+        hypervisor = Hypervisor(storage=CommonStorage())
+        image = hypervisor.build_image(sl6_64_gcc44)
+        client = hypervisor.start_client(image.name)
+        assert client.kind is ClientKind.VIRTUAL_MACHINE
+        assert client.meets_requirements()
+        assert len(hypervisor.running_clients()) == 1
+        hypervisor.stop_client(client.name)
+        assert hypervisor.running_clients() == []
+        with pytest.raises(ConfigurationError):
+            hypervisor.stop_client(client.name)
+
+    def test_capacity_limit(self, sl6_64_gcc44):
+        hypervisor = Hypervisor(max_running_clients=1)
+        image = hypervisor.build_image(sl6_64_gcc44)
+        hypervisor.start_client(image.name, "client-a")
+        assert hypervisor.capacity_remaining() == 0
+        with pytest.raises(ConfigurationError):
+            hypervisor.start_client(image.name, "client-b")
+
+    def test_deprecated_image_cannot_boot(self, sl6_64_gcc44):
+        hypervisor = Hypervisor()
+        image = hypervisor.build_image(sl6_64_gcc44)
+        hypervisor.deprecate_image(image.name, "old")
+        with pytest.raises(ConfigurationError):
+            hypervisor.start_client(image.name)
+
+    def test_conserve_image(self, sl6_64_gcc44):
+        hypervisor = Hypervisor(storage=CommonStorage())
+        image = hypervisor.build_image(sl6_64_gcc44)
+        hypervisor.conserve_image(image.name, "end of programme")
+        assert hypervisor.conserved_images() == [image]
+
+
+class TestClients:
+    def test_client_requirements(self, sl6_64_gcc44):
+        client = ClientMachine(
+            "node-1", ClientKind.BATCH_WORKER, sl6_64_gcc44, storage=None,
+        )
+        assert not client.meets_requirements()
+        assert "common sp-system storage" in client.missing_requirements()[0]
+        client.attach_storage(CommonStorage())
+        assert client.meets_requirements()
+
+    def test_client_without_cron(self, sl6_64_gcc44):
+        client = ClientMachine(
+            "node-2", ClientKind.GRID_WORKER, sl6_64_gcc44,
+            storage=CommonStorage(), cron_capable=False,
+        )
+        assert not client.meets_requirements()
+        assert client.cron is None
+
+    def test_batch_and_grid_profiles_differ(self, sl6_64_gcc44):
+        storage = CommonStorage()
+        batch = BatchWorkerClient("batch-1", sl6_64_gcc44, storage=storage)
+        grid = GridWorkerClient("grid-1", sl6_64_gcc44, storage=storage)
+        assert grid.resources.profile.cpu_cores > batch.resources.profile.cpu_cores
+
+    def test_vm_client_requires_usable_image(self, sl6_64_gcc44):
+        image = VirtualMachineImage("img", sl6_64_gcc44, built_at=0)
+        image.deprecate("old")
+        with pytest.raises(ConfigurationError):
+            VirtualMachineClient("vm-1", image)
+
+    def test_describe(self, sl6_64_gcc44):
+        client = BatchWorkerClient("batch-1", sl6_64_gcc44, storage=CommonStorage())
+        description = client.describe()
+        assert description["kind"] == "batch-worker"
+        assert description["has_storage_access"] is True
+
+
+class TestProvisioningService:
+    def test_standard_images_built_once(self):
+        service = ProvisioningService()
+        report = service.provision_standard_images()
+        assert report.n_images == 5
+        # Provisioning again is a no-op.
+        assert service.provision_standard_images().n_images == 0
+
+    def test_validation_clients_started_per_image(self):
+        service = ProvisioningService()
+        service.provision_standard_images()
+        report = service.start_validation_clients()
+        assert report.n_clients == 5
+        assert service.start_validation_clients().n_clients == 0
+
+    def test_attach_external_clients(self, sl6_64_gcc44):
+        service = ProvisioningService()
+        batch = service.attach_batch_worker("batch-node-7", sl6_64_gcc44)
+        grid = service.attach_grid_worker("grid-node-3", sl6_64_gcc44)
+        assert batch.meets_requirements()
+        assert {client.name for client in service.external_clients()} == {
+            "batch-node-7", "grid-node-3",
+        }
+        with pytest.raises(ConfigurationError):
+            service.attach_batch_worker("batch-node-7", sl6_64_gcc44)
+
+    def test_clients_for_configuration(self, sl6_64_gcc44):
+        service = ProvisioningService()
+        service.provision_standard_images()
+        service.start_validation_clients()
+        service.attach_batch_worker("batch-node-1", sl6_64_gcc44)
+        matching = service.clients_for_configuration(sl6_64_gcc44.key)
+        assert len(matching) == 2
