@@ -18,6 +18,19 @@ import pytest
 
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "_results")
+_BENCHMARKS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark everything under benchmarks/ with the ``bench`` marker.
+
+    Tier-1 CI can then deselect the (slow) reproduction benchmarks with
+    ``pytest -m "not bench"`` while a plain ``pytest`` run keeps collecting
+    them as before.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCHMARKS_DIR + os.sep):
+            item.add_marker(pytest.mark.bench)
 
 
 def emit(experiment_id: str, title: str, rows: Sequence[Dict[str, object]],

@@ -22,7 +22,16 @@ Typical use::
 
 from repro._common import ReproError
 from repro.core.spsystem import SPSystem, ValidationCycleResult
+from repro.scheduler import CampaignResult, CampaignScheduler, WorkerFailure
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["SPSystem", "ValidationCycleResult", "ReproError", "__version__"]
+__all__ = [
+    "SPSystem",
+    "ValidationCycleResult",
+    "CampaignResult",
+    "CampaignScheduler",
+    "WorkerFailure",
+    "ReproError",
+    "__version__",
+]

@@ -77,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--scale", type=float, default=0.15)
     campaign.add_argument("--rounds", type=int, default=1,
                           help="number of repeated campaign rounds (default 1)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="simulated worker-pool size (default 1)")
+    campaign.add_argument("--batch-size", type=int, default=4,
+                          help="standalone tests grouped per worker slot (default 4)")
     campaign.add_argument("--output", default=None)
     campaign.set_defaults(handler=_cmd_campaign)
 
@@ -167,12 +171,15 @@ def _cmd_validate(arguments: argparse.Namespace) -> int:
 
 def _cmd_campaign(arguments: argparse.Namespace) -> int:
     system = _provisioned_system(arguments.scale)
-    runs = []
-    for round_index in range(max(arguments.rounds, 1)):
-        results = system.validate_all_experiments()
-        runs.extend(result.run for cycles in results.values() for result in cycles)
-    matrix = ValidationSummaryBuilder().from_runs(runs)
+    campaign = system.run_campaign(
+        workers=max(arguments.workers, 1),
+        rounds=max(arguments.rounds, 1),
+        batch_size=max(arguments.batch_size, 1),
+    )
+    matrix = ValidationSummaryBuilder().from_campaign(campaign)
     print(matrix.render_text())
+    print()
+    print(campaign.render_text())
     print()
     print(rows_to_text(
         catalog_to_rows(system.catalog),

@@ -71,6 +71,33 @@ class ValidationJob:
             "process": self.process,
         }
 
+    @classmethod
+    def from_document(cls, document: Dict[str, object]) -> "ValidationJob":
+        """Reconstruct a job from :meth:`to_document` output.
+
+        The full test output is not part of the document (only its storage
+        key), so ``output`` is ``None`` on the reconstructed job; everything
+        else round-trips, which lets catalogue and regression tests compare
+        runs structurally instead of by string.
+        """
+        chain = document.get("chain")
+        output_key = document.get("output_key")
+        return cls(
+            job_id=str(document["job_id"]),
+            test_name=str(document["test_name"]),
+            experiment=str(document["experiment"]),
+            configuration_key=str(document["configuration_key"]),
+            kind=TestKind(str(document["kind"])),
+            status=JobStatus(str(document["status"])),
+            started_at=int(document["started_at"]),  # type: ignore[arg-type]
+            duration_seconds=float(document.get("duration_seconds", 0.0)),  # type: ignore[arg-type]
+            output=None,
+            output_key=str(output_key) if output_key is not None else None,
+            messages=[str(message) for message in document.get("messages", [])],  # type: ignore[union-attr]
+            chain=str(chain) if chain is not None else None,
+            process=str(document.get("process", "")),
+        )
+
 
 @dataclass
 class ValidationRun:
@@ -188,6 +215,21 @@ class ValidationRun:
             "n_skipped": self.n_skipped,
             "jobs": [job.to_document() for job in self.jobs],
         }
+
+    @classmethod
+    def from_document(cls, document: Dict[str, object]) -> "ValidationRun":
+        """Reconstruct a run (with its jobs) from :meth:`to_document` output."""
+        run = cls(
+            run_id=str(document["run_id"]),
+            experiment=str(document["experiment"]),
+            configuration_key=str(document["configuration_key"]),
+            description=str(document["description"]),
+            started_at=int(document["started_at"]),  # type: ignore[arg-type]
+            software_versions=dict(document.get("software_versions", {})),  # type: ignore[arg-type]
+        )
+        for job_document in document.get("jobs", []):  # type: ignore[union-attr]
+            run.add_job(ValidationJob.from_document(job_document))
+        return run
 
 
 __all__ = ["JobStatus", "ValidationJob", "ValidationRun"]

@@ -33,6 +33,13 @@ from repro.environment.configuration import (
     EnvironmentConfiguration,
     sp_system_configurations,
 )
+from repro.scheduler.cache import BuildCache, CachingPackageBuilder
+from repro.scheduler.campaign import (
+    DEFAULT_BATCH_SIZE,
+    CampaignResult,
+    CampaignScheduler,
+)
+from repro.scheduler.pool import WorkerFailure
 from repro.storage.artifacts import ArtifactStore
 from repro.storage.bookkeeping import JobIdAllocator, SimulatedClock, TagRegistry
 from repro.storage.catalog import RunCatalog
@@ -100,6 +107,8 @@ class SPSystem:
         self.recipe_book = RecipeBook(self.storage)
         self.freeze_manager = FreezeManager(self.hypervisor, self.recipe_book, self.storage)
         self.workflow = PreservationWorkflow()
+        self.build_cache = BuildCache(self.artifact_store)
+        self.last_campaign: Optional[CampaignResult] = None
         self._experiments: Dict[str, ExperimentDefinition] = {}
         self._configurations: Dict[str, EnvironmentConfiguration] = {}
 
@@ -223,29 +232,71 @@ class SPSystem:
             tickets=tickets,
         )
 
+    def run_campaign(
+        self,
+        experiment_names: Optional[Iterable[str]] = None,
+        configuration_keys: Optional[Iterable[str]] = None,
+        description: Optional[str] = None,
+        workers: int = 1,
+        rounds: int = 1,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        failures: Iterable[WorkerFailure] = (),
+    ) -> CampaignResult:
+        """Run a validation campaign through the campaign scheduler.
+
+        The matrix (experiments x configurations x rounds) is expanded into a
+        job DAG, dispatched over *workers* simulated client machines, and the
+        system-wide build cache de-duplicates identical package builds.  The
+        produced runs and catalogue records are bit-identical to calling
+        :meth:`validate` cell by cell, for any worker count.
+        """
+        scheduler = CampaignScheduler(
+            self,
+            workers=workers,
+            batch_size=batch_size,
+            failures=tuple(failures),
+            cache=self.build_cache,
+        )
+        campaign = scheduler.run(
+            experiment_names,
+            configuration_keys,
+            description=description,
+            rounds=rounds,
+        )
+        self.last_campaign = campaign
+        return campaign
+
     def validate_everywhere(
         self,
         experiment_name: str,
         configuration_keys: Optional[Iterable[str]] = None,
         description: Optional[str] = None,
+        workers: int = 1,
     ) -> List[ValidationCycleResult]:
         """Validate one experiment on every (or the given) configuration."""
-        keys = list(configuration_keys) if configuration_keys is not None else sorted(
-            self._configurations
+        campaign = self.run_campaign(
+            [experiment_name],
+            configuration_keys,
+            description=description,
+            workers=workers,
         )
-        return [
-            self.validate(experiment_name, key, description=description) for key in keys
-        ]
+        return campaign.cycles_for(experiment_name)
 
     def validate_all_experiments(
-        self, configuration_keys: Optional[Iterable[str]] = None
+        self,
+        configuration_keys: Optional[Iterable[str]] = None,
+        workers: int = 1,
+        rounds: int = 1,
     ) -> Dict[str, List[ValidationCycleResult]]:
         """Validate every registered experiment on every configuration."""
-        results: Dict[str, List[ValidationCycleResult]] = {}
-        for experiment in self.experiments():
-            results[experiment.name] = self.validate_everywhere(
-                experiment.name, configuration_keys
-            )
+        campaign = self.run_campaign(
+            None, configuration_keys, workers=workers, rounds=rounds
+        )
+        results: Dict[str, List[ValidationCycleResult]] = {
+            experiment.name: [] for experiment in self.experiments()
+        }
+        for name, cycles in campaign.by_experiment().items():
+            results[name] = cycles
         return results
 
     # -- recipes and freezing ------------------------------------------------------
@@ -268,6 +319,17 @@ class SPSystem:
         return frozen
 
     # -- bookkeeping -----------------------------------------------------------------
+    def effective_build_cache(self) -> BuildCache:
+        """The build cache campaigns actually account against.
+
+        Normally :attr:`build_cache`; if a caching builder was installed
+        directly on the runner, its cache is the one that sees the traffic.
+        """
+        builder = self.runner.builder
+        if isinstance(builder, CachingPackageBuilder):
+            return builder.cache
+        return self.build_cache
+
     def total_runs(self) -> int:
         """Total number of validation runs recorded so far."""
         return self.catalog.total_runs()
@@ -292,6 +354,7 @@ class SPSystem:
             "total_runs": self.total_runs(),
             "storage_documents": self.storage.total_documents(),
             "artifacts": len(self.artifact_store),
+            "build_cache": self.effective_build_cache().statistics.as_dict(),
         }
 
 

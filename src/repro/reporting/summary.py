@@ -160,6 +160,15 @@ class ValidationSummaryBuilder:
                 cell.n_skipped += counts["skipped"]
         return matrix
 
+    def from_campaign(self, campaign) -> SummaryMatrix:
+        """Build the matrix from a scheduled campaign's validation runs.
+
+        Accepts any object with a ``runs()`` method returning validation runs
+        (duck-typed so the scheduler package can stay a pure consumer of the
+        reporting layer).
+        """
+        return self.from_runs(campaign.runs())
+
     def from_catalog(self, catalog: RunCatalog) -> SummaryMatrix:
         """Build a coarser matrix from the run catalogue.
 
@@ -208,4 +217,69 @@ class ValidationSummaryBuilder:
         return ordered
 
 
-__all__ = ["MatrixCell", "SummaryMatrix", "ValidationSummaryBuilder"]
+def build_cache_rows(statistics) -> List[Dict[str, object]]:
+    """Rows describing build-cache accounting (hits, misses, hit rate).
+
+    *statistics* is duck-typed (any object with ``hits``/``misses``/``stores``/
+    ``evictions``/``hit_rate``), so the reporting layer needs no import of the
+    scheduler package.
+    """
+    return [
+        {"quantity": "build cache hits", "value": statistics.hits},
+        {"quantity": "build cache misses", "value": statistics.misses},
+        {"quantity": "build cache stores", "value": statistics.stores},
+        {"quantity": "build cache evictions", "value": statistics.evictions},
+        {"quantity": "build cache hit rate", "value": f"{statistics.hit_rate:.1%}"},
+    ]
+
+
+def campaign_schedule_rows(schedule) -> List[Dict[str, object]]:
+    """Rows describing the simulated worker-pool timeline of a campaign."""
+    return [
+        {"quantity": "workers", "value": schedule.n_workers},
+        {"quantity": "slots per worker", "value": schedule.slots_per_worker},
+        {"quantity": "sequential seconds", "value": f"{schedule.sequential_seconds:.0f}"},
+        {"quantity": "pooled makespan seconds", "value": f"{schedule.makespan_seconds:.0f}"},
+        {"quantity": "critical path seconds", "value": f"{schedule.critical_path_seconds:.0f}"},
+        {"quantity": "speedup", "value": f"{schedule.speedup:.2f}x"},
+        {"quantity": "slot utilisation", "value": f"{schedule.utilisation:.1%}"},
+        {"quantity": "task retries after worker failures", "value": schedule.n_retries},
+        {"quantity": "failed workers", "value": len(schedule.failed_workers)},
+    ]
+
+
+def render_campaign_report(campaign) -> str:
+    """Render the operational summary of one scheduled validation campaign.
+
+    *campaign* is duck-typed: it needs ``n_cells``/``rounds``/``dag``/
+    ``schedule``/``cache_statistics`` attributes (the scheduler's
+    ``CampaignResult`` provides them).
+    """
+    counts = campaign.dag.counts_by_kind()
+    header_rows = [
+        {"quantity": "matrix cells executed", "value": campaign.n_cells},
+        {"quantity": "campaign rounds", "value": campaign.rounds},
+        {"quantity": "scheduled tasks", "value": len(campaign.dag)},
+    ] + [
+        {"quantity": f"  {kind} tasks", "value": count}
+        for kind, count in sorted(counts.items())
+    ]
+    rows = (
+        header_rows
+        + campaign_schedule_rows(campaign.schedule)
+        + build_cache_rows(campaign.cache_statistics)
+    )
+    table = format_table(
+        ["quantity", "value"], [[row["quantity"], row["value"]] for row in rows]
+    )
+    return "campaign schedule and build-cache summary\n" + table
+
+
+__all__ = [
+    "MatrixCell",
+    "SummaryMatrix",
+    "ValidationSummaryBuilder",
+    "build_cache_rows",
+    "campaign_schedule_rows",
+    "render_campaign_report",
+]

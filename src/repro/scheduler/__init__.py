@@ -1,0 +1,42 @@
+"""Campaign scheduling: parallel validation campaigns over a worker pool.
+
+The sp-system validates "as a regular, automated operation" every preserved
+experiment on every preserved environment.  This package turns that matrix of
+(experiment, configuration) cells into a job DAG, executes it over a
+configurable simulated worker pool, and layers a content-hash keyed build
+cache over the package builder so identical builds are compiled once and
+reused — while guaranteeing bit-identical :class:`~repro.core.jobs.ValidationRun`
+output versus the plain sequential path.
+"""
+
+from repro.scheduler.cache import (
+    BuildCache,
+    CacheStatistics,
+    CachingPackageBuilder,
+    build_cache_key,
+)
+from repro.scheduler.campaign import CampaignCell, CampaignResult, CampaignScheduler
+from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
+from repro.scheduler.pool import (
+    PoolSchedule,
+    SimulatedWorkerPool,
+    TaskAssignment,
+    WorkerFailure,
+)
+
+__all__ = [
+    "BuildCache",
+    "CacheStatistics",
+    "CachingPackageBuilder",
+    "build_cache_key",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignScheduler",
+    "CampaignDAG",
+    "CampaignTask",
+    "TaskKind",
+    "PoolSchedule",
+    "SimulatedWorkerPool",
+    "TaskAssignment",
+    "WorkerFailure",
+]

@@ -1,0 +1,256 @@
+"""Content-hash keyed build cache layered over the package builder.
+
+A campaign rebuilds the same package inventories again and again: every
+validation round compiles every package of every experiment on every
+configuration.  The simulated builds are pure functions of the package and
+the environment configuration, so the :class:`BuildCache` keys each
+:class:`~repro.buildsys.builder.BuildResult` by a content hash of exactly the
+inputs that determine it — package identity, its requirements, the compiler,
+the operating system ABI, the word size and the installed externals.  A hit
+replays the recorded result (diagnostics, tarball and simulated build time
+included), which keeps the cached path bit-identical to a fresh build while
+skipping the work.
+
+Cached tarballs live in the :class:`~repro.storage.artifacts.ArtifactStore`;
+an entry whose artifact has been removed or overwritten there is evicted on
+the next lookup instead of serving a dangling digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro._common import stable_digest
+from repro.buildsys.builder import BuildResult, PackageBuilder
+from repro.buildsys.package import SoftwarePackage
+from repro.environment.compatibility import SoftwareRequirements
+from repro.environment.configuration import EnvironmentConfiguration
+from repro.storage.artifacts import ArtifactStore
+
+
+def _requirements_fingerprint(requirements: SoftwareRequirements) -> str:
+    """Stable fingerprint of a requirement set (quirky variants differ)."""
+    return stable_digest(
+        requirements.min_compiler,
+        requirements.max_compiler,
+        requirements.max_strictness,
+        sorted(requirements.word_sizes),
+        requirements.cxx_standard,
+        requirements.min_os_abi,
+        requirements.max_os_abi,
+        sorted(
+            (
+                external.product,
+                external.min_api_level,
+                external.max_api_level,
+                sorted(external.used_apis),
+            )
+            for external in requirements.externals
+        ),
+    )
+
+
+def build_cache_key(
+    package: SoftwarePackage, configuration: EnvironmentConfiguration
+) -> str:
+    """Content hash of every input that determines a package build result.
+
+    The key is deliberately finer-grained than ``configuration.key``: two
+    configurations sharing an OS/word-size/compiler label but differing in
+    installed externals (or a configuration whose compiler or OS release was
+    swapped in place) must not share cache entries.
+    """
+    return stable_digest(
+        "build-cache",
+        package.key,
+        package.experiment,
+        package.language.value,
+        package.lines_of_code,
+        package.fragility,
+        sorted(package.dependencies),
+        _requirements_fingerprint(package.requirements),
+        configuration.key,
+        configuration.operating_system.name,
+        configuration.operating_system.abi_level,
+        configuration.word_size,
+        configuration.compiler.family,
+        configuration.compiler.version,
+        configuration.compiler.strictness,
+        sorted(configuration.external_map().items()),
+    )
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss accounting of one build cache (or one campaign's slice of it)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __sub__(self, other: "CacheStatistics") -> "CacheStatistics":
+        return CacheStatistics(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            stores=self.stores - other.stores,
+            evictions=self.evictions - other.evictions,
+        )
+
+    def snapshot(self) -> "CacheStatistics":
+        """A frozen copy (for before/after deltas around a campaign)."""
+        return CacheStatistics(self.hits, self.misses, self.stores, self.evictions)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view, including the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class BuildCache:
+    """Caches build results by content hash, backed by the artifact store."""
+
+    #: Label under which cached tarballs are referenced in the artifact store.
+    ARTIFACT_LABEL = "build-cache"
+
+    def __init__(self, artifact_store: Optional[ArtifactStore] = None) -> None:
+        self.artifact_store = artifact_store
+        self._entries: Dict[str, BuildResult] = {}
+        self.statistics = CacheStatistics()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, package: SoftwarePackage, configuration: EnvironmentConfiguration
+    ) -> Optional[BuildResult]:
+        """Return a replay of the cached build result, or None on a miss.
+
+        An entry whose tarball no longer exists in the artifact store (it was
+        removed or overwritten) is evicted and counts as a miss.
+        """
+        key = build_cache_key(package, configuration)
+        entry = self._entries.get(key)
+        if entry is not None and self._artifact_gone(entry):
+            del self._entries[key]
+            self.statistics.evictions += 1
+            entry = None
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        self.statistics.hits += 1
+        return self._replay(entry)
+
+    def store(
+        self,
+        package: SoftwarePackage,
+        configuration: EnvironmentConfiguration,
+        result: BuildResult,
+    ) -> str:
+        """Record *result* under its content-hash key and return the key."""
+        key = build_cache_key(package, configuration)
+        self._entries[key] = self._replay(result)
+        self.statistics.stores += 1
+        if result.tarball is not None and self.artifact_store is not None:
+            self.artifact_store.store(result.tarball, label=self.ARTIFACT_LABEL)
+        return key
+
+    def contains(
+        self, package: SoftwarePackage, configuration: EnvironmentConfiguration
+    ) -> bool:
+        """True when a (still valid) entry exists; does not touch the counters."""
+        entry = self._entries.get(build_cache_key(package, configuration))
+        return entry is not None and not self._artifact_gone(entry)
+
+    def clear(self) -> None:
+        """Drop every entry (the statistics are kept)."""
+        self._entries.clear()
+
+    def _artifact_gone(self, entry: BuildResult) -> bool:
+        return (
+            entry.tarball is not None
+            and self.artifact_store is not None
+            and not self.artifact_store.exists(entry.tarball.digest)
+        )
+
+    @staticmethod
+    def _replay(entry: BuildResult) -> BuildResult:
+        # Fresh list containers so a caller mutating its copy cannot corrupt
+        # the cached entry; the tarball is immutable and shared.
+        return BuildResult(
+            package=entry.package,
+            configuration_key=entry.configuration_key,
+            status=entry.status,
+            diagnostics=list(entry.diagnostics),
+            issues=list(entry.issues),
+            tarball=entry.tarball,
+            build_seconds=entry.build_seconds,
+        )
+
+
+class CachingPackageBuilder(PackageBuilder):
+    """A :class:`PackageBuilder` that consults a :class:`BuildCache` first.
+
+    ``build_inventory`` is inherited: it orders the packages and handles
+    dependency skips, while every actual compilation goes through the cached
+    :meth:`build_package` here (delegated to the wrapped *base* builder on a
+    miss).  Skipped results are not cached — they cost nothing to recompute
+    and depend on campaign-local dependency state.
+
+    Limitations: the wrapper assumes the builds it caches are deterministic
+    pure functions of (package, configuration), like every builder in this
+    code base.  A base builder with a *stateful* ``build_package`` (e.g. a
+    fail-once fault injector) would have its first answer replayed forever,
+    and a base overriding ``build_inventory`` itself keeps that override only
+    when called directly, not through this wrapper — do not layer the cache
+    over such builders.
+    """
+
+    def __init__(
+        self, cache: BuildCache, base: Optional[PackageBuilder] = None
+    ) -> None:
+        super().__init__(checker=base.checker if base is not None else None)
+        self.cache = cache
+        # Misses are delegated to the wrapped builder, so a PackageBuilder
+        # subclass with its own build_package keeps its behaviour when the
+        # campaign layers the cache over it.
+        self.base = base
+
+    def build_package(
+        self,
+        package: SoftwarePackage,
+        configuration: EnvironmentConfiguration,
+    ) -> BuildResult:
+        cached = self.cache.lookup(package, configuration)
+        if cached is not None:
+            return cached
+        if self.base is not None:
+            result = self.base.build_package(package, configuration)
+        else:
+            result = super().build_package(package, configuration)
+        self.cache.store(package, configuration, result)
+        return result
+
+
+__all__ = [
+    "build_cache_key",
+    "CacheStatistics",
+    "BuildCache",
+    "CachingPackageBuilder",
+]

@@ -1,0 +1,304 @@
+"""The campaign scheduler: a validation matrix run as one planned campaign.
+
+:class:`CampaignScheduler` expands (experiments x configurations x rounds)
+into the ordered list of matrix cells, executes every cell through the
+owning :class:`~repro.core.spsystem.SPSystem` with the content-hash build
+cache layered over the package builder, then derives the campaign job DAG
+from the executed runs and simulates its dispatch over the worker pool.
+
+Cell execution deliberately happens in the exact order of the sequential
+path (experiments outer, configurations inner, rounds outermost), so job
+IDs, simulated timestamps and therefore the produced
+:class:`~repro.core.jobs.ValidationRun` documents and
+:class:`~repro.storage.catalog.RunCatalog` records are bit-identical to
+calling :meth:`SPSystem.validate` cell by cell — whatever the worker count.
+The pool changes the campaign's wall-clock story (makespan, utilisation,
+retries after worker failures), never its scientific output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro._common import SchedulingError, chunked
+from repro.buildsys.graph import DependencyGraph
+from repro.core.jobs import ValidationRun
+from repro.core.testspec import ExperimentDefinition
+from repro.reporting.summary import render_campaign_report
+from repro.scheduler.cache import BuildCache, CacheStatistics, CachingPackageBuilder
+from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
+from repro.scheduler.pool import PoolSchedule, SimulatedWorkerPool, WorkerFailure
+from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.spsystem import SPSystem, ValidationCycleResult
+
+#: Default number of standalone tests grouped into one worker-slot batch.
+DEFAULT_BATCH_SIZE = 4
+
+
+@dataclass
+class CampaignCell:
+    """One executed (experiment, configuration) cell of the matrix."""
+
+    index: int
+    experiment: str
+    configuration_key: str
+    result: "ValidationCycleResult"
+
+    @property
+    def run(self) -> ValidationRun:
+        """The validation run the cell produced."""
+        return self.result.run
+
+
+@dataclass
+class CampaignResult:
+    """Everything one scheduled validation campaign produced."""
+
+    cells: List[CampaignCell]
+    dag: CampaignDAG
+    schedule: PoolSchedule
+    cache_statistics: CacheStatistics
+    workers: int
+    batch_size: int
+    rounds: int
+    description: Optional[str] = None
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    def runs(self) -> List[ValidationRun]:
+        """All validation runs, in execution order."""
+        return [cell.run for cell in self.cells]
+
+    def cycles_for(self, experiment_name: str) -> List["ValidationCycleResult"]:
+        """The cycle results of one experiment, in execution order."""
+        return [
+            cell.result for cell in self.cells if cell.experiment == experiment_name
+        ]
+
+    def by_experiment(self) -> Dict[str, List["ValidationCycleResult"]]:
+        """Cycle results grouped by experiment, in first-execution order."""
+        grouped: Dict[str, List["ValidationCycleResult"]] = {}
+        for cell in self.cells:
+            grouped.setdefault(cell.experiment, []).append(cell.result)
+        return grouped
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every cell of the campaign passed completely.
+
+        Like :attr:`ValidationRun.all_passed`, an empty campaign does not
+        count as successful — nothing was validated.
+        """
+        return bool(self.cells) and all(cell.result.successful for cell in self.cells)
+
+    def render_text(self) -> str:
+        """Human-readable campaign report (pool timeline plus cache numbers)."""
+        return render_campaign_report(self)
+
+
+class CampaignScheduler:
+    """Plans and executes validation campaigns for one sp-system."""
+
+    def __init__(
+        self,
+        system: "SPSystem",
+        workers: int = 1,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        worker_profile: ResourceProfile = VALIDATION_VM_PROFILE,
+        failures: Sequence[WorkerFailure] = (),
+        cache: Optional[BuildCache] = None,
+    ) -> None:
+        if workers < 1:
+            raise SchedulingError("a campaign needs at least one worker")
+        if batch_size < 1:
+            raise SchedulingError("standalone test batches need at least one slot")
+        self.system = system
+        self.workers = workers
+        self.batch_size = batch_size
+        self.worker_profile = worker_profile
+        self.failures = tuple(failures)
+        self.cache = cache if cache is not None else BuildCache(system.artifact_store)
+
+    # -- campaign execution ----------------------------------------------------
+    def run(
+        self,
+        experiment_names: Optional[Iterable[str]] = None,
+        configuration_keys: Optional[Iterable[str]] = None,
+        description: Optional[str] = None,
+        rounds: int = 1,
+    ) -> CampaignResult:
+        """Execute the campaign and return its result."""
+        if rounds < 1:
+            raise SchedulingError("a campaign needs at least one round")
+        names = (
+            list(experiment_names)
+            if experiment_names is not None
+            else [experiment.name for experiment in self.system.experiments()]
+        )
+        keys = (
+            list(configuration_keys)
+            if configuration_keys is not None
+            else [configuration.key for configuration in self.system.configurations()]
+        )
+        spec = [
+            (name, key)
+            for _round in range(rounds)
+            for name in names
+            for key in keys
+        ]
+        # Account against the cache that will actually serve the campaign: a
+        # caching builder already installed on the runner keeps its own cache.
+        caching_builder = self._caching_builder()
+        effective_cache = caching_builder.cache
+        statistics_before = effective_cache.statistics.snapshot()
+        cells = self._execute_cells(spec, description, caching_builder)
+        dag = self._build_dag(cells)
+        pool = SimulatedWorkerPool(
+            self.workers, profile=self.worker_profile, failures=self.failures
+        )
+        try:
+            schedule = pool.execute(dag)
+        except SchedulingError as error:
+            # The deterministic validation pass has already recorded its runs;
+            # only the pool simulation failed.  Say so instead of implying the
+            # campaign produced nothing.
+            raise SchedulingError(
+                f"{error} (the {len(cells)} validation run(s) of the campaign "
+                "remain recorded in the catalogue)"
+            ) from error
+        return CampaignResult(
+            cells=cells,
+            dag=dag,
+            schedule=schedule,
+            cache_statistics=effective_cache.statistics - statistics_before,
+            workers=self.workers,
+            batch_size=self.batch_size,
+            rounds=rounds,
+            description=description,
+        )
+
+    def _caching_builder(self) -> CachingPackageBuilder:
+        """The caching builder the campaign will execute with."""
+        original = self.system.runner.builder
+        if isinstance(original, CachingPackageBuilder):
+            return original
+        return CachingPackageBuilder(self.cache, base=original)
+
+    def _execute_cells(
+        self,
+        spec: Sequence[Tuple[str, str]],
+        description: Optional[str],
+        caching_builder: CachingPackageBuilder,
+    ) -> List[CampaignCell]:
+        """Run every cell in sequential order with the build cache layered in."""
+        original_builder = self.system.runner.builder
+        cells: List[CampaignCell] = []
+        try:
+            self.system.runner.builder = caching_builder
+            for index, (name, key) in enumerate(spec):
+                result = self.system.validate(name, key, description=description)
+                cells.append(
+                    CampaignCell(
+                        index=index,
+                        experiment=name,
+                        configuration_key=key,
+                        result=result,
+                    )
+                )
+        finally:
+            self.system.runner.builder = original_builder
+        return cells
+
+    # -- DAG derivation --------------------------------------------------------
+    def _build_dag(self, cells: Sequence[CampaignCell]) -> CampaignDAG:
+        """Derive the campaign DAG, with task durations from the executed runs."""
+        dag = CampaignDAG()
+        # The build order depends on the experiment only; compute it once
+        # instead of once per matrix cell.
+        build_orders: Dict[str, List[str]] = {}
+        for cell in cells:
+            experiment = self.system.experiment(cell.experiment)
+            if cell.experiment not in build_orders:
+                build_orders[cell.experiment] = DependencyGraph(
+                    experiment.inventory
+                ).build_order()
+            self._add_cell_tasks(dag, cell, experiment, build_orders[cell.experiment])
+        return dag
+
+    def _add_cell_tasks(
+        self,
+        dag: CampaignDAG,
+        cell: CampaignCell,
+        experiment: ExperimentDefinition,
+        build_order: Sequence[str],
+    ) -> None:
+        run = cell.run
+        prefix = f"c{cell.index:04d}"
+        build_ids: Dict[str, str] = {}
+        for name in build_order:
+            package = experiment.inventory.get(name)
+            job = run.job_for(f"compile-{name}")
+            task_id = f"{prefix}:build:{name}"
+            dag.add(
+                CampaignTask(
+                    task_id=task_id,
+                    kind=TaskKind.BUILD,
+                    cell_index=cell.index,
+                    experiment=cell.experiment,
+                    configuration_key=cell.configuration_key,
+                    duration_seconds=job.duration_seconds,
+                    dependencies=tuple(
+                        build_ids[dependency] for dependency in package.dependencies
+                    ),
+                )
+            )
+            build_ids[name] = task_id
+        # Tests start once the cell's compilation phase is complete, exactly
+        # as the validation runner sequences its phases.
+        all_builds = tuple(build_ids.values())
+        for batch_index, batch in enumerate(
+            chunked(experiment.standalone_tests, self.batch_size)
+        ):
+            dag.add(
+                CampaignTask(
+                    task_id=f"{prefix}:standalone-batch:{batch_index:03d}",
+                    kind=TaskKind.TEST_BATCH,
+                    cell_index=cell.index,
+                    experiment=cell.experiment,
+                    configuration_key=cell.configuration_key,
+                    duration_seconds=sum(
+                        run.job_for(test.name).duration_seconds for test in batch
+                    ),
+                    dependencies=all_builds,
+                    n_tests=len(batch),
+                )
+            )
+        for chain in experiment.chains:
+            previous: Optional[str] = None
+            for step in chain.steps:
+                task_id = f"{prefix}:chain:{step.name}"
+                dag.add(
+                    CampaignTask(
+                        task_id=task_id,
+                        kind=TaskKind.CHAIN_STEP,
+                        cell_index=cell.index,
+                        experiment=cell.experiment,
+                        configuration_key=cell.configuration_key,
+                        duration_seconds=run.job_for(step.name).duration_seconds,
+                        dependencies=(previous,) if previous is not None else all_builds,
+                    )
+                )
+                previous = task_id
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignScheduler",
+]

@@ -1,0 +1,292 @@
+"""A simulated worker pool dispatching the campaign DAG onto client slots.
+
+The sp-system clients are small virtual machines; their
+:class:`~repro.virtualization.resources.ResourceProfile` supplies the slots
+(one task per CPU core).  The pool runs a deterministic event-driven
+simulation: ready tasks are assigned in DAG order to the lowest-indexed
+worker with a free core, time jumps to the next task completion or injected
+worker failure, and the makespan is compared against the one-slot sequential
+execution.
+
+Failure injection is first class: a :class:`WorkerFailure` kills a worker at
+a simulated time, its in-flight tasks are requeued and retried on the
+survivors, and a campaign with no surviving workers raises
+:class:`~repro._common.SchedulingError` instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro._common import SchedulingError
+from repro.scheduler.dag import CampaignDAG
+from repro.virtualization.resources import (
+    VALIDATION_VM_PROFILE,
+    ResourceAccountant,
+    ResourceProfile,
+)
+
+#: Resources one campaign task reserves on its worker: one core, and small
+#: enough memory/disk demands that the core count is the binding constraint.
+TASK_CPU_CORES = 1
+TASK_MEMORY_GB = 1.0
+TASK_DISK_GB = 5.0
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """An injected failure: worker *worker_index* dies at *at_seconds*."""
+
+    worker_index: int
+    at_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.at_seconds < 0:
+            raise SchedulingError("a worker cannot fail before the campaign starts")
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """One completed placement of a task on a worker."""
+
+    task_id: str
+    worker_index: int
+    start_seconds: float
+    end_seconds: float
+    attempt: int
+
+
+@dataclass
+class PoolSchedule:
+    """The simulated timeline the pool produced for one campaign DAG."""
+
+    n_workers: int
+    slots_per_worker: int
+    makespan_seconds: float
+    sequential_seconds: float
+    critical_path_seconds: float
+    assignments: List[TaskAssignment] = field(default_factory=list)
+    n_retries: int = 0
+    failed_workers: Tuple[int, ...] = ()
+    busy_seconds_per_worker: Dict[int, float] = field(default_factory=dict)
+    peak_concurrent_tasks: int = 0
+    available_slot_seconds: float = 0.0
+
+    @property
+    def total_slots(self) -> int:
+        """Concurrent task capacity of the healthy pool."""
+        return self.n_workers * self.slots_per_worker
+
+    @property
+    def speedup(self) -> float:
+        """Sequential makespan over pooled makespan."""
+        if self.makespan_seconds <= 0:
+            return 1.0
+        return self.sequential_seconds / self.makespan_seconds
+
+    @property
+    def utilisation(self) -> float:
+        """Busy slot-seconds over available slot-seconds.
+
+        A worker that died mid-campaign only counts as available until its
+        failure time, so the metric stays meaningful for failure-injection
+        campaigns.
+        """
+        if self.available_slot_seconds <= 0:
+            return 0.0
+        return sum(self.busy_seconds_per_worker.values()) / self.available_slot_seconds
+
+    def assignments_for_worker(self, worker_index: int) -> List[TaskAssignment]:
+        """Completed assignments of one worker, in completion order."""
+        return [
+            assignment for assignment in self.assignments
+            if assignment.worker_index == worker_index
+        ]
+
+
+class SimulatedWorkerPool:
+    """Executes a campaign DAG over N simulated sp-system client workers."""
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        profile: ResourceProfile = VALIDATION_VM_PROFILE,
+        failures: Sequence[WorkerFailure] = (),
+    ) -> None:
+        if n_workers < 1:
+            raise SchedulingError("a worker pool needs at least one worker")
+        self.n_workers = n_workers
+        self.profile = profile
+        for failure in failures:
+            if not 0 <= failure.worker_index < n_workers:
+                raise SchedulingError(
+                    f"failure targets unknown worker {failure.worker_index}"
+                )
+        self.failures = sorted(
+            failures, key=lambda f: (f.at_seconds, f.worker_index)
+        )
+        self.accountants: List[ResourceAccountant] = []
+
+    def execute(self, dag: CampaignDAG) -> PoolSchedule:
+        """Simulate dispatching *dag* and return the resulting timeline."""
+        # Fresh accountants per execution: cumulative CPU-seconds from one
+        # run must not leak into the next schedule's busy/utilisation numbers.
+        self.accountants = [
+            ResourceAccountant(self.profile) for _ in range(self.n_workers)
+        ]
+        tasks = dag.tasks()
+        order_index = {task.task_id: index for index, task in enumerate(tasks)}
+        dependents = dag.dependents()
+        remaining_deps = {
+            task.task_id: set(task.dependencies) for task in tasks
+        }
+        ready: List[Tuple[int, str]] = [
+            (order_index[task.task_id], task.task_id)
+            for task in tasks
+            if not task.dependencies
+        ]
+        heapq.heapify(ready)
+        pending_failures = list(self.failures)
+        alive = [True] * self.n_workers
+        # task_id -> (worker, start, attempt); end time kept in a heap.
+        running: Dict[str, Tuple[int, float, int]] = {}
+        end_heap: List[Tuple[float, int, str]] = []
+        attempts: Dict[str, int] = {}
+        assignments: List[TaskAssignment] = []
+        death_times: Dict[int, float] = {}
+        completed = 0
+        retries = 0
+        peak = 0
+        now = 0.0
+
+        def try_assign() -> None:
+            nonlocal peak
+            while ready:
+                worker = next(
+                    (
+                        index for index in range(self.n_workers)
+                        if alive[index] and self.accountants[index].can_accommodate(
+                            TASK_CPU_CORES, TASK_MEMORY_GB, TASK_DISK_GB
+                        )
+                    ),
+                    None,
+                )
+                if worker is None:
+                    return
+                _, task_id = heapq.heappop(ready)
+                task = dag.get(task_id)
+                attempts[task_id] = attempts.get(task_id, 0) + 1
+                self.accountants[worker].reserve(
+                    task_id, TASK_CPU_CORES, TASK_MEMORY_GB, TASK_DISK_GB
+                )
+                running[task_id] = (worker, now, attempts[task_id])
+                heapq.heappush(
+                    end_heap, (now + task.duration_seconds, order_index[task_id], task_id)
+                )
+                peak = max(peak, len(running))
+
+        while completed < len(tasks):
+            # Kill workers whose failure time has arrived BEFORE handing out
+            # new work: a worker must never receive a task at (or after) the
+            # instant it dies, and a completion at exactly the failure time
+            # has already been processed by the branch below.
+            while pending_failures and pending_failures[0].at_seconds <= now:
+                failure = pending_failures.pop(0)
+                victim = failure.worker_index
+                if not alive[victim]:
+                    continue
+                alive[victim] = False
+                death_times[victim] = failure.at_seconds
+                for task_id, (worker, start, _attempt) in sorted(
+                    running.items(), key=lambda item: order_index[item[0]]
+                ):
+                    if worker != victim:
+                        continue
+                    # The partial execution is lost; the task is retried from
+                    # scratch on a surviving worker.
+                    self.accountants[worker].release(
+                        task_id, cpu_seconds_used=max(0.0, now - start)
+                    )
+                    del running[task_id]
+                    retries += 1
+                    heapq.heappush(ready, (order_index[task_id], task_id))
+                end_heap = [
+                    entry for entry in end_heap if entry[2] in running
+                ]
+                heapq.heapify(end_heap)
+            try_assign()
+            if not running:
+                if not any(alive):
+                    raise SchedulingError(
+                        "every worker of the pool has failed; "
+                        f"{len(tasks) - completed} task(s) cannot be scheduled"
+                    )
+                # Alive workers but nothing running and nothing assignable:
+                # the DAG references work that can never become ready.
+                raise SchedulingError(
+                    "scheduler stalled with "
+                    f"{len(tasks) - completed} unfinished task(s)"
+                )
+            next_end = end_heap[0][0]
+            if pending_failures and pending_failures[0].at_seconds < next_end:
+                # Advance to the failure; the sweep at the top of the loop
+                # performs the kill before any reassignment.
+                now = pending_failures[0].at_seconds
+                continue
+            # Drain every completion due at this instant in one go, so a
+            # worker failure at the same timestamp cannot requeue a task
+            # that had in fact finished.
+            now = next_end
+            due: List[str] = []
+            while end_heap and end_heap[0][0] == now:
+                due.append(heapq.heappop(end_heap)[2])
+            for task_id in due:
+                worker, start, attempt = running.pop(task_id)
+                self.accountants[worker].release(task_id, cpu_seconds_used=now - start)
+                assignments.append(
+                    TaskAssignment(
+                        task_id=task_id,
+                        worker_index=worker,
+                        start_seconds=start,
+                        end_seconds=now,
+                        attempt=attempt,
+                    )
+                )
+                completed += 1
+                for dependent in dependents[task_id]:
+                    remaining = remaining_deps[dependent]
+                    remaining.discard(task_id)
+                    if not remaining and dependent not in running:
+                        heapq.heappush(ready, (order_index[dependent], dependent))
+
+        return PoolSchedule(
+            n_workers=self.n_workers,
+            slots_per_worker=self.profile.cpu_cores,
+            makespan_seconds=now,
+            sequential_seconds=dag.total_seconds(),
+            critical_path_seconds=dag.critical_path_seconds(),
+            assignments=assignments,
+            n_retries=retries,
+            failed_workers=tuple(
+                index for index, ok in enumerate(alive) if not ok
+            ),
+            busy_seconds_per_worker={
+                index: accountant.total_cpu_seconds
+                for index, accountant in enumerate(self.accountants)
+            },
+            peak_concurrent_tasks=peak,
+            available_slot_seconds=sum(
+                min(death_times.get(index, now), now) * self.profile.cpu_cores
+                for index in range(self.n_workers)
+            ),
+        )
+
+
+__all__ = [
+    "WorkerFailure",
+    "TaskAssignment",
+    "PoolSchedule",
+    "SimulatedWorkerPool",
+]

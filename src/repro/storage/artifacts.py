@@ -55,6 +55,18 @@ class ArtifactStore:
         """Return True if an artifact with *digest* is stored."""
         return digest in self._artifacts
 
+    def remove(self, digest: str) -> Tarball:
+        """Remove (overwrite/retire) the artifact with *digest* and return it.
+
+        Consumers holding content-hash references — notably the scheduler's
+        build cache — treat a removed digest as gone and must re-materialise
+        the artifact instead of serving a dangling reference.
+        """
+        try:
+            return self._artifacts.pop(digest).tarball
+        except KeyError:
+            raise StorageError(f"no artifact with digest {digest!r}") from None
+
     def labels_for(self, digest: str) -> List[str]:
         """Return the labels referencing the artifact, sorted."""
         try:

@@ -9,10 +9,12 @@ broken test fails, everything else still runs, and the run is recorded.
 
 import pytest
 
+from repro._common import SchedulingError
 from repro.buildsys.package import Language, PackageCategory, PackageInventory, SoftwarePackage
 from repro.core.jobs import JobStatus
 from repro.core.levels import PreservationLevel
 from repro.core.runner import ValidationRunner
+from repro.core.spsystem import SPSystem
 from repro.core.testspec import (
     AnalysisChain,
     ExperimentDefinition,
@@ -21,6 +23,7 @@ from repro.core.testspec import (
     TestOutput,
     ValidationTestSpec,
 )
+from repro.scheduler.pool import WorkerFailure
 
 
 def _minimal_inventory(name="FAULTEXP"):
@@ -183,3 +186,146 @@ class TestChainFailurePropagation:
         runner.run(experiment, sl5_64_gcc44)
         runner.run(experiment, sl5_64_gcc44)
         assert observed_states == [{}, {}]
+
+
+class TestSchedulerFailureInjection:
+    """The campaign scheduler must degrade gracefully, exactly like the runner.
+
+    A worker dying mid-campaign reassigns its in-flight tasks to the
+    survivors, a failing chain step still produces the sequential path's
+    skip/fail statuses, and a pool with no survivors raises instead of
+    deadlocking.
+    """
+
+    def _system(self, experiment):
+        system = SPSystem()
+        system.provision_standard_images()
+        system.register_experiment(experiment)
+        return system
+
+    def _broken_chain_experiment(self):
+        chain = AnalysisChain(name="fault-chain", experiment="FAULTEXP")
+
+        def make_executor(index):
+            def execute(context):
+                if index == 1:
+                    raise RuntimeError(f"step {index} aborted")
+                return TestOutput(
+                    kind=OutputKind.NUMBERS, passed=True, numbers={"step": float(index)},
+                )
+            return execute
+
+        for index in range(4):
+            chain.add_step(
+                ValidationTestSpec(
+                    name=f"fault-chain-{index:02d}-step",
+                    experiment="FAULTEXP",
+                    kind=TestKind.CHAIN_STEP,
+                    executor=make_executor(index),
+                    chain="fault-chain",
+                    chain_index=index,
+                )
+            )
+        # The data-export capability makes the experiment pass the workflow's
+        # preparation checks (required at the ANALYSIS_SOFTWARE level).
+        export_test = ValidationTestSpec(
+            name="healthy-test", experiment="FAULTEXP", kind=TestKind.STANDALONE,
+            executor=lambda context: TestOutput(
+                kind=OutputKind.YES_NO, passed=True, yes_no=True
+            ),
+            capability="data-export",
+        )
+        return _experiment(standalone=[export_test], chains=[chain])
+
+    def test_worker_death_reassigns_and_preserves_statuses(self):
+        experiment = self._broken_chain_experiment()
+        baseline_system = self._system(experiment)
+        baseline = [
+            baseline_system.validate("FAULTEXP", key)
+            for key in ("SL5_64bit_gcc4.4", "SL6_64bit_gcc4.4")
+        ]
+
+        system = self._system(experiment)
+        campaign = system.run_campaign(
+            ["FAULTEXP"],
+            ["SL5_64bit_gcc4.4", "SL6_64bit_gcc4.4"],
+            workers=2,
+            failures=[WorkerFailure(worker_index=0, at_seconds=50.0)],
+        )
+        # The dead worker's in-flight tasks were retried on the survivor...
+        assert campaign.schedule.failed_workers == (0,)
+        assert campaign.schedule.n_retries > 0
+        assert all(
+            assignment.worker_index == 1
+            for assignment in campaign.schedule.assignments
+            if assignment.start_seconds >= 50.0
+        )
+        # ...and the scientific output is still the sequential baseline.
+        assert [run.to_document() for run in campaign.runs()] == [
+            cycle.run.to_document() for cycle in baseline
+        ]
+
+    def test_chain_failure_statuses_survive_pooled_scheduling(self):
+        system = self._system(self._broken_chain_experiment())
+        campaign = system.run_campaign(
+            ["FAULTEXP"], ["SL5_64bit_gcc4.4"], workers=4,
+        )
+        run = campaign.cells[0].run
+        statuses = [run.job_for(f"fault-chain-{i:02d}-step").status for i in range(4)]
+        assert statuses == [
+            JobStatus.PASSED, JobStatus.FAILED, JobStatus.SKIPPED, JobStatus.SKIPPED,
+        ]
+        assert run.job_for("healthy-test").status is JobStatus.PASSED
+        # The skipped steps still appear in the DAG (zero-duration tasks).
+        skipped_tasks = [
+            task for task in campaign.dag.tasks()
+            if task.task_id.endswith(("02-step", "03-step"))
+        ]
+        assert all(task.duration_seconds == 0.0 for task in skipped_tasks)
+
+    def test_all_workers_dead_raises_instead_of_deadlocking(self):
+        system = self._system(self._broken_chain_experiment())
+        with pytest.raises(SchedulingError, match="every worker"):
+            system.run_campaign(
+                ["FAULTEXP"],
+                ["SL5_64bit_gcc4.4"],
+                workers=2,
+                failures=[
+                    WorkerFailure(worker_index=0, at_seconds=10.0),
+                    WorkerFailure(worker_index=1, at_seconds=20.0),
+                ],
+            )
+
+    def test_late_failure_after_campaign_end_is_harmless(self):
+        system = self._system(self._broken_chain_experiment())
+        campaign = system.run_campaign(
+            ["FAULTEXP"],
+            ["SL5_64bit_gcc4.4"],
+            workers=2,
+            failures=[WorkerFailure(worker_index=0, at_seconds=10.0 ** 9)],
+        )
+        assert campaign.schedule.n_retries == 0
+        assert campaign.schedule.failed_workers == ()
+
+    def test_crashing_executor_inside_campaign(self, sl5_64_gcc44):
+        def crash(context):
+            raise RuntimeError("segmentation violation in user code")
+
+        crashing = ValidationTestSpec(
+            name="crashing-test", experiment="FAULTEXP", kind=TestKind.STANDALONE,
+            executor=crash,
+        )
+        export_test = ValidationTestSpec(
+            name="healthy-test", experiment="FAULTEXP", kind=TestKind.STANDALONE,
+            executor=lambda context: TestOutput(
+                kind=OutputKind.YES_NO, passed=True, yes_no=True
+            ),
+            capability="data-export",
+        )
+        experiment = _experiment(standalone=[crashing, export_test])
+        system = self._system(experiment)
+        campaign = system.run_campaign(["FAULTEXP"], [sl5_64_gcc44.key], workers=3)
+        run = campaign.cells[0].run
+        assert run.job_for("crashing-test").status is JobStatus.FAILED
+        assert run.job_for("healthy-test").status is JobStatus.PASSED
+        assert system.catalog.get(run.run_id).overall_status == "failed"

@@ -1,0 +1,157 @@
+"""Determinism regression tests for the campaign scheduler.
+
+The scheduler's contract is that pooled execution changes the campaign's
+wall-clock story only: for any worker count, the produced
+:class:`~repro.core.jobs.ValidationRun` documents and
+:class:`~repro.storage.catalog.RunCatalog` records must be bit-identical to
+the sequential baseline of calling ``SPSystem.validate`` cell by cell.  The
+tests here pin that property across seeds, scales and worker counts, and also
+cover the ``ValidationJob``/``ValidationRun`` document round-trip the
+structural comparisons rely on.
+"""
+
+import pytest
+
+from repro.core.jobs import JobStatus, ValidationJob, ValidationRun
+from repro.core.runner import RunnerSettings
+from repro.core.spsystem import SPSystem
+from repro.experiments import build_hermes_experiment
+
+
+def _fresh_system(seed):
+    system = SPSystem(
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0, seed=seed)
+    )
+    system.provision_standard_images()
+    system.register_experiment(build_hermes_experiment(scale=0.2))
+    return system
+
+
+def _sequential_baseline(seed, keys, rounds=1):
+    """The pre-scheduler behaviour: one validate() call per cell, in order."""
+    system = _fresh_system(seed)
+    results = [
+        system.validate("HERMES", key)
+        for _round in range(rounds)
+        for key in keys
+    ]
+    return system, results
+
+
+KEYS = ["SL5_64bit_gcc4.4", "SL6_64bit_gcc4.4"]
+
+
+class TestSchedulerMatchesSequentialBaseline:
+    @pytest.mark.parametrize("seed", [20131029, 7, 424242])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_run_documents_identical(self, seed, workers):
+        baseline_system, baseline = _sequential_baseline(seed, KEYS)
+        scheduled_system = _fresh_system(seed)
+        scheduled = scheduled_system.validate_everywhere(
+            "HERMES", KEYS, workers=workers
+        )
+        assert [cycle.run.to_document() for cycle in scheduled] == [
+            cycle.run.to_document() for cycle in baseline
+        ]
+        # The catalogue records are equally bit-identical.
+        assert [record.to_dict() for record in scheduled_system.catalog.all()] == [
+            record.to_dict() for record in baseline_system.catalog.all()
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_multi_round_campaign_identical_despite_cache(self, workers):
+        """Round >= 2 is served from the build cache, yet output is identical."""
+        seed = 20131029
+        baseline_system, baseline = _sequential_baseline(seed, KEYS, rounds=2)
+        scheduled_system = _fresh_system(seed)
+        campaign = scheduled_system.run_campaign(
+            ["HERMES"], KEYS, workers=workers, rounds=2
+        )
+        assert campaign.cache_statistics.hits > 0
+        assert [run.to_document() for run in campaign.runs()] == [
+            cycle.run.to_document() for cycle in baseline
+        ]
+        assert [record.to_dict() for record in scheduled_system.catalog.all()] == [
+            record.to_dict() for record in baseline_system.catalog.all()
+        ]
+
+    def test_regression_and_workflow_side_effects_identical(self):
+        """Diagnosis, tickets and workflow phases match the sequential path."""
+        seed = 20131029
+        baseline_system, baseline = _sequential_baseline(seed, KEYS)
+        scheduled_system = _fresh_system(seed)
+        scheduled = scheduled_system.validate_everywhere("HERMES", KEYS, workers=4)
+        for before, after in zip(baseline, scheduled):
+            assert before.successful == after.successful
+            assert len(before.tickets) == len(after.tickets)
+            assert (before.diagnosis is None) == (after.diagnosis is None)
+        assert (
+            baseline_system.workflow.phase_of("HERMES")
+            is scheduled_system.workflow.phase_of("HERMES")
+        )
+
+    def test_worker_count_does_not_change_storage(self):
+        """The common storage is byte-for-byte independent of the pool size."""
+        documents = []
+        for workers in (1, 2, 5):
+            system = _fresh_system(20131029)
+            system.validate_everywhere("HERMES", KEYS, workers=workers)
+            documents.append({
+                namespace: {
+                    key: system.storage.get(namespace, key)
+                    for key in system.storage.keys(namespace)
+                }
+                for namespace in system.storage.namespaces()
+            })
+        assert documents[0] == documents[1] == documents[2]
+
+
+class TestDocumentRoundTrip:
+    """The small fix: to_document()/from_document() round-trip structurally."""
+
+    def test_job_round_trip(self, sp_system, tiny_hermes):
+        sp_system.register_experiment(tiny_hermes)
+        run = sp_system.validate("HERMES", "SL5_64bit_gcc4.4").run
+        for job in run.jobs:
+            document = job.to_document()
+            restored = ValidationJob.from_document(document)
+            assert restored.to_document() == document
+            assert restored.status is job.status
+            assert restored.kind is job.kind
+
+    def test_job_round_trip_preserves_optional_fields(self):
+        from repro.core.testspec import TestKind
+
+        job = ValidationJob(
+            job_id="sp-000001",
+            test_name="chain-step",
+            experiment="TESTEXP",
+            configuration_key="SL5_64bit_gcc4.4",
+            kind=TestKind.CHAIN_STEP,
+            status=JobStatus.SKIPPED,
+            started_at=1356998400,
+            messages=["previous step failed"],
+            chain="reco-chain",
+            process="reconstruction",
+        )
+        restored = ValidationJob.from_document(job.to_document())
+        assert restored.chain == "reco-chain"
+        assert restored.output_key is None
+        assert restored.to_document() == job.to_document()
+
+    def test_run_round_trip(self, sp_system, tiny_hermes):
+        sp_system.register_experiment(tiny_hermes)
+        run = sp_system.validate("HERMES", "SL5_64bit_gcc4.4").run
+        restored = ValidationRun.from_document(run.to_document())
+        assert restored.to_document() == run.to_document()
+        assert restored.n_jobs == run.n_jobs
+        assert restored.overall_status == run.overall_status
+
+    def test_stored_run_metadata_round_trips(self, sp_system, tiny_hermes):
+        """Runs can be re-hydrated structurally from the common storage."""
+        sp_system.register_experiment(tiny_hermes)
+        run = sp_system.validate("HERMES", "SL6_64bit_gcc4.4").run
+        document = sp_system.storage.get("results", f"runmeta_{run.run_id}")
+        restored = ValidationRun.from_document(document)
+        assert restored.statuses_by_test() == run.statuses_by_test()
+        assert restored.to_document() == run.to_document()
