@@ -4,9 +4,12 @@ The campaign scheduler promises two things: the simulated worker pool
 compresses the campaign makespan without changing a single output document,
 and the content-hash build cache compiles identical package builds once per
 campaign instead of once per cell.  This benchmark runs the same
-two-round, multi-configuration HERMES campaign three ways — cell-by-cell
-sequential, scheduled with one worker, scheduled with four workers — and
-records real wall time, simulated makespan and the cache hit rate.
+two-round, multi-configuration HERMES campaign four ways — cell-by-cell
+sequential, scheduled with one worker, scheduled with four workers, and
+scheduled with four workers on a *fresh* installation warm-started from the
+persisted build cache — and records real wall time, simulated makespan and
+the cache hit rate.  The warm row quantifies what cross-campaign cache
+persistence buys a restarted installation.
 """
 
 import time
@@ -50,6 +53,17 @@ def _scheduled_campaign(workers):
     return system, campaign
 
 
+def _warm_campaign(cold_system):
+    """A fresh installation warm-started from the persisted build cache."""
+    cold_system.persist_build_cache()
+    system = _fresh_system()
+    system.restore_build_cache(cold_system.storage)
+    campaign = system.run_campaign(
+        ["HERMES"], CONFIGURATIONS, workers=4, rounds=ROUNDS
+    )
+    return system, campaign
+
+
 def test_scheduler_campaign_smoke(benchmark):
     start = time.perf_counter()
     _, sequential_results = _sequential_campaign()
@@ -65,10 +79,19 @@ def test_scheduler_campaign_smoke(benchmark):
     )
     pooled_wall = time.perf_counter() - start
 
+    start = time.perf_counter()
+    _, warm = _warm_campaign(scheduled_system)
+    warm_wall = time.perf_counter() - start
+
     # Identical scientific output, whatever the execution strategy.
     sequential_documents = [cycle.run.to_document() for cycle in sequential_results]
     assert [run.to_document() for run in single.runs()] == sequential_documents
     assert [run.to_document() for run in pooled.runs()] == sequential_documents
+    assert [run.to_document() for run in warm.runs()] == sequential_documents
+
+    # The warm installation compiled nothing at all.
+    assert warm.cache_statistics.misses == 0
+    assert warm.cache_statistics.hit_rate == 1.0
 
     # The build cache must fire on a multi-configuration campaign: round two
     # replays every build of round one.
@@ -106,10 +129,19 @@ def test_scheduler_campaign_smoke(benchmark):
                 "cache_hit_rate": f"{pooled.cache_statistics.hit_rate:.1%}",
                 "speedup": f"{pooled.schedule.speedup:.2f}x",
             },
+            {
+                "strategy": "scheduler, 4 workers, warm persisted cache",
+                "wall_seconds": f"{warm_wall:.3f}",
+                "simulated_seconds": f"{warm.schedule.makespan_seconds:.0f}",
+                "cache_hit_rate": f"{warm.cache_statistics.hit_rate:.1%}",
+                "speedup": f"{warm.schedule.speedup:.2f}x",
+            },
         ],
         notes=(
-            "identical ValidationRun documents in all three strategies; "
+            "identical ValidationRun documents in all four strategies; "
             f"{pooled.n_cells} cells, {len(pooled.dag)} scheduled tasks, "
-            f"{pooled.cache_statistics.hits} cached builds replayed"
+            f"{pooled.cache_statistics.hits} cached builds replayed cold, "
+            f"{warm.cache_statistics.hits} replayed from the persisted cache "
+            f"(cold wall {pooled_wall:.3f}s vs warm wall {warm_wall:.3f}s)"
         ),
     )

@@ -10,6 +10,12 @@ cache replays every identical package build of the second round.  The
 scientific output — run documents and catalogue records — is bit-identical
 to the sequential path; only the campaign's wall-clock story changes.
 
+The second half demonstrates the cross-campaign features: the build cache is
+persisted into the common storage, a *fresh* installation warm-starts from
+the snapshot (every build is a cache hit, the run documents stay identical),
+and the same campaign is scheduled under each pool policy to compare the
+dispatch orders.
+
 Run with::
 
     python examples/parallel_campaign.py [output-directory]
@@ -24,15 +30,21 @@ from repro.core.runner import RunnerSettings
 from repro.experiments import build_hera_experiments
 from repro.reporting.export import catalog_to_rows, rows_to_text
 from repro.reporting.summary import ValidationSummaryBuilder
+from repro.scheduler import SCHEDULING_POLICIES
 
 
-def main() -> None:
+def _fresh_system() -> SPSystem:
     system = SPSystem(
         runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
     )
     system.provision_standard_images()
     for experiment in build_hera_experiments(scale=0.15):
         system.register_experiment(experiment)
+    return system
+
+
+def main() -> None:
+    system = _fresh_system()
     print(f"provisioned {len(system.configurations())} configurations, "
           f"{len(system.experiments())} experiments")
 
@@ -60,8 +72,47 @@ def main() -> None:
     if len(rows) > 10:
         print(f"  ... and {len(rows) - 10} more")
 
+    # -- warm-cache rerun on a fresh installation -----------------------------
+    print("\nPersisting the build cache and warm-starting a fresh sp-system...")
+    entries = system.persist_build_cache()
+    print(f"  persisted {entries} cache entries into the common storage")
+    warm_system = _fresh_system()
+    warm_system.restore_build_cache(system.storage)
+    warm = warm_system.run_campaign(workers=4, rounds=2)
+    print(f"  warm campaign: {warm.cache_statistics.hits} hits, "
+          f"{warm.cache_statistics.misses} misses "
+          f"({warm.cache_statistics.hit_rate:.0%} hit rate)")
+    identical = (
+        [run.to_document() for run in warm.runs()]
+        == [run.to_document() for run in campaign.runs()]
+    )
+    print(f"  run documents identical to the cold campaign: {identical}")
+
+    # -- policy comparison ----------------------------------------------------
+    print("\nScheduling the same campaign under each pool policy:")
+    for policy in sorted(SCHEDULING_POLICIES):
+        policy_system = _fresh_system()
+        policy_system.restore_build_cache(system.storage)
+        result = policy_system.run_campaign(
+            workers=4, rounds=2, policy=policy, deadline_seconds=20000.0,
+        )
+        schedule = result.schedule
+        verdict = (
+            "met" if schedule.met_deadline
+            else f"missed ({len(schedule.late_cells())} late cells)"
+        )
+        print(f"  {policy:<14} makespan {schedule.makespan_seconds:>8,.0f} s, "
+              f"utilisation {schedule.utilisation:.1%}, "
+              f"deadline {verdict}")
+
     if len(sys.argv) > 1:
         output_directory = sys.argv[1]
+        from repro.reporting.webpages import StatusPageGenerator
+
+        pages = StatusPageGenerator(system.storage, system.catalog)
+        pages.campaign_page(campaign)
+        pages.index_page()
+        pages.summary_page(matrix.render_text())
         written = system.storage.persist(output_directory)
         print(f"\npersisted {len(written)} storage documents below {output_directory}")
 

@@ -56,6 +56,23 @@ class Diagnostic:
     def __str__(self) -> str:
         return f"{self.source}: {self.severity}: {self.message}"
 
+    def to_dict(self) -> Dict[str, str]:
+        """Serialise for the common storage."""
+        return {
+            "severity": self.severity,
+            "source": self.source,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, str]) -> "Diagnostic":
+        """Reconstruct a diagnostic serialised by :meth:`to_dict`."""
+        return cls(
+            severity=str(payload["severity"]),
+            source=str(payload["source"]),
+            message=str(payload["message"]),
+        )
+
 
 @dataclass
 class BuildResult:
@@ -93,6 +110,47 @@ class BuildResult:
         return (
             f"{self.package.name} [{self.configuration_key}] -> {self.status.value} "
             f"({self.n_errors} errors, {self.n_warnings} warnings)"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise the complete result for the common storage.
+
+        Unlike the run documents (which keep only summary lines), this is a
+        full round-trip: the persisted build cache replays restored results
+        and those replays must stay bit-identical to fresh builds.
+        """
+        return {
+            "package": self.package.to_dict(),
+            "configuration_key": self.configuration_key,
+            "status": self.status.value,
+            "diagnostics": [diagnostic.to_dict() for diagnostic in self.diagnostics],
+            "issues": [issue.to_dict() for issue in self.issues],
+            "tarball": self.tarball.to_dict() if self.tarball is not None else None,
+            "build_seconds": self.build_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BuildResult":
+        """Reconstruct a result serialised by :meth:`to_dict`."""
+        tarball_payload = payload.get("tarball")
+        return cls(
+            package=SoftwarePackage.from_dict(payload["package"]),  # type: ignore[arg-type]
+            configuration_key=str(payload["configuration_key"]),
+            status=BuildStatus(str(payload["status"])),
+            diagnostics=[
+                Diagnostic.from_dict(diagnostic)
+                for diagnostic in payload.get("diagnostics", [])  # type: ignore[union-attr]
+            ],
+            issues=[
+                CompatibilityIssue.from_dict(issue)
+                for issue in payload.get("issues", [])  # type: ignore[union-attr]
+            ],
+            tarball=(
+                Tarball.from_dict(tarball_payload)  # type: ignore[arg-type]
+                if tarball_payload is not None
+                else None
+            ),
+            build_seconds=float(payload.get("build_seconds", 0.0)),  # type: ignore[arg-type]
         )
 
 

@@ -130,6 +130,41 @@ class SoftwarePackage:
         }[self.language]
         return base * self.lines_of_code / 1000.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for the common storage (e.g. the persisted build cache)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "experiment": self.experiment,
+            "category": self.category.value,
+            "language": self.language.value,
+            "lines_of_code": self.lines_of_code,
+            "dependencies": list(self.dependencies),
+            "requirements": self.requirements.to_dict(),
+            "fragility": self.fragility,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SoftwarePackage":
+        """Reconstruct a package serialised by :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            version=str(payload["version"]),
+            experiment=str(payload["experiment"]),
+            category=PackageCategory(str(payload["category"])),
+            language=Language(str(payload["language"])),
+            lines_of_code=int(payload["lines_of_code"]),  # type: ignore[arg-type]
+            dependencies=tuple(
+                str(name) for name in payload.get("dependencies", [])  # type: ignore[union-attr]
+            ),
+            requirements=SoftwareRequirements.from_dict(
+                payload.get("requirements", {})  # type: ignore[arg-type]
+            ),
+            fragility=float(payload.get("fragility", 0.1)),  # type: ignore[arg-type]
+            description=str(payload.get("description", "")),
+        )
+
 
 class PackageInventory:
     """The complete set of packages of one experiment."""

@@ -7,23 +7,32 @@ end so the framework can be driven without writing Python::
     python -m repro.cli describe
     python -m repro.cli validate --experiment H1 --configuration SL6_64bit_gcc4.4
     python -m repro.cli campaign --scale 0.15 --output /tmp/sp-storage
+    python -m repro.cli campaign --workers 4 --policy critical-path --output /tmp/sp-storage
     python -m repro.cli migrate-plan --experiment H1 --target SL7
     python -m repro.cli levels
 
 Every command provisions a fresh in-memory sp-system (the library is fully
 deterministic, so this is cheap and reproducible); ``--output`` persists the
-common storage to disk for inspection afterwards.
+common storage to disk for inspection afterwards.  A ``campaign`` run whose
+``--cache-dir`` (default: ``--output``) holds a previous run's persisted
+storage warm-starts its build cache from that snapshot, so repeated
+campaigns against the same output directory stop recompiling unchanged
+packages.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro._common import ReproError, format_table
 from repro.core.levels import preservation_table
 from repro.core.spsystem import SPSystem
+from repro.scheduler.cache import BuildCache
+from repro.scheduler.pool import SCHEDULING_POLICIES
+from repro.storage.common_storage import CommonStorage
 from repro.environment.configuration import next_generation_configuration
 from repro.experiments import (
     build_h1_experiment,
@@ -81,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulated worker-pool size (default 1)")
     campaign.add_argument("--batch-size", type=int, default=4,
                           help="standalone tests grouped per worker slot (default 4)")
+    campaign.add_argument("--policy", default="fifo",
+                          choices=sorted(SCHEDULING_POLICIES),
+                          help="worker-pool scheduling policy (default fifo)")
+    campaign.add_argument("--deadline-seconds", type=float, default=None,
+                          help="simulated campaign deadline; late cells are reported")
+    campaign.add_argument("--cache-dir", default=None,
+                          help="directory with a persisted build-cache snapshot to "
+                               "warm-start from (defaults to --output, so repeated "
+                               "runs with the same --output reuse their cache)")
     campaign.add_argument("--output", default=None)
     campaign.set_defaults(handler=_cmd_campaign)
 
@@ -171,10 +189,22 @@ def _cmd_validate(arguments: argparse.Namespace) -> int:
 
 def _cmd_campaign(arguments: argparse.Namespace) -> int:
     system = _provisioned_system(arguments.scale)
+    cache_dir = arguments.cache_dir or arguments.output
+    if cache_dir and os.path.isdir(cache_dir):
+        # Warm-start: read only the build-cache snapshot of the previous
+        # campaign, not its accumulated run documents and report pages.
+        restored = system.restore_build_cache(
+            CommonStorage.load(cache_dir, namespaces=[BuildCache.NAMESPACE]),
+            missing_ok=True,
+        )
+        if restored is not None:
+            print(f"warm-started build cache: {len(restored)} entries from {cache_dir}")
     campaign = system.run_campaign(
         workers=max(arguments.workers, 1),
         rounds=max(arguments.rounds, 1),
         batch_size=max(arguments.batch_size, 1),
+        policy=arguments.policy,
+        deadline_seconds=arguments.deadline_seconds,
     )
     matrix = ValidationSummaryBuilder().from_campaign(campaign)
     print(matrix.render_text())
@@ -187,10 +217,13 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
     ))
     if arguments.output:
         pages = StatusPageGenerator(system.storage, system.catalog)
+        pages.campaign_page(campaign)
         pages.index_page()
         pages.summary_page(matrix.render_text())
+        persisted_entries = system.persist_build_cache()
         written = system.storage.persist(arguments.output)
-        print(f"\npersisted {len(written)} documents below {arguments.output}")
+        print(f"\npersisted {len(written)} documents below {arguments.output} "
+              f"({persisted_entries} build-cache entries for the next campaign)")
     return 0
 
 

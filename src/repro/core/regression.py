@@ -25,6 +25,9 @@ from repro.storage.common_storage import CommonStorage
 class TestRegression:
     """Findings for one test when comparing two runs."""
 
+    # Not a pytest test class, despite the Test* name.
+    __test__ = False
+
     test_name: str
     current_status: str
     reference_status: Optional[str]

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro._common import ValidationError
+from repro._common import StorageError, ValidationError
 from repro.buildsys.builder import PackageBuilder
 from repro.core.diagnosis import DiagnosisReport, FailureDiagnosisEngine
 from repro.core.freeze import FreezeManager, FreezeReason, FrozenSystem
@@ -72,6 +72,34 @@ class ValidationCycleResult:
         )
 
 
+def _resume_id_allocator(storage: CommonStorage) -> JobIdAllocator:
+    """A job-ID allocator that continues past every ID already in *storage*.
+
+    A fresh installation mounted on a loaded common storage must not re-issue
+    IDs of the runs and jobs it inherited — the catalogue would reject the
+    colliding run records.  The run documents carry every allocated ID, so
+    the allocator resumes one past the highest of them.
+    """
+    allocator = JobIdAllocator()
+    prefix = f"{allocator.prefix}-"
+    highest = 0
+    if RunCatalog.NAMESPACE in storage.namespaces():
+        namespace = storage.namespace(RunCatalog.NAMESPACE)
+        for key in namespace.keys(prefix="runmeta_"):
+            document = namespace.get(key)
+            identifiers = [document.get("run_id", "")]  # type: ignore[union-attr]
+            identifiers.extend(
+                job.get("job_id", "")
+                for job in document.get("jobs", [])  # type: ignore[union-attr]
+            )
+            for identifier in identifiers:
+                if str(identifier).startswith(prefix):
+                    suffix = str(identifier)[len(prefix):]
+                    if suffix.isdigit():
+                        highest = max(highest, int(suffix))
+    return JobIdAllocator(start=highest + 1)
+
+
 class SPSystem:
     """The software preservation validation system."""
 
@@ -80,12 +108,17 @@ class SPSystem:
         clock: Optional[SimulatedClock] = None,
         numeric_context_factory: NumericContextFactory = default_numeric_context,
         runner_settings: Optional[RunnerSettings] = None,
+        storage: Optional[CommonStorage] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
-        self.storage = CommonStorage()
+        # A pre-populated storage (e.g. CommonStorage.load of a previous
+        # installation's persisted state) is mounted as-is: the catalogue
+        # re-hydrates its run records from it and run_campaign warm-starts
+        # the build cache from its `buildcache` namespace.
+        self.storage = storage if storage is not None else CommonStorage()
         self.catalog = RunCatalog(self.storage)
         self.artifact_store = ArtifactStore()
-        self.id_allocator = JobIdAllocator()
+        self.id_allocator = _resume_id_allocator(self.storage)
         self.tag_registry = TagRegistry()
         self.hypervisor = Hypervisor(clock=self.clock, storage=self.storage)
         self.provisioning = ProvisioningService(self.hypervisor, self.storage)
@@ -241,21 +274,37 @@ class SPSystem:
         rounds: int = 1,
         batch_size: int = DEFAULT_BATCH_SIZE,
         failures: Iterable[WorkerFailure] = (),
+        policy: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        warm_start: bool = True,
     ) -> CampaignResult:
         """Run a validation campaign through the campaign scheduler.
 
         The matrix (experiments x configurations x rounds) is expanded into a
-        job DAG, dispatched over *workers* simulated client machines, and the
+        job DAG, dispatched over *workers* simulated client machines under
+        the selected scheduling *policy* (FIFO by default), and the
         system-wide build cache de-duplicates identical package builds.  The
         produced runs and catalogue records are bit-identical to calling
-        :meth:`validate` cell by cell, for any worker count.
+        :meth:`validate` cell by cell, for any worker count and any policy —
+        and, thanks to replayed cache entries, for any warm-start state.
+
+        With *warm_start* (the default), a build-cache snapshot persisted in
+        the common storage's ``buildcache`` namespace is restored before the
+        first campaign of this installation, so a fresh ``SPSystem`` mounted
+        on a loaded storage starts with the previous installation's cache.
         """
+        if warm_start and len(self.build_cache) == 0:
+            # Installs the restored cache as self.build_cache (no-op probe
+            # when the storage carries no snapshot).
+            self.restore_build_cache(missing_ok=True)
         scheduler = CampaignScheduler(
             self,
             workers=workers,
             batch_size=batch_size,
             failures=tuple(failures),
             cache=self.build_cache,
+            policy=policy,
+            deadline_seconds=deadline_seconds,
         )
         campaign = scheduler.run(
             experiment_names,
@@ -317,6 +366,44 @@ class SPSystem:
             reason=reason.value,
         )
         return frozen
+
+    # -- build-cache persistence ---------------------------------------------------
+    def persist_build_cache(self) -> int:
+        """Snapshot the effective build cache into the common storage.
+
+        The snapshot lands in the ``buildcache`` namespace, so a subsequent
+        ``storage.persist(directory)`` carries it to disk alongside the run
+        documents, and a fresh installation mounting the loaded storage (or
+        calling :meth:`restore_build_cache`) warm-starts from it.  Returns
+        the number of persisted cache entries.
+        """
+        return self.effective_build_cache().persist_to(self.storage)
+
+    def restore_build_cache(
+        self,
+        storage: Optional[CommonStorage] = None,
+        missing_ok: bool = False,
+    ) -> Optional[BuildCache]:
+        """Restore the build cache from a persisted ``buildcache`` snapshot.
+
+        Reads from *storage* (default: this installation's own common
+        storage), re-materialises the snapshot's tarballs into this
+        installation's :class:`ArtifactStore` and installs the restored
+        cache as :attr:`build_cache`.  Entries whose artifact digest cannot
+        be materialised are evicted on restore.  Without a snapshot, raises
+        :class:`~repro._common.StorageError` — or returns None when
+        *missing_ok* is set (the warm-start probe).
+        """
+        source = storage if storage is not None else self.storage
+        if BuildCache.NAMESPACE not in source.namespaces():
+            if missing_ok:
+                return None
+            raise StorageError(
+                "no persisted build cache: the storage has no "
+                f"{BuildCache.NAMESPACE!r} namespace"
+            )
+        self.build_cache = BuildCache.restore_from(source, self.artifact_store)
+        return self.build_cache
 
     # -- bookkeeping -----------------------------------------------------------------
     def effective_build_cache(self) -> BuildCache:

@@ -27,6 +27,9 @@ from repro.hepdata.numerics import NumericContext
 class TestKind(enum.Enum):
     """The kinds of validation test the experiments define."""
 
+    # Not a pytest test class, despite the Test* name.
+    __test__ = False
+
     COMPILATION = "compilation"
     STANDALONE = "standalone"
     CHAIN_STEP = "chain-step"
@@ -55,6 +58,10 @@ class TestOutput:
     Exactly one of the payload fields is expected to be populated, matching
     :attr:`kind`; :meth:`validate` enforces that.
     """
+
+    # Not a pytest test class, despite the Test* name (plain class attribute,
+    # not a dataclass field).
+    __test__ = False
 
     kind: OutputKind
     passed: bool

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro._common import ConfigurationError, version_at_least, version_less_than
 from repro.environment.configuration import EnvironmentConfiguration
@@ -63,6 +63,25 @@ class CompatibilityIssue:
     def __str__(self) -> str:
         return f"[{self.severity.value}] {self.category.value}/{self.component}: {self.message}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for the common storage (e.g. persisted build results)."""
+        return {
+            "severity": self.severity.value,
+            "category": self.category.value,
+            "component": self.component,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CompatibilityIssue":
+        """Reconstruct an issue serialised by :meth:`to_dict`."""
+        return cls(
+            severity=IssueSeverity(str(payload["severity"])),
+            category=IssueCategory(str(payload["category"])),
+            component=str(payload["component"]),
+            message=str(payload["message"]),
+        )
+
 
 @dataclass(frozen=True)
 class ExternalRequirement:
@@ -78,6 +97,28 @@ class ExternalRequirement:
             raise ConfigurationError(
                 f"{self.product}: max_api_level < min_api_level"
             )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for the common storage."""
+        return {
+            "product": self.product,
+            "min_api_level": self.min_api_level,
+            "max_api_level": self.max_api_level,
+            "used_apis": sorted(self.used_apis),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExternalRequirement":
+        """Reconstruct a requirement serialised by :meth:`to_dict`."""
+        max_api_level = payload.get("max_api_level")
+        return cls(
+            product=str(payload["product"]),
+            min_api_level=int(payload.get("min_api_level", 0)),  # type: ignore[arg-type]
+            max_api_level=int(max_api_level) if max_api_level is not None else None,  # type: ignore[arg-type]
+            used_apis=frozenset(
+                str(api) for api in payload.get("used_apis", [])  # type: ignore[union-attr]
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -124,6 +165,41 @@ class SoftwareRequirements:
     def required_products(self) -> List[str]:
         """Return the external products this requirement set depends on."""
         return [requirement.product for requirement in self.externals]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise for the common storage."""
+        return {
+            "min_compiler": self.min_compiler,
+            "max_compiler": self.max_compiler,
+            "max_strictness": self.max_strictness,
+            "word_sizes": list(self.word_sizes),
+            "cxx_standard": self.cxx_standard,
+            "min_os_abi": self.min_os_abi,
+            "max_os_abi": self.max_os_abi,
+            "externals": [requirement.to_dict() for requirement in self.externals],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SoftwareRequirements":
+        """Reconstruct requirements serialised by :meth:`to_dict`."""
+        max_compiler = payload.get("max_compiler")
+        cxx_standard = payload.get("cxx_standard")
+        max_os_abi = payload.get("max_os_abi")
+        return cls(
+            min_compiler=str(payload.get("min_compiler", "3.4")),
+            max_compiler=str(max_compiler) if max_compiler is not None else None,
+            max_strictness=int(payload.get("max_strictness", 99)),  # type: ignore[arg-type]
+            word_sizes=tuple(
+                int(size) for size in payload.get("word_sizes", (32, 64))  # type: ignore[union-attr]
+            ),
+            cxx_standard=str(cxx_standard) if cxx_standard is not None else None,
+            min_os_abi=int(payload.get("min_os_abi", 0)),  # type: ignore[arg-type]
+            max_os_abi=int(max_os_abi) if max_os_abi is not None else None,  # type: ignore[arg-type]
+            externals=tuple(
+                ExternalRequirement.from_dict(external)  # type: ignore[arg-type]
+                for external in payload.get("externals", [])  # type: ignore[union-attr]
+            ),
+        )
 
 
 class CompatibilityChecker:

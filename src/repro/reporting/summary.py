@@ -235,7 +235,8 @@ def build_cache_rows(statistics) -> List[Dict[str, object]]:
 
 def campaign_schedule_rows(schedule) -> List[Dict[str, object]]:
     """Rows describing the simulated worker-pool timeline of a campaign."""
-    return [
+    rows = [
+        {"quantity": "scheduling policy", "value": schedule.policy},
         {"quantity": "workers", "value": schedule.n_workers},
         {"quantity": "slots per worker", "value": schedule.slots_per_worker},
         {"quantity": "sequential seconds", "value": f"{schedule.sequential_seconds:.0f}"},
@@ -246,6 +247,27 @@ def campaign_schedule_rows(schedule) -> List[Dict[str, object]]:
         {"quantity": "task retries after worker failures", "value": schedule.n_retries},
         {"quantity": "failed workers", "value": len(schedule.failed_workers)},
     ]
+    if schedule.deadline_seconds is not None:
+        late = schedule.late_cells()
+        rows.append(
+            {
+                "quantity": "deadline seconds",
+                "value": f"{schedule.deadline_seconds:.0f}",
+            }
+        )
+        rows.append(
+            {
+                "quantity": "deadline verdict",
+                "value": (
+                    "met" if schedule.met_deadline
+                    else f"missed ({len(late)} late cell(s): "
+                    + ", ".join(str(index) for index in late[:8])
+                    + (", ..." if len(late) > 8 else "")
+                    + ")"
+                ),
+            }
+        )
+    return rows
 
 
 def render_campaign_report(campaign) -> str:

@@ -4,9 +4,16 @@
 runs for a given description and indicate the status of the compilation for
 the individual packages or tests within table cells, which are linked to a
 corresponding output file."  The :class:`StatusPageGenerator` produces those
-pages as self-contained static HTML: an index of runs per description, and a
+pages as self-contained static HTML: an index of runs per description, a
 per-run page with one coloured cell per test linking to the stored output
-document.
+document, and a campaign page showing the worker-pool timeline and
+build-cache accounting of a scheduled campaign.
+
+Pages are stored as ``{"html": ...}`` documents in the ``reports`` namespace;
+:meth:`~repro.storage.common_storage.CommonStorage.persist` writes them as
+browsable ``.html`` files, so every relative link on a page (``index`` →
+``runpage_<id>.html``, run page → ``../results/<key>.json``) resolves inside
+the persisted directory tree.
 """
 
 from __future__ import annotations
@@ -28,6 +35,9 @@ STATUS_COLOURS = {
     "not-run": "#9e9e9e",
 }
 
+#: Colour for statuses outside STATUS_COLOURS (e.g. "empty", "unknown").
+FALLBACK_COLOUR = "#9e9e9e"
+
 
 class StatusPageGenerator:
     """Generates static HTML status pages and stores them on the common storage."""
@@ -44,9 +54,11 @@ class StatusPageGenerator:
         """Render the status page of one validation run."""
         rows = []
         for job in run.jobs:
-            colour = STATUS_COLOURS.get(job.status.value, "#9e9e9e")
+            colour = STATUS_COLOURS.get(job.status.value, FALLBACK_COLOUR)
+            # Run pages persist below <dir>/reports/, the output documents
+            # below <dir>/results/ — the link must climb out of reports/.
             output_link = (
-                f'<a href="results/{html.escape(job.output_key)}.json">output</a>'
+                f'<a href="../results/{html.escape(job.output_key)}.json">output</a>'
                 if job.output_key
                 else "&mdash;"
             )
@@ -88,9 +100,9 @@ class StatusPageGenerator:
         for description in sorted(groups):
             rows = []
             for record in groups[description]:
-                colour = STATUS_COLOURS.get(
-                    "passed" if record.overall_status == "passed" else "failed", "#9e9e9e"
-                )
+                # Look the actual status up: a skipped or not-run record gets
+                # its own colour, anything unknown the grey fallback.
+                colour = STATUS_COLOURS.get(record.overall_status, FALLBACK_COLOUR)
                 rows.append(
                     "<tr>"
                     f"<td><a href='runpage_{html.escape(record.run_id)}.html'>"
@@ -114,6 +126,125 @@ class StatusPageGenerator:
         body = "<h1>sp-system validation runs</h1>" + "".join(sections)
         page = _wrap_page("sp-system validation runs", body)
         self.storage.put(self.NAMESPACE, "index", {"html": page})
+        return page
+
+    # -- campaign page --------------------------------------------------------
+    #: Timeline rows beyond this count are elided to keep the page browsable.
+    MAX_TIMELINE_ROWS = 200
+
+    def campaign_page(self, result) -> str:
+        """Render the status page of one scheduled validation campaign.
+
+        *result* is duck-typed (the scheduler's ``CampaignResult``): the page
+        shows the pool timeline, per-worker utilisation, the build-cache
+        accounting and one row per matrix cell linking into the existing run
+        pages.  Run pages for the campaign's cells are generated alongside,
+        so the links are live once the storage is persisted.
+        """
+        schedule = result.schedule
+        for cell in result.cells:
+            if not self.storage.exists(self.NAMESPACE, f"runpage_{cell.run.run_id}"):
+                self.run_page(cell.run)
+        late = set(schedule.late_cells())
+        header = (
+            "<h1>Validation campaign</h1>"
+            f"<p>{result.n_cells} matrix cells over {schedule.n_workers} worker(s), "
+            f"policy <b>{html.escape(schedule.policy)}</b> &mdash; "
+            f"makespan {schedule.makespan_seconds:,.0f} s "
+            f"(sequential {schedule.sequential_seconds:,.0f} s, "
+            f"{schedule.speedup:.2f}x speedup, "
+            f"utilisation {schedule.utilisation:.1%})</p>"
+        )
+        if schedule.deadline_seconds is not None:
+            verdict = (
+                "met" if schedule.met_deadline
+                else f"missed &mdash; {len(late)} late cell(s)"
+            )
+            header += (
+                f"<p>deadline {schedule.deadline_seconds:,.0f} s: {verdict}</p>"
+            )
+        cache = result.cache_statistics
+        cache_table = (
+            "<h2>Build cache</h2>"
+            "<table border='1' cellspacing='0' cellpadding='3'>"
+            "<tr><th>hits</th><th>misses</th><th>stores</th>"
+            "<th>evictions</th><th>hit rate</th></tr>"
+            f"<tr><td>{cache.hits}</td><td>{cache.misses}</td>"
+            f"<td>{cache.stores}</td><td>{cache.evictions}</td>"
+            f"<td>{cache.hit_rate:.1%}</td></tr>"
+            "</table>"
+        )
+        worker_rows = []
+        for worker_index in range(schedule.n_workers):
+            busy = schedule.busy_seconds_per_worker.get(worker_index, 0.0)
+            n_tasks = len(schedule.assignments_for_worker(worker_index))
+            status = "failed" if worker_index in schedule.failed_workers else "healthy"
+            worker_rows.append(
+                "<tr>"
+                f"<td>worker {worker_index}</td><td>{status}</td>"
+                f"<td>{n_tasks}</td><td>{busy:,.0f}</td>"
+                "</tr>"
+            )
+        worker_table = (
+            "<h2>Per-worker utilisation</h2>"
+            "<table border='1' cellspacing='0' cellpadding='3'>"
+            "<tr><th>worker</th><th>state</th><th>tasks</th><th>busy seconds</th></tr>"
+            + "".join(worker_rows)
+            + "</table>"
+        )
+        cell_rows = []
+        for cell in result.cells:
+            run = cell.run
+            colour = STATUS_COLOURS.get(run.overall_status, FALLBACK_COLOUR)
+            end_seconds = schedule.cell_end_seconds.get(cell.index)
+            finished = f"{end_seconds:,.0f}" if end_seconds is not None else "&mdash;"
+            deadline_note = " (late)" if cell.index in late else ""
+            cell_rows.append(
+                "<tr>"
+                f"<td>{cell.index}</td>"
+                f"<td>{html.escape(cell.experiment)}</td>"
+                f"<td>{html.escape(cell.configuration_key)}</td>"
+                f"<td><a href='runpage_{html.escape(run.run_id)}.html'>"
+                f"{html.escape(run.run_id)}</a></td>"
+                f'<td style="background-color:{colour}">'
+                f"{html.escape(run.overall_status)}</td>"
+                f"<td>{finished}{deadline_note}</td>"
+                "</tr>"
+            )
+        cell_table = (
+            "<h2>Matrix cells</h2>"
+            "<table border='1' cellspacing='0' cellpadding='3'>"
+            "<tr><th>cell</th><th>experiment</th><th>configuration</th>"
+            "<th>run</th><th>status</th><th>finished at (s)</th></tr>"
+            + "".join(cell_rows)
+            + "</table>"
+        )
+        timeline_rows = []
+        for assignment in schedule.assignments[: self.MAX_TIMELINE_ROWS]:
+            timeline_rows.append(
+                "<tr>"
+                f"<td>{html.escape(assignment.task_id)}</td>"
+                f"<td>worker {assignment.worker_index}</td>"
+                f"<td>{assignment.start_seconds:,.0f}</td>"
+                f"<td>{assignment.end_seconds:,.0f}</td>"
+                f"<td>{assignment.attempt}</td>"
+                "</tr>"
+            )
+        elided = len(schedule.assignments) - len(timeline_rows)
+        timeline_table = (
+            "<h2>Pool timeline</h2>"
+            "<table border='1' cellspacing='0' cellpadding='3'>"
+            "<tr><th>task</th><th>worker</th><th>start (s)</th>"
+            "<th>end (s)</th><th>attempt</th></tr>"
+            + "".join(timeline_rows)
+            + "</table>"
+            + (f"<p>... and {elided} more task(s)</p>" if elided > 0 else "")
+        )
+        page = _wrap_page(
+            "sp-system validation campaign",
+            header + cache_table + worker_table + cell_table + timeline_table,
+        )
+        self.storage.put(self.NAMESPACE, "campaign", {"html": page})
         return page
 
     # -- summary page ------------------------------------------------------------
@@ -142,4 +273,4 @@ def _wrap_page(title: str, body: str) -> str:
     )
 
 
-__all__ = ["StatusPageGenerator", "STATUS_COLOURS"]
+__all__ = ["StatusPageGenerator", "STATUS_COLOURS", "FALLBACK_COLOUR"]

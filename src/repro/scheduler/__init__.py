@@ -18,10 +18,16 @@ from repro.scheduler.cache import (
 from repro.scheduler.campaign import CampaignCell, CampaignResult, CampaignScheduler
 from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
 from repro.scheduler.pool import (
+    SCHEDULING_POLICIES,
+    CriticalPathPolicy,
+    FifoPolicy,
+    LongestTaskFirstPolicy,
     PoolSchedule,
+    SchedulingPolicy,
     SimulatedWorkerPool,
     TaskAssignment,
     WorkerFailure,
+    scheduling_policy,
 )
 
 __all__ = [
@@ -36,6 +42,12 @@ __all__ = [
     "CampaignTask",
     "TaskKind",
     "PoolSchedule",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "LongestTaskFirstPolicy",
+    "CriticalPathPolicy",
+    "SCHEDULING_POLICIES",
+    "scheduling_policy",
     "SimulatedWorkerPool",
     "TaskAssignment",
     "WorkerFailure",

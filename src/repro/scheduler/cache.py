@@ -14,6 +14,14 @@ skipping the work.
 Cached tarballs live in the :class:`~repro.storage.artifacts.ArtifactStore`;
 an entry whose artifact has been removed or overwritten there is evicted on
 the next lookup instead of serving a dangling digest.
+
+The cache is also a resident of the common sp-system storage: the paper's
+"common sp-system storage where the tests from the experiments as well as the
+test results are stored" is exactly where validated build artifacts belong
+across campaigns.  :meth:`BuildCache.persist_to` snapshots every entry (and
+its tarball payload) into the ``buildcache`` namespace, and
+:meth:`BuildCache.restore_from` warm-starts a fresh cache from it — evicting
+on restore any entry whose artifact digest can no longer be materialised.
 """
 
 from __future__ import annotations
@@ -24,9 +32,11 @@ from typing import Dict, Optional
 from repro._common import stable_digest
 from repro.buildsys.builder import BuildResult, PackageBuilder
 from repro.buildsys.package import SoftwarePackage
+from repro.buildsys.tarball import Tarball
 from repro.environment.compatibility import SoftwareRequirements
 from repro.environment.configuration import EnvironmentConfiguration
 from repro.storage.artifacts import ArtifactStore
+from repro.storage.common_storage import CommonStorage
 
 
 def _requirements_fingerprint(requirements: SoftwareRequirements) -> str:
@@ -122,12 +132,31 @@ class CacheStatistics:
             "hit_rate": self.hit_rate,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CacheStatistics":
+        """Reconstruct statistics serialised by :meth:`as_dict`."""
+        return cls(
+            hits=int(payload.get("hits", 0)),  # type: ignore[arg-type]
+            misses=int(payload.get("misses", 0)),  # type: ignore[arg-type]
+            stores=int(payload.get("stores", 0)),  # type: ignore[arg-type]
+            evictions=int(payload.get("evictions", 0)),  # type: ignore[arg-type]
+        )
+
 
 class BuildCache:
     """Caches build results by content hash, backed by the artifact store."""
 
     #: Label under which cached tarballs are referenced in the artifact store.
     ARTIFACT_LABEL = "build-cache"
+
+    #: Common-storage namespace holding the persisted cache snapshot.
+    NAMESPACE = "buildcache"
+
+    #: Key prefixes inside the namespace (storage keys must start with a
+    #: letter, so the hex content hashes and digests get a prefix).
+    ENTRY_PREFIX = "entry_"
+    ARTIFACT_PREFIX = "artifact_"
+    STATISTICS_KEY = "statistics"
 
     def __init__(self, artifact_store: Optional[ArtifactStore] = None) -> None:
         self.artifact_store = artifact_store
@@ -182,6 +211,92 @@ class BuildCache:
         """Drop every entry (the statistics are kept)."""
         self._entries.clear()
 
+    # -- cross-campaign persistence -----------------------------------------
+    def persist_to(self, storage: CommonStorage) -> int:
+        """Snapshot the cache into *storage*'s ``buildcache`` namespace.
+
+        Every (still valid) entry is written as an ``entry_<key>`` document;
+        the tarball payloads go alongside as ``artifact_<digest>`` documents
+        so a fresh installation restoring the snapshot can re-materialise the
+        artifacts into its own :class:`ArtifactStore`.  The cumulative
+        statistics are stored too, so cross-campaign accounting survives a
+        restart.  Stale documents from a previous snapshot are replaced
+        wholesale.  Returns the number of persisted entries.
+        """
+        namespace = storage.create_namespace(self.NAMESPACE)
+        for key in namespace.keys():
+            namespace.delete(key)
+        persisted = 0
+        for key, entry in sorted(self._entries.items()):
+            if self._artifact_gone(entry):
+                continue
+            namespace.put(
+                f"{self.ENTRY_PREFIX}{key}",
+                {"cache_key": key, "result": entry.to_dict()},
+            )
+            if entry.tarball is not None:
+                namespace.put(
+                    f"{self.ARTIFACT_PREFIX}{entry.tarball.digest}",
+                    entry.tarball.to_dict(),
+                )
+            persisted += 1
+        namespace.put(self.STATISTICS_KEY, self.statistics.as_dict())
+        return persisted
+
+    @classmethod
+    def restore_from(
+        cls, storage: CommonStorage, artifact_store: Optional[ArtifactStore] = None
+    ) -> "BuildCache":
+        """Warm-start a cache from a snapshot persisted by :meth:`persist_to`.
+
+        Tarballs travelling with the snapshot are re-materialised into
+        *artifact_store*.  An entry whose artifact digest is neither already
+        present in the store nor part of the snapshot is evicted on restore
+        (and counted in ``statistics.evictions``) instead of being loaded
+        with a dangling digest.  The source *storage* is never modified — it
+        may belong to another live installation; the next :meth:`persist_to`
+        rewrites the snapshot without the evicted entries anyway.  A storage
+        without a ``buildcache`` namespace restores to an empty cache.
+        """
+        cache = cls(artifact_store)
+        if cls.NAMESPACE not in storage.namespaces():
+            return cache
+        namespace = storage.namespace(cls.NAMESPACE)
+        if namespace.exists(cls.STATISTICS_KEY):
+            cache.statistics = CacheStatistics.from_dict(
+                namespace.get(cls.STATISTICS_KEY)  # type: ignore[arg-type]
+            )
+        for key in namespace.keys(prefix=cls.ENTRY_PREFIX):
+            document = namespace.get(key)
+            entry = BuildResult.from_dict(document["result"])  # type: ignore[index,arg-type]
+            if not cache._materialise_artifact(entry, namespace):
+                cache.statistics.evictions += 1
+                continue
+            cache._entries[str(document["cache_key"])] = entry  # type: ignore[index]
+        return cache
+
+    def _materialise_artifact(self, entry: BuildResult, namespace) -> bool:
+        """Ensure the entry's tarball exists in the artifact store.
+
+        Returns False when the digest can no longer be materialised — the
+        restore-time equivalent of the lookup-time eviction.
+        """
+        if entry.tarball is None:
+            return True
+        if self.artifact_store is None:
+            # No backing store to check against; mirror the lookup-time
+            # semantics, where a store-less cache never evicts.
+            return True
+        if self.artifact_store.exists(entry.tarball.digest):
+            return True
+        artifact_key = f"{self.ARTIFACT_PREFIX}{entry.tarball.digest}"
+        if not namespace.exists(artifact_key):
+            return False
+        tarball = Tarball.from_dict(namespace.get(artifact_key))
+        self.artifact_store.store(tarball, label=self.ARTIFACT_LABEL)
+        return True
+
+    # -- internals -----------------------------------------------------------
     def _artifact_gone(self, entry: BuildResult) -> bool:
         return (
             entry.tarball is not None

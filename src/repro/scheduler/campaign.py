@@ -19,7 +19,7 @@ retries after worker failures), never its scientific output.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro._common import SchedulingError, chunked
 from repro.buildsys.graph import DependencyGraph
@@ -28,7 +28,13 @@ from repro.core.testspec import ExperimentDefinition
 from repro.reporting.summary import render_campaign_report
 from repro.scheduler.cache import BuildCache, CacheStatistics, CachingPackageBuilder
 from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
-from repro.scheduler.pool import PoolSchedule, SimulatedWorkerPool, WorkerFailure
+from repro.scheduler.pool import (
+    PoolSchedule,
+    SchedulingPolicy,
+    SimulatedWorkerPool,
+    WorkerFailure,
+    scheduling_policy,
+)
 from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -65,6 +71,7 @@ class CampaignResult:
     batch_size: int
     rounds: int
     description: Optional[str] = None
+    policy: str = "fifo"
 
     @property
     def n_cells(self) -> int:
@@ -112,6 +119,8 @@ class CampaignScheduler:
         worker_profile: ResourceProfile = VALIDATION_VM_PROFILE,
         failures: Sequence[WorkerFailure] = (),
         cache: Optional[BuildCache] = None,
+        policy: Union[str, SchedulingPolicy, None] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> None:
         if workers < 1:
             raise SchedulingError("a campaign needs at least one worker")
@@ -123,6 +132,8 @@ class CampaignScheduler:
         self.worker_profile = worker_profile
         self.failures = tuple(failures)
         self.cache = cache if cache is not None else BuildCache(system.artifact_store)
+        self.policy = scheduling_policy(policy)
+        self.deadline_seconds = deadline_seconds
 
     # -- campaign execution ----------------------------------------------------
     def run(
@@ -159,7 +170,11 @@ class CampaignScheduler:
         cells = self._execute_cells(spec, description, caching_builder)
         dag = self._build_dag(cells)
         pool = SimulatedWorkerPool(
-            self.workers, profile=self.worker_profile, failures=self.failures
+            self.workers,
+            profile=self.worker_profile,
+            failures=self.failures,
+            policy=self.policy,
+            deadline_seconds=self.deadline_seconds,
         )
         try:
             schedule = pool.execute(dag)
@@ -180,6 +195,7 @@ class CampaignScheduler:
             batch_size=self.batch_size,
             rounds=rounds,
             description=description,
+            policy=self.policy.name,
         )
 
     def _caching_builder(self) -> CachingPackageBuilder:

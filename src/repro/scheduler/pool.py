@@ -3,10 +3,18 @@
 The sp-system clients are small virtual machines; their
 :class:`~repro.virtualization.resources.ResourceProfile` supplies the slots
 (one task per CPU core).  The pool runs a deterministic event-driven
-simulation: ready tasks are assigned in DAG order to the lowest-indexed
-worker with a free core, time jumps to the next task completion or injected
-worker failure, and the makespan is compared against the one-slot sequential
-execution.
+simulation: ready tasks are assigned by the selected
+:class:`SchedulingPolicy` to the lowest-indexed worker with a free core,
+time jumps to the next task completion or injected worker failure, and the
+makespan is compared against the one-slot sequential execution.
+
+Three policies ship with the pool: FIFO (today's DAG insertion order),
+longest-task-first, and critical-path priority (tasks heading the longest
+remaining dependency chain go first).  A policy only reorders the *ready*
+queue — dependencies always gate dispatch — so it changes the timeline, never
+the scientific output.  An optional deadline turns the schedule into a
+deadline report: :meth:`PoolSchedule.late_cells` names the matrix cells that
+finished after it.
 
 Failure injection is first class: a :class:`WorkerFailure` kills a worker at
 a simulated time, its in-flight tasks are requeued and retried on the
@@ -18,10 +26,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro._common import SchedulingError
-from repro.scheduler.dag import CampaignDAG
+from repro.scheduler.dag import CampaignDAG, CampaignTask
 from repro.virtualization.resources import (
     VALIDATION_VM_PROFILE,
     ResourceAccountant,
@@ -45,6 +53,96 @@ class WorkerFailure:
     def __post_init__(self) -> None:
         if self.at_seconds < 0:
             raise SchedulingError("a worker cannot fail before the campaign starts")
+
+
+class SchedulingPolicy:
+    """Decides which ready task a free worker slot picks up next.
+
+    A policy maps each task to a priority tuple; the pool keeps the ready
+    queue as a min-heap of ``(priority, dag_order, task_id)``, so every
+    policy is deterministic — ties always fall back to DAG insertion order.
+    Policies only see *ready* tasks (dependencies already satisfied), which
+    is why they can never change what gets executed, only when.
+    """
+
+    #: Registry name, also used by the CLI ``--policy`` flag.
+    name = "base"
+
+    def prepare(self, dag: CampaignDAG) -> None:
+        """Precompute any per-DAG state; called once per pool execution."""
+
+    def priority(self, task: CampaignTask) -> Tuple:
+        """Priority tuple of *task*; smaller sorts (and so dispatches) first."""
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulingPolicy):
+    """DAG insertion order — the sequential path's order, today's default."""
+
+    name = "fifo"
+
+    def priority(self, task: CampaignTask) -> Tuple:
+        return ()
+
+
+class LongestTaskFirstPolicy(SchedulingPolicy):
+    """Longest ready task first — classic LPT to even out worker finish times."""
+
+    name = "longest-first"
+
+    def priority(self, task: CampaignTask) -> Tuple:
+        return (-task.duration_seconds,)
+
+
+class CriticalPathPolicy(SchedulingPolicy):
+    """Tasks heading the longest remaining dependency chain go first.
+
+    The priority of a task is the length of the longest chain from the task
+    (inclusive) to any sink of the DAG — its *downstream* critical path.
+    Dispatching chain heads early keeps the pool from discovering late that
+    the makespan is gated by an analysis chain it left for last.
+    """
+
+    name = "critical-path"
+
+    def __init__(self) -> None:
+        self._downstream: Dict[str, float] = {}
+
+    def prepare(self, dag: CampaignDAG) -> None:
+        # Tasks are stored dependencies-first, so a reverse sweep sees every
+        # dependent before the tasks it depends on.
+        self._downstream = {}
+        dependents = dag.dependents()
+        for task in reversed(dag.tasks()):
+            self._downstream[task.task_id] = task.duration_seconds + max(
+                (self._downstream[dependent] for dependent in dependents[task.task_id]),
+                default=0.0,
+            )
+
+    def priority(self, task: CampaignTask) -> Tuple:
+        return (-self._downstream.get(task.task_id, task.duration_seconds),)
+
+
+#: The scheduling policies selectable by name (CLI ``--policy``).
+SCHEDULING_POLICIES = {
+    policy.name: policy
+    for policy in (FifoPolicy, LongestTaskFirstPolicy, CriticalPathPolicy)
+}
+
+
+def scheduling_policy(policy: Union[str, SchedulingPolicy, None]) -> SchedulingPolicy:
+    """Resolve a policy instance from a name, an instance, or None (FIFO)."""
+    if policy is None:
+        return FifoPolicy()
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    try:
+        return SCHEDULING_POLICIES[policy]()
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULING_POLICIES))
+        raise SchedulingError(
+            f"unknown scheduling policy {policy!r} (known: {known})"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -73,6 +171,9 @@ class PoolSchedule:
     busy_seconds_per_worker: Dict[int, float] = field(default_factory=dict)
     peak_concurrent_tasks: int = 0
     available_slot_seconds: float = 0.0
+    policy: str = FifoPolicy.name
+    deadline_seconds: Optional[float] = None
+    cell_end_seconds: Dict[int, float] = field(default_factory=dict)
 
     @property
     def total_slots(self) -> int:
@@ -105,6 +206,31 @@ class PoolSchedule:
             if assignment.worker_index == worker_index
         ]
 
+    # -- deadline reporting -------------------------------------------------
+    @property
+    def met_deadline(self) -> bool:
+        """True when the whole campaign finished by the deadline (or none set)."""
+        return self.deadline_seconds is None or (
+            self.makespan_seconds <= self.deadline_seconds
+        )
+
+    def late_cells(self, deadline_seconds: Optional[float] = None) -> List[int]:
+        """Indices of matrix cells whose last task finished after the deadline.
+
+        Uses the schedule's own deadline when *deadline_seconds* is omitted;
+        without either, no cell is late.
+        """
+        deadline = (
+            deadline_seconds if deadline_seconds is not None else self.deadline_seconds
+        )
+        if deadline is None:
+            return []
+        return sorted(
+            cell_index
+            for cell_index, end_seconds in self.cell_end_seconds.items()
+            if end_seconds > deadline
+        )
+
 
 class SimulatedWorkerPool:
     """Executes a campaign DAG over N simulated sp-system client workers."""
@@ -114,11 +240,17 @@ class SimulatedWorkerPool:
         n_workers: int = 1,
         profile: ResourceProfile = VALIDATION_VM_PROFILE,
         failures: Sequence[WorkerFailure] = (),
+        policy: Union[str, SchedulingPolicy, None] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> None:
         if n_workers < 1:
             raise SchedulingError("a worker pool needs at least one worker")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise SchedulingError("a campaign deadline must be positive")
         self.n_workers = n_workers
         self.profile = profile
+        self.policy = scheduling_policy(policy)
+        self.deadline_seconds = deadline_seconds
         for failure in failures:
             if not 0 <= failure.worker_index < n_workers:
                 raise SchedulingError(
@@ -142,10 +274,20 @@ class SimulatedWorkerPool:
         remaining_deps = {
             task.task_id: set(task.dependencies) for task in tasks
         }
-        ready: List[Tuple[int, str]] = [
-            (order_index[task.task_id], task.task_id)
-            for task in tasks
-            if not task.dependencies
+        # Ready-queue entries are (policy priority, DAG order, task id): the
+        # policy decides, DAG insertion order breaks every tie, so any policy
+        # yields one deterministic timeline.
+        self.policy.prepare(dag)
+
+        def ready_entry(task_id: str) -> Tuple[Tuple, int, str]:
+            return (
+                self.policy.priority(dag.get(task_id)),
+                order_index[task_id],
+                task_id,
+            )
+
+        ready: List[Tuple[Tuple, int, str]] = [
+            ready_entry(task.task_id) for task in tasks if not task.dependencies
         ]
         heapq.heapify(ready)
         pending_failures = list(self.failures)
@@ -175,7 +317,7 @@ class SimulatedWorkerPool:
                 )
                 if worker is None:
                     return
-                _, task_id = heapq.heappop(ready)
+                task_id = heapq.heappop(ready)[2]
                 task = dag.get(task_id)
                 attempts[task_id] = attempts.get(task_id, 0) + 1
                 self.accountants[worker].reserve(
@@ -211,7 +353,7 @@ class SimulatedWorkerPool:
                     )
                     del running[task_id]
                     retries += 1
-                    heapq.heappush(ready, (order_index[task_id], task_id))
+                    heapq.heappush(ready, ready_entry(task_id))
                 end_heap = [
                     entry for entry in end_heap if entry[2] in running
                 ]
@@ -259,8 +401,14 @@ class SimulatedWorkerPool:
                     remaining = remaining_deps[dependent]
                     remaining.discard(task_id)
                     if not remaining and dependent not in running:
-                        heapq.heappush(ready, (order_index[dependent], dependent))
+                        heapq.heappush(ready, ready_entry(dependent))
 
+        cell_end_seconds: Dict[int, float] = {}
+        for assignment in assignments:
+            cell_index = dag.get(assignment.task_id).cell_index
+            cell_end_seconds[cell_index] = max(
+                cell_end_seconds.get(cell_index, 0.0), assignment.end_seconds
+            )
         return PoolSchedule(
             n_workers=self.n_workers,
             slots_per_worker=self.profile.cpu_cores,
@@ -281,11 +429,20 @@ class SimulatedWorkerPool:
                 min(death_times.get(index, now), now) * self.profile.cpu_cores
                 for index in range(self.n_workers)
             ),
+            policy=self.policy.name,
+            deadline_seconds=self.deadline_seconds,
+            cell_end_seconds=cell_end_seconds,
         )
 
 
 __all__ = [
     "WorkerFailure",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "LongestTaskFirstPolicy",
+    "CriticalPathPolicy",
+    "SCHEDULING_POLICIES",
+    "scheduling_policy",
     "TaskAssignment",
     "PoolSchedule",
     "SimulatedWorkerPool",

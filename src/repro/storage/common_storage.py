@@ -126,6 +126,11 @@ class CommonStorage:
     def persist(self, directory: str) -> List[str]:
         """Write every document as a JSON file below *directory*.
 
+        HTML page documents (the ``{"html": ...}`` shape the status web
+        pages use) are written as browsable ``.html`` files instead, so the
+        relative links between persisted pages (``runpage_<id>.html``,
+        ``../results/<key>.json``) resolve in a browser.
+
         Returns the list of written file paths.  Used by the examples to
         leave a browsable copy of the storage behind; the library itself
         never requires disk access.
@@ -136,30 +141,58 @@ class CommonStorage:
             target_dir = os.path.join(directory, namespace_name)
             os.makedirs(target_dir, exist_ok=True)
             for key, document in namespace.items():
-                path = os.path.join(target_dir, f"{key}.json")
-                with open(path, "w", encoding="utf-8") as handle:
-                    json.dump(document, handle, indent=2, sort_keys=True)
+                if _is_html_document(document):
+                    path = os.path.join(target_dir, f"{key}.html")
+                    with open(path, "w", encoding="utf-8") as handle:
+                        handle.write(document["html"])  # type: ignore[index,arg-type]
+                else:
+                    path = os.path.join(target_dir, f"{key}.json")
+                    with open(path, "w", encoding="utf-8") as handle:
+                        json.dump(document, handle, indent=2, sort_keys=True)
                 written.append(path)
         return written
 
     @classmethod
-    def load(cls, directory: str) -> "CommonStorage":
-        """Re-create a storage previously written by :meth:`persist`."""
+    def load(
+        cls, directory: str, namespaces: Optional[Iterable[str]] = None
+    ) -> "CommonStorage":
+        """Re-create a storage previously written by :meth:`persist`.
+
+        With *namespaces*, only the named namespace directories are read —
+        e.g. warm-starting a build cache needs just ``buildcache``, not the
+        accumulated run documents and report pages of every past campaign.
+        """
         if not os.path.isdir(directory):
             raise StorageError(f"no such storage directory: {directory}")
+        wanted = set(namespaces) if namespaces is not None else None
         storage = cls(namespaces=())
         for namespace_name in sorted(os.listdir(directory)):
             namespace_dir = os.path.join(directory, namespace_name)
             if not os.path.isdir(namespace_dir):
                 continue
+            if wanted is not None and namespace_name not in wanted:
+                continue
             namespace = storage.create_namespace(namespace_name)
             for filename in sorted(os.listdir(namespace_dir)):
-                if not filename.endswith(".json"):
-                    continue
-                key = filename[:-len(".json")]
-                with open(os.path.join(namespace_dir, filename), encoding="utf-8") as handle:
-                    namespace.put(key, json.load(handle))
+                path = os.path.join(namespace_dir, filename)
+                if filename.endswith(".json"):
+                    key = filename[:-len(".json")]
+                    with open(path, encoding="utf-8") as handle:
+                        namespace.put(key, json.load(handle))
+                elif filename.endswith(".html"):
+                    key = filename[:-len(".html")]
+                    with open(path, encoding="utf-8") as handle:
+                        namespace.put(key, {"html": handle.read()})
         return storage
+
+
+def _is_html_document(document: object) -> bool:
+    """True for the ``{"html": <str>}`` documents holding rendered pages."""
+    return (
+        isinstance(document, dict)
+        and set(document) == {"html"}
+        and isinstance(document["html"], str)
+    )
 
 
 __all__ = ["CommonStorage", "StorageNamespace", "DEFAULT_NAMESPACES"]

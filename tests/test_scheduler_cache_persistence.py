@@ -1,0 +1,298 @@
+"""Tests for cross-campaign persistence of the build cache.
+
+The cache is a resident of the common sp-system storage: ``persist_to``
+snapshots entries, tarball payloads and statistics into the ``buildcache``
+namespace, ``restore_from`` warm-starts a fresh cache from the snapshot (and
+evicts entries whose artifact digest can no longer be materialised), and a
+fresh :class:`SPSystem` mounted on the persisted state warm-starts its first
+campaign with cache hits while producing bit-identical run documents.
+"""
+
+import pytest
+
+from repro._common import StorageError
+from repro.buildsys.builder import BuildResult, PackageBuilder
+from repro.core.runner import RunnerSettings
+from repro.core.spsystem import SPSystem
+from repro.experiments import build_hermes_experiment
+from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.scheduler.cache import BuildCache, CacheStatistics
+from repro.storage.artifacts import ArtifactStore
+from repro.storage.common_storage import CommonStorage
+
+
+CAMPAIGN_KEYS = ["SL5_64bit_gcc4.4", "SL6_64bit_gcc4.4"]
+
+
+@pytest.fixture()
+def inventory():
+    return build_inventory(
+        "PERSISTEXP",
+        6,
+        quirks=InventoryQuirks(
+            n_not_ported_to_newest_abi=0,
+            n_legacy_root_api=0,
+            n_strictness_limited=0,
+            n_32bit_only=0,
+        ),
+    )
+
+
+def _fresh_system():
+    system = SPSystem(
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
+    )
+    system.provision_standard_images()
+    system.register_experiment(build_hermes_experiment(scale=0.2))
+    return system
+
+
+def _populated_cache(inventory, configuration):
+    store = ArtifactStore()
+    cache = BuildCache(store)
+    builder = PackageBuilder()
+    for package in inventory.all():
+        cache.store(package, configuration, builder.build_package(package, configuration))
+    return cache, store
+
+
+class TestBuildResultRoundTrip:
+    def test_result_with_tarball_round_trips(self, inventory, sl5_64_gcc44):
+        result = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        restored = BuildResult.from_dict(result.to_dict())
+        assert restored.package == result.package
+        assert restored.status is result.status
+        assert restored.diagnostics == result.diagnostics
+        assert restored.issues == result.issues
+        assert restored.tarball == result.tarball
+        assert restored.build_seconds == result.build_seconds
+
+    def test_failed_result_without_tarball_round_trips(self, inventory, sl5_64_gcc44):
+        from repro.environment.compatibility import SoftwareRequirements
+
+        package = inventory.all()[0].with_requirements(
+            SoftwareRequirements(max_strictness=0)
+        )
+        result = PackageBuilder().build_package(package, sl5_64_gcc44)
+        assert not result.succeeded
+        restored = BuildResult.from_dict(result.to_dict())
+        assert restored.status is result.status
+        assert restored.tarball is None
+        assert restored.issues == result.issues
+
+    def test_result_document_is_json_serialisable(self, inventory, sl5_64_gcc44):
+        import json
+
+        result = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert BuildResult.from_dict(payload).package == result.package
+
+
+class TestPersistRestore:
+    def test_in_memory_round_trip(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        assert cache.persist_to(storage) == len(cache)
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == len(cache)
+        for package in inventory.all():
+            replay = restored.lookup(package, sl5_64_gcc44)
+            fresh = PackageBuilder().build_package(package, sl5_64_gcc44)
+            assert replay.status is fresh.status
+            assert replay.diagnostics == fresh.diagnostics
+            assert replay.tarball == fresh.tarball
+            assert replay.build_seconds == fresh.build_seconds
+
+    def test_restore_rematerialises_tarballs(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        target_store = ArtifactStore()
+        restored = BuildCache.restore_from(storage, target_store)
+        assert restored.statistics.evictions == 0
+        for package in inventory.all():
+            entry = restored.lookup(package, sl5_64_gcc44)
+            assert target_store.exists(entry.tarball.digest)
+            assert BuildCache.ARTIFACT_LABEL in target_store.labels_for(
+                entry.tarball.digest
+            )
+
+    def test_disk_round_trip(self, inventory, sl5_64_gcc44, tmp_path):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        storage.persist(str(tmp_path))
+        loaded = CommonStorage.load(str(tmp_path))
+        restored = BuildCache.restore_from(loaded, ArtifactStore())
+        assert len(restored) == len(cache)
+        replay = restored.lookup(inventory.all()[0], sl5_64_gcc44)
+        fresh = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        assert replay.tarball == fresh.tarball
+        assert replay.build_seconds == fresh.build_seconds
+
+    def test_namespace_filtered_load(self, inventory, sl5_64_gcc44, tmp_path):
+        """Warm-start reads only buildcache/, not the full run history."""
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        storage.put("results", "runmeta_sp-000001", {"run_id": "sp-000001"})
+        cache.persist_to(storage)
+        storage.persist(str(tmp_path))
+        loaded = CommonStorage.load(
+            str(tmp_path), namespaces=[BuildCache.NAMESPACE]
+        )
+        assert loaded.namespaces() == [BuildCache.NAMESPACE]
+        restored = BuildCache.restore_from(loaded, ArtifactStore())
+        assert len(restored) == len(cache)
+
+    def test_statistics_survive_persistence(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        cache.lookup(inventory.all()[0], sl5_64_gcc44)  # one hit
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert restored.statistics.hits == cache.statistics.hits
+        assert restored.statistics.stores == cache.statistics.stores
+
+    def test_persist_replaces_previous_snapshot(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        first_keys = storage.keys(BuildCache.NAMESPACE)
+        cache.clear()
+        assert cache.persist_to(storage) == 0
+        remaining = storage.keys(BuildCache.NAMESPACE)
+        assert remaining == [BuildCache.STATISTICS_KEY]
+        assert first_keys != remaining
+
+    def test_restore_from_storage_without_namespace(self):
+        restored = BuildCache.restore_from(CommonStorage(), ArtifactStore())
+        assert len(restored) == 0
+        assert restored.statistics == CacheStatistics()
+
+    def test_statistics_round_trip(self):
+        statistics = CacheStatistics(hits=3, misses=2, stores=2, evictions=1)
+        assert CacheStatistics.from_dict(statistics.as_dict()) == statistics
+
+
+class TestRestoreTimeEviction:
+    def test_dangling_artifact_document_evicts_entry(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        victim = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        storage.namespace(BuildCache.NAMESPACE).delete(
+            f"{BuildCache.ARTIFACT_PREFIX}{victim.tarball.digest}"
+        )
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == len(cache) - 1
+        assert restored.statistics.evictions == cache.statistics.evictions + 1
+        assert restored.lookup(inventory.all()[0], sl5_64_gcc44) is None
+
+    def test_restore_never_mutates_the_source_storage(self, inventory, sl5_64_gcc44):
+        """Restore is read-only: the snapshot may belong to a live installation."""
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        victim = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        storage.namespace(BuildCache.NAMESPACE).delete(
+            f"{BuildCache.ARTIFACT_PREFIX}{victim.tarball.digest}"
+        )
+        keys_before = storage.keys(BuildCache.NAMESPACE)
+        BuildCache.restore_from(storage, ArtifactStore())
+        assert storage.keys(BuildCache.NAMESPACE) == keys_before
+        # The restored cache's next persist drops the dangling entry instead.
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        clean = CommonStorage()
+        assert restored.persist_to(clean) == len(cache) - 1
+
+    def test_artifact_already_in_store_needs_no_payload(self, inventory, sl5_64_gcc44):
+        cache, source_store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        for key in storage.keys(
+            BuildCache.NAMESPACE, prefix=BuildCache.ARTIFACT_PREFIX
+        ):
+            storage.namespace(BuildCache.NAMESPACE).delete(key)
+        # Restoring against the store that still holds the artifacts works.
+        restored = BuildCache.restore_from(storage, source_store)
+        assert len(restored) == len(cache)
+        assert restored.statistics.evictions == cache.statistics.evictions
+
+
+class TestWarmStartCampaigns:
+    def test_second_installation_warm_starts_with_hits(self):
+        cold = _fresh_system()
+        first = cold.run_campaign(["HERMES"], CAMPAIGN_KEYS, workers=2)
+        assert first.cache_statistics.hits == 0
+        assert cold.persist_build_cache() > 0
+
+        warm = _fresh_system()
+        assert warm.restore_build_cache(cold.storage) is not None
+        second = warm.run_campaign(["HERMES"], CAMPAIGN_KEYS, workers=2)
+        assert second.cache_statistics.hits > 0
+        assert second.cache_statistics.misses == 0
+
+    def test_warm_campaign_output_is_bit_identical(self):
+        # Cold sequential baseline: one validate() call per cell.
+        baseline = _fresh_system()
+        expected = [
+            baseline.validate("HERMES", key).run.to_document()
+            for key in CAMPAIGN_KEYS
+        ]
+
+        cold = _fresh_system()
+        cold.run_campaign(["HERMES"], CAMPAIGN_KEYS)
+        cold.persist_build_cache()
+
+        warm = _fresh_system()
+        warm.restore_build_cache(cold.storage)
+        campaign = warm.run_campaign(["HERMES"], CAMPAIGN_KEYS, workers=3)
+        assert campaign.cache_statistics.hits > 0
+        assert [run.to_document() for run in campaign.runs()] == expected
+        # Catalogue records are identical too.
+        assert [record.to_dict() for record in warm.catalog.all()] == [
+            record.to_dict() for record in baseline.catalog.all()
+        ]
+
+    def test_run_campaign_warm_starts_from_mounted_storage(self, tmp_path):
+        cold = _fresh_system()
+        cold.run_campaign(["HERMES"], CAMPAIGN_KEYS)
+        cold.persist_build_cache()
+        cold.storage.persist(str(tmp_path))
+
+        # A fresh installation mounted on the loaded storage warm-starts
+        # automatically — no explicit restore call.
+        warm = SPSystem(
+            runner_settings=RunnerSettings(simulated_seconds_per_test=30.0),
+            storage=CommonStorage.load(str(tmp_path)),
+        )
+        warm.provision_standard_images()
+        warm.register_experiment(build_hermes_experiment(scale=0.2))
+        campaign = warm.run_campaign(
+            ["HERMES"], CAMPAIGN_KEYS, description="warm rerun"
+        )
+        assert campaign.cache_statistics.hits > 0
+        assert campaign.cache_statistics.misses == 0
+
+    def test_warm_start_can_be_disabled(self, tmp_path):
+        cold = _fresh_system()
+        cold.run_campaign(["HERMES"], CAMPAIGN_KEYS)
+        cold.persist_build_cache()
+        cold.storage.persist(str(tmp_path))
+
+        warm = SPSystem(
+            runner_settings=RunnerSettings(simulated_seconds_per_test=30.0),
+            storage=CommonStorage.load(str(tmp_path)),
+        )
+        warm.provision_standard_images()
+        warm.register_experiment(build_hermes_experiment(scale=0.2))
+        campaign = warm.run_campaign(
+            ["HERMES"], CAMPAIGN_KEYS, description="cold rerun", warm_start=False
+        )
+        assert campaign.cache_statistics.hits == 0
+
+    def test_restore_without_snapshot_raises(self):
+        system = _fresh_system()
+        with pytest.raises(StorageError):
+            system.restore_build_cache(CommonStorage())
+        assert system.restore_build_cache(CommonStorage(), missing_ok=True) is None
