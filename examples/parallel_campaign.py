@@ -1,20 +1,21 @@
 #!/usr/bin/env python3
-"""A parallel validation campaign over the simulated sp-system worker pool.
+"""A parallel validation campaign through the unified execution API.
 
 The regular operation of the sp-system validates every preserved experiment
-on every preserved environment.  This example drives that matrix through the
-campaign scheduler instead of cell-by-cell ``validate`` calls: the
-(experiments x configurations x rounds) matrix is expanded into a job DAG,
-dispatched over four simulated client machines, and the content-hash build
-cache replays every identical package build of the second round.  The
+on every preserved environment.  This example describes that matrix as a
+:class:`~repro.scheduler.spec.CampaignSpec` request object and submits it to
+the system: the (experiments x configurations x rounds) matrix is expanded
+into a job DAG, dispatched over four client machines, and the content-hash
+build cache replays every identical package build of the second round.  The
 scientific output — run documents and catalogue records — is bit-identical
 to the sequential path; only the campaign's wall-clock story changes.
 
-The second half demonstrates the cross-campaign features: the build cache is
-persisted into the common storage, a *fresh* installation warm-starts from
-the snapshot (every build is a cache hit, the run documents stay identical),
-and the same campaign is scheduled under each pool policy to compare the
-dispatch orders.
+The second half demonstrates the pluggable execution backends and the
+cross-campaign features: the same spec (serialised to JSON and back —
+exactly what ``campaign --spec file.json`` does) is replayed on the real
+wall-clock thread backend, a *fresh* installation warm-starts from the
+persisted build cache, and the same campaign is scheduled under each pool
+policy to compare the dispatch orders.
 
 Run with::
 
@@ -30,7 +31,7 @@ from repro.core.runner import RunnerSettings
 from repro.experiments import build_hera_experiments
 from repro.reporting.export import catalog_to_rows, rows_to_text
 from repro.reporting.summary import ValidationSummaryBuilder
-from repro.scheduler import SCHEDULING_POLICIES
+from repro.scheduler import SCHEDULING_POLICIES, CampaignSpec
 
 
 def _fresh_system() -> SPSystem:
@@ -48,9 +49,13 @@ def main() -> None:
     print(f"provisioned {len(system.configurations())} configurations, "
           f"{len(system.experiments())} experiments")
 
-    print("\nRunning a 2-round campaign over 4 simulated workers...")
-    campaign = system.run_campaign(workers=4, rounds=2)
-    print(f"  {campaign.n_cells} matrix cells, {len(campaign.dag)} scheduled tasks")
+    spec = CampaignSpec(workers=4, rounds=2, description="parallel campaign demo")
+    print("\nSubmitting a 2-round campaign spec over 4 simulated workers...")
+    handle = system.submit(spec)
+    campaign = handle.result()
+    print(f"  {handle.campaign_id}: {handle.status}, "
+          f"{handle.cells_completed}/{handle.cells_total} matrix cells, "
+          f"{len(campaign.dag)} scheduled tasks")
     print(f"  simulated sequential time: {campaign.schedule.sequential_seconds:,.0f} s")
     print(f"  simulated pooled makespan: {campaign.schedule.makespan_seconds:,.0f} s "
           f"({campaign.schedule.speedup:.2f}x speedup)")
@@ -72,13 +77,32 @@ def main() -> None:
     if len(rows) > 10:
         print(f"  ... and {len(rows) - 10} more")
 
+    # -- simulated vs threads: the same spec on the real executor -------------
+    print("\nReplaying the identical spec on the wall-clock thread backend...")
+    # to_dict()/from_dict() is the same round trip `campaign --spec` uses.
+    threaded_spec = CampaignSpec.from_dict(
+        dict(spec.to_dict(), backend="threads")
+    )
+    threaded_system = _fresh_system()
+    threaded = threaded_system.submit(threaded_spec).result()
+    identical = (
+        [run.to_document() for run in threaded.runs()]
+        == [run.to_document() for run in campaign.runs()]
+    )
+    print(f"  backend {threaded.schedule.backend!r}: "
+          f"{len(threaded.schedule.assignments)} tasks really executed on "
+          f"{threaded.schedule.total_slots} threads in "
+          f"{threaded.schedule.makespan_seconds:.3f} wall-clock seconds "
+          f"(peak concurrency {threaded.schedule.peak_concurrent_tasks})")
+    print(f"  run documents identical to the simulated backend: {identical}")
+
     # -- warm-cache rerun on a fresh installation -----------------------------
     print("\nPersisting the build cache and warm-starting a fresh sp-system...")
     entries = system.persist_build_cache()
     print(f"  persisted {entries} cache entries into the common storage")
     warm_system = _fresh_system()
     warm_system.restore_build_cache(system.storage)
-    warm = warm_system.run_campaign(workers=4, rounds=2)
+    warm = warm_system.submit(spec).result()
     print(f"  warm campaign: {warm.cache_statistics.hits} hits, "
           f"{warm.cache_statistics.misses} misses "
           f"({warm.cache_statistics.hit_rate:.0%} hit rate)")
@@ -93,9 +117,11 @@ def main() -> None:
     for policy in sorted(SCHEDULING_POLICIES):
         policy_system = _fresh_system()
         policy_system.restore_build_cache(system.storage)
-        result = policy_system.run_campaign(
-            workers=4, rounds=2, policy=policy, deadline_seconds=20000.0,
-        )
+        result = policy_system.submit(
+            CampaignSpec(
+                workers=4, rounds=2, policy=policy, deadline_seconds=20000.0,
+            )
+        ).result()
         schedule = result.schedule
         verdict = (
             "met" if schedule.met_deadline

@@ -24,6 +24,7 @@ from repro.environment.configuration import next_generation_configuration
 from repro.experiments import build_hera_experiments
 from repro.migration.planner import MigrationPlanner
 from repro.reporting.summary import ValidationSummaryBuilder
+from repro.scheduler import CampaignSpec
 
 
 def main() -> None:
@@ -38,7 +39,8 @@ def main() -> None:
         )
 
     print("\nValidating every experiment on every configuration...")
-    all_results = system.validate_all_experiments()
+    campaign = system.submit(CampaignSpec(workers=2)).result()
+    all_results = campaign.by_experiment()
     runs = [result.run for results in all_results.values() for result in results]
 
     print("\n" + "=" * 72)

@@ -10,7 +10,7 @@ HERA experiment definitions (H1, ZEUS, HERMES).
 
 Typical use::
 
-    from repro import SPSystem
+    from repro import CampaignSpec, SPSystem
     from repro.experiments import build_h1_experiment
 
     system = SPSystem()
@@ -18,19 +18,33 @@ Typical use::
     system.register_experiment(build_h1_experiment(scale=0.2))
     result = system.validate("H1", "SL6_64bit_gcc4.4")
     print(result.summary())
+
+    # Whole campaigns go through the unified execution API: a CampaignSpec
+    # submitted to the system, dispatched on a pluggable backend.
+    campaign = system.submit(CampaignSpec(workers=4)).result()
+    print(campaign.render_text())
 """
 
 from repro._common import ReproError
-from repro.core.spsystem import SPSystem, ValidationCycleResult
-from repro.scheduler import CampaignResult, CampaignScheduler, WorkerFailure
+from repro.core.spsystem import CampaignHandle, SPSystem, ValidationCycleResult
+from repro.scheduler import (
+    CampaignResult,
+    CampaignScheduler,
+    CampaignSpec,
+    ValidationRequest,
+    WorkerFailure,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SPSystem",
     "ValidationCycleResult",
+    "CampaignHandle",
     "CampaignResult",
     "CampaignScheduler",
+    "CampaignSpec",
+    "ValidationRequest",
     "WorkerFailure",
     "ReproError",
     "__version__",

@@ -8,6 +8,8 @@ end so the framework can be driven without writing Python::
     python -m repro.cli validate --experiment H1 --configuration SL6_64bit_gcc4.4
     python -m repro.cli campaign --scale 0.15 --output /tmp/sp-storage
     python -m repro.cli campaign --workers 4 --policy critical-path --output /tmp/sp-storage
+    python -m repro.cli campaign --workers 4 --backend threads
+    python -m repro.cli campaign --spec my-campaign.json --cache-budget-mb 16
     python -m repro.cli migrate-plan --experiment H1 --target SL7
     python -m repro.cli levels
 
@@ -23,6 +25,7 @@ packages.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Dict, List, Optional, Sequence
@@ -30,8 +33,10 @@ from typing import Dict, List, Optional, Sequence
 from repro._common import ReproError, format_table
 from repro.core.levels import preservation_table
 from repro.core.spsystem import SPSystem
+from repro.scheduler.backends import EXECUTION_BACKENDS
 from repro.scheduler.cache import BuildCache
 from repro.scheduler.pool import SCHEDULING_POLICIES
+from repro.scheduler.spec import CampaignSpec
 from repro.storage.common_storage import CommonStorage
 from repro.environment.configuration import next_generation_configuration
 from repro.experiments import (
@@ -51,6 +56,30 @@ _EXPERIMENT_BUILDERS = {
     "ZEUS": build_zeus_experiment,
     "HERMES": build_hermes_experiment,
 }
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for flags that must be strictly positive integers."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Argparse type for flags that must be strictly positive numbers."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid number: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive (got {value})")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,21 +113,34 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="validate all HERA experiments on all configurations"
     )
     campaign.add_argument("--scale", type=float, default=0.15)
-    campaign.add_argument("--rounds", type=int, default=1,
+    campaign.add_argument("--rounds", type=_positive_int, default=1,
                           help="number of repeated campaign rounds (default 1)")
-    campaign.add_argument("--workers", type=int, default=1,
-                          help="simulated worker-pool size (default 1)")
-    campaign.add_argument("--batch-size", type=int, default=4,
+    campaign.add_argument("--workers", type=_positive_int, default=1,
+                          help="worker-pool size (default 1)")
+    campaign.add_argument("--batch-size", type=_positive_int, default=4,
                           help="standalone tests grouped per worker slot (default 4)")
     campaign.add_argument("--policy", default="fifo",
                           choices=sorted(SCHEDULING_POLICIES),
                           help="worker-pool scheduling policy (default fifo)")
+    campaign.add_argument("--backend", default="simulated",
+                          choices=sorted(EXECUTION_BACKENDS),
+                          help="execution backend: 'simulated' replays the "
+                               "deterministic pool simulation, 'threads' really "
+                               "dispatches the campaign DAG on a wall-clock "
+                               "thread pool (default simulated)")
+    campaign.add_argument("--spec", default=None, metavar="FILE",
+                          help="submit the CampaignSpec JSON document in FILE "
+                               "instead of building one from the flags above "
+                               "(--output/--cache-dir/--cache-budget-mb still apply)")
     campaign.add_argument("--deadline-seconds", type=float, default=None,
-                          help="simulated campaign deadline; late cells are reported")
+                          help="campaign deadline; late cells are reported")
     campaign.add_argument("--cache-dir", default=None,
                           help="directory with a persisted build-cache snapshot to "
                                "warm-start from (defaults to --output, so repeated "
                                "runs with the same --output reuse their cache)")
+    campaign.add_argument("--cache-budget-mb", type=_positive_float, default=None,
+                          help="size budget for the persisted build-cache snapshot; "
+                               "least-recently-hit entries are evicted first")
     campaign.add_argument("--output", default=None)
     campaign.set_defaults(handler=_cmd_campaign)
 
@@ -187,6 +229,18 @@ def _cmd_validate(arguments: argparse.Namespace) -> int:
     return 0 if result.successful else 1
 
 
+def _load_spec_file(path: str) -> CampaignSpec:
+    """Load a CampaignSpec from a JSON document on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read spec file {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ReproError(f"spec file {path!r} is not valid JSON: {error}") from error
+    return CampaignSpec.from_dict(payload)
+
+
 def _cmd_campaign(arguments: argparse.Namespace) -> int:
     system = _provisioned_system(arguments.scale)
     cache_dir = arguments.cache_dir or arguments.output
@@ -199,13 +253,35 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         )
         if restored is not None:
             print(f"warm-started build cache: {len(restored)} entries from {cache_dir}")
-    campaign = system.run_campaign(
-        workers=max(arguments.workers, 1),
-        rounds=max(arguments.rounds, 1),
-        batch_size=max(arguments.batch_size, 1),
-        policy=arguments.policy,
-        deadline_seconds=arguments.deadline_seconds,
-    )
+    if arguments.spec:
+        spec = _load_spec_file(arguments.spec)
+    else:
+        spec = CampaignSpec(
+            workers=arguments.workers,
+            rounds=arguments.rounds,
+            batch_size=arguments.batch_size,
+            policy=arguments.policy,
+            deadline_seconds=arguments.deadline_seconds,
+            backend=arguments.backend,
+        )
+    if arguments.cache_budget_mb is not None:
+        if not arguments.output:
+            # The budget caps the persisted snapshot; without --output
+            # nothing is persisted and the flag would be a silent no-op.
+            raise ReproError("--cache-budget-mb requires --output")
+        # Fold the override into the spec (winning over a --spec file's own
+        # budget) BEFORE submission: the persisted record must replay with
+        # the snapshot cap that was actually applied.
+        spec = CampaignSpec.from_dict(
+            dict(
+                spec.to_dict(),
+                cache_budget_bytes=int(arguments.cache_budget_mb * 1024 * 1024),
+            )
+        )
+    handle = system.submit(spec)
+    campaign = handle.result()
+    print(f"submitted {handle.campaign_id}: {handle.cells_completed}/"
+          f"{handle.cells_total} cells on the {campaign.backend!r} backend")
     matrix = ValidationSummaryBuilder().from_campaign(campaign)
     print(matrix.render_text())
     print()
@@ -220,7 +296,9 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         pages.campaign_page(campaign)
         pages.index_page()
         pages.summary_page(matrix.render_text())
-        persisted_entries = system.persist_build_cache()
+        persisted_entries = system.persist_build_cache(
+            max_bytes=spec.cache_budget_bytes
+        )
         written = system.storage.persist(arguments.output)
         print(f"\npersisted {len(written)} documents below {arguments.output} "
               f"({persisted_entries} build-cache entries for the next campaign)")

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from repro._common import SchedulingError, ValidationError
 from repro.core.spsystem import SPSystem, ValidationCycleResult
 from repro.core.workflow import WorkflowPhase
+from repro.scheduler.spec import CampaignSpec, ValidationRequest
 from repro.virtualization.cron import CronExpression
 
 
@@ -167,12 +168,23 @@ class RegularValidationService:
                         f"{entry.key}: experiment is frozen, schedule entry disabled"
                     )
                     continue
+                # Each due validation goes through the unified execution
+                # API: a single-cell campaign spec submitted to the system.
+                # The spec is not persisted (the cron schedule, not the
+                # storage, is the service's book of record) and the run
+                # documents stay bit-identical to a plain validate() call.
+                spec = CampaignSpec(
+                    requests=(
+                        ValidationRequest(
+                            experiment=entry.experiment_name,
+                            configuration_key=entry.configuration_key,
+                            description=entry.description,
+                        ),
+                    ),
+                    persist_spec=False,
+                )
                 try:
-                    cycle = self.system.validate(
-                        entry.experiment_name,
-                        entry.configuration_key,
-                        description=entry.description,
-                    )
+                    cycle = self.system.submit(spec).result().cells[0].result
                 except ValidationError as error:
                     report.failures.append(f"{entry.key}: {error}")
                     continue

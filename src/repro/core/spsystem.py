@@ -10,10 +10,11 @@ library; the examples and the figure benchmarks drive everything through it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
-from repro._common import StorageError, ValidationError
+from repro._common import ReproError, SchedulingError, StorageError, ValidationError
 from repro.buildsys.builder import PackageBuilder
 from repro.core.diagnosis import DiagnosisReport, FailureDiagnosisEngine
 from repro.core.freeze import FreezeManager, FreezeReason, FrozenSystem
@@ -36,16 +37,19 @@ from repro.environment.configuration import (
 from repro.scheduler.cache import BuildCache, CachingPackageBuilder
 from repro.scheduler.campaign import (
     DEFAULT_BATCH_SIZE,
+    CampaignCell,
     CampaignResult,
     CampaignScheduler,
 )
-from repro.scheduler.pool import WorkerFailure
+from repro.scheduler.pool import SCHEDULING_POLICIES, SchedulingPolicy, WorkerFailure
+from repro.scheduler.spec import CampaignSpec
 from repro.storage.artifacts import ArtifactStore
 from repro.storage.bookkeeping import JobIdAllocator, SimulatedClock, TagRegistry
 from repro.storage.catalog import RunCatalog
 from repro.storage.common_storage import CommonStorage
 from repro.virtualization.hypervisor import Hypervisor
 from repro.virtualization.provisioning import ProvisioningService
+from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
 
 
 @dataclass
@@ -70,6 +74,55 @@ class ValidationCycleResult:
             f"({self.run.n_passed}/{self.run.n_jobs} tests, "
             f"{len(self.tickets)} ticket(s) opened)"
         )
+
+
+@dataclass
+class CampaignHandle:
+    """The submission record of one campaign: status, progress and result.
+
+    :meth:`SPSystem.submit` executes synchronously (the library is fully
+    deterministic), so a returned handle is normally ``completed``; the
+    progress counters tick cell by cell during execution and can be observed
+    through the submission's ``on_cell_complete`` callback.  The handle's
+    spec is what was persisted into the ``campaigns`` storage namespace —
+    loading it back and resubmitting replays the identical campaign.
+    """
+
+    campaign_id: str
+    spec: CampaignSpec
+    status: str = "pending"
+    cells_total: int = 0
+    cells_completed: int = 0
+    error: Optional[str] = None
+    _campaign: Optional[CampaignResult] = field(default=None, repr=False)
+
+    @property
+    def progress(self) -> float:
+        """Fraction of matrix cells executed so far (1.0 for an empty spec)."""
+        if self.cells_total <= 0:
+            return 1.0
+        return self.cells_completed / self.cells_total
+
+    def result(self) -> CampaignResult:
+        """The campaign result; raises unless the campaign completed."""
+        if self.status != "completed" or self._campaign is None:
+            detail = f": {self.error}" if self.error else ""
+            raise SchedulingError(
+                f"campaign {self.campaign_id} has not completed "
+                f"(status {self.status}){detail}"
+            )
+        return self._campaign
+
+    def describe(self) -> Dict[str, object]:
+        """The JSON document persisted for this submission."""
+        return {
+            "campaign_id": self.campaign_id,
+            "status": self.status,
+            "cells_total": self.cells_total,
+            "cells_completed": self.cells_completed,
+            "error": self.error,
+            "spec": self.spec.to_dict(),
+        }
 
 
 def _resume_id_allocator(storage: CommonStorage) -> JobIdAllocator:
@@ -142,6 +195,7 @@ class SPSystem:
         self.workflow = PreservationWorkflow()
         self.build_cache = BuildCache(self.artifact_store)
         self.last_campaign: Optional[CampaignResult] = None
+        self._campaign_counter = 0
         self._experiments: Dict[str, ExperimentDefinition] = {}
         self._configurations: Dict[str, EnvironmentConfiguration] = {}
 
@@ -265,6 +319,129 @@ class SPSystem:
             tickets=tickets,
         )
 
+    # -- campaign submission (the unified execution API) -----------------------
+    def submit(
+        self,
+        spec: CampaignSpec,
+        on_cell_complete: Optional[Callable[[CampaignCell], None]] = None,
+        policy: Optional[SchedulingPolicy] = None,
+    ) -> CampaignHandle:
+        """Run the validation campaign described by *spec*.
+
+        *policy* optionally supplies a :class:`SchedulingPolicy` *instance*
+        to schedule with instead of resolving ``spec.policy`` from the
+        registry — instances (e.g. custom or stateful policies) cannot
+        travel inside a serialised spec, so a replayed spec falls back to
+        its registry name.
+
+        This is the single execution entrypoint: the spec names the matrix
+        (cross product or explicit request list), the pool geometry, the
+        scheduling policy and the execution backend; the campaign DAG is
+        dispatched accordingly and the system-wide build cache de-duplicates
+        identical package builds.  The produced runs and catalogue records
+        are bit-identical to calling :meth:`validate` cell by cell, for any
+        worker count, any policy and any backend — and, thanks to replayed
+        cache entries, for any warm-start state.
+
+        With ``spec.warm_start`` (the default), a build-cache snapshot
+        persisted in the common storage's ``buildcache`` namespace is
+        restored before the first campaign of this installation, so a fresh
+        ``SPSystem`` mounted on a loaded storage starts with the previous
+        installation's cache.  With ``spec.persist_spec`` (the default), the
+        submission is recorded in the ``campaigns`` namespace, so the spec
+        travels with the persisted storage and replays the identical
+        campaign on a fresh installation.
+        """
+        spec.validate()
+        if spec.warm_start and len(self.build_cache) == 0:
+            # Installs the restored cache as self.build_cache (no-op probe
+            # when the storage carries no snapshot).  Must precede scheduler
+            # construction: the scheduler binds the cache by reference.
+            self.restore_build_cache(missing_ok=True)
+        profile = VALIDATION_VM_PROFILE
+        if spec.slots_per_worker is not None:
+            profile = ResourceProfile(
+                cpu_cores=spec.slots_per_worker,
+                memory_gb=VALIDATION_VM_PROFILE.memory_gb,
+                disk_gb=VALIDATION_VM_PROFILE.disk_gb,
+            )
+        scheduler = CampaignScheduler(
+            self,
+            workers=spec.workers,
+            batch_size=spec.batch_size,
+            worker_profile=profile,
+            failures=spec.failures,
+            cache=self.build_cache,
+            policy=policy if policy is not None else spec.policy,
+            deadline_seconds=spec.deadline_seconds,
+            backend=spec.backend,
+        )
+        requests = (
+            list(spec.requests)
+            if spec.requests is not None
+            else scheduler.expand_matrix(spec.experiments, spec.configuration_keys)
+        )
+        handle = CampaignHandle(
+            campaign_id=self._allocate_campaign_id(),
+            spec=spec,
+            cells_total=len(requests) * spec.rounds,
+        )
+        if spec.persist_spec:
+            self._persist_campaign_record(handle)
+        handle.status = "running"
+
+        def record_cell(cell: CampaignCell) -> None:
+            handle.cells_completed += 1
+            if on_cell_complete is not None:
+                on_cell_complete(cell)
+
+        try:
+            campaign = scheduler.run_requests(
+                requests,
+                description=spec.description,
+                rounds=spec.rounds,
+                on_cell_complete=record_cell,
+            )
+        except ReproError as error:
+            handle.status = "failed"
+            handle.error = str(error)
+            if spec.persist_spec:
+                self._persist_campaign_record(handle)
+            raise
+        campaign.spec = spec
+        handle._campaign = campaign
+        handle.status = "completed"
+        self.last_campaign = campaign
+        if spec.persist_spec:
+            self._persist_campaign_record(handle)
+        return handle
+
+    #: Common-storage namespace recording submitted campaign specs.
+    CAMPAIGNS_NAMESPACE = "campaigns"
+
+    def _allocate_campaign_id(self) -> str:
+        """A campaign ID unique within this installation and its storage."""
+        while True:
+            self._campaign_counter += 1
+            campaign_id = f"campaign-{self._campaign_counter:04d}"
+            # Skip over IDs inherited from a mounted storage's past
+            # submissions, so a resumed installation never overwrites them.
+            if self.CAMPAIGNS_NAMESPACE not in self.storage.namespaces():
+                return campaign_id
+            if not self.storage.exists(
+                self.CAMPAIGNS_NAMESPACE, f"spec_{campaign_id}"
+            ):
+                return campaign_id
+
+    def _persist_campaign_record(self, handle: CampaignHandle) -> None:
+        self.storage.create_namespace(self.CAMPAIGNS_NAMESPACE)
+        self.storage.put(
+            self.CAMPAIGNS_NAMESPACE,
+            f"spec_{handle.campaign_id}",
+            handle.describe(),
+        )
+
+    # -- deprecated kwarg entrypoints (thin shims over submit) -----------------
     def run_campaign(
         self,
         experiment_names: Optional[Iterable[str]] = None,
@@ -277,43 +454,48 @@ class SPSystem:
         policy: Optional[str] = None,
         deadline_seconds: Optional[float] = None,
         warm_start: bool = True,
+        backend: str = "simulated",
     ) -> CampaignResult:
-        """Run a validation campaign through the campaign scheduler.
-
-        The matrix (experiments x configurations x rounds) is expanded into a
-        job DAG, dispatched over *workers* simulated client machines under
-        the selected scheduling *policy* (FIFO by default), and the
-        system-wide build cache de-duplicates identical package builds.  The
-        produced runs and catalogue records are bit-identical to calling
-        :meth:`validate` cell by cell, for any worker count and any policy —
-        and, thanks to replayed cache entries, for any warm-start state.
-
-        With *warm_start* (the default), a build-cache snapshot persisted in
-        the common storage's ``buildcache`` namespace is restored before the
-        first campaign of this installation, so a fresh ``SPSystem`` mounted
-        on a loaded storage starts with the previous installation's cache.
-        """
-        if warm_start and len(self.build_cache) == 0:
-            # Installs the restored cache as self.build_cache (no-op probe
-            # when the storage carries no snapshot).
-            self.restore_build_cache(missing_ok=True)
-        scheduler = CampaignScheduler(
-            self,
+        """Deprecated: build a :class:`CampaignSpec` and call :meth:`submit`."""
+        warnings.warn(
+            "SPSystem.run_campaign is deprecated; build a CampaignSpec and "
+            "call SPSystem.submit(spec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # A policy *instance* cannot travel in the serialisable spec; it is
+        # handed to submit() as an override, and the spec records its
+        # registry name (or the default for unregistered custom policies).
+        policy_instance = policy if isinstance(policy, SchedulingPolicy) else None
+        if policy_instance is not None:
+            policy_name = (
+                policy_instance.name
+                if policy_instance.name in SCHEDULING_POLICIES
+                else "fifo"
+            )
+        else:
+            policy_name = policy or "fifo"
+        spec = CampaignSpec(
+            experiments=(
+                None if experiment_names is None else tuple(experiment_names)
+            ),
+            configuration_keys=(
+                None if configuration_keys is None else tuple(configuration_keys)
+            ),
+            description=description,
             workers=workers,
+            rounds=rounds,
             batch_size=batch_size,
             failures=tuple(failures),
-            cache=self.build_cache,
-            policy=policy,
+            policy=policy_name,
             deadline_seconds=deadline_seconds,
+            backend=backend,
+            warm_start=warm_start,
+            # The legacy entrypoints never wrote to the storage; keeping the
+            # shims record-free preserves byte-identical persisted state.
+            persist_spec=False,
         )
-        campaign = scheduler.run(
-            experiment_names,
-            configuration_keys,
-            description=description,
-            rounds=rounds,
-        )
-        self.last_campaign = campaign
-        return campaign
+        return self.submit(spec, policy=policy_instance).result()
 
     def validate_everywhere(
         self,
@@ -322,14 +504,23 @@ class SPSystem:
         description: Optional[str] = None,
         workers: int = 1,
     ) -> List[ValidationCycleResult]:
-        """Validate one experiment on every (or the given) configuration."""
-        campaign = self.run_campaign(
-            [experiment_name],
-            configuration_keys,
+        """Deprecated: build a :class:`CampaignSpec` and call :meth:`submit`."""
+        warnings.warn(
+            "SPSystem.validate_everywhere is deprecated; build a CampaignSpec "
+            "and call SPSystem.submit(spec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        spec = CampaignSpec(
+            experiments=(experiment_name,),
+            configuration_keys=(
+                None if configuration_keys is None else tuple(configuration_keys)
+            ),
             description=description,
             workers=workers,
+            persist_spec=False,
         )
-        return campaign.cycles_for(experiment_name)
+        return self.submit(spec).result().cycles_for(experiment_name)
 
     def validate_all_experiments(
         self,
@@ -337,10 +528,22 @@ class SPSystem:
         workers: int = 1,
         rounds: int = 1,
     ) -> Dict[str, List[ValidationCycleResult]]:
-        """Validate every registered experiment on every configuration."""
-        campaign = self.run_campaign(
-            None, configuration_keys, workers=workers, rounds=rounds
+        """Deprecated: build a :class:`CampaignSpec` and call :meth:`submit`."""
+        warnings.warn(
+            "SPSystem.validate_all_experiments is deprecated; build a "
+            "CampaignSpec and call SPSystem.submit(spec)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        spec = CampaignSpec(
+            configuration_keys=(
+                None if configuration_keys is None else tuple(configuration_keys)
+            ),
+            workers=workers,
+            rounds=rounds,
+            persist_spec=False,
+        )
+        campaign = self.submit(spec).result()
         results: Dict[str, List[ValidationCycleResult]] = {
             experiment.name: [] for experiment in self.experiments()
         }
@@ -368,16 +571,20 @@ class SPSystem:
         return frozen
 
     # -- build-cache persistence ---------------------------------------------------
-    def persist_build_cache(self) -> int:
+    def persist_build_cache(self, max_bytes: Optional[int] = None) -> int:
         """Snapshot the effective build cache into the common storage.
 
         The snapshot lands in the ``buildcache`` namespace, so a subsequent
         ``storage.persist(directory)`` carries it to disk alongside the run
         documents, and a fresh installation mounting the loaded storage (or
-        calling :meth:`restore_build_cache`) warm-starts from it.  Returns
-        the number of persisted cache entries.
+        calling :meth:`restore_build_cache`) warm-starts from it.  With
+        *max_bytes*, least-recently-hit entries are evicted first so the
+        snapshot stays within the size budget.  Returns the number of
+        persisted cache entries.
         """
-        return self.effective_build_cache().persist_to(self.storage)
+        return self.effective_build_cache().persist_to(
+            self.storage, max_bytes=max_bytes
+        )
 
     def restore_build_cache(
         self,
@@ -445,4 +652,4 @@ class SPSystem:
         }
 
 
-__all__ = ["SPSystem", "ValidationCycleResult"]
+__all__ = ["CampaignHandle", "SPSystem", "ValidationCycleResult"]

@@ -236,6 +236,7 @@ def build_cache_rows(statistics) -> List[Dict[str, object]]:
 def campaign_schedule_rows(schedule) -> List[Dict[str, object]]:
     """Rows describing the simulated worker-pool timeline of a campaign."""
     rows = [
+        {"quantity": "execution backend", "value": schedule.backend},
         {"quantity": "scheduling policy", "value": schedule.policy},
         {"quantity": "workers", "value": schedule.n_workers},
         {"quantity": "slots per worker", "value": schedule.slots_per_worker},

@@ -19,6 +19,7 @@ the persisted directory tree.
 from __future__ import annotations
 
 import html
+import json
 from typing import Dict, List, Optional
 
 from repro.core.jobs import JobStatus, ValidationRun
@@ -149,12 +150,22 @@ class StatusPageGenerator:
         header = (
             "<h1>Validation campaign</h1>"
             f"<p>{result.n_cells} matrix cells over {schedule.n_workers} worker(s), "
+            f"backend <b>{html.escape(schedule.backend)}</b>, "
             f"policy <b>{html.escape(schedule.policy)}</b> &mdash; "
             f"makespan {schedule.makespan_seconds:,.0f} s "
             f"(sequential {schedule.sequential_seconds:,.0f} s, "
             f"{schedule.speedup:.2f}x speedup, "
             f"utilisation {schedule.utilisation:.1%})</p>"
         )
+        spec = result.spec
+        if spec is not None:
+            # The submitted spec travels with the page, so an operator can
+            # copy it into `campaign --spec file.json` and replay the run.
+            spec_json = json.dumps(spec.to_dict(), indent=2, sort_keys=True)
+            header += (
+                "<h2>Campaign spec</h2>"
+                f"<pre>{html.escape(spec_json)}</pre>"
+            )
         if schedule.deadline_seconds is not None:
             verdict = (
                 "met" if schedule.met_deadline

@@ -9,6 +9,14 @@ reused — while guaranteeing bit-identical :class:`~repro.core.jobs.ValidationR
 output versus the plain sequential path.
 """
 
+from repro.scheduler.backends import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    ExecutionRequest,
+    SimulatedBackend,
+    ThreadPoolBackend,
+    execution_backend,
+)
 from repro.scheduler.cache import (
     BuildCache,
     CacheStatistics,
@@ -17,6 +25,7 @@ from repro.scheduler.cache import (
 )
 from repro.scheduler.campaign import CampaignCell, CampaignResult, CampaignScheduler
 from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
+from repro.scheduler.spec import DEFAULT_BATCH_SIZE, CampaignSpec, ValidationRequest
 from repro.scheduler.pool import (
     SCHEDULING_POLICIES,
     CriticalPathPolicy,
@@ -31,6 +40,15 @@ from repro.scheduler.pool import (
 )
 
 __all__ = [
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "SimulatedBackend",
+    "ThreadPoolBackend",
+    "execution_backend",
+    "DEFAULT_BATCH_SIZE",
+    "CampaignSpec",
+    "ValidationRequest",
     "BuildCache",
     "CacheStatistics",
     "CachingPackageBuilder",

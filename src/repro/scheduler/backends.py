@@ -1,0 +1,283 @@
+"""Pluggable execution backends for campaign DAGs.
+
+The campaign scheduler separates *what* a campaign produces from *how* its
+DAG is executed.  The scientific output — run documents and catalogue
+records — always comes from the deterministic cell pass, executed in the
+sequential path's exact order; that is the invariant that keeps every
+backend bit-identical.  What a backend decides is the campaign's wall-clock
+story: how the derived task DAG is dispatched over the worker pool and what
+timeline (:class:`~repro.scheduler.pool.PoolSchedule`) comes back.
+
+Two backends ship with the registry:
+
+* :class:`SimulatedBackend` wraps the deterministic event-driven
+  :class:`~repro.scheduler.pool.SimulatedWorkerPool` — simulated
+  timestamps, injectable worker failures, reproducible timelines.
+* :class:`ThreadPoolBackend` really executes the DAG's tasks concurrently
+  on a :class:`concurrent.futures.ThreadPoolExecutor`: each task runs its
+  verification payload (a read-only replay of the cell's recorded jobs and
+  stored outputs) on a real OS thread, dependencies gate submission, the
+  selected scheduling policy orders the ready queue, and measured
+  wall-clock seconds are folded into the returned ``PoolSchedule``.
+
+Backends are selected by name through :func:`execution_backend`, mirroring
+:func:`~repro.scheduler.pool.scheduling_policy`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro._common import SchedulingError
+from repro.scheduler.dag import CampaignDAG
+from repro.scheduler.pool import (
+    TASK_CPU_CORES,
+    TASK_DISK_GB,
+    TASK_MEMORY_GB,
+    PoolSchedule,
+    SchedulingPolicy,
+    SimulatedWorkerPool,
+    TaskAssignment,
+    WorkerFailure,
+    scheduling_policy,
+)
+from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
+
+#: Payload a backend may run for one task (real work; return value ignored).
+TaskPayload = Callable[[], object]
+
+
+@dataclass
+class ExecutionRequest:
+    """Everything a backend needs to execute one campaign DAG."""
+
+    dag: CampaignDAG
+    workers: int = 1
+    worker_profile: ResourceProfile = VALIDATION_VM_PROFILE
+    failures: Tuple[WorkerFailure, ...] = ()
+    policy: Union[str, SchedulingPolicy, None] = None
+    deadline_seconds: Optional[float] = None
+    #: Task ID -> real work to perform when the task executes (backends that
+    #: simulate time ignore the payloads; backends that really execute run
+    #: them on their worker threads).
+    payloads: Mapping[str, TaskPayload] = field(default_factory=dict)
+
+
+class ExecutionBackend:
+    """Executes a campaign DAG and reports the resulting pool timeline.
+
+    Backends never see the validation runner: by the time a backend runs,
+    every cell's runs are already recorded, which is what makes the
+    scientific output backend-independent by construction.
+    """
+
+    #: Registry name, also used by the CLI ``--backend`` flag.
+    name = "base"
+
+    def execute(self, request: ExecutionRequest) -> PoolSchedule:
+        """Execute *request* and return the timeline it produced."""
+        raise NotImplementedError
+
+
+class SimulatedBackend(ExecutionBackend):
+    """The deterministic event-driven pool simulation (today's default)."""
+
+    name = "simulated"
+
+    def execute(self, request: ExecutionRequest) -> PoolSchedule:
+        pool = SimulatedWorkerPool(
+            request.workers,
+            profile=request.worker_profile,
+            failures=request.failures,
+            policy=request.policy,
+            deadline_seconds=request.deadline_seconds,
+        )
+        schedule = pool.execute(request.dag)
+        schedule.backend = self.name
+        return schedule
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Really executes the campaign DAG on a wall-clock thread pool.
+
+    Concurrency capacity is ``workers x slots_per_worker`` OS threads (the
+    same slot arithmetic as the simulated pool); a task is submitted the
+    moment its dependencies have finished and a slot is free, with the
+    scheduling policy ordering the ready queue exactly as in the
+    simulation.  Task payloads are the real work: the campaign scheduler
+    hands over a read-only verification replay of each task's recorded
+    jobs, so threads race over genuinely shared (immutable) campaign data.
+
+    The returned schedule carries *measured* seconds: per-task start/end
+    offsets from the campaign's start, the real makespan, and a critical
+    path recomputed from the measured durations.  Those numbers differ
+    from run to run — which is precisely why the determinism suite
+    excludes timing fields when comparing backends.
+
+    Worker failure injection is a feature of the simulation; requesting it
+    here raises :class:`~repro._common.SchedulingError`.
+    """
+
+    name = "threads"
+
+    def execute(self, request: ExecutionRequest) -> PoolSchedule:
+        if request.failures:
+            raise SchedulingError(
+                "worker failure injection requires the simulated backend; "
+                "the thread backend executes on real OS threads"
+            )
+        if request.workers < 1:
+            raise SchedulingError("a worker pool needs at least one worker")
+        if request.deadline_seconds is not None and request.deadline_seconds <= 0:
+            raise SchedulingError("a campaign deadline must be positive")
+        policy = scheduling_policy(request.policy)
+        dag = request.dag
+        tasks = dag.tasks()
+        cores = request.worker_profile.cpu_cores
+        # Same slot arithmetic as the simulated pool: a worker runs as many
+        # concurrent tasks as its profile accommodates — normally one per
+        # core, fewer when memory or disk is the binding constraint.
+        slots_per_worker = min(
+            cores // TASK_CPU_CORES,
+            int(request.worker_profile.memory_gb // TASK_MEMORY_GB),
+            int(request.worker_profile.disk_gb // TASK_DISK_GB),
+        )
+        if slots_per_worker < 1:
+            raise SchedulingError(
+                "the worker profile cannot accommodate a single campaign task"
+            )
+        n_slots = request.workers * slots_per_worker
+        policy.prepare(dag)
+        order_index = {task.task_id: index for index, task in enumerate(tasks)}
+        dependents = dag.dependents()
+        remaining_deps = {task.task_id: set(task.dependencies) for task in tasks}
+
+        def ready_entry(task_id: str) -> Tuple[Tuple, int, str]:
+            return (policy.priority(dag.get(task_id)), order_index[task_id], task_id)
+
+        ready: List[Tuple[Tuple, int, str]] = [
+            ready_entry(task.task_id) for task in tasks if not task.dependencies
+        ]
+        heapq.heapify(ready)
+        free_slots = list(range(n_slots))
+        heapq.heapify(free_slots)
+        started_at = time.monotonic()
+
+        def run_task(task_id: str, slot: int) -> Tuple[str, int, float, float]:
+            start = time.monotonic() - started_at
+            payload = request.payloads.get(task_id)
+            if payload is not None:
+                payload()
+            return task_id, slot, start, time.monotonic() - started_at
+
+        assignments: List[TaskAssignment] = []
+        completed = 0
+        peak = 0
+        pending = set()
+        with ThreadPoolExecutor(
+            max_workers=max(n_slots, 1), thread_name_prefix="sp-campaign"
+        ) as executor:
+            while completed < len(tasks):
+                while ready and free_slots:
+                    task_id = heapq.heappop(ready)[2]
+                    slot = heapq.heappop(free_slots)
+                    pending.add(executor.submit(run_task, task_id, slot))
+                peak = max(peak, len(pending))
+                if not pending:
+                    raise SchedulingError(
+                        "scheduler stalled with "
+                        f"{len(tasks) - completed} unfinished task(s)"
+                    )
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        task_id, slot, start, end = future.result()
+                    except Exception as error:
+                        raise SchedulingError(
+                            f"a campaign task failed on the thread backend: "
+                            f"{type(error).__name__}: {error}"
+                        ) from error
+                    heapq.heappush(free_slots, slot)
+                    assignments.append(
+                        TaskAssignment(
+                            task_id=task_id,
+                            worker_index=slot // slots_per_worker,
+                            start_seconds=start,
+                            end_seconds=end,
+                            attempt=1,
+                        )
+                    )
+                    completed += 1
+                    for dependent in dependents[task_id]:
+                        remaining = remaining_deps[dependent]
+                        remaining.discard(task_id)
+                        if not remaining:
+                            heapq.heappush(ready, ready_entry(dependent))
+        makespan = time.monotonic() - started_at if tasks else 0.0
+        # Stable report order: the wall clock decides completion order, the
+        # DAG order breaks ties so repeated prints stay readable.
+        assignments.sort(key=lambda a: (a.end_seconds, order_index[a.task_id]))
+        measured = {a.task_id: a.end_seconds - a.start_seconds for a in assignments}
+        busy: Dict[int, float] = {index: 0.0 for index in range(request.workers)}
+        for assignment in assignments:
+            busy[assignment.worker_index] += measured[assignment.task_id]
+        cell_end_seconds: Dict[int, float] = {}
+        for assignment in assignments:
+            cell_index = dag.get(assignment.task_id).cell_index
+            cell_end_seconds[cell_index] = max(
+                cell_end_seconds.get(cell_index, 0.0), assignment.end_seconds
+            )
+        return PoolSchedule(
+            n_workers=request.workers,
+            slots_per_worker=cores,
+            makespan_seconds=makespan,
+            sequential_seconds=sum(measured.values()),
+            critical_path_seconds=dag.critical_path_seconds(durations=measured),
+            assignments=assignments,
+            n_retries=0,
+            failed_workers=(),
+            busy_seconds_per_worker=busy,
+            peak_concurrent_tasks=peak,
+            available_slot_seconds=makespan * n_slots,
+            policy=policy.name,
+            deadline_seconds=request.deadline_seconds,
+            cell_end_seconds=cell_end_seconds,
+            backend=self.name,
+        )
+
+#: The execution backends selectable by name (CLI ``--backend``).
+EXECUTION_BACKENDS = {
+    backend.name: backend for backend in (SimulatedBackend, ThreadPoolBackend)
+}
+
+
+def execution_backend(
+    backend: Union[str, ExecutionBackend, None]
+) -> ExecutionBackend:
+    """Resolve a backend instance from a name, an instance, or None."""
+    if backend is None:
+        return SimulatedBackend()
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        return EXECUTION_BACKENDS[backend]()
+    except KeyError:
+        known = ", ".join(sorted(EXECUTION_BACKENDS))
+        raise SchedulingError(
+            f"unknown execution backend {backend!r} (known: {known})"
+        ) from None
+
+
+__all__ = [
+    "TaskPayload",
+    "ExecutionRequest",
+    "ExecutionBackend",
+    "SimulatedBackend",
+    "ThreadPoolBackend",
+    "EXECUTION_BACKENDS",
+    "execution_backend",
+]

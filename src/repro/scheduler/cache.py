@@ -26,10 +26,11 @@ on restore any entry whose artifact digest can no longer be materialised.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro._common import stable_digest
+from repro._common import StorageError, stable_digest
 from repro.buildsys.builder import BuildResult, PackageBuilder
 from repro.buildsys.package import SoftwarePackage
 from repro.buildsys.tarball import Tarball
@@ -162,9 +163,18 @@ class BuildCache:
         self.artifact_store = artifact_store
         self._entries: Dict[str, BuildResult] = {}
         self.statistics = CacheStatistics()
+        # Least-recently-hit bookkeeping for the persistence size budget:
+        # every hit (and every store) stamps the entry with a monotonically
+        # increasing tick, so eviction order is deterministic.
+        self._recency: Dict[str, int] = {}
+        self._tick = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _touch(self, key: str) -> None:
+        self._tick += 1
+        self._recency[key] = self._tick
 
     def lookup(
         self, package: SoftwarePackage, configuration: EnvironmentConfiguration
@@ -177,13 +187,13 @@ class BuildCache:
         key = build_cache_key(package, configuration)
         entry = self._entries.get(key)
         if entry is not None and self._artifact_gone(entry):
-            del self._entries[key]
-            self.statistics.evictions += 1
+            self._evict(key)
             entry = None
         if entry is None:
             self.statistics.misses += 1
             return None
         self.statistics.hits += 1
+        self._touch(key)
         return self._replay(entry)
 
     def store(
@@ -196,6 +206,7 @@ class BuildCache:
         key = build_cache_key(package, configuration)
         self._entries[key] = self._replay(result)
         self.statistics.stores += 1
+        self._touch(key)
         if result.tarball is not None and self.artifact_store is not None:
             self.artifact_store.store(result.tarball, label=self.ARTIFACT_LABEL)
         return key
@@ -210,9 +221,53 @@ class BuildCache:
     def clear(self) -> None:
         """Drop every entry (the statistics are kept)."""
         self._entries.clear()
+        self._recency.clear()
+
+    def _evict(self, key: str) -> None:
+        del self._entries[key]
+        self._recency.pop(key, None)
+        self.statistics.evictions += 1
+
+    # -- size accounting -----------------------------------------------------
+    @staticmethod
+    def entry_size_bytes(entry: BuildResult) -> int:
+        """Persisted footprint of one entry: its document plus its tarball."""
+        document_bytes = len(
+            json.dumps(entry.to_dict(), sort_keys=True).encode("utf-8")
+        )
+        tarball_bytes = 0 if entry.tarball is None else entry.tarball.size_bytes
+        return document_bytes + tarball_bytes
+
+    def total_size_bytes(self) -> int:
+        """Persisted footprint of the whole cache (documents plus tarballs)."""
+        return sum(self.entry_size_bytes(entry) for entry in self._entries.values())
+
+    def enforce_budget(self, max_bytes: int) -> int:
+        """Evict least-recently-hit entries until the cache fits *max_bytes*.
+
+        Ties in the recency stamps (possible only for entries never touched
+        since a restore) fall back to the entry key, so eviction order is
+        deterministic.  Returns the number of evicted entries; evictions are
+        counted in :attr:`statistics`.
+        """
+        if max_bytes < 0:
+            raise StorageError("a cache size budget cannot be negative")
+        evicted = 0
+        total = self.total_size_bytes()
+        for key in sorted(
+            self._entries, key=lambda key: (self._recency.get(key, 0), key)
+        ):
+            if total <= max_bytes:
+                break
+            total -= self.entry_size_bytes(self._entries[key])
+            self._evict(key)
+            evicted += 1
+        return evicted
 
     # -- cross-campaign persistence -----------------------------------------
-    def persist_to(self, storage: CommonStorage) -> int:
+    def persist_to(
+        self, storage: CommonStorage, max_bytes: Optional[int] = None
+    ) -> int:
         """Snapshot the cache into *storage*'s ``buildcache`` namespace.
 
         Every (still valid) entry is written as an ``entry_<key>`` document;
@@ -221,8 +276,16 @@ class BuildCache:
         artifacts into its own :class:`ArtifactStore`.  The cumulative
         statistics are stored too, so cross-campaign accounting survives a
         restart.  Stale documents from a previous snapshot are replaced
-        wholesale.  Returns the number of persisted entries.
+        wholesale.
+
+        With *max_bytes*, the snapshot is kept within the size budget by
+        first evicting least-recently-hit entries (from the live cache too —
+        the snapshot and the cache it restores into stay consistent), so
+        the persisted state no longer grows unboundedly across campaigns.
+        Returns the number of persisted entries.
         """
+        if max_bytes is not None:
+            self.enforce_budget(max_bytes)
         namespace = storage.create_namespace(self.NAMESPACE)
         for key in namespace.keys():
             namespace.delete(key)

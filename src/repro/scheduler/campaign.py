@@ -1,47 +1,67 @@
 """The campaign scheduler: a validation matrix run as one planned campaign.
 
 :class:`CampaignScheduler` expands (experiments x configurations x rounds)
-into the ordered list of matrix cells, executes every cell through the
-owning :class:`~repro.core.spsystem.SPSystem` with the content-hash build
-cache layered over the package builder, then derives the campaign job DAG
-from the executed runs and simulates its dispatch over the worker pool.
+— or an explicit list of :class:`~repro.scheduler.spec.ValidationRequest`
+cells — into the ordered list of matrix cells, executes every cell through
+the owning :class:`~repro.core.spsystem.SPSystem` with the content-hash
+build cache layered over the package builder, then derives the campaign job
+DAG from the executed runs and hands it to the selected
+:class:`~repro.scheduler.backends.ExecutionBackend` for dispatch over the
+worker pool.
 
 Cell execution deliberately happens in the exact order of the sequential
 path (experiments outer, configurations inner, rounds outermost), so job
 IDs, simulated timestamps and therefore the produced
 :class:`~repro.core.jobs.ValidationRun` documents and
 :class:`~repro.storage.catalog.RunCatalog` records are bit-identical to
-calling :meth:`SPSystem.validate` cell by cell — whatever the worker count.
-The pool changes the campaign's wall-clock story (makespan, utilisation,
-retries after worker failures), never its scientific output.
+calling :meth:`SPSystem.validate` cell by cell — whatever the worker count
+and whichever backend.  The backend changes the campaign's wall-clock story
+(makespan, utilisation, retries after worker failures — simulated or
+measured on real threads), never its scientific output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
-from repro._common import SchedulingError, chunked
+from repro._common import SchedulingError, chunked, stable_digest
 from repro.buildsys.graph import DependencyGraph
 from repro.core.jobs import ValidationRun
 from repro.core.testspec import ExperimentDefinition
 from repro.reporting.summary import render_campaign_report
+from repro.scheduler.backends import (
+    ExecutionBackend,
+    ExecutionRequest,
+    TaskPayload,
+    execution_backend,
+)
 from repro.scheduler.cache import BuildCache, CacheStatistics, CachingPackageBuilder
 from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
 from repro.scheduler.pool import (
     PoolSchedule,
     SchedulingPolicy,
-    SimulatedWorkerPool,
     WorkerFailure,
     scheduling_policy,
 )
+from repro.scheduler.spec import DEFAULT_BATCH_SIZE, CampaignSpec, ValidationRequest
 from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.spsystem import SPSystem, ValidationCycleResult
 
-#: Default number of standalone tests grouped into one worker-slot batch.
-DEFAULT_BATCH_SIZE = 4
+#: Callback fired after each executed matrix cell (progress reporting).
+CellCallback = Callable[["CampaignCell"], None]
 
 
 @dataclass
@@ -72,6 +92,9 @@ class CampaignResult:
     rounds: int
     description: Optional[str] = None
     policy: str = "fifo"
+    backend: str = "simulated"
+    #: The spec the campaign was submitted with (None for direct scheduler use).
+    spec: Optional[CampaignSpec] = None
 
     @property
     def n_cells(self) -> int:
@@ -121,6 +144,7 @@ class CampaignScheduler:
         cache: Optional[BuildCache] = None,
         policy: Union[str, SchedulingPolicy, None] = None,
         deadline_seconds: Optional[float] = None,
+        backend: Union[str, ExecutionBackend, None] = None,
     ) -> None:
         if workers < 1:
             raise SchedulingError("a campaign needs at least one worker")
@@ -134,18 +158,20 @@ class CampaignScheduler:
         self.cache = cache if cache is not None else BuildCache(system.artifact_store)
         self.policy = scheduling_policy(policy)
         self.deadline_seconds = deadline_seconds
+        self.backend = execution_backend(backend)
 
     # -- campaign execution ----------------------------------------------------
-    def run(
+    def expand_matrix(
         self,
         experiment_names: Optional[Iterable[str]] = None,
         configuration_keys: Optional[Iterable[str]] = None,
-        description: Optional[str] = None,
-        rounds: int = 1,
-    ) -> CampaignResult:
-        """Execute the campaign and return its result."""
-        if rounds < 1:
-            raise SchedulingError("a campaign needs at least one round")
+    ) -> List[ValidationRequest]:
+        """One round of cross-product requests, in sequential-path order.
+
+        Either side being None means "all registered" — this is the single
+        home of that rule; the :meth:`SPSystem.submit` facade expands specs
+        through it too.
+        """
         names = (
             list(experiment_names)
             if experiment_names is not None
@@ -156,31 +182,63 @@ class CampaignScheduler:
             if configuration_keys is not None
             else [configuration.key for configuration in self.system.configurations()]
         )
-        spec = [
-            (name, key)
-            for _round in range(rounds)
+        return [
+            ValidationRequest(experiment=name, configuration_key=key)
             for name in names
             for key in keys
         ]
+
+    def run(
+        self,
+        experiment_names: Optional[Iterable[str]] = None,
+        configuration_keys: Optional[Iterable[str]] = None,
+        description: Optional[str] = None,
+        rounds: int = 1,
+        on_cell_complete: Optional[CellCallback] = None,
+    ) -> CampaignResult:
+        """Execute the cross-product campaign and return its result."""
+        return self.run_requests(
+            self.expand_matrix(experiment_names, configuration_keys),
+            description=description,
+            rounds=rounds,
+            on_cell_complete=on_cell_complete,
+        )
+
+    def run_requests(
+        self,
+        requests: Sequence[ValidationRequest],
+        description: Optional[str] = None,
+        rounds: int = 1,
+        on_cell_complete: Optional[CellCallback] = None,
+    ) -> CampaignResult:
+        """Execute an explicit list of validation requests, *rounds* times."""
+        if rounds < 1:
+            raise SchedulingError("a campaign needs at least one round")
+        expanded = [request for _round in range(rounds) for request in requests]
         # Account against the cache that will actually serve the campaign: a
         # caching builder already installed on the runner keeps its own cache.
         caching_builder = self._caching_builder()
         effective_cache = caching_builder.cache
         statistics_before = effective_cache.statistics.snapshot()
-        cells = self._execute_cells(spec, description, caching_builder)
-        dag = self._build_dag(cells)
-        pool = SimulatedWorkerPool(
-            self.workers,
-            profile=self.worker_profile,
-            failures=self.failures,
-            policy=self.policy,
-            deadline_seconds=self.deadline_seconds,
+        cells = self._execute_cells(
+            expanded, description, caching_builder, on_cell_complete
         )
+        dag, payloads = self._build_dag(cells)
         try:
-            schedule = pool.execute(dag)
+            schedule = self.backend.execute(
+                ExecutionRequest(
+                    dag=dag,
+                    workers=self.workers,
+                    worker_profile=self.worker_profile,
+                    failures=self.failures,
+                    policy=self.policy,
+                    deadline_seconds=self.deadline_seconds,
+                    payloads=payloads,
+                )
+            )
         except SchedulingError as error:
             # The deterministic validation pass has already recorded its runs;
-            # only the pool simulation failed.  Say so instead of implying the
+            # only the pool execution failed.  Say so instead of implying the
             # campaign produced nothing.
             raise SchedulingError(
                 f"{error} (the {len(cells)} validation run(s) of the campaign "
@@ -196,6 +254,7 @@ class CampaignScheduler:
             rounds=rounds,
             description=description,
             policy=self.policy.name,
+            backend=self.backend.name,
         )
 
     def _caching_builder(self) -> CachingPackageBuilder:
@@ -207,33 +266,47 @@ class CampaignScheduler:
 
     def _execute_cells(
         self,
-        spec: Sequence[Tuple[str, str]],
+        requests: Sequence[ValidationRequest],
         description: Optional[str],
         caching_builder: CachingPackageBuilder,
+        on_cell_complete: Optional[CellCallback] = None,
     ) -> List[CampaignCell]:
         """Run every cell in sequential order with the build cache layered in."""
         original_builder = self.system.runner.builder
         cells: List[CampaignCell] = []
         try:
             self.system.runner.builder = caching_builder
-            for index, (name, key) in enumerate(spec):
-                result = self.system.validate(name, key, description=description)
-                cells.append(
-                    CampaignCell(
-                        index=index,
-                        experiment=name,
-                        configuration_key=key,
-                        result=result,
-                    )
+            for index, request in enumerate(requests):
+                result = self.system.validate(
+                    request.experiment,
+                    request.configuration_key,
+                    description=request.description or description,
+                    reference_configuration_key=request.reference_configuration_key,
                 )
+                cell = CampaignCell(
+                    index=index,
+                    experiment=request.experiment,
+                    configuration_key=request.configuration_key,
+                    result=result,
+                )
+                cells.append(cell)
+                if on_cell_complete is not None:
+                    on_cell_complete(cell)
         finally:
             self.system.runner.builder = original_builder
         return cells
 
     # -- DAG derivation --------------------------------------------------------
-    def _build_dag(self, cells: Sequence[CampaignCell]) -> CampaignDAG:
-        """Derive the campaign DAG, with task durations from the executed runs."""
+    def _build_dag(
+        self, cells: Sequence[CampaignCell]
+    ) -> Tuple[CampaignDAG, Dict[str, TaskPayload]]:
+        """Derive the campaign DAG, with task durations from the executed runs.
+
+        Alongside the DAG, every task gets a payload: the real (read-only)
+        verification work a wall-clock backend executes on its threads.
+        """
         dag = CampaignDAG()
+        payloads: Dict[str, TaskPayload] = {}
         # The build order depends on the experiment only; compute it once
         # instead of once per matrix cell.
         build_orders: Dict[str, List[str]] = {}
@@ -243,12 +316,15 @@ class CampaignScheduler:
                 build_orders[cell.experiment] = DependencyGraph(
                     experiment.inventory
                 ).build_order()
-            self._add_cell_tasks(dag, cell, experiment, build_orders[cell.experiment])
-        return dag
+            self._add_cell_tasks(
+                dag, payloads, cell, experiment, build_orders[cell.experiment]
+            )
+        return dag, payloads
 
     def _add_cell_tasks(
         self,
         dag: CampaignDAG,
+        payloads: Dict[str, TaskPayload],
         cell: CampaignCell,
         experiment: ExperimentDefinition,
         build_order: Sequence[str],
@@ -273,6 +349,7 @@ class CampaignScheduler:
                     ),
                 )
             )
+            payloads[task_id] = self._verification_payload(run, [f"compile-{name}"])
             build_ids[name] = task_id
         # Tests start once the cell's compilation phase is complete, exactly
         # as the validation runner sequences its phases.
@@ -280,9 +357,10 @@ class CampaignScheduler:
         for batch_index, batch in enumerate(
             chunked(experiment.standalone_tests, self.batch_size)
         ):
+            task_id = f"{prefix}:standalone-batch:{batch_index:03d}"
             dag.add(
                 CampaignTask(
-                    task_id=f"{prefix}:standalone-batch:{batch_index:03d}",
+                    task_id=task_id,
                     kind=TaskKind.TEST_BATCH,
                     cell_index=cell.index,
                     experiment=cell.experiment,
@@ -293,6 +371,9 @@ class CampaignScheduler:
                     dependencies=all_builds,
                     n_tests=len(batch),
                 )
+            )
+            payloads[task_id] = self._verification_payload(
+                run, [test.name for test in batch]
             )
         for chain in experiment.chains:
             previous: Optional[str] = None
@@ -309,11 +390,38 @@ class CampaignScheduler:
                         dependencies=(previous,) if previous is not None else all_builds,
                     )
                 )
+                payloads[task_id] = self._verification_payload(run, [step.name])
                 previous = task_id
+
+    def _verification_payload(
+        self, run: ValidationRun, job_names: Sequence[str]
+    ) -> TaskPayload:
+        """Real (read-only) work for one task on a wall-clock backend.
+
+        The payload replays the task's slice of the recorded cell: every job
+        document is re-serialised and content-hashed, and the job's stored
+        output document is re-read from the common storage.  Touching only
+        immutable recorded state keeps the concurrent execution free of
+        races — and of any way to change the scientific output.
+        """
+        storage = self.system.storage
+
+        def verify() -> str:
+            digests = []
+            for name in job_names:
+                job = run.job_for(name)
+                document = job.to_document()
+                if job.output_key and storage.exists("results", job.output_key):
+                    storage.get("results", job.output_key)
+                digests.append(stable_digest(document))
+            return stable_digest(digests)
+
+        return verify
 
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "CellCallback",
     "CampaignCell",
     "CampaignResult",
     "CampaignScheduler",

@@ -174,6 +174,9 @@ class PoolSchedule:
     policy: str = FifoPolicy.name
     deadline_seconds: Optional[float] = None
     cell_end_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Execution backend that produced the timeline ("simulated" timestamps
+    #: from the event simulation, "threads" measured wall-clock seconds).
+    backend: str = "simulated"
 
     @property
     def total_slots(self) -> int:

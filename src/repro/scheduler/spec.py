@@ -1,0 +1,315 @@
+"""Request objects for the unified execution API.
+
+A validation campaign used to be described by the keyword arguments of four
+overlapping ``SPSystem`` entrypoints.  This module turns that description
+into data: a frozen :class:`CampaignSpec` names everything a campaign needs
+(the matrix, the pool, the policy, the execution backend and the cache
+options), round-trips losslessly through :meth:`CampaignSpec.to_dict` /
+:meth:`CampaignSpec.from_dict`, and therefore persists into the common
+sp-system storage — a spec loaded back from a previous installation replays
+the byte-identical campaign.
+
+Two shapes of matrix are supported.  The common one is the cross product:
+*experiments* x *configuration_keys* (either side ``None`` meaning "all
+registered"), repeated *rounds* times.  The explicit one is a tuple of
+:class:`ValidationRequest` cells — used by the regular-operation service,
+whose cron schedule produces heterogeneous (experiment, configuration,
+description) triples that no cross product can express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro._common import SchedulingError
+from repro.scheduler.pool import SCHEDULING_POLICIES, WorkerFailure
+
+#: Default number of standalone tests grouped into one worker-slot batch.
+#: (Lives here so the spec layer does not depend on the scheduler module.)
+DEFAULT_BATCH_SIZE = 4
+
+
+@dataclass(frozen=True)
+class ValidationRequest:
+    """One requested validation cell: an experiment on a configuration."""
+
+    experiment: str
+    configuration_key: str
+    description: Optional[str] = None
+    reference_configuration_key: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view; :meth:`from_dict` round-trips it."""
+        return {
+            "experiment": self.experiment,
+            "configuration_key": self.configuration_key,
+            "description": self.description,
+            "reference_configuration_key": self.reference_configuration_key,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ValidationRequest":
+        """Reconstruct a request serialised by :meth:`to_dict`."""
+        try:
+            experiment = str(payload["experiment"])
+            configuration_key = str(payload["configuration_key"])
+        except (KeyError, TypeError) as error:
+            raise SchedulingError(
+                f"a validation request needs an experiment and a "
+                f"configuration key (got {payload!r})"
+            ) from error
+        description = payload.get("description")
+        reference = payload.get("reference_configuration_key")
+        return cls(
+            experiment=experiment,
+            configuration_key=configuration_key,
+            description=None if description is None else str(description),
+            reference_configuration_key=(
+                None if reference is None else str(reference)
+            ),
+        )
+
+
+def _tuple_or_none(name: str, value) -> Optional[Tuple]:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        # tuple("HERMES") would silently become per-character entries.
+        raise SchedulingError(
+            f"campaign spec field {name!r} must be a list of strings, "
+            f"not the string {value!r}"
+        )
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything one validation campaign needs, as immutable data.
+
+    The spec is the single currency of the execution API:
+    :meth:`SPSystem.submit` consumes one, persists it into the common
+    storage, and the CLI can load one back from disk (``campaign --spec``)
+    to replay the identical campaign.
+    """
+
+    #: Cross-product matrix: experiments (None = every registered one) ...
+    experiments: Optional[Tuple[str, ...]] = None
+    #: ... times configuration keys (None = every known configuration).
+    configuration_keys: Optional[Tuple[str, ...]] = None
+    #: Explicit cell list instead of the cross product (mutually exclusive).
+    requests: Optional[Tuple[ValidationRequest, ...]] = None
+    description: Optional[str] = None
+    workers: int = 1
+    #: Concurrent task slots per worker; None uses the validation VM profile.
+    slots_per_worker: Optional[int] = None
+    rounds: int = 1
+    batch_size: int = DEFAULT_BATCH_SIZE
+    policy: str = "fifo"
+    deadline_seconds: Optional[float] = None
+    #: Execution backend name from the backend registry.
+    backend: str = "simulated"
+    #: Injected worker failures (simulated backend only).
+    failures: Tuple[WorkerFailure, ...] = ()
+    #: Restore a persisted build-cache snapshot before the first campaign.
+    warm_start: bool = True
+    #: Size budget applied when the build cache is persisted afterwards.
+    cache_budget_bytes: Optional[int] = None
+    #: Record the spec in the ``campaigns`` storage namespace on submission.
+    persist_spec: bool = True
+
+    def __post_init__(self) -> None:
+        # Normalise the container fields so equality (and therefore the
+        # replay tests) never depends on list-versus-tuple spelling.
+        object.__setattr__(
+            self, "experiments", _tuple_or_none("experiments", self.experiments)
+        )
+        object.__setattr__(
+            self,
+            "configuration_keys",
+            _tuple_or_none("configuration_keys", self.configuration_keys),
+        )
+        object.__setattr__(
+            self, "requests", _tuple_or_none("requests", self.requests)
+        )
+        object.__setattr__(self, "failures", tuple(self.failures))
+
+    # -- validation -----------------------------------------------------------
+    def _check_types(self) -> None:
+        """Reject wrongly-typed fields with a clear error, not a TypeError.
+
+        A hand-written spec file ("workers": "4", "warm_start": "yes")
+        must fail as cleanly as a typo'd key does.
+        """
+
+        def fail(name: str, expected: str) -> None:
+            raise SchedulingError(
+                f"campaign spec field {name!r} must be {expected}, "
+                f"got {getattr(self, name)!r}"
+            )
+
+        def is_int(value: object) -> bool:
+            return isinstance(value, int) and not isinstance(value, bool)
+
+        for name in ("workers", "rounds", "batch_size"):
+            if not is_int(getattr(self, name)):
+                fail(name, "an integer")
+        for name in ("slots_per_worker", "cache_budget_bytes"):
+            value = getattr(self, name)
+            if value is not None and not is_int(value):
+                fail(name, "an integer or null")
+        if self.deadline_seconds is not None and not (
+            is_int(self.deadline_seconds)
+            or isinstance(self.deadline_seconds, float)
+        ):
+            fail("deadline_seconds", "a number or null")
+        for name in ("policy", "backend"):
+            if not isinstance(getattr(self, name), str):
+                fail(name, "a string")
+        if self.description is not None and not isinstance(self.description, str):
+            fail("description", "a string or null")
+        for name in ("warm_start", "persist_spec"):
+            if not isinstance(getattr(self, name), bool):
+                fail(name, "a boolean")
+        for name in ("experiments", "configuration_keys"):
+            value = getattr(self, name)
+            if value is not None and not all(
+                isinstance(entry, str) for entry in value
+            ):
+                fail(name, "a list of strings or null")
+        if self.requests is not None and not all(
+            isinstance(request, ValidationRequest) for request in self.requests
+        ):
+            fail("requests", "a list of validation requests or null")
+        if not all(
+            isinstance(failure, WorkerFailure) for failure in self.failures
+        ):
+            fail("failures", "a list of [worker_index, at_seconds] pairs")
+
+    def validate(self) -> None:
+        """Raise :class:`~repro._common.SchedulingError` on an invalid spec."""
+        # Imported here: the backend registry imports this module's
+        # DEFAULT_BATCH_SIZE consumers, so the top level must stay acyclic.
+        from repro.scheduler.backends import EXECUTION_BACKENDS
+
+        self._check_types()
+        if self.workers < 1:
+            raise SchedulingError("a campaign spec needs at least one worker")
+        if self.rounds < 1:
+            raise SchedulingError("a campaign spec needs at least one round")
+        if self.batch_size < 1:
+            raise SchedulingError(
+                "a campaign spec needs a positive standalone-test batch size"
+            )
+        if self.slots_per_worker is not None and self.slots_per_worker < 1:
+            raise SchedulingError("slots per worker must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise SchedulingError("a campaign deadline must be positive")
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes < 0:
+            raise SchedulingError("a cache budget cannot be negative")
+        if self.policy not in SCHEDULING_POLICIES:
+            known = ", ".join(sorted(SCHEDULING_POLICIES))
+            raise SchedulingError(
+                f"unknown scheduling policy {self.policy!r} (known: {known})"
+            )
+        if self.backend not in EXECUTION_BACKENDS:
+            known = ", ".join(sorted(EXECUTION_BACKENDS))
+            raise SchedulingError(
+                f"unknown execution backend {self.backend!r} (known: {known})"
+            )
+        if self.requests is not None and (
+            self.experiments is not None or self.configuration_keys is not None
+        ):
+            raise SchedulingError(
+                "a campaign spec takes either an explicit request list or an "
+                "experiments x configurations cross product, not both"
+            )
+        if self.failures and self.backend != "simulated":
+            raise SchedulingError(
+                "worker failure injection is a feature of the simulated "
+                f"backend; the {self.backend!r} backend executes for real"
+            )
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view; :meth:`from_dict` round-trips it exactly."""
+        return {
+            "experiments": (
+                None if self.experiments is None else list(self.experiments)
+            ),
+            "configuration_keys": (
+                None
+                if self.configuration_keys is None
+                else list(self.configuration_keys)
+            ),
+            "requests": (
+                None
+                if self.requests is None
+                else [request.to_dict() for request in self.requests]
+            ),
+            "description": self.description,
+            "workers": self.workers,
+            "slots_per_worker": self.slots_per_worker,
+            "rounds": self.rounds,
+            "batch_size": self.batch_size,
+            "policy": self.policy,
+            "deadline_seconds": self.deadline_seconds,
+            "backend": self.backend,
+            "failures": [
+                [failure.worker_index, failure.at_seconds]
+                for failure in self.failures
+            ],
+            "warm_start": self.warm_start,
+            "cache_budget_bytes": self.cache_budget_bytes,
+            "persist_spec": self.persist_spec,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        """Reconstruct a spec serialised by :meth:`to_dict`.
+
+        Unknown keys are rejected (a typo in a hand-written spec file must
+        not silently fall back to a default), missing keys take the
+        dataclass defaults.
+        """
+        if not isinstance(payload, dict):
+            raise SchedulingError(
+                f"a campaign spec document must be a mapping, got {payload!r}"
+            )
+        known = {name for name in cls.__dataclass_fields__}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SchedulingError(
+                "unknown campaign spec field(s): " + ", ".join(unknown)
+            )
+        kwargs: Dict[str, object] = dict(payload)
+        if kwargs.get("requests") is not None:
+            requests = kwargs["requests"]
+            if isinstance(requests, str) or not hasattr(requests, "__iter__"):
+                raise SchedulingError(
+                    "campaign spec field 'requests' must be a list of "
+                    f"validation request documents, got {requests!r}"
+                )
+            kwargs["requests"] = tuple(
+                ValidationRequest.from_dict(entry) for entry in requests
+            )
+        if kwargs.get("failures"):
+            try:
+                kwargs["failures"] = tuple(
+                    WorkerFailure(
+                        worker_index=int(entry[0]), at_seconds=float(entry[1])
+                    )
+                    for entry in kwargs["failures"]  # type: ignore[union-attr]
+                )
+            except (TypeError, ValueError, IndexError, KeyError) as error:
+                raise SchedulingError(
+                    "campaign spec field 'failures' must be a list of "
+                    f"[worker_index, at_seconds] pairs: {error}"
+                ) from error
+        try:
+            return cls(**kwargs)  # type: ignore[arg-type]
+        except TypeError as error:
+            raise SchedulingError(f"invalid campaign spec document: {error}") from error
+
+
+__all__ = ["DEFAULT_BATCH_SIZE", "ValidationRequest", "CampaignSpec"]

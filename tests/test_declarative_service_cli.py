@@ -214,3 +214,92 @@ class TestCommandLineInterface:
         output = capsys.readouterr().out
         assert "total validation runs recorded" in output
         assert (tmp_path / "storage" / "reports").is_dir()
+
+    @pytest.mark.parametrize("flag", ["--workers", "--rounds", "--batch-size"])
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_campaign_rejects_non_positive_pool_flags(self, flag, value, capsys):
+        # argparse rejects the value with a clear error instead of the old
+        # silent max(x, 1) clamp.
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["campaign", flag, value])
+        assert excinfo.value.code == 2
+        assert "must be a positive integer" in capsys.readouterr().err
+
+    def test_campaign_backend_flag(self, capsys):
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--backend", "threads", "--workers", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "'threads' backend" in output
+        assert "execution backend" in output
+
+    def test_campaign_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["campaign", "--backend", "mpi"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_campaign_spec_file(self, tmp_path, capsys):
+        import json
+
+        from repro.scheduler.spec import CampaignSpec
+
+        spec_path = tmp_path / "campaign.json"
+        spec = CampaignSpec(
+            experiments=("HERMES",),
+            configuration_keys=("SL5_64bit_gcc4.4",),
+            workers=2,
+            rounds=2,
+        )
+        spec_path.write_text(json.dumps(spec.to_dict()))
+        assert cli_main(["campaign", "--scale", "0.1", "--spec", str(spec_path)]) == 0
+        output = capsys.readouterr().out
+        assert "submitted campaign-0001: 2/2 cells" in output
+
+    def test_campaign_spec_file_errors(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert cli_main(["campaign", "--spec", str(missing)]) == 2
+        assert "cannot read spec file" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert cli_main(["campaign", "--spec", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        unknown = tmp_path / "unknown.json"
+        unknown.write_text('{"wokers": 4}')
+        assert cli_main(["campaign", "--spec", str(unknown)]) == 2
+        assert "unknown campaign spec field" in capsys.readouterr().err
+
+    def test_campaign_cache_budget_flag(self, tmp_path, capsys):
+        import json
+
+        output_dir = tmp_path / "storage"
+        assert cli_main([
+            "campaign", "--scale", "0.1",
+            "--cache-budget-mb", "0.0001",
+            "--output", str(output_dir),
+        ]) == 0
+        output = capsys.readouterr().out
+        # A ~100-byte budget cannot hold even a tarball-less cache entry.
+        assert "(0 build-cache entries for the next campaign)" in output
+        # The budget travels in the persisted spec, so replaying it keeps
+        # the same snapshot cap.
+        spec_files = list((output_dir / "campaigns").glob("spec_*.json"))
+        assert len(spec_files) == 1
+        document = json.loads(spec_files[0].read_text())
+        assert document["spec"]["cache_budget_bytes"] == 104
+
+    def test_campaign_wrongly_typed_spec_file_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "typed.json"
+        bad.write_text('{"workers": "4"}')
+        assert cli_main(["campaign", "--spec", str(bad)]) == 2
+        assert "must be an integer" in capsys.readouterr().err
+
+    def test_campaign_cache_budget_requires_output(self, capsys):
+        # Without --output nothing is persisted, so the budget would be a
+        # silent no-op; refuse it instead.
+        assert cli_main(["campaign", "--cache-budget-mb", "1"]) == 2
+        assert "--cache-budget-mb requires --output" in capsys.readouterr().err
+
+    def test_campaign_rejects_non_positive_cache_budget(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["campaign", "--cache-budget-mb", "0"])
+        assert "must be positive" in capsys.readouterr().err

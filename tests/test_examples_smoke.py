@@ -1,0 +1,47 @@
+"""Headless smoke run of every example script.
+
+The examples are living documentation of the public API; when the API moves
+under them they must fail fast instead of rotting silently.  Each script is
+executed in a subprocess with no arguments (the headless path) and must exit
+cleanly.
+
+The module is dual-marked ``examples`` and ``bench``: the documented tier-1
+invocation (``-m "not bench"``) skips these alongside the benchmarks, and
+``pytest -m examples`` runs exactly this smoke suite.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = [pytest.mark.examples, pytest.mark.bench]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_headlessly(script, tmp_path):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH")
+        else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=environment,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"--- stdout (tail) ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr (tail) ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

@@ -219,6 +219,66 @@ class TestRestoreTimeEviction:
         assert restored.statistics.evictions == cache.statistics.evictions
 
 
+class TestSizeBudget:
+    """persist_to(max_bytes=...) keeps the snapshot within a size budget."""
+
+    def test_budget_evicts_least_recently_hit_first(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        packages = inventory.all()
+        # Touch every entry but the first: the untouched one must go first.
+        for package in packages[1:]:
+            assert cache.lookup(package, sl5_64_gcc44) is not None
+        size_of_one = cache.entry_size_bytes(
+            PackageBuilder().build_package(packages[0], sl5_64_gcc44)
+        )
+        storage = CommonStorage()
+        persisted = cache.persist_to(
+            storage, max_bytes=cache.total_size_bytes() - size_of_one
+        )
+        assert persisted == len(packages) - 1
+        assert cache.lookup(packages[0], sl5_64_gcc44) is None  # evicted
+        assert cache.lookup(packages[1], sl5_64_gcc44) is not None
+
+    def test_zero_budget_persists_nothing(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        assert cache.persist_to(storage, max_bytes=0) == 0
+        assert len(cache) == 0
+        assert cache.statistics.evictions == len(inventory.all())
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == 0
+
+    def test_generous_budget_evicts_nothing(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        assert cache.persist_to(
+            storage, max_bytes=cache.total_size_bytes()
+        ) == len(inventory.all())
+        assert cache.statistics.evictions == 0
+
+    def test_negative_budget_rejected(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        with pytest.raises(StorageError):
+            cache.persist_to(CommonStorage(), max_bytes=-1)
+
+    def test_budgeted_snapshot_still_round_trips(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        budget = cache.total_size_bytes() // 2
+        storage = CommonStorage()
+        persisted = cache.persist_to(storage, max_bytes=budget)
+        assert 0 < persisted < len(inventory.all())
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == persisted
+        # The surviving (most recently stored) entries replay as hits.
+        survivors = [
+            package for package in inventory.all()
+            if cache.contains(package, sl5_64_gcc44)
+        ]
+        assert survivors
+        for package in survivors:
+            assert restored.lookup(package, sl5_64_gcc44) is not None
+
+
 class TestWarmStartCampaigns:
     def test_second_installation_warm_starts_with_hits(self):
         cold = _fresh_system()

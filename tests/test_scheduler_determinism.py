@@ -16,6 +16,7 @@ from repro.core.jobs import JobStatus, ValidationJob, ValidationRun
 from repro.core.runner import RunnerSettings
 from repro.core.spsystem import SPSystem
 from repro.experiments import build_hermes_experiment
+from repro.scheduler.spec import CampaignSpec
 
 
 def _fresh_system(seed):
@@ -104,6 +105,94 @@ class TestSchedulerMatchesSequentialBaseline:
                 for namespace in system.storage.namespaces()
             })
         assert documents[0] == documents[1] == documents[2]
+
+
+class TestBackendParity:
+    """The same spec yields bit-identical science on every backend.
+
+    The thread backend really executes the campaign DAG on OS threads, so
+    its schedule carries measured wall-clock timing — nondeterministic by
+    nature and therefore excluded from these comparisons by design.  The
+    run documents and catalogue records, produced by the deterministic cell
+    pass, must stay bit-identical to the simulated backend and to the
+    sequential ``validate`` path.
+    """
+
+    def _full_matrix_spec(self, backend):
+        return CampaignSpec(workers=4, backend=backend, persist_spec=False)
+
+    def test_threads_backend_matches_simulated_and_sequential(self):
+        seed = 20131029
+        all_keys = [c.key for c in _fresh_system(seed).configurations()]
+        baseline_system, baseline = _sequential_baseline(seed, all_keys)
+        simulated_system = _fresh_system(seed)
+        simulated = simulated_system.submit(self._full_matrix_spec("simulated"))
+        threaded_system = _fresh_system(seed)
+        threaded = threaded_system.submit(self._full_matrix_spec("threads"))
+        expected = [cycle.run.to_document() for cycle in baseline]
+        assert [
+            run.to_document() for run in simulated.result().runs()
+        ] == expected
+        assert [
+            run.to_document() for run in threaded.result().runs()
+        ] == expected
+        expected_records = [
+            record.to_dict() for record in baseline_system.catalog.all()
+        ]
+        assert [
+            record.to_dict() for record in simulated_system.catalog.all()
+        ] == expected_records
+        assert [
+            record.to_dict() for record in threaded_system.catalog.all()
+        ] == expected_records
+        # The timelines are backend-specific: simulated seconds on one side,
+        # measured wall-clock seconds on the other.
+        assert simulated.result().schedule.backend == "simulated"
+        assert threaded.result().schedule.backend == "threads"
+        assert len(threaded.result().schedule.assignments) == len(
+            threaded.result().dag
+        )
+
+    @pytest.mark.parametrize("backend", ["simulated", "threads"])
+    def test_spec_round_trip_replays_identical_campaign(self, backend):
+        spec = CampaignSpec(
+            configuration_keys=tuple(KEYS),
+            workers=3,
+            rounds=2,
+            backend=backend,
+            persist_spec=False,
+        )
+        first = _fresh_system(20131029).submit(spec).result()
+        replayed = (
+            _fresh_system(20131029)
+            .submit(CampaignSpec.from_dict(spec.to_dict()))
+            .result()
+        )
+        assert [run.to_document() for run in replayed.runs()] == [
+            run.to_document() for run in first.runs()
+        ]
+
+    def test_threads_backend_storage_matches_simulated(self):
+        """The persisted storage is byte-identical across backends."""
+        documents = []
+        for backend in ("simulated", "threads"):
+            system = _fresh_system(20131029)
+            system.submit(
+                CampaignSpec(
+                    configuration_keys=tuple(KEYS),
+                    workers=2,
+                    backend=backend,
+                    persist_spec=False,
+                )
+            )
+            documents.append({
+                namespace: {
+                    key: system.storage.get(namespace, key)
+                    for key in system.storage.keys(namespace)
+                }
+                for namespace in system.storage.namespaces()
+            })
+        assert documents[0] == documents[1]
 
 
 class TestDocumentRoundTrip:
