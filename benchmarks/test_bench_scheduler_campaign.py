@@ -18,7 +18,12 @@ import pytest
 
 from repro.core.spsystem import SPSystem
 from repro.core.runner import RunnerSettings
-from repro.experiments import build_hermes_experiment
+from repro.experiments import (
+    build_hermes_experiment,
+    build_zeus_experiment,
+    shared_external_packages,
+)
+from repro.scheduler.spec import CampaignSpec
 
 from conftest import emit
 
@@ -143,5 +148,113 @@ def test_scheduler_campaign_smoke(benchmark):
             f"{pooled.cache_statistics.hits} cached builds replayed cold, "
             f"{warm.cache_statistics.hits} replayed from the persisted cache "
             f"(cold wall {pooled_wall:.3f}s vs warm wall {warm_wall:.3f}s)"
+        ),
+    )
+
+
+def _shared_system(experiment_builder):
+    system = SPSystem(
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
+    )
+    system.provision_standard_images()
+    system.register_experiment(experiment_builder())
+    return system
+
+
+def _zeus():
+    return build_zeus_experiment(scale=0.2, shared_externals=True)
+
+
+def _hermes():
+    return build_hermes_experiment(scale=0.25, shared_externals=True)
+
+
+def _run_campaign(system):
+    return system.submit(
+        CampaignSpec(
+            configuration_keys=tuple(CONFIGURATIONS),
+            workers=4,
+            persist_spec=False,
+        )
+    ).result()
+
+
+def test_shared_external_campaign(benchmark):
+    """Cross-experiment warm start through the content-addressed cache.
+
+    Two experiments pin the same external packages.  The scenario compares a
+    cold HERMES campaign against a HERMES campaign warm-started from a ZEUS
+    installation's persisted build-cache journal: the shared externals are
+    donated across the experiment boundary, so HERMES compiles only its own
+    packages.
+    """
+    start = time.perf_counter()
+    donor_system = _shared_system(_zeus)
+    donor = _run_campaign(donor_system)
+    donor_wall = time.perf_counter() - start
+    appended = donor_system.persist_build_cache()
+    assert appended > 0
+
+    start = time.perf_counter()
+    cold = _run_campaign(_shared_system(_hermes))
+    cold_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm_system = _shared_system(_hermes)
+    warm_system.restore_build_cache(donor_system.storage)
+    warm = _run_campaign(warm_system)
+    same_experiment_warm_wall = time.perf_counter() - start
+
+    def _cross_experiment_warm():
+        system = _shared_system(_hermes)
+        system.restore_build_cache(donor_system.storage)
+        return _run_campaign(system)
+
+    start = time.perf_counter()
+    cross = benchmark.pedantic(_cross_experiment_warm, rounds=1, iterations=1)
+    cross_wall = time.perf_counter() - start
+
+    n_shared = len(shared_external_packages("HERMES")) * len(CONFIGURATIONS)
+    # Each shared external was donated by ZEUS once per configuration.
+    assert cross.cache_statistics.shared_hits == n_shared
+    assert cross.cache_statistics.donated_by_experiment == {"ZEUS": n_shared}
+    # HERMES's own packages still compile; only the externals are shared.
+    assert 0 < cross.cache_statistics.hits < (
+        cross.cache_statistics.hits + cross.cache_statistics.misses
+    )
+    # Warm output stays bit-identical to the cold campaign.
+    assert [run.to_document() for run in cross.runs()] == [
+        run.to_document() for run in cold.runs()
+    ]
+
+    def _row(strategy, campaign, wall):
+        statistics = campaign.cache_statistics
+        return {
+            "strategy": strategy,
+            "wall_seconds": f"{wall:.3f}",
+            "cache_hit_rate": f"{statistics.hit_rate:.1%}",
+            "shared_hits": statistics.shared_hits,
+            "shared_hit_rate": f"{statistics.shared_hit_rate:.1%}",
+        }
+
+    emit(
+        "Scheduler-shared-externals",
+        "Cross-experiment build sharing via content-addressed cache keys "
+        f"({len(CONFIGURATIONS)} configurations, "
+        f"{len(shared_external_packages('HERMES'))} shared externals)",
+        [
+            _row("ZEUS donor campaign (cold)", donor, donor_wall),
+            _row("HERMES cold", cold, cold_wall),
+            _row(
+                "HERMES warm from ZEUS journal", warm,
+                same_experiment_warm_wall,
+            ),
+            _row("HERMES warm from ZEUS journal (benchmarked)", cross, cross_wall),
+        ],
+        notes=(
+            f"the donor journal appended {appended} entries; the warm HERMES "
+            f"campaigns received {cross.cache_statistics.shared_hits} "
+            "cross-experiment hits and compiled each shared external zero "
+            "times (bit-identical run documents to the cold campaign)"
         ),
     )

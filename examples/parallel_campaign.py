@@ -13,9 +13,12 @@ to the sequential path; only the campaign's wall-clock story changes.
 The second half demonstrates the pluggable execution backends and the
 cross-campaign features: the same spec (serialised to JSON and back —
 exactly what ``campaign --spec file.json`` does) is replayed on the real
-wall-clock thread backend, a *fresh* installation warm-starts from the
-persisted build cache, and the same campaign is scheduled under each pool
-policy to compare the dispatch orders.
+wall-clock thread backend (which runs genuine ``BuildTask``
+re-compilations on its threads), two experiments pinning the same external
+packages share builds through the experiment-agnostic content-addressed
+cache keys and warm-start each other across installations via the
+append-only ``buildcache`` journal, and the same campaign is scheduled
+under each pool policy to compare the dispatch orders.
 
 Run with::
 
@@ -28,10 +31,15 @@ import sys
 
 from repro import SPSystem
 from repro.core.runner import RunnerSettings
-from repro.experiments import build_hera_experiments
+from repro.experiments import (
+    build_hera_experiments,
+    build_hermes_experiment,
+    build_zeus_experiment,
+    shared_external_packages,
+)
 from repro.reporting.export import catalog_to_rows, rows_to_text
 from repro.reporting.summary import ValidationSummaryBuilder
-from repro.scheduler import SCHEDULING_POLICIES, CampaignSpec
+from repro.scheduler import BuildCache, SCHEDULING_POLICIES, CampaignSpec
 
 
 def _fresh_system() -> SPSystem:
@@ -39,7 +47,10 @@ def _fresh_system() -> SPSystem:
         runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
     )
     system.provision_standard_images()
-    for experiment in build_hera_experiments(scale=0.15):
+    # shared_externals: every experiment pins the same external products
+    # (CERNLIB, the ROOT-like toolkit, ...), so the campaign compiles each
+    # of them once for all three experiments.
+    for experiment in build_hera_experiments(scale=0.15, shared_externals=True):
         system.register_experiment(experiment)
     return system
 
@@ -62,6 +73,9 @@ def main() -> None:
     print(f"  build cache: {campaign.cache_statistics.hits} hits, "
           f"{campaign.cache_statistics.misses} misses "
           f"({campaign.cache_statistics.hit_rate:.0%} hit rate)")
+    print(f"  shared across experiments: "
+          f"{campaign.cache_statistics.shared_hits} hits donated "
+          f"({dict(sorted(campaign.cache_statistics.donated_by_experiment.items()))})")
 
     print("\n" + campaign.render_text())
 
@@ -96,10 +110,16 @@ def main() -> None:
           f"(peak concurrency {threaded.schedule.peak_concurrent_tasks})")
     print(f"  run documents identical to the simulated backend: {identical}")
 
-    # -- warm-cache rerun on a fresh installation -----------------------------
-    print("\nPersisting the build cache and warm-starting a fresh sp-system...")
-    entries = system.persist_build_cache()
-    print(f"  persisted {entries} cache entries into the common storage")
+    # -- journal persistence and warm-start on a fresh installation -----------
+    print("\nPersisting the build-cache journal and warm-starting a fresh "
+          "sp-system...")
+    appended = system.persist_build_cache()
+    status = BuildCache.journal_status(system.storage)
+    print(f"  first persist appended {appended} journal entries "
+          f"({status['records']} records, {status['bytes']:,} bytes)")
+    # Persistence is incremental: nothing changed, so nothing is appended.
+    print(f"  re-persist without new builds appended "
+          f"{system.persist_build_cache()} records")
     warm_system = _fresh_system()
     warm_system.restore_build_cache(system.storage)
     warm = warm_system.submit(spec).result()
@@ -111,6 +131,34 @@ def main() -> None:
         == [run.to_document() for run in campaign.runs()]
     )
     print(f"  run documents identical to the cold campaign: {identical}")
+
+    # -- two experiments warm-starting each other ------------------------------
+    print("\nCross-experiment sharing: a ZEUS installation donating its "
+          "external-package builds to a HERMES installation...")
+    donor = SPSystem(
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
+    )
+    donor.provision_standard_images()
+    donor.register_experiment(build_zeus_experiment(scale=0.15, shared_externals=True))
+    donor.submit(CampaignSpec(description="ZEUS donor campaign"))
+    donor_entries = donor.persist_build_cache()
+    print(f"  ZEUS campaign journalled {donor_entries} build-cache entries")
+
+    taker = SPSystem(
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
+    )
+    taker.provision_standard_images()
+    taker.register_experiment(build_hermes_experiment(scale=0.2, shared_externals=True))
+    taker.restore_build_cache(donor.storage)
+    hermes_campaign = taker.submit(
+        CampaignSpec(description="HERMES warm-started from ZEUS")
+    ).result()
+    statistics = hermes_campaign.cache_statistics
+    n_shared = len(shared_external_packages("HERMES"))
+    print(f"  HERMES campaign: {statistics.shared_hits} cross-experiment hits "
+          f"for the {n_shared} shared externals "
+          f"(donated by {dict(sorted(statistics.donated_by_experiment.items()))}); "
+          f"{statistics.misses} HERMES-only builds still compiled")
 
     # -- policy comparison ----------------------------------------------------
     print("\nScheduling the same campaign under each pool policy:")
@@ -136,7 +184,9 @@ def main() -> None:
         from repro.reporting.webpages import StatusPageGenerator
 
         pages = StatusPageGenerator(system.storage, system.catalog)
-        pages.campaign_page(campaign)
+        pages.campaign_page(
+            campaign, cache_journal=BuildCache.journal_status(system.storage)
+        )
         pages.index_page()
         pages.summary_page(matrix.render_text())
         written = system.storage.persist(output_directory)

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI entry point for the sp-system reproduction.
+#
+# Mirrors the staged check layout of the pyhc-actions compliance tooling:
+# cheap structural audits first, then the tier-1 suite, then the headless
+# example smoke runs.  Stages:
+#
+#   1. bench marker audit — every test below benchmarks/ must carry the
+#      `bench` marker, or the tier-1 deselection (-m "not bench") would
+#      silently start running paper-reproduction benchmarks in CI.
+#   2. tier-1 — the documented fast suite (ROADMAP.md):
+#      pytest -x -q -m "not bench"
+#   3. examples — headless smoke run of every examples/*.py script:
+#      pytest -m examples
+#
+# Usage: scripts/ci.sh [--skip-examples]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== stage 1/3: bench marker audit =="
+# Selecting "not bench" below benchmarks/ must collect nothing; any test id
+# in the output is a benchmark that escaped the marker.
+unmarked=$(python -m pytest benchmarks/ -m "not bench" --collect-only -q 2>/dev/null | grep -c "::" || true)
+if [ "${unmarked}" -ne 0 ]; then
+    echo "error: ${unmarked} test(s) under benchmarks/ lack the 'bench' marker:" >&2
+    python -m pytest benchmarks/ -m "not bench" --collect-only -q 2>/dev/null | grep "::" >&2 || true
+    exit 1
+fi
+echo "ok: every benchmarks/ test carries the bench marker"
+
+echo "== stage 2/3: tier-1 test suite =="
+python -m pytest -x -q -m "not bench"
+
+if [ "${1:-}" = "--skip-examples" ]; then
+    echo "== stage 3/3: examples smoke run skipped =="
+    exit 0
+fi
+
+echo "== stage 3/3: examples smoke run =="
+python -m pytest -q -m examples
+
+echo "CI checks passed."

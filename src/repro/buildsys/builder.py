@@ -13,6 +13,7 @@ would leave them unbuilt.
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -365,6 +366,59 @@ class PackageBuilder:
         return warnings
 
 
+def build_result_digest(result: BuildResult) -> str:
+    """Canonical content hash of one build result's full document.
+
+    Builds are pure functions of the package's content identity and the
+    target configuration, so re-executing a build must reproduce this digest
+    exactly; :class:`BuildTask` uses it to pin that determinism contract.
+    """
+    return stable_digest(json.dumps(result.to_dict(), sort_keys=True))
+
+
+@dataclass
+class BuildTask:
+    """One re-executable package build — the unit of real backend work.
+
+    Extracted from the builder/cache pair so an execution backend that runs
+    on real OS threads can perform genuine compilations instead of replaying
+    recorded documents: a task carries everything
+    :meth:`PackageBuilder.build_package` needs, and because that method is a
+    pure function of (package content, configuration), concurrent execution
+    cannot change the campaign's scientific output.
+
+    With *expected_digest* set (normally the digest of the build result the
+    validation pass recorded), :meth:`run` verifies the re-executed build
+    reproduced it bit-identically and raises
+    :class:`~repro._common.BuildError` otherwise.  ``runs`` counts how often
+    the task was really executed — backends that only simulate time leave it
+    at zero.
+    """
+
+    package: SoftwarePackage
+    configuration: EnvironmentConfiguration
+    builder: PackageBuilder
+    expected_digest: Optional[str] = None
+    runs: int = 0
+
+    def run(self) -> BuildResult:
+        """Execute the build (for real) and return its result."""
+        result = self.builder.build_package(self.package, self.configuration)
+        self.runs += 1
+        if self.expected_digest is not None:
+            digest = build_result_digest(result)
+            if digest != self.expected_digest:
+                raise BuildError(
+                    f"re-executed build of {self.package.key} on "
+                    f"{self.configuration.key} diverged from the recorded "
+                    f"result ({digest} != {self.expected_digest})"
+                )
+        return result
+
+    def __call__(self) -> BuildResult:
+        return self.run()
+
+
 _WARNING_KINDS = (
     "implicit conversion loses integer precision",
     "variable may be used uninitialised",
@@ -392,4 +446,6 @@ __all__ = [
     "BuildResult",
     "BuildCampaign",
     "PackageBuilder",
+    "BuildTask",
+    "build_result_digest",
 ]

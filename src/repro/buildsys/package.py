@@ -14,7 +14,7 @@ import enum
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro._common import ConfigurationError, ensure_identifier
+from repro._common import ConfigurationError, ensure_identifier, stable_digest
 from repro.environment.compatibility import SoftwareRequirements
 
 
@@ -106,6 +106,26 @@ class SoftwarePackage:
     def key(self) -> str:
         """Canonical identifier, e.g. ``"h1-h1rec-4.2"``."""
         return f"{self.name}-{self.version}"
+
+    @property
+    def source_digest(self) -> str:
+        """Content hash of the (simulated) sources that go into a build.
+
+        Language, code size and fragility are exactly the package-side
+        inputs of :meth:`PackageBuilder.build_package` beyond the name,
+        version and requirements: they determine the build duration, the
+        deterministic warning noise and the artifact size.  Deliberately
+        excluded are ``experiment``, ``category``, ``description`` and
+        ``dependencies`` — none of them influence the produced
+        :class:`~repro.buildsys.builder.BuildResult`, so two experiments
+        pinning byte-identical external packages share one digest.
+        """
+        return stable_digest(
+            "package-source",
+            self.language.value,
+            self.lines_of_code,
+            self.fragility,
+        )
 
     def with_requirements(self, requirements: SoftwareRequirements) -> "SoftwarePackage":
         """Return a copy with different environment requirements.

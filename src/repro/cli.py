@@ -10,6 +10,8 @@ end so the framework can be driven without writing Python::
     python -m repro.cli campaign --workers 4 --policy critical-path --output /tmp/sp-storage
     python -m repro.cli campaign --workers 4 --backend threads
     python -m repro.cli campaign --spec my-campaign.json --cache-budget-mb 16
+    python -m repro.cli campaign --no-cache
+    python -m repro.cli cache-stats --cache-dir /tmp/sp-storage
     python -m repro.cli migrate-plan --experiment H1 --target SL7
     python -m repro.cli levels
 
@@ -139,10 +141,33 @@ def build_parser() -> argparse.ArgumentParser:
                                "warm-start from (defaults to --output, so repeated "
                                "runs with the same --output reuse their cache)")
     campaign.add_argument("--cache-budget-mb", type=_positive_float, default=None,
-                          help="size budget for the persisted build-cache snapshot; "
-                               "least-recently-hit entries are evicted first")
+                          help="size budget for the build cache, enforced on the "
+                               "live cache after every round and again before the "
+                               "journal persist; least-recently-hit entries are "
+                               "evicted first (the journal auto-compacts once "
+                               "tombstones outnumber live entries)")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="disable the content-addressed build cache "
+                               "entirely (cold-path debugging: every build is "
+                               "compiled from scratch, nothing is warm-started "
+                               "or persisted)")
     campaign.add_argument("--output", default=None)
     campaign.set_defaults(handler=_cmd_campaign)
+
+    cache_stats = subparsers.add_parser(
+        "cache-stats",
+        help="inspect a persisted build-cache journal (hit rate, shared "
+             "hits, journal size)",
+    )
+    cache_stats.add_argument("--cache-dir", required=True,
+                             help="directory holding a persisted common storage "
+                                  "(the --output of a previous campaign run)")
+    cache_stats.add_argument("--compact", action="store_true",
+                             help="rewrite the journal from its live state "
+                                  "(drops tombstones, superseded records and "
+                                  "orphaned artifact payloads) and persist it "
+                                  "back to --cache-dir")
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
 
     migrate = subparsers.add_parser("migrate-plan", help="plan a migration to a new platform")
     migrate.add_argument("--experiment", required=True, choices=sorted(_EXPERIMENT_BUILDERS))
@@ -244,15 +269,6 @@ def _load_spec_file(path: str) -> CampaignSpec:
 def _cmd_campaign(arguments: argparse.Namespace) -> int:
     system = _provisioned_system(arguments.scale)
     cache_dir = arguments.cache_dir or arguments.output
-    if cache_dir and os.path.isdir(cache_dir):
-        # Warm-start: read only the build-cache snapshot of the previous
-        # campaign, not its accumulated run documents and report pages.
-        restored = system.restore_build_cache(
-            CommonStorage.load(cache_dir, namespaces=[BuildCache.NAMESPACE]),
-            missing_ok=True,
-        )
-        if restored is not None:
-            print(f"warm-started build cache: {len(restored)} entries from {cache_dir}")
     if arguments.spec:
         spec = _load_spec_file(arguments.spec)
     else:
@@ -264,20 +280,58 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
             deadline_seconds=arguments.deadline_seconds,
             backend=arguments.backend,
         )
+    if arguments.cache_budget_mb is not None and (
+        arguments.no_cache or not spec.use_cache
+    ):
+        # Catches --no-cache and a --spec file with "use_cache": false alike:
+        # without the cache layer the budget would be a silent no-op.
+        raise ReproError(
+            "--cache-budget-mb conflicts with --no-cache (or a spec file "
+            "with \"use_cache\": false)"
+        )
     if arguments.cache_budget_mb is not None:
         if not arguments.output:
-            # The budget caps the persisted snapshot; without --output
-            # nothing is persisted and the flag would be a silent no-op.
+            # The budget also caps the persisted journal; without --output
+            # nothing is persisted, so honour the historical contract of
+            # requiring one instead of silently applying half the flag.
             raise ReproError("--cache-budget-mb requires --output")
         # Fold the override into the spec (winning over a --spec file's own
         # budget) BEFORE submission: the persisted record must replay with
-        # the snapshot cap that was actually applied.
+        # the cache budget that was actually applied.
         spec = CampaignSpec.from_dict(
             dict(
                 spec.to_dict(),
                 cache_budget_bytes=int(arguments.cache_budget_mb * 1024 * 1024),
             )
         )
+    if arguments.no_cache:
+        # Folded into the spec for the same replayability reason.
+        spec = CampaignSpec.from_dict(dict(spec.to_dict(), use_cache=False))
+    if arguments.cache_dir and not spec.use_cache:
+        # An *explicit* --cache-dir (as opposed to the --output default)
+        # would be a silent no-op without the cache layer; refuse it like
+        # the budget flag.
+        raise ReproError(
+            "--cache-dir conflicts with --no-cache (or a spec file with "
+            "\"use_cache\": false): there is no cache to warm-start"
+        )
+    if (
+        spec.use_cache
+        and spec.warm_start
+        and cache_dir
+        and os.path.isdir(cache_dir)
+    ):
+        # Warm-start (gated on the *effective* spec settings, so a --spec
+        # file disabling the cache or the warm start skips it — the
+        # persisted spec record must replay the same campaign): replay
+        # only the build-cache journal of the previous campaign, not its
+        # accumulated run documents and report pages.
+        restored = system.restore_build_cache(
+            CommonStorage.load(cache_dir, namespaces=[BuildCache.NAMESPACE]),
+            missing_ok=True,
+        )
+        if restored is not None:
+            print(f"warm-started build cache: {len(restored)} entries from {cache_dir}")
     handle = system.submit(spec)
     campaign = handle.result()
     print(f"submitted {handle.campaign_id}: {handle.cells_completed}/"
@@ -292,16 +346,60 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         columns=["run_id", "experiment", "configuration", "overall_status"],
     ))
     if arguments.output:
+        appended_entries = 0
+        if spec.use_cache:
+            # Persist before the pages render, so the campaign page can
+            # report the journal it will actually travel with.
+            appended_entries = system.persist_build_cache(
+                max_bytes=spec.cache_budget_bytes
+            )
         pages = StatusPageGenerator(system.storage, system.catalog)
-        pages.campaign_page(campaign)
+        pages.campaign_page(
+            campaign,
+            cache_journal=(
+                BuildCache.journal_status(system.storage)
+                if spec.use_cache
+                else None
+            ),
+        )
         pages.index_page()
         pages.summary_page(matrix.render_text())
-        persisted_entries = system.persist_build_cache(
-            max_bytes=spec.cache_budget_bytes
-        )
         written = system.storage.persist(arguments.output)
         print(f"\npersisted {len(written)} documents below {arguments.output} "
-              f"({persisted_entries} build-cache entries for the next campaign)")
+              f"({appended_entries} new build-cache journal records for the "
+              f"next campaign)")
+    return 0
+
+
+def _cmd_cache_stats(arguments: argparse.Namespace) -> int:
+    from repro.reporting.summary import build_cache_rows, cache_journal_rows
+    from repro.storage.artifacts import ArtifactStore
+
+    if not os.path.isdir(arguments.cache_dir):
+        raise ReproError(f"no such storage directory: {arguments.cache_dir}")
+    storage = CommonStorage.load(
+        arguments.cache_dir, namespaces=[BuildCache.NAMESPACE]
+    )
+    if BuildCache.NAMESPACE not in storage.namespaces():
+        raise ReproError(
+            f"no persisted build cache below {arguments.cache_dir}: "
+            f"the storage has no {BuildCache.NAMESPACE!r} namespace"
+        )
+    cache = BuildCache.restore_from(storage, ArtifactStore())
+    if arguments.compact:
+        written = cache.compact(storage)
+        storage.persist(arguments.cache_dir)
+        print(f"compacted the journal to {written} entry record(s)")
+    rows = (
+        [{"quantity": "live cache entries", "value": len(cache)},
+         {"quantity": "live cache bytes", "value": cache.total_size_bytes()}]
+        + build_cache_rows(cache.statistics)
+        + cache_journal_rows(BuildCache.journal_status(storage))
+    )
+    print(f"build-cache journal below {arguments.cache_dir}")
+    print(format_table(
+        ["quantity", "value"], [[row["quantity"], row["value"]] for row in rows]
+    ))
     return 0
 
 

@@ -343,19 +343,21 @@ class SPSystem:
         worker count, any policy and any backend — and, thanks to replayed
         cache entries, for any warm-start state.
 
-        With ``spec.warm_start`` (the default), a build-cache snapshot
+        With ``spec.warm_start`` (the default), a build-cache journal
         persisted in the common storage's ``buildcache`` namespace is
-        restored before the first campaign of this installation, so a fresh
+        replayed before the first campaign of this installation, so a fresh
         ``SPSystem`` mounted on a loaded storage starts with the previous
-        installation's cache.  With ``spec.persist_spec`` (the default), the
+        installation's cache; ``spec.use_cache=False`` disables the cache
+        layer entirely (the cold-path debugging mode).  With
+        ``spec.persist_spec`` (the default), the
         submission is recorded in the ``campaigns`` namespace, so the spec
         travels with the persisted storage and replays the identical
         campaign on a fresh installation.
         """
         spec.validate()
-        if spec.warm_start and len(self.build_cache) == 0:
+        if spec.use_cache and spec.warm_start and len(self.build_cache) == 0:
             # Installs the restored cache as self.build_cache (no-op probe
-            # when the storage carries no snapshot).  Must precede scheduler
+            # when the storage carries no journal).  Must precede scheduler
             # construction: the scheduler binds the cache by reference.
             self.restore_build_cache(missing_ok=True)
         profile = VALIDATION_VM_PROFILE
@@ -375,6 +377,8 @@ class SPSystem:
             policy=policy if policy is not None else spec.policy,
             deadline_seconds=spec.deadline_seconds,
             backend=spec.backend,
+            cache_budget_bytes=spec.cache_budget_bytes,
+            use_cache=spec.use_cache,
         )
         requests = (
             list(spec.requests)
@@ -572,17 +576,31 @@ class SPSystem:
 
     # -- build-cache persistence ---------------------------------------------------
     def persist_build_cache(self, max_bytes: Optional[int] = None) -> int:
-        """Snapshot the effective build cache into the common storage.
+        """Append the build cache's changes to its journal in the common storage.
 
-        The snapshot lands in the ``buildcache`` namespace, so a subsequent
+        The journal lives in the ``buildcache`` namespace, so a subsequent
         ``storage.persist(directory)`` carries it to disk alongside the run
         documents, and a fresh installation mounting the loaded storage (or
-        calling :meth:`restore_build_cache`) warm-starts from it.  With
-        *max_bytes*, least-recently-hit entries are evicted first so the
-        snapshot stays within the size budget.  Returns the number of
-        persisted cache entries.
+        calling :meth:`restore_build_cache`) warm-starts by replaying it.
+        Persistence is incremental: only entries new since the last persist
+        are appended (plus one tombstone per eviction), so repeated
+        campaigns write O(new entries) documents.  With *max_bytes*,
+        least-recently-hit entries are evicted first so the live cache (and
+        therefore the journal's live state) stays within the size budget.
+        Returns the number of newly journalled entries.
         """
         return self.effective_build_cache().persist_to(
+            self.storage, max_bytes=max_bytes
+        )
+
+    def compact_build_cache(self, max_bytes: Optional[int] = None) -> int:
+        """Rewrite the build-cache journal from the live cache state.
+
+        Drops accumulated tombstones, superseded records and orphaned
+        artifact payloads; with *max_bytes* the live cache is brought under
+        the budget first.  Returns the number of entry records written.
+        """
+        return self.effective_build_cache().compact(
             self.storage, max_bytes=max_bytes
         )
 
@@ -591,14 +609,20 @@ class SPSystem:
         storage: Optional[CommonStorage] = None,
         missing_ok: bool = False,
     ) -> Optional[BuildCache]:
-        """Restore the build cache from a persisted ``buildcache`` snapshot.
+        """Restore the build cache by replaying a persisted ``buildcache`` journal.
 
         Reads from *storage* (default: this installation's own common
-        storage), re-materialises the snapshot's tarballs into this
+        storage), re-materialises the journal's tarballs into this
         installation's :class:`ArtifactStore` and installs the restored
-        cache as :attr:`build_cache`.  Entries whose artifact digest cannot
-        be materialised are evicted on restore.  Without a snapshot, raises
-        :class:`~repro._common.StorageError` — or returns None when
+        cache as :attr:`build_cache`.  When restoring from a *foreign*
+        storage, the journal is also mounted (copied) into this
+        installation's own storage, so a subsequent
+        :meth:`persist_build_cache` appends to the inherited journal
+        instead of rewriting it from scratch — the source itself is never
+        modified.  Entries whose artifact digest cannot be materialised are
+        evicted on restore, and a corrupted trailing journal record is
+        dropped (everything before it is recovered).  Without a journal,
+        raises :class:`~repro._common.StorageError` — or returns None when
         *missing_ok* is set (the warm-start probe).
         """
         source = storage if storage is not None else self.storage
@@ -610,6 +634,12 @@ class SPSystem:
                 f"{BuildCache.NAMESPACE!r} namespace"
             )
         self.build_cache = BuildCache.restore_from(source, self.artifact_store)
+        if source is not self.storage:
+            namespace = self.storage.create_namespace(BuildCache.NAMESPACE)
+            for key in namespace.keys():
+                namespace.delete(key)
+            for key, document in source.namespace(BuildCache.NAMESPACE).items():
+                namespace.put(key, document)
         return self.build_cache
 
     # -- bookkeeping -----------------------------------------------------------------

@@ -15,16 +15,26 @@ from repro.experiments.chains import (
 )
 from repro.experiments.h1 import H1_PROCESSES, build_h1_experiment
 from repro.experiments.hermes import HERMES_PROCESSES, build_hermes_experiment
-from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.experiments.inventories import (
+    InventoryQuirks,
+    build_inventory,
+    shared_external_packages,
+)
 from repro.experiments.zeus import ZEUS_PROCESSES, build_zeus_experiment
 
 
-def build_hera_experiments(scale: float = 1.0):
-    """Build all three HERA experiment definitions at the given scale."""
+def build_hera_experiments(scale: float = 1.0, shared_externals: bool = False):
+    """Build all three HERA experiment definitions at the given scale.
+
+    With *shared_externals*, every experiment's inventory carries the
+    HERA-wide external products, so a campaign over several experiments
+    compiles each of them exactly once (the content-addressed build cache
+    recognises the replicas as one build).
+    """
     return [
-        build_zeus_experiment(scale=scale),
-        build_h1_experiment(scale=scale),
-        build_hermes_experiment(scale=scale),
+        build_zeus_experiment(scale=scale, shared_externals=shared_externals),
+        build_h1_experiment(scale=scale, shared_externals=shared_externals),
+        build_hermes_experiment(scale=scale, shared_externals=shared_externals),
     ]
 
 
@@ -39,6 +49,7 @@ __all__ = [
     "build_hermes_experiment",
     "InventoryQuirks",
     "build_inventory",
+    "shared_external_packages",
     "ZEUS_PROCESSES",
     "build_zeus_experiment",
     "build_hera_experiments",

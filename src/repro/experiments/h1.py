@@ -20,7 +20,11 @@ from repro.core.testspec import ExperimentDefinition, TestKind, ValidationTestSp
 from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
 from repro.experiments import executors
 from repro.experiments.chains import FULL_CHAIN_STEPS, build_analysis_chain
-from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.experiments.inventories import (
+    InventoryQuirks,
+    build_inventory,
+    shared_external_packages,
+)
 from repro.hepdata.generator import GeneratorSettings, default_processes
 
 
@@ -38,6 +42,7 @@ def build_h1_experiment(
     regression_tests_per_package: int = 3,
     quirks: Optional[InventoryQuirks] = None,
     scale: float = 1.0,
+    shared_externals: bool = False,
 ) -> ExperimentDefinition:
     """Build the synthetic H1 experiment definition.
 
@@ -56,6 +61,9 @@ def build_h1_experiment(
     )
 
     inventory = build_inventory("H1", n_packages, quirks or InventoryQuirks())
+    if shared_externals:
+        for package in shared_external_packages("H1"):
+            inventory.add(package)
     standalone: List[ValidationTestSpec] = []
 
     generator_settings = {

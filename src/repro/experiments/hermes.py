@@ -18,7 +18,11 @@ from repro.core.testspec import ExperimentDefinition, TestKind, ValidationTestSp
 from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
 from repro.experiments import executors
 from repro.experiments.chains import ANALYSIS_ONLY_STEPS, build_analysis_chain
-from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.experiments.inventories import (
+    InventoryQuirks,
+    build_inventory,
+    shared_external_packages,
+)
 from repro.hepdata.generator import GeneratorSettings
 
 
@@ -33,8 +37,14 @@ def build_hermes_experiment(
     events_per_test: int = 40,
     quirks: Optional[InventoryQuirks] = None,
     scale: float = 1.0,
+    shared_externals: bool = False,
 ) -> ExperimentDefinition:
-    """Build the synthetic HERMES experiment definition (level 3, ~80 tests)."""
+    """Build the synthetic HERMES experiment definition (level 3, ~80 tests).
+
+    With *shared_externals*, the inventory also carries the HERA-wide
+    external products (:func:`~repro.experiments.inventories.shared_external_packages`)
+    whose builds the content-addressed cache shares across experiments.
+    """
     scale = max(min(scale, 1.0), 0.01)
     n_packages = max(int(round(n_packages * scale)), 8)
     events_per_chain = max(int(round(events_per_chain * scale)), 10)
@@ -48,6 +58,9 @@ def build_hermes_experiment(
             n_not_ported_to_newest_abi=1, n_legacy_root_api=1, n_strictness_limited=1
         ),
     )
+    if shared_externals:
+        for package in shared_external_packages("HERMES"):
+            inventory.add(package)
     standalone: List[ValidationTestSpec] = []
 
     for package in inventory.all():

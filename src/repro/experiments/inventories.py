@@ -137,6 +137,48 @@ def build_inventory(
     return inventory
 
 
+#: The shared external products the HERA collaborations all pin: compiler
+#: support libraries, ROOT-like analysis toolkits, OS-level libraries.  Their
+#: content is experiment-independent by construction (name, version, language
+#: and size derive from the product alone), so the content-addressed build
+#: cache recognises two experiments' replicas as one build.
+_SHARED_EXTERNAL_SPECS: Tuple[Tuple[str, str, Language], ...] = (
+    ("ext-cernlib", "2006.b", Language.FORTRAN),
+    ("ext-root-toolkit", "5.34", Language.CPP),
+    ("ext-mysql-client", "5.0.96", Language.C),
+    ("ext-geant-runtime", "3.21", Language.FORTRAN),
+)
+
+
+def shared_external_packages(experiment: str) -> List[SoftwarePackage]:
+    """Replicas of the shared external-package set, owned by *experiment*.
+
+    Every experiment keeps its own replica (the inventory model requires the
+    owning-experiment attribute to match), but everything that determines the
+    build — name, version, sources, requirements — is byte-identical across
+    experiments, so their :attr:`~repro.buildsys.package.SoftwarePackage.key`
+    and content identity digests coincide and campaigns over several
+    experiments compile each external exactly once.
+    """
+    packages = []
+    for name, version, language in _SHARED_EXTERNAL_SPECS:
+        packages.append(
+            SoftwarePackage(
+                name=name,
+                version=version,
+                experiment=experiment,
+                category=PackageCategory.UTILITIES,
+                language=language,
+                lines_of_code=3000 + stable_hash("shared-external", name, "loc") % 20000,
+                dependencies=(),
+                requirements=_baseline_requirements(PackageCategory.UTILITIES),
+                fragility=0.05,
+                description=f"shared external product {name} {version}",
+            )
+        )
+    return packages
+
+
 def _category_counts(n_packages: int) -> Dict[PackageCategory, int]:
     """Split *n_packages* over the categories according to the weights."""
     counts: Dict[PackageCategory, int] = {}
@@ -313,4 +355,4 @@ def _apply_quirks(
     return result
 
 
-__all__ = ["InventoryQuirks", "build_inventory"]
+__all__ = ["InventoryQuirks", "build_inventory", "shared_external_packages"]

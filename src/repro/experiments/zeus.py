@@ -16,7 +16,11 @@ from repro.core.testspec import ExperimentDefinition, TestKind, ValidationTestSp
 from repro.environment.compatibility import ExternalRequirement, SoftwareRequirements
 from repro.experiments import executors
 from repro.experiments.chains import FULL_CHAIN_STEPS, build_analysis_chain
-from repro.experiments.inventories import InventoryQuirks, build_inventory
+from repro.experiments.inventories import (
+    InventoryQuirks,
+    build_inventory,
+    shared_external_packages,
+)
 from repro.hepdata.generator import GeneratorSettings, default_processes
 
 
@@ -31,8 +35,14 @@ def build_zeus_experiment(
     regression_tests_per_package: int = 2,
     quirks: Optional[InventoryQuirks] = None,
     scale: float = 1.0,
+    shared_externals: bool = False,
 ) -> ExperimentDefinition:
-    """Build the synthetic ZEUS experiment definition (level 4, ~200 tests)."""
+    """Build the synthetic ZEUS experiment definition (level 4, ~200 tests).
+
+    With *shared_externals*, the inventory also carries the HERA-wide
+    external products whose builds the content-addressed cache shares
+    across experiments.
+    """
     scale = max(min(scale, 1.0), 0.01)
     n_packages = max(int(round(n_packages * scale)), 8)
     events_per_chain = max(int(round(events_per_chain * scale)), 10)
@@ -46,6 +56,9 @@ def build_zeus_experiment(
         n_packages,
         quirks or InventoryQuirks(n_not_ported_to_newest_abi=1, n_legacy_root_api=2),
     )
+    if shared_externals:
+        for package in shared_external_packages("ZEUS"):
+            inventory.add(package)
     standalone: List[ValidationTestSpec] = []
     generator_settings = {
         settings.process: settings for settings in default_processes()

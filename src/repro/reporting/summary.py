@@ -222,14 +222,43 @@ def build_cache_rows(statistics) -> List[Dict[str, object]]:
 
     *statistics* is duck-typed (any object with ``hits``/``misses``/``stores``/
     ``evictions``/``hit_rate``), so the reporting layer needs no import of the
-    scheduler package.
+    scheduler package.  Cross-experiment sharing (``shared_hits`` and the
+    per-donor ``donated_by_experiment`` breakdown of the content-addressed
+    cache) is reported when the statistics object carries it.
     """
-    return [
+    rows = [
         {"quantity": "build cache hits", "value": statistics.hits},
         {"quantity": "build cache misses", "value": statistics.misses},
         {"quantity": "build cache stores", "value": statistics.stores},
         {"quantity": "build cache evictions", "value": statistics.evictions},
         {"quantity": "build cache hit rate", "value": f"{statistics.hit_rate:.1%}"},
+        {
+            "quantity": "build cache shared hits (cross-experiment)",
+            "value": getattr(statistics, "shared_hits", 0),
+        },
+    ]
+    for experiment, count in sorted(
+        getattr(statistics, "donated_by_experiment", {}).items()
+    ):
+        rows.append(
+            {"quantity": f"  hits donated by {experiment}", "value": count}
+        )
+    return rows
+
+
+def cache_journal_rows(status: Dict[str, int]) -> List[Dict[str, object]]:
+    """Rows describing the persisted build-cache journal's size.
+
+    *status* is the mapping :meth:`BuildCache.journal_status` returns
+    (``records``/``entries``/``tombstones``/``artifacts``/``bytes``), passed
+    as plain data so the reporting layer needs no scheduler import.
+    """
+    return [
+        {"quantity": "cache journal records", "value": status.get("records", 0)},
+        {"quantity": "  entry records", "value": status.get("entries", 0)},
+        {"quantity": "  tombstone records", "value": status.get("tombstones", 0)},
+        {"quantity": "cache artifact payloads", "value": status.get("artifacts", 0)},
+        {"quantity": "cache journal bytes", "value": status.get("bytes", 0)},
     ]
 
 
@@ -303,6 +332,7 @@ __all__ = [
     "SummaryMatrix",
     "ValidationSummaryBuilder",
     "build_cache_rows",
+    "cache_journal_rows",
     "campaign_schedule_rows",
     "render_campaign_report",
 ]

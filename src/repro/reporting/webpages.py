@@ -133,14 +133,18 @@ class StatusPageGenerator:
     #: Timeline rows beyond this count are elided to keep the page browsable.
     MAX_TIMELINE_ROWS = 200
 
-    def campaign_page(self, result) -> str:
+    def campaign_page(self, result, cache_journal: Optional[Dict] = None) -> str:
         """Render the status page of one scheduled validation campaign.
 
         *result* is duck-typed (the scheduler's ``CampaignResult``): the page
         shows the pool timeline, per-worker utilisation, the build-cache
-        accounting and one row per matrix cell linking into the existing run
+        accounting (including cross-experiment shared hits and the per-donor
+        breakdown) and one row per matrix cell linking into the existing run
         pages.  Run pages for the campaign's cells are generated alongside,
-        so the links are live once the storage is persisted.
+        so the links are live once the storage is persisted.  With
+        *cache_journal* (the ``BuildCache.journal_status`` mapping, passed
+        as plain data to keep this layer scheduler-free), the page also
+        reports the persisted journal's size.
         """
         schedule = result.schedule
         for cell in result.cells:
@@ -175,16 +179,33 @@ class StatusPageGenerator:
                 f"<p>deadline {schedule.deadline_seconds:,.0f} s: {verdict}</p>"
             )
         cache = result.cache_statistics
+        shared_hits = getattr(cache, "shared_hits", 0)
         cache_table = (
             "<h2>Build cache</h2>"
             "<table border='1' cellspacing='0' cellpadding='3'>"
             "<tr><th>hits</th><th>misses</th><th>stores</th>"
-            "<th>evictions</th><th>hit rate</th></tr>"
+            "<th>evictions</th><th>hit rate</th>"
+            "<th>shared hits (cross-experiment)</th></tr>"
             f"<tr><td>{cache.hits}</td><td>{cache.misses}</td>"
             f"<td>{cache.stores}</td><td>{cache.evictions}</td>"
-            f"<td>{cache.hit_rate:.1%}</td></tr>"
+            f"<td>{cache.hit_rate:.1%}</td>"
+            f"<td>{shared_hits}</td></tr>"
             "</table>"
         )
+        donated = getattr(cache, "donated_by_experiment", {})
+        if donated:
+            cache_table += "<p>hits donated across experiments: " + ", ".join(
+                f"{html.escape(experiment)} &rarr; {count}"
+                for experiment, count in sorted(donated.items())
+            ) + "</p>"
+        if cache_journal is not None:
+            cache_table += (
+                f"<p>persisted cache journal: {cache_journal.get('records', 0)} "
+                f"record(s) ({cache_journal.get('entries', 0)} entries, "
+                f"{cache_journal.get('tombstones', 0)} tombstones), "
+                f"{cache_journal.get('artifacts', 0)} artifact payload(s), "
+                f"{cache_journal.get('bytes', 0):,} bytes</p>"
+            )
         worker_rows = []
         for worker_index in range(schedule.n_workers):
             busy = schedule.busy_seconds_per_worker.get(worker_index, 0.0)

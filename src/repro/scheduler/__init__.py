@@ -22,6 +22,7 @@ from repro.scheduler.cache import (
     CacheStatistics,
     CachingPackageBuilder,
     build_cache_key,
+    package_identity_digest,
 )
 from repro.scheduler.campaign import CampaignCell, CampaignResult, CampaignScheduler
 from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
@@ -53,6 +54,7 @@ __all__ = [
     "CacheStatistics",
     "CachingPackageBuilder",
     "build_cache_key",
+    "package_identity_digest",
     "CampaignCell",
     "CampaignResult",
     "CampaignScheduler",

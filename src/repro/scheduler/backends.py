@@ -14,11 +14,14 @@ Two backends ship with the registry:
   :class:`~repro.scheduler.pool.SimulatedWorkerPool` — simulated
   timestamps, injectable worker failures, reproducible timelines.
 * :class:`ThreadPoolBackend` really executes the DAG's tasks concurrently
-  on a :class:`concurrent.futures.ThreadPoolExecutor`: each task runs its
-  verification payload (a read-only replay of the cell's recorded jobs and
-  stored outputs) on a real OS thread, dependencies gate submission, the
-  selected scheduling policy orders the ready queue, and measured
-  wall-clock seconds are folded into the returned ``PoolSchedule``.
+  on a :class:`concurrent.futures.ThreadPoolExecutor`: build tasks run a
+  genuine :class:`~repro.buildsys.builder.BuildTask` re-compilation (a pure
+  function of the package content digest, digest-checked against the
+  recorded result), test and chain tasks run a read-only verification
+  replay of the cell's recorded jobs — all on real OS threads, with
+  dependencies gating submission, the selected scheduling policy ordering
+  the ready queue, and measured wall-clock seconds folded into the
+  returned ``PoolSchedule``.
 
 Backends are selected by name through :func:`execution_backend`, mirroring
 :func:`~repro.scheduler.pool.scheduling_policy`.
@@ -78,6 +81,11 @@ class ExecutionBackend:
     #: Registry name, also used by the CLI ``--backend`` flag.
     name = "base"
 
+    #: True when the backend really runs task payloads (the campaign
+    #: scheduler skips preparing expensive payload state, e.g. expected
+    #: build digests, for backends that only simulate time).
+    executes_payloads = False
+
     def execute(self, request: ExecutionRequest) -> PoolSchedule:
         """Execute *request* and return the timeline it produced."""
         raise NotImplementedError
@@ -108,9 +116,13 @@ class ThreadPoolBackend(ExecutionBackend):
     same slot arithmetic as the simulated pool); a task is submitted the
     moment its dependencies have finished and a slot is free, with the
     scheduling policy ordering the ready queue exactly as in the
-    simulation.  Task payloads are the real work: the campaign scheduler
-    hands over a read-only verification replay of each task's recorded
-    jobs, so threads race over genuinely shared (immutable) campaign data.
+    simulation.  Task payloads are the real work: build tasks re-execute
+    their package compilation through a
+    :class:`~repro.buildsys.builder.BuildTask` (pure functions of the
+    content digest — concurrency cannot change their outcome, which the
+    task's digest check enforces), while test and chain tasks replay their
+    recorded jobs read-only over genuinely shared (immutable) campaign
+    data.
 
     The returned schedule carries *measured* seconds: per-task start/end
     offsets from the campaign's start, the real makespan, and a critical
@@ -123,6 +135,8 @@ class ThreadPoolBackend(ExecutionBackend):
     """
 
     name = "threads"
+
+    executes_payloads = True
 
     def execute(self, request: ExecutionRequest) -> PoolSchedule:
         if request.failures:

@@ -1,34 +1,43 @@
-"""Content-hash keyed build cache layered over the package builder.
+"""Content-addressed build cache layered over the package builder.
 
 A campaign rebuilds the same package inventories again and again: every
 validation round compiles every package of every experiment on every
-configuration.  The simulated builds are pure functions of the package and
-the environment configuration, so the :class:`BuildCache` keys each
-:class:`~repro.buildsys.builder.BuildResult` by a content hash of exactly the
-inputs that determine it — package identity, its requirements, the compiler,
-the operating system ABI, the word size and the installed externals.  A hit
-replays the recorded result (diagnostics, tarball and simulated build time
-included), which keeps the cached path bit-identical to a fresh build while
-skipping the work.
+configuration.  The simulated builds are pure functions of the package
+content and the environment configuration, so the :class:`BuildCache` keys
+each :class:`~repro.buildsys.builder.BuildResult` by
+:func:`package_identity_digest` — a content hash of exactly the inputs that
+determine the build: package name and version, the source digest, the
+requirements fingerprint and the target-configuration fingerprint.  The
+digest is deliberately **experiment-agnostic**: two experiments pinning the
+same external package (a compiler, a ROOT-like toolkit, an OS library —
+byte-identical content, different owning collaboration) share one cache
+entry, so the shared validation infrastructure builds it once.  A hit
+replays the recorded result rebound to the *requesting* package, which keeps
+the cached path bit-identical to a fresh build while skipping the work; the
+:class:`CacheStatistics` attribute cross-experiment hits to the donating
+experiment so reports can show who warm-starts whom.
 
 Cached tarballs live in the :class:`~repro.storage.artifacts.ArtifactStore`;
 an entry whose artifact has been removed or overwritten there is evicted on
 the next lookup instead of serving a dangling digest.
 
-The cache is also a resident of the common sp-system storage: the paper's
-"common sp-system storage where the tests from the experiments as well as the
-test results are stored" is exactly where validated build artifacts belong
-across campaigns.  :meth:`BuildCache.persist_to` snapshots every entry (and
-its tarball payload) into the ``buildcache`` namespace, and
-:meth:`BuildCache.restore_from` warm-starts a fresh cache from it — evicting
-on restore any entry whose artifact digest can no longer be materialised.
+The cache is also a resident of the common sp-system storage, persisted as
+an **append-only journal** in the ``buildcache`` namespace (via
+:class:`~repro.storage.common_storage.AppendOnlyJournal`): every
+:meth:`BuildCache.persist_to` appends one record per *new* entry and one
+tombstone per eviction since the last persist — repeated campaigns write
+O(new entries), not O(cache).  :meth:`BuildCache.restore_from` replays the
+journal (recovering cleanly from a corrupted trailing record), and
+:meth:`BuildCache.compact` rewrites the log from the live state, dropping
+tombstones and orphaned artifact payloads and optionally enforcing the
+``max_bytes`` budget.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 from repro._common import StorageError, stable_digest
 from repro.buildsys.builder import BuildResult, PackageBuilder
@@ -37,7 +46,11 @@ from repro.buildsys.tarball import Tarball
 from repro.environment.compatibility import SoftwareRequirements
 from repro.environment.configuration import EnvironmentConfiguration
 from repro.storage.artifacts import ArtifactStore
-from repro.storage.common_storage import CommonStorage
+from repro.storage.common_storage import (
+    AppendOnlyJournal,
+    CommonStorage,
+    register_mirrored_namespace,
+)
 
 
 def _requirements_fingerprint(requirements: SoftwareRequirements) -> str:
@@ -62,25 +75,15 @@ def _requirements_fingerprint(requirements: SoftwareRequirements) -> str:
     )
 
 
-def build_cache_key(
-    package: SoftwarePackage, configuration: EnvironmentConfiguration
-) -> str:
-    """Content hash of every input that determines a package build result.
+def _target_fingerprint(configuration: EnvironmentConfiguration) -> str:
+    """Stable fingerprint of the build-relevant configuration state.
 
-    The key is deliberately finer-grained than ``configuration.key``: two
+    Deliberately finer-grained than ``configuration.key``: two
     configurations sharing an OS/word-size/compiler label but differing in
     installed externals (or a configuration whose compiler or OS release was
     swapped in place) must not share cache entries.
     """
     return stable_digest(
-        "build-cache",
-        package.key,
-        package.experiment,
-        package.language.value,
-        package.lines_of_code,
-        package.fragility,
-        sorted(package.dependencies),
-        _requirements_fingerprint(package.requirements),
         configuration.key,
         configuration.operating_system.name,
         configuration.operating_system.abi_level,
@@ -92,14 +95,52 @@ def build_cache_key(
     )
 
 
+def package_identity_digest(
+    package: SoftwarePackage, configuration: EnvironmentConfiguration
+) -> str:
+    """Experiment-agnostic content hash of everything that determines a build.
+
+    The digest combines the package identity (name, version, source digest,
+    requirements fingerprint) with the target-configuration fingerprint.
+    Ownership attributes — ``experiment``, ``category``, ``description``,
+    ``dependencies`` — never influence the produced
+    :class:`~repro.buildsys.builder.BuildResult` and are excluded, so two
+    experiments pinning a byte-identical external package address the same
+    cache entry.
+    """
+    return stable_digest(
+        "package-identity",
+        package.name,
+        package.version,
+        package.source_digest,
+        _requirements_fingerprint(package.requirements),
+        _target_fingerprint(configuration),
+    )
+
+
+def build_cache_key(
+    package: SoftwarePackage, configuration: EnvironmentConfiguration
+) -> str:
+    """Legacy name of :func:`package_identity_digest` (same digest)."""
+    return package_identity_digest(package, configuration)
+
+
 @dataclass
 class CacheStatistics:
-    """Hit/miss accounting of one build cache (or one campaign's slice of it)."""
+    """Hit/miss accounting of one build cache (or one campaign's slice of it).
+
+    ``shared_hits`` counts the hits served to a *different* experiment than
+    the one that stored the entry — the cross-experiment sharing the
+    content-addressed keys enable — and ``donated_by_experiment`` breaks
+    those donations down by the storing (donor) experiment.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    shared_hits: int = 0
+    donated_by_experiment: Dict[str, int] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -111,17 +152,37 @@ class CacheStatistics:
         """Fraction of lookups served from the cache."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def shared_hit_rate(self) -> float:
+        """Fraction of hits donated across experiments."""
+        return self.shared_hits / self.hits if self.hits else 0.0
+
     def __sub__(self, other: "CacheStatistics") -> "CacheStatistics":
+        donated = {
+            experiment: count - other.donated_by_experiment.get(experiment, 0)
+            for experiment, count in self.donated_by_experiment.items()
+        }
         return CacheStatistics(
             hits=self.hits - other.hits,
             misses=self.misses - other.misses,
             stores=self.stores - other.stores,
             evictions=self.evictions - other.evictions,
+            shared_hits=self.shared_hits - other.shared_hits,
+            donated_by_experiment={
+                experiment: count for experiment, count in donated.items() if count
+            },
         )
 
     def snapshot(self) -> "CacheStatistics":
         """A frozen copy (for before/after deltas around a campaign)."""
-        return CacheStatistics(self.hits, self.misses, self.stores, self.evictions)
+        return CacheStatistics(
+            self.hits,
+            self.misses,
+            self.stores,
+            self.evictions,
+            self.shared_hits,
+            dict(self.donated_by_experiment),
+        )
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-serialisable view, including the derived hit rate."""
@@ -130,44 +191,104 @@ class CacheStatistics:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "shared_hits": self.shared_hits,
+            "donated_by_experiment": {
+                experiment: self.donated_by_experiment[experiment]
+                for experiment in sorted(self.donated_by_experiment)
+            },
             "hit_rate": self.hit_rate,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "CacheStatistics":
-        """Reconstruct statistics serialised by :meth:`as_dict`."""
+        """Reconstruct statistics serialised by :meth:`as_dict`.
+
+        Missing or malformed fields (pre-journal snapshots, foreign tools,
+        hand-edited files) degrade to zero/empty instead of failing the
+        whole cache restore — statistics are bookkeeping, never worth
+        losing the journal over.
+        """
+        def as_count(value: object) -> int:
+            try:
+                return int(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                return 0
+
+        if not isinstance(payload, dict):
+            return cls()
+        donated = payload.get("donated_by_experiment", {})
+        if not isinstance(donated, dict):
+            donated = {}
         return cls(
-            hits=int(payload.get("hits", 0)),  # type: ignore[arg-type]
-            misses=int(payload.get("misses", 0)),  # type: ignore[arg-type]
-            stores=int(payload.get("stores", 0)),  # type: ignore[arg-type]
-            evictions=int(payload.get("evictions", 0)),  # type: ignore[arg-type]
+            hits=as_count(payload.get("hits", 0)),
+            misses=as_count(payload.get("misses", 0)),
+            stores=as_count(payload.get("stores", 0)),
+            evictions=as_count(payload.get("evictions", 0)),
+            shared_hits=as_count(payload.get("shared_hits", 0)),
+            donated_by_experiment={
+                str(experiment): count
+                for experiment, count in (
+                    (experiment, as_count(raw))
+                    for experiment, raw in donated.items()
+                )
+                if count
+            },
         )
 
 
 class BuildCache:
-    """Caches build results by content hash, backed by the artifact store."""
+    """Caches build results by content digest, backed by the artifact store."""
 
     #: Label under which cached tarballs are referenced in the artifact store.
     ARTIFACT_LABEL = "build-cache"
 
-    #: Common-storage namespace holding the persisted cache snapshot.
-    NAMESPACE = "buildcache"
+    #: Common-storage namespace holding the persisted cache journal.
+    #: Registered as mirrored so ``CommonStorage.persist`` deletes on-disk
+    #: files of records a compaction dropped.
+    NAMESPACE = register_mirrored_namespace("buildcache")
 
     #: Key prefixes inside the namespace (storage keys must start with a
-    #: letter, so the hex content hashes and digests get a prefix).
-    ENTRY_PREFIX = "entry_"
+    #: letter, so the journal sequence numbers and hex digests get a prefix).
+    JOURNAL_PREFIX = "journal_"
     ARTIFACT_PREFIX = "artifact_"
     STATISTICS_KEY = "statistics"
+    #: Monotonic per-journal write counter ({"epoch": n}), bumped by every
+    #: persist; lets a cache detect cheaply that another writer touched the
+    #: journal since it last synced.
+    EPOCH_KEY = "lineage"
+    #: Entry prefix of the pre-journal wholesale-snapshot format.  Its keys
+    #: predate the experiment-agnostic content digest and can never be hit
+    #: again, so restore drops such documents (counted as evictions) and the
+    #: next persist deletes them.
+    LEGACY_ENTRY_PREFIX = "entry_"
 
     def __init__(self, artifact_store: Optional[ArtifactStore] = None) -> None:
         self.artifact_store = artifact_store
         self._entries: Dict[str, BuildResult] = {}
+        #: Experiment that first stored each entry (the donor of shared hits).
+        self._owners: Dict[str, str] = {}
         self.statistics = CacheStatistics()
         # Least-recently-hit bookkeeping for the persistence size budget:
         # every hit (and every store) stamps the entry with a monotonically
         # increasing tick, so eviction order is deterministic.
         self._recency: Dict[str, int] = {}
         self._tick = 0
+        # Journal bookkeeping: which entry keys are live in the persisted
+        # journal (and under which record sequence), so the next persist
+        # appends only the delta.  A restore that hit a corrupted trailing
+        # record (or evicted dangling entries) flags the journal for a full
+        # compaction rewrite on the next persist.
+        self._persisted: Dict[str, int] = {}
+        self._journal_dirty = False
+        #: Tombstone records currently in the journal (restored or appended);
+        #: once they outnumber the live entries, persist auto-compacts.
+        self._journal_tombstones = 0
+        #: The namespace object and its write epoch at the last sync; when
+        #: both still match, persisting skips the full lineage scan, keeping
+        #: repeated persists O(new entries) — while a rewrite by *another*
+        #: cache into the same namespace bumps the epoch and forces the scan.
+        self._synced_namespace: Optional[object] = None
+        self._synced_epoch = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -182,9 +303,11 @@ class BuildCache:
         """Return a replay of the cached build result, or None on a miss.
 
         An entry whose tarball no longer exists in the artifact store (it was
-        removed or overwritten) is evicted and counts as a miss.
+        removed or overwritten) is evicted and counts as a miss.  A hit
+        served to a different experiment than the one that stored the entry
+        is additionally counted as a shared hit, attributed to the donor.
         """
-        key = build_cache_key(package, configuration)
+        key = package_identity_digest(package, configuration)
         entry = self._entries.get(key)
         if entry is not None and self._artifact_gone(entry):
             self._evict(key)
@@ -193,8 +316,27 @@ class BuildCache:
             self.statistics.misses += 1
             return None
         self.statistics.hits += 1
+        owner = self._owners.get(key)
+        if owner and owner != package.experiment:
+            self.statistics.shared_hits += 1
+            self.statistics.donated_by_experiment[owner] = (
+                self.statistics.donated_by_experiment.get(owner, 0) + 1
+            )
         self._touch(key)
-        return self._replay(entry)
+        return self._replay(entry, package)
+
+    def peek(
+        self, package: SoftwarePackage, configuration: EnvironmentConfiguration
+    ) -> Optional[BuildResult]:
+        """A replay of the entry without touching counters or recency.
+
+        Used by the campaign scheduler to derive the expected result digest
+        of a re-executable :class:`~repro.buildsys.builder.BuildTask`.
+        """
+        entry = self._entries.get(package_identity_digest(package, configuration))
+        if entry is None or self._artifact_gone(entry):
+            return None
+        return self._replay(entry, package)
 
     def store(
         self,
@@ -202,9 +344,12 @@ class BuildCache:
         configuration: EnvironmentConfiguration,
         result: BuildResult,
     ) -> str:
-        """Record *result* under its content-hash key and return the key."""
-        key = build_cache_key(package, configuration)
-        self._entries[key] = self._replay(result)
+        """Record *result* under its content-digest key and return the key."""
+        key = package_identity_digest(package, configuration)
+        self._entries[key] = self._replay(result, package)
+        # The first storing experiment stays the donor even if the entry is
+        # later re-stored (the content is identical by construction).
+        self._owners.setdefault(key, package.experiment)
         self.statistics.stores += 1
         self._touch(key)
         if result.tarball is not None and self.artifact_store is not None:
@@ -215,17 +360,23 @@ class BuildCache:
         self, package: SoftwarePackage, configuration: EnvironmentConfiguration
     ) -> bool:
         """True when a (still valid) entry exists; does not touch the counters."""
-        entry = self._entries.get(build_cache_key(package, configuration))
+        entry = self._entries.get(package_identity_digest(package, configuration))
         return entry is not None and not self._artifact_gone(entry)
 
     def clear(self) -> None:
-        """Drop every entry (the statistics are kept)."""
+        """Drop every entry (the statistics are kept).
+
+        Entries already persisted stay known to the journal bookkeeping, so
+        the next :meth:`persist_to` appends their tombstones.
+        """
         self._entries.clear()
         self._recency.clear()
+        self._owners.clear()
 
     def _evict(self, key: str) -> None:
         del self._entries[key]
         self._recency.pop(key, None)
+        self._owners.pop(key, None)
         self.statistics.evictions += 1
 
     # -- size accounting -----------------------------------------------------
@@ -248,7 +399,8 @@ class BuildCache:
         Ties in the recency stamps (possible only for entries never touched
         since a restore) fall back to the entry key, so eviction order is
         deterministic.  Returns the number of evicted entries; evictions are
-        counted in :attr:`statistics`.
+        counted in :attr:`statistics` and tombstoned in the journal by the
+        next :meth:`persist_to`.
         """
         if max_bytes < 0:
             raise StorageError("a cache size budget cannot be negative")
@@ -264,62 +416,203 @@ class BuildCache:
             evicted += 1
         return evicted
 
-    # -- cross-campaign persistence -----------------------------------------
+    # -- cross-campaign persistence (append-only journal) ---------------------
     def persist_to(
         self, storage: CommonStorage, max_bytes: Optional[int] = None
     ) -> int:
-        """Snapshot the cache into *storage*'s ``buildcache`` namespace.
+        """Append the changes since the last persist to the journal.
 
-        Every (still valid) entry is written as an ``entry_<key>`` document;
-        the tarball payloads go alongside as ``artifact_<digest>`` documents
-        so a fresh installation restoring the snapshot can re-materialise the
-        artifacts into its own :class:`ArtifactStore`.  The cumulative
-        statistics are stored too, so cross-campaign accounting survives a
-        restart.  Stale documents from a previous snapshot are replaced
-        wholesale.
+        One ``journal_<seq>`` record is appended per entry that is new since
+        the last persist, and one tombstone record per entry evicted since —
+        existing records are never rewritten, so repeated campaigns against
+        the same storage write O(new entries) documents, not O(cache).
+        Tarball payloads travel alongside as content-addressed
+        ``artifact_<digest>`` documents; the cumulative statistics document
+        is replaced on every persist, so cross-campaign accounting survives
+        a restart.
 
-        With *max_bytes*, the snapshot is kept within the size budget by
-        first evicting least-recently-hit entries (from the live cache too —
-        the snapshot and the cache it restores into stay consistent), so
-        the persisted state no longer grows unboundedly across campaigns.
-        Returns the number of persisted entries.
+        With *max_bytes*, the live cache is first brought under the size
+        budget by evicting least-recently-hit entries (their tombstones are
+        part of the same persist).  A cache that has never synced with the
+        target journal — or whose last restore recovered from a corrupted
+        record — rewrites the journal wholesale instead; and once the
+        journal's tombstones would outnumber its live entries, the persist
+        auto-compacts (see :meth:`compact`), so churn under a tight budget
+        cannot grow the persisted journal without bound.  Returns the
+        number of newly journalled entries.
         """
         if max_bytes is not None:
             self.enforce_budget(max_bytes)
         namespace = storage.create_namespace(self.NAMESPACE)
-        for key in namespace.keys():
-            namespace.delete(key)
-        persisted = 0
-        for key, entry in sorted(self._entries.items()):
-            if self._artifact_gone(entry):
-                continue
-            namespace.put(
-                f"{self.ENTRY_PREFIX}{key}",
-                {"cache_key": key, "result": entry.to_dict()},
-            )
-            if entry.tarball is not None:
-                namespace.put(
-                    f"{self.ARTIFACT_PREFIX}{entry.tarball.digest}",
-                    entry.tarball.to_dict(),
-                )
-            persisted += 1
+        self._evict_dangling()
+        journal = AppendOnlyJournal(namespace, self.JOURNAL_PREFIX)
+        if self._journal_out_of_sync(namespace, journal):
+            # Either the journal needs repair after a corrupted-record
+            # recovery, or it belongs to a different cache lineage than this
+            # instance (a never-synced cache, or a persist into a storage
+            # other than the one restored from): the live state is
+            # authoritative, rewrite from it.
+            return self._rewrite_journal(namespace)
+        pending_tombstones = set(self._persisted) - set(self._entries)
+        if self._journal_tombstones + len(pending_tombstones) > len(self._entries):
+            # Auto-compaction: more dead records than live ones — rewriting
+            # is cheaper than letting the journal grow with history.
+            return self._rewrite_journal(namespace)
+        appended = 0
+        for key in sorted(pending_tombstones):
+            journal.append({"type": "tombstone", "cache_key": key})
+            del self._persisted[key]
+            self._journal_tombstones += 1
+        for key in sorted(set(self._entries) - set(self._persisted)):
+            entry = self._entries[key]
+            self._persisted[key] = journal.append(self._entry_record(key, entry))
+            self._persist_artifact(namespace, entry)
+            appended += 1
         namespace.put(self.STATISTICS_KEY, self.statistics.as_dict())
-        return persisted
+        self._mark_synced(namespace)
+        return appended
+
+    def compact(
+        self, storage: CommonStorage, max_bytes: Optional[int] = None
+    ) -> int:
+        """Rewrite the journal from the live state.
+
+        Compaction drops every tombstone, every superseded record and every
+        orphaned artifact payload, leaving exactly one entry record per live
+        cache entry — the operation that keeps a long-lived journal's size
+        proportional to the cache instead of its history.  With *max_bytes*,
+        the live cache is brought under the budget first, so the rewritten
+        journal fits it too.  Returns the number of entry records written.
+        """
+        if max_bytes is not None:
+            self.enforce_budget(max_bytes)
+        namespace = storage.create_namespace(self.NAMESPACE)
+        self._evict_dangling()
+        return self._rewrite_journal(namespace)
+
+    @classmethod
+    def _journal_epoch(cls, namespace) -> int:
+        """The journal's write counter (0 for a fresh or foreign journal)."""
+        if not namespace.exists(cls.EPOCH_KEY):
+            return 0
+        document = namespace.get(cls.EPOCH_KEY)
+        if not isinstance(document, dict):
+            return 0
+        try:
+            return int(document.get("epoch", 0))  # type: ignore[arg-type]
+        except (TypeError, ValueError):
+            return 0
+
+    def _mark_synced(self, namespace) -> None:
+        """Stamp the journal with a bumped epoch and remember it."""
+        epoch = self._journal_epoch(namespace) + 1
+        namespace.put(self.EPOCH_KEY, {"epoch": epoch})
+        self._synced_namespace = namespace
+        self._synced_epoch = epoch
+
+    def _journal_out_of_sync(
+        self, namespace, journal: AppendOnlyJournal
+    ) -> bool:
+        """True when appending to this journal would be unsafe."""
+        if self._journal_dirty:
+            return True
+        if (
+            namespace is self._synced_namespace
+            and self._journal_epoch(namespace) == self._synced_epoch
+        ):
+            # Same namespace object AND nobody else wrote to it since this
+            # cache last synced: the full lineage scan below is redundant,
+            # repeated persists stay O(new entries).
+            return False
+        if not self._persisted:
+            # Never synced: any existing records belong to someone else.
+            return len(journal) > 0
+        # A new target namespace: every record this cache believes it wrote
+        # must be there AND carry the expected cache key — bare existence is
+        # not enough, since a different storage's journal can overlap in
+        # sequence numbers.
+        for key, sequence in self._persisted.items():
+            record_key = journal.key_for(sequence)
+            if not namespace.exists(record_key):
+                return True
+            document = namespace.get(record_key)
+            if (
+                not isinstance(document, dict)
+                or document.get("type") != "entry"
+                or document.get("cache_key") != key
+            ):
+                return True
+        return False
+
+    def _evict_dangling(self) -> None:
+        """Evict entries whose artifact vanished from the store.
+
+        Persisting them would journal dangling digests; evicting makes them
+        tombstones (or keeps them out of the rewrite) instead.
+        """
+        for key in [
+            key
+            for key, entry in self._entries.items()
+            if self._artifact_gone(entry)
+        ]:
+            self._evict(key)
+
+    def _entry_record(self, key: str, entry: BuildResult) -> Dict[str, object]:
+        return {
+            "type": "entry",
+            "cache_key": key,
+            "stored_by": self._owners.get(key, ""),
+            "result": entry.to_dict(),
+        }
+
+    def _persist_artifact(self, namespace, entry: BuildResult) -> None:
+        if entry.tarball is not None:
+            namespace.put(
+                f"{self.ARTIFACT_PREFIX}{entry.tarball.digest}",
+                entry.tarball.to_dict(),
+            )
+
+    def _rewrite_journal(self, namespace) -> int:
+        journal = AppendOnlyJournal(namespace, self.JOURNAL_PREFIX)
+        journal.clear()
+        for key in namespace.keys(prefix=self.ARTIFACT_PREFIX):
+            namespace.delete(key)
+        for key in namespace.keys(prefix=self.LEGACY_ENTRY_PREFIX):
+            # Pre-journal snapshot documents: superseded by the rewrite.
+            namespace.delete(key)
+        self._persisted = {}
+        written = 0
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            self._persisted[key] = journal.append(self._entry_record(key, entry))
+            self._persist_artifact(namespace, entry)
+            written += 1
+        namespace.put(self.STATISTICS_KEY, self.statistics.as_dict())
+        self._journal_dirty = False
+        self._journal_tombstones = 0
+        self._mark_synced(namespace)
+        return written
 
     @classmethod
     def restore_from(
         cls, storage: CommonStorage, artifact_store: Optional[ArtifactStore] = None
     ) -> "BuildCache":
-        """Warm-start a cache from a snapshot persisted by :meth:`persist_to`.
+        """Warm-start a cache by replaying a journal written by :meth:`persist_to`.
 
-        Tarballs travelling with the snapshot are re-materialised into
-        *artifact_store*.  An entry whose artifact digest is neither already
-        present in the store nor part of the snapshot is evicted on restore
-        (and counted in ``statistics.evictions``) instead of being loaded
-        with a dangling digest.  The source *storage* is never modified — it
-        may belong to another live installation; the next :meth:`persist_to`
-        rewrites the snapshot without the evicted entries anyway.  A storage
-        without a ``buildcache`` namespace restores to an empty cache.
+        Records are replayed in append order: entry records install (or
+        supersede) an entry, tombstones remove it.  A corrupted record is
+        skipped — safe for a content-addressed cache, where an entry can at
+        worst be lost (a rebuild) or resurrected (it is never wrong) — and
+        the restored cache rewrites the repaired journal on its next
+        persist.  Tarballs travelling with the journal are re-materialised
+        into *artifact_store*; an entry whose artifact digest is neither
+        already present in the store nor part of the journal is evicted on
+        restore (and counted in ``statistics.evictions``).  Entries of a
+        pre-journal snapshot (the retired wholesale format) are dropped as
+        evictions: their keys predate the experiment-agnostic digest and
+        could never be hit again.  The source *storage* is never modified —
+        it may belong to another live installation.  A storage without a
+        ``buildcache`` namespace restores to an empty cache.
         """
         cache = cls(artifact_store)
         if cls.NAMESPACE not in storage.namespaces():
@@ -329,14 +622,104 @@ class BuildCache:
             cache.statistics = CacheStatistics.from_dict(
                 namespace.get(cls.STATISTICS_KEY)  # type: ignore[arg-type]
             )
-        for key in namespace.keys(prefix=cls.ENTRY_PREFIX):
-            document = namespace.get(key)
-            entry = BuildResult.from_dict(document["result"])  # type: ignore[index,arg-type]
-            if not cache._materialise_artifact(entry, namespace):
-                cache.statistics.evictions += 1
+        journal = AppendOnlyJournal(namespace, cls.JOURNAL_PREFIX)
+        live: Dict[str, Tuple[int, str, BuildResult]] = {}
+        for _key in namespace.keys(prefix=cls.LEGACY_ENTRY_PREFIX):
+            # Pre-journal wholesale snapshot: its entries are keyed by the
+            # retired pre-content-addressing digest, so they could never be
+            # hit again — drop them as evictions; the dirty flag makes the
+            # next persist delete the dead documents.
+            cache.statistics.evictions += 1
+            cache._journal_dirty = True
+        for sequence, document in journal.records():
+            record = cls._parse_journal_record(document)
+            if record is None:
+                # Corrupted record: skip it and keep replaying — benign for
+                # a content-addressed cache (an entry can at worst be lost,
+                # costing a rebuild, or resurrected — it is never wrong) —
+                # and repair the journal on the next persist.
+                cache._journal_dirty = True
                 continue
-            cache._entries[str(document["cache_key"])] = entry  # type: ignore[index]
+            kind, key, stored_by, result = record
+            if kind == "tombstone":
+                live.pop(key, None)
+                cache._journal_tombstones += 1
+            else:
+                live[key] = (sequence, stored_by, result)
+        for key in sorted(live):
+            sequence, stored_by, result = live[key]
+            if not cache._materialise_artifact(result, namespace):
+                cache.statistics.evictions += 1
+                # The dangling record stays in the journal; flag it for the
+                # next persist's compaction rewrite instead of re-evicting
+                # it on every future restore.
+                cache._journal_dirty = True
+                continue
+            cache._entries[key] = result
+            if stored_by:
+                cache._owners[key] = stored_by
+            cache._persisted[key] = sequence
+        # Restore never mutates the source, so remember its epoch as-is: a
+        # later persist into the same namespace fast-paths only while no
+        # other writer has bumped it.
+        cache._synced_namespace = namespace
+        cache._synced_epoch = cache._journal_epoch(namespace)
         return cache
+
+    @staticmethod
+    def _parse_journal_record(
+        document: object,
+    ) -> Optional[Tuple[str, str, str, Optional[BuildResult]]]:
+        """Decode one journal record, or None if it is corrupted."""
+        if not isinstance(document, dict):
+            return None
+        try:
+            kind = document["type"]
+            key = str(document["cache_key"])
+            if kind == "tombstone":
+                return ("tombstone", key, "", None)
+            if kind != "entry":
+                return None
+            stored_by = str(document.get("stored_by", ""))
+            result = BuildResult.from_dict(document["result"])
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+        return ("entry", key, stored_by, result)
+
+    @classmethod
+    def journal_status(cls, storage: CommonStorage) -> Dict[str, int]:
+        """Size and composition of the persisted journal in *storage*.
+
+        Returns record counts (total / entry / tombstone), the number of
+        artifact payload documents and the summed JSON footprint in bytes —
+        the numbers the status pages and ``cache-stats`` CLI report, and the
+        signal that a compaction is due (tombstones piling up).  The byte
+        accounting re-serialises every document, so the call is O(journal);
+        the CLI invokes it once per run, right before ``storage.persist``
+        does strictly more serialisation work anyway.
+        """
+        status = {"records": 0, "entries": 0, "tombstones": 0, "artifacts": 0,
+                  "bytes": 0}
+        if cls.NAMESPACE not in storage.namespaces():
+            return status
+        namespace = storage.namespace(cls.NAMESPACE)
+        journal = AppendOnlyJournal(namespace, cls.JOURNAL_PREFIX)
+        for _sequence, document in journal.records():
+            status["records"] += 1
+            kind = document.get("type") if isinstance(document, dict) else None
+            if kind == "tombstone":
+                status["tombstones"] += 1
+            elif kind == "entry":
+                status["entries"] += 1
+            status["bytes"] += len(
+                json.dumps(document, sort_keys=True).encode("utf-8")
+            )
+        for key in namespace.keys(prefix=cls.ARTIFACT_PREFIX):
+            status["artifacts"] += 1
+            status["bytes"] += len(
+                json.dumps(namespace.get(key), sort_keys=True).encode("utf-8")
+            )
+        return status
 
     def _materialise_artifact(self, entry: BuildResult, namespace) -> bool:
         """Ensure the entry's tarball exists in the artifact store.
@@ -368,11 +751,15 @@ class BuildCache:
         )
 
     @staticmethod
-    def _replay(entry: BuildResult) -> BuildResult:
+    def _replay(entry: BuildResult, package: SoftwarePackage) -> BuildResult:
         # Fresh list containers so a caller mutating its copy cannot corrupt
-        # the cached entry; the tarball is immutable and shared.
+        # the cached entry; the tarball is immutable and shared.  The result
+        # is rebound to the *requesting* package: a cross-experiment hit
+        # must carry the requester's own package (same content identity,
+        # different owning experiment), or the replay would leak the donor's
+        # attribution into the requester's run documents.
         return BuildResult(
-            package=entry.package,
+            package=package,
             configuration_key=entry.configuration_key,
             status=entry.status,
             diagnostics=list(entry.diagnostics),
@@ -392,9 +779,9 @@ class CachingPackageBuilder(PackageBuilder):
     and depend on campaign-local dependency state.
 
     Limitations: the wrapper assumes the builds it caches are deterministic
-    pure functions of (package, configuration), like every builder in this
-    code base.  A base builder with a *stateful* ``build_package`` (e.g. a
-    fail-once fault injector) would have its first answer replayed forever,
+    pure functions of (package content, configuration), like every builder in
+    this code base.  A base builder with a *stateful* ``build_package`` (e.g.
+    a fail-once fault injector) would have its first answer replayed forever,
     and a base overriding ``build_inventory`` itself keeps that override only
     when called directly, not through this wrapper — do not layer the cache
     over such builders.
@@ -427,6 +814,7 @@ class CachingPackageBuilder(PackageBuilder):
 
 
 __all__ = [
+    "package_identity_digest",
     "build_cache_key",
     "CacheStatistics",
     "BuildCache",

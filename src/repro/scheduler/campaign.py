@@ -22,7 +22,7 @@ measured on real threads), never its scientific output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -36,8 +36,9 @@ from typing import (
 )
 
 from repro._common import SchedulingError, chunked, stable_digest
+from repro.buildsys.builder import BuildTask, PackageBuilder, build_result_digest
 from repro.buildsys.graph import DependencyGraph
-from repro.core.jobs import ValidationRun
+from repro.core.jobs import JobStatus, ValidationRun
 from repro.core.testspec import ExperimentDefinition
 from repro.reporting.summary import render_campaign_report
 from repro.scheduler.backends import (
@@ -95,6 +96,12 @@ class CampaignResult:
     backend: str = "simulated"
     #: The spec the campaign was submitted with (None for direct scheduler use).
     spec: Optional[CampaignSpec] = None
+    #: Task ID -> the re-executable :class:`~repro.buildsys.builder.BuildTask`
+    #: the backend was handed for that build task.  Only the build tasks are
+    #: retained (they are small, and the parity tests inspect their ``runs``
+    #: counters); the per-task verification closures are dropped after
+    #: execution instead of living as long as the campaign result.
+    payloads: Dict[str, TaskPayload] = field(default_factory=dict, repr=False)
 
     @property
     def n_cells(self) -> int:
@@ -145,11 +152,19 @@ class CampaignScheduler:
         policy: Union[str, SchedulingPolicy, None] = None,
         deadline_seconds: Optional[float] = None,
         backend: Union[str, ExecutionBackend, None] = None,
+        cache_budget_bytes: Optional[int] = None,
+        use_cache: bool = True,
     ) -> None:
         if workers < 1:
             raise SchedulingError("a campaign needs at least one worker")
         if batch_size < 1:
             raise SchedulingError("standalone test batches need at least one slot")
+        if cache_budget_bytes is not None and cache_budget_bytes < 0:
+            raise SchedulingError("a cache size budget cannot be negative")
+        if cache_budget_bytes is not None and not use_cache:
+            raise SchedulingError(
+                "a cache size budget needs the cache (use_cache is False)"
+            )
         self.system = system
         self.workers = workers
         self.batch_size = batch_size
@@ -159,6 +174,11 @@ class CampaignScheduler:
         self.policy = scheduling_policy(policy)
         self.deadline_seconds = deadline_seconds
         self.backend = execution_backend(backend)
+        #: Live in-memory budget, enforced after every campaign round (the
+        #: same budget the persisted journal is compacted under).
+        self.cache_budget_bytes = cache_budget_bytes
+        #: ``False`` runs the cold path: no cache layered over the builder.
+        self.use_cache = use_cache
 
     # -- campaign execution ----------------------------------------------------
     def expand_matrix(
@@ -211,19 +231,41 @@ class CampaignScheduler:
         rounds: int = 1,
         on_cell_complete: Optional[CellCallback] = None,
     ) -> CampaignResult:
-        """Execute an explicit list of validation requests, *rounds* times."""
+        """Execute an explicit list of validation requests, *rounds* times.
+
+        With a ``cache_budget_bytes``, the live cache is brought back under
+        the budget after every round — not just at persist time — so a
+        long-running multi-round campaign's memory footprint is bounded by
+        the same knob as its persisted journal.
+        """
         if rounds < 1:
             raise SchedulingError("a campaign needs at least one round")
-        expanded = [request for _round in range(rounds) for request in requests]
         # Account against the cache that will actually serve the campaign: a
         # caching builder already installed on the runner keeps its own cache.
-        caching_builder = self._caching_builder()
-        effective_cache = caching_builder.cache
+        if self.use_cache:
+            cell_builder: Optional[PackageBuilder] = self._caching_builder()
+            effective_cache = cell_builder.cache  # type: ignore[union-attr]
+        else:
+            # The cold path must bypass a caching builder even when one is
+            # installed directly on the runner — otherwise "no cache" would
+            # silently serve warm replays.
+            cell_builder = self._cold_builder()
+            effective_cache = self.cache
         statistics_before = effective_cache.statistics.snapshot()
-        cells = self._execute_cells(
-            expanded, description, caching_builder, on_cell_complete
-        )
-        dag, payloads = self._build_dag(cells)
+        cells: List[CampaignCell] = []
+        for _round in range(rounds):
+            cells.extend(
+                self._execute_cells(
+                    requests,
+                    description,
+                    cell_builder,
+                    on_cell_complete,
+                    index_offset=len(cells),
+                )
+            )
+            if self.use_cache and self.cache_budget_bytes is not None:
+                effective_cache.enforce_budget(self.cache_budget_bytes)
+        dag, payloads = self._build_dag(cells, effective_cache)
         try:
             schedule = self.backend.execute(
                 ExecutionRequest(
@@ -255,6 +297,11 @@ class CampaignScheduler:
             description=description,
             policy=self.policy.name,
             backend=self.backend.name,
+            payloads={
+                task_id: payload
+                for task_id, payload in payloads.items()
+                if isinstance(payload, BuildTask)
+            },
         )
 
     def _caching_builder(self) -> CachingPackageBuilder:
@@ -264,19 +311,46 @@ class CampaignScheduler:
             return original
         return CachingPackageBuilder(self.cache, base=original)
 
+    @staticmethod
+    def _unwrap_builder(builder: PackageBuilder) -> PackageBuilder:
+        """Peel a caching wrapper off a builder, keeping its checker."""
+        if not isinstance(builder, CachingPackageBuilder):
+            return builder
+        if builder.base is not None:
+            return builder.base
+        return PackageBuilder(checker=builder.checker)
+
+    def _cold_builder(self) -> Optional[PackageBuilder]:
+        """The builder for a cache-free campaign, or None to leave the runner.
+
+        An installed :class:`CachingPackageBuilder` is unwrapped to its base
+        so the cold path genuinely compiles instead of replaying its cache.
+        """
+        original = self.system.runner.builder
+        unwrapped = self._unwrap_builder(original)
+        return None if unwrapped is original else unwrapped
+
     def _execute_cells(
         self,
         requests: Sequence[ValidationRequest],
         description: Optional[str],
-        caching_builder: CachingPackageBuilder,
+        cell_builder: Optional[PackageBuilder],
         on_cell_complete: Optional[CellCallback] = None,
+        index_offset: int = 0,
     ) -> List[CampaignCell]:
-        """Run every cell in sequential order with the build cache layered in."""
+        """Run one round of cells in sequential order.
+
+        With a *cell_builder*, it replaces the runner's builder for the
+        duration of the round (the caching wrapper on the warm path, the
+        unwrapped base on the cold path); ``None`` leaves the runner
+        untouched.
+        """
         original_builder = self.system.runner.builder
         cells: List[CampaignCell] = []
         try:
-            self.system.runner.builder = caching_builder
-            for index, request in enumerate(requests):
+            if cell_builder is not None:
+                self.system.runner.builder = cell_builder
+            for index, request in enumerate(requests, start=index_offset):
                 result = self.system.validate(
                     request.experiment,
                     request.configuration_key,
@@ -298,15 +372,21 @@ class CampaignScheduler:
 
     # -- DAG derivation --------------------------------------------------------
     def _build_dag(
-        self, cells: Sequence[CampaignCell]
+        self, cells: Sequence[CampaignCell], cache: Optional[BuildCache] = None
     ) -> Tuple[CampaignDAG, Dict[str, TaskPayload]]:
         """Derive the campaign DAG, with task durations from the executed runs.
 
-        Alongside the DAG, every task gets a payload: the real (read-only)
-        verification work a wall-clock backend executes on its threads.
+        Alongside the DAG, every task gets a payload — the real work a
+        wall-clock backend executes on its threads.  Build tasks get a
+        re-executable :class:`~repro.buildsys.builder.BuildTask` (builds are
+        pure functions of the package content digest, so the concurrent
+        re-execution is race-free and digest-checked against the recorded
+        result); test and chain tasks get a read-only verification replay of
+        their recorded jobs.
         """
         dag = CampaignDAG()
         payloads: Dict[str, TaskPayload] = {}
+        build_builder = self._real_build_builder()
         # The build order depends on the experiment only; compute it once
         # instead of once per matrix cell.
         build_orders: Dict[str, List[str]] = {}
@@ -317,9 +397,28 @@ class CampaignScheduler:
                     experiment.inventory
                 ).build_order()
             self._add_cell_tasks(
-                dag, payloads, cell, experiment, build_orders[cell.experiment]
+                dag,
+                payloads,
+                cell,
+                experiment,
+                build_orders[cell.experiment],
+                cache,
+                build_builder,
             )
         return dag, payloads
+
+    def _real_build_builder(self) -> Optional[PackageBuilder]:
+        """A builder safe to re-execute builds with on backend threads.
+
+        Only a plain :class:`PackageBuilder` (possibly hiding under the
+        caching wrapper) is known to be a stateless pure function; a custom
+        builder subclass (e.g. a stateful fault injector) returns None and
+        the build tasks fall back to verification replays.
+        """
+        builder = self._unwrap_builder(self.system.runner.builder)
+        if type(builder) is PackageBuilder:
+            return PackageBuilder(checker=builder.checker)
+        return None
 
     def _add_cell_tasks(
         self,
@@ -328,10 +427,13 @@ class CampaignScheduler:
         cell: CampaignCell,
         experiment: ExperimentDefinition,
         build_order: Sequence[str],
+        cache: Optional[BuildCache],
+        build_builder: Optional[PackageBuilder],
     ) -> None:
         run = cell.run
         prefix = f"c{cell.index:04d}"
         build_ids: Dict[str, str] = {}
+        configuration = self.system.configuration(cell.configuration_key)
         for name in build_order:
             package = experiment.inventory.get(name)
             job = run.job_for(f"compile-{name}")
@@ -349,7 +451,26 @@ class CampaignScheduler:
                     ),
                 )
             )
-            payloads[task_id] = self._verification_payload(run, [f"compile-{name}"])
+            # A skipped compile job never ran build_package during the cell
+            # pass, so there is nothing to re-execute for it.
+            if build_builder is not None and job.status is not JobStatus.SKIPPED:
+                expected = None
+                # The digest only matters to a backend that really runs the
+                # payload; skip the replay-and-hash work for simulators.
+                if cache is not None and self.backend.executes_payloads:
+                    recorded = cache.peek(package, configuration)
+                    if recorded is not None:
+                        expected = build_result_digest(recorded)
+                payloads[task_id] = BuildTask(
+                    package=package,
+                    configuration=configuration,
+                    builder=build_builder,
+                    expected_digest=expected,
+                )
+            else:
+                payloads[task_id] = self._verification_payload(
+                    run, [f"compile-{name}"]
+                )
             build_ids[name] = task_id
         # Tests start once the cell's compilation phase is complete, exactly
         # as the validation runner sequences its phases.

@@ -111,8 +111,12 @@ class CampaignSpec:
     backend: str = "simulated"
     #: Injected worker failures (simulated backend only).
     failures: Tuple[WorkerFailure, ...] = ()
-    #: Restore a persisted build-cache snapshot before the first campaign.
+    #: Restore a persisted build-cache journal before the first campaign.
     warm_start: bool = True
+    #: Layer the content-addressed build cache over the builder at all.
+    #: ``False`` runs the cold path (every build compiled from scratch) —
+    #: the CLI's ``--no-cache`` debugging mode.
+    use_cache: bool = True
     #: Size budget applied when the build cache is persisted afterwards.
     cache_budget_bytes: Optional[int] = None
     #: Record the spec in the ``campaigns`` storage namespace on submission.
@@ -168,7 +172,7 @@ class CampaignSpec:
                 fail(name, "a string")
         if self.description is not None and not isinstance(self.description, str):
             fail("description", "a string or null")
-        for name in ("warm_start", "persist_spec"):
+        for name in ("warm_start", "use_cache", "persist_spec"):
             if not isinstance(getattr(self, name), bool):
                 fail(name, "a boolean")
         for name in ("experiments", "configuration_keys"):
@@ -207,6 +211,11 @@ class CampaignSpec:
             raise SchedulingError("a campaign deadline must be positive")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes < 0:
             raise SchedulingError("a cache budget cannot be negative")
+        if self.cache_budget_bytes is not None and not self.use_cache:
+            raise SchedulingError(
+                "a cache budget needs the cache: with use_cache=false the "
+                "budget would be a silent no-op"
+            )
         if self.policy not in SCHEDULING_POLICIES:
             known = ", ".join(sorted(SCHEDULING_POLICIES))
             raise SchedulingError(
@@ -260,6 +269,7 @@ class CampaignSpec:
                 for failure in self.failures
             ],
             "warm_start": self.warm_start,
+            "use_cache": self.use_cache,
             "cache_budget_bytes": self.cache_budget_bytes,
             "persist_spec": self.persist_spec,
         }

@@ -21,6 +21,26 @@ from repro._common import StorageError, ensure_identifier
 #: Namespaces every sp-system installation provides.
 DEFAULT_NAMESPACES = ("tests", "results", "tarballs", "recipes", "reports", "images")
 
+#: Namespaces persisted with *mirror* semantics: their on-disk directory is
+#: made to match the in-memory namespace exactly, deleting files of documents
+#: that no longer exist.  Journal-backed namespaces need this — a compaction
+#: deletes records, and a stale on-disk tail would resurrect them on the next
+#: load.  Every other namespace keeps the historical accumulate-only
+#: behaviour (run documents of earlier campaigns survive a smaller re-run).
+#: Journal owners register themselves via :func:`register_mirrored_namespace`
+#: (e.g. the build cache registers its ``buildcache`` namespace), so the
+#: constant never drifts from the owner's namespace name.
+MIRRORED_NAMESPACES = set()
+
+
+def register_mirrored_namespace(name: str) -> str:
+    """Declare *name* journal-backed: :meth:`CommonStorage.persist` mirrors it.
+
+    Returns *name*, so an owner can register its namespace constant inline.
+    """
+    MIRRORED_NAMESPACES.add(ensure_identifier(name, "namespace name"))
+    return name
+
 
 class StorageNamespace:
     """One namespace of the common storage (a directory-like key space)."""
@@ -123,7 +143,11 @@ class CommonStorage:
         """Total number of stored documents across all namespaces."""
         return sum(len(namespace) for namespace in self._namespaces.values())
 
-    def persist(self, directory: str) -> List[str]:
+    def persist(
+        self,
+        directory: str,
+        mirror_namespaces: Optional[Iterable[str]] = None,
+    ) -> List[str]:
         """Write every document as a JSON file below *directory*.
 
         HTML page documents (the ``{"html": ...}`` shape the status web
@@ -131,15 +155,29 @@ class CommonStorage:
         relative links between persisted pages (``runpage_<id>.html``,
         ``../results/<key>.json``) resolve in a browser.
 
+        Namespaces named in *mirror_namespaces* (by default every namespace
+        registered through :func:`register_mirrored_namespace` — e.g. the
+        journal-backed ``buildcache``) are persisted with mirror semantics:
+        leftover ``.json``/``.html`` files of documents that no longer
+        exist (e.g. journal records dropped by a compaction) are removed,
+        so a later :meth:`load` cannot resurrect them.  All other
+        namespaces accumulate: files persisted by earlier runs survive,
+        which is how repeated campaigns against one output directory keep
+        their combined run history browsable.
+
         Returns the list of written file paths.  Used by the examples to
         leave a browsable copy of the storage behind; the library itself
         never requires disk access.
         """
+        mirrored = set(
+            MIRRORED_NAMESPACES if mirror_namespaces is None else mirror_namespaces
+        )
         written: List[str] = []
         for namespace_name in self.namespaces():
             namespace = self.namespace(namespace_name)
             target_dir = os.path.join(directory, namespace_name)
             os.makedirs(target_dir, exist_ok=True)
+            expected = set()
             for key, document in namespace.items():
                 if _is_html_document(document):
                     path = os.path.join(target_dir, f"{key}.html")
@@ -149,7 +187,15 @@ class CommonStorage:
                     path = os.path.join(target_dir, f"{key}.json")
                     with open(path, "w", encoding="utf-8") as handle:
                         json.dump(document, handle, indent=2, sort_keys=True)
+                expected.add(os.path.basename(path))
                 written.append(path)
+            if namespace_name not in mirrored:
+                continue
+            for filename in sorted(os.listdir(target_dir)):
+                if filename in expected:
+                    continue
+                if filename.endswith(".json") or filename.endswith(".html"):
+                    os.remove(os.path.join(target_dir, filename))
         return written
 
     @classmethod
@@ -195,4 +241,76 @@ def _is_html_document(document: object) -> bool:
     )
 
 
-__all__ = ["CommonStorage", "StorageNamespace", "DEFAULT_NAMESPACES"]
+class AppendOnlyJournal:
+    """An append-only record log inside one storage namespace.
+
+    Incremental persistence (e.g. the build cache's ``buildcache`` journal)
+    writes one document per state change instead of rewriting a wholesale
+    snapshot.  Records live under zero-padded keys
+    ``<prefix><sequence:08d>``, so the namespace's lexicographic key order
+    *is* the append order and a replay needs nothing beyond
+    :meth:`StorageNamespace.keys`.  The journal never rewrites an existing
+    record — appending is the only mutation, apart from :meth:`clear`,
+    which compaction uses to rewrite the log from its live state.
+    """
+
+    #: Width of the zero-padded sequence number in the record keys.
+    SEQUENCE_DIGITS = 8
+
+    def __init__(self, namespace: StorageNamespace, prefix: str = "journal_") -> None:
+        self.namespace = namespace
+        self.prefix = prefix
+        self._next_sequence = self._scan_next_sequence()
+
+    def _scan_next_sequence(self) -> int:
+        highest = 0
+        for key in self.namespace.keys(prefix=self.prefix):
+            suffix = key[len(self.prefix):]
+            if suffix.isdigit():
+                highest = max(highest, int(suffix))
+        return highest + 1
+
+    def keys(self) -> List[str]:
+        """The record keys, in append order."""
+        return [
+            key
+            for key in self.namespace.keys(prefix=self.prefix)
+            if key[len(self.prefix):].isdigit()
+        ]
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def key_for(self, sequence: int) -> str:
+        """The storage key of record number *sequence*."""
+        return f"{self.prefix}{sequence:0{self.SEQUENCE_DIGITS}d}"
+
+    def append(self, document: object) -> int:
+        """Append *document* as the next record; returns its sequence number."""
+        sequence = self._next_sequence
+        self.namespace.put(self.key_for(sequence), document)
+        self._next_sequence = sequence + 1
+        return sequence
+
+    def records(self) -> List[Tuple[int, object]]:
+        """All ``(sequence, document)`` pairs, in append order."""
+        return [
+            (int(key[len(self.prefix):]), self.namespace.get(key))
+            for key in self.keys()
+        ]
+
+    def clear(self) -> None:
+        """Delete every record and restart the sequence (compaction rewrite)."""
+        for key in self.keys():
+            self.namespace.delete(key)
+        self._next_sequence = 1
+
+
+__all__ = [
+    "AppendOnlyJournal",
+    "CommonStorage",
+    "StorageNamespace",
+    "DEFAULT_NAMESPACES",
+    "MIRRORED_NAMESPACES",
+    "register_mirrored_namespace",
+]

@@ -279,9 +279,10 @@ class TestCommandLineInterface:
         ]) == 0
         output = capsys.readouterr().out
         # A ~100-byte budget cannot hold even a tarball-less cache entry.
-        assert "(0 build-cache entries for the next campaign)" in output
+        assert ("(0 new build-cache journal records for the next campaign)"
+                in output)
         # The budget travels in the persisted spec, so replaying it keeps
-        # the same snapshot cap.
+        # the same cache cap.
         spec_files = list((output_dir / "campaigns").glob("spec_*.json"))
         assert len(spec_files) == 1
         document = json.loads(spec_files[0].read_text())
@@ -303,3 +304,140 @@ class TestCommandLineInterface:
         with pytest.raises(SystemExit):
             cli_main(["campaign", "--cache-budget-mb", "0"])
         assert "must be positive" in capsys.readouterr().err
+
+    def test_campaign_no_cache_runs_cold(self, tmp_path, capsys):
+        import json
+
+        output_dir = tmp_path / "storage"
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--no-cache",
+            "--output", str(output_dir),
+        ]) == 0
+        output = capsys.readouterr().out
+        # The cold path journals nothing and persists no buildcache namespace.
+        assert ("(0 new build-cache journal records for the next campaign)"
+                in output)
+        assert not (output_dir / "buildcache").exists()
+        # The cold-path flag travels in the persisted spec for replays.
+        spec_files = list((output_dir / "campaigns").glob("spec_*.json"))
+        document = json.loads(spec_files[0].read_text())
+        assert document["spec"]["use_cache"] is False
+
+    def test_campaign_no_cache_conflicts_with_budget(self, capsys):
+        assert cli_main([
+            "campaign", "--no-cache", "--cache-budget-mb", "1",
+        ]) == 2
+        assert "conflicts with --no-cache" in capsys.readouterr().err
+
+    def test_spec_file_warm_start_false_is_honoured(self, tmp_path, capsys):
+        """A replayed spec with warm_start:false must run cold in the CLI too."""
+        import json
+
+        from repro.scheduler.spec import CampaignSpec
+
+        warm_dir = tmp_path / "warm"
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(warm_dir),
+        ]) == 0
+        capsys.readouterr()
+        spec_file = tmp_path / "no-warm.json"
+        spec_file.write_text(
+            json.dumps(CampaignSpec(warm_start=False).to_dict())
+        )
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--spec", str(spec_file),
+            "--cache-dir", str(warm_dir),
+        ]) == 0
+        assert "warm-started" not in capsys.readouterr().out
+
+    def test_campaign_no_cache_conflicts_with_explicit_cache_dir(
+        self, tmp_path, capsys
+    ):
+        """An explicit --cache-dir would be a silent no-op without the cache."""
+        assert cli_main([
+            "campaign", "--no-cache", "--cache-dir", str(tmp_path),
+        ]) == 2
+        assert "--cache-dir conflicts" in capsys.readouterr().err
+
+    def test_campaign_budget_conflicts_with_cacheless_spec_file(
+        self, tmp_path, capsys
+    ):
+        """A spec file disabling the cache rejects the budget flag too."""
+        import json
+
+        spec_file = tmp_path / "cold.json"
+        from repro.scheduler.spec import CampaignSpec
+
+        spec_file.write_text(
+            json.dumps(CampaignSpec(use_cache=False).to_dict())
+        )
+        assert cli_main([
+            "campaign", "--spec", str(spec_file),
+            "--cache-budget-mb", "1", "--output", str(tmp_path / "out"),
+        ]) == 2
+        assert "use_cache" in capsys.readouterr().err
+
+    def test_cacheless_spec_file_skips_warm_start(self, tmp_path, capsys):
+        """A spec with use_cache:false behaves like --no-cache end to end."""
+        import json
+
+        from repro.scheduler.spec import CampaignSpec
+
+        warm_dir = tmp_path / "warm"
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(warm_dir),
+        ]) == 0
+        assert (warm_dir / "buildcache").exists()
+        capsys.readouterr()
+        spec_file = tmp_path / "cold.json"
+        spec_file.write_text(
+            json.dumps(CampaignSpec(use_cache=False).to_dict())
+        )
+        # An explicit --cache-dir is refused — it could only be a no-op.
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--spec", str(spec_file),
+            "--cache-dir", str(warm_dir), "--output", str(tmp_path / "out"),
+        ]) == 2
+        assert "--cache-dir conflicts" in capsys.readouterr().err
+        # The implicit default (cache-dir falls back to --output) is merely
+        # skipped: re-running into the warm directory stays cold.
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--spec", str(spec_file),
+            "--output", str(warm_dir),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "warm-started" not in output
+
+    def test_cache_stats_command(self, tmp_path, capsys):
+        output_dir = tmp_path / "storage"
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(output_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache-stats", "--cache-dir", str(output_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "live cache entries" in output
+        assert "build cache shared hits (cross-experiment)" in output
+        assert "cache journal records" in output
+        assert "tombstone records" in output
+
+    def test_cache_stats_without_journal_fails_cleanly(self, tmp_path, capsys):
+        assert cli_main(["cache-stats", "--cache-dir", str(tmp_path)]) == 2
+        assert "no persisted build cache" in capsys.readouterr().err
+
+    def test_cache_stats_compact_rewrites_on_disk(self, tmp_path, capsys):
+        output_dir = tmp_path / "storage"
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(output_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert cli_main([
+            "cache-stats", "--cache-dir", str(output_dir), "--compact",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "compacted the journal" in output
+        # The compacted journal on disk still warm-starts the next campaign.
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(output_dir),
+        ]) == 0
+        assert "warm-started build cache" in capsys.readouterr().out

@@ -10,6 +10,7 @@ import pytest
 
 from repro._common import StorageError
 from repro.buildsys.builder import PackageBuilder
+from repro.core.spsystem import SPSystem
 from repro.environment.external import ExternalSoftwareCatalog
 from repro.experiments.inventories import InventoryQuirks, build_inventory
 from repro.scheduler.cache import (
@@ -213,3 +214,36 @@ class TestSystemLevelCache:
         sp_system.register_experiment(tiny_hermes)
         sp_system.validate("HERMES", "SL5_64bit_gcc4.4")
         assert sp_system.build_cache.statistics.lookups == 0
+
+    def test_cache_budget_enforced_on_live_cache_per_round(
+        self, sp_system, tiny_hermes
+    ):
+        """The budget bounds the in-memory cache during the campaign.
+
+        Previously ``cache_budget_bytes`` only capped the persisted
+        snapshot; the live cache could grow unboundedly across rounds.
+        """
+        from repro.scheduler.spec import CampaignSpec
+
+        sp_system.register_experiment(tiny_hermes)
+        unbounded = SPSystem()
+        unbounded.provision_standard_images()
+        unbounded.register_experiment(tiny_hermes)
+        unbounded.submit(CampaignSpec(
+            configuration_keys=("SL5_64bit_gcc4.4",), rounds=2,
+            persist_spec=False,
+        ))
+        budget = unbounded.build_cache.total_size_bytes() // 2
+        assert budget > 0
+
+        campaign = sp_system.submit(CampaignSpec(
+            configuration_keys=("SL5_64bit_gcc4.4",), rounds=2,
+            cache_budget_bytes=budget, persist_spec=False,
+        )).result()
+        cache = sp_system.effective_build_cache()
+        assert cache.total_size_bytes() <= budget
+        assert campaign.cache_statistics.evictions > 0
+        # The budgeted campaign still produced identical run documents.
+        assert [run.to_document() for run in campaign.runs()] == [
+            run.to_document() for run in unbounded.last_campaign.runs()
+        ]

@@ -1,10 +1,12 @@
 """Tests for cross-campaign persistence of the build cache.
 
-The cache is a resident of the common sp-system storage: ``persist_to``
-snapshots entries, tarball payloads and statistics into the ``buildcache``
-namespace, ``restore_from`` warm-starts a fresh cache from the snapshot (and
-evicts entries whose artifact digest can no longer be materialised), and a
-fresh :class:`SPSystem` mounted on the persisted state warm-starts its first
+The cache is a resident of the common sp-system storage, persisted as an
+append-only journal in the ``buildcache`` namespace: ``persist_to`` appends
+one record per new entry and one tombstone per eviction (repeated campaigns
+write O(new entries), not O(cache)), ``restore_from`` replays the journal —
+recovering cleanly from a corrupted trailing record — and ``compact``
+rewrites the log from the live state under an optional size budget.  A fresh
+:class:`SPSystem` mounted on the persisted state warm-starts its first
 campaign with cache hits while producing bit-identical run documents.
 """
 
@@ -153,25 +155,477 @@ class TestPersistRestore:
         assert restored.statistics.hits == cache.statistics.hits
         assert restored.statistics.stores == cache.statistics.stores
 
-    def test_persist_replaces_previous_snapshot(self, inventory, sl5_64_gcc44):
-        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
-        storage = CommonStorage()
-        cache.persist_to(storage)
-        first_keys = storage.keys(BuildCache.NAMESPACE)
-        cache.clear()
-        assert cache.persist_to(storage) == 0
-        remaining = storage.keys(BuildCache.NAMESPACE)
-        assert remaining == [BuildCache.STATISTICS_KEY]
-        assert first_keys != remaining
-
     def test_restore_from_storage_without_namespace(self):
         restored = BuildCache.restore_from(CommonStorage(), ArtifactStore())
         assert len(restored) == 0
         assert restored.statistics == CacheStatistics()
 
     def test_statistics_round_trip(self):
-        statistics = CacheStatistics(hits=3, misses=2, stores=2, evictions=1)
+        statistics = CacheStatistics(
+            hits=3, misses=2, stores=2, evictions=1,
+            shared_hits=1, donated_by_experiment={"ZEUS": 1},
+        )
         assert CacheStatistics.from_dict(statistics.as_dict()) == statistics
+
+    def test_statistics_from_pre_journal_snapshot_defaults(self):
+        """Old snapshots without the sharing fields restore to zeros."""
+        statistics = CacheStatistics.from_dict(
+            {"hits": 3, "misses": 2, "stores": 2, "evictions": 1}
+        )
+        assert statistics.shared_hits == 0
+        assert statistics.donated_by_experiment == {}
+
+    def test_statistics_tolerates_malformed_donations(self):
+        """A null/garbage donations field degrades to empty, not a crash."""
+        for garbage in (None, "broken", 7):
+            statistics = CacheStatistics.from_dict(
+                {"hits": 1, "donated_by_experiment": garbage}
+            )
+            assert statistics.donated_by_experiment == {}
+        # Garbage values inside an otherwise well-formed mapping too.
+        statistics = CacheStatistics.from_dict(
+            {
+                "hits": 1,
+                "shared_hits": "broken",
+                "donated_by_experiment": {"ZEUS": "garbage", "H1": 2},
+            }
+        )
+        assert statistics.shared_hits == 0
+        assert statistics.donated_by_experiment == {"H1": 2}
+
+    def test_corrupted_statistics_document_does_not_abort_restore(
+        self, inventory, sl5_64_gcc44
+    ):
+        """Statistics are bookkeeping; a damaged document must not lose the
+        journal's intact entries."""
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        namespace = storage.namespace(BuildCache.NAMESPACE)
+        for garbage in ({"hits": "3x"}, ["not", "a", "dict"], None):
+            namespace.put(BuildCache.STATISTICS_KEY, garbage)
+            restored = BuildCache.restore_from(storage, ArtifactStore())
+            assert len(restored) == len(cache)
+            assert restored.statistics.hits == 0
+
+
+def _journal_keys(storage):
+    return storage.keys(BuildCache.NAMESPACE, prefix=BuildCache.JOURNAL_PREFIX)
+
+
+def _journal_documents(storage):
+    namespace = storage.namespace(BuildCache.NAMESPACE)
+    return [namespace.get(key) for key in _journal_keys(storage)]
+
+
+class TestJournalAppendOnly:
+    """persist_to appends deltas; existing records are never rewritten."""
+
+    def test_first_persist_appends_one_record_per_entry(
+        self, inventory, sl5_64_gcc44
+    ):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        assert cache.persist_to(storage) == len(cache)
+        documents = _journal_documents(storage)
+        assert len(documents) == len(cache)
+        assert all(document["type"] == "entry" for document in documents)
+
+    def test_repersist_without_changes_appends_nothing(
+        self, inventory, sl5_64_gcc44
+    ):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        before = storage.total_documents()
+        keys_before = _journal_keys(storage)
+        assert cache.persist_to(storage) == 0
+        assert storage.total_documents() == before
+        assert _journal_keys(storage) == keys_before
+
+    def test_incremental_persist_appends_only_new_entries(
+        self, inventory, sl5_64_gcc44, sl6_64_gcc44
+    ):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        keys_before = _journal_keys(storage)
+        documents_before = storage.total_documents()
+        # A second campaign's worth of builds on another configuration.
+        builder = PackageBuilder()
+        new_packages = inventory.all()[:2]
+        for package in new_packages:
+            cache.store(
+                package, sl6_64_gcc44,
+                builder.build_package(package, sl6_64_gcc44),
+            )
+        assert cache.persist_to(storage) == len(new_packages)
+        keys_after = _journal_keys(storage)
+        # Strictly appended: the old records are byte-for-byte untouched.
+        assert keys_after[:len(keys_before)] == keys_before
+        assert len(keys_after) == len(keys_before) + len(new_packages)
+        # Only the new entries, their artifacts and the statistics changed.
+        assert (
+            storage.total_documents()
+            == documents_before + 2 * len(new_packages)
+        )
+
+    def test_eviction_appends_tombstone(self, inventory, sl5_64_gcc44):
+        cache, store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        records_before = len(_journal_keys(storage))
+        victim = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        store.remove(victim.tarball.digest)
+        assert cache.lookup(inventory.all()[0], sl5_64_gcc44) is None  # evicts
+        assert cache.persist_to(storage) == 0
+        documents = _journal_documents(storage)
+        assert len(documents) == records_before + 1
+        victim_key = next(
+            document["cache_key"]
+            for document in documents
+            if document["type"] == "entry"
+            and document["result"]["package"]["name"] == inventory.all()[0].name
+        )
+        assert documents[-1] == {"type": "tombstone", "cache_key": victim_key}
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == len(cache)
+        assert restored.lookup(inventory.all()[0], sl5_64_gcc44) is None
+
+    def test_clear_then_persist_auto_compacts_to_empty(
+        self, inventory, sl5_64_gcc44
+    ):
+        """Tombstoning everything trips auto-compaction: no dead journal."""
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        cache.clear()
+        assert cache.persist_to(storage) == 0
+        assert _journal_documents(storage) == []
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == 0
+
+    def test_persist_auto_compacts_once_tombstones_outnumber_entries(
+        self, inventory, sl5_64_gcc44
+    ):
+        cache, store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        builder = PackageBuilder()
+        # Evict all but one entry: more tombstones pending than live entries.
+        for package in inventory.all()[1:]:
+            result = builder.build_package(package, sl5_64_gcc44)
+            store.remove(result.tarball.digest)
+            assert cache.lookup(package, sl5_64_gcc44) is None
+        assert cache.persist_to(storage) == len(cache)
+        status = BuildCache.journal_status(storage)
+        assert status["tombstones"] == 0
+        assert status["records"] == len(cache) == 1
+
+    def test_tombstoned_key_can_be_rejournalled(self, inventory, sl5_64_gcc44):
+        cache, store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        package = inventory.all()[0]
+        result = PackageBuilder().build_package(package, sl5_64_gcc44)
+        store.remove(result.tarball.digest)
+        assert cache.lookup(package, sl5_64_gcc44) is None
+        cache.persist_to(storage)  # tombstone
+        cache.store(package, sl5_64_gcc44, result)  # re-stored (new artifact)
+        assert cache.persist_to(storage) == 1
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert restored.lookup(package, sl5_64_gcc44) is not None
+
+    def test_journal_status_counts(self, inventory, sl5_64_gcc44):
+        cache, store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        victim = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        store.remove(victim.tarball.digest)
+        cache.lookup(inventory.all()[0], sl5_64_gcc44)
+        cache.persist_to(storage)
+        status = BuildCache.journal_status(storage)
+        assert status["entries"] == len(inventory.all())
+        assert status["tombstones"] == 1
+        assert status["records"] == len(inventory.all()) + 1
+        assert status["artifacts"] == len(inventory.all())
+        assert status["bytes"] > 0
+        assert BuildCache.journal_status(CommonStorage()) == {
+            "records": 0, "entries": 0, "tombstones": 0, "artifacts": 0,
+            "bytes": 0,
+        }
+
+
+class TestJournalCompaction:
+    def test_compact_drops_tombstones_and_orphans(self, inventory, sl5_64_gcc44):
+        cache, store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        victim = PackageBuilder().build_package(inventory.all()[0], sl5_64_gcc44)
+        store.remove(victim.tarball.digest)
+        cache.lookup(inventory.all()[0], sl5_64_gcc44)
+        cache.persist_to(storage)
+        assert BuildCache.journal_status(storage)["tombstones"] == 1
+        written = cache.compact(storage)
+        assert written == len(cache)
+        status = BuildCache.journal_status(storage)
+        assert status["records"] == len(cache)
+        assert status["tombstones"] == 0
+        # The evicted entry's artifact payload was orphaned and dropped.
+        assert status["artifacts"] == len(cache)
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == len(cache)
+
+    def test_compact_under_budget(self, inventory, sl5_64_gcc44):
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        budget = cache.total_size_bytes() // 2
+        written = cache.compact(storage, max_bytes=budget)
+        assert 0 < written < len(inventory.all())
+        assert written == len(cache)
+        assert cache.total_size_bytes() <= budget
+        status = BuildCache.journal_status(storage)
+        assert status["records"] == written
+        assert status["tombstones"] == 0
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == written
+
+    def test_compaction_bounds_journal_growth(self, inventory, sl5_64_gcc44):
+        """Churn grows the journal without bound; compaction resets it."""
+        cache, store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        builder = PackageBuilder()
+        package = inventory.all()[0]
+        for _churn in range(3):
+            result = builder.build_package(package, sl5_64_gcc44)
+            store.remove(result.tarball.digest)
+            assert cache.lookup(package, sl5_64_gcc44) is None
+            cache.persist_to(storage)
+            cache.store(package, sl5_64_gcc44, result)
+            cache.persist_to(storage)
+        churned = BuildCache.journal_status(storage)
+        assert churned["records"] > len(cache)
+        cache.compact(storage)
+        assert BuildCache.journal_status(storage)["records"] == len(cache)
+
+    def test_compaction_reaches_disk(self, inventory, sl5_64_gcc44, tmp_path):
+        """storage.persist mirrors the namespace: compacted-away journal
+        files are removed on disk, so a reload cannot resurrect evicted
+        entries from a stale tail."""
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        storage.persist(str(tmp_path))
+        budget = cache.total_size_bytes() // 2
+        survivors = cache.compact(storage, max_bytes=budget)
+        assert 0 < survivors < len(inventory.all())
+        storage.persist(str(tmp_path))
+        reloaded = CommonStorage.load(str(tmp_path))
+        assert BuildCache.journal_status(reloaded)["records"] == survivors
+        restored = BuildCache.restore_from(reloaded, ArtifactStore())
+        assert len(restored) == survivors
+        # Appends after the reload continue cleanly past the compacted log.
+        builder = PackageBuilder()
+        evicted = [
+            package for package in inventory.all()
+            if not cache.contains(package, sl5_64_gcc44)
+        ]
+        restored.store(
+            evicted[0], sl5_64_gcc44,
+            builder.build_package(evicted[0], sl5_64_gcc44),
+        )
+        assert restored.persist_to(reloaded) == 1
+        assert BuildCache.journal_status(reloaded)["records"] == survivors + 1
+
+    def test_fresh_cache_rewrites_foreign_journal(self, inventory, sl5_64_gcc44):
+        """A never-synced cache persisting over an existing journal replaces it."""
+        cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        other = BuildCache(ArtifactStore())
+        builder = PackageBuilder()
+        package = inventory.all()[0]
+        other.store(package, sl5_64_gcc44, builder.build_package(package, sl5_64_gcc44))
+        assert other.persist_to(storage) == 1
+        status = BuildCache.journal_status(storage)
+        assert status["records"] == 1
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == 1
+
+    def test_second_writer_rewrite_is_detected_by_the_first(
+        self, inventory, sl5_64_gcc44
+    ):
+        """Two caches persisting into one storage cannot corrupt each other.
+
+        Cache B's wholesale rewrite bumps the journal epoch, so cache A's
+        next persist must notice (despite its same-namespace fast path),
+        fall back to the lineage scan and rewrite from its own live state
+        instead of appending onto B's journal.
+        """
+        storage = CommonStorage()
+        builder = PackageBuilder()
+        packages = inventory.all()
+
+        cache_a = BuildCache(ArtifactStore())
+        for package in packages[:2]:
+            cache_a.store(
+                package, sl5_64_gcc44,
+                builder.build_package(package, sl5_64_gcc44),
+            )
+        cache_a.persist_to(storage)
+
+        cache_b = BuildCache(ArtifactStore())
+        cache_b.store(
+            packages[2], sl5_64_gcc44,
+            builder.build_package(packages[2], sl5_64_gcc44),
+        )
+        cache_b.persist_to(storage)  # never-synced writer: rewrites
+
+        cache_a.store(
+            packages[3], sl5_64_gcc44,
+            builder.build_package(packages[3], sl5_64_gcc44),
+        )
+        cache_a.persist_to(storage)
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        # The last writer's live state won wholesale; nothing was merged.
+        assert len(restored) == len(cache_a) == 3
+        for package in packages[:2] + [packages[3]]:
+            assert restored.lookup(package, sl5_64_gcc44) is not None
+
+    def test_restored_cache_rewrites_a_foreign_overlapping_journal(
+        self, inventory, sl5_64_gcc44
+    ):
+        """Sequence overlap with a foreign journal does not fake 'in sync'.
+
+        A cache restored from storage A must not silently merge into
+        storage B's journal just because B happens to hold records at the
+        same sequence numbers: the persisted state must equal the live
+        cache, so the lineage check compares record content, not key
+        existence.
+        """
+        big_cache, _store = _populated_cache(inventory, sl5_64_gcc44)
+        storage_b = CommonStorage()
+        big_cache.persist_to(storage_b)  # sequences 1..N
+
+        from dataclasses import replace
+
+        donor = CommonStorage()
+        small_cache = BuildCache(ArtifactStore())
+        # A version bump guarantees a cache key disjoint from storage B's.
+        package = replace(inventory.all()[0], version="99.9")
+        small_cache.store(
+            package, sl5_64_gcc44,
+            PackageBuilder().build_package(package, sl5_64_gcc44),
+        )
+        small_cache.persist_to(donor)  # sequence 1 — overlaps storage B's
+        restored = BuildCache.restore_from(donor, ArtifactStore())
+
+        restored.persist_to(storage_b)
+        merged = BuildCache.restore_from(storage_b, ArtifactStore())
+        assert len(merged) == len(restored) == 1
+
+
+class TestLegacySnapshotCleanup:
+    """Pre-journal `entry_*` snapshots are dropped (their retired key format
+    could never be hit again) and cleaned out by the next persist."""
+
+    def _legacy_snapshot(self, inventory, configuration):
+        storage = CommonStorage()
+        namespace = storage.create_namespace(BuildCache.NAMESPACE)
+        for package in inventory.all():
+            result = PackageBuilder().build_package(package, configuration)
+            key = f"legacyformat{package.name.replace('-', '')}"
+            namespace.put(
+                f"{BuildCache.LEGACY_ENTRY_PREFIX}{key}",
+                {"cache_key": key, "result": result.to_dict()},
+            )
+            namespace.put(
+                f"{BuildCache.ARTIFACT_PREFIX}{result.tarball.digest}",
+                result.tarball.to_dict(),
+            )
+        namespace.put(
+            BuildCache.STATISTICS_KEY,
+            {"hits": 7, "misses": 3, "stores": 3, "evictions": 0},
+        )
+        return storage
+
+    def test_legacy_snapshot_restores_empty_with_evictions(
+        self, inventory, sl5_64_gcc44
+    ):
+        storage = self._legacy_snapshot(inventory, sl5_64_gcc44)
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == 0
+        assert restored.statistics.evictions == len(inventory.all())
+        # The cumulative counters still travel.
+        assert restored.statistics.hits == 7
+
+    def test_next_persist_deletes_the_dead_snapshot(
+        self, inventory, sl5_64_gcc44
+    ):
+        storage = self._legacy_snapshot(inventory, sl5_64_gcc44)
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        # New builds journal normally; the dead documents disappear.
+        package = inventory.all()[0]
+        restored.store(
+            package, sl5_64_gcc44,
+            PackageBuilder().build_package(package, sl5_64_gcc44),
+        )
+        assert restored.persist_to(storage) == 1
+        assert storage.keys(
+            BuildCache.NAMESPACE, prefix=BuildCache.LEGACY_ENTRY_PREFIX
+        ) == []
+        assert BuildCache.journal_status(storage)["entries"] == 1
+        assert len(BuildCache.restore_from(storage, ArtifactStore())) == 1
+
+
+class TestJournalCorruptionRecovery:
+    def _persisted(self, inventory, configuration):
+        cache, _store = _populated_cache(inventory, configuration)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        return cache, storage
+
+    def test_corrupted_trailing_record_is_dropped(self, inventory, sl5_64_gcc44):
+        cache, storage = self._persisted(inventory, sl5_64_gcc44)
+        namespace = storage.namespace(BuildCache.NAMESPACE)
+        last_key = _journal_keys(storage)[-1]
+        namespace.put(last_key, {"type": "entry", "cache_key": "x"})  # truncated
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        # Everything before the corrupted tail is recovered.
+        assert len(restored) == len(cache) - 1
+
+    def test_mid_journal_corruption_skips_only_the_broken_record(
+        self, inventory, sl5_64_gcc44
+    ):
+        """One bad record must not discard the valid tail behind it.
+
+        Skipping is safe for a content-addressed cache: a lost entry costs
+        a rebuild, a resurrected one is still correct by construction.
+        """
+        cache, storage = self._persisted(inventory, sl5_64_gcc44)
+        namespace = storage.namespace(BuildCache.NAMESPACE)
+        keys = _journal_keys(storage)
+        namespace.put(keys[1], "garbage")
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(restored) == len(cache) - 1
+
+    def test_next_persist_repairs_a_recovered_journal(
+        self, inventory, sl5_64_gcc44
+    ):
+        cache, storage = self._persisted(inventory, sl5_64_gcc44)
+        namespace = storage.namespace(BuildCache.NAMESPACE)
+        last_key = _journal_keys(storage)[-1]
+        namespace.put(last_key, {"type": "entry", "cache_key": "x"})
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        written = restored.persist_to(storage)
+        # The repair is a full rewrite of the journal from the live state.
+        assert written == len(restored)
+        status = BuildCache.journal_status(storage)
+        assert status["records"] == len(restored)
+        rerestored = BuildCache.restore_from(storage, ArtifactStore())
+        assert len(rerestored) == len(restored)
 
 
 class TestRestoreTimeEviction:
@@ -356,3 +810,27 @@ class TestWarmStartCampaigns:
         with pytest.raises(StorageError):
             system.restore_build_cache(CommonStorage())
         assert system.restore_build_cache(CommonStorage(), missing_ok=True) is None
+
+    def test_restore_mounts_the_journal_for_incremental_persists(self):
+        """A warm installation appends to the inherited journal, not rewrites.
+
+        This is the CLI round trip: restore from a loaded storage, run a
+        campaign, persist into the installation's own storage — without new
+        builds, zero journal records are appended.
+        """
+        cold = _fresh_system()
+        cold.run_campaign(["HERMES"], CAMPAIGN_KEYS)
+        entries = cold.persist_build_cache()
+        assert entries > 0
+        source_keys = cold.storage.keys(BuildCache.NAMESPACE)
+
+        warm = _fresh_system()
+        warm.restore_build_cache(cold.storage)
+        # The journal travelled into the warm installation's own storage...
+        assert warm.storage.keys(BuildCache.NAMESPACE) == source_keys
+        warm.run_campaign(["HERMES"], CAMPAIGN_KEYS)
+        # ...and a fully warm campaign appends nothing to it.
+        assert warm.persist_build_cache() == 0
+        assert warm.storage.keys(BuildCache.NAMESPACE) == source_keys
+        # The source installation's storage was never modified.
+        assert cold.storage.keys(BuildCache.NAMESPACE) == source_keys

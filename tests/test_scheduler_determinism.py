@@ -12,10 +12,12 @@ structural comparisons rely on.
 
 import pytest
 
+from repro.buildsys.builder import BuildTask
 from repro.core.jobs import JobStatus, ValidationJob, ValidationRun
 from repro.core.runner import RunnerSettings
 from repro.core.spsystem import SPSystem
 from repro.experiments import build_hermes_experiment
+from repro.scheduler.dag import TaskKind
 from repro.scheduler.spec import CampaignSpec
 
 
@@ -152,6 +154,88 @@ class TestBackendParity:
         assert len(threaded.result().schedule.assignments) == len(
             threaded.result().dag
         )
+
+    def test_threads_backend_executes_real_build_tasks(self):
+        """Build tasks are genuine BuildTask re-compilations, run exactly once.
+
+        Every build task whose compile job ran during the cell pass carries
+        a re-executable :class:`BuildTask`; the thread backend runs each on
+        a worker thread (digest-checked against the recorded result), while
+        run documents stay bit-identical — builds are pure functions of the
+        content digest.
+        """
+        seed = 20131029
+        baseline_system, baseline = _sequential_baseline(seed, KEYS)
+        system = _fresh_system(seed)
+        campaign = system.submit(
+            CampaignSpec(
+                configuration_keys=tuple(KEYS),
+                workers=4,
+                backend="threads",
+                persist_spec=False,
+            )
+        ).result()
+        build_tasks = {
+            task_id: payload
+            for task_id, payload in campaign.payloads.items()
+            if campaign.dag.get(task_id).kind is TaskKind.BUILD
+        }
+        real = [
+            payload for payload in build_tasks.values()
+            if isinstance(payload, BuildTask)
+        ]
+        assert real, "build tasks should carry re-executable payloads"
+        assert all(task.runs == 1 for task in real)
+        # Executed builds carry the recorded result digest to check against.
+        assert all(task.expected_digest is not None for task in real)
+        assert [run.to_document() for run in campaign.runs()] == [
+            cycle.run.to_document() for cycle in baseline
+        ]
+
+    def test_simulated_backend_leaves_build_tasks_unexecuted(self):
+        system = _fresh_system(20131029)
+        campaign = system.submit(
+            CampaignSpec(
+                configuration_keys=tuple(KEYS),
+                workers=4,
+                backend="simulated",
+                persist_spec=False,
+            )
+        ).result()
+        real = [
+            payload for payload in campaign.payloads.values()
+            if isinstance(payload, BuildTask)
+        ]
+        assert real
+        assert all(task.runs == 0 for task in real)
+
+    def test_build_task_digest_check_rejects_divergence(self, sp_system, tiny_hermes):
+        """A diverging re-execution fails loudly instead of passing silently."""
+        from repro._common import BuildError
+        from repro.buildsys.builder import PackageBuilder, build_result_digest
+
+        sp_system.register_experiment(tiny_hermes)
+        package = tiny_hermes.inventory.all()[0]
+        configuration = sp_system.configuration("SL5_64bit_gcc4.4")
+        builder = PackageBuilder()
+        good = BuildTask(
+            package=package,
+            configuration=configuration,
+            builder=builder,
+            expected_digest=build_result_digest(
+                builder.build_package(package, configuration)
+            ),
+        )
+        assert good.run().package == package
+        assert good.runs == 1
+        bad = BuildTask(
+            package=package,
+            configuration=configuration,
+            builder=builder,
+            expected_digest="not-the-digest",
+        )
+        with pytest.raises(BuildError):
+            bad.run()
 
     @pytest.mark.parametrize("backend", ["simulated", "threads"])
     def test_spec_round_trip_replays_identical_campaign(self, backend):

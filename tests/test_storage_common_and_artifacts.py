@@ -94,6 +94,39 @@ class TestCommonStorage:
         with pytest.raises(StorageError):
             CommonStorage.load(str(tmp_path / "does-not-exist"))
 
+    def test_persist_accumulates_regular_namespaces(self, tmp_path):
+        """Run documents of earlier persists survive a smaller re-persist."""
+        first = CommonStorage()
+        first.put("results", "run_001", {"status": "passed"})
+        first.put("results", "run_002", {"status": "passed"})
+        first.persist(str(tmp_path))
+        second = CommonStorage()
+        second.put("results", "run_003", {"status": "failed"})
+        second.persist(str(tmp_path))
+        loaded = CommonStorage.load(str(tmp_path))
+        assert loaded.keys("results") == ["run_001", "run_002", "run_003"]
+
+    def test_persist_mirrors_journal_namespaces(self, tmp_path):
+        """Mirrored (journal-backed) namespaces drop deleted documents.
+
+        Without the mirror, records removed by a journal compaction would
+        linger on disk and be resurrected by the next load.
+        """
+        # The build cache registers its namespace as mirrored on import.
+        from repro.scheduler.cache import BuildCache
+        from repro.storage.common_storage import MIRRORED_NAMESPACES
+
+        assert BuildCache.NAMESPACE in MIRRORED_NAMESPACES
+        storage = CommonStorage()
+        namespace = storage.create_namespace("buildcache")
+        namespace.put("journal_00000001", {"type": "entry"})
+        namespace.put("journal_00000002", {"type": "entry"})
+        storage.persist(str(tmp_path))
+        namespace.delete("journal_00000002")  # a compaction dropped it
+        storage.persist(str(tmp_path))
+        loaded = CommonStorage.load(str(tmp_path))
+        assert loaded.keys("buildcache") == ["journal_00000001"]
+
 
 class TestArtifactStore:
     def _tarball(self, configuration, name="pkg-a"):
