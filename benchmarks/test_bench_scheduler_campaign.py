@@ -258,3 +258,150 @@ def test_shared_external_campaign(benchmark):
             "times (bit-identical run documents to the cold campaign)"
         ),
     )
+
+
+def test_history_ledger_ingest_and_query(benchmark, tmp_path):
+    """Micro-benchmark of the validation history ledger.
+
+    Measures the three operations a production monitoring loop performs on
+    every campaign: ingesting events into the append-only journal,
+    re-mounting the ledger from a persisted storage (journal replay + index
+    rebuild over segment files), and the longitudinal queries (trends,
+    campaign diff, regression classification).
+    """
+    import json
+    import os
+
+    from repro.environment.evolution import (
+        EVENT_EXTERNAL_RELEASE,
+        EnvironmentEvent,
+    )
+    from repro.history import (
+        RegressionDetector,
+        ValidationEvent,
+        ValidationHistoryLedger,
+        diff_campaigns,
+        health_trends,
+    )
+    from repro.storage.common_storage import CommonStorage
+
+    N_CAMPAIGNS = 20
+    EXPERIMENTS = ("ZEUS", "H1", "HERMES")
+    BREAK_AFTER = 14  # campaigns before the simulated evolution event
+
+    def synthetic_event(index, campaign, experiment, key, status):
+        return ValidationEvent(
+            run_id=f"sp-{index:06d}",
+            campaign_id=f"campaign-{campaign:04d}",
+            experiment=experiment,
+            configuration_key=key,
+            configuration_fingerprint=(
+                "fp-after" if campaign > BREAK_AFTER else "fp-before"
+            ),
+            status=status,
+            n_passed=40 if status == "passed" else 37,
+            n_failed=0 if status == "passed" else 3,
+            n_skipped=0,
+            failed_tests=() if status == "passed" else ("t-a", "t-b", "t-c"),
+            diagnostics_digest="" if status == "passed" else "digest-root6",
+            cache_provenance="warm" if campaign > 1 else "cold",
+            backend="simulated",
+            logical_timestamp=1356998400 + campaign * 86400,
+            description="bench",
+        )
+
+    storage = CommonStorage()
+    ledger = ValidationHistoryLedger(storage)
+
+    def ingest_all():
+        index = 0
+        for campaign in range(1, N_CAMPAIGNS + 1):
+            for experiment in EXPERIMENTS:
+                for key in CONFIGURATIONS:
+                    index += 1
+                    status = (
+                        "failed"
+                        if campaign > BREAK_AFTER and key == CONFIGURATIONS[0]
+                        else "passed"
+                    )
+                    ledger.record_validation(
+                        synthetic_event(index, campaign, experiment, key, status)
+                    )
+        return index
+
+    start = time.perf_counter()
+    n_events = ingest_all()
+    ingest_wall = time.perf_counter() - start
+    ledger.record_evolution(
+        EnvironmentEvent(
+            year=2014, kind=EVENT_EXTERNAL_RELEASE, subject="ROOT-6.02",
+            detail="bench evolution",
+        ),
+        1356998400 + BREAK_AFTER * 86400 + 3600,
+    )
+
+    start = time.perf_counter()
+    storage.persist(str(tmp_path))
+    persist_wall = time.perf_counter() - start
+    segment_files = len(os.listdir(tmp_path / ValidationHistoryLedger.NAMESPACE))
+
+    start = time.perf_counter()
+    remounted = benchmark.pedantic(
+        lambda: ValidationHistoryLedger.open(CommonStorage.load(str(tmp_path))),
+        rounds=1, iterations=1,
+    )
+    remount_wall = time.perf_counter() - start
+    assert len(remounted) == n_events
+
+    start = time.perf_counter()
+    trends = health_trends(remounted)
+    diff = diff_campaigns(
+        remounted, "campaign-0001", f"campaign-{N_CAMPAIGNS:04d}"
+    )
+    findings = RegressionDetector(remounted).findings()
+    query_wall = time.perf_counter() - start
+
+    regressions = [finding for finding in findings if finding.is_regression]
+    assert len(trends) == len(EXPERIMENTS)
+    assert len(diff.broke) == len(EXPERIMENTS)
+    assert len(regressions) == len(EXPERIMENTS)
+    assert all(
+        finding.suspected_event is not None
+        and finding.suspected_event.subject == "ROOT-6.02"
+        for finding in regressions
+    )
+
+    emit(
+        "History-ledger",
+        f"Validation history ledger: ingest, remount and query "
+        f"({n_events} events, {N_CAMPAIGNS} campaigns, "
+        f"{len(EXPERIMENTS) * len(CONFIGURATIONS)} cells)",
+        [
+            {
+                "operation": "ingest (journal append + index)",
+                "wall_seconds": f"{ingest_wall:.3f}",
+                "per_event_us": f"{ingest_wall / n_events * 1e6:.0f}",
+            },
+            {
+                "operation": f"persist to disk ({segment_files} segment file(s))",
+                "wall_seconds": f"{persist_wall:.3f}",
+                "per_event_us": f"{persist_wall / n_events * 1e6:.0f}",
+            },
+            {
+                "operation": "remount (load + journal replay + reindex)",
+                "wall_seconds": f"{remount_wall:.3f}",
+                "per_event_us": f"{remount_wall / n_events * 1e6:.0f}",
+            },
+            {
+                "operation": "trends + diff + regression classification",
+                "wall_seconds": f"{query_wall:.3f}",
+                "per_event_us": f"{query_wall / n_events * 1e6:.0f}",
+            },
+        ],
+        notes=(
+            f"{len(regressions)} regression(s) found and all attributed to "
+            "the injected ROOT-6.02 evolution event; the journal persisted "
+            f"as {segment_files} segment file(s) instead of "
+            f"{n_events + 1} per-record files"
+        ),
+    )

@@ -8,9 +8,13 @@
 #   1. bench marker audit — every test below benchmarks/ must carry the
 #      `bench` marker, or the tier-1 deselection (-m "not bench") would
 #      silently start running paper-reproduction benchmarks in CI.
-#   2. tier-1 — the documented fast suite (ROADMAP.md):
+#   2. history-ledger write audit — the `history` storage namespace is
+#      owned by the ValidationHistoryLedger: a raw put() into it would
+#      bypass the journal's idempotence and index bookkeeping, so no
+#      module outside src/repro/history/ may write the namespace literal.
+#   3. tier-1 — the documented fast suite (ROADMAP.md):
 #      pytest -x -q -m "not bench"
-#   3. examples — headless smoke run of every examples/*.py script:
+#   4. examples — headless smoke run of every examples/*.py script:
 #      pytest -m examples
 #
 # Usage: scripts/ci.sh [--skip-examples]
@@ -19,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/3: bench marker audit =="
+echo "== stage 1/4: bench marker audit =="
 # Selecting "not bench" below benchmarks/ must collect nothing; any test id
 # in the output is a benchmark that escaped the marker.
 unmarked=$(python -m pytest benchmarks/ -m "not bench" --collect-only -q 2>/dev/null | grep -c "::" || true)
@@ -30,15 +34,28 @@ if [ "${unmarked}" -ne 0 ]; then
 fi
 echo "ok: every benchmarks/ test carries the bench marker"
 
-echo "== stage 2/3: tier-1 test suite =="
+echo "== stage 2/4: history-ledger write audit =="
+# Writers must go through the ledger API: no raw put into the 'history'
+# namespace (and no string-literal namespace handle to put through) outside
+# the owning package.  The same rule is enforced by tests/test_tooling_ci.py.
+violations=$(grep -rnE "(put|create_namespace|namespace)\(\s*[\"']history[\"']" src --include='*.py' | grep -v "^src/repro/history/" || true)
+if [ -n "${violations}" ]; then
+    echo "error: raw 'history' namespace access outside src/repro/history/:" >&2
+    echo "${violations}" >&2
+    echo "write through ValidationHistoryLedger (repro.history.ledger) instead" >&2
+    exit 1
+fi
+echo "ok: every history-namespace writer goes through the ledger API"
+
+echo "== stage 3/4: tier-1 test suite =="
 python -m pytest -x -q -m "not bench"
 
 if [ "${1:-}" = "--skip-examples" ]; then
-    echo "== stage 3/3: examples smoke run skipped =="
+    echo "== stage 4/4: examples smoke run skipped =="
     exit 0
 fi
 
-echo "== stage 3/3: examples smoke run =="
+echo "== stage 4/4: examples smoke run =="
 python -m pytest -q -m examples
 
 echo "CI checks passed."

@@ -27,6 +27,7 @@ Typical use::
 
 from repro._common import ReproError
 from repro.core.spsystem import CampaignHandle, SPSystem, ValidationCycleResult
+from repro.history import ValidationHistoryLedger
 from repro.scheduler import (
     CampaignResult,
     CampaignScheduler,
@@ -35,7 +36,7 @@ from repro.scheduler import (
     WorkerFailure,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SPSystem",
@@ -45,6 +46,7 @@ __all__ = [
     "CampaignScheduler",
     "CampaignSpec",
     "ValidationRequest",
+    "ValidationHistoryLedger",
     "WorkerFailure",
     "ReproError",
     "__version__",

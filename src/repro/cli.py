@@ -12,6 +12,11 @@ end so the framework can be driven without writing Python::
     python -m repro.cli campaign --spec my-campaign.json --cache-budget-mb 16
     python -m repro.cli campaign --no-cache
     python -m repro.cli cache-stats --cache-dir /tmp/sp-storage
+    python -m repro.cli campaign --record-history --output /tmp/sp-storage
+    python -m repro.cli history trends --storage-dir /tmp/sp-storage
+    python -m repro.cli history diff --storage-dir /tmp/sp-storage \
+        --from-campaign campaign-0001 --to-campaign campaign-0002
+    python -m repro.cli history regressions --storage-dir /tmp/sp-storage
     python -m repro.cli migrate-plan --experiment H1 --target SL7
     python -m repro.cli levels
 
@@ -35,6 +40,14 @@ from typing import Dict, List, Optional, Sequence
 from repro._common import ReproError, format_table
 from repro.core.levels import preservation_table
 from repro.core.spsystem import SPSystem
+from repro.history import (
+    RegressionDetector,
+    ValidationHistoryLedger,
+    diff_campaigns,
+    diff_rows,
+    regression_rows,
+    trend_rows,
+)
 from repro.scheduler.backends import EXECUTION_BACKENDS
 from repro.scheduler.cache import BuildCache
 from repro.scheduler.pool import SCHEDULING_POLICIES
@@ -151,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "entirely (cold-path debugging: every build is "
                                "compiled from scratch, nothing is warm-started "
                                "or persisted)")
+    campaign.add_argument("--record-history", action="store_true",
+                          help="ingest every completed cell into the "
+                               "validation history ledger (the 'history' "
+                               "storage namespace), enabling the history "
+                               "trends/diff/regressions commands on the "
+                               "persisted storage; repeated runs against the "
+                               "same --output accumulate history")
     campaign.add_argument("--output", default=None)
     campaign.set_defaults(handler=_cmd_campaign)
 
@@ -168,6 +188,39 @@ def build_parser() -> argparse.ArgumentParser:
                                   "orphaned artifact payloads) and persist it "
                                   "back to --cache-dir")
     cache_stats.set_defaults(handler=_cmd_cache_stats)
+
+    history = subparsers.add_parser(
+        "history",
+        help="longitudinal queries over a persisted validation history "
+             "ledger (written by campaign --record-history)",
+    )
+    history_sub = history.add_subparsers(dest="history_command", required=True)
+    trends = history_sub.add_parser(
+        "trends", help="per-experiment health trends across campaigns"
+    )
+    trends.add_argument("--storage-dir", required=True,
+                        help="directory holding a persisted common storage "
+                             "with a history ledger (a previous campaign's "
+                             "--output)")
+    trends.add_argument("--experiment", default=None,
+                        help="restrict the trend to one experiment")
+    trends.set_defaults(handler=_cmd_history_trends)
+    diff = history_sub.add_parser(
+        "diff", help="cell-by-cell matrix diff between two campaigns"
+    )
+    diff.add_argument("--storage-dir", required=True)
+    diff.add_argument("--from-campaign", required=True, dest="from_campaign",
+                      metavar="CAMPAIGN_ID")
+    diff.add_argument("--to-campaign", required=True, dest="to_campaign",
+                      metavar="CAMPAIGN_ID")
+    diff.set_defaults(handler=_cmd_history_diff)
+    regressions = history_sub.add_parser(
+        "regressions",
+        help="classify every recorded cell (regressed / flaky / "
+             "never-validated) and name the suspected evolution events",
+    )
+    regressions.add_argument("--storage-dir", required=True)
+    regressions.set_defaults(handler=_cmd_history_regressions)
 
     migrate = subparsers.add_parser("migrate-plan", help="plan a migration to a new platform")
     migrate.add_argument("--experiment", required=True, choices=sorted(_EXPERIMENT_BUILDERS))
@@ -307,6 +360,15 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
     if arguments.no_cache:
         # Folded into the spec for the same replayability reason.
         spec = CampaignSpec.from_dict(dict(spec.to_dict(), use_cache=False))
+    if arguments.record_history:
+        if not arguments.output:
+            # Like --cache-budget-mb: the ledger exists for longitudinal
+            # queries over the *persisted* storage; without --output the
+            # recorded history would be silently discarded.
+            raise ReproError("--record-history requires --output")
+        # Folded into the spec (winning over a --spec file's own value), so
+        # the persisted record replays with history recording on.
+        spec = CampaignSpec.from_dict(dict(spec.to_dict(), record_history=True))
     if arguments.cache_dir and not spec.use_cache:
         # An *explicit* --cache-dir (as opposed to the --output default)
         # would be a silent no-op without the cache layer; refuse it like
@@ -332,6 +394,25 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         )
         if restored is not None:
             print(f"warm-started build cache: {len(restored)} entries from {cache_dir}")
+    if (
+        spec.record_history is not False
+        and cache_dir
+        and os.path.isdir(cache_dir)
+    ):
+        # Mount a previously persisted history ledger before submitting, so
+        # repeated campaigns against one --output accumulate one continuous
+        # history (and the record_history=None auto mode keeps recording).
+        mounted = system.restore_history(
+            CommonStorage.load(
+                cache_dir, namespaces=[ValidationHistoryLedger.NAMESPACE]
+            ),
+            missing_ok=True,
+        )
+        if mounted is not None:
+            print(
+                f"mounted validation history: {len(mounted)} event(s) "
+                f"from {cache_dir}"
+            )
     handle = system.submit(spec)
     campaign = handle.result()
     print(f"submitted {handle.campaign_id}: {handle.cells_completed}/"
@@ -354,6 +435,7 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
                 max_bytes=spec.cache_budget_bytes
             )
         pages = StatusPageGenerator(system.storage, system.catalog)
+        history_on = system.history is not None
         pages.campaign_page(
             campaign,
             cache_journal=(
@@ -361,9 +443,30 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
                 if spec.use_cache
                 else None
             ),
+            history_link=history_on,
         )
         pages.index_page()
         pages.summary_page(matrix.render_text())
+        if history_on:
+            ledger = system.history
+            findings = RegressionDetector(ledger).findings()
+            pages.trends_page(
+                trend_rows(ledger),
+                regression_rows(findings),
+                history_status=ledger.status(),
+                evolution_rows=[
+                    record.to_dict() for record in ledger.evolution_records()
+                ],
+            )
+            status = ledger.status()
+            open_regressions = sum(
+                1 for finding in findings if finding.is_regression
+            )
+            print(
+                f"validation history: {status['events']} event(s) across "
+                f"{status['campaigns']} campaign(s), "
+                f"{open_regressions} open regression(s)"
+            )
         written = system.storage.persist(arguments.output)
         print(f"\npersisted {len(written)} documents below {arguments.output} "
               f"({appended_entries} new build-cache journal records for the "
@@ -400,6 +503,91 @@ def _cmd_cache_stats(arguments: argparse.Namespace) -> int:
     print(format_table(
         ["quantity", "value"], [[row["quantity"], row["value"]] for row in rows]
     ))
+    return 0
+
+
+def _load_history_ledger(storage_dir: str) -> ValidationHistoryLedger:
+    """Mount the history ledger persisted below *storage_dir*.
+
+    A missing directory or a storage without a ledger is a clean
+    :class:`ReproError` (exit code 2), never a traceback — the consistent
+    counterpart of how ``cache-stats`` treats a missing build cache.
+    """
+    from repro._common import StorageError
+
+    if not os.path.isdir(storage_dir):
+        raise ReproError(f"no such storage directory: {storage_dir}")
+    storage = CommonStorage.load(
+        storage_dir, namespaces=[ValidationHistoryLedger.NAMESPACE]
+    )
+    try:
+        return ValidationHistoryLedger.open(storage)
+    except StorageError:
+        raise ReproError(
+            f"no validation history ledger below {storage_dir}: run "
+            "'campaign --record-history --output' first"
+        ) from None
+
+
+def _print_rows(rows: List[Dict[str, object]], columns: List[str]) -> None:
+    print(format_table(
+        columns, [[row.get(column, "") for column in columns] for row in rows]
+    ))
+
+
+def _cmd_history_trends(arguments: argparse.Namespace) -> int:
+    ledger = _load_history_ledger(arguments.storage_dir)
+    rows = trend_rows(ledger, experiment=arguments.experiment)
+    status = ledger.status()
+    print(
+        f"validation history below {arguments.storage_dir}: "
+        f"{status['events']} event(s), {status['campaigns']} campaign(s), "
+        f"{status['cells']} cell(s), {status['evolutions']} evolution "
+        "event(s)"
+    )
+    if not rows:
+        print("no trend points recorded")
+        return 0
+    _print_rows(rows, ["experiment", "campaign", "cells", "validated",
+                       "broken", "pass_fraction"])
+    return 0
+
+
+def _cmd_history_diff(arguments: argparse.Namespace) -> int:
+    ledger = _load_history_ledger(arguments.storage_dir)
+    diff = diff_campaigns(
+        ledger, arguments.from_campaign, arguments.to_campaign
+    )
+    print(diff.summary())
+    rows = diff_rows(diff)
+    if rows:
+        _print_rows(rows, ["experiment", "configuration", "change", "from", "to"])
+    return 0
+
+
+def _cmd_history_regressions(arguments: argparse.Namespace) -> int:
+    from repro.history import CLASS_FLAKY, CLASS_NEVER_VALIDATED
+
+    ledger = _load_history_ledger(arguments.storage_dir)
+    findings = RegressionDetector(ledger).findings()
+    regressions = [finding for finding in findings if finding.is_regression]
+    flaky = sum(1 for f in findings if f.classification == CLASS_FLAKY)
+    never = sum(
+        1 for f in findings if f.classification == CLASS_NEVER_VALIDATED
+    )
+    print(
+        f"{len(regressions)} regression(s), {flaky} flaky cell(s), "
+        f"{never} never-validated cell(s) across {len(findings)} "
+        "recorded cell(s)"
+    )
+    for finding in regressions:
+        print(f"  {finding.summary()}")
+    if findings:
+        _print_rows(
+            regression_rows(findings),
+            ["experiment", "configuration", "classification", "events",
+             "flips", "first_bad", "suspected_change"],
+        )
     return 0
 
 

@@ -58,10 +58,22 @@ class ServiceReport:
 
 
 class RegularValidationService:
-    """Drives the regular, cron-scheduled validation of all experiments."""
+    """Drives the regular, cron-scheduled validation of all experiments.
 
-    def __init__(self, system: SPSystem) -> None:
+    *record_history* controls whether the due validations are ingested into
+    the validation history ledger: ``True`` always records (creating the
+    ledger on first use), ``False`` never does, and ``None`` — the default
+    — records exactly when the system's storage already carries a ledger
+    (the auto rule of :class:`~repro.scheduler.spec.CampaignSpec`), so a
+    service driving an installation mounted on recorded storage keeps the
+    longitudinal history growing without any configuration.
+    """
+
+    def __init__(
+        self, system: SPSystem, record_history: Optional[bool] = None
+    ) -> None:
         self.system = system
+        self.record_history = record_history
         self._schedule: Dict[str, ScheduledValidation] = {}
 
     # -- schedule management ---------------------------------------------------
@@ -182,6 +194,7 @@ class RegularValidationService:
                         ),
                     ),
                     persist_spec=False,
+                    record_history=self.record_history,
                 )
                 try:
                     cycle = self.system.submit(spec).result().cells[0].result

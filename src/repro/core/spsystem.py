@@ -34,6 +34,7 @@ from repro.environment.configuration import (
     EnvironmentConfiguration,
     sp_system_configurations,
 )
+from repro.history.ledger import ValidationHistoryLedger
 from repro.scheduler.cache import BuildCache, CachingPackageBuilder
 from repro.scheduler.campaign import (
     DEFAULT_BATCH_SIZE,
@@ -198,6 +199,18 @@ class SPSystem:
         self._campaign_counter = 0
         self._experiments: Dict[str, ExperimentDefinition] = {}
         self._configurations: Dict[str, EnvironmentConfiguration] = {}
+        # A storage that already carries a history ledger (e.g. the loaded
+        # state of a previous installation) mounts it immediately: the
+        # journal is replayed and the secondary indexes rebuilt, so
+        # longitudinal queries and the record_history=None auto mode see
+        # the inherited history from the first submission on.
+        self.history: Optional[ValidationHistoryLedger] = (
+            ValidationHistoryLedger(self.storage)
+            if ValidationHistoryLedger.exists_in(self.storage)
+            else None
+        )
+        if self.history is not None:
+            self._resume_ids_past_history()
 
     # -- setup ----------------------------------------------------------------
     def provision_standard_images(self) -> List[str]:
@@ -213,6 +226,27 @@ class SPSystem:
             self._configurations[configuration.key] = configuration
             if self.hypervisor.image_for_configuration(configuration) is None:
                 self.hypervisor.build_image(configuration)
+        return configuration.key
+
+    def replace_configuration(
+        self, configuration: EnvironmentConfiguration
+    ) -> str:
+        """Swap a known configuration in place (an environment evolution).
+
+        This models "new OS and software versions will then be integrated
+        into the system": the configuration keeps its key (same OS, word
+        size, compiler label) while its content — typically an upgraded
+        external such as ROOT 6 — changes, so subsequent validations of the
+        same matrix cell run against the evolved environment.  The build
+        cache keys on the configuration's content fingerprint, so entries
+        of the previous state simply stop matching; the history ledger
+        records the new fingerprint per cell, which is how longitudinal
+        queries see the flip.  Unknown keys are added like
+        :meth:`add_configuration`.
+        """
+        self._configurations[configuration.key] = configuration
+        if self.hypervisor.image_for_configuration(configuration) is None:
+            self.hypervisor.build_image(configuration)
         return configuration.key
 
     def configurations(self) -> List[EnvironmentConfiguration]:
@@ -418,6 +452,13 @@ class SPSystem:
         self.last_campaign = campaign
         if spec.persist_spec:
             self._persist_campaign_record(handle)
+        record = (
+            spec.record_history
+            if spec.record_history is not None
+            else self.history is not None
+        )
+        if record:
+            self._ingest_campaign_history(handle, campaign)
         return handle
 
     #: Common-storage namespace recording submitted campaign specs.
@@ -425,11 +466,18 @@ class SPSystem:
 
     def _allocate_campaign_id(self) -> str:
         """A campaign ID unique within this installation and its storage."""
+        inherited_history = (
+            set(self.history.campaign_ids()) if self.history is not None else set()
+        )
         while True:
             self._campaign_counter += 1
             campaign_id = f"campaign-{self._campaign_counter:04d}"
             # Skip over IDs inherited from a mounted storage's past
-            # submissions, so a resumed installation never overwrites them.
+            # submissions — recorded spec documents and history-ledger
+            # campaigns alike — so a resumed installation never overwrites
+            # or merges into them.
+            if campaign_id in inherited_history:
+                continue
             if self.CAMPAIGNS_NAMESPACE not in self.storage.namespaces():
                 return campaign_id
             if not self.storage.exists(
@@ -444,6 +492,89 @@ class SPSystem:
             f"spec_{handle.campaign_id}",
             handle.describe(),
         )
+
+    # -- validation history ----------------------------------------------------
+    def enable_history(self) -> ValidationHistoryLedger:
+        """The installation's history ledger, creating it on first use."""
+        if self.history is None:
+            self.history = ValidationHistoryLedger(self.storage)
+        return self.history
+
+    def restore_history(
+        self,
+        storage: Optional[CommonStorage] = None,
+        missing_ok: bool = False,
+    ) -> Optional[ValidationHistoryLedger]:
+        """Mount a persisted history ledger, copying a foreign journal in.
+
+        Mirrors :meth:`restore_build_cache`: reading from a *foreign*
+        storage copies its ``history`` namespace into this installation's
+        own storage first (the source is never modified), then rebuilds the
+        ledger indexes from the journal.  Without a ledger, raises
+        :class:`~repro._common.StorageError` — or returns None when
+        *missing_ok* is set.
+        """
+        source = storage if storage is not None else self.storage
+        if not ValidationHistoryLedger.exists_in(source):
+            if missing_ok:
+                return None
+            raise StorageError(
+                "no persisted validation history: the storage has no "
+                f"{ValidationHistoryLedger.NAMESPACE!r} namespace"
+            )
+        if source is not self.storage:
+            self._mount_namespace_from(source, ValidationHistoryLedger.NAMESPACE)
+        self.history = ValidationHistoryLedger(self.storage)
+        self._resume_ids_past_history()
+        return self.history
+
+    def _resume_ids_past_history(self) -> None:
+        """Never re-issue a run ID the mounted ledger already recorded.
+
+        A ledger mounted without the full run history (e.g. the CLI loads
+        only the ``history`` namespace) proves which run IDs a previous
+        installation handed out; re-issuing one would make a genuinely new
+        run look like a duplicate to the ledger's idempotence check.
+        """
+        if self.history is None:
+            return
+        prefix = f"{self.id_allocator.prefix}-"
+        highest = 0
+        for event in self.history.events():
+            if event.run_id.startswith(prefix):
+                suffix = event.run_id[len(prefix):]
+                if suffix.isdigit():
+                    highest = max(highest, int(suffix))
+        self.id_allocator.ensure_past(highest)
+
+    def _ingest_campaign_history(
+        self, handle: CampaignHandle, campaign: CampaignResult
+    ) -> int:
+        """Ingest every cell of a completed campaign into the ledger.
+
+        Idempotent per run ID, so replays over inherited state never
+        duplicate events.  Returns the number of newly ingested events.
+        """
+        ledger = self.enable_history()
+        statistics = campaign.cache_statistics
+        if campaign.spec is not None and not campaign.spec.use_cache:
+            provenance = "uncached"
+        elif statistics.hits > 0:
+            provenance = "warm"
+        else:
+            provenance = "cold"
+        ingested = 0
+        for cell in campaign.cells:
+            event = ledger.ingest_cycle(
+                cell.result,
+                configuration=self.configuration(cell.configuration_key),
+                campaign_id=handle.campaign_id,
+                backend=campaign.backend,
+                cache_provenance=provenance,
+            )
+            if event is not None:
+                ingested += 1
+        return ingested
 
     # -- deprecated kwarg entrypoints (thin shims over submit) -----------------
     def run_campaign(
@@ -635,12 +766,21 @@ class SPSystem:
             )
         self.build_cache = BuildCache.restore_from(source, self.artifact_store)
         if source is not self.storage:
-            namespace = self.storage.create_namespace(BuildCache.NAMESPACE)
-            for key in namespace.keys():
-                namespace.delete(key)
-            for key, document in source.namespace(BuildCache.NAMESPACE).items():
-                namespace.put(key, document)
+            self._mount_namespace_from(source, BuildCache.NAMESPACE)
         return self.build_cache
+
+    def _mount_namespace_from(self, source: CommonStorage, name: str) -> None:
+        """Mirror-copy one namespace of *source* into this storage.
+
+        Existing documents of the local namespace are dropped first, so the
+        mounted copy exactly matches the source (a merge of two unrelated
+        journals would corrupt both).  The source is never modified.
+        """
+        namespace = self.storage.create_namespace(name)
+        for key in namespace.keys():
+            namespace.delete(key)
+        for key, document in source.namespace(name).items():
+            namespace.put(key, document)
 
     # -- bookkeeping -----------------------------------------------------------------
     def effective_build_cache(self) -> BuildCache:

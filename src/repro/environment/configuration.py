@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro._common import ConfigurationError
+from repro._common import ConfigurationError, stable_digest
 from repro.environment.compilers import Compiler, CompilerCatalog
 from repro.environment.external import (
     ExternalSoftwareCatalog,
@@ -167,6 +167,29 @@ class EnvironmentConfiguration:
         return differences
 
 
+def configuration_fingerprint(configuration: EnvironmentConfiguration) -> str:
+    """Stable content fingerprint of the build-relevant configuration state.
+
+    Deliberately finer-grained than :attr:`EnvironmentConfiguration.key`:
+    two configurations sharing an OS/word-size/compiler label but differing
+    in installed externals (or a configuration whose compiler or OS release
+    was swapped in place by an environment evolution event) must not be
+    mistaken for one another.  The build cache keys on it, and the
+    validation history ledger records it per cell so a longitudinal query
+    can see that "the same" configuration changed underneath an experiment.
+    """
+    return stable_digest(
+        configuration.key,
+        configuration.operating_system.name,
+        configuration.operating_system.abi_level,
+        configuration.word_size,
+        configuration.compiler.family,
+        configuration.compiler.version,
+        configuration.compiler.strictness,
+        sorted(configuration.external_map().items()),
+    )
+
+
 class EnvironmentFactory:
     """Convenience factory assembling configurations from the catalogues."""
 
@@ -261,6 +284,7 @@ def next_generation_configuration(
 __all__ = [
     "EnvironmentConfiguration",
     "EnvironmentFactory",
+    "configuration_fingerprint",
     "sp_system_configurations",
     "sp_system_root_versions",
     "next_generation_configuration",

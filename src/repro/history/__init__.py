@@ -1,0 +1,63 @@
+"""Validation history: the longitudinal ledger over every validation cell.
+
+The paper's promise is that *regular* validation "automatically detects
+problems introduced into the system" as the computing environment evolves —
+which requires remembering more than the latest campaign summary.  This
+package is that memory: the :class:`~repro.history.ledger.ValidationHistoryLedger`
+ingests every completed validation cell (and every recorded environment
+evolution event) into an append-only journal in the ``history`` namespace of
+the common sp-system storage, rebuilds its secondary indexes when mounted on
+a restored storage, and answers the longitudinal questions the single-run
+reports cannot: how an experiment's health trends across campaigns
+(:mod:`~repro.history.trends`), which matrix cells flipped between two
+campaigns (:func:`~repro.history.trends.diff_campaigns`), and which cells
+regressed, turned flaky or never validated — with the first-bad timestamp
+correlated against the recorded evolution events to name the suspected
+change (:mod:`~repro.history.regressions`).
+"""
+
+from repro.history.ledger import (
+    EvolutionRecord,
+    ValidationEvent,
+    ValidationHistoryLedger,
+)
+from repro.history.regressions import (
+    CLASS_FLAKY,
+    CLASS_HEALTHY,
+    CLASS_NEVER_VALIDATED,
+    CLASS_REGRESSED,
+    RegressionDetector,
+    RegressionFinding,
+    regression_rows,
+)
+from repro.history.trends import (
+    CellFlip,
+    MatrixDiff,
+    TrendPoint,
+    campaign_matrix,
+    diff_campaigns,
+    diff_rows,
+    health_trends,
+    trend_rows,
+)
+
+__all__ = [
+    "CLASS_FLAKY",
+    "CLASS_HEALTHY",
+    "CLASS_NEVER_VALIDATED",
+    "CLASS_REGRESSED",
+    "CellFlip",
+    "EvolutionRecord",
+    "MatrixDiff",
+    "RegressionDetector",
+    "RegressionFinding",
+    "TrendPoint",
+    "ValidationEvent",
+    "ValidationHistoryLedger",
+    "campaign_matrix",
+    "diff_campaigns",
+    "diff_rows",
+    "health_trends",
+    "regression_rows",
+    "trend_rows",
+]

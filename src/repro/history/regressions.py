@@ -1,0 +1,224 @@
+"""Regression detection over the validation history ledger.
+
+Where :class:`repro.core.regression.RegressionDetector` compares one run
+against its last successful predecessor, this module's
+:class:`RegressionDetector` looks at each matrix cell's *entire* timeline on
+the ledger and classifies the transition pattern:
+
+* ``regressed`` — the cell validated in the past and its latest event is
+  broken (the validated→broken transition the paper's regular validation
+  exists to catch);
+* ``flaky`` — the cell's status flipped back and forth at least twice and
+  it currently passes (a reliability problem, not a hard regression);
+* ``never-validated`` — the cell has never passed at all;
+* ``healthy`` — everything else (all green, or a fixed former failure).
+
+For a regression, the detector pins the last-good and first-bad events and
+correlates the first-bad timestamp with the ledger's recorded
+environment-evolution events: the most recent evolution inside the
+(last-good, first-bad] window is named as the suspected change.  A
+configuration-fingerprint flip between last-good and first-bad independently
+confirms that the environment — not the experiment software — moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.history.ledger import (
+    EvolutionRecord,
+    ValidationEvent,
+    ValidationHistoryLedger,
+)
+
+CLASS_REGRESSED = "regressed"
+CLASS_FLAKY = "flaky"
+CLASS_NEVER_VALIDATED = "never-validated"
+CLASS_HEALTHY = "healthy"
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """The classification of one matrix cell's history."""
+
+    experiment: str
+    configuration_key: str
+    classification: str
+    n_events: int
+    #: Number of pass/fail direction changes across the timeline.
+    n_flips: int
+    current_status: str
+    last_good: Optional[ValidationEvent] = None
+    first_bad: Optional[ValidationEvent] = None
+    #: The evolution event most plausibly responsible for a regression.
+    suspected_event: Optional[EvolutionRecord] = None
+    #: True when the configuration's content fingerprint changed between
+    #: the last-good and first-bad events — direct evidence the environment
+    #: moved underneath the cell.
+    fingerprint_changed: bool = False
+
+    @property
+    def is_regression(self) -> bool:
+        """True for a validated→broken cell."""
+        return self.classification == CLASS_REGRESSED
+
+    def summary(self) -> str:
+        """One-line rendering for reports and the CLI."""
+        text = (
+            f"{self.experiment} on {self.configuration_key}: "
+            f"{self.classification} ({self.n_events} event(s), "
+            f"{self.n_flips} flip(s))"
+        )
+        if self.is_regression and self.first_bad is not None:
+            text += f"; first bad run {self.first_bad.run_id}"
+            if self.suspected_event is not None:
+                text += f", suspected change: {self.suspected_event.label}"
+            if self.fingerprint_changed:
+                text += " [configuration fingerprint changed]"
+        return text
+
+
+class RegressionDetector:
+    """Classifies every cell timeline on a history ledger."""
+
+    def __init__(self, ledger: ValidationHistoryLedger) -> None:
+        self.ledger = ledger
+
+    def findings(self) -> List[RegressionFinding]:
+        """One finding per recorded cell, sorted by cell coordinates."""
+        return [
+            self._classify(experiment, configuration_key)
+            for experiment, configuration_key in self.ledger.cells()
+        ]
+
+    def regressions(self) -> List[RegressionFinding]:
+        """Only the validated→broken cells."""
+        return [finding for finding in self.findings() if finding.is_regression]
+
+    def flaky_cells(self) -> List[RegressionFinding]:
+        """Only the cells classified flaky."""
+        return [
+            finding
+            for finding in self.findings()
+            if finding.classification == CLASS_FLAKY
+        ]
+
+    def never_validated(self) -> List[RegressionFinding]:
+        """Only the cells that never passed."""
+        return [
+            finding
+            for finding in self.findings()
+            if finding.classification == CLASS_NEVER_VALIDATED
+        ]
+
+    # -- classification --------------------------------------------------------
+    def _classify(
+        self, experiment: str, configuration_key: str
+    ) -> RegressionFinding:
+        timeline = self.ledger.cell_timeline(experiment, configuration_key)
+        flips = sum(
+            1
+            for previous, current in zip(timeline, timeline[1:])
+            if previous.passed != current.passed
+        )
+        ever_passed = any(event.passed for event in timeline)
+        current = timeline[-1]
+        if not ever_passed:
+            classification = CLASS_NEVER_VALIDATED
+        elif not current.passed:
+            classification = CLASS_REGRESSED
+        elif flips >= 2:
+            classification = CLASS_FLAKY
+        else:
+            classification = CLASS_HEALTHY
+        last_good: Optional[ValidationEvent] = None
+        first_bad: Optional[ValidationEvent] = None
+        suspected: Optional[EvolutionRecord] = None
+        fingerprint_changed = False
+        if classification == CLASS_REGRESSED:
+            for index in range(len(timeline) - 1, -1, -1):
+                if timeline[index].passed:
+                    last_good = timeline[index]
+                    first_bad = timeline[index + 1]
+                    break
+            if last_good is not None and first_bad is not None:
+                suspected = self._suspected_evolution(last_good, first_bad)
+                fingerprint_changed = (
+                    last_good.configuration_fingerprint
+                    != first_bad.configuration_fingerprint
+                )
+        return RegressionFinding(
+            experiment=experiment,
+            configuration_key=configuration_key,
+            classification=classification,
+            n_events=len(timeline),
+            n_flips=flips,
+            current_status=current.status,
+            last_good=last_good,
+            first_bad=first_bad,
+            suspected_event=suspected,
+            fingerprint_changed=fingerprint_changed,
+        )
+
+    def _suspected_evolution(
+        self, last_good: ValidationEvent, first_bad: ValidationEvent
+    ) -> Optional[EvolutionRecord]:
+        """The most recent evolution inside the (last-good, first-bad] window."""
+        suspected: Optional[EvolutionRecord] = None
+        for record in self.ledger.evolution_records():
+            if (
+                last_good.logical_timestamp
+                < record.logical_timestamp
+                <= first_bad.logical_timestamp
+            ):
+                suspected = record  # records are time-ordered: latest wins
+        return suspected
+
+
+def regression_rows(findings: List[RegressionFinding]) -> List[Dict[str, object]]:
+    """Flatten findings into report/CLI table rows (regressions first)."""
+    order = {
+        CLASS_REGRESSED: 0,
+        CLASS_FLAKY: 1,
+        CLASS_NEVER_VALIDATED: 2,
+        CLASS_HEALTHY: 3,
+    }
+    rows: List[Dict[str, object]] = []
+    for finding in sorted(
+        findings,
+        key=lambda finding: (
+            order.get(finding.classification, 9),
+            finding.experiment,
+            finding.configuration_key,
+        ),
+    ):
+        rows.append(
+            {
+                "experiment": finding.experiment,
+                "configuration": finding.configuration_key,
+                "classification": finding.classification,
+                "events": finding.n_events,
+                "flips": finding.n_flips,
+                "first_bad": (
+                    finding.first_bad.run_id if finding.first_bad else "-"
+                ),
+                "suspected_change": (
+                    finding.suspected_event.label
+                    if finding.suspected_event
+                    else "-"
+                ),
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "CLASS_FLAKY",
+    "CLASS_HEALTHY",
+    "CLASS_NEVER_VALIDATED",
+    "CLASS_REGRESSED",
+    "RegressionDetector",
+    "RegressionFinding",
+    "regression_rows",
+]

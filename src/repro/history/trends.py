@@ -1,0 +1,255 @@
+"""Longitudinal trend queries over the validation history ledger.
+
+Two questions the single-campaign reports cannot answer:
+
+* *How is an experiment's health developing?* — :func:`health_trends`
+  aggregates every campaign on the ledger into one
+  :class:`TrendPoint` per (experiment, campaign): how many cells ran, how
+  many validated, the pass fraction.
+* *What changed between two campaigns?* — :func:`diff_campaigns` compares
+  the matrix state of any two campaigns cell by cell and names the flips:
+  validated→broken, broken→validated, appeared, disappeared.
+
+Both work on plain :class:`~repro.history.ledger.ValidationEvent` data, so
+they answer identically for a live ledger and for one mounted from a
+persisted storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro._common import StorageError
+from repro.history.ledger import ValidationEvent, ValidationHistoryLedger
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One experiment's aggregate health in one campaign."""
+
+    experiment: str
+    campaign_id: str
+    #: Timestamp of the campaign's earliest event (the trend's time axis).
+    logical_timestamp: int
+    n_cells: int
+    n_validated: int
+    n_broken: int
+
+    @property
+    def pass_fraction(self) -> float:
+        """Fraction of the campaign's cells that validated completely."""
+        return self.n_validated / self.n_cells if self.n_cells else 0.0
+
+    @property
+    def healthy(self) -> bool:
+        """True when every cell of the campaign validated."""
+        return self.n_cells > 0 and self.n_validated == self.n_cells
+
+
+def health_trends(
+    ledger: ValidationHistoryLedger, experiment: Optional[str] = None
+) -> Dict[str, List[TrendPoint]]:
+    """Per-experiment health across campaigns, in campaign order.
+
+    Each campaign contributes one :class:`TrendPoint` per experiment it
+    validated; a cell validated several times within one campaign (rounds)
+    counts by its *latest* event, matching :func:`campaign_matrix`.
+    """
+    trends: Dict[str, List[TrendPoint]] = {}
+    for campaign_id in ledger.campaign_ids():
+        per_experiment: Dict[str, Dict[Tuple[str, str], ValidationEvent]] = {}
+        first_timestamp: Dict[str, int] = {}
+        for event in ledger.events_for_campaign(campaign_id):
+            if experiment is not None and event.experiment != experiment:
+                continue
+            cells = per_experiment.setdefault(event.experiment, {})
+            cells[event.cell] = event  # events are time-ordered: latest wins
+            first_timestamp.setdefault(event.experiment, event.logical_timestamp)
+        for name in sorted(per_experiment):
+            cells = per_experiment[name]
+            validated = sum(1 for event in cells.values() if event.passed)
+            trends.setdefault(name, []).append(
+                TrendPoint(
+                    experiment=name,
+                    campaign_id=campaign_id,
+                    logical_timestamp=first_timestamp[name],
+                    n_cells=len(cells),
+                    n_validated=validated,
+                    n_broken=len(cells) - validated,
+                )
+            )
+    return trends
+
+
+def campaign_matrix(
+    ledger: ValidationHistoryLedger, campaign_id: str
+) -> Dict[Tuple[str, str], ValidationEvent]:
+    """The final matrix state of one campaign: latest event per cell.
+
+    Raises :class:`~repro._common.StorageError` for a campaign the ledger
+    never saw — a typo'd ID must not silently diff against nothing.
+    """
+    events = ledger.events_for_campaign(campaign_id)
+    if not events:
+        known = ", ".join(ledger.campaign_ids()) or "none"
+        raise StorageError(
+            f"no events for campaign {campaign_id!r} on the history ledger "
+            f"(known campaigns: {known})"
+        )
+    matrix: Dict[Tuple[str, str], ValidationEvent] = {}
+    for event in events:  # time-ordered: the latest round wins
+        matrix[event.cell] = event
+    return matrix
+
+
+@dataclass(frozen=True)
+class CellFlip:
+    """One matrix cell whose status differs between two campaigns."""
+
+    experiment: str
+    configuration_key: str
+    status_from: Optional[str]
+    status_to: Optional[str]
+
+    @property
+    def broke(self) -> bool:
+        """True for a validated→broken flip (the regression direction)."""
+        return self.status_from == "passed" and self.status_to not in (None, "passed")
+
+    @property
+    def fixed(self) -> bool:
+        """True for a broken→validated flip."""
+        return self.status_from not in (None, "passed") and self.status_to == "passed"
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        return (
+            f"{self.experiment} on {self.configuration_key}: "
+            f"{self.status_from or 'absent'} -> {self.status_to or 'absent'}"
+        )
+
+
+@dataclass
+class MatrixDiff:
+    """Cell-by-cell comparison of two campaigns' final matrix states."""
+
+    campaign_from: str
+    campaign_to: str
+    flipped: List[CellFlip]
+    appeared: List[CellFlip]
+    disappeared: List[CellFlip]
+    unchanged: int
+
+    @property
+    def broke(self) -> List[CellFlip]:
+        """The validated→broken flips, sorted by cell."""
+        return [flip for flip in self.flipped if flip.broke]
+
+    @property
+    def fixed(self) -> List[CellFlip]:
+        """The broken→validated flips, sorted by cell."""
+        return [flip for flip in self.flipped if flip.fixed]
+
+    def summary(self) -> str:
+        """One-line summary for logs and CLI output."""
+        return (
+            f"{self.campaign_from} -> {self.campaign_to}: "
+            f"{len(self.flipped)} flipped cell(s) ({len(self.broke)} broke, "
+            f"{len(self.fixed)} fixed), {len(self.appeared)} appeared, "
+            f"{len(self.disappeared)} disappeared, {self.unchanged} unchanged"
+        )
+
+
+def diff_campaigns(
+    ledger: ValidationHistoryLedger, campaign_from: str, campaign_to: str
+) -> MatrixDiff:
+    """Diff the final matrix states of two campaigns on the ledger."""
+    matrix_from = campaign_matrix(ledger, campaign_from)
+    matrix_to = campaign_matrix(ledger, campaign_to)
+    flipped: List[CellFlip] = []
+    appeared: List[CellFlip] = []
+    disappeared: List[CellFlip] = []
+    unchanged = 0
+    for cell in sorted(set(matrix_from) | set(matrix_to)):
+        experiment, configuration_key = cell
+        event_from = matrix_from.get(cell)
+        event_to = matrix_to.get(cell)
+        flip = CellFlip(
+            experiment=experiment,
+            configuration_key=configuration_key,
+            status_from=event_from.status if event_from else None,
+            status_to=event_to.status if event_to else None,
+        )
+        if event_from is None:
+            appeared.append(flip)
+        elif event_to is None:
+            disappeared.append(flip)
+        elif event_from.status != event_to.status:
+            flipped.append(flip)
+        else:
+            unchanged += 1
+    return MatrixDiff(
+        campaign_from=campaign_from,
+        campaign_to=campaign_to,
+        flipped=flipped,
+        appeared=appeared,
+        disappeared=disappeared,
+        unchanged=unchanged,
+    )
+
+
+# -- plain-data rows for the reporting layer and the CLI ----------------------
+def trend_rows(
+    ledger: ValidationHistoryLedger, experiment: Optional[str] = None
+) -> List[Dict[str, object]]:
+    """Flatten :func:`health_trends` into report/CLI table rows."""
+    rows: List[Dict[str, object]] = []
+    trends = health_trends(ledger, experiment)
+    for name in sorted(trends):
+        for point in trends[name]:
+            rows.append(
+                {
+                    "experiment": point.experiment,
+                    "campaign": point.campaign_id,
+                    "timestamp": point.logical_timestamp,
+                    "cells": point.n_cells,
+                    "validated": point.n_validated,
+                    "broken": point.n_broken,
+                    "pass_fraction": f"{point.pass_fraction:.0%}",
+                }
+            )
+    return rows
+
+
+def diff_rows(diff: MatrixDiff) -> List[Dict[str, object]]:
+    """Flatten a :class:`MatrixDiff` into report/CLI table rows."""
+    rows: List[Dict[str, object]] = []
+    for change, flips in (
+        ("flipped", diff.flipped),
+        ("appeared", diff.appeared),
+        ("disappeared", diff.disappeared),
+    ):
+        for flip in flips:
+            rows.append(
+                {
+                    "experiment": flip.experiment,
+                    "configuration": flip.configuration_key,
+                    "change": change,
+                    "from": flip.status_from or "absent",
+                    "to": flip.status_to or "absent",
+                }
+            )
+    return rows
+
+
+__all__ = [
+    "CellFlip",
+    "MatrixDiff",
+    "TrendPoint",
+    "campaign_matrix",
+    "diff_campaigns",
+    "diff_rows",
+    "health_trends",
+    "trend_rows",
+]

@@ -133,7 +133,12 @@ class StatusPageGenerator:
     #: Timeline rows beyond this count are elided to keep the page browsable.
     MAX_TIMELINE_ROWS = 200
 
-    def campaign_page(self, result, cache_journal: Optional[Dict] = None) -> str:
+    def campaign_page(
+        self,
+        result,
+        cache_journal: Optional[Dict] = None,
+        history_link: bool = False,
+    ) -> str:
         """Render the status page of one scheduled validation campaign.
 
         *result* is duck-typed (the scheduler's ``CampaignResult``): the page
@@ -144,7 +149,9 @@ class StatusPageGenerator:
         so the links are live once the storage is persisted.  With
         *cache_journal* (the ``BuildCache.journal_status`` mapping, passed
         as plain data to keep this layer scheduler-free), the page also
-        reports the persisted journal's size.
+        reports the persisted journal's size.  With *history_link*, the
+        page links to the validation-history trends page rendered by
+        :meth:`trends_page`.
         """
         schedule = result.schedule
         for cell in result.cells:
@@ -161,6 +168,11 @@ class StatusPageGenerator:
             f"{schedule.speedup:.2f}x speedup, "
             f"utilisation {schedule.utilisation:.1%})</p>"
         )
+        if history_link:
+            header += (
+                "<p><a href='trends.html'>validation history: trends and "
+                "regressions</a></p>"
+            )
         spec = result.spec
         if spec is not None:
             # The submitted spec travels with the page, so an operator can
@@ -278,6 +290,102 @@ class StatusPageGenerator:
         )
         self.storage.put(self.NAMESPACE, "campaign", {"html": page})
         return page
+
+    # -- validation history page -----------------------------------------------
+    def trends_page(
+        self,
+        trend_rows: List[Dict[str, object]],
+        regression_rows: List[Dict[str, object]],
+        diff_rows: Optional[List[Dict[str, object]]] = None,
+        history_status: Optional[Dict[str, int]] = None,
+        evolution_rows: Optional[List[Dict[str, object]]] = None,
+    ) -> str:
+        """Render the longitudinal trends / regressions page.
+
+        Every argument is plain row data (the ``trend_rows`` /
+        ``regression_rows`` / ``diff_rows`` helpers of the history package
+        produce them), so the reporting layer needs no import of the
+        history subsystem.  The page is stored as the ``trends`` report
+        document, which the campaign page links to.
+        """
+        body = "<h1>Validation history: trends and regressions</h1>"
+        if history_status:
+            body += (
+                f"<p>{history_status.get('events', 0)} validation event(s) "
+                f"across {history_status.get('campaigns', 0)} campaign(s) and "
+                f"{history_status.get('cells', 0)} matrix cell(s); "
+                f"{history_status.get('evolutions', 0)} recorded environment "
+                "evolution event(s)</p>"
+            )
+        body += self._rows_table(
+            "Per-experiment health across campaigns",
+            ["experiment", "campaign", "cells", "validated", "broken",
+             "pass_fraction"],
+            trend_rows,
+        )
+        highlight = {
+            "regressed": STATUS_COLOURS["failed"],
+            "flaky": STATUS_COLOURS["skipped"],
+            "never-validated": FALLBACK_COLOUR,
+            "healthy": STATUS_COLOURS["passed"],
+        }
+        body += self._rows_table(
+            "Cell classification (regressions first)",
+            ["experiment", "configuration", "classification", "events",
+             "flips", "first_bad", "suspected_change"],
+            regression_rows,
+            colour_column="classification",
+            colours=highlight,
+        )
+        if diff_rows is not None:
+            body += self._rows_table(
+                "Campaign diff (flipped cells)",
+                ["experiment", "configuration", "change", "from", "to"],
+                diff_rows,
+            )
+        if evolution_rows:
+            body += self._rows_table(
+                "Recorded environment evolution events",
+                ["year", "kind", "subject", "detail"],
+                evolution_rows,
+            )
+        page = _wrap_page("sp-system validation history", body)
+        self.storage.put(self.NAMESPACE, "trends", {"html": page})
+        return page
+
+    def _rows_table(
+        self,
+        title: str,
+        columns: List[str],
+        rows: List[Dict[str, object]],
+        colour_column: Optional[str] = None,
+        colours: Optional[Dict[str, str]] = None,
+    ) -> str:
+        """A titled HTML table over plain row dictionaries."""
+        if not rows:
+            return f"<h2>{html.escape(title)}</h2><p>nothing recorded</p>"
+        cells = []
+        for row in rows:
+            rendered = []
+            for column in columns:
+                value = html.escape(str(row.get(column, "")))
+                if colour_column == column and colours:
+                    colour = colours.get(str(row.get(column)), FALLBACK_COLOUR)
+                    rendered.append(
+                        f'<td style="background-color:{colour}">{value}</td>'
+                    )
+                else:
+                    rendered.append(f"<td>{value}</td>")
+            cells.append("<tr>" + "".join(rendered) + "</tr>")
+        return (
+            f"<h2>{html.escape(title)}</h2>"
+            "<table border='1' cellspacing='0' cellpadding='3'>"
+            "<tr>"
+            + "".join(f"<th>{html.escape(column)}</th>" for column in columns)
+            + "</tr>"
+            + "".join(cells)
+            + "</table>"
+        )
 
     # -- summary page ------------------------------------------------------------
     def summary_page(self, matrix_text: str) -> str:

@@ -44,12 +44,15 @@ from repro.buildsys.builder import BuildResult, PackageBuilder
 from repro.buildsys.package import SoftwarePackage
 from repro.buildsys.tarball import Tarball
 from repro.environment.compatibility import SoftwareRequirements
-from repro.environment.configuration import EnvironmentConfiguration
+from repro.environment.configuration import (
+    EnvironmentConfiguration,
+    configuration_fingerprint,
+)
 from repro.storage.artifacts import ArtifactStore
 from repro.storage.common_storage import (
     AppendOnlyJournal,
     CommonStorage,
-    register_mirrored_namespace,
+    register_journal_namespace,
 )
 
 
@@ -81,18 +84,11 @@ def _target_fingerprint(configuration: EnvironmentConfiguration) -> str:
     Deliberately finer-grained than ``configuration.key``: two
     configurations sharing an OS/word-size/compiler label but differing in
     installed externals (or a configuration whose compiler or OS release was
-    swapped in place) must not share cache entries.
+    swapped in place) must not share cache entries.  The digest is the
+    shared :func:`~repro.environment.configuration.configuration_fingerprint`
+    — the same fingerprint the validation history ledger records per cell.
     """
-    return stable_digest(
-        configuration.key,
-        configuration.operating_system.name,
-        configuration.operating_system.abi_level,
-        configuration.word_size,
-        configuration.compiler.family,
-        configuration.compiler.version,
-        configuration.compiler.strictness,
-        sorted(configuration.external_map().items()),
-    )
+    return configuration_fingerprint(configuration)
 
 
 def package_identity_digest(
@@ -242,14 +238,16 @@ class BuildCache:
     #: Label under which cached tarballs are referenced in the artifact store.
     ARTIFACT_LABEL = "build-cache"
 
-    #: Common-storage namespace holding the persisted cache journal.
-    #: Registered as mirrored so ``CommonStorage.persist`` deletes on-disk
-    #: files of records a compaction dropped.
-    NAMESPACE = register_mirrored_namespace("buildcache")
-
     #: Key prefixes inside the namespace (storage keys must start with a
     #: letter, so the journal sequence numbers and hex digests get a prefix).
     JOURNAL_PREFIX = "journal_"
+
+    #: Common-storage namespace holding the persisted cache journal.
+    #: Registered as journal-backed so ``CommonStorage.persist`` mirrors it
+    #: (deleting on-disk files of records a compaction dropped) and batches
+    #: its records into on-disk segment files (O(segments) files, not one
+    #: per record).
+    NAMESPACE = register_journal_namespace("buildcache", JOURNAL_PREFIX)
     ARTIFACT_PREFIX = "artifact_"
     STATISTICS_KEY = "statistics"
     #: Monotonic per-journal write counter ({"epoch": n}), bumped by every
@@ -267,6 +265,10 @@ class BuildCache:
         self._entries: Dict[str, BuildResult] = {}
         #: Experiment that first stored each entry (the donor of shared hits).
         self._owners: Dict[str, str] = {}
+        #: Per-entry count of hits served to a different experiment than the
+        #: storing one.  Eviction under a size budget spares proven donors:
+        #: entries no other experiment ever reused go first.
+        self._shared_counts: Dict[str, int] = {}
         self.statistics = CacheStatistics()
         # Least-recently-hit bookkeeping for the persistence size budget:
         # every hit (and every store) stamps the entry with a monotonically
@@ -279,6 +281,10 @@ class BuildCache:
         # record (or evicted dangling entries) flags the journal for a full
         # compaction rewrite on the next persist.
         self._persisted: Dict[str, int] = {}
+        #: Shared-hit count each persisted record was journalled with; an
+        #: entry whose live count moved since is re-journalled (superseding
+        #: record) so donor-aware eviction survives a restore.
+        self._persisted_shared: Dict[str, int] = {}
         self._journal_dirty = False
         #: Tombstone records currently in the journal (restored or appended);
         #: once they outnumber the live entries, persist auto-compacts.
@@ -322,6 +328,7 @@ class BuildCache:
             self.statistics.donated_by_experiment[owner] = (
                 self.statistics.donated_by_experiment.get(owner, 0) + 1
             )
+            self._shared_counts[key] = self._shared_counts.get(key, 0) + 1
         self._touch(key)
         return self._replay(entry, package)
 
@@ -372,11 +379,13 @@ class BuildCache:
         self._entries.clear()
         self._recency.clear()
         self._owners.clear()
+        self._shared_counts.clear()
 
     def _evict(self, key: str) -> None:
         del self._entries[key]
         self._recency.pop(key, None)
         self._owners.pop(key, None)
+        self._shared_counts.pop(key, None)
         self.statistics.evictions += 1
 
     # -- size accounting -----------------------------------------------------
@@ -394,20 +403,29 @@ class BuildCache:
         return sum(self.entry_size_bytes(entry) for entry in self._entries.values())
 
     def enforce_budget(self, max_bytes: int) -> int:
-        """Evict least-recently-hit entries until the cache fits *max_bytes*.
+        """Evict entries until the cache fits *max_bytes*, sparing donors.
 
-        Ties in the recency stamps (possible only for entries never touched
-        since a restore) fall back to the entry key, so eviction order is
-        deterministic.  Returns the number of evicted entries; evictions are
-        counted in :attr:`statistics` and tombstoned in the journal by the
-        next :meth:`persist_to`.
+        Eviction is donor-aware: entries no *other* experiment ever reused
+        go first (lowest per-entry shared-hit count), and among equally
+        shared entries the least-recently-hit one goes first — so the
+        cross-experiment donors that warm-start other installations survive
+        the budget longest.  Ties in the recency stamps (possible only for
+        entries never touched since a restore) fall back to the entry key,
+        so eviction order is deterministic.  Returns the number of evicted
+        entries; evictions are counted in :attr:`statistics` and tombstoned
+        in the journal by the next :meth:`persist_to`.
         """
         if max_bytes < 0:
             raise StorageError("a cache size budget cannot be negative")
         evicted = 0
         total = self.total_size_bytes()
         for key in sorted(
-            self._entries, key=lambda key: (self._recency.get(key, 0), key)
+            self._entries,
+            key=lambda key: (
+                self._shared_counts.get(key, 0),
+                self._recency.get(key, 0),
+                key,
+            ),
         ):
             if total <= max_bytes:
                 break
@@ -423,9 +441,11 @@ class BuildCache:
         """Append the changes since the last persist to the journal.
 
         One ``journal_<seq>`` record is appended per entry that is new since
-        the last persist, and one tombstone record per entry evicted since —
-        existing records are never rewritten, so repeated campaigns against
-        the same storage write O(new entries) documents, not O(cache).
+        the last persist, one tombstone record per entry evicted since, and
+        one superseding record per entry whose shared-hit count moved (so a
+        restored cache keeps its donor-aware eviction order) — existing
+        records are never rewritten, so repeated campaigns against the same
+        storage write O(changes) documents, not O(cache).
         Tarball payloads travel alongside as content-addressed
         ``artifact_<digest>`` documents; the cumulative statistics document
         is replaced on every persist, so cross-campaign accounting survives
@@ -462,12 +482,26 @@ class BuildCache:
         for key in sorted(pending_tombstones):
             journal.append({"type": "tombstone", "cache_key": key})
             del self._persisted[key]
+            self._persisted_shared.pop(key, None)
             self._journal_tombstones += 1
         for key in sorted(set(self._entries) - set(self._persisted)):
             entry = self._entries[key]
             self._persisted[key] = journal.append(self._entry_record(key, entry))
+            self._persisted_shared[key] = self._shared_counts.get(key, 0)
             self._persist_artifact(namespace, entry)
             appended += 1
+        for key in sorted(set(self._entries) & set(self._persisted)):
+            # An already-journalled entry whose shared-hit count moved since
+            # (a cross-experiment donation happened after its record was
+            # written) is re-journalled: the later record supersedes the
+            # earlier one on replay, so a restored cache's donor-aware
+            # eviction still knows its proven donors.
+            if self._shared_counts.get(key, 0) == self._persisted_shared.get(key, 0):
+                continue
+            self._persisted[key] = journal.append(
+                self._entry_record(key, self._entries[key])
+            )
+            self._persisted_shared[key] = self._shared_counts.get(key, 0)
         namespace.put(self.STATISTICS_KEY, self.statistics.as_dict())
         self._mark_synced(namespace)
         return appended
@@ -562,6 +596,9 @@ class BuildCache:
             "type": "entry",
             "cache_key": key,
             "stored_by": self._owners.get(key, ""),
+            # Shared-hit count at journalling time, so a restored cache's
+            # donor-aware eviction still knows its proven donors.
+            "shared_hits": self._shared_counts.get(key, 0),
             "result": entry.to_dict(),
         }
 
@@ -581,10 +618,12 @@ class BuildCache:
             # Pre-journal snapshot documents: superseded by the rewrite.
             namespace.delete(key)
         self._persisted = {}
+        self._persisted_shared = {}
         written = 0
         for key in sorted(self._entries):
             entry = self._entries[key]
             self._persisted[key] = journal.append(self._entry_record(key, entry))
+            self._persisted_shared[key] = self._shared_counts.get(key, 0)
             self._persist_artifact(namespace, entry)
             written += 1
         namespace.put(self.STATISTICS_KEY, self.statistics.as_dict())
@@ -623,7 +662,7 @@ class BuildCache:
                 namespace.get(cls.STATISTICS_KEY)  # type: ignore[arg-type]
             )
         journal = AppendOnlyJournal(namespace, cls.JOURNAL_PREFIX)
-        live: Dict[str, Tuple[int, str, BuildResult]] = {}
+        live: Dict[str, Tuple[int, str, int, BuildResult]] = {}
         for _key in namespace.keys(prefix=cls.LEGACY_ENTRY_PREFIX):
             # Pre-journal wholesale snapshot: its entries are keyed by the
             # retired pre-content-addressing digest, so they could never be
@@ -640,14 +679,14 @@ class BuildCache:
                 # and repair the journal on the next persist.
                 cache._journal_dirty = True
                 continue
-            kind, key, stored_by, result = record
+            kind, key, stored_by, shared_hits, result = record
             if kind == "tombstone":
                 live.pop(key, None)
                 cache._journal_tombstones += 1
             else:
-                live[key] = (sequence, stored_by, result)
+                live[key] = (sequence, stored_by, shared_hits, result)
         for key in sorted(live):
-            sequence, stored_by, result = live[key]
+            sequence, stored_by, shared_hits, result = live[key]
             if not cache._materialise_artifact(result, namespace):
                 cache.statistics.evictions += 1
                 # The dangling record stays in the journal; flag it for the
@@ -658,7 +697,10 @@ class BuildCache:
             cache._entries[key] = result
             if stored_by:
                 cache._owners[key] = stored_by
+            if shared_hits:
+                cache._shared_counts[key] = shared_hits
             cache._persisted[key] = sequence
+            cache._persisted_shared[key] = shared_hits
         # Restore never mutates the source, so remember its epoch as-is: a
         # later persist into the same namespace fast-paths only while no
         # other writer has bumped it.
@@ -669,7 +711,7 @@ class BuildCache:
     @staticmethod
     def _parse_journal_record(
         document: object,
-    ) -> Optional[Tuple[str, str, str, Optional[BuildResult]]]:
+    ) -> Optional[Tuple[str, str, str, int, Optional[BuildResult]]]:
         """Decode one journal record, or None if it is corrupted."""
         if not isinstance(document, dict):
             return None
@@ -677,14 +719,19 @@ class BuildCache:
             kind = document["type"]
             key = str(document["cache_key"])
             if kind == "tombstone":
-                return ("tombstone", key, "", None)
+                return ("tombstone", key, "", 0, None)
             if kind != "entry":
                 return None
             stored_by = str(document.get("stored_by", ""))
+            try:
+                # Pre-donor-aware records lack the count; degrade to zero.
+                shared_hits = int(document.get("shared_hits", 0))
+            except (TypeError, ValueError):
+                shared_hits = 0
             result = BuildResult.from_dict(document["result"])
         except (KeyError, TypeError, ValueError, AttributeError):
             return None
-        return ("entry", key, stored_by, result)
+        return ("entry", key, stored_by, shared_hits, result)
 
     @classmethod
     def journal_status(cls, storage: CommonStorage) -> Dict[str, int]:

@@ -121,6 +121,14 @@ class CampaignSpec:
     cache_budget_bytes: Optional[int] = None
     #: Record the spec in the ``campaigns`` storage namespace on submission.
     persist_spec: bool = True
+    #: Ingest every completed cell into the validation history ledger
+    #: (``history`` storage namespace).  ``None`` (the default) means auto:
+    #: record exactly when the mounted storage already carries a ledger —
+    #: so a fresh installation's output stays byte-identical to the
+    #: pre-history seed path, while an installation mounted on a recorded
+    #: storage keeps its longitudinal history growing.  The value travels
+    #: in the serialised spec, so replays make the same decision.
+    record_history: Optional[bool] = None
 
     def __post_init__(self) -> None:
         # Normalise the container fields so equality (and therefore the
@@ -175,6 +183,10 @@ class CampaignSpec:
         for name in ("warm_start", "use_cache", "persist_spec"):
             if not isinstance(getattr(self, name), bool):
                 fail(name, "a boolean")
+        if self.record_history is not None and not isinstance(
+            self.record_history, bool
+        ):
+            fail("record_history", "a boolean or null (null = auto)")
         for name in ("experiments", "configuration_keys"):
             value = getattr(self, name)
             if value is not None and not all(
@@ -272,6 +284,7 @@ class CampaignSpec:
             "use_cache": self.use_cache,
             "cache_budget_bytes": self.cache_budget_bytes,
             "persist_spec": self.persist_spec,
+            "record_history": self.record_history,
         }
 
     @classmethod

@@ -90,6 +90,16 @@ class JobIdAllocator:
         self._next += 1
         return job_id
 
+    def ensure_past(self, sequence: int) -> None:
+        """Advance the counter so no ID at or below *sequence* is re-issued.
+
+        Used when inherited state (e.g. a mounted validation history
+        ledger) proves that IDs up to *sequence* were already handed out by
+        a previous installation; a no-op when the counter is further along.
+        """
+        if sequence + 1 > self._next:
+            self._next = sequence + 1
+
     @property
     def allocated_count(self) -> int:
         """How many IDs have been handed out so far."""

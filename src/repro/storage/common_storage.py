@@ -32,6 +32,22 @@ DEFAULT_NAMESPACES = ("tests", "results", "tarballs", "recipes", "reports", "ima
 #: constant never drifts from the owner's namespace name.
 MIRRORED_NAMESPACES = set()
 
+#: Journal-backed namespaces: name -> record key prefix.  Their journal
+#: records are batched into *segment files* on disk (see
+#: :meth:`CommonStorage.persist`), so persisting a journal of N records
+#: writes O(N / JOURNAL_SEGMENT_RECORDS) files instead of one file per
+#: record.  Registration implies mirror semantics.
+JOURNAL_NAMESPACE_PREFIXES: Dict[str, str] = {}
+
+#: Journal records batched into one on-disk segment file.
+JOURNAL_SEGMENT_RECORDS = 64
+
+#: Top-level sentinel key marking an on-disk journal segment document; the
+#: value maps record keys to their documents.  :meth:`CommonStorage.load`
+#: recognises segments by this shape and explodes them back into individual
+#: records, so the in-memory representation never changes.
+_SEGMENT_SENTINEL = "sp-journal-segment"
+
 
 def register_mirrored_namespace(name: str) -> str:
     """Declare *name* journal-backed: :meth:`CommonStorage.persist` mirrors it.
@@ -40,6 +56,24 @@ def register_mirrored_namespace(name: str) -> str:
     """
     MIRRORED_NAMESPACES.add(ensure_identifier(name, "namespace name"))
     return name
+
+
+def register_journal_namespace(name: str, record_prefix: str = "journal_") -> str:
+    """Declare *name* journal-backed with records under *record_prefix*.
+
+    Beyond the mirror semantics of :func:`register_mirrored_namespace`, the
+    namespace's journal records are persisted as batched segment files:
+    ``<record_prefix>segment_<first-sequence>.json`` documents each holding
+    up to :data:`JOURNAL_SEGMENT_RECORDS` records.  Returns *name*.
+    """
+    register_mirrored_namespace(name)
+    JOURNAL_NAMESPACE_PREFIXES[name] = record_prefix
+    return name
+
+
+def _is_journal_record_key(key: str, record_prefix: str) -> bool:
+    """True for ``<prefix><digits>`` keys — the journal's record documents."""
+    return key.startswith(record_prefix) and key[len(record_prefix):].isdigit()
 
 
 class StorageNamespace:
@@ -165,6 +199,13 @@ class CommonStorage:
         which is how repeated campaigns against one output directory keep
         their combined run history browsable.
 
+        Journal records of namespaces registered through
+        :func:`register_journal_namespace` (``buildcache``, ``history``) are
+        batched into segment files of :data:`JOURNAL_SEGMENT_RECORDS`
+        records each, so persisting a large journal writes O(segments)
+        files, not one per record; :meth:`load` explodes the segments back
+        into individual record documents.
+
         Returns the list of written file paths.  Used by the examples to
         leave a browsable copy of the storage behind; the library itself
         never requires disk access.
@@ -177,8 +218,15 @@ class CommonStorage:
             namespace = self.namespace(namespace_name)
             target_dir = os.path.join(directory, namespace_name)
             os.makedirs(target_dir, exist_ok=True)
+            record_prefix = JOURNAL_NAMESPACE_PREFIXES.get(namespace_name)
+            journal_records: Dict[str, object] = {}
             expected = set()
             for key, document in namespace.items():
+                if record_prefix is not None and _is_journal_record_key(
+                    key, record_prefix
+                ):
+                    journal_records[key] = document
+                    continue
                 if _is_html_document(document):
                     path = os.path.join(target_dir, f"{key}.html")
                     with open(path, "w", encoding="utf-8") as handle:
@@ -187,6 +235,24 @@ class CommonStorage:
                     path = os.path.join(target_dir, f"{key}.json")
                     with open(path, "w", encoding="utf-8") as handle:
                         json.dump(document, handle, indent=2, sort_keys=True)
+                expected.add(os.path.basename(path))
+                written.append(path)
+            record_keys = sorted(journal_records)
+            for start in range(0, len(record_keys), JOURNAL_SEGMENT_RECORDS):
+                chunk = record_keys[start:start + JOURNAL_SEGMENT_RECORDS]
+                # Named after the first record's sequence suffix, so the
+                # lexicographic file order is the journal's append order.
+                suffix = chunk[0][len(record_prefix):]  # type: ignore[arg-type]
+                path = os.path.join(
+                    target_dir, f"{record_prefix}segment_{suffix}.json"
+                )
+                with open(path, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        {_SEGMENT_SENTINEL: {key: journal_records[key] for key in chunk}},
+                        handle,
+                        indent=2,
+                        sort_keys=True,
+                    )
                 expected.add(os.path.basename(path))
                 written.append(path)
             if namespace_name not in mirrored:
@@ -224,7 +290,16 @@ class CommonStorage:
                 if filename.endswith(".json"):
                     key = filename[:-len(".json")]
                     with open(path, encoding="utf-8") as handle:
-                        namespace.put(key, json.load(handle))
+                        document = json.load(handle)
+                    if _is_segment_document(document):
+                        # A journal segment file: explode it back into the
+                        # individual record documents it batches.
+                        for record_key, record in sorted(
+                            document[_SEGMENT_SENTINEL].items()
+                        ):
+                            namespace.put(record_key, record)
+                    else:
+                        namespace.put(key, document)
                 elif filename.endswith(".html"):
                     key = filename[:-len(".html")]
                     with open(path, encoding="utf-8") as handle:
@@ -238,6 +313,15 @@ def _is_html_document(document: object) -> bool:
         isinstance(document, dict)
         and set(document) == {"html"}
         and isinstance(document["html"], str)
+    )
+
+
+def _is_segment_document(document: object) -> bool:
+    """True for on-disk journal segment files written by :meth:`persist`."""
+    return (
+        isinstance(document, dict)
+        and set(document) == {_SEGMENT_SENTINEL}
+        and isinstance(document[_SEGMENT_SENTINEL], dict)
     )
 
 
@@ -311,6 +395,9 @@ __all__ = [
     "CommonStorage",
     "StorageNamespace",
     "DEFAULT_NAMESPACES",
+    "JOURNAL_NAMESPACE_PREFIXES",
+    "JOURNAL_SEGMENT_RECORDS",
     "MIRRORED_NAMESPACES",
+    "register_journal_namespace",
     "register_mirrored_namespace",
 ]

@@ -441,3 +441,101 @@ class TestCommandLineInterface:
             "campaign", "--scale", "0.1", "--output", str(output_dir),
         ]) == 0
         assert "warm-started build cache" in capsys.readouterr().out
+
+
+class TestHistoryCli:
+    """The history subcommand group and the --record-history flag."""
+
+    def _recorded_campaign(self, output_dir):
+        return cli_main([
+            "campaign", "--scale", "0.1", "--record-history",
+            "--output", str(output_dir),
+        ])
+
+    def test_record_history_requires_output(self, capsys):
+        assert cli_main(["campaign", "--record-history"]) == 2
+        assert "--record-history requires --output" in capsys.readouterr().err
+
+    def test_record_history_campaign_persists_ledger(self, tmp_path, capsys):
+        import json
+
+        output_dir = tmp_path / "storage"
+        assert self._recorded_campaign(output_dir) == 0
+        output = capsys.readouterr().out
+        assert "validation history:" in output
+        assert (output_dir / "history").exists()
+        # The flag travels in the persisted spec for replays.
+        spec_files = list((output_dir / "campaigns").glob("spec_*.json"))
+        document = json.loads(spec_files[0].read_text())
+        assert document["spec"]["record_history"] is True
+        # The trends page rendered and the campaign page links to it.
+        trends = (output_dir / "reports" / "trends.html").read_text()
+        assert "Validation history" in trends
+        campaign_page = (output_dir / "reports" / "campaign.html").read_text()
+        assert "trends.html" in campaign_page
+
+    def test_repeated_campaigns_accumulate_history(self, tmp_path, capsys):
+        output_dir = tmp_path / "storage"
+        assert self._recorded_campaign(output_dir) == 0
+        capsys.readouterr()
+        # The second run mounts the ledger (auto mode: no flag needed).
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(output_dir),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "mounted validation history" in output
+        assert cli_main([
+            "history", "trends", "--storage-dir", str(output_dir),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "2 campaign(s)" in output
+        assert "campaign-0001" in output and "campaign-0002" in output
+
+    def test_history_trends_without_ledger_fails_cleanly(self, tmp_path, capsys):
+        assert cli_main([
+            "history", "trends", "--storage-dir", str(tmp_path),
+        ]) == 2
+        error = capsys.readouterr().err
+        assert "no validation history ledger" in error
+        assert "--record-history" in error
+
+    def test_history_missing_directory_fails_cleanly(self, tmp_path, capsys):
+        assert cli_main([
+            "history", "regressions",
+            "--storage-dir", str(tmp_path / "missing"),
+        ]) == 2
+        assert "no such storage directory" in capsys.readouterr().err
+
+    def test_history_diff_unknown_campaign_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        output_dir = tmp_path / "storage"
+        assert self._recorded_campaign(output_dir) == 0
+        capsys.readouterr()
+        assert cli_main([
+            "history", "diff", "--storage-dir", str(output_dir),
+            "--from-campaign", "campaign-0001",
+            "--to-campaign", "campaign-9999",
+        ]) == 2
+        assert "no events for campaign" in capsys.readouterr().err
+
+    def test_history_diff_and_regressions_roundtrip(self, tmp_path, capsys):
+        output_dir = tmp_path / "storage"
+        assert self._recorded_campaign(output_dir) == 0
+        capsys.readouterr()
+        assert cli_main([
+            "campaign", "--scale", "0.1", "--output", str(output_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert cli_main([
+            "history", "diff", "--storage-dir", str(output_dir),
+            "--from-campaign", "campaign-0001",
+            "--to-campaign", "campaign-0002",
+        ]) == 0
+        assert "campaign-0001 -> campaign-0002" in capsys.readouterr().out
+        assert cli_main([
+            "history", "regressions", "--storage-dir", str(output_dir),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "regression(s)" in output
+        assert "classification" in output

@@ -1,0 +1,370 @@
+"""Tests for the validation history ledger.
+
+The ledger is the longitudinal memory of the sp-system: every completed
+validation cell becomes an immutable event in an append-only journal inside
+the ``history`` namespace of the common storage, evolution events share the
+same time axis, ingestion is idempotent per run ID, and mounting the ledger
+on a restored storage rebuilds the secondary indexes without duplicating
+anything.
+"""
+
+import pytest
+
+from repro._common import StorageError
+from repro.core.runner import RunnerSettings
+from repro.core.spsystem import SPSystem
+from repro.environment.configuration import configuration_fingerprint
+from repro.environment.evolution import EVENT_EXTERNAL_RELEASE, EnvironmentEvent
+from repro.experiments import build_hermes_experiment
+from repro.history import (
+    EvolutionRecord,
+    ValidationEvent,
+    ValidationHistoryLedger,
+)
+from repro.scheduler.spec import CampaignSpec
+from repro.storage.common_storage import CommonStorage
+
+
+KEYS = ("SL5_64bit_gcc4.4", "SL5_64bit_gcc4.1")
+
+
+def _fresh_system(storage=None):
+    system = SPSystem(
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0),
+        storage=storage,
+    )
+    system.provision_standard_images()
+    system.register_experiment(build_hermes_experiment(scale=0.2))
+    return system
+
+
+def _spec(**overrides):
+    options = dict(
+        experiments=("HERMES",),
+        configuration_keys=KEYS,
+        record_history=True,
+        persist_spec=False,
+    )
+    options.update(overrides)
+    return CampaignSpec(**options)
+
+
+def _event(run_id, timestamp=1356998400, status="passed", **overrides):
+    options = dict(
+        run_id=run_id,
+        campaign_id="campaign-0001",
+        experiment="HERMES",
+        configuration_key="SL5_64bit_gcc4.4",
+        configuration_fingerprint="fp-1",
+        status=status,
+        n_passed=10 if status == "passed" else 8,
+        n_failed=0 if status == "passed" else 2,
+        n_skipped=0,
+        failed_tests=() if status == "passed" else ("t-a", "t-b"),
+        diagnostics_digest="" if status == "passed" else "digest-1",
+        cache_provenance="cold",
+        backend="simulated",
+        logical_timestamp=timestamp,
+        description="test",
+    )
+    options.update(overrides)
+    return ValidationEvent(**options)
+
+
+class TestEventRoundTrip:
+    def test_validation_event_round_trips(self):
+        event = _event("sp-000001", status="failed")
+        assert ValidationEvent.from_dict(event.to_dict()) == event
+
+    def test_evolution_record_round_trips(self):
+        record = EvolutionRecord(
+            year=2014,
+            kind=EVENT_EXTERNAL_RELEASE,
+            subject="ROOT-6.02",
+            detail="removes 4 legacy interfaces",
+            logical_timestamp=1400000000,
+        )
+        assert EvolutionRecord.from_dict(record.to_dict()) == record
+
+    def test_event_document_is_json_serialisable(self):
+        import json
+
+        payload = json.loads(json.dumps(_event("sp-000001").to_dict()))
+        assert ValidationEvent.from_dict(payload) == _event("sp-000001")
+
+
+class TestIngestion:
+    def test_submit_with_record_history_ingests_every_cell(self):
+        system = _fresh_system()
+        handle = system.submit(_spec())
+        assert system.history is not None
+        assert len(system.history) == len(handle.result().cells)
+        events = system.history.events()
+        assert [event.run_id for event in events] == [
+            cell.run.run_id for cell in handle.result().cells
+        ]
+        assert all(event.campaign_id == handle.campaign_id for event in events)
+        assert all(event.backend == "simulated" for event in events)
+        assert all(event.cache_provenance == "cold" for event in events)
+
+    def test_event_carries_configuration_fingerprint(self):
+        system = _fresh_system()
+        system.submit(_spec())
+        event = system.history.events()[0]
+        configuration = system.configuration(event.configuration_key)
+        assert event.configuration_fingerprint == configuration_fingerprint(
+            configuration
+        )
+
+    def test_warm_campaign_records_warm_provenance(self):
+        system = _fresh_system()
+        system.submit(_spec())
+        second = system.submit(_spec())
+        provenances = {
+            event.cache_provenance
+            for event in system.history.events_for_campaign(second.campaign_id)
+        }
+        assert provenances == {"warm"}
+
+    def test_uncached_campaign_records_uncached_provenance(self):
+        system = _fresh_system()
+        handle = system.submit(_spec(use_cache=False))
+        provenances = {
+            event.cache_provenance
+            for event in system.history.events_for_campaign(handle.campaign_id)
+        }
+        assert provenances == {"uncached"}
+
+    def test_default_spec_does_not_record_on_fresh_storage(self):
+        """record_history=None means auto: no ledger, no recording."""
+        system = _fresh_system()
+        system.submit(_spec(record_history=None))
+        assert system.history is None
+        assert ValidationHistoryLedger.NAMESPACE not in system.storage.namespaces()
+
+    def test_default_spec_keeps_recording_on_mounted_ledger(self):
+        """The auto mode records when the storage already carries history."""
+        first = _fresh_system()
+        first.submit(_spec())
+        events_before = len(first.history)
+        mounted = _fresh_system(storage=first.storage)
+        assert mounted.history is not None
+        mounted.submit(_spec(record_history=None))
+        assert len(mounted.history) == 2 * events_before
+
+    def test_record_history_false_never_records(self):
+        first = _fresh_system()
+        first.submit(_spec())
+        mounted = _fresh_system(storage=first.storage)
+        events_before = len(mounted.history)
+        mounted.submit(_spec(record_history=False))
+        assert len(mounted.history) == events_before
+
+    def test_regular_service_auto_ingests_on_mounted_storage(self):
+        from repro.core.service import RegularValidationService
+
+        first = _fresh_system()
+        first.submit(_spec())
+        mounted = _fresh_system(storage=first.storage)
+        service = RegularValidationService(mounted)
+        service.schedule("HERMES", "SL5_64bit_gcc4.4", "30 2 * * *")
+        events_before = len(mounted.history)
+        report = service.advance_days(2)
+        assert report.n_cycles == 2
+        assert len(mounted.history) == events_before + 2
+
+    def test_regular_service_can_record_onto_fresh_storage(self):
+        from repro.core.service import RegularValidationService
+
+        system = _fresh_system()
+        service = RegularValidationService(system, record_history=True)
+        service.schedule("HERMES", "SL5_64bit_gcc4.4", "30 2 * * *")
+        service.advance_days(1)
+        assert system.history is not None
+        assert len(system.history) == 1
+
+
+class TestIdempotence:
+    def test_duplicate_run_is_not_reingested(self):
+        storage = CommonStorage()
+        ledger = ValidationHistoryLedger(storage)
+        assert ledger.record_validation(_event("sp-000001"))
+        assert not ledger.record_validation(_event("sp-000001"))
+        assert len(ledger) == 1
+        assert ledger.journal_records() == 1
+
+    def test_duplicate_evolution_is_not_rerecorded(self):
+        ledger = ValidationHistoryLedger(CommonStorage())
+        event = EnvironmentEvent(
+            year=2014, kind=EVENT_EXTERNAL_RELEASE, subject="ROOT-6.02",
+            detail="x",
+        )
+        assert ledger.record_evolution(event, 100) is not None
+        assert ledger.record_evolution(event, 200) is None
+        assert len(ledger.evolution_records()) == 1
+
+    def test_restore_then_reingest_is_idempotent(self):
+        """Warm-starting and replaying the same cells adds nothing."""
+        system = _fresh_system()
+        handle = system.submit(_spec())
+        records_before = system.history.journal_records()
+
+        remounted = ValidationHistoryLedger(system.storage)
+        assert len(remounted) == len(system.history)
+        for cell in handle.result().cells:
+            assert (
+                remounted.ingest_cycle(
+                    cell.result,
+                    configuration=system.configuration(cell.configuration_key),
+                    campaign_id=handle.campaign_id,
+                    backend="simulated",
+                    cache_provenance="cold",
+                )
+                is None
+            )
+        assert remounted.journal_records() == records_before
+        assert len(remounted) == len(system.history)
+
+
+class TestPersistence:
+    def test_disk_round_trip_rebuilds_indexes(self, tmp_path):
+        system = _fresh_system()
+        handle = system.submit(_spec())
+        system.history.record_evolution(
+            EnvironmentEvent(
+                year=2014, kind=EVENT_EXTERNAL_RELEASE, subject="ROOT-6.02",
+                detail="x",
+            ),
+            system.clock.now,
+        )
+        system.storage.persist(str(tmp_path))
+        loaded = CommonStorage.load(str(tmp_path))
+        ledger = ValidationHistoryLedger.open(loaded)
+        assert len(ledger) == len(system.history)
+        assert ledger.campaign_ids() == [handle.campaign_id]
+        assert [event.to_dict() for event in ledger.events()] == [
+            event.to_dict() for event in system.history.events()
+        ]
+        assert len(ledger.evolution_records()) == 1
+        assert ledger.corrupted_records == 0
+
+    def test_history_persists_as_segment_files(self, tmp_path):
+        """The journal lands on disk as batched segments, not per-record files."""
+        import os
+
+        system = _fresh_system()
+        system.submit(_spec())
+        assert system.history.journal_records() > 1
+        system.storage.persist(str(tmp_path))
+        history_dir = tmp_path / ValidationHistoryLedger.NAMESPACE
+        files = sorted(os.listdir(history_dir))
+        assert files == ["journal_segment_00000001.json"]
+
+    def test_mounted_system_resumes_campaign_ids_past_history(self, tmp_path):
+        """A resumed installation never merges into an inherited campaign."""
+        system = _fresh_system()
+        first = system.submit(_spec())
+        system.storage.persist(str(tmp_path))
+        resumed = _fresh_system(storage=CommonStorage.load(str(tmp_path)))
+        second = resumed.submit(_spec())
+        assert second.campaign_id != first.campaign_id
+        assert resumed.history.campaign_ids() == [
+            first.campaign_id, second.campaign_id,
+        ]
+
+    def test_restore_history_copies_foreign_journal(self):
+        donor = _fresh_system()
+        donor.submit(_spec())
+        donor_keys = donor.storage.keys(ValidationHistoryLedger.NAMESPACE)
+
+        target = _fresh_system()
+        ledger = target.restore_history(donor.storage)
+        assert len(ledger) == len(donor.history)
+        # The journal travelled into the target's own storage; the donor's
+        # was never modified.
+        assert target.storage.keys(ValidationHistoryLedger.NAMESPACE) == donor_keys
+        assert donor.storage.keys(ValidationHistoryLedger.NAMESPACE) == donor_keys
+
+    def test_restore_history_without_ledger_raises(self):
+        system = _fresh_system()
+        with pytest.raises(StorageError):
+            system.restore_history(CommonStorage())
+        assert system.restore_history(CommonStorage(), missing_ok=True) is None
+
+    def test_open_without_namespace_raises_clearly(self):
+        with pytest.raises(StorageError) as error:
+            ValidationHistoryLedger.open(CommonStorage())
+        assert "history" in str(error.value)
+
+
+class TestCorruptionTolerance:
+    def test_corrupted_record_is_skipped_and_counted(self):
+        storage = CommonStorage()
+        ledger = ValidationHistoryLedger(storage)
+        ledger.record_validation(_event("sp-000001"))
+        ledger.record_validation(_event("sp-000002", timestamp=1357000000))
+        namespace = storage.namespace(ValidationHistoryLedger.NAMESPACE)
+        keys = namespace.keys(prefix=ValidationHistoryLedger.JOURNAL_PREFIX)
+        namespace.put(keys[0], "garbage")
+        remounted = ValidationHistoryLedger(storage)
+        assert len(remounted) == 1
+        assert remounted.corrupted_records == 1
+        assert remounted.events()[0].run_id == "sp-000002"
+
+    def test_unknown_record_type_is_treated_as_corrupted(self):
+        storage = CommonStorage()
+        ledger = ValidationHistoryLedger(storage)
+        ledger.record_validation(_event("sp-000001"))
+        namespace = storage.namespace(ValidationHistoryLedger.NAMESPACE)
+        namespace.put("journal_00000099", {"type": "mystery", "event": {}})
+        remounted = ValidationHistoryLedger(storage)
+        assert len(remounted) == 1
+        assert remounted.corrupted_records == 1
+
+
+class TestQueries:
+    def _ledger(self):
+        ledger = ValidationHistoryLedger(CommonStorage())
+        ledger.record_validation(_event("sp-000001", timestamp=100))
+        ledger.record_validation(
+            _event(
+                "sp-000002", timestamp=200, campaign_id="campaign-0002",
+                status="failed",
+            )
+        )
+        ledger.record_validation(
+            _event(
+                "sp-000003", timestamp=150, campaign_id="campaign-0002",
+                configuration_key="SL6_64bit_gcc4.4",
+            )
+        )
+        return ledger
+
+    def test_events_ordered_by_timestamp(self):
+        ledger = self._ledger()
+        assert [event.run_id for event in ledger.events()] == [
+            "sp-000001", "sp-000003", "sp-000002",
+        ]
+
+    def test_campaign_ids_in_first_seen_order(self):
+        ledger = self._ledger()
+        assert ledger.campaign_ids() == ["campaign-0001", "campaign-0002"]
+
+    def test_cells_and_cell_timeline(self):
+        ledger = self._ledger()
+        assert ledger.cells() == [
+            ("HERMES", "SL5_64bit_gcc4.4"),
+            ("HERMES", "SL6_64bit_gcc4.4"),
+        ]
+        timeline = ledger.cell_timeline("HERMES", "SL5_64bit_gcc4.4")
+        assert [event.run_id for event in timeline] == ["sp-000001", "sp-000002"]
+
+    def test_status_counts(self):
+        status = self._ledger().status()
+        assert status == {
+            "events": 3,
+            "evolutions": 0,
+            "campaigns": 2,
+            "cells": 2,
+            "corrupted_records": 0,
+        }

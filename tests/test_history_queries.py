@@ -1,0 +1,361 @@
+"""Tests for the longitudinal queries over the history ledger.
+
+Trends, campaign diffs and the history-level regression detector all work
+on plain :class:`ValidationEvent` data, so these tests drive them with
+synthetic timelines (fast, and every corner reachable) plus one full
+three-campaign end-to-end scenario: cold -> warm -> post-evolution-event,
+with the regression attributed to the injected evolution event.
+"""
+
+import pytest
+
+from repro._common import StorageError
+from repro.core.runner import RunnerSettings
+from repro.core.spsystem import SPSystem
+from repro.environment.evolution import EVENT_EXTERNAL_RELEASE, EnvironmentEvent
+from repro.environment.external import ExternalSoftwareCatalog
+from repro.experiments import build_hermes_experiment
+from repro.history import (
+    CLASS_FLAKY,
+    CLASS_HEALTHY,
+    CLASS_NEVER_VALIDATED,
+    CLASS_REGRESSED,
+    RegressionDetector,
+    ValidationEvent,
+    ValidationHistoryLedger,
+    campaign_matrix,
+    diff_campaigns,
+    diff_rows,
+    health_trends,
+    regression_rows,
+    trend_rows,
+)
+from repro.scheduler.spec import CampaignSpec
+from repro.storage.common_storage import CommonStorage
+
+
+def _event(
+    run_id,
+    timestamp,
+    status="passed",
+    campaign_id="campaign-0001",
+    configuration_key="SL5_64bit_gcc4.4",
+    experiment="HERMES",
+    fingerprint="fp-1",
+):
+    return ValidationEvent(
+        run_id=run_id,
+        campaign_id=campaign_id,
+        experiment=experiment,
+        configuration_key=configuration_key,
+        configuration_fingerprint=fingerprint,
+        status=status,
+        n_passed=10 if status == "passed" else 7,
+        n_failed=0 if status == "passed" else 3,
+        n_skipped=0,
+        failed_tests=() if status == "passed" else ("t-a",),
+        diagnostics_digest="" if status == "passed" else "digest",
+        cache_provenance="cold",
+        backend="simulated",
+        logical_timestamp=timestamp,
+    )
+
+
+def _ledger(events, evolutions=()):
+    ledger = ValidationHistoryLedger(CommonStorage())
+    for event in events:
+        assert ledger.record_validation(event)
+    for evolution, timestamp in evolutions:
+        ledger.record_evolution(evolution, timestamp)
+    return ledger
+
+
+class TestHealthTrends:
+    def test_one_point_per_experiment_per_campaign(self):
+        ledger = _ledger([
+            _event("sp-1", 100),
+            _event("sp-2", 110, configuration_key="SL6_64bit_gcc4.4",
+                   status="failed"),
+            _event("sp-3", 200, campaign_id="campaign-0002"),
+            _event("sp-4", 210, campaign_id="campaign-0002",
+                   configuration_key="SL6_64bit_gcc4.4"),
+        ])
+        trends = health_trends(ledger)
+        points = trends["HERMES"]
+        assert [point.campaign_id for point in points] == [
+            "campaign-0001", "campaign-0002",
+        ]
+        assert (points[0].n_cells, points[0].n_validated) == (2, 1)
+        assert points[0].pass_fraction == 0.5
+        assert points[1].healthy
+
+    def test_rounds_count_by_latest_event(self):
+        """A cell validated twice in one campaign counts once, latest wins."""
+        ledger = _ledger([
+            _event("sp-1", 100, status="failed"),
+            _event("sp-2", 150),  # second round of the same cell passes
+        ])
+        point = health_trends(ledger)["HERMES"][0]
+        assert (point.n_cells, point.n_validated) == (1, 1)
+
+    def test_experiment_filter(self):
+        ledger = _ledger([
+            _event("sp-1", 100),
+            _event("sp-2", 110, experiment="ZEUS"),
+        ])
+        assert set(health_trends(ledger)) == {"HERMES", "ZEUS"}
+        assert set(health_trends(ledger, experiment="ZEUS")) == {"ZEUS"}
+        rows = trend_rows(ledger, experiment="ZEUS")
+        assert len(rows) == 1 and rows[0]["experiment"] == "ZEUS"
+
+
+class TestCampaignDiff:
+    def test_flipped_appeared_disappeared_unchanged(self):
+        ledger = _ledger([
+            _event("sp-1", 100),  # stays green
+            _event("sp-2", 110, configuration_key="SL6_64bit_gcc4.4"),  # breaks
+            _event("sp-3", 120, configuration_key="SL5_32bit_gcc4.1"),  # vanishes
+            _event("sp-4", 200, campaign_id="campaign-0002"),
+            _event("sp-5", 210, campaign_id="campaign-0002",
+                   configuration_key="SL6_64bit_gcc4.4", status="failed"),
+            _event("sp-6", 220, campaign_id="campaign-0002",
+                   configuration_key="SL6_64bit_gcc4.1"),  # appears
+        ])
+        diff = diff_campaigns(ledger, "campaign-0001", "campaign-0002")
+        assert diff.unchanged == 1
+        assert [flip.configuration_key for flip in diff.flipped] == [
+            "SL6_64bit_gcc4.4"
+        ]
+        assert diff.flipped[0].broke and not diff.flipped[0].fixed
+        assert [flip.configuration_key for flip in diff.appeared] == [
+            "SL6_64bit_gcc4.1"
+        ]
+        assert [flip.configuration_key for flip in diff.disappeared] == [
+            "SL5_32bit_gcc4.1"
+        ]
+        assert "1 flipped cell(s) (1 broke, 0 fixed)" in diff.summary()
+        rows = diff_rows(diff)
+        assert {row["change"] for row in rows} == {
+            "flipped", "appeared", "disappeared",
+        }
+
+    def test_fixed_direction(self):
+        ledger = _ledger([
+            _event("sp-1", 100, status="failed"),
+            _event("sp-2", 200, campaign_id="campaign-0002"),
+        ])
+        diff = diff_campaigns(ledger, "campaign-0001", "campaign-0002")
+        assert diff.fixed and not diff.broke
+
+    def test_unknown_campaign_raises(self):
+        ledger = _ledger([_event("sp-1", 100)])
+        with pytest.raises(StorageError):
+            diff_campaigns(ledger, "campaign-0001", "campaign-9999")
+        with pytest.raises(StorageError):
+            campaign_matrix(ledger, "nope")
+
+
+class TestRegressionClassification:
+    def test_healthy_cell(self):
+        ledger = _ledger([_event("sp-1", 100), _event("sp-2", 200)])
+        [finding] = RegressionDetector(ledger).findings()
+        assert finding.classification == CLASS_HEALTHY
+        assert not finding.is_regression
+
+    def test_never_validated_cell(self):
+        ledger = _ledger([
+            _event("sp-1", 100, status="failed"),
+            _event("sp-2", 200, status="failed"),
+        ])
+        [finding] = RegressionDetector(ledger).findings()
+        assert finding.classification == CLASS_NEVER_VALIDATED
+
+    def test_regressed_cell_pins_last_good_and_first_bad(self):
+        ledger = _ledger([
+            _event("sp-1", 100),
+            _event("sp-2", 200),
+            _event("sp-3", 300, status="failed"),
+            _event("sp-4", 400, status="failed"),
+        ])
+        [finding] = RegressionDetector(ledger).findings()
+        assert finding.classification == CLASS_REGRESSED
+        assert finding.last_good.run_id == "sp-2"
+        assert finding.first_bad.run_id == "sp-3"
+        assert finding.n_flips == 1
+
+    def test_flaky_cell(self):
+        ledger = _ledger([
+            _event("sp-1", 100),
+            _event("sp-2", 200, status="failed"),
+            _event("sp-3", 300),
+        ])
+        [finding] = RegressionDetector(ledger).findings()
+        assert finding.classification == CLASS_FLAKY
+        assert finding.n_flips == 2
+
+    def test_recovered_once_is_healthy_not_flaky(self):
+        ledger = _ledger([
+            _event("sp-1", 100, status="failed"),
+            _event("sp-2", 200),
+        ])
+        [finding] = RegressionDetector(ledger).findings()
+        assert finding.classification == CLASS_HEALTHY
+
+    def test_evolution_event_in_window_is_suspected(self):
+        evolution = EnvironmentEvent(
+            year=2014, kind=EVENT_EXTERNAL_RELEASE, subject="ROOT-6.02",
+            detail="removes legacy interfaces",
+        )
+        early = EnvironmentEvent(
+            year=2013, kind=EVENT_EXTERNAL_RELEASE, subject="MCGEN-2.0",
+            detail="before the last good run",
+        )
+        ledger = _ledger(
+            [
+                _event("sp-1", 100, fingerprint="fp-1"),
+                _event("sp-2", 300, status="failed", fingerprint="fp-2"),
+            ],
+            evolutions=[(early, 50), (evolution, 200)],
+        )
+        [finding] = RegressionDetector(ledger).regressions()
+        assert finding.suspected_event is not None
+        assert finding.suspected_event.subject == "ROOT-6.02"
+        assert finding.fingerprint_changed
+        assert "ROOT-6.02" in finding.summary()
+
+    def test_no_evolution_in_window_means_no_suspect(self):
+        evolution = EnvironmentEvent(
+            year=2013, kind=EVENT_EXTERNAL_RELEASE, subject="MCGEN-2.0",
+            detail="too early",
+        )
+        ledger = _ledger(
+            [
+                _event("sp-1", 100),
+                _event("sp-2", 300, status="failed"),
+            ],
+            evolutions=[(evolution, 50)],
+        )
+        [finding] = RegressionDetector(ledger).regressions()
+        assert finding.suspected_event is None
+        assert not finding.fingerprint_changed
+
+    def test_rows_put_regressions_first(self):
+        ledger = _ledger([
+            _event("sp-1", 100),
+            _event("sp-2", 200),  # healthy cell
+            _event("sp-3", 100, configuration_key="SL6_64bit_gcc4.4"),
+            _event("sp-4", 200, configuration_key="SL6_64bit_gcc4.4",
+                   status="failed"),  # regressed cell
+        ])
+        rows = regression_rows(RegressionDetector(ledger).findings())
+        assert rows[0]["classification"] == CLASS_REGRESSED
+        assert rows[-1]["classification"] == CLASS_HEALTHY
+
+
+class TestThreeCampaignScenario:
+    """The acceptance scenario: cold -> warm -> post-evolution-event."""
+
+    KEYS = ("SL5_64bit_gcc4.4", "SL5_64bit_gcc4.1")
+
+    def _system(self):
+        system = SPSystem(
+            runner_settings=RunnerSettings(simulated_seconds_per_test=30.0)
+        )
+        system.provision_standard_images()
+        system.register_experiment(build_hermes_experiment(scale=0.3))
+        return system
+
+    def _spec(self):
+        return CampaignSpec(
+            experiments=("HERMES",),
+            configuration_keys=self.KEYS,
+            record_history=True,
+            persist_spec=False,
+        )
+
+    def test_regression_is_attributed_to_the_evolution_event(self):
+        system = self._system()
+        cold = system.submit(self._spec())
+        assert all(cell.result.successful for cell in cold.result().cells)
+        system.clock.advance_days(7)
+        warm = system.submit(self._spec())
+        assert warm.result().cache_statistics.hits > 0
+
+        # The evolution event: ROOT 6.02 lands on the established platform
+        # (same configuration key, new content fingerprint).
+        root6 = ExternalSoftwareCatalog().get("ROOT", "6.02")
+        target = system.configuration("SL5_64bit_gcc4.4")
+        system.replace_configuration(target.with_external(root6))
+        system.clock.advance_days(1)
+        evolution = EnvironmentEvent(
+            year=2014,
+            kind=EVENT_EXTERNAL_RELEASE,
+            subject="ROOT-6.02",
+            detail="ROOT 6.02 installed; removes the CINT interfaces",
+        )
+        system.history.record_evolution(evolution, system.clock.now)
+        system.clock.advance_days(6)
+        after = system.submit(self._spec())
+
+        # The diff names exactly the flipped cell.
+        diff = diff_campaigns(
+            system.history, cold.campaign_id, after.campaign_id
+        )
+        assert [flip.configuration_key for flip in diff.broke] == [
+            "SL5_64bit_gcc4.4"
+        ]
+        assert diff.unchanged == 1
+
+        # The regression is attributed to the injected evolution event.
+        [finding] = RegressionDetector(system.history).regressions()
+        assert finding.configuration_key == "SL5_64bit_gcc4.4"
+        assert finding.suspected_event.subject == "ROOT-6.02"
+        assert finding.fingerprint_changed
+        assert finding.last_good.campaign_id == warm.campaign_id
+        assert finding.first_bad.campaign_id == after.campaign_id
+
+        # And the trend shows the drop in the third campaign.
+        points = health_trends(system.history)["HERMES"]
+        assert [point.pass_fraction for point in points] == [1.0, 1.0, 0.5]
+
+    def test_trends_page_renders_the_scenario(self):
+        from repro.reporting.webpages import StatusPageGenerator
+
+        system = self._system()
+        first = system.submit(self._spec())
+        root6 = ExternalSoftwareCatalog().get("ROOT", "6.02")
+        target = system.configuration("SL5_64bit_gcc4.4")
+        system.replace_configuration(target.with_external(root6))
+        system.clock.advance_days(1)
+        system.history.record_evolution(
+            EnvironmentEvent(
+                year=2014, kind=EVENT_EXTERNAL_RELEASE, subject="ROOT-6.02",
+                detail="removes the CINT interfaces",
+            ),
+            system.clock.now,
+        )
+        system.clock.advance_days(1)
+        second = system.submit(self._spec())
+
+        pages = StatusPageGenerator(system.storage, system.catalog)
+        detector = RegressionDetector(system.history)
+        diff = diff_campaigns(
+            system.history, first.campaign_id, second.campaign_id
+        )
+        page = pages.trends_page(
+            trend_rows(system.history),
+            regression_rows(detector.findings()),
+            diff_rows=diff_rows(diff),
+            history_status=system.history.status(),
+            evolution_rows=[
+                record.to_dict()
+                for record in system.history.evolution_records()
+            ],
+        )
+        assert "regressed" in page
+        assert "ROOT-6.02" in page
+        assert system.storage.exists("reports", "trends")
+        campaign_page = pages.campaign_page(
+            second.result(), history_link=True
+        )
+        assert "trends.html" in campaign_page

@@ -328,3 +328,135 @@ class TestDocumentRoundTrip:
         restored = ValidationRun.from_document(document)
         assert restored.statuses_by_test() == run.statuses_by_test()
         assert restored.to_document() == run.to_document()
+
+
+class TestHistoryRecordingBitIdentity:
+    """record_history must never change the scientific output.
+
+    Ingesting cells into the history ledger adds documents to the
+    ``history`` namespace only: the run documents, the catalogue records
+    and every other namespace stay byte-identical to the seed path, and a
+    warm-started installation re-ingesting inherited cells is a no-op.
+    """
+
+    def _non_history_documents(self, system):
+        from repro.history.ledger import ValidationHistoryLedger
+
+        return {
+            namespace: {
+                key: system.storage.get(namespace, key)
+                for key in system.storage.keys(namespace)
+            }
+            for namespace in system.storage.namespaces()
+            if namespace != ValidationHistoryLedger.NAMESPACE
+        }
+
+    def test_run_documents_identical_with_history_on(self):
+        seed = 20131029
+        baseline_system, baseline = _sequential_baseline(seed, KEYS)
+        recorded_system = _fresh_system(seed)
+        campaign = recorded_system.submit(
+            CampaignSpec(
+                experiments=("HERMES",),
+                configuration_keys=tuple(KEYS),
+                workers=4,
+                record_history=True,
+                persist_spec=False,
+            )
+        ).result()
+        assert recorded_system.history is not None
+        assert len(recorded_system.history) == len(campaign.cells)
+        assert [run.to_document() for run in campaign.runs()] == [
+            cycle.run.to_document() for cycle in baseline
+        ]
+        assert [
+            record.to_dict() for record in recorded_system.catalog.all()
+        ] == [record.to_dict() for record in baseline_system.catalog.all()]
+        # Outside the history namespace the storage is byte-identical.
+        baseline_documents = {
+            namespace: {
+                key: baseline_system.storage.get(namespace, key)
+                for key in baseline_system.storage.keys(namespace)
+            }
+            for namespace in baseline_system.storage.namespaces()
+        }
+        assert self._non_history_documents(recorded_system) == baseline_documents
+
+    @pytest.mark.parametrize("backend", ["simulated", "threads"])
+    def test_history_recording_is_backend_invariant_in_science(self, backend):
+        """Per-backend events differ only in the recorded backend name."""
+        system = _fresh_system(20131029)
+        campaign = system.submit(
+            CampaignSpec(
+                configuration_keys=tuple(KEYS),
+                workers=2,
+                backend=backend,
+                record_history=True,
+                persist_spec=False,
+            )
+        ).result()
+        events = system.history.events()
+        assert [event.run_id for event in events] == [
+            run.run_id for run in campaign.runs()
+        ]
+        assert {event.backend for event in events} == {backend}
+        scientific = [
+            {
+                key: value
+                for key, value in event.to_dict().items()
+                if key != "backend"
+            }
+            for event in events
+        ]
+        reference_system = _fresh_system(20131029)
+        reference_system.submit(
+            CampaignSpec(
+                configuration_keys=tuple(KEYS),
+                workers=2,
+                record_history=True,
+                persist_spec=False,
+            )
+        )
+        reference = [
+            {
+                key: value
+                for key, value in event.to_dict().items()
+                if key != "backend"
+            }
+            for event in reference_system.history.events()
+        ]
+        assert scientific == reference
+
+    def test_warm_start_reingest_is_idempotent(self, tmp_path):
+        """Mounting a recorded storage and replaying adds no duplicates."""
+        from repro.scheduler.cache import BuildCache
+        from repro.storage.common_storage import CommonStorage
+
+        spec = CampaignSpec(
+            experiments=("HERMES",),
+            configuration_keys=tuple(KEYS),
+            record_history=True,
+            persist_spec=False,
+        )
+        cold = _fresh_system(20131029)
+        cold.submit(spec)
+        cold.persist_build_cache()
+        cold.storage.persist(str(tmp_path))
+
+        warm = SPSystem(
+            runner_settings=RunnerSettings(
+                simulated_seconds_per_test=30.0, seed=20131029
+            ),
+            storage=CommonStorage.load(str(tmp_path)),
+        )
+        warm.provision_standard_images()
+        warm.register_experiment(build_hermes_experiment(scale=0.2))
+        inherited = len(warm.history)
+        assert inherited == len(cold.history)
+        journal_before = warm.history.journal_records()
+        warm.submit(spec)  # fresh run IDs: genuinely new events
+        assert len(warm.history) == inherited + 2
+        # Re-mounting rebuilds the same indexes without duplication.
+        remounted = SPSystem(storage=warm.storage)
+        assert len(remounted.history) == inherited + 2
+        assert remounted.history.journal_records() == journal_before + 2

@@ -293,3 +293,137 @@ class TestSharedPackageCampaign:
                 record[0] for record in recorder.built if record[1] == name
             )
             assert experiments == ["HERMES", "ZEUS"]
+
+
+class TestDonorAwareEviction:
+    """Size-budget eviction spares proven cross-experiment donors.
+
+    Entries no *other* experiment ever reused are evicted first (lowest
+    per-entry shared-hit count), then least-recently-hit — so the shared
+    externals that warm-start other installations survive the budget.
+    """
+
+    def _cache_with_one_donor(self, configuration):
+        """Five private entries plus one entry HERMES reused from ZEUS."""
+        cache = BuildCache(ArtifactStore())
+        builder = PackageBuilder()
+        privates = []
+        from repro.experiments.inventories import InventoryQuirks, build_inventory
+
+        inventory = build_inventory(
+            "ZEUS", 5,
+            quirks=InventoryQuirks(
+                n_not_ported_to_newest_abi=0, n_legacy_root_api=0,
+                n_strictness_limited=0, n_32bit_only=0,
+            ),
+        )
+        for package in inventory.all():
+            cache.store(
+                package, configuration,
+                builder.build_package(package, configuration),
+            )
+            privates.append(package)
+        donor = shared_external_packages("ZEUS")[0]
+        taker = shared_external_packages("HERMES")[0]
+        cache.store(donor, configuration, builder.build_package(donor, configuration))
+        assert cache.lookup(taker, configuration) is not None  # the donation
+        return cache, privates, donor
+
+    def test_unshared_entries_are_evicted_first(self, sl5_64_gcc44):
+        cache, privates, donor = self._cache_with_one_donor(sl5_64_gcc44)
+        # Touch every private entry AFTER the donation: under pure
+        # least-recently-hit ordering the donor entry would go first.
+        for package in privates:
+            assert cache.lookup(package, sl5_64_gcc44) is not None
+        donor_size = cache.entry_size_bytes(
+            PackageBuilder().build_package(donor, sl5_64_gcc44)
+        )
+        cache.enforce_budget(cache.total_size_bytes() - donor_size)
+        # The donor survived; at least one never-shared entry was evicted.
+        assert cache.contains(donor, sl5_64_gcc44)
+        assert cache.statistics.evictions >= 1
+        assert any(
+            not cache.contains(package, sl5_64_gcc44) for package in privates
+        )
+
+    def test_recency_breaks_ties_between_unshared_entries(self, sl5_64_gcc44):
+        cache, privates, _donor = self._cache_with_one_donor(sl5_64_gcc44)
+        # Touch every private entry except the first: among the equally
+        # unshared entries the untouched one goes first.
+        for package in privates[1:]:
+            assert cache.lookup(package, sl5_64_gcc44) is not None
+        victim_size = cache.entry_size_bytes(
+            PackageBuilder().build_package(privates[0], sl5_64_gcc44)
+        )
+        cache.enforce_budget(cache.total_size_bytes() - victim_size)
+        assert not cache.contains(privates[0], sl5_64_gcc44)
+        assert all(
+            cache.contains(package, sl5_64_gcc44) for package in privates[1:]
+        )
+
+    def test_shared_counts_survive_persistence(self, sl5_64_gcc44):
+        from repro.storage.common_storage import CommonStorage
+
+        cache, privates, donor = self._cache_with_one_donor(sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        restored = BuildCache.restore_from(storage, ArtifactStore())
+        for package in privates:
+            assert restored.lookup(package, sl5_64_gcc44) is not None
+        donor_size = restored.entry_size_bytes(
+            PackageBuilder().build_package(donor, sl5_64_gcc44)
+        )
+        restored.enforce_budget(restored.total_size_bytes() - donor_size)
+        # The restored cache still knows the donor was shared and spares it.
+        assert restored.contains(donor, sl5_64_gcc44)
+
+    def test_donation_after_persist_is_rejournalled(self, sl5_64_gcc44):
+        """A shared hit AFTER the entry was journalled must survive restore.
+
+        The entry's original record carries shared_hits=0; the next persist
+        appends a superseding record with the moved count, so the restored
+        cache's donor-aware eviction still spares the proven donor.
+        """
+        from repro.storage.common_storage import CommonStorage
+
+        cache, privates, donor = self._cache_with_one_donor(sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        # The donation happens only now — after the journal was written.
+        fresh = BuildCache(cache.artifact_store)
+        builder = PackageBuilder()
+        for package in privates + [donor]:
+            fresh.store(
+                package, sl5_64_gcc44,
+                builder.build_package(package, sl5_64_gcc44),
+            )
+        clean = CommonStorage()
+        fresh.persist_to(clean)
+        taker = shared_external_packages("HERMES")[0]
+        assert fresh.lookup(taker, sl5_64_gcc44) is not None  # post-persist hit
+        assert fresh.persist_to(clean) == 0  # no new entries...
+        restored = BuildCache.restore_from(clean, ArtifactStore())
+        # ...but the superseding record carried the donor count across.
+        for package in privates:
+            assert restored.lookup(package, sl5_64_gcc44) is not None
+        donor_size = restored.entry_size_bytes(
+            builder.build_package(donor, sl5_64_gcc44)
+        )
+        restored.enforce_budget(restored.total_size_bytes() - donor_size)
+        assert restored.contains(donor, sl5_64_gcc44)
+
+    def test_repersist_without_donations_appends_nothing(self, sl5_64_gcc44):
+        """The superseding-record path fires only when a count moved."""
+        from repro.storage.common_storage import CommonStorage
+
+        cache, privates, _donor = self._cache_with_one_donor(sl5_64_gcc44)
+        storage = CommonStorage()
+        cache.persist_to(storage)
+        records = len(storage.keys(BuildCache.NAMESPACE, prefix=BuildCache.JOURNAL_PREFIX))
+        # Same-experiment traffic moves recency, not shared counts.
+        for package in privates:
+            assert cache.lookup(package, sl5_64_gcc44) is not None
+        assert cache.persist_to(storage) == 0
+        assert len(
+            storage.keys(BuildCache.NAMESPACE, prefix=BuildCache.JOURNAL_PREFIX)
+        ) == records

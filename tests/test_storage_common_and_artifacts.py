@@ -1,5 +1,8 @@
 """Tests for the common storage, namespaces and the artifact store."""
 
+import json
+import os
+
 import pytest
 
 from repro._common import StorageError
@@ -126,6 +129,105 @@ class TestCommonStorage:
         storage.persist(str(tmp_path))
         loaded = CommonStorage.load(str(tmp_path))
         assert loaded.keys("buildcache") == ["journal_00000001"]
+
+
+class TestJournalSegmentFiles:
+    """Journal namespaces persist as batched segment files, not per-record.
+
+    ``register_journal_namespace`` owners (the build cache's ``buildcache``,
+    the history ledger's ``history``) get their ``journal_<seq>`` records
+    batched into ``journal_segment_<first-seq>.json`` files of
+    ``JOURNAL_SEGMENT_RECORDS`` records each; ``load`` explodes them back,
+    so the in-memory journal representation never changes.
+    """
+
+    def _journal_storage(self, n_records, namespace_name="buildcache"):
+        storage = CommonStorage()
+        namespace = storage.create_namespace(namespace_name)
+        for sequence in range(1, n_records + 1):
+            namespace.put(
+                f"journal_{sequence:08d}", {"type": "entry", "n": sequence}
+            )
+        return storage, namespace
+
+    def test_records_round_trip_through_segments(self, tmp_path):
+        storage, namespace = self._journal_storage(5)
+        namespace.put("statistics", {"hits": 3})  # non-record document
+        storage.persist(str(tmp_path))
+        loaded = CommonStorage.load(str(tmp_path))
+        assert loaded.keys("buildcache") == storage.keys("buildcache")
+        for key in storage.keys("buildcache"):
+            assert loaded.get("buildcache", key) == storage.get("buildcache", key)
+
+    def test_persist_writes_o_segments_files(self, tmp_path):
+        from repro.storage.common_storage import JOURNAL_SEGMENT_RECORDS
+
+        n_records = JOURNAL_SEGMENT_RECORDS + 3  # two segments
+        storage, _namespace = self._journal_storage(n_records)
+        storage.persist(str(tmp_path))
+        files = sorted(os.listdir(tmp_path / "buildcache"))
+        assert files == [
+            "journal_segment_00000001.json",
+            f"journal_segment_{JOURNAL_SEGMENT_RECORDS + 1:08d}.json",
+        ]
+        loaded = CommonStorage.load(str(tmp_path))
+        assert len(loaded.keys("buildcache")) == n_records
+
+    def test_non_record_documents_keep_their_own_files(self, tmp_path):
+        storage, namespace = self._journal_storage(2)
+        namespace.put("statistics", {"hits": 1})
+        namespace.put("lineage", {"epoch": 4})
+        storage.persist(str(tmp_path))
+        files = sorted(os.listdir(tmp_path / "buildcache"))
+        assert files == [
+            "journal_segment_00000001.json", "lineage.json", "statistics.json",
+        ]
+
+    def test_mirror_removes_stale_segment_files(self, tmp_path):
+        """A compaction that shrinks the journal also shrinks the disk."""
+        from repro.storage.common_storage import JOURNAL_SEGMENT_RECORDS
+
+        storage, namespace = self._journal_storage(JOURNAL_SEGMENT_RECORDS + 1)
+        storage.persist(str(tmp_path))
+        assert len(os.listdir(tmp_path / "buildcache")) == 2
+        # Compaction: everything collapses into one record.
+        for key in namespace.keys(prefix="journal_"):
+            namespace.delete(key)
+        namespace.put("journal_00000001", {"type": "entry", "n": 1})
+        storage.persist(str(tmp_path))
+        files = sorted(os.listdir(tmp_path / "buildcache"))
+        assert files == ["journal_segment_00000001.json"]
+        loaded = CommonStorage.load(str(tmp_path))
+        assert loaded.keys("buildcache") == ["journal_00000001"]
+
+    def test_legacy_per_record_files_still_load(self, tmp_path):
+        """Pre-segment storages (one file per record) remain readable."""
+        target = tmp_path / "buildcache"
+        target.mkdir()
+        with open(target / "journal_00000001.json", "w") as handle:
+            json.dump({"type": "entry", "n": 1}, handle)
+        loaded = CommonStorage.load(str(tmp_path))
+        assert loaded.get("buildcache", "journal_00000001") == {
+            "type": "entry", "n": 1,
+        }
+
+    def test_unregistered_namespaces_do_not_segment(self, tmp_path):
+        storage = CommonStorage()
+        storage.put("results", "journal_00000001", {"n": 1})
+        storage.persist(str(tmp_path))
+        assert sorted(os.listdir(tmp_path / "results")) == [
+            "journal_00000001.json"
+        ]
+
+    def test_history_namespace_is_registered(self):
+        from repro.history.ledger import ValidationHistoryLedger
+        from repro.storage.common_storage import (
+            JOURNAL_NAMESPACE_PREFIXES,
+            MIRRORED_NAMESPACES,
+        )
+
+        assert ValidationHistoryLedger.NAMESPACE in JOURNAL_NAMESPACE_PREFIXES
+        assert ValidationHistoryLedger.NAMESPACE in MIRRORED_NAMESPACES
 
 
 class TestArtifactStore:

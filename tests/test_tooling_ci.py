@@ -78,5 +78,60 @@ class TestCiScript:
         assert 'pytest -x -q -m "not bench"' in source
         # ... the headless example smoke runs ...
         assert "-m examples" in source
-        # ... and the bench marker audit.
+        # ... the bench marker audit ...
         assert "--collect-only" in source and "benchmarks/" in source
+        # ... and the history-ledger write audit.
+        assert "history-ledger write audit" in source
+        assert "src/repro/history/" in source
+
+
+class TestHistoryLedgerWriteAudit:
+    """The `history` storage namespace is owned by the ledger.
+
+    A raw ``put`` into the namespace would bypass the append-only journal's
+    idempotence and index bookkeeping; ``scripts/ci.sh`` greps for literal
+    accesses outside ``src/repro/history/`` and this test enforces the same
+    rule in-process (so a plain pytest run catches violations without the
+    shell stage).
+    """
+
+    PATTERN = re.compile(
+        r"(?:put|create_namespace|namespace)\(\s*[\"']history[\"']"
+    )
+
+    def _source_files(self):
+        src_root = os.path.join(REPO_ROOT, "src")
+        for directory, _subdirectories, filenames in os.walk(src_root):
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    yield os.path.join(directory, filename)
+
+    def test_no_raw_history_namespace_access_outside_the_ledger(self):
+        owner = os.path.join(REPO_ROOT, "src", "repro", "history") + os.sep
+        violations = []
+        for path in self._source_files():
+            if path.startswith(owner):
+                continue
+            with open(path, encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    if self.PATTERN.search(line):
+                        violations.append(f"{path}:{line_number}: {line.strip()}")
+        assert violations == [], (
+            "raw 'history' namespace access outside src/repro/history/ — "
+            "write through ValidationHistoryLedger instead:\n"
+            + "\n".join(violations)
+        )
+
+    def test_the_audit_pattern_catches_a_raw_put(self):
+        """The regex really fires on the write shapes it must forbid."""
+        for violation in (
+            'storage.put("history", "journal_1", {})',
+            "storage.namespace('history').put('journal_1', {})",
+            'storage.create_namespace("history")',
+        ):
+            assert self.PATTERN.search(violation)
+        # The sanctioned shape — going through the ledger's constant — is
+        # not a literal and passes.
+        assert not self.PATTERN.search(
+            "storage.create_namespace(ValidationHistoryLedger.NAMESPACE)"
+        )
