@@ -2,8 +2,8 @@
 # CI entry point for the sp-system reproduction.
 #
 # Mirrors the staged check layout of the pyhc-actions compliance tooling:
-# cheap structural audits first, then the tier-1 suite, then the headless
-# example smoke runs.  Stages:
+# cheap structural audits first, then the tier-1 suite, then the targeted
+# backend-parity shard, then the headless example smoke runs.  Stages:
 #
 #   1. bench marker audit — every test below benchmarks/ must carry the
 #      `bench` marker, or the tier-1 deselection (-m "not bench") would
@@ -12,9 +12,18 @@
 #      owned by the ValidationHistoryLedger: a raw put() into it would
 #      bypass the journal's idempotence and index bookkeeping, so no
 #      module outside src/repro/history/ may write the namespace literal.
-#   3. tier-1 — the documented fast suite (ROADMAP.md):
+#   3. scheduler monotonic-clock audit — the wall-clock backends time
+#      their dispatch with time.monotonic(); a time.time() call in
+#      src/repro/scheduler/ would make schedules jump with NTP
+#      adjustments, so the wall clock is banned there outright.
+#   4. tier-1 — the documented fast suite (ROADMAP.md):
 #      pytest -x -q -m "not bench"
-#   4. examples — headless smoke run of every examples/*.py script:
+#   5. backend parity — the determinism suite re-run with an explicit
+#      backend shard (REPRO_PARITY_BACKENDS=simulated,threads,processes):
+#      pins that the process-pool backend, whose builds cross a pickle
+#      boundary, stays bit-identical even when CI trims the default
+#      all-backend matrix.
+#   6. examples — headless smoke run of every examples/*.py script:
 #      pytest -m examples
 #
 # Usage: scripts/ci.sh [--skip-examples]
@@ -23,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/4: bench marker audit =="
+echo "== stage 1/6: bench marker audit =="
 # Selecting "not bench" below benchmarks/ must collect nothing; any test id
 # in the output is a benchmark that escaped the marker.
 unmarked=$(python -m pytest benchmarks/ -m "not bench" --collect-only -q 2>/dev/null | grep -c "::" || true)
@@ -34,7 +43,7 @@ if [ "${unmarked}" -ne 0 ]; then
 fi
 echo "ok: every benchmarks/ test carries the bench marker"
 
-echo "== stage 2/4: history-ledger write audit =="
+echo "== stage 2/6: history-ledger write audit =="
 # Writers must go through the ledger API: no raw put into the 'history'
 # namespace (and no string-literal namespace handle to put through) outside
 # the owning package.  The same rule is enforced by tests/test_tooling_ci.py.
@@ -47,15 +56,37 @@ if [ -n "${violations}" ]; then
 fi
 echo "ok: every history-namespace writer goes through the ledger API"
 
-echo "== stage 3/4: tier-1 test suite =="
+echo "== stage 3/6: scheduler monotonic-clock audit =="
+# Backend timelines are offsets from a campaign-local origin; time.time()
+# would tie them to a clock that NTP can step.  Only time.monotonic() is
+# allowed anywhere under src/repro/scheduler/.  The same rule is enforced
+# by tests/test_tooling_ci.py.
+clock_violations=$(grep -rn "time\.time(" src/repro/scheduler --include='*.py' || true)
+if [ -n "${clock_violations}" ]; then
+    echo "error: wall-clock time.time() call in src/repro/scheduler/:" >&2
+    echo "${clock_violations}" >&2
+    echo "use time.monotonic() for scheduler timing" >&2
+    exit 1
+fi
+echo "ok: the scheduler times itself with time.monotonic() only"
+
+echo "== stage 4/6: tier-1 test suite =="
 python -m pytest -x -q -m "not bench"
 
+echo "== stage 5/6: backend parity (explicit shard) =="
+# The tier-1 run above already covers the default all-backend matrix; this
+# shard pins that the env knob itself works and that the pickle-crossing
+# process backend passes in isolation from the sharded one.
+REPRO_PARITY_BACKENDS=simulated,threads,processes \
+    python -m pytest -q tests/test_scheduler_determinism.py \
+    -k "BackendParity or HistoryRecordingBitIdentity"
+
 if [ "${1:-}" = "--skip-examples" ]; then
-    echo "== stage 4/4: examples smoke run skipped =="
+    echo "== stage 6/6: examples smoke run skipped =="
     exit 0
 fi
 
-echo "== stage 4/4: examples smoke run =="
+echo "== stage 6/6: examples smoke run =="
 python -m pytest -q -m examples
 
 echo "CI checks passed."

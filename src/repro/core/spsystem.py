@@ -413,6 +413,7 @@ class SPSystem:
             backend=spec.backend,
             cache_budget_bytes=spec.cache_budget_bytes,
             use_cache=spec.use_cache,
+            shards=spec.shards,
         )
         requests = (
             list(spec.requests)

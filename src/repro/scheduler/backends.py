@@ -8,7 +8,7 @@ backend bit-identical.  What a backend decides is the campaign's wall-clock
 story: how the derived task DAG is dispatched over the worker pool and what
 timeline (:class:`~repro.scheduler.pool.PoolSchedule`) comes back.
 
-Two backends ship with the registry:
+Four backends ship with the registry:
 
 * :class:`SimulatedBackend` wraps the deterministic event-driven
   :class:`~repro.scheduler.pool.SimulatedWorkerPool` — simulated
@@ -22,33 +22,75 @@ Two backends ship with the registry:
   dependencies gating submission, the selected scheduling policy ordering
   the ready queue, and measured wall-clock seconds folded into the
   returned ``PoolSchedule``.
+* :class:`ProcessPoolBackend` shares the thread backend's dispatch loop but
+  bridges every picklable :class:`~repro.buildsys.builder.BuildTask` to a
+  :class:`concurrent.futures.ProcessPoolExecutor`, so re-compilations run
+  in child processes outside the GIL.  The parent digest-checks each
+  child's result against the recorded one, exactly as the thread backend
+  does.  Verification payloads are closures over live system state — not
+  picklable by design — and run inline on the dispatch threads.
+* :class:`ShardedBackend` partitions the campaign's *cells* across N worker
+  processes.  Each shard executes its cells' build tasks sequentially in a
+  child process, persists its results as build-cache journal segments into
+  a private storage directory, and the parent merges the shards on
+  completion by replaying their journals into the parent cache
+  (:meth:`~repro.scheduler.cache.BuildCache.merge_from`) — the append-only
+  journal and content-addressed keys make the merge an idempotent replay,
+  not new bookkeeping.  Verification payloads replay in the parent after
+  the shards complete (they are causally downstream of the builds).
 
 Backends are selected by name through :func:`execution_backend`, mirroring
 :func:`~repro.scheduler.pool.scheduling_policy`.
+
+All wall-clock backends share one failure contract: the first failing
+payload aborts the campaign with a :class:`~repro._common.SchedulingError`
+that names the failing task, and still-queued work is cancelled
+(``cancel_futures=True``), so a 1000-cell campaign does not keep building
+after the first failure.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import shutil
+import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from repro._common import SchedulingError
+from repro._common import BuildError, SchedulingError
+from repro.buildsys.builder import BuildResult, BuildTask, build_result_digest
 from repro.scheduler.dag import CampaignDAG
 from repro.scheduler.pool import (
-    TASK_CPU_CORES,
-    TASK_DISK_GB,
-    TASK_MEMORY_GB,
     PoolSchedule,
     SchedulingPolicy,
     SimulatedWorkerPool,
     TaskAssignment,
     WorkerFailure,
+    effective_slots_per_worker,
     scheduling_policy,
 )
 from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.scheduler.cache import BuildCache
 
 #: Payload a backend may run for one task (real work; return value ignored).
 TaskPayload = Callable[[], object]
@@ -68,6 +110,12 @@ class ExecutionRequest:
     #: simulate time ignore the payloads; backends that really execute run
     #: them on their worker threads).
     payloads: Mapping[str, TaskPayload] = field(default_factory=dict)
+    #: Shard count for the sharded backend (None lets the backend default to
+    #: the worker count); ignored by every other backend.
+    shards: Optional[int] = None
+    #: Cache the sharded backend replays its shards' journals into on
+    #: completion; None skips the merge.  Ignored by every other backend.
+    merge_cache: Optional["BuildCache"] = None
 
 
 class ExecutionBackend:
@@ -109,6 +157,153 @@ class SimulatedBackend(ExecutionBackend):
         return schedule
 
 
+def _check_real_request(backend: "ExecutionBackend", request: ExecutionRequest) -> None:
+    """Shared validation of a request against a wall-clock backend."""
+    if request.failures:
+        raise SchedulingError(
+            "worker failure injection requires the simulated backend; "
+            f"the {backend.name} backend executes for real"
+        )
+    if request.workers < 1:
+        raise SchedulingError("a worker pool needs at least one worker")
+    if request.deadline_seconds is not None and request.deadline_seconds <= 0:
+        raise SchedulingError("a campaign deadline must be positive")
+
+
+def _dispatch_wall_clock(
+    backend: "ExecutionBackend", request: ExecutionRequest
+) -> PoolSchedule:
+    """The shared wall-clock dispatch loop of the thread/process backends.
+
+    Dependencies gate submission, the scheduling policy orders the ready
+    queue exactly as in the simulation, and one dispatch thread per slot
+    carries a task's payload — directly (thread backend) or bridged to a
+    process pool (process backend) via ``backend._run_payload``.  The first
+    payload failure raises a :class:`~repro._common.SchedulingError` naming
+    the failing task, after cancelling the still-queued futures.
+    """
+    _check_real_request(backend, request)
+    policy = scheduling_policy(request.policy)
+    dag = request.dag
+    tasks = dag.tasks()
+    # Same slot arithmetic as the simulated pool: a worker runs as many
+    # concurrent tasks as its profile accommodates — normally one per
+    # core, fewer when memory or disk is the binding constraint.
+    slots_per_worker = effective_slots_per_worker(request.worker_profile)
+    if slots_per_worker < 1:
+        raise SchedulingError(
+            "the worker profile cannot accommodate a single campaign task"
+        )
+    n_slots = request.workers * slots_per_worker
+    policy.prepare(dag)
+    order_index = {task.task_id: index for index, task in enumerate(tasks)}
+    dependents = dag.dependents()
+    remaining_deps = {task.task_id: set(task.dependencies) for task in tasks}
+
+    def ready_entry(task_id: str) -> Tuple[Tuple, int, str]:
+        return (policy.priority(dag.get(task_id)), order_index[task_id], task_id)
+
+    ready: List[Tuple[Tuple, int, str]] = [
+        ready_entry(task.task_id) for task in tasks if not task.dependencies
+    ]
+    heapq.heapify(ready)
+    free_slots = list(range(n_slots))
+    heapq.heapify(free_slots)
+    started_at = time.monotonic()
+
+    def run_task(task_id: str, slot: int) -> Tuple[str, int, float, float]:
+        start = time.monotonic() - started_at
+        backend._run_payload(task_id, request.payloads.get(task_id))
+        return task_id, slot, start, time.monotonic() - started_at
+
+    assignments: List[TaskAssignment] = []
+    completed = 0
+    peak = 0
+    pending = set()
+    future_tasks: Dict[Future, str] = {}
+    with ThreadPoolExecutor(
+        max_workers=max(n_slots, 1), thread_name_prefix="sp-campaign"
+    ) as executor:
+        while completed < len(tasks):
+            while ready and free_slots:
+                task_id = heapq.heappop(ready)[2]
+                slot = heapq.heappop(free_slots)
+                future = executor.submit(run_task, task_id, slot)
+                future_tasks[future] = task_id
+                pending.add(future)
+            peak = max(peak, len(pending))
+            if not pending:
+                raise SchedulingError(
+                    "scheduler stalled with "
+                    f"{len(tasks) - completed} unfinished task(s)"
+                )
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    task_id, slot, start, end = future.result()
+                except Exception as error:
+                    failed_task = future_tasks.get(future, "<unknown task>")
+                    # Stop submitting: a 1000-cell campaign must not keep
+                    # building after the first failure.  Already-running
+                    # tasks finish (they cannot be interrupted), queued
+                    # ones are cancelled.
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    raise SchedulingError(
+                        f"campaign task {failed_task!r} failed on the "
+                        f"{backend.name} backend: "
+                        f"{type(error).__name__}: {error} "
+                        "(still-queued tasks were cancelled)"
+                    ) from error
+                heapq.heappush(free_slots, slot)
+                del future_tasks[future]
+                assignments.append(
+                    TaskAssignment(
+                        task_id=task_id,
+                        worker_index=slot // slots_per_worker,
+                        start_seconds=start,
+                        end_seconds=end,
+                        attempt=1,
+                    )
+                )
+                completed += 1
+                for dependent in dependents[task_id]:
+                    remaining = remaining_deps[dependent]
+                    remaining.discard(task_id)
+                    if not remaining:
+                        heapq.heappush(ready, ready_entry(dependent))
+    makespan = time.monotonic() - started_at if tasks else 0.0
+    # Stable report order: the wall clock decides completion order, the
+    # DAG order breaks ties so repeated prints stay readable.
+    assignments.sort(key=lambda a: (a.end_seconds, order_index[a.task_id]))
+    measured = {a.task_id: a.end_seconds - a.start_seconds for a in assignments}
+    busy: Dict[int, float] = {index: 0.0 for index in range(request.workers)}
+    for assignment in assignments:
+        busy[assignment.worker_index] += measured[assignment.task_id]
+    cell_end_seconds: Dict[int, float] = {}
+    for assignment in assignments:
+        cell_index = dag.get(assignment.task_id).cell_index
+        cell_end_seconds[cell_index] = max(
+            cell_end_seconds.get(cell_index, 0.0), assignment.end_seconds
+        )
+    return PoolSchedule(
+        n_workers=request.workers,
+        slots_per_worker=slots_per_worker,
+        makespan_seconds=makespan,
+        sequential_seconds=sum(measured.values()),
+        critical_path_seconds=dag.critical_path_seconds(durations=measured),
+        assignments=assignments,
+        n_retries=0,
+        failed_workers=(),
+        busy_seconds_per_worker=busy,
+        peak_concurrent_tasks=peak,
+        available_slot_seconds=makespan * n_slots,
+        policy=policy.name,
+        deadline_seconds=request.deadline_seconds,
+        cell_end_seconds=cell_end_seconds,
+        backend=backend.name,
+    )
+
+
 class ThreadPoolBackend(ExecutionBackend):
     """Really executes the campaign DAG on a wall-clock thread pool.
 
@@ -139,104 +334,286 @@ class ThreadPoolBackend(ExecutionBackend):
     executes_payloads = True
 
     def execute(self, request: ExecutionRequest) -> PoolSchedule:
-        if request.failures:
+        return _dispatch_wall_clock(self, request)
+
+    def _run_payload(self, task_id: str, payload: Optional[TaskPayload]) -> None:
+        if payload is not None:
+            payload()
+
+
+def _execute_build_task(task: BuildTask) -> BuildResult:
+    """Child-process entry point of the process backend (module level so a
+    spawned interpreter can import it; the task travels by pickle)."""
+    return task.run()
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Executes build payloads in child processes, outside the GIL.
+
+    The dispatch loop is the thread backend's: one dispatch thread per
+    worker slot, dependencies gating submission, the policy ordering the
+    ready queue.  What differs is where a payload runs — every
+    :class:`~repro.buildsys.builder.BuildTask` (picklable by design: plain
+    dataclasses over plain value types) is submitted to a shared
+    :class:`concurrent.futures.ProcessPoolExecutor` and its result is
+    pickled back, digest-checked by the parent against the recorded result
+    exactly as the thread backend checks its in-process builds.  The
+    child's ``runs`` counter increments on the child's *copy*; the parent
+    increments its own task on result receipt, so the parity suite's
+    ``runs == 1`` contract holds identically across backends.
+
+    Verification payloads are closures over the live system storage — not
+    picklable, by design — and run inline on the dispatch threads, exactly
+    as on the thread backend.
+    """
+
+    name = "processes"
+
+    executes_payloads = True
+
+    def __init__(self) -> None:
+        self._processes: Optional[ProcessPoolExecutor] = None
+
+    def execute(self, request: ExecutionRequest) -> PoolSchedule:
+        _check_real_request(self, request)
+        n_slots = request.workers * max(
+            effective_slots_per_worker(request.worker_profile), 1
+        )
+        self._processes = ProcessPoolExecutor(max_workers=n_slots)
+        try:
+            return _dispatch_wall_clock(self, request)
+        finally:
+            processes, self._processes = self._processes, None
+            processes.shutdown(wait=True, cancel_futures=True)
+
+    def _run_payload(self, task_id: str, payload: Optional[TaskPayload]) -> None:
+        if isinstance(payload, BuildTask):
+            result = self._processes.submit(_execute_build_task, payload).result()
+            # The child already enforced the task's own digest check; the
+            # parent re-derives the digest from the unpickled result so the
+            # cross-process round trip is covered too.
+            if payload.expected_digest is not None:
+                digest = build_result_digest(result)
+                if digest != payload.expected_digest:
+                    raise BuildError(
+                        f"child-process build of {payload.package.key} on "
+                        f"{payload.configuration.key} diverged from the "
+                        f"recorded result ({digest} != "
+                        f"{payload.expected_digest})"
+                    )
+            payload.runs += 1
+        elif payload is not None:
+            payload()
+
+
+def _execute_shard(
+    shard_index: int,
+    build_tasks: List[Tuple[str, BuildTask]],
+    directory: str,
+) -> Dict[str, object]:
+    """Child-process entry point of the sharded backend.
+
+    Runs the shard's build tasks sequentially (the list arrives in DAG
+    order, so intra-cell dependencies are respected), stores every result
+    in a private :class:`~repro.scheduler.cache.BuildCache`, and persists
+    that cache's journal segments into the shard's private storage
+    directory.  Returns per-task timings and result digests for the
+    parent's schedule and digest bookkeeping.
+    """
+    from repro.scheduler.cache import BuildCache
+    from repro.storage.artifacts import ArtifactStore
+    from repro.storage.common_storage import CommonStorage
+
+    storage = CommonStorage(namespaces=())
+    cache = BuildCache(ArtifactStore())
+    started_at = time.monotonic()
+    builds: List[Tuple[str, float, float, str]] = []
+    for task_id, task in build_tasks:
+        begin = time.monotonic() - started_at
+        try:
+            result = task.run()
+        except Exception as error:
             raise SchedulingError(
-                "worker failure injection requires the simulated backend; "
-                "the thread backend executes on real OS threads"
+                f"campaign task {task_id!r} failed on shard {shard_index}: "
+                f"{type(error).__name__}: {error}"
+            ) from None
+        cache.store(task.package, task.configuration, result)
+        builds.append(
+            (
+                task_id,
+                begin,
+                time.monotonic() - started_at,
+                build_result_digest(result),
             )
-        if request.workers < 1:
-            raise SchedulingError("a worker pool needs at least one worker")
-        if request.deadline_seconds is not None and request.deadline_seconds <= 0:
-            raise SchedulingError("a campaign deadline must be positive")
-        policy = scheduling_policy(request.policy)
+        )
+    cache.persist_to(storage)
+    storage.persist(directory)
+    return {"builds": builds}
+
+
+class ShardedBackend(ExecutionBackend):
+    """Partitions a campaign's cells across N worker processes.
+
+    Cells are round-robined over the shards in cell order (cells are
+    independent: campaign DAG dependencies never cross a cell), and each
+    shard's build tasks run sequentially in one child process — the
+    coarse-grained sibling of :class:`ProcessPoolBackend`'s per-task
+    dispatch, with per-shard IPC instead of per-task IPC.  Each child
+    persists its results as build-cache journal segments into a private
+    storage directory; on completion the parent loads every shard's
+    journal and replays it into the campaign's cache
+    (:meth:`~repro.scheduler.cache.BuildCache.merge_from`) — an idempotent
+    merge by content-addressed key, so re-merging work the parent cell
+    pass already stored changes nothing (which is what keeps the cache
+    statistics bit-identical to the simulated backend).
+
+    Verification payloads (unpicklable closures over live state) replay in
+    the parent *after* the shards complete — causally correct, since test
+    and chain tasks depend on the builds.  The scheduling policy does not
+    reorder across shards (the partition is by cell); its name is recorded
+    on the schedule for the report.
+
+    The returned schedule has one worker per shard (``slots_per_worker``
+    is 1) and carries the shard count in ``PoolSchedule.shards``.
+    """
+
+    name = "sharded"
+
+    executes_payloads = True
+
+    def __init__(self, shards: Optional[int] = None) -> None:
+        self.shards = shards
+
+    def execute(self, request: ExecutionRequest) -> PoolSchedule:
+        _check_real_request(self, request)
+        n_shards = self.shards if self.shards is not None else request.shards
+        if n_shards is None:
+            n_shards = request.workers
+        if n_shards < 1:
+            raise SchedulingError("a sharded campaign needs at least one shard")
         dag = request.dag
         tasks = dag.tasks()
-        cores = request.worker_profile.cpu_cores
-        # Same slot arithmetic as the simulated pool: a worker runs as many
-        # concurrent tasks as its profile accommodates — normally one per
-        # core, fewer when memory or disk is the binding constraint.
-        slots_per_worker = min(
-            cores // TASK_CPU_CORES,
-            int(request.worker_profile.memory_gb // TASK_MEMORY_GB),
-            int(request.worker_profile.disk_gb // TASK_DISK_GB),
-        )
-        if slots_per_worker < 1:
-            raise SchedulingError(
-                "the worker profile cannot accommodate a single campaign task"
-            )
-        n_slots = request.workers * slots_per_worker
-        policy.prepare(dag)
         order_index = {task.task_id: index for index, task in enumerate(tasks)}
-        dependents = dag.dependents()
-        remaining_deps = {task.task_id: set(task.dependencies) for task in tasks}
-
-        def ready_entry(task_id: str) -> Tuple[Tuple, int, str]:
-            return (policy.priority(dag.get(task_id)), order_index[task_id], task_id)
-
-        ready: List[Tuple[Tuple, int, str]] = [
-            ready_entry(task.task_id) for task in tasks if not task.dependencies
-        ]
-        heapq.heapify(ready)
-        free_slots = list(range(n_slots))
-        heapq.heapify(free_slots)
+        cell_indices = sorted({task.cell_index for task in tasks})
+        shard_of_cell = {
+            cell: position % n_shards for position, cell in enumerate(cell_indices)
+        }
+        shard_builds: Dict[int, List[Tuple[str, BuildTask]]] = {
+            index: [] for index in range(n_shards)
+        }
+        for task in tasks:
+            payload = request.payloads.get(task.task_id)
+            if isinstance(payload, BuildTask):
+                shard_builds[shard_of_cell[task.cell_index]].append(
+                    (task.task_id, payload)
+                )
         started_at = time.monotonic()
-
-        def run_task(task_id: str, slot: int) -> Tuple[str, int, float, float]:
-            start = time.monotonic() - started_at
-            payload = request.payloads.get(task_id)
-            if payload is not None:
-                payload()
-            return task_id, slot, start, time.monotonic() - started_at
-
         assignments: List[TaskAssignment] = []
-        completed = 0
-        peak = 0
-        pending = set()
-        with ThreadPoolExecutor(
-            max_workers=max(n_slots, 1), thread_name_prefix="sp-campaign"
-        ) as executor:
-            while completed < len(tasks):
-                while ready and free_slots:
-                    task_id = heapq.heappop(ready)[2]
-                    slot = heapq.heappop(free_slots)
-                    pending.add(executor.submit(run_task, task_id, slot))
-                peak = max(peak, len(pending))
-                if not pending:
-                    raise SchedulingError(
-                        "scheduler stalled with "
-                        f"{len(tasks) - completed} unfinished task(s)"
-                    )
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
+        root = tempfile.mkdtemp(prefix="sp-shards-")
+        try:
+            directories = {
+                index: os.path.join(root, f"shard_{index:02d}")
+                for index in range(n_shards)
+            }
+            # Only shards with build work get a child process; an all-cached
+            # (or build-free) shard has nothing to execute or journal.
+            working = [index for index in range(n_shards) if shard_builds[index]]
+            reports: Dict[int, Dict[str, object]] = {}
+            if working:
+                with ProcessPoolExecutor(max_workers=len(working)) as processes:
+                    futures = {
+                        index: processes.submit(
+                            _execute_shard,
+                            index,
+                            shard_builds[index],
+                            directories[index],
+                        )
+                        for index in working
+                    }
                     try:
-                        task_id, slot, start, end = future.result()
+                        for index, future in futures.items():
+                            reports[index] = future.result()
                     except Exception as error:
+                        processes.shutdown(wait=False, cancel_futures=True)
                         raise SchedulingError(
-                            f"a campaign task failed on the thread backend: "
-                            f"{type(error).__name__}: {error}"
+                            f"{type(error).__name__}: {error} on the "
+                            f"{self.name} backend "
+                            "(still-queued shards were cancelled)"
                         ) from error
-                    heapq.heappush(free_slots, slot)
+            for index in working:
+                for task_id, begin, end, digest in reports[index]["builds"]:
+                    payload = request.payloads[task_id]
+                    if (
+                        payload.expected_digest is not None
+                        and digest != payload.expected_digest
+                    ):
+                        raise SchedulingError(
+                            f"campaign task {task_id!r} failed on the "
+                            f"{self.name} backend: shard {index} returned "
+                            f"digest {digest} instead of the recorded "
+                            f"{payload.expected_digest}"
+                        )
+                    # The child ran its pickled copy; mirror the execution
+                    # count on the parent's task, as the process backend does.
+                    payload.runs += 1
                     assignments.append(
                         TaskAssignment(
                             task_id=task_id,
-                            worker_index=slot // slots_per_worker,
-                            start_seconds=start,
+                            worker_index=index,
+                            start_seconds=begin,
                             end_seconds=end,
                             attempt=1,
                         )
                     )
-                    completed += 1
-                    for dependent in dependents[task_id]:
-                        remaining = remaining_deps[dependent]
-                        remaining.discard(task_id)
-                        if not remaining:
-                            heapq.heappush(ready, ready_entry(dependent))
+            # Verification replays run after the shards: tests and chain
+            # steps are causally downstream of their cell's builds.
+            for task in tasks:
+                payload = request.payloads.get(task.task_id)
+                if isinstance(payload, BuildTask):
+                    continue
+                begin = time.monotonic() - started_at
+                try:
+                    if payload is not None:
+                        payload()
+                except Exception as error:
+                    raise SchedulingError(
+                        f"campaign task {task.task_id!r} failed on the "
+                        f"{self.name} backend: {type(error).__name__}: {error}"
+                    ) from error
+                assignments.append(
+                    TaskAssignment(
+                        task_id=task.task_id,
+                        worker_index=shard_of_cell[task.cell_index],
+                        start_seconds=begin,
+                        end_seconds=time.monotonic() - started_at,
+                        attempt=1,
+                    )
+                )
+            # Merge: replay every shard's persisted journal into the parent
+            # cache.  The journal segments on disk are the shard's real
+            # output; loading them back exercises the same path a separate
+            # merge process would use.
+            if request.merge_cache is not None:
+                from repro.scheduler.cache import BuildCache
+                from repro.storage.artifacts import ArtifactStore
+                from repro.storage.common_storage import CommonStorage
+
+                for index in working:
+                    if not os.path.isdir(directories[index]):
+                        continue
+                    shard_storage = CommonStorage.load(
+                        directories[index], namespaces=[BuildCache.NAMESPACE]
+                    )
+                    shard_cache = BuildCache.restore_from(
+                        shard_storage, ArtifactStore()
+                    )
+                    request.merge_cache.merge_from(shard_cache)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
         makespan = time.monotonic() - started_at if tasks else 0.0
-        # Stable report order: the wall clock decides completion order, the
-        # DAG order breaks ties so repeated prints stay readable.
         assignments.sort(key=lambda a: (a.end_seconds, order_index[a.task_id]))
         measured = {a.task_id: a.end_seconds - a.start_seconds for a in assignments}
-        busy: Dict[int, float] = {index: 0.0 for index in range(request.workers)}
+        busy: Dict[int, float] = {index: 0.0 for index in range(n_shards)}
         for assignment in assignments:
             busy[assignment.worker_index] += measured[assignment.task_id]
         cell_end_seconds: Dict[int, float] = {}
@@ -246,8 +623,8 @@ class ThreadPoolBackend(ExecutionBackend):
                 cell_end_seconds.get(cell_index, 0.0), assignment.end_seconds
             )
         return PoolSchedule(
-            n_workers=request.workers,
-            slots_per_worker=cores,
+            n_workers=n_shards,
+            slots_per_worker=1,
             makespan_seconds=makespan,
             sequential_seconds=sum(measured.values()),
             critical_path_seconds=dag.critical_path_seconds(durations=measured),
@@ -255,17 +632,25 @@ class ThreadPoolBackend(ExecutionBackend):
             n_retries=0,
             failed_workers=(),
             busy_seconds_per_worker=busy,
-            peak_concurrent_tasks=peak,
-            available_slot_seconds=makespan * n_slots,
-            policy=policy.name,
+            peak_concurrent_tasks=max(len(working), 1 if tasks else 0),
+            available_slot_seconds=makespan * n_shards,
+            policy=scheduling_policy(request.policy).name,
             deadline_seconds=request.deadline_seconds,
             cell_end_seconds=cell_end_seconds,
             backend=self.name,
+            shards=n_shards,
         )
+
 
 #: The execution backends selectable by name (CLI ``--backend``).
 EXECUTION_BACKENDS = {
-    backend.name: backend for backend in (SimulatedBackend, ThreadPoolBackend)
+    backend.name: backend
+    for backend in (
+        SimulatedBackend,
+        ThreadPoolBackend,
+        ProcessPoolBackend,
+        ShardedBackend,
+    )
 }
 
 
@@ -292,6 +677,8 @@ __all__ = [
     "ExecutionBackend",
     "SimulatedBackend",
     "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "ShardedBackend",
     "EXECUTION_BACKENDS",
     "execution_backend",
 ]

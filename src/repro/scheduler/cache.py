@@ -363,6 +363,37 @@ class BuildCache:
             self.artifact_store.store(result.tarball, label=self.ARTIFACT_LABEL)
         return key
 
+    def merge_from(self, other: "BuildCache") -> int:
+        """Replay *other*'s entries into this cache; returns how many were new.
+
+        This is the shard-merge primitive of the sharded execution backend:
+        each shard returns a private cache restored from its own journal
+        segments, and merging is a *replay*, not new bookkeeping — the
+        content-addressed keys make it idempotent.  An entry already present
+        here is left untouched (donor attribution included), so merging a
+        shard whose work the parent cell pass already stored is a no-op.
+        The statistics are deliberately not merged: the parent's counters
+        keep describing the parent's own lookups, which is what keeps a
+        sharded campaign's cache statistics bit-identical to the simulated
+        backend's.  Newly installed entries are unknown to the journal
+        bookkeeping, so the next :meth:`persist_to` appends them.
+        """
+        added = 0
+        for key in sorted(set(other._entries) - set(self._entries)):
+            entry = other._entries[key]
+            self._entries[key] = entry
+            owner = other._owners.get(key)
+            if owner:
+                self._owners[key] = owner
+            shared = other._shared_counts.get(key, 0)
+            if shared:
+                self._shared_counts[key] = shared
+            self._touch(key)
+            if entry.tarball is not None and self.artifact_store is not None:
+                self.artifact_store.store(entry.tarball, label=self.ARTIFACT_LABEL)
+            added += 1
+        return added
+
     def contains(
         self, package: SoftwarePackage, configuration: EnvironmentConfiguration
     ) -> bool:

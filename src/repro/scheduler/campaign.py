@@ -154,11 +154,14 @@ class CampaignScheduler:
         backend: Union[str, ExecutionBackend, None] = None,
         cache_budget_bytes: Optional[int] = None,
         use_cache: bool = True,
+        shards: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise SchedulingError("a campaign needs at least one worker")
         if batch_size < 1:
             raise SchedulingError("standalone test batches need at least one slot")
+        if shards is not None and shards < 1:
+            raise SchedulingError("a sharded campaign needs at least one shard")
         if cache_budget_bytes is not None and cache_budget_bytes < 0:
             raise SchedulingError("a cache size budget cannot be negative")
         if cache_budget_bytes is not None and not use_cache:
@@ -179,6 +182,8 @@ class CampaignScheduler:
         self.cache_budget_bytes = cache_budget_bytes
         #: ``False`` runs the cold path: no cache layered over the builder.
         self.use_cache = use_cache
+        #: Shard count handed to the sharded backend (None = worker count).
+        self.shards = shards
 
     # -- campaign execution ----------------------------------------------------
     def expand_matrix(
@@ -276,6 +281,11 @@ class CampaignScheduler:
                     policy=self.policy,
                     deadline_seconds=self.deadline_seconds,
                     payloads=payloads,
+                    shards=self.shards,
+                    # The sharded backend replays its shards' journals into
+                    # the campaign's cache on completion; the merge is
+                    # idempotent, so handing it over is safe on every path.
+                    merge_cache=effective_cache if self.use_cache else None,
                 )
             )
         except SchedulingError as error:

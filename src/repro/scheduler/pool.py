@@ -43,6 +43,22 @@ TASK_MEMORY_GB = 1.0
 TASK_DISK_GB = 5.0
 
 
+def effective_slots_per_worker(profile: ResourceProfile) -> int:
+    """Concurrent campaign tasks one worker of *profile* really runs.
+
+    One slot per CPU core, unless memory or disk is the binding constraint
+    — the same arithmetic the dispatch paths use via
+    :meth:`~repro.virtualization.resources.ResourceAccountant.can_accommodate`,
+    so reported ``slots_per_worker`` (and therefore ``total_slots`` and
+    ``utilisation``) always describes the capacity that actually dispatched.
+    """
+    return min(
+        profile.cpu_cores // TASK_CPU_CORES,
+        int(profile.memory_gb // TASK_MEMORY_GB),
+        int(profile.disk_gb // TASK_DISK_GB),
+    )
+
+
 @dataclass(frozen=True)
 class WorkerFailure:
     """An injected failure: worker *worker_index* dies at *at_seconds*."""
@@ -175,8 +191,14 @@ class PoolSchedule:
     deadline_seconds: Optional[float] = None
     cell_end_seconds: Dict[int, float] = field(default_factory=dict)
     #: Execution backend that produced the timeline ("simulated" timestamps
-    #: from the event simulation, "threads" measured wall-clock seconds).
+    #: from the event simulation, "threads"/"processes"/"sharded" measured
+    #: wall-clock seconds).
     backend: str = "simulated"
+    #: Shard count of a sharded campaign (0 for unsharded backends).  On the
+    #: sharded backend every shard is one worker process running its cells'
+    #: builds sequentially, so ``n_workers`` equals the shard count and
+    #: ``slots_per_worker`` is 1.
+    shards: int = 0
 
     @property
     def total_slots(self) -> int:
@@ -412,9 +434,15 @@ class SimulatedWorkerPool:
             cell_end_seconds[cell_index] = max(
                 cell_end_seconds.get(cell_index, 0.0), assignment.end_seconds
             )
+        # Report the slot count the dispatch loop really used: one per core
+        # unless memory or disk is the binding constraint (the accountants
+        # enforce all three).  Reporting raw cpu_cores here used to inflate
+        # total_slots and available_slot_seconds — and so deflate utilisation
+        # — whenever memory or disk bound the worker.
+        slots_per_worker = effective_slots_per_worker(self.profile)
         return PoolSchedule(
             n_workers=self.n_workers,
-            slots_per_worker=self.profile.cpu_cores,
+            slots_per_worker=slots_per_worker,
             makespan_seconds=now,
             sequential_seconds=dag.total_seconds(),
             critical_path_seconds=dag.critical_path_seconds(),
@@ -429,7 +457,7 @@ class SimulatedWorkerPool:
             },
             peak_concurrent_tasks=peak,
             available_slot_seconds=sum(
-                min(death_times.get(index, now), now) * self.profile.cpu_cores
+                min(death_times.get(index, now), now) * slots_per_worker
                 for index in range(self.n_workers)
             ),
             policy=self.policy.name,
@@ -439,6 +467,7 @@ class SimulatedWorkerPool:
 
 
 __all__ = [
+    "effective_slots_per_worker",
     "WorkerFailure",
     "SchedulingPolicy",
     "FifoPolicy",

@@ -109,6 +109,15 @@ class CampaignSpec:
     deadline_seconds: Optional[float] = None
     #: Execution backend name from the backend registry.
     backend: str = "simulated"
+    #: Shard count for the sharded backend: the campaign's cells are
+    #: partitioned across this many worker processes, each persisting its
+    #: build results as journal segments into a private storage directory,
+    #: merged back into the parent cache on completion.  Setting ``shards``
+    #: while leaving ``backend`` at its "simulated" default selects the
+    #: sharded backend; an explicit non-sharded backend combined with
+    #: ``shards`` is rejected by :meth:`validate`.  ``None`` on the sharded
+    #: backend defaults the shard count to ``workers``.
+    shards: Optional[int] = None
     #: Injected worker failures (simulated backend only).
     failures: Tuple[WorkerFailure, ...] = ()
     #: Restore a persisted build-cache journal before the first campaign.
@@ -145,6 +154,11 @@ class CampaignSpec:
             self, "requests", _tuple_or_none("requests", self.requests)
         )
         object.__setattr__(self, "failures", tuple(self.failures))
+        # ``shards=N`` alone is the ergonomic spelling of the sharded
+        # backend; the normalisation happens here so the serialised spec
+        # (and therefore every replay) records backend="sharded" explicitly.
+        if self.shards is not None and self.backend == "simulated":
+            object.__setattr__(self, "backend", "sharded")
 
     # -- validation -----------------------------------------------------------
     def _check_types(self) -> None:
@@ -166,7 +180,7 @@ class CampaignSpec:
         for name in ("workers", "rounds", "batch_size"):
             if not is_int(getattr(self, name)):
                 fail(name, "an integer")
-        for name in ("slots_per_worker", "cache_budget_bytes"):
+        for name in ("slots_per_worker", "cache_budget_bytes", "shards"):
             value = getattr(self, name)
             if value is not None and not is_int(value):
                 fail(name, "an integer or null")
@@ -219,6 +233,13 @@ class CampaignSpec:
             )
         if self.slots_per_worker is not None and self.slots_per_worker < 1:
             raise SchedulingError("slots per worker must be positive")
+        if self.shards is not None and self.shards < 1:
+            raise SchedulingError("a sharded campaign needs at least one shard")
+        if self.shards is not None and self.backend != "sharded":
+            raise SchedulingError(
+                "campaign spec field 'shards' requires the 'sharded' "
+                f"backend, not {self.backend!r}"
+            )
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise SchedulingError("a campaign deadline must be positive")
         if self.cache_budget_bytes is not None and self.cache_budget_bytes < 0:
@@ -276,6 +297,7 @@ class CampaignSpec:
             "policy": self.policy,
             "deadline_seconds": self.deadline_seconds,
             "backend": self.backend,
+            "shards": self.shards,
             "failures": [
                 [failure.worker_index, failure.at_seconds]
                 for failure in self.failures

@@ -237,7 +237,12 @@ class CommonStorage:
                         json.dump(document, handle, indent=2, sort_keys=True)
                 expected.add(os.path.basename(path))
                 written.append(path)
-            record_keys = sorted(journal_records)
+            # Numeric sequence order, not lexicographic: legacy unpadded
+            # record keys must be batched (and replayed) in append order.
+            record_keys = sorted(
+                journal_records,
+                key=lambda key: int(key[len(record_prefix):]),  # type: ignore[arg-type]
+            )
             for start in range(0, len(record_keys), JOURNAL_SEGMENT_RECORDS):
                 chunk = record_keys[start:start + JOURNAL_SEGMENT_RECORDS]
                 # Named after the first record's sequence suffix, so the
@@ -355,12 +360,23 @@ class AppendOnlyJournal:
         return highest + 1
 
     def keys(self) -> List[str]:
-        """The record keys, in append order."""
-        return [
-            key
-            for key in self.namespace.keys(prefix=self.prefix)
-            if key[len(self.prefix):].isdigit()
-        ]
+        """The record keys, in append order.
+
+        Keys are ordered by their *parsed* sequence number, not
+        lexicographically: the journal's own keys are zero-padded (where the
+        two orders coincide), but a legacy journal written before the
+        padding existed — pre-segment layouts are documented as still
+        readable — carries unpadded keys, and ``journal_10`` must replay
+        after ``journal_2``, not before it.
+        """
+        return sorted(
+            (
+                key
+                for key in self.namespace.keys(prefix=self.prefix)
+                if key[len(self.prefix):].isdigit()
+            ),
+            key=lambda key: int(key[len(self.prefix):]),
+        )
 
     def __len__(self) -> int:
         return len(self.keys())

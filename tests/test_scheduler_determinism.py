@@ -10,6 +10,9 @@ cover the ``ValidationJob``/``ValidationRun`` document round-trip the
 structural comparisons rely on.
 """
 
+import os
+import pickle
+
 import pytest
 
 from repro.buildsys.builder import BuildTask
@@ -42,6 +45,31 @@ def _sequential_baseline(seed, keys, rounds=1):
 
 
 KEYS = ["SL5_64bit_gcc4.4", "SL6_64bit_gcc4.4"]
+
+#: The backends the parity suite runs against.  CI shards the matrix by
+#: exporting REPRO_PARITY_BACKENDS (e.g. "simulated,threads,processes");
+#: the default covers every registered backend.
+PARITY_BACKENDS = tuple(
+    entry.strip()
+    for entry in os.environ.get(
+        "REPRO_PARITY_BACKENDS", "simulated,threads,processes,sharded"
+    ).split(",")
+    if entry.strip()
+)
+
+#: The backends that really execute task payloads (everything but the
+#: simulation) — these are the ones whose builds must run exactly once.
+EXECUTING_BACKENDS = tuple(
+    backend for backend in PARITY_BACKENDS if backend != "simulated"
+)
+
+
+def _campaign_spec(backend, keys=None, **overrides):
+    options = dict(workers=4, backend=backend, persist_spec=False)
+    if keys is not None:
+        options["configuration_keys"] = tuple(keys)
+    options.update(overrides)
+    return CampaignSpec(**options)
 
 
 class TestSchedulerMatchesSequentialBaseline:
@@ -112,31 +140,32 @@ class TestSchedulerMatchesSequentialBaseline:
 class TestBackendParity:
     """The same spec yields bit-identical science on every backend.
 
-    The thread backend really executes the campaign DAG on OS threads, so
-    its schedule carries measured wall-clock timing — nondeterministic by
-    nature and therefore excluded from these comparisons by design.  The
-    run documents and catalogue records, produced by the deterministic cell
-    pass, must stay bit-identical to the simulated backend and to the
-    sequential ``validate`` path.
+    The wall-clock backends (threads, processes, sharded) really execute
+    the campaign DAG, so their schedules carry measured timing —
+    nondeterministic by nature and therefore excluded from these
+    comparisons by design.  The run documents and catalogue records,
+    produced by the deterministic cell pass, must stay bit-identical to
+    the simulated backend and to the sequential ``validate`` path.
     """
 
     def _full_matrix_spec(self, backend):
         return CampaignSpec(workers=4, backend=backend, persist_spec=False)
 
-    def test_threads_backend_matches_simulated_and_sequential(self):
+    @pytest.mark.parametrize("backend", EXECUTING_BACKENDS)
+    def test_executing_backend_matches_simulated_and_sequential(self, backend):
         seed = 20131029
         all_keys = [c.key for c in _fresh_system(seed).configurations()]
         baseline_system, baseline = _sequential_baseline(seed, all_keys)
         simulated_system = _fresh_system(seed)
         simulated = simulated_system.submit(self._full_matrix_spec("simulated"))
-        threaded_system = _fresh_system(seed)
-        threaded = threaded_system.submit(self._full_matrix_spec("threads"))
+        executed_system = _fresh_system(seed)
+        executed = executed_system.submit(self._full_matrix_spec(backend))
         expected = [cycle.run.to_document() for cycle in baseline]
         assert [
             run.to_document() for run in simulated.result().runs()
         ] == expected
         assert [
-            run.to_document() for run in threaded.result().runs()
+            run.to_document() for run in executed.result().runs()
         ] == expected
         expected_records = [
             record.to_dict() for record in baseline_system.catalog.all()
@@ -145,36 +174,37 @@ class TestBackendParity:
             record.to_dict() for record in simulated_system.catalog.all()
         ] == expected_records
         assert [
-            record.to_dict() for record in threaded_system.catalog.all()
+            record.to_dict() for record in executed_system.catalog.all()
         ] == expected_records
+        # The cache statistics are part of the invariant: the sharded merge
+        # must not inflate them.
+        assert (
+            executed.result().cache_statistics
+            == simulated.result().cache_statistics
+        )
         # The timelines are backend-specific: simulated seconds on one side,
         # measured wall-clock seconds on the other.
         assert simulated.result().schedule.backend == "simulated"
-        assert threaded.result().schedule.backend == "threads"
-        assert len(threaded.result().schedule.assignments) == len(
-            threaded.result().dag
+        assert executed.result().schedule.backend == backend
+        assert len(executed.result().schedule.assignments) == len(
+            executed.result().dag
         )
 
-    def test_threads_backend_executes_real_build_tasks(self):
+    @pytest.mark.parametrize("backend", EXECUTING_BACKENDS)
+    def test_executing_backend_runs_real_build_tasks(self, backend):
         """Build tasks are genuine BuildTask re-compilations, run exactly once.
 
         Every build task whose compile job ran during the cell pass carries
-        a re-executable :class:`BuildTask`; the thread backend runs each on
-        a worker thread (digest-checked against the recorded result), while
-        run documents stay bit-identical — builds are pure functions of the
-        content digest.
+        a re-executable :class:`BuildTask`; each executing backend runs it
+        for real — on a worker thread, in a pooled child process, or inside
+        its cell's shard — digest-checked against the recorded result,
+        while run documents stay bit-identical: builds are pure functions
+        of the content digest.
         """
         seed = 20131029
         baseline_system, baseline = _sequential_baseline(seed, KEYS)
         system = _fresh_system(seed)
-        campaign = system.submit(
-            CampaignSpec(
-                configuration_keys=tuple(KEYS),
-                workers=4,
-                backend="threads",
-                persist_spec=False,
-            )
-        ).result()
+        campaign = system.submit(_campaign_spec(backend, KEYS)).result()
         build_tasks = {
             task_id: payload
             for task_id, payload in campaign.payloads.items()
@@ -237,7 +267,7 @@ class TestBackendParity:
         with pytest.raises(BuildError):
             bad.run()
 
-    @pytest.mark.parametrize("backend", ["simulated", "threads"])
+    @pytest.mark.parametrize("backend", PARITY_BACKENDS)
     def test_spec_round_trip_replays_identical_campaign(self, backend):
         spec = CampaignSpec(
             configuration_keys=tuple(KEYS),
@@ -256,19 +286,13 @@ class TestBackendParity:
             run.to_document() for run in first.runs()
         ]
 
-    def test_threads_backend_storage_matches_simulated(self):
+    @pytest.mark.parametrize("backend", EXECUTING_BACKENDS)
+    def test_executing_backend_storage_matches_simulated(self, backend):
         """The persisted storage is byte-identical across backends."""
         documents = []
-        for backend in ("simulated", "threads"):
+        for chosen in ("simulated", backend):
             system = _fresh_system(20131029)
-            system.submit(
-                CampaignSpec(
-                    configuration_keys=tuple(KEYS),
-                    workers=2,
-                    backend=backend,
-                    persist_spec=False,
-                )
-            )
+            system.submit(_campaign_spec(chosen, KEYS, workers=2))
             documents.append({
                 namespace: {
                     key: system.storage.get(namespace, key)
@@ -277,6 +301,88 @@ class TestBackendParity:
                 for namespace in system.storage.namespaces()
             })
         assert documents[0] == documents[1]
+
+    def test_build_task_pickle_round_trip(self, sp_system, tiny_hermes):
+        """BuildTask crosses the process boundary: pickle must round-trip.
+
+        The process and sharded backends ship build tasks to child
+        interpreters; this pins the picklability contract directly so a
+        future unpicklable field fails here, not deep inside a pool
+        traceback.
+        """
+        from repro.buildsys.builder import PackageBuilder, build_result_digest
+
+        sp_system.register_experiment(tiny_hermes)
+        package = tiny_hermes.inventory.all()[0]
+        configuration = sp_system.configuration("SL5_64bit_gcc4.4")
+        builder = PackageBuilder()
+        task = BuildTask(
+            package=package,
+            configuration=configuration,
+            builder=builder,
+            expected_digest=build_result_digest(
+                builder.build_package(package, configuration)
+            ),
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.package == package
+        assert clone.configuration.key == configuration.key
+        assert clone.expected_digest == task.expected_digest
+        # The clone executes independently: the digest check passes and the
+        # original's run counter is untouched (the parent mirrors it).
+        result = clone.run()
+        assert build_result_digest(result) == task.expected_digest
+        assert clone.runs == 1
+        assert task.runs == 0
+
+    def test_shard_merge_with_shared_warm_start(self):
+        """Two shards warm-starting from one shared build cache stay exact.
+
+        The first sharded campaign populates the system's build cache via
+        the shard merge; the second campaign's cells all warm-start from
+        that shared cache, so every build task carries an expected digest
+        recorded by the *merged* shards — and the science plus the cache
+        statistics still match the simulated backend bit for bit.
+        """
+        sharded_spec = CampaignSpec(
+            configuration_keys=tuple(KEYS),
+            workers=2,
+            shards=2,
+            persist_spec=False,
+        )
+        assert sharded_spec.backend == "sharded"
+        simulated_spec = _campaign_spec("simulated", KEYS, workers=2)
+
+        reference_system = _fresh_system(20131029)
+        reference_first = reference_system.submit(simulated_spec).result()
+        reference_second = reference_system.submit(simulated_spec).result()
+
+        system = _fresh_system(20131029)
+        first = system.submit(sharded_spec).result()
+        second = system.submit(sharded_spec).result()
+
+        assert first.schedule.shards == 2
+        assert first.schedule.backend == "sharded"
+        assert first.schedule.slots_per_worker == 1
+        # The second campaign is served warm: its cells hit the cache the
+        # first campaign's shards merged into.
+        assert second.cache_statistics.hits > 0
+        warm_tasks = [
+            payload for payload in second.payloads.values()
+            if isinstance(payload, BuildTask)
+        ]
+        assert warm_tasks
+        assert all(task.expected_digest is not None for task in warm_tasks)
+        assert all(task.runs == 1 for task in warm_tasks)
+        # Science and cache accounting match the simulated pair exactly.
+        assert [run.to_document() for run in first.runs()] == [
+            run.to_document() for run in reference_first.runs()
+        ]
+        assert [run.to_document() for run in second.runs()] == [
+            run.to_document() for run in reference_second.runs()
+        ]
+        assert first.cache_statistics == reference_first.cache_statistics
+        assert second.cache_statistics == reference_second.cache_statistics
 
 
 class TestDocumentRoundTrip:
@@ -382,7 +488,7 @@ class TestHistoryRecordingBitIdentity:
         }
         assert self._non_history_documents(recorded_system) == baseline_documents
 
-    @pytest.mark.parametrize("backend", ["simulated", "threads"])
+    @pytest.mark.parametrize("backend", PARITY_BACKENDS)
     def test_history_recording_is_backend_invariant_in_science(self, backend):
         """Per-backend events differ only in the recorded backend name."""
         system = _fresh_system(20131029)

@@ -211,6 +211,46 @@ class TestJournalSegmentFiles:
             "type": "entry", "n": 1,
         }
 
+    def test_mixed_padding_records_replay_in_append_order(self, tmp_path):
+        """Legacy unpadded record keys must not reorder the journal.
+
+        A journal written before the zero-padded key layout carries keys
+        like ``journal_2`` and ``journal_10``; lexicographically ``_10``
+        sorts before ``_2``, which used to replay (and persist into
+        segments) out of append order.  Both the journal view and the
+        persisted segment batching must order records numerically.
+        """
+        from repro.storage.common_storage import AppendOnlyJournal
+
+        storage = CommonStorage()
+        namespace = storage.create_namespace("buildcache")
+        # A legacy journal with unpadded keys, written out of lexicographic
+        # order on purpose, plus one modern padded record.
+        namespace.put("journal_10", {"type": "entry", "n": 10})
+        namespace.put("journal_2", {"type": "entry", "n": 2})
+        namespace.put("journal_9", {"type": "entry", "n": 9})
+        namespace.put("journal_00000011", {"type": "entry", "n": 11})
+        namespace.put("statistics", {"hits": 0})  # non-record: ignored
+        journal = AppendOnlyJournal(namespace)
+        assert journal.keys() == [
+            "journal_2", "journal_9", "journal_10", "journal_00000011",
+        ]
+        assert [
+            (sequence, record["n"]) for sequence, record in journal.records()
+        ] == [(2, 2), (9, 9), (10, 10), (11, 11)]
+        # New appends continue after the highest sequence seen, whatever
+        # the padding of the key that carried it.
+        assert journal.append({"type": "entry", "n": 12}) == 12
+        assert journal.keys()[-1] == "journal_00000012"
+        # Segment persistence batches numerically too: the round trip
+        # yields the same records in the same append order.
+        storage.persist(str(tmp_path))
+        loaded = CommonStorage.load(str(tmp_path))
+        replayed = AppendOnlyJournal(loaded.namespace("buildcache"))
+        assert [record["n"] for _sequence, record in replayed.records()] == [
+            2, 9, 10, 11, 12,
+        ]
+
     def test_unregistered_namespaces_do_not_segment(self, tmp_path):
         storage = CommonStorage()
         storage.put("results", "journal_00000001", {"n": 1})

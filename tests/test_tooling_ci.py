@@ -80,9 +80,15 @@ class TestCiScript:
         assert "-m examples" in source
         # ... the bench marker audit ...
         assert "--collect-only" in source and "benchmarks/" in source
-        # ... and the history-ledger write audit.
+        # ... the history-ledger write audit ...
         assert "history-ledger write audit" in source
         assert "src/repro/history/" in source
+        # ... the scheduler monotonic-clock audit ...
+        assert "monotonic-clock audit" in source
+        assert "src/repro/scheduler" in source
+        # ... and the explicit backend-parity shard.
+        assert "REPRO_PARITY_BACKENDS=simulated,threads,processes" in source
+        assert "test_scheduler_determinism.py" in source
 
 
 class TestHistoryLedgerWriteAudit:
@@ -135,3 +141,39 @@ class TestHistoryLedgerWriteAudit:
         assert not self.PATTERN.search(
             "storage.create_namespace(ValidationHistoryLedger.NAMESPACE)"
         )
+
+
+class TestSchedulerMonotonicClockAudit:
+    """src/repro/scheduler/ must time itself with time.monotonic() only.
+
+    The wall-clock backends report task offsets from a campaign-local
+    origin; a ``time.time()`` call would tie those offsets to a clock NTP
+    can step backwards, silently corrupting makespans and utilisation.
+    ``scripts/ci.sh`` greps for the call; this test enforces the same rule
+    in-process.
+    """
+
+    PATTERN = re.compile(r"time\.time\(")
+
+    def test_no_wall_clock_calls_in_the_scheduler(self):
+        scheduler_root = os.path.join(REPO_ROOT, "src", "repro", "scheduler")
+        violations = []
+        for directory, _subdirectories, filenames in os.walk(scheduler_root):
+            for filename in filenames:
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(directory, filename)
+                with open(path, encoding="utf-8") as handle:
+                    for line_number, line in enumerate(handle, start=1):
+                        if self.PATTERN.search(line):
+                            violations.append(
+                                f"{path}:{line_number}: {line.strip()}"
+                            )
+        assert violations == [], (
+            "wall-clock time.time() call in src/repro/scheduler/ — "
+            "use time.monotonic() instead:\n" + "\n".join(violations)
+        )
+
+    def test_the_audit_pattern_distinguishes_the_clocks(self):
+        assert self.PATTERN.search("started = time.time()")
+        assert not self.PATTERN.search("started = time.monotonic()")
