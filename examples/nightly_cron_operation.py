@@ -109,12 +109,12 @@ def main() -> None:
           + f"  [{warm.result().cache_statistics.hits} cache hits]")
 
     # The environment evolves: ROOT 6.02 is installed on the established
-    # SL5 platform (same configuration key, new content) and the change is
-    # recorded on the ledger's time axis.
+    # SL5 platform (same configuration key, new content).  Handing the
+    # driving event to replace_configuration announces the swap on the
+    # lifecycle bus and stamps it onto the ledger's time axis in one step
+    # — no separate record_evolution call.
     root6 = ExternalSoftwareCatalog().get("ROOT", "6.02")
     evolved = system.configuration("SL5_64bit_gcc4.4").with_external(root6)
-    system.replace_configuration(evolved)
-    system.clock.advance_days(1)
     evolution = EnvironmentEvent(
         year=2014,
         kind=EVENT_EXTERNAL_RELEASE,
@@ -122,7 +122,8 @@ def main() -> None:
         detail="ROOT 6.02 installed on the SL5 platform; removes the CINT "
                "interpreter interfaces",
     )
-    system.history.record_evolution(evolution, system.clock.now)
+    system.clock.advance_days(1)
+    system.replace_configuration(evolved, event=evolution)
     print(f"\nevolution event recorded: {evolution}")
     system.clock.advance_days(6)
     after = system.submit(spec)
@@ -179,9 +180,11 @@ def main() -> None:
         "--to-campaign", after.campaign_id,
     ]) == 0
     print("\n$ repro-sp history regressions ...")
+    # Exit code 1: a regression is open — exactly what a cron job gates on
+    # (`history regressions --quiet && deploy` stops the morning it breaks).
     assert cli_main([
         "history", "regressions", "--storage-dir", output_directory,
-    ]) == 0
+    ]) == 1
 
 
 if __name__ == "__main__":

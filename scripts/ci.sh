@@ -16,14 +16,18 @@
 #      their dispatch with time.monotonic(); a time.time() call in
 #      src/repro/scheduler/ would make schedules jump with NTP
 #      adjustments, so the wall clock is banned there outright.
-#   4. tier-1 — the documented fast suite (ROADMAP.md):
+#   4. lifecycle-purity audit — automated intervention tickets and history
+#      ingestion are plugin-layer concerns: no module outside
+#      src/repro/plugins (and the owning core/history modules) may
+#      construct an InterventionTracker or call ingest_cycle directly.
+#   5. tier-1 — the documented fast suite (ROADMAP.md):
 #      pytest -x -q -m "not bench"
-#   5. backend parity — the determinism suite re-run with an explicit
+#   6. backend parity — the determinism suite re-run with an explicit
 #      backend shard (REPRO_PARITY_BACKENDS=simulated,threads,processes):
 #      pins that the process-pool backend, whose builds cross a pickle
 #      boundary, stays bit-identical even when CI trims the default
 #      all-backend matrix.
-#   6. examples — headless smoke run of every examples/*.py script:
+#   7. examples — headless smoke run of every examples/*.py script:
 #      pytest -m examples
 #
 # Usage: scripts/ci.sh [--skip-examples]
@@ -32,7 +36,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/6: bench marker audit =="
+echo "== stage 1/7: bench marker audit =="
 # Selecting "not bench" below benchmarks/ must collect nothing; any test id
 # in the output is a benchmark that escaped the marker.
 unmarked=$(python -m pytest benchmarks/ -m "not bench" --collect-only -q 2>/dev/null | grep -c "::" || true)
@@ -43,7 +47,7 @@ if [ "${unmarked}" -ne 0 ]; then
 fi
 echo "ok: every benchmarks/ test carries the bench marker"
 
-echo "== stage 2/6: history-ledger write audit =="
+echo "== stage 2/7: history-ledger write audit =="
 # Writers must go through the ledger API: no raw put into the 'history'
 # namespace (and no string-literal namespace handle to put through) outside
 # the owning package.  The same rule is enforced by tests/test_tooling_ci.py.
@@ -56,7 +60,7 @@ if [ -n "${violations}" ]; then
 fi
 echo "ok: every history-namespace writer goes through the ledger API"
 
-echo "== stage 3/6: scheduler monotonic-clock audit =="
+echo "== stage 3/7: scheduler monotonic-clock audit =="
 # Backend timelines are offsets from a campaign-local origin; time.time()
 # would tie them to a clock that NTP can step.  Only time.monotonic() is
 # allowed anywhere under src/repro/scheduler/.  The same rule is enforced
@@ -70,10 +74,25 @@ if [ -n "${clock_violations}" ]; then
 fi
 echo "ok: the scheduler times itself with time.monotonic() only"
 
-echo "== stage 4/6: tier-1 test suite =="
+echo "== stage 4/7: lifecycle-purity audit =="
+# Automated tickets and history ingestion flow through the plugin layer:
+# no module outside src/repro/plugins (and the owning core/history modules)
+# may construct an InterventionTracker or call ingest_cycle directly, or
+# the lifecycle bus would stop being the single reporting path.  The same
+# rule is enforced by tests/test_tooling_ci.py.
+lifecycle_violations=$(grep -rnE "InterventionTracker\(|ingest_cycle\(" src --include='*.py' | grep -vE "^src/repro/(plugins/|history/|core/intervention\.py)" || true)
+if [ -n "${lifecycle_violations}" ]; then
+    echo "error: direct tracker construction or history ingestion outside the plugin layer:" >&2
+    echo "${lifecycle_violations}" >&2
+    echo "route it through repro.plugins (new_intervention_tracker / HistoryRecorderPlugin) instead" >&2
+    exit 1
+fi
+echo "ok: tickets and history ingestion flow through the plugin layer"
+
+echo "== stage 5/7: tier-1 test suite =="
 python -m pytest -x -q -m "not bench"
 
-echo "== stage 5/6: backend parity (explicit shard) =="
+echo "== stage 6/7: backend parity (explicit shard) =="
 # The tier-1 run above already covers the default all-backend matrix; this
 # shard pins that the env knob itself works and that the pickle-crossing
 # process backend passes in isolation from the sharded one.
@@ -82,11 +101,11 @@ REPRO_PARITY_BACKENDS=simulated,threads,processes \
     -k "BackendParity or HistoryRecordingBitIdentity"
 
 if [ "${1:-}" = "--skip-examples" ]; then
-    echo "== stage 6/6: examples smoke run skipped =="
+    echo "== stage 7/7: examples smoke run skipped =="
     exit 0
 fi
 
-echo "== stage 6/6: examples smoke run =="
+echo "== stage 7/7: examples smoke run =="
 python -m pytest -q -m examples
 
 echo "CI checks passed."

@@ -48,10 +48,11 @@ from repro.history import (
     regression_rows,
     trend_rows,
 )
+from repro.plugins import CAMPAIGN_PLUGINS, InterventionStore
 from repro.scheduler.backends import EXECUTION_BACKENDS
 from repro.scheduler.cache import BuildCache
 from repro.scheduler.pool import SCHEDULING_POLICIES
-from repro.scheduler.spec import CampaignSpec
+from repro.scheduler.spec import ON_DEADLINE_MODES, CampaignSpec
 from repro.storage.common_storage import CommonStorage
 from repro.environment.configuration import next_generation_configuration
 from repro.experiments import (
@@ -62,7 +63,11 @@ from repro.experiments import (
 )
 from repro.migration.planner import MigrationPlanner
 from repro.reporting.export import catalog_to_rows, rows_to_text
-from repro.reporting.summary import ValidationSummaryBuilder
+from repro.reporting.summary import (
+    ValidationSummaryBuilder,
+    intervention_rows,
+    lifecycle_event_rows,
+)
 from repro.reporting.webpages import StatusPageGenerator
 
 
@@ -166,6 +171,27 @@ def build_parser() -> argparse.ArgumentParser:
                                "(--output/--cache-dir/--cache-budget-mb still apply)")
     campaign.add_argument("--deadline-seconds", type=float, default=None,
                           help="campaign deadline; late cells are reported")
+    campaign.add_argument("--on-deadline", default=None,
+                          choices=list(ON_DEADLINE_MODES),
+                          help="what a blown deadline does: 'report' (the "
+                               "default) only marks late cells, 'abort' "
+                               "cancels still-queued work via the lifecycle "
+                               "bus's deadline-abort policy — completed "
+                               "cells keep their (bit-identical) run "
+                               "documents")
+    campaign.add_argument("--event-log", default=None, metavar="PATH",
+                          help="append every fired lifecycle event "
+                               "(cell_completed, campaign_finished, "
+                               "regression_detected, ...) as one JSON line "
+                               "to PATH")
+    campaign.add_argument("--plugin", action="append", default=None,
+                          metavar="NAME", choices=sorted(CAMPAIGN_PLUGINS),
+                          help="attach a named lifecycle plugin for this "
+                               "submission (repeatable); "
+                               "'regression-alerts' runs the regression "
+                               "detector after the campaign and opens "
+                               "persisted intervention tickets "
+                               "(needs --record-history)")
     campaign.add_argument("--cache-dir", default=None,
                           help="directory with a persisted build-cache snapshot to "
                                "warm-start from (defaults to --output, so repeated "
@@ -237,7 +263,44 @@ def build_parser() -> argparse.ArgumentParser:
              "never-validated) and name the suspected evolution events",
     )
     regressions.add_argument("--storage-dir", required=True)
+    regressions.add_argument("--quiet", action="store_true",
+                             help="print only the counts line (cron "
+                                  "gating: the exit code is 1 when "
+                                  "regressions were found, 0 otherwise)")
     regressions.set_defaults(handler=_cmd_history_regressions)
+
+    interventions = subparsers.add_parser(
+        "interventions",
+        help="list and resolve persisted intervention tickets (opened by "
+             "the regression-alerts campaign plugin)",
+    )
+    interventions_sub = interventions.add_subparsers(
+        dest="interventions_command", required=True
+    )
+    tickets_list = interventions_sub.add_parser(
+        "list", help="list intervention tickets (open ones by default)"
+    )
+    tickets_list.add_argument("--storage-dir", required=True,
+                              help="directory holding a persisted common "
+                                   "storage with intervention tickets (a "
+                                   "previous campaign's --output)")
+    tickets_list.add_argument("--all", action="store_true", dest="show_all",
+                              help="include resolved and closed tickets")
+    tickets_list.set_defaults(handler=_cmd_interventions_list)
+    resolve = interventions_sub.add_parser(
+        "resolve", help="resolve an open ticket and persist the update"
+    )
+    resolve.add_argument("--storage-dir", required=True)
+    resolve.add_argument("--ticket", required=True, metavar="TICKET_ID")
+    resolve.add_argument("--resolution", required=True,
+                         help="what was done to fix the regression")
+    resolve.add_argument("--timestamp", type=_positive_int, default=None,
+                         help="logical resolution timestamp (default: one "
+                              "past the newest recorded ticket event)")
+    resolve.add_argument("--long-standing-bug", action="store_true",
+                         help="mark the fix as exposing a long-standing "
+                              "bug rather than an environment change")
+    resolve.set_defaults(handler=_cmd_interventions_resolve)
 
     migrate = subparsers.add_parser("migrate-plan", help="plan a migration to a new platform")
     migrate.add_argument("--experiment", required=True, choices=sorted(_EXPERIMENT_BUILDERS))
@@ -394,6 +457,20 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         # Folded into the spec (winning over a --spec file's own value), so
         # the persisted record replays with history recording on.
         spec = CampaignSpec.from_dict(dict(spec.to_dict(), record_history=True))
+    if arguments.on_deadline is not None:
+        # Folded into the spec (winning over a --spec file's own value), so
+        # the persisted record replays the same deadline semantics.
+        spec = CampaignSpec.from_dict(
+            dict(spec.to_dict(), on_deadline=arguments.on_deadline)
+        )
+    if arguments.event_log is not None:
+        spec = CampaignSpec.from_dict(
+            dict(spec.to_dict(), event_log=arguments.event_log)
+        )
+    if arguments.plugin:
+        spec = CampaignSpec.from_dict(
+            dict(spec.to_dict(), plugins=list(arguments.plugin))
+        )
     if arguments.cache_dir and not spec.use_cache:
         # An *explicit* --cache-dir (as opposed to the --output default)
         # would be a silent no-op without the cache layer; refuse it like
@@ -438,6 +515,21 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
                 f"mounted validation history: {len(mounted)} event(s) "
                 f"from {cache_dir}"
             )
+    if cache_dir and os.path.isdir(cache_dir):
+        # Mount previously persisted tickets, so the regression alerter
+        # deduplicates against — instead of re-opening — the open tickets
+        # of earlier campaigns, and the persisted output carries them all.
+        mounted_store = system.restore_interventions(
+            CommonStorage.load(
+                cache_dir, namespaces=[InterventionStore.NAMESPACE]
+            ),
+            missing_ok=True,
+        )
+        if mounted_store is not None:
+            print(
+                f"mounted {len(mounted_store.tickets())} intervention "
+                f"ticket(s) from {cache_dir}"
+            )
     handle = system.submit(spec)
     campaign = handle.result()
     print(f"submitted {handle.campaign_id}: {handle.cells_completed}/"
@@ -451,6 +543,18 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         catalog_to_rows(system.catalog),
         columns=["run_id", "experiment", "configuration", "overall_status"],
     ))
+    if spec.event_log:
+        print(f"lifecycle event log appended to {spec.event_log}")
+    open_tickets = (
+        InterventionStore(system.storage).open_tickets()
+        if InterventionStore.exists_in(system.storage)
+        else None
+    )
+    if spec.plugins:
+        print(
+            f"{len(open_tickets or [])} open intervention ticket(s) after "
+            "this campaign"
+        )
     if arguments.output:
         appended_entries = 0
         if spec.use_cache:
@@ -469,6 +573,16 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
                 else None
             ),
             history_link=history_on,
+            tickets=(
+                intervention_rows(open_tickets)
+                if open_tickets is not None
+                else None
+            ),
+            events=(
+                lifecycle_event_rows(system.lifecycle.recent(limit=50))
+                if system.lifecycle.events
+                else None
+            ),
         )
         pages.index_page()
         pages.summary_page(matrix.render_text())
@@ -605,14 +719,64 @@ def _cmd_history_regressions(arguments: argparse.Namespace) -> int:
         f"{never} never-validated cell(s) across {len(findings)} "
         "recorded cell(s)"
     )
-    for finding in regressions:
-        print(f"  {finding.summary()}")
-    if findings:
-        _print_rows(
-            regression_rows(findings),
-            ["experiment", "configuration", "classification", "events",
-             "flips", "first_bad", "suspected_change"],
+    if not arguments.quiet:
+        for finding in regressions:
+            print(f"  {finding.summary()}")
+        if findings:
+            _print_rows(
+                regression_rows(findings),
+                ["experiment", "configuration", "classification", "events",
+                 "flips", "first_bad", "suspected_change"],
+            )
+    # Nonzero on open regressions, so cron jobs can gate on the exit code
+    # (`history regressions --quiet && ...`); storage errors stay exit 2.
+    return 1 if regressions else 0
+
+
+def _load_intervention_store(storage_dir: str) -> "tuple[CommonStorage, InterventionStore]":
+    """Mount the intervention tickets persisted below *storage_dir*."""
+    if not os.path.isdir(storage_dir):
+        raise ReproError(f"no such storage directory: {storage_dir}")
+    storage = CommonStorage.load(
+        storage_dir, namespaces=[InterventionStore.NAMESPACE]
+    )
+    if not InterventionStore.exists_in(storage):
+        raise ReproError(
+            f"no intervention tickets below {storage_dir}: run a campaign "
+            "with --plugin regression-alerts first"
         )
+    return storage, InterventionStore(storage)
+
+
+def _cmd_interventions_list(arguments: argparse.Namespace) -> int:
+    _storage, store = _load_intervention_store(arguments.storage_dir)
+    tickets = store.tickets() if arguments.show_all else store.open_tickets()
+    print(
+        f"{len(store.open_tickets())} open ticket(s) of "
+        f"{len(store.tickets())} recorded below {arguments.storage_dir}"
+    )
+    if tickets:
+        _print_rows(
+            intervention_rows(tickets),
+            ["ticket", "experiment", "configuration", "category", "status",
+             "suspected change", "description"],
+        )
+    return 0
+
+
+def _cmd_interventions_resolve(arguments: argparse.Namespace) -> int:
+    storage, store = _load_intervention_store(arguments.storage_dir)
+    ticket = store.resolve(
+        arguments.ticket,
+        arguments.resolution,
+        timestamp=arguments.timestamp,
+        long_standing_bug=arguments.long_standing_bug,
+    )
+    storage.persist(arguments.storage_dir)
+    print(
+        f"resolved {ticket.ticket_id} at t={ticket.resolved_at}: "
+        f"{arguments.resolution}"
+    )
     return 0
 
 

@@ -11,6 +11,7 @@ bugs" statistic of the reporting layer.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -57,6 +58,11 @@ class InterventionTicket:
     resolution: str = ""
     resolved_at: Optional[int] = None
     long_standing_bug: bool = False
+    #: Environment configuration the problem was observed on (regression
+    #: tickets opened by the alerting plugin; empty for diagnosis tickets).
+    configuration_key: str = ""
+    #: Label of the evolution event suspected to have caused the problem.
+    suspected_change: str = ""
 
     def resolve(self, resolution: str, timestamp: int, long_standing_bug: bool = False) -> None:
         """Mark the ticket as resolved."""
@@ -79,6 +85,55 @@ class InterventionTicket:
     def is_open(self) -> bool:
         """True while the ticket still needs action."""
         return self.status in (TicketStatus.OPEN, TicketStatus.IN_PROGRESS)
+
+    # -- persistence ----------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view; :meth:`from_dict` round-trips it."""
+        return {
+            "ticket_id": self.ticket_id,
+            "run_id": self.run_id,
+            "experiment": self.experiment,
+            "test_name": self.test_name,
+            "category": self.category.value,
+            "party": self.party.value,
+            "opened_at": self.opened_at,
+            "description": self.description,
+            "status": self.status.value,
+            "resolution": self.resolution,
+            "resolved_at": self.resolved_at,
+            "long_standing_bug": self.long_standing_bug,
+            "configuration_key": self.configuration_key,
+            "suspected_change": self.suspected_change,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "InterventionTicket":
+        """Reconstruct a ticket serialised by :meth:`to_dict`."""
+        try:
+            return cls(
+                ticket_id=str(payload["ticket_id"]),
+                run_id=str(payload["run_id"]),
+                experiment=str(payload["experiment"]),
+                test_name=str(payload["test_name"]),
+                category=IssueCategory(payload["category"]),
+                party=InterventionParty(payload["party"]),
+                opened_at=int(payload["opened_at"]),  # type: ignore[arg-type]
+                description=str(payload["description"]),
+                status=TicketStatus(payload.get("status", "open")),
+                resolution=str(payload.get("resolution", "")),
+                resolved_at=(
+                    None
+                    if payload.get("resolved_at") is None
+                    else int(payload["resolved_at"])  # type: ignore[arg-type]
+                ),
+                long_standing_bug=bool(payload.get("long_standing_bug", False)),
+                configuration_key=str(payload.get("configuration_key", "")),
+                suspected_change=str(payload.get("suspected_change", "")),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ValidationError(
+                f"invalid intervention ticket document: {error}"
+            ) from error
 
 
 class InterventionTracker:
@@ -108,15 +163,12 @@ class InterventionTracker:
     def _open_ticket(
         self, report: DiagnosisReport, diagnosis: Diagnosis, timestamp: int
     ) -> InterventionTicket:
-        self._counter += 1
-        ticket_id = f"ticket-{self._counter:05d}"
         party = (
             InterventionParty.EXPERIMENT
             if diagnosis.category is IssueCategory.EXPERIMENT_SOFTWARE
             else InterventionParty.HOST_IT
         )
-        ticket = InterventionTicket(
-            ticket_id=ticket_id,
+        return self.open_ticket(
             run_id=report.run_id,
             experiment=report.experiment,
             test_name=diagnosis.test_name,
@@ -125,7 +177,52 @@ class InterventionTracker:
             opened_at=timestamp,
             description=diagnosis.summary(),
         )
+
+    def open_ticket(
+        self,
+        *,
+        run_id: str,
+        experiment: str,
+        test_name: str,
+        category: IssueCategory,
+        party: InterventionParty,
+        opened_at: int,
+        description: str,
+        configuration_key: str = "",
+        suspected_change: str = "",
+    ) -> InterventionTicket:
+        """Open one ticket with the next sequential ID."""
+        self._counter += 1
+        ticket_id = f"ticket-{self._counter:05d}"
+        ticket = InterventionTicket(
+            ticket_id=ticket_id,
+            run_id=run_id,
+            experiment=experiment,
+            test_name=test_name,
+            category=category,
+            party=party,
+            opened_at=opened_at,
+            description=description,
+            configuration_key=configuration_key,
+            suspected_change=suspected_change,
+        )
         self._tickets[ticket_id] = ticket
+        return ticket
+
+    def adopt(self, ticket: InterventionTicket) -> InterventionTicket:
+        """Register an existing (e.g. persisted) ticket under its own ID.
+
+        The sequential counter advances past adopted IDs so tickets opened
+        afterwards never collide with replayed ones.
+        """
+        if ticket.ticket_id in self._tickets:
+            raise ValidationError(
+                f"ticket {ticket.ticket_id!r} is already tracked"
+            )
+        self._tickets[ticket.ticket_id] = ticket
+        match = re.fullmatch(r"ticket-(\d+)", ticket.ticket_id)
+        if match:
+            self._counter = max(self._counter, int(match.group(1)))
         return ticket
 
     def ticket(self, ticket_id: str) -> InterventionTicket:

@@ -67,13 +67,25 @@ class RegularValidationService:
     (the auto rule of :class:`~repro.scheduler.spec.CampaignSpec`), so a
     service driving an installation mounted on recorded storage keeps the
     longitudinal history growing without any configuration.
+
+    *plugins* names lifecycle plugins (the
+    :data:`~repro.plugins.CAMPAIGN_PLUGINS` registry) attached to every due
+    validation's single-cell campaign: a nightly service constructed with
+    ``plugins=("regression-alerts",)`` opens intervention tickets the
+    morning a regression appears, with no separate detection pass.  Each
+    due validation also emits the ordinary ``cell_completed`` /
+    ``campaign_finished`` events on the system's lifecycle bus.
     """
 
     def __init__(
-        self, system: SPSystem, record_history: Optional[bool] = None
+        self,
+        system: SPSystem,
+        record_history: Optional[bool] = None,
+        plugins: Tuple[str, ...] = (),
     ) -> None:
         self.system = system
         self.record_history = record_history
+        self.plugins = tuple(plugins)
         self._schedule: Dict[str, ScheduledValidation] = {}
 
     # -- schedule management ---------------------------------------------------
@@ -195,6 +207,7 @@ class RegularValidationService:
                     ),
                     persist_spec=False,
                     record_history=self.record_history,
+                    plugins=self.plugins,
                 )
                 try:
                     cycle = self.system.submit(spec).result().cells[0].result

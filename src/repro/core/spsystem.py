@@ -18,7 +18,7 @@ from repro._common import ReproError, SchedulingError, StorageError, ValidationE
 from repro.buildsys.builder import PackageBuilder
 from repro.core.diagnosis import DiagnosisReport, FailureDiagnosisEngine
 from repro.core.freeze import FreezeManager, FreezeReason, FrozenSystem
-from repro.core.intervention import InterventionTicket, InterventionTracker
+from repro.core.intervention import InterventionTicket
 from repro.core.jobs import ValidationRun
 from repro.core.recipe import RecipeBook, ValidatedRecipe
 from repro.core.regression import RegressionDetector, RegressionReport
@@ -34,13 +34,26 @@ from repro.environment.configuration import (
     EnvironmentConfiguration,
     sp_system_configurations,
 )
+from repro.environment.evolution import EnvironmentEvent
 from repro.history.ledger import ValidationHistoryLedger
+from repro.plugins import campaign_plugin
+from repro.plugins.history_recorder import HistoryRecorderPlugin
+from repro.plugins.interventions import InterventionStore, new_intervention_tracker
 from repro.scheduler.cache import BuildCache, CachingPackageBuilder
 from repro.scheduler.campaign import (
     DEFAULT_BATCH_SIZE,
     CampaignCell,
     CampaignResult,
     CampaignScheduler,
+)
+from repro.scheduler.lifecycle import (
+    EVENT_CAMPAIGN_FINISHED,
+    EVENT_EVOLUTION_RECORDED,
+    DeadlineAbortPolicy,
+    EarlyStopPolicy,
+    FileEventSink,
+    LifecycleObserver,
+    PluginRegistry,
 )
 from repro.scheduler.pool import SCHEDULING_POLICIES, SchedulingPolicy, WorkerFailure
 from repro.scheduler.spec import CampaignSpec
@@ -190,7 +203,7 @@ class SPSystem:
         )
         self.regression_detector = RegressionDetector(self.storage, self.catalog)
         self.diagnosis_engine = FailureDiagnosisEngine()
-        self.interventions = InterventionTracker()
+        self.interventions = new_intervention_tracker()
         self.recipe_book = RecipeBook(self.storage)
         self.freeze_manager = FreezeManager(self.hypervisor, self.recipe_book, self.storage)
         self.workflow = PreservationWorkflow()
@@ -211,6 +224,13 @@ class SPSystem:
         )
         if self.history is not None:
             self._resume_ids_past_history()
+        # The lifecycle bus.  The system-level history recorder registers
+        # first; per-submission plugins (spec.plugins, event sinks, abort
+        # policies) are scoped onto the registry around each submit() and
+        # therefore always observe a campaign *after* its cells have landed
+        # on the ledger.
+        self.lifecycle = PluginRegistry()
+        self.lifecycle.add_observer(HistoryRecorderPlugin(self))
 
     # -- setup ----------------------------------------------------------------
     def provision_standard_images(self) -> List[str]:
@@ -229,7 +249,9 @@ class SPSystem:
         return configuration.key
 
     def replace_configuration(
-        self, configuration: EnvironmentConfiguration
+        self,
+        configuration: EnvironmentConfiguration,
+        event: Optional[EnvironmentEvent] = None,
     ) -> str:
         """Swap a known configuration in place (an environment evolution).
 
@@ -243,10 +265,27 @@ class SPSystem:
         records the new fingerprint per cell, which is how longitudinal
         queries see the flip.  Unknown keys are added like
         :meth:`add_configuration`.
+
+        The swap is announced on the lifecycle bus as
+        ``evolution_recorded``.  With *event* (the
+        :class:`~repro.environment.evolution.EnvironmentEvent` that drove
+        the swap), the history recorder also stamps the event onto a
+        mounted ledger's time axis — replacing the manual
+        ``system.history.record_evolution(event, ...)`` call.
         """
         self._configurations[configuration.key] = configuration
         if self.hypervisor.image_for_configuration(configuration) is None:
             self.hypervisor.build_image(configuration)
+        payload: Dict[str, object] = {"configuration_key": configuration.key}
+        if event is not None:
+            payload.update(
+                year=event.year, kind=event.kind, subject=event.subject
+            )
+        self.lifecycle.emit(
+            EVENT_EVOLUTION_RECORDED,
+            payload=payload,
+            subjects={"event": event, "configuration": configuration},
+        )
         return configuration.key
 
     def configurations(self) -> List[EnvironmentConfiguration]:
@@ -414,6 +453,7 @@ class SPSystem:
             cache_budget_bytes=spec.cache_budget_bytes,
             use_cache=spec.use_cache,
             shards=spec.shards,
+            lifecycle=self.lifecycle,
         )
         requests = (
             list(spec.requests)
@@ -425,6 +465,7 @@ class SPSystem:
             spec=spec,
             cells_total=len(requests) * spec.rounds,
         )
+        scheduler.campaign_id = handle.campaign_id
         if spec.persist_spec:
             self._persist_campaign_record(handle)
         handle.status = "running"
@@ -434,33 +475,59 @@ class SPSystem:
             if on_cell_complete is not None:
                 on_cell_complete(cell)
 
-        try:
-            campaign = scheduler.run_requests(
-                requests,
-                description=spec.description,
-                rounds=spec.rounds,
-                on_cell_complete=record_cell,
-            )
-        except ReproError as error:
-            handle.status = "failed"
-            handle.error = str(error)
+        # Per-submission plugins ride the registry only for this campaign;
+        # scoped() removes them again even when the campaign fails.
+        with self.lifecycle.scoped(
+            observers=self._spec_observers(spec),
+            policies=self._spec_policies(spec),
+        ):
+            try:
+                campaign = scheduler.run_requests(
+                    requests,
+                    description=spec.description,
+                    rounds=spec.rounds,
+                    on_cell_complete=record_cell,
+                )
+            except ReproError as error:
+                handle.status = "failed"
+                handle.error = str(error)
+                if spec.persist_spec:
+                    self._persist_campaign_record(handle)
+                raise
+            campaign.spec = spec
+            handle._campaign = campaign
+            handle.status = "completed"
+            self.last_campaign = campaign
             if spec.persist_spec:
                 self._persist_campaign_record(handle)
-            raise
-        campaign.spec = spec
-        handle._campaign = campaign
-        handle.status = "completed"
-        self.last_campaign = campaign
-        if spec.persist_spec:
-            self._persist_campaign_record(handle)
-        record = (
-            spec.record_history
-            if spec.record_history is not None
-            else self.history is not None
-        )
-        if record:
-            self._ingest_campaign_history(handle, campaign)
+            # History ingestion (the system-level recorder) and any spec
+            # plugins run off this event, in registration order.
+            self.lifecycle.emit(
+                EVENT_CAMPAIGN_FINISHED,
+                campaign_id=handle.campaign_id,
+                payload={
+                    "cells": len(campaign.cells),
+                    "backend": campaign.backend,
+                    "all_passed": campaign.all_passed,
+                },
+                subjects={"handle": handle, "campaign": campaign},
+            )
         return handle
+
+    def _spec_observers(self, spec: CampaignSpec) -> List[LifecycleObserver]:
+        """The observers one spec requests for the duration of its campaign."""
+        observers: List[LifecycleObserver] = [
+            campaign_plugin(name, self) for name in spec.plugins
+        ]
+        if spec.event_log is not None:
+            observers.append(FileEventSink(spec.event_log))
+        return observers
+
+    def _spec_policies(self, spec: CampaignSpec) -> List[EarlyStopPolicy]:
+        """The early-stop policies one spec requests for its campaign."""
+        if spec.on_deadline == "abort":
+            return [DeadlineAbortPolicy()]
+        return []
 
     #: Common-storage namespace recording submitted campaign specs.
     CAMPAIGNS_NAMESPACE = "campaigns"
@@ -548,34 +615,32 @@ class SPSystem:
                     highest = max(highest, int(suffix))
         self.id_allocator.ensure_past(highest)
 
-    def _ingest_campaign_history(
-        self, handle: CampaignHandle, campaign: CampaignResult
-    ) -> int:
-        """Ingest every cell of a completed campaign into the ledger.
+    # -- intervention tickets --------------------------------------------------
+    def restore_interventions(
+        self,
+        storage: Optional[CommonStorage] = None,
+        missing_ok: bool = False,
+    ) -> Optional[InterventionStore]:
+        """Mount persisted intervention tickets, copying a foreign namespace in.
 
-        Idempotent per run ID, so replays over inherited state never
-        duplicate events.  Returns the number of newly ingested events.
+        Mirrors :meth:`restore_history`: reading from a *foreign* storage
+        copies its ``interventions`` namespace into this installation's own
+        storage first (the source is never modified), then rebuilds the
+        ticket store from the persisted documents.  Without tickets, raises
+        :class:`~repro._common.StorageError` — or returns None when
+        *missing_ok* is set.
         """
-        ledger = self.enable_history()
-        statistics = campaign.cache_statistics
-        if campaign.spec is not None and not campaign.spec.use_cache:
-            provenance = "uncached"
-        elif statistics.hits > 0:
-            provenance = "warm"
-        else:
-            provenance = "cold"
-        ingested = 0
-        for cell in campaign.cells:
-            event = ledger.ingest_cycle(
-                cell.result,
-                configuration=self.configuration(cell.configuration_key),
-                campaign_id=handle.campaign_id,
-                backend=campaign.backend,
-                cache_provenance=provenance,
+        source = storage if storage is not None else self.storage
+        if not InterventionStore.exists_in(source):
+            if missing_ok:
+                return None
+            raise StorageError(
+                "no persisted interventions: the storage has no "
+                f"{InterventionStore.NAMESPACE!r} namespace"
             )
-            if event is not None:
-                ingested += 1
-        return ingested
+        if source is not self.storage:
+            self._mount_namespace_from(source, InterventionStore.NAMESPACE)
+        return InterventionStore(self.storage)
 
     # -- deprecated kwarg entrypoints (thin shims over submit) -----------------
     def run_campaign(

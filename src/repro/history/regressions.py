@@ -213,6 +213,30 @@ def regression_rows(findings: List[RegressionFinding]) -> List[Dict[str, object]
     return rows
 
 
+def regression_event_payload(finding: RegressionFinding) -> Dict[str, object]:
+    """JSON-safe lifecycle-event payload describing one regression finding.
+
+    This is the ``regression_detected`` event body the alerting plugin
+    emits: scalars only, so the JSONL event sink and the status pages can
+    serialise it without knowing the finding types.
+    """
+    return {
+        "experiment": finding.experiment,
+        "configuration_key": finding.configuration_key,
+        "classification": finding.classification,
+        "n_events": finding.n_events,
+        "n_flips": finding.n_flips,
+        "current_status": finding.current_status,
+        "last_good_run": finding.last_good.run_id if finding.last_good else None,
+        "first_bad_run": finding.first_bad.run_id if finding.first_bad else None,
+        "suspected_change": (
+            finding.suspected_event.label if finding.suspected_event else None
+        ),
+        "fingerprint_changed": finding.fingerprint_changed,
+        "summary": finding.summary(),
+    }
+
+
 __all__ = [
     "CLASS_FLAKY",
     "CLASS_HEALTHY",
@@ -220,5 +244,6 @@ __all__ = [
     "CLASS_REGRESSED",
     "RegressionDetector",
     "RegressionFinding",
+    "regression_event_payload",
     "regression_rows",
 ]

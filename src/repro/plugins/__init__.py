@@ -1,0 +1,52 @@
+"""System-coupled lifecycle plugins and the named-plugin registry.
+
+:mod:`repro.scheduler.lifecycle` is the generic bus (it knows nothing of
+the system it observes); this package holds the plugins that *do* touch
+the system — history ingestion, regression alerting, persistent
+intervention tickets.  :data:`CAMPAIGN_PLUGINS` maps the replayable names
+a :class:`~repro.scheduler.spec.CampaignSpec` may carry in its ``plugins``
+field to observer factories taking the owning
+:class:`~repro.core.spsystem.SPSystem`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+from repro._common import SchedulingError
+from repro.plugins.alerting import RegressionAlertPlugin
+from repro.plugins.history_recorder import HistoryRecorderPlugin
+from repro.plugins.interventions import InterventionStore, new_intervention_tracker
+from repro.scheduler.lifecycle import LifecycleObserver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.spsystem import SPSystem
+
+#: Spec-addressable plugin name -> factory(system).  Names travel inside
+#: serialised campaign specs, so renaming one breaks replayability — add,
+#: never rename.
+CAMPAIGN_PLUGINS: Dict[str, Callable[["SPSystem"], LifecycleObserver]] = {
+    RegressionAlertPlugin.name: RegressionAlertPlugin,
+}
+
+
+def campaign_plugin(name: str, system: "SPSystem") -> LifecycleObserver:
+    """Instantiate the named spec plugin for *system*."""
+    try:
+        factory = CAMPAIGN_PLUGINS[name]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGN_PLUGINS))
+        raise SchedulingError(
+            f"unknown campaign plugin {name!r} (known: {known})"
+        ) from None
+    return factory(system)
+
+
+__all__ = [
+    "CAMPAIGN_PLUGINS",
+    "HistoryRecorderPlugin",
+    "InterventionStore",
+    "RegressionAlertPlugin",
+    "campaign_plugin",
+    "new_intervention_tracker",
+]

@@ -1,0 +1,69 @@
+"""Regression alerting: ``campaign_finished`` → tickets + events.
+
+The paper's longitudinal promise is that the system *reacts* when an
+environment evolution breaks an experiment.  This plugin closes that loop:
+on every ``campaign_finished`` it runs the history
+:class:`~repro.history.regressions.RegressionDetector` over the ledger
+(which the system-level history recorder has just updated — observer order
+is pinned), emits one ``regression_detected`` event per validated→broken
+cell, and opens a persisted :class:`~repro.plugins.interventions.InterventionStore`
+ticket naming the suspected evolution event.
+
+Opt-in via ``CampaignSpec(plugins=("regression-alerts",))`` or
+``campaign --plugin regression-alerts``: the ``interventions`` namespace
+is only ever written when the plugin is requested, so default campaigns
+stay byte-identical to the pre-plugin storage layout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.history.regressions import RegressionDetector, regression_event_payload
+from repro.plugins.interventions import InterventionStore
+from repro.scheduler.lifecycle import (
+    EVENT_CAMPAIGN_FINISHED,
+    EVENT_REGRESSION_DETECTED,
+    EventContext,
+    LifecycleEvent,
+    LifecycleObserver,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.intervention import InterventionTicket
+    from repro.core.spsystem import SPSystem
+
+
+class RegressionAlertPlugin(LifecycleObserver):
+    """Turns ledger regressions into events and persisted tickets."""
+
+    name = "regression-alerts"
+    events = frozenset({EVENT_CAMPAIGN_FINISHED})
+
+    def __init__(self, system: "SPSystem") -> None:
+        self.system = system
+        self.store = InterventionStore(system.storage)
+        #: Tickets opened by this plugin instance (one submission's worth).
+        self.opened: List["InterventionTicket"] = []
+
+    def handle(self, event: LifecycleEvent, context: EventContext) -> None:
+        ledger = self.system.history
+        if ledger is None:
+            # Nothing to detect against: the campaign did not record
+            # history and no ledger was mounted.
+            return
+        for finding in RegressionDetector(ledger).regressions():
+            context.registry.emit(
+                EVENT_REGRESSION_DETECTED,
+                campaign_id=event.campaign_id,
+                payload=regression_event_payload(finding),
+                subjects={"finding": finding},
+            )
+            ticket = self.store.open_from_finding(
+                finding, timestamp=self.system.clock.now
+            )
+            if ticket is not None:
+                self.opened.append(ticket)
+
+
+__all__ = ["RegressionAlertPlugin"]

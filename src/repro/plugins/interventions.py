@@ -1,0 +1,177 @@
+"""Persistent intervention tickets: the ``interventions`` storage namespace.
+
+:class:`~repro.core.intervention.InterventionTracker` is an in-memory
+object; the :class:`InterventionStore` gives it a home in the common
+storage so tickets opened by the regression-alerting plugin survive
+restarts and travel with the persisted installation.  Documents live under
+``ticket_<ticket-id>`` keys in the mirrored ``interventions`` namespace —
+mirrored, because resolving a ticket rewrites its document in place.
+
+This module (with :mod:`repro.core.intervention` itself) is the only
+sanctioned construction site for trackers — the lifecycle-purity audit in
+``scripts/ci.sh`` forbids ``InterventionTracker()`` elsewhere, so every
+automated ticket flows through the plugin layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.intervention import (
+    InterventionParty,
+    InterventionTicket,
+    InterventionTracker,
+)
+from repro.environment.compatibility import IssueCategory
+from repro.history.regressions import RegressionFinding
+from repro.storage.common_storage import CommonStorage, register_mirrored_namespace
+
+
+def new_intervention_tracker() -> InterventionTracker:
+    """A fresh in-memory tracker (diagnosis tickets, tests).
+
+    The single sanctioned constructor call outside the core module: callers
+    that only need transient tickets (``SPSystem.validate``'s diagnosis
+    flow) get their tracker here instead of constructing one directly.
+    """
+    return InterventionTracker()
+
+
+class InterventionStore:
+    """An :class:`InterventionTracker` persisted to the common storage.
+
+    Construction replays every persisted ticket document into a fresh
+    tracker (advancing the ID counter past them), so stores over the same
+    storage always agree and new tickets never collide with replayed ones.
+    """
+
+    NAMESPACE = register_mirrored_namespace("interventions")
+    KEY_PREFIX = "ticket_"
+
+    def __init__(self, storage: CommonStorage) -> None:
+        self.storage = storage
+        self._namespace = storage.create_namespace(self.NAMESPACE)
+        self.tracker = new_intervention_tracker()
+        for key in self._namespace.keys(prefix=self.KEY_PREFIX):
+            self.tracker.adopt(
+                InterventionTicket.from_dict(self._namespace.get(key))  # type: ignore[arg-type]
+            )
+
+    @classmethod
+    def exists_in(cls, storage: CommonStorage) -> bool:
+        """True when *storage* carries persisted tickets."""
+        return cls.NAMESPACE in storage.namespaces() and bool(
+            storage.keys(cls.NAMESPACE, prefix=cls.KEY_PREFIX)
+        )
+
+    # -- queries --------------------------------------------------------------
+    def tickets(self) -> List[InterventionTicket]:
+        """All tickets, oldest first."""
+        return self.tracker.all()
+
+    def open_tickets(
+        self, party: Optional[InterventionParty] = None
+    ) -> List[InterventionTicket]:
+        """Open tickets, optionally restricted to one party."""
+        return self.tracker.open_tickets(party)
+
+    def ticket(self, ticket_id: str) -> InterventionTicket:
+        """The ticket with the given ID (raises on unknown IDs)."""
+        return self.tracker.ticket(ticket_id)
+
+    def next_timestamp(self) -> int:
+        """A logical timestamp one past every recorded ticket event.
+
+        The CLI resolves tickets without a live system clock; advancing
+        past the newest opened/resolved stamp keeps resolution times
+        monotone and deterministic.
+        """
+        latest = 0
+        for ticket in self.tracker.all():
+            latest = max(latest, ticket.opened_at, ticket.resolved_at or 0)
+        return latest + 1
+
+    # -- mutations (each one persists the touched document) --------------------
+    def open_from_finding(
+        self, finding: RegressionFinding, timestamp: int
+    ) -> Optional[InterventionTicket]:
+        """Open a ticket for a regression finding, deduplicated per cell.
+
+        One open ticket per (experiment, configuration) cell: a regression
+        that persists across campaigns keeps its original ticket instead of
+        flooding the tracker.  Returns ``None`` when the cell already has
+        an open ticket.
+
+        Party routing follows the paper's rule: a configuration-fingerprint
+        flip is direct evidence the *environment* moved (an evolved
+        external such as ROOT), so the ticket goes to the host IT
+        department as an external-dependency issue; otherwise the
+        experiment's own software is suspected and the experiment acts.
+        """
+        for ticket in self.tracker.open_tickets():
+            if (
+                ticket.experiment == finding.experiment
+                and ticket.configuration_key == finding.configuration_key
+            ):
+                return None
+        category = (
+            IssueCategory.EXTERNAL_DEPENDENCY
+            if finding.fingerprint_changed
+            else IssueCategory.EXPERIMENT_SOFTWARE
+        )
+        party = (
+            InterventionParty.EXPERIMENT
+            if category is IssueCategory.EXPERIMENT_SOFTWARE
+            else InterventionParty.HOST_IT
+        )
+        ticket = self.tracker.open_ticket(
+            run_id=finding.first_bad.run_id if finding.first_bad else "unknown",
+            experiment=finding.experiment,
+            test_name="campaign-regression",
+            category=category,
+            party=party,
+            opened_at=timestamp,
+            description=finding.summary(),
+            configuration_key=finding.configuration_key,
+            suspected_change=(
+                finding.suspected_event.label if finding.suspected_event else ""
+            ),
+        )
+        self._persist(ticket)
+        return ticket
+
+    def resolve(
+        self,
+        ticket_id: str,
+        resolution: str,
+        timestamp: Optional[int] = None,
+        long_standing_bug: bool = False,
+    ) -> InterventionTicket:
+        """Resolve a ticket and persist the updated document."""
+        ticket = self.tracker.ticket(ticket_id)
+        ticket.resolve(
+            resolution,
+            self.next_timestamp() if timestamp is None else timestamp,
+            long_standing_bug=long_standing_bug,
+        )
+        self._persist(ticket)
+        return ticket
+
+    def close_wont_fix(
+        self, ticket_id: str, reason: str, timestamp: Optional[int] = None
+    ) -> InterventionTicket:
+        """Close a ticket without a fix and persist the updated document."""
+        ticket = self.tracker.ticket(ticket_id)
+        ticket.close_wont_fix(
+            reason, self.next_timestamp() if timestamp is None else timestamp
+        )
+        self._persist(ticket)
+        return ticket
+
+    def _persist(self, ticket: InterventionTicket) -> None:
+        self._namespace.put(
+            f"{self.KEY_PREFIX}{ticket.ticket_id}", ticket.to_dict()
+        )
+
+
+__all__ = ["InterventionStore", "new_intervention_tracker"]

@@ -262,8 +262,16 @@ def cache_journal_rows(status: Dict[str, int]) -> List[Dict[str, object]]:
     ]
 
 
-def campaign_schedule_rows(schedule) -> List[Dict[str, object]]:
-    """Rows describing the simulated worker-pool timeline of a campaign."""
+def campaign_schedule_rows(
+    schedule, deadline_seconds: Optional[float] = None
+) -> List[Dict[str, object]]:
+    """Rows describing the simulated worker-pool timeline of a campaign.
+
+    *deadline_seconds* overrides the schedule's own deadline for the
+    late-cell report and the met/missed verdict — the what-if question
+    ("would this timeline have met a tighter deadline?") the schedule's
+    :meth:`~repro.scheduler.pool.PoolSchedule.late_cells` already answers.
+    """
     rows = [
         {"quantity": "execution backend", "value": schedule.backend},
         {"quantity": "scheduling policy", "value": schedule.policy},
@@ -281,19 +289,25 @@ def campaign_schedule_rows(schedule) -> List[Dict[str, object]]:
         {"quantity": "task retries after worker failures", "value": schedule.n_retries},
         {"quantity": "failed workers", "value": len(schedule.failed_workers)},
     ]
-    if schedule.deadline_seconds is not None:
-        late = schedule.late_cells()
+    effective_deadline = (
+        deadline_seconds
+        if deadline_seconds is not None
+        else schedule.deadline_seconds
+    )
+    if effective_deadline is not None:
+        late = schedule.late_cells(effective_deadline)
+        met = schedule.makespan_seconds <= effective_deadline
         rows.append(
             {
                 "quantity": "deadline seconds",
-                "value": f"{schedule.deadline_seconds:.0f}",
+                "value": f"{effective_deadline:.0f}",
             }
         )
         rows.append(
             {
                 "quantity": "deadline verdict",
                 "value": (
-                    "met" if schedule.met_deadline
+                    "met" if met
                     else f"missed ({len(late)} late cell(s): "
                     + ", ".join(str(index) for index in late[:8])
                     + (", ..." if len(late) > 8 else "")
@@ -304,12 +318,61 @@ def campaign_schedule_rows(schedule) -> List[Dict[str, object]]:
     return rows
 
 
-def render_campaign_report(campaign) -> str:
+def intervention_rows(tickets) -> List[Dict[str, object]]:
+    """Rows describing intervention tickets (duck-typed, newest last).
+
+    Each ticket needs ``ticket_id``/``experiment``/``configuration_key``/
+    ``category``/``status``/``suspected_change``/``description`` — the
+    shape :class:`~repro.core.intervention.InterventionTicket` provides —
+    so the reporting layer needs no import of the core package.
+    """
+    rows = []
+    for ticket in tickets:
+        rows.append(
+            {
+                "ticket": ticket.ticket_id,
+                "experiment": ticket.experiment,
+                "configuration": ticket.configuration_key or "-",
+                "category": getattr(ticket.category, "value", ticket.category),
+                "status": getattr(ticket.status, "value", ticket.status),
+                "suspected change": ticket.suspected_change or "-",
+                "description": ticket.description,
+            }
+        )
+    return rows
+
+
+def lifecycle_event_rows(events) -> List[Dict[str, object]]:
+    """Rows describing fired lifecycle events (duck-typed).
+
+    Each event needs ``sequence``/``name``/``campaign_id``/``payload`` —
+    the shape :class:`~repro.scheduler.lifecycle.LifecycleEvent` provides.
+    """
+    rows = []
+    for event in events:
+        payload = ", ".join(
+            f"{key}={value}" for key, value in sorted(event.payload.items())
+        )
+        rows.append(
+            {
+                "seq": event.sequence,
+                "event": event.name,
+                "campaign": event.campaign_id or "-",
+                "payload": payload or "-",
+            }
+        )
+    return rows
+
+
+def render_campaign_report(
+    campaign, deadline_seconds: Optional[float] = None
+) -> str:
     """Render the operational summary of one scheduled validation campaign.
 
     *campaign* is duck-typed: it needs ``n_cells``/``rounds``/``dag``/
     ``schedule``/``cache_statistics`` attributes (the scheduler's
-    ``CampaignResult`` provides them).
+    ``CampaignResult`` provides them).  *deadline_seconds* overrides the
+    schedule's deadline for the late-cell verdict.
     """
     counts = campaign.dag.counts_by_kind()
     header_rows = [
@@ -322,7 +385,9 @@ def render_campaign_report(campaign) -> str:
     ]
     rows = (
         header_rows
-        + campaign_schedule_rows(campaign.schedule)
+        + campaign_schedule_rows(
+            campaign.schedule, deadline_seconds=deadline_seconds
+        )
         + build_cache_rows(campaign.cache_statistics)
     )
     table = format_table(
@@ -338,5 +403,7 @@ __all__ = [
     "build_cache_rows",
     "cache_journal_rows",
     "campaign_schedule_rows",
+    "intervention_rows",
+    "lifecycle_event_rows",
     "render_campaign_report",
 ]

@@ -138,6 +138,9 @@ class StatusPageGenerator:
         result,
         cache_journal: Optional[Dict] = None,
         history_link: bool = False,
+        deadline_seconds: Optional[float] = None,
+        tickets: Optional[List] = None,
+        events: Optional[List] = None,
     ) -> str:
         """Render the status page of one scheduled validation campaign.
 
@@ -151,13 +154,23 @@ class StatusPageGenerator:
         as plain data to keep this layer scheduler-free), the page also
         reports the persisted journal's size.  With *history_link*, the
         page links to the validation-history trends page rendered by
-        :meth:`trends_page`.
+        :meth:`trends_page`.  *deadline_seconds* overrides the schedule's
+        own deadline for the late-cell marks and the met/missed verdict.
+        *tickets* and *events* are plain row dictionaries (the reporting
+        :func:`~repro.reporting.summary.intervention_rows` /
+        :func:`~repro.reporting.summary.lifecycle_event_rows` helpers
+        produce them) rendered as open-intervention and fired-event tables.
         """
         schedule = result.schedule
         for cell in result.cells:
             if not self.storage.exists(self.NAMESPACE, f"runpage_{cell.run.run_id}"):
                 self.run_page(cell.run)
-        late = set(schedule.late_cells())
+        effective_deadline = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else schedule.deadline_seconds
+        )
+        late = set(schedule.late_cells(effective_deadline))
         shards = getattr(schedule, "shards", 0)
         header = (
             "<h1>Validation campaign</h1>"
@@ -184,13 +197,14 @@ class StatusPageGenerator:
                 "<h2>Campaign spec</h2>"
                 f"<pre>{html.escape(spec_json)}</pre>"
             )
-        if schedule.deadline_seconds is not None:
+        if effective_deadline is not None:
             verdict = (
-                "met" if schedule.met_deadline
+                "met"
+                if schedule.makespan_seconds <= effective_deadline
                 else f"missed &mdash; {len(late)} late cell(s)"
             )
             header += (
-                f"<p>deadline {schedule.deadline_seconds:,.0f} s: {verdict}</p>"
+                f"<p>deadline {effective_deadline:,.0f} s: {verdict}</p>"
             )
         cache = result.cache_statistics
         shared_hits = getattr(cache, "shared_hits", 0)
@@ -286,9 +300,24 @@ class StatusPageGenerator:
             + "</table>"
             + (f"<p>... and {elided} more task(s)</p>" if elided > 0 else "")
         )
+        lifecycle_tables = ""
+        if tickets is not None:
+            lifecycle_tables += self._rows_table(
+                "Open intervention tickets",
+                ["ticket", "experiment", "configuration", "category",
+                 "status", "suspected change", "description"],
+                tickets,
+            )
+        if events is not None:
+            lifecycle_tables += self._rows_table(
+                "Fired lifecycle events",
+                ["seq", "event", "campaign", "payload"],
+                events,
+            )
         page = _wrap_page(
             "sp-system validation campaign",
-            header + cache_table + worker_table + cell_table + timeline_table,
+            header + cache_table + worker_table + cell_table
+            + timeline_table + lifecycle_tables,
         )
         self.storage.put(self.NAMESPACE, "campaign", {"html": page})
         return page

@@ -78,6 +78,11 @@ from typing import (
 from repro._common import BuildError, SchedulingError
 from repro.buildsys.builder import BuildResult, BuildTask, build_result_digest
 from repro.scheduler.dag import CampaignDAG
+from repro.scheduler.lifecycle import (
+    EVENT_DEADLINE_EXCEEDED,
+    EarlyStopRequested,
+    PluginRegistry,
+)
 from repro.scheduler.pool import (
     PoolSchedule,
     SchedulingPolicy,
@@ -116,6 +121,14 @@ class ExecutionRequest:
     #: Cache the sharded backend replays its shards' journals into on
     #: completion; None skips the merge.  Ignored by every other backend.
     merge_cache: Optional["BuildCache"] = None
+    #: Lifecycle event bus the dispatch loop emits ``deadline_exceeded``
+    #: through (None = no events).  When a deadline-abort policy is
+    #: registered on it, the emission raises
+    #: :class:`~repro.scheduler.lifecycle.EarlyStopRequested` and the
+    #: backend cancels its queued work.
+    lifecycle: Optional[PluginRegistry] = None
+    #: Campaign ID the emitted events are tagged with.
+    campaign_id: Optional[str] = None
 
 
 class ExecutionBackend:
@@ -151,6 +164,8 @@ class SimulatedBackend(ExecutionBackend):
             failures=request.failures,
             policy=request.policy,
             deadline_seconds=request.deadline_seconds,
+            lifecycle=request.lifecycle,
+            campaign_id=request.campaign_id,
         )
         schedule = pool.execute(request.dag)
         schedule.backend = self.name
@@ -168,6 +183,29 @@ def _check_real_request(backend: "ExecutionBackend", request: ExecutionRequest) 
         raise SchedulingError("a worker pool needs at least one worker")
     if request.deadline_seconds is not None and request.deadline_seconds <= 0:
         raise SchedulingError("a campaign deadline must be positive")
+
+
+def _emit_deadline(
+    backend: "ExecutionBackend", request: ExecutionRequest, elapsed_seconds: float
+) -> None:
+    """Emit ``deadline_exceeded`` for a dispatch loop that crossed its deadline.
+
+    Raises :class:`~repro.scheduler.lifecycle.EarlyStopRequested` when a
+    deadline-abort policy is registered on the request's lifecycle bus;
+    the calling loop cancels its queued work and converts the request into
+    the established :class:`~repro._common.SchedulingError` contract.
+    """
+    if request.lifecycle is None:
+        return
+    request.lifecycle.emit(
+        EVENT_DEADLINE_EXCEEDED,
+        campaign_id=request.campaign_id,
+        payload={
+            "backend": backend.name,
+            "deadline_seconds": request.deadline_seconds,
+            "elapsed_seconds": round(elapsed_seconds, 6),
+        },
+    )
 
 
 def _dispatch_wall_clock(
@@ -221,6 +259,7 @@ def _dispatch_wall_clock(
     peak = 0
     pending = set()
     future_tasks: Dict[Future, str] = {}
+    deadline_notified = False
     with ThreadPoolExecutor(
         max_workers=max(n_slots, 1), thread_name_prefix="sp-campaign"
     ) as executor:
@@ -271,6 +310,25 @@ def _dispatch_wall_clock(
                     remaining.discard(task_id)
                     if not remaining:
                         heapq.heappush(ready, ready_entry(dependent))
+            # One deadline notification per dispatch, checked between
+            # completion batches (tasks cannot be interrupted mid-run).
+            if (
+                request.deadline_seconds is not None
+                and not deadline_notified
+                and time.monotonic() - started_at > request.deadline_seconds
+            ):
+                deadline_notified = True
+                try:
+                    _emit_deadline(
+                        backend, request, time.monotonic() - started_at
+                    )
+                except EarlyStopRequested as stop:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    raise SchedulingError(
+                        f"campaign aborted on the {backend.name} backend: "
+                        f"{stop} ({len(tasks) - completed} unfinished "
+                        "task(s) cancelled)"
+                    ) from stop
     makespan = time.monotonic() - started_at if tasks else 0.0
     # Stable report order: the wall clock decides completion order, the
     # DAG order breaks ties so repeated prints stay readable.
@@ -509,6 +567,22 @@ class ShardedBackend(ExecutionBackend):
                 )
         started_at = time.monotonic()
         assignments: List[TaskAssignment] = []
+        deadline_notified = False
+
+        def check_deadline() -> None:
+            # Checked at every coarse-grained decision point (before each
+            # shard submission, after each shard result, before each
+            # verification replay): shards are all-or-nothing, so these are
+            # the only moments an abort policy can act.
+            nonlocal deadline_notified
+            if request.deadline_seconds is None or deadline_notified:
+                return
+            elapsed = time.monotonic() - started_at
+            if elapsed <= request.deadline_seconds:
+                return
+            deadline_notified = True
+            _emit_deadline(self, request, elapsed)
+
         root = tempfile.mkdtemp(prefix="sp-shards-")
         try:
             directories = {
@@ -521,18 +595,22 @@ class ShardedBackend(ExecutionBackend):
             reports: Dict[int, Dict[str, object]] = {}
             if working:
                 with ProcessPoolExecutor(max_workers=len(working)) as processes:
-                    futures = {
-                        index: processes.submit(
-                            _execute_shard,
-                            index,
-                            shard_builds[index],
-                            directories[index],
-                        )
-                        for index in working
-                    }
                     try:
+                        futures = {}
+                        for index in working:
+                            check_deadline()
+                            futures[index] = processes.submit(
+                                _execute_shard,
+                                index,
+                                shard_builds[index],
+                                directories[index],
+                            )
                         for index, future in futures.items():
                             reports[index] = future.result()
+                            check_deadline()
+                    except EarlyStopRequested:
+                        processes.shutdown(wait=False, cancel_futures=True)
+                        raise
                     except Exception as error:
                         processes.shutdown(wait=False, cancel_futures=True)
                         raise SchedulingError(
@@ -571,6 +649,7 @@ class ShardedBackend(ExecutionBackend):
                 payload = request.payloads.get(task.task_id)
                 if isinstance(payload, BuildTask):
                     continue
+                check_deadline()
                 begin = time.monotonic() - started_at
                 try:
                     if payload is not None:
@@ -608,6 +687,13 @@ class ShardedBackend(ExecutionBackend):
                         shard_storage, ArtifactStore()
                     )
                     request.merge_cache.merge_from(shard_cache)
+        except EarlyStopRequested as stop:
+            unfinished = len(working) - len(reports)
+            raise SchedulingError(
+                f"campaign aborted on the {self.name} backend: {stop} "
+                f"({unfinished} shard(s) cancelled, remaining verification "
+                "replays skipped)"
+            ) from stop
         finally:
             shutil.rmtree(root, ignore_errors=True)
         makespan = time.monotonic() - started_at if tasks else 0.0

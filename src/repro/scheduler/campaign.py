@@ -49,6 +49,11 @@ from repro.scheduler.backends import (
 )
 from repro.scheduler.cache import BuildCache, CacheStatistics, CachingPackageBuilder
 from repro.scheduler.dag import CampaignDAG, CampaignTask, TaskKind
+from repro.scheduler.lifecycle import (
+    EVENT_BUDGET_EXCEEDED,
+    EVENT_CELL_COMPLETED,
+    PluginRegistry,
+)
 from repro.scheduler.pool import (
     PoolSchedule,
     SchedulingPolicy,
@@ -155,6 +160,8 @@ class CampaignScheduler:
         cache_budget_bytes: Optional[int] = None,
         use_cache: bool = True,
         shards: Optional[int] = None,
+        lifecycle: Optional[PluginRegistry] = None,
+        campaign_id: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise SchedulingError("a campaign needs at least one worker")
@@ -184,6 +191,10 @@ class CampaignScheduler:
         self.use_cache = use_cache
         #: Shard count handed to the sharded backend (None = worker count).
         self.shards = shards
+        #: Lifecycle event bus (None = no events emitted, the direct
+        #: scheduler-use path) and the campaign ID events are tagged with.
+        self.lifecycle = lifecycle
+        self.campaign_id = campaign_id
 
     # -- campaign execution ----------------------------------------------------
     def expand_matrix(
@@ -269,7 +280,17 @@ class CampaignScheduler:
                 )
             )
             if self.use_cache and self.cache_budget_bytes is not None:
-                effective_cache.enforce_budget(self.cache_budget_bytes)
+                evicted = effective_cache.enforce_budget(self.cache_budget_bytes)
+                if evicted and self.lifecycle is not None:
+                    self.lifecycle.emit(
+                        EVENT_BUDGET_EXCEEDED,
+                        campaign_id=self.campaign_id,
+                        payload={
+                            "budget_bytes": self.cache_budget_bytes,
+                            "evicted_entries": evicted,
+                            "round": _round + 1,
+                        },
+                    )
         dag, payloads = self._build_dag(cells, effective_cache)
         try:
             schedule = self.backend.execute(
@@ -282,6 +303,8 @@ class CampaignScheduler:
                     deadline_seconds=self.deadline_seconds,
                     payloads=payloads,
                     shards=self.shards,
+                    lifecycle=self.lifecycle,
+                    campaign_id=self.campaign_id,
                     # The sharded backend replays its shards' journals into
                     # the campaign's cache on completion; the merge is
                     # idempotent, so handing it over is safe on every path.
@@ -376,6 +399,22 @@ class CampaignScheduler:
                 cells.append(cell)
                 if on_cell_complete is not None:
                     on_cell_complete(cell)
+                # Emitted from the deterministic cell pass — not from the
+                # wall-clock dispatch — so the per-cell event order is
+                # identical on every backend (the parity-tested contract).
+                if self.lifecycle is not None:
+                    self.lifecycle.emit(
+                        EVENT_CELL_COMPLETED,
+                        campaign_id=self.campaign_id,
+                        payload={
+                            "cell_index": cell.index,
+                            "experiment": cell.experiment,
+                            "configuration_key": cell.configuration_key,
+                            "run_id": cell.run.run_id,
+                            "passed": cell.result.successful,
+                        },
+                        subjects={"cell": cell},
+                    )
         finally:
             self.system.runner.builder = original_builder
         return cells

@@ -30,6 +30,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro._common import SchedulingError
 from repro.scheduler.dag import CampaignDAG, CampaignTask
+from repro.scheduler.lifecycle import (
+    EVENT_DEADLINE_EXCEEDED,
+    EarlyStopRequested,
+    PluginRegistry,
+)
 from repro.virtualization.resources import (
     VALIDATION_VM_PROFILE,
     ResourceAccountant,
@@ -267,6 +272,8 @@ class SimulatedWorkerPool:
         failures: Sequence[WorkerFailure] = (),
         policy: Union[str, SchedulingPolicy, None] = None,
         deadline_seconds: Optional[float] = None,
+        lifecycle: Optional[PluginRegistry] = None,
+        campaign_id: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise SchedulingError("a worker pool needs at least one worker")
@@ -276,6 +283,11 @@ class SimulatedWorkerPool:
         self.profile = profile
         self.policy = scheduling_policy(policy)
         self.deadline_seconds = deadline_seconds
+        #: Lifecycle bus notified once when simulated time passes the
+        #: deadline; an abort policy's EarlyStopRequested propagates out of
+        #: :meth:`execute` as a SchedulingError.
+        self.lifecycle = lifecycle
+        self.campaign_id = campaign_id
         for failure in failures:
             if not 0 <= failure.worker_index < n_workers:
                 raise SchedulingError(
@@ -327,6 +339,7 @@ class SimulatedWorkerPool:
         retries = 0
         peak = 0
         now = 0.0
+        deadline_notified = False
 
         def try_assign() -> None:
             nonlocal peak
@@ -427,6 +440,32 @@ class SimulatedWorkerPool:
                     remaining.discard(task_id)
                     if not remaining and dependent not in running:
                         heapq.heappush(ready, ready_entry(dependent))
+            # One deadline notification per execution, at the first drained
+            # instant past the deadline — simulated clock, so the emission
+            # point (and therefore any abort) is fully deterministic.
+            if (
+                self.deadline_seconds is not None
+                and self.lifecycle is not None
+                and not deadline_notified
+                and now > self.deadline_seconds
+            ):
+                deadline_notified = True
+                try:
+                    self.lifecycle.emit(
+                        EVENT_DEADLINE_EXCEEDED,
+                        campaign_id=self.campaign_id,
+                        payload={
+                            "backend": "simulated",
+                            "deadline_seconds": self.deadline_seconds,
+                            "elapsed_seconds": now,
+                        },
+                    )
+                except EarlyStopRequested as stop:
+                    raise SchedulingError(
+                        f"campaign aborted on the simulated backend: {stop} "
+                        f"({len(tasks) - completed} unfinished task(s) "
+                        "cancelled)"
+                    ) from stop
 
         cell_end_seconds: Dict[int, float] = {}
         for assignment in assignments:

@@ -29,6 +29,9 @@ from repro.scheduler.pool import SCHEDULING_POLICIES, WorkerFailure
 #: (Lives here so the spec layer does not depend on the scheduler module.)
 DEFAULT_BATCH_SIZE = 4
 
+#: Valid values of :attr:`CampaignSpec.on_deadline`.
+ON_DEADLINE_MODES = ("report", "abort")
+
 
 @dataclass(frozen=True)
 class ValidationRequest:
@@ -138,6 +141,21 @@ class CampaignSpec:
     #: storage keeps its longitudinal history growing.  The value travels
     #: in the serialised spec, so replays make the same decision.
     record_history: Optional[bool] = None
+    #: Named lifecycle plugins from :data:`repro.plugins.CAMPAIGN_PLUGINS`
+    #: attached for this submission (e.g. ``("regression-alerts",)``).
+    #: Empty by default, so plain campaigns never touch plugin-owned
+    #: storage namespaces and replays stay byte-identical.
+    plugins: Tuple[str, ...] = ()
+    #: What a crossed ``deadline_seconds`` does: ``"report"`` (the
+    #: historical behaviour — late cells are reported, nothing is
+    #: cancelled) or ``"abort"`` (a deadline-abort early-stop policy
+    #: cancels the queued cells and the submission fails; completed cells
+    #: keep their recorded run documents).
+    on_deadline: str = "report"
+    #: Filesystem path of a JSONL lifecycle-event log appended during the
+    #: submission (``None`` disables the sink).  The log is an external
+    #: monitoring artefact outside the common storage.
+    event_log: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Normalise the container fields so equality (and therefore the
@@ -154,6 +172,10 @@ class CampaignSpec:
             self, "requests", _tuple_or_none("requests", self.requests)
         )
         object.__setattr__(self, "failures", tuple(self.failures))
+        if not isinstance(self.plugins, str):
+            # A bare string would explode into per-character "plugins" via
+            # tuple(); leave it for _check_types to reject with a clear error.
+            object.__setattr__(self, "plugins", tuple(self.plugins))
         # ``shards=N`` alone is the ergonomic spelling of the sharded
         # backend; the normalisation happens here so the serialised spec
         # (and therefore every replay) records backend="sharded" explicitly.
@@ -189,9 +211,15 @@ class CampaignSpec:
             or isinstance(self.deadline_seconds, float)
         ):
             fail("deadline_seconds", "a number or null")
-        for name in ("policy", "backend"):
+        for name in ("policy", "backend", "on_deadline"):
             if not isinstance(getattr(self, name), str):
                 fail(name, "a string")
+        if self.event_log is not None and not isinstance(self.event_log, str):
+            fail("event_log", "a path string or null")
+        if isinstance(self.plugins, str) or not all(
+            isinstance(entry, str) for entry in self.plugins
+        ):
+            fail("plugins", "a list of plugin names")
         if self.description is not None and not isinstance(self.description, str):
             fail("description", "a string or null")
         for name in ("warm_start", "use_cache", "persist_spec"):
@@ -242,6 +270,26 @@ class CampaignSpec:
             )
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise SchedulingError("a campaign deadline must be positive")
+        if self.on_deadline not in ON_DEADLINE_MODES:
+            raise SchedulingError(
+                f"unknown on_deadline mode {self.on_deadline!r} "
+                f"(known: {', '.join(ON_DEADLINE_MODES)})"
+            )
+        if self.on_deadline == "abort" and self.deadline_seconds is None:
+            raise SchedulingError(
+                "on_deadline='abort' needs a deadline: set deadline_seconds"
+            )
+        if self.plugins:
+            # Imported lazily for the same acyclicity reason as the backend
+            # registry above.
+            from repro.plugins import CAMPAIGN_PLUGINS
+
+            for name in self.plugins:
+                if name not in CAMPAIGN_PLUGINS:
+                    known = ", ".join(sorted(CAMPAIGN_PLUGINS))
+                    raise SchedulingError(
+                        f"unknown campaign plugin {name!r} (known: {known})"
+                    )
         if self.cache_budget_bytes is not None and self.cache_budget_bytes < 0:
             raise SchedulingError("a cache budget cannot be negative")
         if self.cache_budget_bytes is not None and not self.use_cache:
@@ -307,6 +355,9 @@ class CampaignSpec:
             "cache_budget_bytes": self.cache_budget_bytes,
             "persist_spec": self.persist_spec,
             "record_history": self.record_history,
+            "plugins": list(self.plugins),
+            "on_deadline": self.on_deadline,
+            "event_log": self.event_log,
         }
 
     @classmethod
@@ -357,4 +408,9 @@ class CampaignSpec:
             raise SchedulingError(f"invalid campaign spec document: {error}") from error
 
 
-__all__ = ["DEFAULT_BATCH_SIZE", "ValidationRequest", "CampaignSpec"]
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ON_DEADLINE_MODES",
+    "ValidationRequest",
+    "CampaignSpec",
+]

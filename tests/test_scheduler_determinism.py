@@ -302,6 +302,70 @@ class TestBackendParity:
             })
         assert documents[0] == documents[1]
 
+    @pytest.mark.parametrize("backend", PARITY_BACKENDS)
+    def test_noop_plugin_registry_does_not_change_science(self, backend):
+        """An attached observer registry leaves the science byte-identical.
+
+        The lifecycle bus's observer contract (see
+        ``repro/scheduler/lifecycle.py``) promises that read-only sinks
+        never change run documents, catalogue records or cache
+        statistics.  This pins it: a counting no-op observer subscribed
+        to every event sees the full stream, yet the campaign output
+        matches a bare system bit for bit on every backend.
+        """
+        from repro.scheduler.lifecycle import (
+            EVENT_CAMPAIGN_FINISHED,
+            EVENT_CELL_COMPLETED,
+            LIFECYCLE_EVENTS,
+            LifecycleObserver,
+        )
+
+        class CountingObserver(LifecycleObserver):
+            name = "noop-counter"
+            events = LIFECYCLE_EVENTS
+
+            def __init__(self):
+                self.seen = []
+
+            def handle(self, event, context):
+                self.seen.append(event.name)
+
+        seed = 20131029
+        bare_system = _fresh_system(seed)
+        bare = bare_system.submit(
+            _campaign_spec(backend, KEYS, workers=2)
+        ).result()
+        observed_system = _fresh_system(seed)
+        observer = observed_system.lifecycle.add_observer(CountingObserver())
+        observed = observed_system.submit(
+            _campaign_spec(backend, KEYS, workers=2)
+        ).result()
+        # The observer really saw the campaign: one cell_completed per
+        # cell (in deterministic cell order) plus the final finish event.
+        assert observer.seen.count(EVENT_CELL_COMPLETED) == len(observed.cells)
+        assert observer.seen[-1] == EVENT_CAMPAIGN_FINISHED
+        # ...and the science is untouched.
+        assert [run.to_document() for run in observed.runs()] == [
+            run.to_document() for run in bare.runs()
+        ]
+        assert observed.cache_statistics == bare.cache_statistics
+        assert [
+            record.to_dict() for record in observed_system.catalog.all()
+        ] == [record.to_dict() for record in bare_system.catalog.all()]
+        assert {
+            namespace: {
+                key: observed_system.storage.get(namespace, key)
+                for key in observed_system.storage.keys(namespace)
+            }
+            for namespace in observed_system.storage.namespaces()
+        } == {
+            namespace: {
+                key: bare_system.storage.get(namespace, key)
+                for key in bare_system.storage.keys(namespace)
+            }
+            for namespace in bare_system.storage.namespaces()
+        }
+
     def test_build_task_pickle_round_trip(self, sp_system, tiny_hermes):
         """BuildTask crosses the process boundary: pickle must round-trip.
 

@@ -86,6 +86,9 @@ class TestCiScript:
         # ... the scheduler monotonic-clock audit ...
         assert "monotonic-clock audit" in source
         assert "src/repro/scheduler" in source
+        # ... the lifecycle-purity audit ...
+        assert "lifecycle-purity audit" in source
+        assert "src/repro/plugins" in source
         # ... and the explicit backend-parity shard.
         assert "REPRO_PARITY_BACKENDS=simulated,threads,processes" in source
         assert "test_scheduler_determinism.py" in source
@@ -140,6 +143,71 @@ class TestHistoryLedgerWriteAudit:
         # not a literal and passes.
         assert not self.PATTERN.search(
             "storage.create_namespace(ValidationHistoryLedger.NAMESPACE)"
+        )
+
+
+class TestLifecyclePurityAudit:
+    """Tickets and history ingestion flow through the plugin layer.
+
+    Automated intervention tickets (``InterventionTracker()``) and history
+    ingestion (``ingest_cycle()``) are owned by ``src/repro/plugins`` (with
+    the defining core/history modules): a direct call elsewhere would
+    bypass the lifecycle bus — tickets nobody's observer saw, history the
+    regression alerter never ran over.  ``scripts/ci.sh`` greps for the
+    calls; this test enforces the same rule in-process.
+    """
+
+    PATTERN = re.compile(r"InterventionTracker\(|ingest_cycle\(")
+
+    #: Repo-relative path prefixes (and one file) sanctioned to construct
+    #: trackers or ingest history — the plugin layer and the owning modules.
+    ALLOWED = (
+        os.path.join("src", "repro", "plugins") + os.sep,
+        os.path.join("src", "repro", "history") + os.sep,
+        os.path.join("src", "repro", "core", "intervention.py"),
+    )
+
+    def _source_files(self):
+        src_root = os.path.join(REPO_ROOT, "src")
+        for directory, _subdirectories, filenames in os.walk(src_root):
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    yield os.path.join(directory, filename)
+
+    def test_no_direct_tracker_or_ingestion_outside_the_plugin_layer(self):
+        violations = []
+        for path in self._source_files():
+            relative = os.path.relpath(path, REPO_ROOT)
+            if any(
+                relative == allowed or relative.startswith(allowed)
+                for allowed in self.ALLOWED
+            ):
+                continue
+            with open(path, encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    if self.PATTERN.search(line):
+                        violations.append(f"{relative}:{line_number}: {line.strip()}")
+        assert violations == [], (
+            "direct tracker construction or history ingestion outside the "
+            "plugin layer — route it through repro.plugins "
+            "(new_intervention_tracker / HistoryRecorderPlugin) instead:\n"
+            + "\n".join(violations)
+        )
+
+    def test_the_audit_pattern_catches_the_forbidden_calls(self):
+        """The regex really fires on the shapes it must forbid."""
+        for violation in (
+            "self.interventions = InterventionTracker()",
+            "ledger.ingest_cycle(cell.result, configuration=configuration)",
+        ):
+            assert self.PATTERN.search(violation)
+        # The sanctioned shapes — the plugin-layer factory and the plugin
+        # class — pass.
+        assert not self.PATTERN.search(
+            "self.interventions = new_intervention_tracker()"
+        )
+        assert not self.PATTERN.search(
+            "registry.add_observer(HistoryRecorderPlugin(system))"
         )
 
 
