@@ -20,14 +20,19 @@
 #      ingestion are plugin-layer concerns: no module outside
 #      src/repro/plugins (and the owning core/history modules) may
 #      construct an InterventionTracker or call ingest_cycle directly.
-#   5. tier-1 — the documented fast suite (ROADMAP.md):
+#   5. service-purity audit — the validation service is a pure queueing
+#      layer: no module under src/repro/service/ may construct an
+#      execution backend or a CampaignScheduler (all execution flows
+#      through SPSystem.submit) or call wall-clock time.time() (rate
+#      limiting runs on an injectable monotonic clock).
+#   6. tier-1 — the documented fast suite (ROADMAP.md):
 #      pytest -x -q -m "not bench"
-#   6. backend parity — the determinism suite re-run with an explicit
+#   7. backend parity — the determinism suite re-run with an explicit
 #      backend shard (REPRO_PARITY_BACKENDS=simulated,threads,processes):
 #      pins that the process-pool backend, whose builds cross a pickle
 #      boundary, stays bit-identical even when CI trims the default
 #      all-backend matrix.
-#   7. examples — headless smoke run of every examples/*.py script:
+#   8. examples — headless smoke run of every examples/*.py script:
 #      pytest -m examples
 #
 # Usage: scripts/ci.sh [--skip-examples]
@@ -36,7 +41,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== stage 1/7: bench marker audit =="
+echo "== stage 1/8: bench marker audit =="
 # Selecting "not bench" below benchmarks/ must collect nothing; any test id
 # in the output is a benchmark that escaped the marker.
 unmarked=$(python -m pytest benchmarks/ -m "not bench" --collect-only -q 2>/dev/null | grep -c "::" || true)
@@ -47,7 +52,7 @@ if [ "${unmarked}" -ne 0 ]; then
 fi
 echo "ok: every benchmarks/ test carries the bench marker"
 
-echo "== stage 2/7: history-ledger write audit =="
+echo "== stage 2/8: history-ledger write audit =="
 # Writers must go through the ledger API: no raw put into the 'history'
 # namespace (and no string-literal namespace handle to put through) outside
 # the owning package.  The same rule is enforced by tests/test_tooling_ci.py.
@@ -60,7 +65,7 @@ if [ -n "${violations}" ]; then
 fi
 echo "ok: every history-namespace writer goes through the ledger API"
 
-echo "== stage 3/7: scheduler monotonic-clock audit =="
+echo "== stage 3/8: scheduler monotonic-clock audit =="
 # Backend timelines are offsets from a campaign-local origin; time.time()
 # would tie them to a clock that NTP can step.  Only time.monotonic() is
 # allowed anywhere under src/repro/scheduler/.  The same rule is enforced
@@ -74,7 +79,7 @@ if [ -n "${clock_violations}" ]; then
 fi
 echo "ok: the scheduler times itself with time.monotonic() only"
 
-echo "== stage 4/7: lifecycle-purity audit =="
+echo "== stage 4/8: lifecycle-purity audit =="
 # Automated tickets and history ingestion flow through the plugin layer:
 # no module outside src/repro/plugins (and the owning core/history modules)
 # may construct an InterventionTracker or call ingest_cycle directly, or
@@ -89,10 +94,25 @@ if [ -n "${lifecycle_violations}" ]; then
 fi
 echo "ok: tickets and history ingestion flow through the plugin layer"
 
-echo "== stage 5/7: tier-1 test suite =="
+echo "== stage 5/8: service-purity audit =="
+# The daemon layer queues, schedules and bills -- it never executes. A
+# backend or scheduler construction under src/repro/service/ would open a
+# second execution path around SPSystem.submit; a time.time() call would
+# tie rate limiting to a steppable wall clock.  The same rule is enforced
+# by tests/test_tooling_ci.py.
+service_violations=$(grep -rnE "[A-Za-z_]*Backend\(|CampaignScheduler\(|execution_backend\(|time\.time\(" src/repro/service --include='*.py' || true)
+if [ -n "${service_violations}" ]; then
+    echo "error: execution or wall-clock call under src/repro/service/:" >&2
+    echo "${service_violations}" >&2
+    echo "dispatch through SPSystem.submit and time with a monotonic clock" >&2
+    exit 1
+fi
+echo "ok: the service layer queues and bills; only SPSystem.submit executes"
+
+echo "== stage 6/8: tier-1 test suite =="
 python -m pytest -x -q -m "not bench"
 
-echo "== stage 6/7: backend parity (explicit shard) =="
+echo "== stage 7/8: backend parity (explicit shard) =="
 # The tier-1 run above already covers the default all-backend matrix; this
 # shard pins that the env knob itself works and that the pickle-crossing
 # process backend passes in isolation from the sharded one.
@@ -101,11 +121,11 @@ REPRO_PARITY_BACKENDS=simulated,threads,processes \
     -k "BackendParity or HistoryRecordingBitIdentity"
 
 if [ "${1:-}" = "--skip-examples" ]; then
-    echo "== stage 7/7: examples smoke run skipped =="
+    echo "== stage 8/8: examples smoke run skipped =="
     exit 0
 fi
 
-echo "== stage 7/7: examples smoke run =="
+echo "== stage 8/8: examples smoke run =="
 python -m pytest -q -m examples
 
 echo "CI checks passed."

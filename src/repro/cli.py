@@ -19,6 +19,21 @@ end so the framework can be driven without writing Python::
     python -m repro.cli history regressions --storage-dir /tmp/sp-storage
     python -m repro.cli migrate-plan --experiment H1 --target SL7
     python -m repro.cli levels
+    python -m repro.cli submit-async --storage-dir /tmp/sp-service \
+        --tenant h1-offline --workers 2
+    python -m repro.cli serve --storage-dir /tmp/sp-service \
+        --tenant h1-offline:2 --tenant zeus:1:0.5:2
+    python -m repro.cli queue status --storage-dir /tmp/sp-service
+    python -m repro.cli queue cancel --storage-dir /tmp/sp-service \
+        --submission sub-000003
+
+The ``serve`` / ``submit-async`` / ``queue`` commands drive the
+validation-as-a-service daemon (:mod:`repro.service`): ``submit-async``
+persists a campaign submission into the multi-tenant queue without
+executing it, ``serve`` resumes the persisted queue and drains it under
+fair-share scheduling (publishing heartbeat telemetry and the live
+``reports/service.html`` dashboard), and ``queue`` inspects or cancels
+persisted submissions without provisioning a system.
 
 Every command provisions a fresh in-memory sp-system (the library is fully
 deterministic, so this is cheap and reproducible); ``--output`` persists the
@@ -69,6 +84,18 @@ from repro.reporting.summary import (
     lifecycle_event_rows,
 )
 from repro.reporting.webpages import StatusPageGenerator
+from repro.service import (
+    PRIORITY_LANES,
+    SERVICE_NAMESPACE,
+    TenantLedger,
+    TenantPolicy,
+    ValidationService,
+    cancel_persisted,
+    load_submissions,
+    snapshot_rows,
+    submission_rows,
+    tenant_rows,
+)
 
 
 _EXPERIMENT_BUILDERS = {
@@ -302,6 +329,79 @@ def build_parser() -> argparse.ArgumentParser:
                               "bug rather than an environment change")
     resolve.set_defaults(handler=_cmd_interventions_resolve)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the validation-as-a-service daemon: resume the "
+             "persisted multi-tenant queue and drain it under fair-share "
+             "scheduling",
+    )
+    serve.add_argument("--storage-dir", required=True,
+                       help="the daemon's persistent storage directory: the "
+                            "queue, tenant ledger, build cache and run "
+                            "documents all live (and resume) here")
+    serve.add_argument("--scale", type=float, default=0.15)
+    serve.add_argument("--tenant", action="append", default=None,
+                       metavar="NAME[:WEIGHT[:RATE[:BURST]]]",
+                       help="register a tenant policy (repeatable): "
+                            "fair-share WEIGHT (default 1), sustained "
+                            "submission RATE per second (default 0 = "
+                            "unlimited) and token-bucket BURST capacity "
+                            "(default 1); unregistered tenants get "
+                            "weight 1, unlimited")
+    serve.add_argument("--max-submissions", type=_positive_int, default=None,
+                       help="stop after this many dispatched campaigns "
+                            "(default: drain the whole queue)")
+    serve.add_argument("--heartbeat-every", type=_positive_int, default=1,
+                       help="publish a heartbeat telemetry event every N "
+                            "dispatched campaigns (default 1)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit_async = subparsers.add_parser(
+        "submit-async",
+        help="enqueue a campaign submission into a daemon's persisted "
+             "queue without executing it (a later 'serve' run dispatches "
+             "it)",
+    )
+    submit_async.add_argument("--storage-dir", required=True,
+                              help="the daemon's storage directory (created "
+                                   "if missing)")
+    submit_async.add_argument("--tenant", required=True,
+                              help="the submitting tenant's name")
+    submit_async.add_argument("--priority", default="normal",
+                              choices=list(PRIORITY_LANES),
+                              help="queue lane: 'high' jumps every queued "
+                                   "'normal'/'low' submission (default "
+                                   "normal)")
+    submit_async.add_argument("--spec", default=None, metavar="FILE",
+                              help="submit the CampaignSpec JSON document in "
+                                   "FILE instead of building one from the "
+                                   "flags below")
+    submit_async.add_argument("--workers", type=_positive_int, default=1)
+    submit_async.add_argument("--rounds", type=_positive_int, default=1)
+    submit_async.add_argument("--backend", default="simulated",
+                              choices=sorted(EXECUTION_BACKENDS))
+    submit_async.set_defaults(handler=_cmd_submit_async)
+
+    queue = subparsers.add_parser(
+        "queue",
+        help="inspect or cancel persisted service submissions without "
+             "provisioning a system",
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    queue_status = queue_sub.add_parser(
+        "status",
+        help="list persisted submissions and the per-tenant usage ledger",
+    )
+    queue_status.add_argument("--storage-dir", required=True)
+    queue_status.set_defaults(handler=_cmd_queue_status)
+    queue_cancel = queue_sub.add_parser(
+        "cancel", help="cancel a still-queued persisted submission"
+    )
+    queue_cancel.add_argument("--storage-dir", required=True)
+    queue_cancel.add_argument("--submission", required=True,
+                              metavar="SUBMISSION_ID")
+    queue_cancel.set_defaults(handler=_cmd_queue_cancel)
+
     migrate = subparsers.add_parser("migrate-plan", help="plan a migration to a new platform")
     migrate.add_argument("--experiment", required=True, choices=sorted(_EXPERIMENT_BUILDERS))
     migrate.add_argument("--source", default="SL5_64bit_gcc4.4")
@@ -334,8 +434,12 @@ def _cmd_levels(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def _provisioned_system(scale: float, experiments: Optional[List[str]] = None) -> SPSystem:
-    system = SPSystem()
+def _provisioned_system(
+    scale: float,
+    experiments: Optional[List[str]] = None,
+    storage: Optional[CommonStorage] = None,
+) -> SPSystem:
+    system = SPSystem(storage=storage)
     system.provision_standard_images()
     names = experiments if experiments is not None else list(_EXPERIMENT_BUILDERS)
     for name in names:
@@ -756,11 +860,13 @@ def _cmd_interventions_list(arguments: argparse.Namespace) -> int:
         f"{len(store.tickets())} recorded below {arguments.storage_dir}"
     )
     if tickets:
-        _print_rows(
-            intervention_rows(tickets),
-            ["ticket", "experiment", "configuration", "category", "status",
-             "suspected change", "description"],
-        )
+        columns = ["ticket", "experiment", "configuration", "category",
+                   "status", "suspected change", "description"]
+        if arguments.show_all:
+            # The full listing shows how often each resolved ticket
+            # re-opened on recurrence (the alert dedupe/re-open window).
+            columns.insert(5, "reopened")
+        _print_rows(intervention_rows(tickets), columns)
     return 0
 
 
@@ -776,6 +882,162 @@ def _cmd_interventions_resolve(arguments: argparse.Namespace) -> int:
     print(
         f"resolved {ticket.ticket_id} at t={ticket.resolved_at}: "
         f"{arguments.resolution}"
+    )
+    return 0
+
+
+def _parse_tenant_flag(text: str) -> TenantPolicy:
+    """Parse a ``NAME[:WEIGHT[:RATE[:BURST]]]`` tenant flag."""
+    parts = text.split(":")
+    try:
+        return TenantPolicy(
+            name=parts[0],
+            weight=int(parts[1]) if len(parts) > 1 and parts[1] else 1,
+            rate_per_second=(
+                float(parts[2]) if len(parts) > 2 and parts[2] else 0.0
+            ),
+            burst=int(parts[3]) if len(parts) > 3 and parts[3] else 1,
+        )
+    except ValueError as error:
+        raise ReproError(f"invalid --tenant flag {text!r}: {error}") from error
+
+
+def _load_service_storage(storage_dir: str, create: bool = False) -> CommonStorage:
+    """Load a daemon's persisted storage (optionally starting fresh)."""
+    if os.path.isdir(storage_dir):
+        return CommonStorage.load(storage_dir)
+    if not create:
+        raise ReproError(f"no such storage directory: {storage_dir}")
+    return CommonStorage()
+
+
+def _print_service_tables(
+    service: ValidationService, submissions: Optional[List] = None
+) -> None:
+    rows = submissions if submissions is not None else service.submissions()
+    if rows:
+        _print_rows(
+            submission_rows(rows),
+            ["submission", "tenant", "priority", "status", "campaign",
+             "cells", "error"],
+        )
+    _print_rows(
+        tenant_rows(service.ledger, backlog=service.queue.backlog()),
+        ["tenant", "weight", "rate/s", "queued", "submitted", "completed",
+         "failed", "cancelled", "rejected", "cells", "build s",
+         "cache hits", "shared hits", "donated", "cache bytes"],
+    )
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    storage = _load_service_storage(arguments.storage_dir, create=True)
+    system = _provisioned_system(arguments.scale, storage=storage)
+    service = ValidationService(
+        system,
+        tenants=[_parse_tenant_flag(text) for text in arguments.tenant or []],
+        heartbeat_every=arguments.heartbeat_every,
+    )
+    resumed = service.queue.depth()
+    print(
+        f"serving below {arguments.storage_dir}: {resumed} queued "
+        f"submission(s) resumed, {len(service.ledger.tenants())} tenant(s)"
+    )
+    processed = service.run_pending(max_submissions=arguments.max_submissions)
+    for submission in processed:
+        outcome = submission.campaign_id or submission.error or ""
+        print(
+            f"  {submission.submission_id} [{submission.tenant}] "
+            f"{submission.status}: {outcome}"
+        )
+    service.beat(source="serve")
+    appended = system.persist_build_cache()
+    written = storage.persist(arguments.storage_dir)
+    print(
+        f"dispatched {len(processed)} campaign(s); queue depth now "
+        f"{service.queue.depth()}"
+    )
+    _print_service_tables(service)
+    _print_rows(snapshot_rows(service.snapshot()), ["metric", "value"])
+    print(
+        f"persisted {len(written)} documents below {arguments.storage_dir} "
+        f"({appended} new build-cache journal records); live dashboard: "
+        f"{os.path.join(arguments.storage_dir, 'reports', 'service.html')}"
+    )
+    return 0
+
+
+def _cmd_submit_async(arguments: argparse.Namespace) -> int:
+    storage = _load_service_storage(arguments.storage_dir, create=True)
+    # No provisioning and no warm start: this command only enqueues — the
+    # next `serve` run provisions a system and executes.
+    system = SPSystem(storage=storage)
+    service = ValidationService(system, warm_start=False, dashboard=False)
+    if arguments.spec:
+        spec = _load_spec_file(arguments.spec)
+    else:
+        spec = CampaignSpec(
+            workers=arguments.workers,
+            rounds=arguments.rounds,
+            backend=arguments.backend,
+        )
+    submission = service.submit(arguments.tenant, spec, arguments.priority)
+    written = storage.persist(arguments.storage_dir)
+    print(
+        f"queued {submission.submission_id} for tenant "
+        f"{submission.tenant!r} ({submission.priority} lane); queue depth "
+        f"{service.queue.depth()}, {len(written)} documents persisted "
+        f"below {arguments.storage_dir}"
+    )
+    return 0
+
+
+def _cmd_queue_status(arguments: argparse.Namespace) -> int:
+    if not os.path.isdir(arguments.storage_dir):
+        raise ReproError(f"no such storage directory: {arguments.storage_dir}")
+    storage = CommonStorage.load(
+        arguments.storage_dir, namespaces=[SERVICE_NAMESPACE]
+    )
+    submissions = load_submissions(storage)
+    ledger = TenantLedger(storage)
+    if not submissions and not ledger.tenants():
+        raise ReproError(
+            f"no service state below {arguments.storage_dir}: run "
+            "'submit-async' or 'serve' first"
+        )
+    queued = [item for item in submissions if item.status == "queued"]
+    backlog: Dict[str, int] = {}
+    for item in queued:
+        backlog[item.tenant] = backlog.get(item.tenant, 0) + 1
+    print(
+        f"{len(queued)} queued of {len(submissions)} recorded "
+        f"submission(s) below {arguments.storage_dir}"
+    )
+    if submissions:
+        _print_rows(
+            submission_rows(submissions),
+            ["submission", "tenant", "priority", "status", "campaign",
+             "cells", "error"],
+        )
+    _print_rows(
+        tenant_rows(ledger, backlog=backlog),
+        ["tenant", "weight", "rate/s", "queued", "submitted", "completed",
+         "failed", "cancelled", "rejected", "cells", "build s",
+         "cache hits", "shared hits", "donated", "cache bytes"],
+    )
+    return 0
+
+
+def _cmd_queue_cancel(arguments: argparse.Namespace) -> int:
+    if not os.path.isdir(arguments.storage_dir):
+        raise ReproError(f"no such storage directory: {arguments.storage_dir}")
+    storage = CommonStorage.load(
+        arguments.storage_dir, namespaces=[SERVICE_NAMESPACE]
+    )
+    submission = cancel_persisted(storage, arguments.submission)
+    storage.persist(arguments.storage_dir)
+    print(
+        f"cancelled {submission.submission_id} (tenant "
+        f"{submission.tenant!r}); the next serve run will not dispatch it"
     )
     return 0
 

@@ -63,6 +63,8 @@ class InterventionTicket:
     configuration_key: str = ""
     #: Label of the evolution event suspected to have caused the problem.
     suspected_change: str = ""
+    #: How many times a resolved ticket was re-opened on recurrence.
+    reopen_count: int = 0
 
     def resolve(self, resolution: str, timestamp: int, long_standing_bug: bool = False) -> None:
         """Mark the ticket as resolved."""
@@ -80,6 +82,29 @@ class InterventionTicket:
         self.status = TicketStatus.WONT_FIX
         self.resolution = reason
         self.resolved_at = timestamp
+
+    def reopen(self, timestamp: int, description: str = "") -> None:
+        """Re-open a *resolved* ticket whose problem recurred.
+
+        Re-opening keeps the ticket's identity (and therefore its history in
+        reports) instead of opening a duplicate: the status flips back to
+        OPEN, the reopen counter advances and the new observation replaces
+        the description.  Only resolved tickets re-open — a wont-fix closure
+        is a decision, not a fix, so recurrence there is expected and stays
+        closed; an open ticket has nothing to re-open.
+        """
+        if self.status is not TicketStatus.RESOLVED:
+            raise ValidationError(
+                f"ticket {self.ticket_id} is {self.status.value}, not "
+                "resolved; only resolved tickets re-open"
+            )
+        self.status = TicketStatus.OPEN
+        self.resolution = ""
+        self.resolved_at = None
+        self.opened_at = timestamp
+        self.reopen_count += 1
+        if description:
+            self.description = description
 
     @property
     def is_open(self) -> bool:
@@ -104,6 +129,7 @@ class InterventionTicket:
             "long_standing_bug": self.long_standing_bug,
             "configuration_key": self.configuration_key,
             "suspected_change": self.suspected_change,
+            "reopen_count": self.reopen_count,
         }
 
     @classmethod
@@ -129,6 +155,7 @@ class InterventionTicket:
                 long_standing_bug=bool(payload.get("long_standing_bug", False)),
                 configuration_key=str(payload.get("configuration_key", "")),
                 suspected_change=str(payload.get("suspected_change", "")),
+                reopen_count=int(payload.get("reopen_count", 0)),  # type: ignore[arg-type]
             )
         except (KeyError, TypeError, ValueError) as error:
             raise ValidationError(

@@ -34,15 +34,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.spsystem import SPSystem
 
 
+#: Default re-open window (seconds on the installation's logical clock): a
+#: cell whose ticket was resolved less than 30 days before the regression
+#: recurs re-opens that ticket instead of opening a duplicate.
+DEFAULT_REOPEN_WINDOW_SECONDS = 30 * 24 * 3600
+
+
 class RegressionAlertPlugin(LifecycleObserver):
     """Turns ledger regressions into events and persisted tickets."""
 
     name = "regression-alerts"
     events = frozenset({EVENT_CAMPAIGN_FINISHED})
 
-    def __init__(self, system: "SPSystem") -> None:
+    def __init__(
+        self,
+        system: "SPSystem",
+        reopen_window: int = DEFAULT_REOPEN_WINDOW_SECONDS,
+    ) -> None:
         self.system = system
         self.store = InterventionStore(system.storage)
+        self.reopen_window = reopen_window
         #: Tickets opened by this plugin instance (one submission's worth).
         self.opened: List["InterventionTicket"] = []
 
@@ -60,7 +71,9 @@ class RegressionAlertPlugin(LifecycleObserver):
                 subjects={"finding": finding},
             )
             ticket = self.store.open_from_finding(
-                finding, timestamp=self.system.clock.now
+                finding,
+                timestamp=self.system.clock.now,
+                reopen_window=self.reopen_window,
             )
             if ticket is not None:
                 self.opened.append(ticket)

@@ -93,7 +93,10 @@ class InterventionStore:
 
     # -- mutations (each one persists the touched document) --------------------
     def open_from_finding(
-        self, finding: RegressionFinding, timestamp: int
+        self,
+        finding: RegressionFinding,
+        timestamp: int,
+        reopen_window: Optional[int] = None,
     ) -> Optional[InterventionTicket]:
         """Open a ticket for a regression finding, deduplicated per cell.
 
@@ -101,6 +104,15 @@ class InterventionStore:
         that persists across campaigns keeps its original ticket instead of
         flooding the tracker.  Returns ``None`` when the cell already has
         an open ticket.
+
+        With *reopen_window* (seconds on the installation's logical clock),
+        a cell whose newest ticket was *resolved* within the window
+        **re-opens** that ticket on recurrence instead of opening a
+        duplicate — the recurrence is evidence the fix did not hold, and
+        the re-opened ticket keeps its identity (and its advancing
+        ``reopen_count``) in the reports.  A resolution older than the
+        window, a wont-fix closure, or ``reopen_window=None`` (the legacy
+        behaviour) opens a fresh ticket.
 
         Party routing follows the paper's rule: a configuration-fingerprint
         flip is direct evidence the *environment* moved (an evolved
@@ -114,6 +126,12 @@ class InterventionStore:
                 and ticket.configuration_key == finding.configuration_key
             ):
                 return None
+        if reopen_window is not None:
+            recurrence = self._reopenable_ticket(finding, timestamp, reopen_window)
+            if recurrence is not None:
+                recurrence.reopen(timestamp, description=finding.summary())
+                self._persist(recurrence)
+                return recurrence
         category = (
             IssueCategory.EXTERNAL_DEPENDENCY
             if finding.fingerprint_changed
@@ -139,6 +157,24 @@ class InterventionStore:
         )
         self._persist(ticket)
         return ticket
+
+    def _reopenable_ticket(
+        self, finding: RegressionFinding, timestamp: int, reopen_window: int
+    ) -> Optional[InterventionTicket]:
+        """The cell's newest *resolved* ticket inside the reopen window."""
+        candidate: Optional[InterventionTicket] = None
+        for ticket in self.tracker.resolved_tickets():
+            if (
+                ticket.experiment != finding.experiment
+                or ticket.configuration_key != finding.configuration_key
+                or ticket.resolved_at is None
+            ):
+                continue
+            if timestamp - ticket.resolved_at > reopen_window:
+                continue
+            if candidate is None or ticket.resolved_at > candidate.resolved_at:
+                candidate = ticket
+        return candidate
 
     def resolve(
         self,

@@ -336,6 +336,7 @@ def intervention_rows(tickets) -> List[Dict[str, object]]:
                 "category": getattr(ticket.category, "value", ticket.category),
                 "status": getattr(ticket.status, "value", ticket.status),
                 "suspected change": ticket.suspected_change or "-",
+                "reopened": getattr(ticket, "reopen_count", 0),
                 "description": ticket.description,
             }
         )

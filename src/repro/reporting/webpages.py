@@ -22,6 +22,7 @@ import html
 import json
 from typing import Dict, List, Optional
 
+from repro._common import StorageError
 from repro.core.jobs import JobStatus, ValidationRun
 from repro.storage.bookkeeping import TagRegistry, format_timestamp
 from repro.storage.catalog import RunCatalog
@@ -45,7 +46,11 @@ class StatusPageGenerator:
 
     NAMESPACE = "reports"
 
-    def __init__(self, storage: CommonStorage, catalog: RunCatalog) -> None:
+    def __init__(
+        self, storage: CommonStorage, catalog: Optional[RunCatalog] = None
+    ) -> None:
+        # The catalog is only consulted by the run index; pages that render
+        # plain row data (campaign, trends, service) work without one.
         self.storage = storage
         self.catalog = catalog
         self.storage.create_namespace(self.NAMESPACE)
@@ -93,6 +98,11 @@ class StatusPageGenerator:
     # -- index page -----------------------------------------------------------
     def index_page(self, tag_registry: Optional[TagRegistry] = None) -> str:
         """Render the index of all recorded runs, grouped by description tag."""
+        if self.catalog is None:
+            raise StorageError(
+                "the run index needs a RunCatalog; construct the "
+                "StatusPageGenerator with one"
+            )
         records = self.catalog.all()
         groups: Dict[str, List] = {}
         for record in records:
@@ -382,6 +392,66 @@ class StatusPageGenerator:
             )
         page = _wrap_page("sp-system validation history", body)
         self.storage.put(self.NAMESPACE, "trends", {"html": page})
+        return page
+
+    # -- live service dashboard -------------------------------------------------
+    def service_page(
+        self,
+        snapshot: List[Dict[str, object]],
+        tenants: List[Dict[str, object]],
+        submissions: List[Dict[str, object]],
+        worker: Optional[Dict[str, object]] = None,
+        events: Optional[List[Dict[str, object]]] = None,
+    ) -> str:
+        """Render the validation-service live dashboard.
+
+        Every argument is plain row data (the :mod:`repro.service.telemetry`
+        helpers produce it), so the reporting layer needs no import of the
+        service subsystem.  The daemon re-renders this page on every
+        heartbeat; it is stored as the ``service`` report document.
+        """
+        body = "<h1>Validation service: live status</h1>"
+        if worker:
+            state = "alive" if worker.get("alive") else "stopped"
+            body += (
+                f"<p>heartbeat worker: {state}, "
+                f"{worker.get('beats', 0)} beat(s), "
+                f"{worker.get('failures', 0)} failure(s), "
+                f"{worker.get('restarts', 0)} restart(s)</p>"
+            )
+        body += self._rows_table(
+            "Service snapshot", ["metric", "value"], snapshot
+        )
+        body += self._rows_table(
+            "Tenants (fair share, rate limits, usage accounting)",
+            ["tenant", "weight", "rate/s", "queued", "submitted", "completed",
+             "failed", "cancelled", "rejected", "cells", "build s",
+             "cache hits", "shared hits", "donated", "cache bytes"],
+            tenants,
+        )
+        highlight = {
+            "completed": STATUS_COLOURS["passed"],
+            "failed": STATUS_COLOURS["failed"],
+            "cancelled": STATUS_COLOURS["skipped"],
+            "running": "#2196f3",
+            "queued": FALLBACK_COLOUR,
+        }
+        body += self._rows_table(
+            "Submissions",
+            ["submission", "tenant", "priority", "status", "campaign",
+             "cells", "error"],
+            submissions,
+            colour_column="status",
+            colours=highlight,
+        )
+        if events:
+            body += self._rows_table(
+                "Recent lifecycle events",
+                ["seq", "event", "campaign", "payload"],
+                events,
+            )
+        page = _wrap_page("sp-system validation service", body)
+        self.storage.put(self.NAMESPACE, "service", {"html": page})
         return page
 
     def _rows_table(

@@ -671,7 +671,10 @@ class ShardedBackend(ExecutionBackend):
             # Merge: replay every shard's persisted journal into the parent
             # cache.  The journal segments on disk are the shard's real
             # output; loading them back exercises the same path a separate
-            # merge process would use.
+            # merge process would use.  A parent cache synced to a mounted
+            # journal appends the merged entries straight into it (a daemon
+            # restart between merge and the next persist loses nothing);
+            # an unsynced cache defers to the next persist as before.
             if request.merge_cache is not None:
                 from repro.scheduler.cache import BuildCache
                 from repro.storage.artifacts import ArtifactStore

@@ -67,6 +67,15 @@ EVENT_REGRESSION_DETECTED = "regression_detected"
 EVENT_DEADLINE_EXCEEDED = "deadline_exceeded"
 EVENT_BUDGET_EXCEEDED = "budget_exceeded"
 EVENT_EVOLUTION_RECORDED = "evolution_recorded"
+# Service-daemon events (repro.service): the submission queue and its
+# telemetry worker report through the same bus the campaigns use, so one
+# JSONL sink or webhook observes a whole installation — campaigns and the
+# daemon that dispatches them alike.
+EVENT_SUBMISSION_QUEUED = "submission_queued"
+EVENT_SUBMISSION_STARTED = "submission_started"
+EVENT_SUBMISSION_CANCELLED = "submission_cancelled"
+EVENT_TENANT_THROTTLED = "tenant_throttled"
+EVENT_HEARTBEAT = "heartbeat"
 
 LIFECYCLE_EVENTS: FrozenSet[str] = frozenset(
     {
@@ -76,6 +85,11 @@ LIFECYCLE_EVENTS: FrozenSet[str] = frozenset(
         EVENT_DEADLINE_EXCEEDED,
         EVENT_BUDGET_EXCEEDED,
         EVENT_EVOLUTION_RECORDED,
+        EVENT_SUBMISSION_QUEUED,
+        EVENT_SUBMISSION_STARTED,
+        EVENT_SUBMISSION_CANCELLED,
+        EVENT_TENANT_THROTTLED,
+        EVENT_HEARTBEAT,
     }
 )
 
@@ -360,6 +374,11 @@ __all__ = [
     "EVENT_DEADLINE_EXCEEDED",
     "EVENT_BUDGET_EXCEEDED",
     "EVENT_EVOLUTION_RECORDED",
+    "EVENT_SUBMISSION_QUEUED",
+    "EVENT_SUBMISSION_STARTED",
+    "EVENT_SUBMISSION_CANCELLED",
+    "EVENT_TENANT_THROTTLED",
+    "EVENT_HEARTBEAT",
     "LIFECYCLE_EVENTS",
     "LifecycleEvent",
     "EventContext",

@@ -1,0 +1,52 @@
+"""Validation-as-a-service: the multi-tenant submission daemon.
+
+The paper's validation suite is an *installation service*: experiments
+hand their software over and the host runs the validation on their
+behalf.  This package is that service's front door — a long-running
+daemon (`repro serve`) accepting campaign submissions from many tenants,
+scheduling them fairly, rate-limiting abusers, billing usage and
+publishing live telemetry — all on top of the unchanged deterministic
+execution core (every campaign still flows through ``SPSystem.submit``).
+"""
+
+from repro.service.daemon import (
+    DEFAULT_POLICY,
+    ValidationService,
+    cancel_persisted,
+    load_submissions,
+)
+from repro.service.queue import PRIORITY_LANES, Submission, SubmissionQueue
+from repro.service.telemetry import (
+    HeartbeatWorker,
+    snapshot_rows,
+    submission_rows,
+    tenant_rows,
+)
+from repro.service.tenants import (
+    SERVICE_NAMESPACE,
+    ServiceRateLimited,
+    TenantLedger,
+    TenantPolicy,
+    TenantUsage,
+    TokenBucket,
+)
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "PRIORITY_LANES",
+    "SERVICE_NAMESPACE",
+    "HeartbeatWorker",
+    "ServiceRateLimited",
+    "Submission",
+    "SubmissionQueue",
+    "TenantLedger",
+    "TenantPolicy",
+    "TenantUsage",
+    "TokenBucket",
+    "ValidationService",
+    "cancel_persisted",
+    "load_submissions",
+    "snapshot_rows",
+    "submission_rows",
+    "tenant_rows",
+]

@@ -1,0 +1,374 @@
+"""Tenant policies, token-bucket rate limits and the persisted usage ledger.
+
+The validation service is multi-tenant: several experiment groups share
+one daemon, one build cache and one worker pool.  This module carries the
+per-tenant state:
+
+* :class:`TenantPolicy` — declared fair-share weight and token-bucket rate
+  limit for one tenant.
+* :class:`TokenBucket` — the classic refilling bucket, on an *injectable*
+  clock (``time.monotonic`` by default — the service layer never reads
+  wall-clock time) so tests drive it with a manual clock.  Rejections
+  report how long the caller has to wait.
+* :class:`TenantUsage` / :class:`TenantLedger` — cost accounting: matrix
+  cells executed, simulated build-seconds consumed, cache bytes added and
+  builds *donated* to other tenants through the shared cache.  The ledger
+  persists into the mirrored ``service`` storage namespace, so a restarted
+  daemon resumes billing where the previous one stopped.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro._common import SchedulingError, ensure_identifier
+from repro.storage.common_storage import CommonStorage, register_mirrored_namespace
+
+#: The daemon's storage namespace: tenant ledger documents, queued
+#: submissions and final submission records.  Mirrored, because queue
+#: drains and usage updates rewrite documents in place.
+SERVICE_NAMESPACE = register_mirrored_namespace("service")
+
+
+class ServiceRateLimited(SchedulingError):
+    """A submission was rejected by the tenant's rate limit.
+
+    Carries ``retry_after`` — seconds (on the limiter's clock) until the
+    tenant's token bucket holds a token again.
+    """
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        self.tenant = tenant
+        self.retry_after = retry_after
+        super().__init__(
+            f"tenant {tenant!r} is rate limited; retry after "
+            f"{retry_after:.3f}s"
+        )
+
+
+class TokenBucket:
+    """A refilling token bucket with explicit retry-after reporting."""
+
+    def __init__(self, capacity: float, refill_per_second: float) -> None:
+        if capacity < 1:
+            raise SchedulingError(
+                f"token bucket capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self._level = float(capacity)
+        self._updated: Optional[float] = None
+
+    def try_take(self, now: float) -> Tuple[bool, float]:
+        """Take one token at time *now*: ``(granted, retry_after)``.
+
+        ``retry_after`` is 0.0 on a grant, otherwise the seconds until one
+        full token has refilled.  A bucket with a zero refill rate never
+        refills — once the burst capacity is spent every request is
+        rejected with an infinite retry-after.
+        """
+        if self._updated is not None and self.refill_per_second > 0:
+            elapsed = max(0.0, now - self._updated)
+            self._level = min(
+                self.capacity, self._level + elapsed * self.refill_per_second
+            )
+        self._updated = now
+        if self._level >= 1.0:
+            self._level -= 1.0
+            return True, 0.0
+        if self.refill_per_second <= 0:
+            return False, float("inf")
+        return False, (1.0 - self._level) / self.refill_per_second
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's declared scheduling weight and rate limit."""
+
+    name: str
+    #: Fair-share weight: consecutive dispatches per round-robin turn.
+    weight: int = 1
+    #: Sustained submission rate (tokens/second); 0 means unlimited.
+    rate_per_second: float = 0.0
+    #: Token-bucket capacity: submissions accepted in one burst.
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        ensure_identifier(self.name, "tenant name")
+        if self.weight < 1:
+            raise SchedulingError(
+                f"tenant {self.name!r}: weight must be >= 1, got {self.weight}"
+            )
+        if self.rate_per_second < 0:
+            raise SchedulingError(
+                f"tenant {self.name!r}: rate must be >= 0, "
+                f"got {self.rate_per_second}"
+            )
+        if self.burst < 1:
+            raise SchedulingError(
+                f"tenant {self.name!r}: burst must be >= 1, got {self.burst}"
+            )
+
+    def for_tenant(self, name: str) -> "TenantPolicy":
+        """This policy re-targeted at another tenant (default templates)."""
+        return replace(self, name=name)
+
+    def bucket(self) -> Optional[TokenBucket]:
+        """A fresh token bucket enforcing this policy (None = unlimited)."""
+        if self.rate_per_second <= 0:
+            return None
+        return TokenBucket(self.burst, self.rate_per_second)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view; :meth:`from_dict` round-trips it."""
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "rate_per_second": self.rate_per_second,
+            "burst": self.burst,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TenantPolicy":
+        """Reconstruct a policy serialised by :meth:`to_dict`."""
+        try:
+            return cls(
+                name=str(payload["name"]),
+                weight=int(payload.get("weight", 1)),  # type: ignore[arg-type]
+                rate_per_second=float(payload.get("rate_per_second", 0.0)),  # type: ignore[arg-type]
+                burst=int(payload.get("burst", 1)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise SchedulingError(
+                f"invalid tenant policy document: {error}"
+            ) from error
+
+
+@dataclass
+class TenantUsage:
+    """Accumulated cost accounting for one tenant."""
+
+    submissions: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    #: Submissions rejected by the rate limiter (never queued).
+    rejected: int = 0
+    #: Matrix cells executed on the tenant's behalf.
+    cells: int = 0
+    #: Simulated build/test seconds consumed across campaign workers.
+    build_seconds: float = 0.0
+    #: Build-cache bytes added by the tenant's campaigns.
+    cache_bytes: int = 0
+    #: Cache hits the tenant's campaigns enjoyed.
+    cache_hits: int = 0
+    #: Hits on builds donated by *other* experiments (shared externals).
+    shared_hits: int = 0
+    #: Builds this tenant's campaigns donated to other tenants' warm starts.
+    donated_builds: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view; :meth:`from_dict` round-trips it."""
+        return {
+            "submissions": self.submissions,
+            "completed": self.completed,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "cells": self.cells,
+            "build_seconds": self.build_seconds,
+            "cache_bytes": self.cache_bytes,
+            "cache_hits": self.cache_hits,
+            "shared_hits": self.shared_hits,
+            "donated_builds": self.donated_builds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TenantUsage":
+        """Reconstruct usage serialised by :meth:`to_dict`."""
+        usage = cls()
+        for name in usage.to_dict():
+            if name in payload:
+                current = getattr(usage, name)
+                setattr(usage, name, type(current)(payload[name]))  # type: ignore[call-overload]
+        return usage
+
+
+@dataclass
+class _TenantRecord:
+    policy: TenantPolicy
+    usage: TenantUsage = field(default_factory=TenantUsage)
+
+
+class TenantLedger:
+    """Per-tenant policies + usage, persisted in the ``service`` namespace.
+
+    Documents live under ``tenant_<name>`` keys (policy + usage in one
+    document, rewritten in place on every mutation) plus one
+    ``experiment_owners`` document mapping each experiment to the tenant
+    that first submitted it — the attribution base for donated builds.
+    Construction replays every persisted document, so a ledger over a
+    reloaded storage resumes exactly where the previous daemon stopped.
+    """
+
+    NAMESPACE = SERVICE_NAMESPACE
+    KEY_PREFIX = "tenant_"
+    OWNERS_KEY = "experiment_owners"
+
+    def __init__(self, storage: CommonStorage) -> None:
+        self.storage = storage
+        self._namespace = storage.create_namespace(self.NAMESPACE)
+        self._records: Dict[str, _TenantRecord] = {}
+        self._owners: Dict[str, str] = {}
+        for key in self._namespace.keys(prefix=self.KEY_PREFIX):
+            document = self._namespace.get(key)
+            policy = TenantPolicy.from_dict(document["policy"])  # type: ignore[index]
+            usage = TenantUsage.from_dict(document["usage"])  # type: ignore[index]
+            self._records[policy.name] = _TenantRecord(policy, usage)
+        if self._namespace.exists(self.OWNERS_KEY):
+            self._owners = {
+                str(experiment): str(tenant)
+                for experiment, tenant in self._namespace.get(  # type: ignore[union-attr]
+                    self.OWNERS_KEY
+                ).items()
+            }
+
+    # -- registration ----------------------------------------------------------
+    def register(self, policy: TenantPolicy) -> TenantPolicy:
+        """Register or update a tenant; existing usage is preserved."""
+        record = self._records.get(policy.name)
+        if record is None:
+            self._records[policy.name] = _TenantRecord(policy)
+        else:
+            record.policy = policy
+        self._persist(policy.name)
+        return policy
+
+    def knows(self, tenant: str) -> bool:
+        """True when *tenant* is registered."""
+        return tenant in self._records
+
+    def policy(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy (raises on unknown tenants)."""
+        try:
+            return self._records[tenant].policy
+        except KeyError:
+            raise SchedulingError(
+                f"unknown tenant {tenant!r}; register a TenantPolicy first"
+            ) from None
+
+    def usage(self, tenant: str) -> TenantUsage:
+        """The tenant's accumulated usage (raises on unknown tenants)."""
+        self.policy(tenant)
+        return self._records[tenant].usage
+
+    def tenants(self) -> List[str]:
+        """Registered tenant names, sorted."""
+        return sorted(self._records)
+
+    def weights(self) -> Dict[str, int]:
+        """Fair-share weights for the submission queue."""
+        return {
+            name: record.policy.weight
+            for name, record in self._records.items()
+        }
+
+    # -- accounting (every mutation rewrites the tenant's document) ------------
+    def record_rejected(self, tenant: str) -> None:
+        """Count a rate-limited rejection."""
+        self.usage(tenant).rejected += 1
+        self._persist(tenant)
+
+    def record_queued(self, tenant: str) -> None:
+        """Count an accepted submission."""
+        self.usage(tenant).submissions += 1
+        self._persist(tenant)
+
+    def record_cancelled(self, tenant: str) -> None:
+        """Count a cancellation of a queued submission."""
+        self.usage(tenant).cancelled += 1
+        self._persist(tenant)
+
+    def record_failed(self, tenant: str) -> None:
+        """Count a dispatched submission that raised."""
+        self.usage(tenant).failed += 1
+        self._persist(tenant)
+
+    def record_completed(
+        self,
+        tenant: str,
+        *,
+        cells: int,
+        build_seconds: float,
+        cache_bytes: int,
+        cache_hits: int,
+        shared_hits: int,
+        experiments: Optional[List[str]] = None,
+    ) -> None:
+        """Bill one completed campaign to *tenant*.
+
+        *experiments* claims first-submitter ownership of each named
+        experiment (used later to attribute donated builds).
+        """
+        usage = self.usage(tenant)
+        usage.completed += 1
+        usage.cells += cells
+        usage.build_seconds += build_seconds
+        usage.cache_bytes += cache_bytes
+        usage.cache_hits += cache_hits
+        usage.shared_hits += shared_hits
+        self._persist(tenant)
+        for experiment in experiments or []:
+            self.claim_experiment(tenant, experiment)
+
+    def claim_experiment(self, tenant: str, experiment: str) -> str:
+        """Record first-submitter ownership of *experiment*; returns owner."""
+        owner = self._owners.setdefault(experiment, tenant)
+        self._namespace.put(self.OWNERS_KEY, dict(sorted(self._owners.items())))
+        return owner
+
+    def credit_donation(self, experiment: str, builds: int) -> Optional[str]:
+        """Credit *builds* donated by *experiment* to its owning tenant.
+
+        Returns the credited tenant, or ``None`` when the donor experiment
+        has no recorded owner (e.g. warm-start entries inherited from a
+        pre-service cache).
+        """
+        if builds <= 0:
+            return None
+        owner = self._owners.get(experiment)
+        if owner is None or owner not in self._records:
+            return None
+        self.usage(owner).donated_builds += builds
+        self._persist(owner)
+        return owner
+
+    def total_cells(self) -> int:
+        """Cells executed across all tenants (ledger consistency checks)."""
+        return sum(record.usage.cells for record in self._records.values())
+
+    def _persist(self, tenant: str) -> None:
+        record = self._records[tenant]
+        self._namespace.put(
+            f"{self.KEY_PREFIX}{tenant}",
+            {"policy": record.policy.to_dict(), "usage": record.usage.to_dict()},
+        )
+
+
+#: Default clock for the rate limiter: monotonic, never wall-clock.
+def monotonic_clock() -> float:
+    """The daemon's default rate-limiter clock (``time.monotonic``)."""
+    return time.monotonic()
+
+
+__all__ = [
+    "SERVICE_NAMESPACE",
+    "ServiceRateLimited",
+    "TokenBucket",
+    "TenantPolicy",
+    "TenantUsage",
+    "TenantLedger",
+    "monotonic_clock",
+]

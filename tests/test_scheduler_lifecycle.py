@@ -754,3 +754,147 @@ class TestServicePluginPassThrough:
         assert EVENT_CAMPAIGN_FINISHED in names
         # No regression on a first, passing validation: no ticket opened.
         assert not InterventionStore.exists_in(system.storage)
+
+
+class TestReopenWindow:
+    """Alert dedupe across time: resolved tickets re-open on recurrence.
+
+    ``InterventionStore.open_from_finding`` with a ``reopen_window``
+    re-opens a cell's recently *resolved* ticket instead of opening a
+    duplicate — the recurrence is evidence the fix did not hold, and the
+    re-opened ticket keeps its identity (with an advancing
+    ``reopen_count``) in the reports.  Resolutions older than the window,
+    wont-fix closures, and the ``reopen_window=None`` legacy behaviour all
+    open fresh tickets; open tickets still dedupe as before.
+    """
+
+    WINDOW = 7 * 24 * 3600
+
+    def _finding(self, experiment="HERMES", key="SL5_64bit_gcc4.4"):
+        from repro.history.regressions import CLASS_REGRESSED, RegressionFinding
+
+        return RegressionFinding(
+            experiment=experiment,
+            configuration_key=key,
+            classification=CLASS_REGRESSED,
+            n_events=2,
+            n_flips=1,
+            current_status="broken",
+        )
+
+    def _store_with_resolved_ticket(self, resolved_at=200):
+        from repro.storage.common_storage import CommonStorage
+
+        storage = CommonStorage()
+        store = InterventionStore(storage)
+        ticket = store.open_from_finding(self._finding(), timestamp=100)
+        store.resolve(ticket.ticket_id, "ported to ROOT 6", timestamp=resolved_at)
+        return storage, store, ticket
+
+    def test_reopen_flips_a_resolved_ticket_only(self):
+        from repro._common import ValidationError
+        from repro.core.intervention import TicketStatus
+
+        _storage, store, ticket = self._store_with_resolved_ticket()
+        ticket.reopen(300, description="it broke again")
+        assert ticket.status is TicketStatus.OPEN
+        assert ticket.reopen_count == 1
+        assert ticket.resolution == ""
+        assert ticket.resolved_at is None
+        assert ticket.opened_at == 300
+        assert ticket.description == "it broke again"
+        # An open ticket has nothing to re-open...
+        with pytest.raises(ValidationError):
+            ticket.reopen(400)
+        # ...and a wont-fix closure is a decision, not a fix.
+        store.close_wont_fix(ticket.ticket_id, "platform abandoned", timestamp=500)
+        with pytest.raises(ValidationError):
+            ticket.reopen(600)
+
+    def test_recurrence_inside_the_window_reopens_the_ticket(self):
+        storage, store, ticket = self._store_with_resolved_ticket(resolved_at=200)
+        recurred = store.open_from_finding(
+            self._finding(),
+            timestamp=200 + self.WINDOW,
+            reopen_window=self.WINDOW,
+        )
+        assert recurred is not None
+        assert recurred.ticket_id == ticket.ticket_id
+        assert recurred.reopen_count == 1
+        assert recurred.is_open
+        # The re-opened document was persisted: a replayed store agrees.
+        replayed = InterventionStore(storage)
+        assert replayed.ticket(ticket.ticket_id).reopen_count == 1
+        assert len(replayed.tickets()) == 1
+
+    def test_recurrence_outside_the_window_opens_a_fresh_ticket(self):
+        _storage, store, ticket = self._store_with_resolved_ticket(resolved_at=200)
+        fresh = store.open_from_finding(
+            self._finding(),
+            timestamp=200 + self.WINDOW + 1,
+            reopen_window=self.WINDOW,
+        )
+        assert fresh is not None
+        assert fresh.ticket_id != ticket.ticket_id
+        assert fresh.reopen_count == 0
+        assert len(store.tickets()) == 2
+
+    def test_legacy_no_window_always_opens_a_fresh_ticket(self):
+        _storage, store, ticket = self._store_with_resolved_ticket(resolved_at=200)
+        fresh = store.open_from_finding(self._finding(), timestamp=201)
+        assert fresh is not None and fresh.ticket_id != ticket.ticket_id
+
+    def test_wont_fix_closure_never_reopens(self):
+        from repro.storage.common_storage import CommonStorage
+
+        store = InterventionStore(CommonStorage())
+        ticket = store.open_from_finding(self._finding(), timestamp=100)
+        store.close_wont_fix(ticket.ticket_id, "platform abandoned", timestamp=200)
+        fresh = store.open_from_finding(
+            self._finding(), timestamp=201, reopen_window=self.WINDOW
+        )
+        assert fresh is not None
+        assert fresh.ticket_id != ticket.ticket_id
+
+    def test_open_ticket_still_dedupes_with_a_window(self):
+        from repro.storage.common_storage import CommonStorage
+
+        store = InterventionStore(CommonStorage())
+        store.open_from_finding(self._finding(), timestamp=100)
+        assert store.open_from_finding(
+            self._finding(), timestamp=101, reopen_window=self.WINDOW
+        ) is None
+        # A different cell is unaffected by the dedupe or the window.
+        other = store.open_from_finding(
+            self._finding(key="SL6_64bit_gcc4.4"),
+            timestamp=102,
+            reopen_window=self.WINDOW,
+        )
+        assert other is not None
+
+    def test_newest_resolved_ticket_wins_the_reopen(self):
+        from repro.storage.common_storage import CommonStorage
+
+        store = InterventionStore(CommonStorage())
+        first = store.open_from_finding(self._finding(), timestamp=100)
+        store.resolve(first.ticket_id, "first fix", timestamp=150)
+        second = store.open_from_finding(self._finding(), timestamp=200)
+        store.resolve(second.ticket_id, "second fix", timestamp=250)
+        recurred = store.open_from_finding(
+            self._finding(), timestamp=300, reopen_window=self.WINDOW
+        )
+        assert recurred.ticket_id == second.ticket_id
+
+    def test_cli_all_shows_the_reopen_count(self, tmp_path, capsys):
+        storage, store, ticket = self._store_with_resolved_ticket(resolved_at=200)
+        store.open_from_finding(
+            self._finding(), timestamp=300, reopen_window=self.WINDOW
+        )
+        directory = str(tmp_path / "reopened")
+        storage.persist(directory)
+        assert cli_main([
+            "interventions", "list", "--storage-dir", directory, "--all",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "reopened" in output
+        assert ticket.ticket_id in output

@@ -1,0 +1,271 @@
+"""Unit tests for the service queue, token buckets and the tenant ledger.
+
+These cover the scheduling substrate of the validation service without
+executing any campaigns: per-tenant FIFO, weighted round-robin fair share,
+priority lanes and cancellation on the :class:`SubmissionQueue`; the
+token-bucket arithmetic (burst, refill, retry-after) on a manual clock;
+and the persistence round trip of the tenant ledger's policies, usage and
+experiment-ownership attribution.
+"""
+
+import pytest
+
+from repro._common import ReproError, SchedulingError
+from repro.scheduler.spec import CampaignSpec
+from repro.service import (
+    SERVICE_NAMESPACE,
+    Submission,
+    SubmissionQueue,
+    TenantLedger,
+    TenantPolicy,
+    TenantUsage,
+    TokenBucket,
+)
+from repro.storage.common_storage import CommonStorage
+
+
+def _spec():
+    return CampaignSpec(workers=1, persist_spec=False)
+
+
+def _submission(tenant, sequence, priority="normal"):
+    return Submission(
+        submission_id=f"sub-{sequence:06d}",
+        tenant=tenant,
+        spec=_spec(),
+        priority=priority,
+        sequence=sequence,
+    )
+
+
+def _drain(queue, weights=None):
+    order = []
+    while True:
+        submission = queue.next_submission(weights)
+        if submission is None:
+            return order
+        order.append(submission)
+
+
+class TestSubmissionQueue:
+    def test_single_tenant_is_fifo(self):
+        queue = SubmissionQueue()
+        for sequence in range(1, 6):
+            queue.enqueue(_submission("alice", sequence))
+        order = [item.sequence for item in _drain(queue)]
+        assert order == [1, 2, 3, 4, 5]
+
+    def test_weighted_round_robin_interleaves_tenants(self):
+        queue = SubmissionQueue()
+        sequence = 0
+        for _ in range(4):
+            sequence += 1
+            queue.enqueue(_submission("alice", sequence))
+        for _ in range(2):
+            sequence += 1
+            queue.enqueue(_submission("bob", sequence))
+        order = [
+            item.tenant for item in _drain(queue, {"alice": 2, "bob": 1})
+        ]
+        # alice (weight 2) takes two turns per bob (weight 1) turn.
+        assert order == ["alice", "alice", "bob", "alice", "alice", "bob"]
+
+    def test_dispatch_order_is_independent_of_arrival_interleaving(self):
+        # Same per-tenant FIFO content, enqueued in two different global
+        # interleavings: the fair-share drain order must be identical.
+        plans = [
+            ["alice", "alice", "bob", "carol", "alice", "bob"],
+            ["carol", "bob", "alice", "bob", "alice", "alice"],
+        ]
+        orders = []
+        for plan in plans:
+            queue = SubmissionQueue()
+            counters = {}
+            for tenant in plan:
+                counters[tenant] = counters.get(tenant, 0) + 1
+                # Sequence encodes per-tenant arrival order only.
+                queue.enqueue(
+                    Submission(
+                        submission_id=f"{tenant}-{counters[tenant]}",
+                        tenant=tenant,
+                        spec=_spec(),
+                        sequence=counters[tenant],
+                    )
+                )
+            orders.append(
+                [item.submission_id for item in _drain(queue, {"alice": 2})]
+            )
+        assert orders[0] == orders[1]
+
+    def test_per_tenant_fifo_survives_fair_share(self):
+        queue = SubmissionQueue()
+        for sequence in range(1, 10):
+            queue.enqueue(_submission("ab"[sequence % 2] * 3, sequence))
+        drained = _drain(queue, {"aaa": 3, "bbb": 1})
+        for tenant in ("aaa", "bbb"):
+            sequences = [
+                item.sequence for item in drained if item.tenant == tenant
+            ]
+            assert sequences == sorted(sequences)
+
+    def test_priority_lane_jumps_the_queue(self):
+        queue = SubmissionQueue()
+        queue.enqueue(_submission("alice", 1, priority="normal"))
+        queue.enqueue(_submission("alice", 2, priority="low"))
+        queue.enqueue(_submission("bob", 3, priority="high"))
+        order = [(item.tenant, item.priority) for item in _drain(queue)]
+        assert order == [
+            ("bob", "high"), ("alice", "normal"), ("alice", "low")
+        ]
+
+    def test_cancel_removes_queued_submission_only(self):
+        queue = SubmissionQueue()
+        queue.enqueue(_submission("alice", 1))
+        queue.enqueue(_submission("alice", 2))
+        cancelled = queue.cancel("sub-000001")
+        assert cancelled.sequence == 1
+        assert [item.sequence for item in _drain(queue)] == [2]
+        with pytest.raises(SchedulingError):
+            queue.cancel("sub-000001")
+
+    def test_depth_backlog_and_pending(self):
+        queue = SubmissionQueue()
+        queue.enqueue(_submission("alice", 1))
+        queue.enqueue(_submission("bob", 2, priority="high"))
+        queue.enqueue(_submission("alice", 3))
+        assert queue.depth() == 3
+        assert queue.backlog() == {"alice": 2, "bob": 1}
+        assert [item.sequence for item in queue.pending()] == [1, 2, 3]
+
+    def test_unknown_priority_is_rejected(self):
+        with pytest.raises(SchedulingError):
+            _submission("alice", 1, priority="urgent")
+
+
+class TestSubmissionRoundTrip:
+    def test_to_dict_round_trips(self):
+        submission = _submission("alice", 7, priority="high")
+        submission.status = "completed"
+        submission.campaign_id = "campaign-0001"
+        submission.cells = 4
+        restored = Submission.from_dict(submission.to_dict())
+        assert restored == submission
+        assert restored.spec == submission.spec
+
+    def test_invalid_document_is_a_scheduling_error(self):
+        with pytest.raises(SchedulingError):
+            Submission.from_dict({"submission_id": "x"})
+
+
+class TestTokenBucket:
+    def test_burst_then_rejection_with_retry_after(self):
+        bucket = TokenBucket(capacity=2, refill_per_second=0.5)
+        assert bucket.try_take(0.0) == (True, 0.0)
+        assert bucket.try_take(0.0) == (True, 0.0)
+        granted, retry_after = bucket.try_take(0.0)
+        assert not granted
+        assert retry_after == pytest.approx(2.0)
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(capacity=1, refill_per_second=1.0)
+        assert bucket.try_take(0.0)[0]
+        assert not bucket.try_take(0.5)[0]
+        granted, retry_after = bucket.try_take(1.5)
+        assert granted and retry_after == 0.0
+
+    def test_zero_rate_never_refills(self):
+        bucket = TokenBucket(capacity=1, refill_per_second=0.0)
+        assert bucket.try_take(0.0)[0]
+        granted, retry_after = bucket.try_take(1e9)
+        assert not granted
+        assert retry_after == float("inf")
+
+    def test_policy_without_rate_has_no_bucket(self):
+        assert TenantPolicy("alice").bucket() is None
+        limited = TenantPolicy("bob", rate_per_second=2.0, burst=3).bucket()
+        assert limited is not None and limited.capacity == 3
+
+
+class TestTenantPolicy:
+    def test_round_trip_and_validation(self):
+        policy = TenantPolicy("alice", weight=3, rate_per_second=0.5, burst=2)
+        assert TenantPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(ReproError):
+            # ensure_identifier rejects the name (a ValidationError).
+            TenantPolicy("bad name with spaces")
+        with pytest.raises(SchedulingError):
+            TenantPolicy("alice", weight=0)
+        with pytest.raises(SchedulingError):
+            TenantPolicy("alice", rate_per_second=-1.0)
+
+    def test_default_template_retargets(self):
+        template = TenantPolicy("default", weight=2)
+        assert template.for_tenant("alice").name == "alice"
+        assert template.for_tenant("alice").weight == 2
+
+
+class TestTenantLedger:
+    def test_usage_accumulates_and_persists(self, tmp_path):
+        storage = CommonStorage()
+        ledger = TenantLedger(storage)
+        ledger.register(TenantPolicy("alice", weight=2))
+        ledger.record_queued("alice")
+        ledger.record_completed(
+            "alice",
+            cells=4,
+            build_seconds=12.5,
+            cache_bytes=1000,
+            cache_hits=3,
+            shared_hits=1,
+            experiments=["H1"],
+        )
+        ledger.record_rejected("alice")
+        storage.persist(str(tmp_path))
+
+        reloaded = TenantLedger(
+            CommonStorage.load(str(tmp_path), namespaces=[SERVICE_NAMESPACE])
+        )
+        usage = reloaded.usage("alice")
+        assert usage.submissions == 1
+        assert usage.completed == 1
+        assert usage.cells == 4
+        assert usage.build_seconds == pytest.approx(12.5)
+        assert usage.cache_bytes == 1000
+        assert usage.cache_hits == 3
+        assert usage.shared_hits == 1
+        assert usage.rejected == 1
+        assert reloaded.policy("alice").weight == 2
+
+    def test_donation_credited_to_first_submitting_tenant(self):
+        ledger = TenantLedger(CommonStorage())
+        ledger.register(TenantPolicy("alice"))
+        ledger.register(TenantPolicy("bob"))
+        assert ledger.claim_experiment("alice", "H1") == "alice"
+        # Second claimant does not steal ownership.
+        assert ledger.claim_experiment("bob", "H1") == "alice"
+        assert ledger.credit_donation("H1", 5) == "alice"
+        assert ledger.usage("alice").donated_builds == 5
+        assert ledger.usage("bob").donated_builds == 0
+        # Unowned experiments (pre-service cache entries) credit nobody.
+        assert ledger.credit_donation("ZEUS", 3) is None
+        assert ledger.credit_donation("H1", 0) is None
+
+    def test_unknown_tenant_is_a_scheduling_error(self):
+        ledger = TenantLedger(CommonStorage())
+        with pytest.raises(SchedulingError):
+            ledger.policy("ghost")
+        with pytest.raises(SchedulingError):
+            ledger.usage("ghost")
+
+    def test_reregistration_updates_policy_keeps_usage(self):
+        ledger = TenantLedger(CommonStorage())
+        ledger.register(TenantPolicy("alice", weight=1))
+        ledger.record_queued("alice")
+        ledger.register(TenantPolicy("alice", weight=4))
+        assert ledger.policy("alice").weight == 4
+        assert ledger.usage("alice").submissions == 1
+        assert ledger.weights() == {"alice": 4}
+
+    def test_usage_round_trip(self):
+        usage = TenantUsage(submissions=2, cells=9, build_seconds=1.25)
+        assert TenantUsage.from_dict(usage.to_dict()) == usage

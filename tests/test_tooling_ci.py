@@ -89,6 +89,9 @@ class TestCiScript:
         # ... the lifecycle-purity audit ...
         assert "lifecycle-purity audit" in source
         assert "src/repro/plugins" in source
+        # ... the service-purity audit ...
+        assert "service-purity audit" in source
+        assert "src/repro/service" in source
         # ... and the explicit backend-parity shard.
         assert "REPRO_PARITY_BACKENDS=simulated,threads,processes" in source
         assert "test_scheduler_determinism.py" in source
@@ -245,3 +248,56 @@ class TestSchedulerMonotonicClockAudit:
     def test_the_audit_pattern_distinguishes_the_clocks(self):
         assert self.PATTERN.search("started = time.time()")
         assert not self.PATTERN.search("started = time.monotonic()")
+
+
+class TestServicePurityAudit:
+    """src/repro/service/ queues, schedules and bills — it never executes.
+
+    The validation daemon's whole determinism story rests on every queued
+    campaign flowing through the one sanctioned entrypoint,
+    ``SPSystem.submit``: a backend or scheduler construction under
+    ``src/repro/service/`` would open a second execution path around it,
+    and a ``time.time()`` call would tie rate limiting to a wall clock NTP
+    can step (the token buckets run on an injectable monotonic clock).
+    ``scripts/ci.sh`` greps for the calls; this test enforces the same
+    rule in-process.
+    """
+
+    PATTERN = re.compile(
+        r"[A-Za-z_]*Backend\(|CampaignScheduler\(|execution_backend\(|time\.time\("
+    )
+
+    def _source_files(self):
+        service_root = os.path.join(REPO_ROOT, "src", "repro", "service")
+        for directory, _subdirectories, filenames in os.walk(service_root):
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    yield os.path.join(directory, filename)
+
+    def test_no_execution_or_wall_clock_in_the_service_layer(self):
+        violations = []
+        for path in self._source_files():
+            with open(path, encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    if self.PATTERN.search(line):
+                        violations.append(f"{path}:{line_number}: {line.strip()}")
+        assert violations == [], (
+            "execution or wall-clock call under src/repro/service/ — "
+            "dispatch through SPSystem.submit and time with a monotonic "
+            "clock instead:\n" + "\n".join(violations)
+        )
+
+    def test_the_audit_pattern_catches_the_forbidden_calls(self):
+        """The regex really fires on the shapes it must forbid."""
+        for violation in (
+            "backend = ShardedBackend(shards=2)",
+            "scheduler = CampaignScheduler(system, workers=2)",
+            'backend = execution_backend("threads")',
+            "now = time.time()",
+        ):
+            assert self.PATTERN.search(violation)
+        # The sanctioned shapes — submitting through the system and the
+        # injectable monotonic clock — pass.
+        assert not self.PATTERN.search("handle = self.system.submit(spec)")
+        assert not self.PATTERN.search("return time.monotonic()")
+        assert not self.PATTERN.search("self.clock = clock or monotonic_clock")
