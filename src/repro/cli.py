@@ -69,6 +69,14 @@ from repro.scheduler.cache import BuildCache
 from repro.scheduler.pool import SCHEDULING_POLICIES
 from repro.scheduler.spec import ON_DEADLINE_MODES, CampaignSpec
 from repro.storage.common_storage import CommonStorage
+from repro.telemetry import (
+    DEFAULT_THRESHOLD,
+    DEFAULT_TRENDS_DIR,
+    DEFAULT_WINDOW,
+    Telemetry,
+    check_trends,
+    prometheus_text,
+)
 from repro.environment.configuration import next_generation_configuration
 from repro.experiments import (
     build_h1_experiment,
@@ -241,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "trends/diff/regressions commands on the "
                                "persisted storage; repeated runs against the "
                                "same --output accumulate history")
+    campaign.add_argument("--telemetry", action="store_true",
+                          help="attach the live telemetry bundle (metrics "
+                               "registry + span tracer) to the run: prints "
+                               "the per-phase timing table after the summary "
+                               "and, with --output, stores the "
+                               "reports/telemetry.html page; science output "
+                               "is byte-identical either way")
     campaign.add_argument("--output", default=None)
     campaign.set_defaults(handler=_cmd_campaign)
 
@@ -402,6 +417,62 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="SUBMISSION_ID")
     queue_cancel.set_defaults(handler=_cmd_queue_cancel)
 
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run one instrumented campaign and print its metrics in "
+             "Prometheus text exposition format",
+    )
+    metrics.add_argument("--scale", type=float, default=0.05)
+    metrics.add_argument("--workers", type=_positive_int, default=2)
+    metrics.add_argument("--rounds", type=_positive_int, default=1)
+    metrics.add_argument("--backend", default="simulated",
+                         choices=sorted(EXECUTION_BACKENDS))
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run one instrumented campaign and export its span tree as "
+             "Chrome trace_event JSON (load in chrome://tracing or Perfetto)",
+    )
+    trace.add_argument("--out", required=True, metavar="TRACE_JSON",
+                       help="file the Chrome trace document is written to")
+    trace.add_argument("--scale", type=float, default=0.05)
+    trace.add_argument("--workers", type=_positive_int, default=2)
+    trace.add_argument("--rounds", type=_positive_int, default=1)
+    trace.add_argument("--backend", default="simulated",
+                       choices=sorted(EXECUTION_BACKENDS))
+    trace.add_argument("--output", default=None,
+                       help="also persist the storage (including the "
+                            "reports/telemetry.html timing page) below this "
+                            "directory")
+    trace.set_defaults(handler=_cmd_trace)
+
+    bench_trends = subparsers.add_parser(
+        "bench-trends",
+        help="inspect or gate the recorded benchmark trend series",
+    )
+    bench_trends_sub = bench_trends.add_subparsers(
+        dest="bench_trends_command", required=True
+    )
+    bench_trends_check = bench_trends_sub.add_parser(
+        "check",
+        help="compare the latest point of every trend series against the "
+             "trailing median; exit 1 on any regression past the threshold",
+    )
+    bench_trends_check.add_argument(
+        "--dir", default=None, metavar="TRENDS_DIR",
+        help="trend series directory (default benchmarks/_results/trends)",
+    )
+    bench_trends_check.add_argument(
+        "--threshold", type=_positive_float, default=None,
+        help="relative regression threshold (default 0.25 = 25%%)",
+    )
+    bench_trends_check.add_argument(
+        "--window", type=_positive_int, default=None,
+        help="trailing points forming the median baseline (default 10)",
+    )
+    bench_trends_check.set_defaults(handler=_cmd_bench_trends_check)
+
     migrate = subparsers.add_parser("migrate-plan", help="plan a migration to a new platform")
     migrate.add_argument("--experiment", required=True, choices=sorted(_EXPERIMENT_BUILDERS))
     migrate.add_argument("--source", default="SL5_64bit_gcc4.4")
@@ -438,8 +509,9 @@ def _provisioned_system(
     scale: float,
     experiments: Optional[List[str]] = None,
     storage: Optional[CommonStorage] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SPSystem:
-    system = SPSystem(storage=storage)
+    system = SPSystem(storage=storage, telemetry=telemetry)
     system.provision_standard_images()
     names = experiments if experiments is not None else list(_EXPERIMENT_BUILDERS)
     for name in names:
@@ -504,7 +576,8 @@ def _load_spec_file(path: str) -> CampaignSpec:
 
 
 def _cmd_campaign(arguments: argparse.Namespace) -> int:
-    system = _provisioned_system(arguments.scale)
+    telemetry = Telemetry.create() if arguments.telemetry else None
+    system = _provisioned_system(arguments.scale, telemetry=telemetry)
     cache_dir = arguments.cache_dir or arguments.output
     if arguments.spec:
         spec = _load_spec_file(arguments.spec)
@@ -647,6 +720,9 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         catalog_to_rows(system.catalog),
         columns=["run_id", "experiment", "configuration", "overall_status"],
     ))
+    if telemetry is not None:
+        print()
+        print(_phase_table(telemetry))
     if spec.event_log:
         print(f"lifecycle event log appended to {spec.event_log}")
     open_tickets = (
@@ -690,6 +766,12 @@ def _cmd_campaign(arguments: argparse.Namespace) -> int:
         )
         pages.index_page()
         pages.summary_page(matrix.render_text())
+        if telemetry is not None:
+            pages.telemetry_page(
+                telemetry.tracer.phase_rows(),
+                metric_rows=telemetry.metrics.summary_rows(),
+                span_count=len(telemetry.tracer.spans),
+            )
         if history_on:
             ledger = system.history
             findings = RegressionDetector(ledger).findings()
@@ -1012,6 +1094,18 @@ def _cmd_queue_status(arguments: argparse.Namespace) -> int:
         f"{len(queued)} queued of {len(submissions)} recorded "
         f"submission(s) below {arguments.storage_dir}"
     )
+    if storage.exists(SERVICE_NAMESPACE, ValidationService.WORKER_STATUS_KEY):
+        worker = storage.get(
+            SERVICE_NAMESPACE, ValidationService.WORKER_STATUS_KEY
+        )
+        line = (
+            f"heartbeat worker (last persisted): {worker.get('beats', 0)} "
+            f"beat(s), {worker.get('failures', 0)} failure(s), "
+            f"{worker.get('restarts', 0)} restart(s)"
+        )
+        if worker.get("last_error"):
+            line += f"; last error: {worker['last_error']}"
+        print(line)
     if submissions:
         _print_rows(
             submission_rows(submissions),
@@ -1039,6 +1133,106 @@ def _cmd_queue_cancel(arguments: argparse.Namespace) -> int:
         f"cancelled {submission.submission_id} (tenant "
         f"{submission.tenant!r}); the next serve run will not dispatch it"
     )
+    return 0
+
+
+def _phase_table(telemetry: Telemetry) -> str:
+    """Render the tracer's per-phase timing rows as a text table."""
+    return format_table(
+        ["category", "span", "calls", "cumulative s", "self s"],
+        [
+            [category, name, calls, f"{cumulative:.6f}", f"{self_seconds:.6f}"]
+            for category, name, calls, cumulative, self_seconds
+            in telemetry.tracer.phase_rows()
+        ],
+    )
+
+
+def _instrumented_campaign(
+    arguments: argparse.Namespace,
+) -> "tuple[SPSystem, Telemetry]":
+    """Run one campaign with a live telemetry bundle attached."""
+    from repro.telemetry import MetricsObserver
+
+    telemetry = Telemetry.create()
+    system = _provisioned_system(arguments.scale, telemetry=telemetry)
+    system.lifecycle.add_observer(MetricsObserver(telemetry.metrics))
+    spec = CampaignSpec(
+        workers=arguments.workers,
+        rounds=arguments.rounds,
+        backend=arguments.backend,
+    )
+    handle = system.submit(spec)
+    handle.result()
+    return system, telemetry
+
+
+def _cmd_metrics(arguments: argparse.Namespace) -> int:
+    system, telemetry = _instrumented_campaign(arguments)
+    print(prometheus_text(telemetry.metrics), end="")
+    return 0
+
+
+def _cmd_trace(arguments: argparse.Namespace) -> int:
+    system, telemetry = _instrumented_campaign(arguments)
+    document = telemetry.tracer.chrome_trace()
+    try:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+    except OSError as error:
+        raise ReproError(
+            f"cannot write trace file {arguments.out!r}: {error}"
+        ) from error
+    print(
+        f"wrote {len(document['traceEvents'])} trace event(s) to "
+        f"{arguments.out} (load in chrome://tracing or ui.perfetto.dev)"
+    )
+    print()
+    print(_phase_table(telemetry))
+    if arguments.output:
+        StatusPageGenerator(system.storage, system.catalog).telemetry_page(
+            telemetry.tracer.phase_rows(),
+            metric_rows=telemetry.metrics.summary_rows(),
+            span_count=len(telemetry.tracer.spans),
+        )
+        written = system.storage.persist(arguments.output)
+        print(
+            f"persisted {len(written)} documents below {arguments.output} "
+            "(timing page: reports/telemetry.html)"
+        )
+    return 0
+
+
+def _cmd_bench_trends_check(arguments: argparse.Namespace) -> int:
+    directory = arguments.dir or DEFAULT_TRENDS_DIR
+    threshold = (
+        arguments.threshold if arguments.threshold is not None
+        else DEFAULT_THRESHOLD
+    )
+    window = arguments.window if arguments.window is not None else DEFAULT_WINDOW
+    verdicts = check_trends(directory, threshold=threshold, window=window)
+    if not verdicts:
+        print(
+            f"no trend series below {directory}: nothing to gate "
+            "(run the benchmarks to seed them)"
+        )
+        return 0
+    print(
+        f"{len(verdicts)} trend series below {directory} "
+        f"(threshold {threshold:.0%}, window {window})"
+    )
+    print(format_table(
+        ["metric", "points", "latest", "baseline", "change", "verdict"],
+        [verdict.to_row() for verdict in sorted(verdicts.values(),
+                                                key=lambda item: item.metric)],
+    ))
+    regressed = [v for v in verdicts.values() if v.regressed]
+    if regressed:
+        print(
+            f"{len(regressed)} metric(s) regressed past the "
+            f"{threshold:.0%} threshold"
+        )
+        return 1
     return 0
 
 

@@ -59,6 +59,7 @@ from repro.scheduler.pool import SCHEDULING_POLICIES, SchedulingPolicy, WorkerFa
 from repro.scheduler.spec import CampaignSpec
 from repro.storage.artifacts import ArtifactStore
 from repro.storage.bookkeeping import JobIdAllocator, SimulatedClock, TagRegistry
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.storage.catalog import RunCatalog
 from repro.storage.common_storage import CommonStorage
 from repro.virtualization.hypervisor import Hypervisor
@@ -176,8 +177,13 @@ class SPSystem:
         numeric_context_factory: NumericContextFactory = default_numeric_context,
         runner_settings: Optional[RunnerSettings] = None,
         storage: Optional[CommonStorage] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
+        # Telemetry defaults to the no-op bundle: uninstrumented runs pay
+        # one method dispatch per probe point, and science output is
+        # byte-identical either way (pinned by TestBackendParity).
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         # A pre-populated storage (e.g. CommonStorage.load of a previous
         # installation's persisted state) is mounted as-is: the catalogue
         # re-hydrates its run records from it and run_campaign warm-starts
@@ -427,12 +433,14 @@ class SPSystem:
         travels with the persisted storage and replays the identical
         campaign on a fresh installation.
         """
-        spec.validate()
+        with self.telemetry.tracer.span("spec_validation", category="cell"):
+            spec.validate()
         if spec.use_cache and spec.warm_start and len(self.build_cache) == 0:
             # Installs the restored cache as self.build_cache (no-op probe
             # when the storage carries no journal).  Must precede scheduler
             # construction: the scheduler binds the cache by reference.
-            self.restore_build_cache(missing_ok=True)
+            with self.telemetry.tracer.span("cache_warm_start", category="journal"):
+                self.restore_build_cache(missing_ok=True)
         profile = VALIDATION_VM_PROFILE
         if spec.slots_per_worker is not None:
             profile = ResourceProfile(
@@ -786,9 +794,16 @@ class SPSystem:
         therefore the journal's live state) stays within the size budget.
         Returns the number of newly journalled entries.
         """
-        return self.effective_build_cache().persist_to(
-            self.storage, max_bytes=max_bytes
+        cache = self.effective_build_cache()
+        with self.telemetry.tracer.span("journal_persist", category="journal"):
+            appended = cache.persist_to(self.storage, max_bytes=max_bytes)
+        self.telemetry.metrics.increment(
+            "journal_entries_persisted_total", amount=appended
         )
+        self.telemetry.metrics.set_gauge(
+            "journal_bytes", BuildCache.journal_status(self.storage).get("bytes", 0)
+        )
+        return appended
 
     def compact_build_cache(self, max_bytes: Optional[int] = None) -> int:
         """Rewrite the build-cache journal from the live cache state.
@@ -797,9 +812,14 @@ class SPSystem:
         artifact payloads; with *max_bytes* the live cache is brought under
         the budget first.  Returns the number of entry records written.
         """
-        return self.effective_build_cache().compact(
-            self.storage, max_bytes=max_bytes
+        cache = self.effective_build_cache()
+        with self.telemetry.tracer.span("journal_compact", category="journal"):
+            written = cache.compact(self.storage, max_bytes=max_bytes)
+        self.telemetry.metrics.increment("journal_compactions_total")
+        self.telemetry.metrics.set_gauge(
+            "journal_bytes", BuildCache.journal_status(self.storage).get("bytes", 0)
         )
+        return written
 
     def restore_build_cache(
         self,

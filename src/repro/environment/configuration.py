@@ -177,7 +177,27 @@ def configuration_fingerprint(configuration: EnvironmentConfiguration) -> str:
     mistaken for one another.  The build cache keys on it, and the
     validation history ledger records it per cell so a longitudinal query
     can see that "the same" configuration changed underneath an experiment.
+
+    The fingerprint is memoised on the frozen configuration instance: the
+    build cache re-derives it on every lookup and store, and the history
+    ledger on every ingested cell, so a 10k-cell campaign would otherwise
+    recompute the identical digest tens of thousands of times.  The
+    dataclass hashes by value, which makes it a sound memo key; an
+    unhashable hand-built variant falls back to direct computation.
     """
+    try:
+        cached = _FINGERPRINTS.get(configuration)
+    except TypeError:
+        return _configuration_fingerprint(configuration)
+    if cached is None:
+        if len(_FINGERPRINTS) >= _FINGERPRINTS_MAX:
+            _FINGERPRINTS.clear()
+        cached = _configuration_fingerprint(configuration)
+        _FINGERPRINTS[configuration] = cached
+    return cached
+
+
+def _configuration_fingerprint(configuration: EnvironmentConfiguration) -> str:
     return stable_digest(
         configuration.key,
         configuration.operating_system.name,
@@ -188,6 +208,13 @@ def configuration_fingerprint(configuration: EnvironmentConfiguration) -> str:
         configuration.compiler.strictness,
         sorted(configuration.external_map().items()),
     )
+
+
+#: Memo table of :func:`configuration_fingerprint`, keyed by the frozen
+#: configuration; bounded so synthetic fleets of generated configurations
+#: cannot grow it without limit.
+_FINGERPRINTS: Dict[EnvironmentConfiguration, str] = {}
+_FINGERPRINTS_MAX = 65536
 
 
 class EnvironmentFactory:

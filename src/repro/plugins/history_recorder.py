@@ -85,16 +85,21 @@ class HistoryRecorderPlugin(LifecycleObserver):
         else:
             provenance = "cold"
         ingested = 0
-        for cell in campaign.cells:
-            event = ledger.ingest_cycle(
-                cell.result,
-                configuration=self.system.configuration(cell.configuration_key),
-                campaign_id=handle.campaign_id,
-                backend=campaign.backend,
-                cache_provenance=provenance,
-            )
-            if event is not None:
-                ingested += 1
+        telemetry = self.system.telemetry
+        with telemetry.tracer.span(
+            "ledger_ingest", category="ledger", cells=len(campaign.cells)
+        ):
+            for cell in campaign.cells:
+                event = ledger.ingest_cycle(
+                    cell.result,
+                    configuration=self.system.configuration(cell.configuration_key),
+                    campaign_id=handle.campaign_id,
+                    backend=campaign.backend,
+                    cache_provenance=provenance,
+                )
+                if event is not None:
+                    ingested += 1
+        telemetry.metrics.increment("ledger_events_total", amount=ingested)
         return ingested
 
 

@@ -402,13 +402,16 @@ class StatusPageGenerator:
         submissions: List[Dict[str, object]],
         worker: Optional[Dict[str, object]] = None,
         events: Optional[List[Dict[str, object]]] = None,
+        metrics: Optional[List[List[object]]] = None,
     ) -> str:
         """Render the validation-service live dashboard.
 
         Every argument is plain row data (the :mod:`repro.service.telemetry`
-        helpers produce it), so the reporting layer needs no import of the
-        service subsystem.  The daemon re-renders this page on every
-        heartbeat; it is stored as the ``service`` report document.
+        helpers produce it; *metrics* is
+        ``MetricsRegistry.summary_rows()`` output), so the reporting layer
+        needs no import of the service or telemetry subsystems.  The daemon
+        re-renders this page on every heartbeat; it is stored as the
+        ``service`` report document.
         """
         body = "<h1>Validation service: live status</h1>"
         if worker:
@@ -419,6 +422,12 @@ class StatusPageGenerator:
                 f"{worker.get('failures', 0)} failure(s), "
                 f"{worker.get('restarts', 0)} restart(s)</p>"
             )
+            last_error = worker.get("last_error")
+            if last_error:
+                body += (
+                    "<p style='color:#f44336'>last worker error: "
+                    f"{html.escape(str(last_error))}</p>"
+                )
         body += self._rows_table(
             "Service snapshot", ["metric", "value"], snapshot
         )
@@ -444,6 +453,15 @@ class StatusPageGenerator:
             colour_column="status",
             colours=highlight,
         )
+        if metrics:
+            body += self._rows_table(
+                "Telemetry metrics",
+                ["kind", "series", "value"],
+                [
+                    {"kind": kind, "series": series, "value": value}
+                    for kind, series, value in metrics
+                ],
+            )
         if events:
             body += self._rows_table(
                 "Recent lifecycle events",
@@ -452,6 +470,53 @@ class StatusPageGenerator:
             )
         page = _wrap_page("sp-system validation service", body)
         self.storage.put(self.NAMESPACE, "service", {"html": page})
+        return page
+
+    # -- telemetry page ----------------------------------------------------------
+    def telemetry_page(
+        self,
+        phase_rows: List[List[object]],
+        metric_rows: Optional[List[List[object]]] = None,
+        span_count: int = 0,
+    ) -> str:
+        """Render the per-phase timing + metrics report.
+
+        *phase_rows* is ``SpanTracer.phase_rows()`` output
+        (``[category, name, calls, cumulative, self]``) and *metric_rows*
+        is ``MetricsRegistry.summary_rows()`` output — plain row data, so
+        the reporting layer needs no import of the telemetry subsystem.
+        Stored as the ``telemetry`` report document
+        (``reports/telemetry.html`` once persisted).
+        """
+        body = (
+            "<h1>Telemetry: hot-path timings and metrics</h1>"
+            f"<p>{span_count} recorded span(s)</p>"
+        )
+        body += self._rows_table(
+            "Per-phase timings (seconds, cumulative vs self)",
+            ["category", "span", "calls", "cumulative s", "self s"],
+            [
+                {
+                    "category": category,
+                    "span": name,
+                    "calls": calls,
+                    "cumulative s": round(cumulative, 6),
+                    "self s": round(self_seconds, 6),
+                }
+                for category, name, calls, cumulative, self_seconds in phase_rows
+            ],
+        )
+        if metric_rows is not None:
+            body += self._rows_table(
+                "Metric series",
+                ["kind", "series", "value"],
+                [
+                    {"kind": kind, "series": series, "value": value}
+                    for kind, series, value in metric_rows
+                ],
+            )
+        page = _wrap_page("sp-system telemetry", body)
+        self.storage.put(self.NAMESPACE, "telemetry", {"html": page})
         return page
 
     def _rows_table(

@@ -92,6 +92,7 @@ from repro.scheduler.pool import (
     effective_slots_per_worker,
     scheduling_policy,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -129,6 +130,11 @@ class ExecutionRequest:
     lifecycle: Optional[PluginRegistry] = None
     #: Campaign ID the emitted events are tagged with.
     campaign_id: Optional[str] = None
+    #: Telemetry bundle the dispatch loop records spans and metrics into
+    #: (None = the no-op bundle).  Dispatch spans carry category
+    #: "dispatch" — wall-clock timings, excluded from the cross-backend
+    #: parity contract by design.
+    telemetry: Optional[Telemetry] = None
 
 
 class ExecutionBackend:
@@ -158,6 +164,7 @@ class SimulatedBackend(ExecutionBackend):
     name = "simulated"
 
     def execute(self, request: ExecutionRequest) -> PoolSchedule:
+        telemetry = request.telemetry or NULL_TELEMETRY
         pool = SimulatedWorkerPool(
             request.workers,
             profile=request.worker_profile,
@@ -167,8 +174,14 @@ class SimulatedBackend(ExecutionBackend):
             lifecycle=request.lifecycle,
             campaign_id=request.campaign_id,
         )
-        schedule = pool.execute(request.dag)
+        with telemetry.tracer.span(
+            "backend_dispatch", category="dispatch", backend=self.name
+        ):
+            schedule = pool.execute(request.dag)
         schedule.backend = self.name
+        telemetry.metrics.increment(
+            "tasks_executed_total", amount=len(schedule.assignments), backend=self.name
+        )
         return schedule
 
 
@@ -221,6 +234,7 @@ def _dispatch_wall_clock(
     the failing task, after cancelling the still-queued futures.
     """
     _check_real_request(backend, request)
+    telemetry = request.telemetry or NULL_TELEMETRY
     policy = scheduling_policy(request.policy)
     dag = request.dag
     tasks = dag.tasks()
@@ -233,7 +247,10 @@ def _dispatch_wall_clock(
             "the worker profile cannot accommodate a single campaign task"
         )
     n_slots = request.workers * slots_per_worker
-    policy.prepare(dag)
+    with telemetry.tracer.span(
+        "policy_ordering", category="dispatch", policy=policy.name, backend=backend.name
+    ):
+        policy.prepare(dag)
     order_index = {task.task_id: index for index, task in enumerate(tasks)}
     dependents = dag.dependents()
     remaining_deps = {task.task_id: set(task.dependencies) for task in tasks}
@@ -251,7 +268,14 @@ def _dispatch_wall_clock(
 
     def run_task(task_id: str, slot: int) -> Tuple[str, int, float, float]:
         start = time.monotonic() - started_at
-        backend._run_payload(task_id, request.payloads.get(task_id))
+        # Runs on a dispatch thread; the tracer keeps per-thread span
+        # stacks, so concurrent task spans never nest into each other.
+        with telemetry.tracer.span(
+            "task_execute", category="dispatch", task=task_id, backend=backend.name
+        ):
+            backend._run_payload(
+                task_id, request.payloads.get(task_id), telemetry=telemetry
+            )
         return task_id, slot, start, time.monotonic() - started_at
 
     assignments: List[TaskAssignment] = []
@@ -330,6 +354,12 @@ def _dispatch_wall_clock(
                         "task(s) cancelled)"
                     ) from stop
     makespan = time.monotonic() - started_at if tasks else 0.0
+    telemetry.metrics.increment(
+        "tasks_executed_total", amount=len(tasks), backend=backend.name
+    )
+    telemetry.metrics.observe(
+        "dispatch_makespan_seconds", makespan, backend=backend.name
+    )
     # Stable report order: the wall clock decides completion order, the
     # DAG order breaks ties so repeated prints stay readable.
     assignments.sort(key=lambda a: (a.end_seconds, order_index[a.task_id]))
@@ -394,7 +424,12 @@ class ThreadPoolBackend(ExecutionBackend):
     def execute(self, request: ExecutionRequest) -> PoolSchedule:
         return _dispatch_wall_clock(self, request)
 
-    def _run_payload(self, task_id: str, payload: Optional[TaskPayload]) -> None:
+    def _run_payload(
+        self,
+        task_id: str,
+        payload: Optional[TaskPayload],
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> None:
         if payload is not None:
             payload()
 
@@ -444,14 +479,22 @@ class ProcessPoolBackend(ExecutionBackend):
             processes, self._processes = self._processes, None
             processes.shutdown(wait=True, cancel_futures=True)
 
-    def _run_payload(self, task_id: str, payload: Optional[TaskPayload]) -> None:
+    def _run_payload(
+        self,
+        task_id: str,
+        payload: Optional[TaskPayload],
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> None:
         if isinstance(payload, BuildTask):
             result = self._processes.submit(_execute_build_task, payload).result()
             # The child already enforced the task's own digest check; the
             # parent re-derives the digest from the unpickled result so the
             # cross-process round trip is covered too.
             if payload.expected_digest is not None:
-                digest = build_result_digest(result)
+                with telemetry.tracer.span(
+                    "digest_check", category="dispatch", task=task_id
+                ):
+                    digest = build_result_digest(result)
                 if digest != payload.expected_digest:
                     raise BuildError(
                         f"child-process build of {payload.package.key} on "
@@ -544,6 +587,7 @@ class ShardedBackend(ExecutionBackend):
 
     def execute(self, request: ExecutionRequest) -> PoolSchedule:
         _check_real_request(self, request)
+        telemetry = request.telemetry or NULL_TELEMETRY
         n_shards = self.shards if self.shards is not None else request.shards
         if n_shards is None:
             n_shards = request.workers
@@ -683,13 +727,21 @@ class ShardedBackend(ExecutionBackend):
                 for index in working:
                     if not os.path.isdir(directories[index]):
                         continue
-                    shard_storage = CommonStorage.load(
-                        directories[index], namespaces=[BuildCache.NAMESPACE]
-                    )
-                    shard_cache = BuildCache.restore_from(
-                        shard_storage, ArtifactStore()
-                    )
-                    request.merge_cache.merge_from(shard_cache)
+                    # The merge is journal replay, not cell science: the
+                    # span lands in the "journal" category, outside the
+                    # cell-pass parity sequence (sharded-only spans would
+                    # otherwise break cross-backend comparison).
+                    with telemetry.tracer.span(
+                        "shard_merge", category="journal", shard=index
+                    ):
+                        shard_storage = CommonStorage.load(
+                            directories[index], namespaces=[BuildCache.NAMESPACE]
+                        )
+                        shard_cache = BuildCache.restore_from(
+                            shard_storage, ArtifactStore()
+                        )
+                        request.merge_cache.merge_from(shard_cache)
+                    telemetry.metrics.increment("shard_merges_total")
         except EarlyStopRequested as stop:
             unfinished = len(working) - len(reports)
             raise SchedulingError(
@@ -700,6 +752,12 @@ class ShardedBackend(ExecutionBackend):
         finally:
             shutil.rmtree(root, ignore_errors=True)
         makespan = time.monotonic() - started_at if tasks else 0.0
+        telemetry.metrics.increment(
+            "tasks_executed_total", amount=len(tasks), backend=self.name
+        )
+        telemetry.metrics.observe(
+            "dispatch_makespan_seconds", makespan, backend=self.name
+        )
         assignments.sort(key=lambda a: (a.end_seconds, order_index[a.task_id]))
         measured = {a.task_id: a.end_seconds - a.start_seconds for a in assignments}
         busy: Dict[int, float] = {index: 0.0 for index in range(n_shards)}

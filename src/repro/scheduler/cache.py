@@ -54,6 +54,7 @@ from repro.storage.common_storage import (
     CommonStorage,
     register_journal_namespace,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 
 def _requirements_fingerprint(requirements: SoftwareRequirements) -> str:
@@ -103,7 +104,28 @@ def package_identity_digest(
     :class:`~repro.buildsys.builder.BuildResult` and are excluded, so two
     experiments pinning a byte-identical external package address the same
     cache entry.
+
+    The digest is memoised on its frozen inputs: every cache lookup, store
+    and DAG-payload preparation of a 10k-cell campaign re-derives the same
+    digests, and both dataclasses hash by value, so the pair is a sound
+    cache key.  An unhashable input (a hand-built package carrying a list)
+    falls back to direct computation.
     """
+    try:
+        cached = _IDENTITY_DIGESTS.get((package, configuration))
+    except TypeError:
+        return _package_identity_digest(package, configuration)
+    if cached is None:
+        if len(_IDENTITY_DIGESTS) >= _IDENTITY_DIGESTS_MAX:
+            _IDENTITY_DIGESTS.clear()
+        cached = _package_identity_digest(package, configuration)
+        _IDENTITY_DIGESTS[(package, configuration)] = cached
+    return cached
+
+
+def _package_identity_digest(
+    package: SoftwarePackage, configuration: EnvironmentConfiguration
+) -> str:
     return stable_digest(
         "package-identity",
         package.name,
@@ -112,6 +134,15 @@ def package_identity_digest(
         _requirements_fingerprint(package.requirements),
         _target_fingerprint(configuration),
     )
+
+
+#: Memo table of :func:`package_identity_digest`, keyed by the frozen
+#: (package, configuration) pair; bounded so synthetic-fleet sweeps over
+#: millions of distinct packages cannot grow it without limit.
+_IDENTITY_DIGESTS: Dict[
+    Tuple[SoftwarePackage, EnvironmentConfiguration], str
+] = {}
+_IDENTITY_DIGESTS_MAX = 65536
 
 
 def build_cache_key(
@@ -906,7 +937,10 @@ class CachingPackageBuilder(PackageBuilder):
     """
 
     def __init__(
-        self, cache: BuildCache, base: Optional[PackageBuilder] = None
+        self,
+        cache: BuildCache,
+        base: Optional[PackageBuilder] = None,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         super().__init__(checker=base.checker if base is not None else None)
         self.cache = cache
@@ -914,19 +948,32 @@ class CachingPackageBuilder(PackageBuilder):
         # subclass with its own build_package keeps its behaviour when the
         # campaign layers the cache over it.
         self.base = base
+        # Telemetry is observation only: the probe/hit/miss sequence (and
+        # therefore every CacheStatistics counter) is identical with or
+        # without it.  Probes run in the deterministic cell pass, so their
+        # spans carry category "cell" and join the parity-pinned sequence.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def build_package(
         self,
         package: SoftwarePackage,
         configuration: EnvironmentConfiguration,
     ) -> BuildResult:
-        cached = self.cache.lookup(package, configuration)
+        with self.telemetry.tracer.span(
+            "cache_probe", category="cell", package=package.name
+        ):
+            cached = self.cache.lookup(package, configuration)
         if cached is not None:
+            self.telemetry.metrics.increment("cache_hits_total")
             return cached
-        if self.base is not None:
-            result = self.base.build_package(package, configuration)
-        else:
-            result = super().build_package(package, configuration)
+        self.telemetry.metrics.increment("cache_misses_total")
+        with self.telemetry.tracer.span(
+            "cache_miss_build", category="cell", package=package.name
+        ):
+            if self.base is not None:
+                result = self.base.build_package(package, configuration)
+            else:
+                result = super().build_package(package, configuration)
         self.cache.store(package, configuration, result)
         return result
 

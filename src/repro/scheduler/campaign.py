@@ -61,6 +61,7 @@ from repro.scheduler.pool import (
     scheduling_policy,
 )
 from repro.scheduler.spec import DEFAULT_BATCH_SIZE, CampaignSpec, ValidationRequest
+from repro.telemetry import NULL_TELEMETRY
 from repro.virtualization.resources import VALIDATION_VM_PROFILE, ResourceProfile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -195,6 +196,12 @@ class CampaignScheduler:
         #: scheduler-use path) and the campaign ID events are tagged with.
         self.lifecycle = lifecycle
         self.campaign_id = campaign_id
+        #: The system's telemetry bundle (the no-op bundle when the system
+        #: predates it or was built without one).  Spans recorded from the
+        #: deterministic cell pass carry category "cell" — their sequence
+        #: is part of the cross-backend parity contract; wall-clock
+        #: dispatch spans carry "dispatch" and are excluded.
+        self.telemetry = getattr(system, "telemetry", None) or NULL_TELEMETRY
 
     # -- campaign execution ----------------------------------------------------
     def expand_matrix(
@@ -291,7 +298,8 @@ class CampaignScheduler:
                             "round": _round + 1,
                         },
                     )
-        dag, payloads = self._build_dag(cells, effective_cache)
+        with self.telemetry.tracer.span("dag_construction", category="cell"):
+            dag, payloads = self._build_dag(cells, effective_cache)
         try:
             schedule = self.backend.execute(
                 ExecutionRequest(
@@ -309,6 +317,7 @@ class CampaignScheduler:
                     # the campaign's cache on completion; the merge is
                     # idempotent, so handing it over is safe on every path.
                     merge_cache=effective_cache if self.use_cache else None,
+                    telemetry=self.telemetry,
                 )
             )
         except SchedulingError as error:
@@ -341,8 +350,9 @@ class CampaignScheduler:
         """The caching builder the campaign will execute with."""
         original = self.system.runner.builder
         if isinstance(original, CachingPackageBuilder):
+            original.telemetry = self.telemetry
             return original
-        return CachingPackageBuilder(self.cache, base=original)
+        return CachingPackageBuilder(self.cache, base=original, telemetry=self.telemetry)
 
     @staticmethod
     def _unwrap_builder(builder: PackageBuilder) -> PackageBuilder:
@@ -384,11 +394,22 @@ class CampaignScheduler:
             if cell_builder is not None:
                 self.system.runner.builder = cell_builder
             for index, request in enumerate(requests, start=index_offset):
-                result = self.system.validate(
-                    request.experiment,
-                    request.configuration_key,
-                    description=request.description or description,
-                    reference_configuration_key=request.reference_configuration_key,
+                # The span attributes are pure matrix coordinates, so the
+                # cell-pass span sequence is identical on every backend.
+                with self.telemetry.tracer.span(
+                    "cell_validate",
+                    category="cell",
+                    experiment=request.experiment,
+                    configuration=request.configuration_key,
+                ):
+                    result = self.system.validate(
+                        request.experiment,
+                        request.configuration_key,
+                        description=request.description or description,
+                        reference_configuration_key=request.reference_configuration_key,
+                    )
+                self.telemetry.metrics.increment(
+                    "scheduler_cells_total", backend=self.backend.name
                 )
                 cell = CampaignCell(
                     index=index,
@@ -575,16 +596,22 @@ class CampaignScheduler:
         races — and of any way to change the scientific output.
         """
         storage = self.system.storage
+        telemetry = self.telemetry
 
         def verify() -> str:
-            digests = []
-            for name in job_names:
-                job = run.job_for(name)
-                document = job.to_document()
-                if job.output_key and storage.exists("results", job.output_key):
-                    storage.get("results", job.output_key)
-                digests.append(stable_digest(document))
-            return stable_digest(digests)
+            # Runs on backend worker threads; the span lands in the
+            # "dispatch" category, outside the parity contract.
+            with telemetry.tracer.span(
+                "verification", category="dispatch", jobs=len(job_names)
+            ):
+                digests = []
+                for name in job_names:
+                    job = run.job_for(name)
+                    document = job.to_document()
+                    if job.output_key and storage.exists("results", job.output_key):
+                        storage.get("results", job.output_key)
+                    digests.append(stable_digest(document))
+                return stable_digest(digests)
 
         return verify
 

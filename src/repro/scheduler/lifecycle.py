@@ -312,6 +312,13 @@ class FileEventSink(LifecycleObserver):
     lives outside the common storage (any filesystem path) and appends
     across submissions, so an operator can ``tail -f`` a whole service's
     lifetime.
+
+    Every record is flushed *and* fsynced before the handler returns: the
+    sink is the crash-window audit trail of a long-running daemon, and an
+    OS-buffered line that dies with a killed process would silently lose
+    the very events an operator needs to reconstruct the crash.  A reader
+    should use :func:`read_event_log`, which tolerates the one partial
+    line a mid-``write`` kill can still leave behind.
     """
 
     name = "event-log"
@@ -325,10 +332,46 @@ class FileEventSink(LifecycleObserver):
             os.makedirs(parent, exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as handle:
                 handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
         except OSError as error:
             raise SchedulingError(
                 f"cannot append to the event log {self.path!r}: {error}"
             ) from error
+
+
+def read_event_log(path: str) -> List[dict]:
+    """Read a :class:`FileEventSink` log back as a list of event documents.
+
+    Tolerates a truncated final line (the partial record a kill can leave
+    mid-``write``); a corrupted record anywhere *before* the tail is a
+    real error and raises :class:`~repro._common.SchedulingError`.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except FileNotFoundError:
+        return []
+    except OSError as error:
+        raise SchedulingError(
+            f"cannot read the event log {path!r}: {error}"
+        ) from error
+    events: List[dict] = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            document = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail record from a crash mid-append
+            raise SchedulingError(
+                f"corrupted event log record at {path}:{index + 1}"
+            ) from None
+        if isinstance(document, dict):
+            events.append(document)
+    return events
 
 
 class WebhookEventSink(LifecycleObserver):
@@ -389,4 +432,5 @@ __all__ = [
     "DeadlineAbortPolicy",
     "FileEventSink",
     "WebhookEventSink",
+    "read_event_log",
 ]

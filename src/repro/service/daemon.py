@@ -81,6 +81,7 @@ class ValidationService:
 
     QUEUED_PREFIX = "queued_"
     RECORD_PREFIX = "submission_"
+    WORKER_STATUS_KEY = "heartbeat_worker"
 
     def __init__(
         self,
@@ -107,6 +108,9 @@ class ValidationService:
         self.queue = SubmissionQueue()
         self._buckets: Dict[str, Optional[TokenBucket]] = {}
         self._submissions: Dict[str, Submission] = {}
+        #: Enqueue clock times for still-queued submissions, so dispatch can
+        #: report the queue wait -> dispatch latency per tenant.
+        self._enqueued_at: Dict[str, float] = {}
         self._counter = 0
         self._running: Optional[Submission] = None
         self._dispatched = 0
@@ -218,6 +222,7 @@ class ValidationService:
             )
             self._submissions[submission.submission_id] = submission
             self.queue.enqueue(submission)
+            self._enqueued_at[submission.submission_id] = self.clock()
             self._persist_queued(submission)
             self.ledger.record_queued(tenant)
             self.system.lifecycle.emit(
@@ -235,6 +240,7 @@ class ValidationService:
         """Cancel a still-queued submission (raises once it dispatched)."""
         with self._lock:
             submission = self.queue.cancel(submission_id)
+            self._enqueued_at.pop(submission_id, None)
             submission.status = STATUS_CANCELLED
             self._retire_queued(submission)
             self.ledger.record_cancelled(submission.tenant)
@@ -280,6 +286,14 @@ class ValidationService:
             submission.status = STATUS_RUNNING
             self._running = submission
             self.dispatch_order.append(submission.submission_id)
+            telemetry = self.system.telemetry
+            enqueued_at = self._enqueued_at.pop(submission.submission_id, None)
+            if enqueued_at is not None:
+                telemetry.metrics.observe(
+                    "service_queue_wait_seconds",
+                    max(0.0, self.clock() - enqueued_at),
+                    tenant=submission.tenant,
+                )
             self.system.lifecycle.emit(
                 EVENT_SUBMISSION_STARTED,
                 payload={
@@ -290,7 +304,13 @@ class ValidationService:
                 },
             )
             try:
-                self._execute(submission)
+                with telemetry.tracer.span(
+                    "service_dispatch",
+                    category="service",
+                    submission=submission.submission_id,
+                    tenant=submission.tenant,
+                ):
+                    self._execute(submission)
             finally:
                 self._running = None
                 self._dispatched += 1
@@ -421,7 +441,19 @@ class ValidationService:
             snapshot["source"] = source
             self._beats += 1
             snapshot["beats"] = self._beats
+            telemetry = self.system.telemetry
+            if telemetry.enabled:
+                # Fold the live metric series into the heartbeat payload so
+                # a FileEventSink stream doubles as a coarse metrics scrape.
+                snapshot["metrics"] = {
+                    series: value
+                    for _, series, value in telemetry.metrics.summary_rows()
+                }
             self.system.lifecycle.emit(EVENT_HEARTBEAT, payload=snapshot)
+            # Persist the worker's self-reported health alongside the queue
+            # documents, so an offline `repro queue status` can show the
+            # last beat failure of a daemon that is no longer running.
+            self._namespace.put(self.WORKER_STATUS_KEY, self.heartbeat.status())
             if self.dashboard:
                 self.publish_dashboard()
             return snapshot
@@ -432,11 +464,17 @@ class ValidationService:
 
         with self._lock:
             pages = StatusPageGenerator(self.system.storage)
+            telemetry = self.system.telemetry
             return pages.service_page(
                 snapshot=snapshot_rows(self.snapshot()),
                 tenants=tenant_rows(self.ledger, backlog=self.queue.backlog()),
                 submissions=submission_rows(self.submissions()),
                 worker=self.heartbeat.status(),
+                metrics=(
+                    telemetry.metrics.summary_rows()
+                    if telemetry.enabled
+                    else None
+                ),
             )
 
     def status_rows(self) -> List[Dict[str, object]]:

@@ -82,7 +82,10 @@ class HeartbeatWorker:
             except Exception as error:  # noqa: BLE001 - self-reporting worker
                 with self._lock:
                     self.failures += 1
-                    self.last_error = str(error)
+                    # Keep the exception *type* alongside the message: a bare
+                    # str(KeyError("x")) renders as just "'x'", which is
+                    # useless on the dashboard.
+                    self.last_error = f"{type(error).__name__}: {error}"
                 consecutive += 1
                 if consecutive >= self.max_consecutive_failures:
                     # Too many poisoned beats in a row: die visibly and

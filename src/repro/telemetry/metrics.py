@@ -1,0 +1,262 @@
+"""The metrics registry: counters, gauges and bucketed histograms.
+
+The registry is the numeric half of the telemetry layer (spans are the
+other half, see :mod:`repro.telemetry.tracing`).  Three design rules keep
+it compatible with the determinism contracts pinned elsewhere in the
+repo:
+
+* **Injectable monotonic clock.**  Like the scheduler and the service
+  layer, the registry never reads the steppable wall clock — durations
+  come from an injectable monotonic clock, so metric timestamps can
+  never jump with NTP (audited by ci.sh's telemetry-purity stage).
+* **Strictly read-only with respect to science.**  Recording a metric
+  never touches run documents, catalog records or cache statistics; the
+  registry is an additive sink.  ``TestBackendParity`` pins that a fully
+  instrumented campaign stays byte-identical to an uninstrumented one.
+* **Exact snapshot round-trips.**  ``to_dict``/``from_dict`` reproduce
+  the registry state exactly, so metrics can ride along heartbeat
+  events and service snapshots without a lossy serialisation step.
+
+Series are labelled (``backend=...``, ``tenant=...``, ``phase=...``);
+a series is identified by its metric name plus the sorted label items.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro._common import ReproError
+
+#: Default histogram bucket upper bounds, in seconds.  Tuned for the
+#: durations this system actually sees: cache probes (microseconds) up
+#: to full campaign dispatches (tens of seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Mapping[str, object]) -> LabelItems:
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+class HistogramSeries:
+    """One labelled histogram series: bucket counts plus sum/count/min/max."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.buckets: Tuple[float, ...] = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ReproError("a histogram needs at least one bucket bound")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +Inf overflow
+        self.total = 0.0
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "total": self.total,
+            "count": self.count,
+            "minimum": None if self.count == 0 else self.minimum,
+            "maximum": None if self.count == 0 else self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping) -> "HistogramSeries":
+        series = cls(buckets=document["buckets"])
+        series.counts = [int(value) for value in document["counts"]]
+        series.total = float(document["total"])
+        series.count = int(document["count"])
+        minimum = document.get("minimum")
+        maximum = document.get("maximum")
+        series.minimum = math.inf if minimum is None else float(minimum)
+        series.maximum = -math.inf if maximum is None else float(maximum)
+        return series
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms with labelled series.
+
+    ``clock`` is an injectable monotonic clock used to stamp the
+    registry's creation and last-update offsets; it defaults to
+    :func:`time.monotonic` and must never be a wall clock.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self._clock = clock or time.monotonic
+        self._started = self._clock()
+        self._counters: Dict[Tuple[str, LabelItems], float] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], float] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], HistogramSeries] = {}
+        self._declared_buckets: Dict[str, Tuple[float, ...]] = {}
+        self.last_update_offset = 0.0
+
+    # -- recording ----------------------------------------------------
+
+    def _touch(self) -> None:
+        self.last_update_offset = self._clock() - self._started
+
+    def increment(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        key = (name, _label_items(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + float(amount)
+        self._touch()
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self._gauges[(name, _label_items(labels))] = float(value)
+        self._touch()
+
+    def declare_histogram(self, name: str, buckets: Sequence[float]) -> None:
+        """Fix the bucket bounds used by future series of *name*."""
+        self._declared_buckets[name] = tuple(sorted(float(b) for b in buckets))
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        key = (name, _label_items(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            buckets = self._declared_buckets.get(name, DEFAULT_BUCKETS)
+            series = self._histograms[key] = HistogramSeries(buckets=buckets)
+        series.observe(value)
+        self._touch()
+
+    def time_block(self, name: str, **labels: object):
+        """Context manager observing the monotonic duration of a block."""
+        return _Timer(self, name, labels)
+
+    # -- reading ------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        return self._counters.get((name, _label_items(labels)), 0.0)
+
+    def gauge_value(self, name: str, **labels: object) -> Optional[float]:
+        return self._gauges.get((name, _label_items(labels)))
+
+    def histogram(self, name: str, **labels: object) -> Optional[HistogramSeries]:
+        return self._histograms.get((name, _label_items(labels)))
+
+    def counters(self) -> Iterable[Tuple[str, LabelItems, float]]:
+        for (name, labels), value in sorted(self._counters.items()):
+            yield name, labels, value
+
+    def gauges(self) -> Iterable[Tuple[str, LabelItems, float]]:
+        for (name, labels), value in sorted(self._gauges.items()):
+            yield name, labels, value
+
+    def histograms(self) -> Iterable[Tuple[str, LabelItems, HistogramSeries]]:
+        for (name, labels), series in sorted(self._histograms.items()):
+            yield name, labels, series
+
+    def summary_rows(self) -> List[List[object]]:
+        """Flat ``[kind, series, value]`` rows for tables and dashboards."""
+        rows: List[List[object]] = []
+        for name, labels, value in self.counters():
+            rows.append(["counter", _series_label(name, labels), _round(value)])
+        for name, labels, value in self.gauges():
+            rows.append(["gauge", _series_label(name, labels), _round(value)])
+        for name, labels, series in self.histograms():
+            rows.append([
+                "histogram",
+                _series_label(name, labels),
+                f"count={series.count} mean={series.mean:.6f} max={series.maximum if series.count else 0.0:.6f}",
+            ])
+        return rows
+
+    # -- snapshots ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return self.to_dict()
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": [
+                {"name": name, "labels": [list(item) for item in labels], "value": value}
+                for name, labels, value in self.counters()
+            ],
+            "gauges": [
+                {"name": name, "labels": [list(item) for item in labels], "value": value}
+                for name, labels, value in self.gauges()
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": [list(item) for item in labels],
+                    "series": series.to_dict(),
+                }
+                for name, labels, series in self.histograms()
+            ],
+            "last_update_offset": self.last_update_offset,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, document: Mapping, clock: Optional[Callable[[], float]] = None
+    ) -> "MetricsRegistry":
+        registry = cls(clock=clock)
+        for entry in document.get("counters", ()):
+            labels = tuple((str(k), str(v)) for k, v in entry["labels"])
+            registry._counters[(entry["name"], labels)] = float(entry["value"])
+        for entry in document.get("gauges", ()):
+            labels = tuple((str(k), str(v)) for k, v in entry["labels"])
+            registry._gauges[(entry["name"], labels)] = float(entry["value"])
+        for entry in document.get("histograms", ()):
+            labels = tuple((str(k), str(v)) for k, v in entry["labels"])
+            registry._histograms[(entry["name"], labels)] = HistogramSeries.from_dict(
+                entry["series"]
+            )
+        registry.last_update_offset = float(document.get("last_update_offset", 0.0))
+        return registry
+
+
+class _Timer:
+    def __init__(self, registry: MetricsRegistry, name: str, labels: Mapping[str, object]):
+        self._registry = registry
+        self._name = name
+        self._labels = labels
+        self._entered = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._entered = self._registry._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = self._registry._clock() - self._entered
+        self._registry.observe(self._name, elapsed, **self._labels)
+
+
+def _series_label(name: str, labels: LabelItems) -> str:
+    if not labels:
+        return name
+    rendered = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{rendered}}}"
+
+
+def _round(value: float) -> object:
+    return int(value) if float(value).is_integer() else round(value, 6)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "HistogramSeries",
+    "MetricsRegistry",
+]

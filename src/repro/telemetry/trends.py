@@ -1,0 +1,194 @@
+"""Bench-trend series: append-only metric history with regression gating.
+
+Every benchmark run appends its key numbers (cells/sec, ledger µs/event,
+journal bytes, cache hit rate, …) to one JSONL file per metric under
+``benchmarks/_results/trends/``.  The series is the durable half of the
+telemetry layer: in-process metrics die with the process, the trend file
+survives and makes perf regressions a *query* — ``repro bench-trends
+check`` compares the latest point against the trailing median and exits
+non-zero past a configurable threshold, which is what the ci.sh gate
+runs.
+
+Each point records its ``direction`` (``higher_is_better`` for
+throughputs, ``lower_is_better`` for latencies/bytes) so the check knows
+which way "worse" lies.  The reader tolerates a truncated final line —
+the writer can be killed mid-append without poisoning the series (the
+same contract the storage journals honour).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro._common import ReproError
+
+#: Directory (relative to the repo root / current directory) holding the
+#: one-file-per-metric JSONL trend series.
+DEFAULT_TRENDS_DIR = os.path.join("benchmarks", "_results", "trends")
+
+#: Allowed values for a trend point's ``direction`` field.
+DIRECTIONS = ("higher_is_better", "lower_is_better")
+
+#: Default tolerated relative regression vs the trailing median (25%).
+DEFAULT_THRESHOLD = 0.25
+
+#: Default number of trailing points the median is taken over.
+DEFAULT_WINDOW = 10
+
+
+def record_trend(
+    metric: str,
+    value: float,
+    direction: str,
+    unit: str = "",
+    context: Optional[Mapping[str, object]] = None,
+    directory: str = DEFAULT_TRENDS_DIR,
+) -> str:
+    """Append one point to *metric*'s series; returns the series path."""
+    if direction not in DIRECTIONS:
+        raise ReproError(
+            f"trend direction must be one of {DIRECTIONS}, got {direction!r}"
+        )
+    os.makedirs(directory, exist_ok=True)
+    point = {
+        "metric": metric,
+        "value": float(value),
+        "direction": direction,
+        "unit": unit,
+        "context": dict(context or {}),
+    }
+    path = os.path.join(directory, f"{metric}.jsonl")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(point, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path
+
+
+def read_trend_series(path: str) -> List[dict]:
+    """Read one JSONL series, tolerating a truncated final line."""
+    points: List[dict] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except FileNotFoundError:
+        return points
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            point = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # a crash mid-append truncated the tail; drop it
+            raise ReproError(f"corrupted trend record at {path}:{index + 1}")
+        if isinstance(point, dict):
+            points.append(point)
+    return points
+
+
+@dataclass(frozen=True)
+class TrendVerdict:
+    """The gate's judgement of one metric series."""
+
+    metric: str
+    points: int
+    latest: float
+    baseline: Optional[float]  # trailing median; None when too few points
+    direction: str
+    change: Optional[float]  # signed relative change vs baseline
+    regressed: bool
+
+    def to_row(self) -> List[object]:
+        change = "n/a" if self.change is None else f"{self.change:+.1%}"
+        baseline = "n/a" if self.baseline is None else round(self.baseline, 6)
+        status = "REGRESSED" if self.regressed else "ok"
+        return [
+            self.metric,
+            self.points,
+            round(self.latest, 6),
+            baseline,
+            change,
+            status,
+        ]
+
+
+def check_series(points: List[dict], threshold: float, window: int) -> Optional[TrendVerdict]:
+    """Judge one series; ``None`` when it is empty."""
+    if not points:
+        return None
+    latest = points[-1]
+    metric = str(latest.get("metric", "unknown"))
+    direction = str(latest.get("direction", "lower_is_better"))
+    value = float(latest["value"])
+    history = [float(point["value"]) for point in points[:-1]][-window:]
+    if not history:
+        return TrendVerdict(
+            metric=metric,
+            points=len(points),
+            latest=value,
+            baseline=None,
+            direction=direction,
+            change=None,
+            regressed=False,
+        )
+    baseline = statistics.median(history)
+    if baseline == 0:
+        change = 0.0 if value == 0 else (1.0 if value > 0 else -1.0)
+    else:
+        change = (value - baseline) / abs(baseline)
+    if direction == "higher_is_better":
+        regressed = change < -threshold
+    else:
+        regressed = change > threshold
+    return TrendVerdict(
+        metric=metric,
+        points=len(points),
+        latest=value,
+        baseline=baseline,
+        direction=direction,
+        change=change,
+        regressed=regressed,
+    )
+
+
+def check_trends(
+    directory: str = DEFAULT_TRENDS_DIR,
+    threshold: float = DEFAULT_THRESHOLD,
+    window: int = DEFAULT_WINDOW,
+) -> Dict[str, TrendVerdict]:
+    """Judge every series under *directory*; empty dict when none exist.
+
+    A missing or empty directory is not an error — a fresh checkout has
+    no trend history yet and the CI gate must pass on it.
+    """
+    verdicts: Dict[str, TrendVerdict] = {}
+    if not os.path.isdir(directory):
+        return verdicts
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".jsonl"):
+            continue
+        verdict = check_series(
+            read_trend_series(os.path.join(directory, name)), threshold, window
+        )
+        if verdict is not None:
+            verdicts[verdict.metric] = verdict
+    return verdicts
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_TRENDS_DIR",
+    "DEFAULT_WINDOW",
+    "DIRECTIONS",
+    "TrendVerdict",
+    "check_series",
+    "check_trends",
+    "read_trend_series",
+    "record_trend",
+]

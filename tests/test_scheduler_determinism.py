@@ -24,9 +24,10 @@ from repro.scheduler.dag import TaskKind
 from repro.scheduler.spec import CampaignSpec
 
 
-def _fresh_system(seed):
+def _fresh_system(seed, telemetry=None):
     system = SPSystem(
-        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0, seed=seed)
+        runner_settings=RunnerSettings(simulated_seconds_per_test=30.0, seed=seed),
+        telemetry=telemetry,
     )
     system.provision_standard_images()
     system.register_experiment(build_hermes_experiment(scale=0.2))
@@ -365,6 +366,58 @@ class TestBackendParity:
             }
             for namespace in bare_system.storage.namespaces()
         }
+
+    def test_attached_telemetry_leaves_science_identical(self):
+        """A full telemetry bundle changes nothing but what it records.
+
+        Two invariants at once, on every parity backend: (1) a campaign
+        run with a live :class:`~repro.telemetry.Telemetry` bundle and a
+        ``MetricsObserver`` on the bus produces run documents, catalogue
+        records and cache statistics byte-identical to an uninstrumented
+        system; (2) the *cell-category* span sequence — the spans of the
+        deterministic cell pass (spec validation, DAG construction, cell
+        validation, cache probes) — is itself identical across all
+        backends, because the cell pass is the same code path everywhere.
+        Span durations and metric values are wall-clock and excluded;
+        span names, order and attributes are not.
+        """
+        from repro.telemetry import MetricsObserver, Telemetry
+
+        seed = 20131029
+        sequences = {}
+        for backend in PARITY_BACKENDS:
+            bare_system = _fresh_system(seed)
+            bare = bare_system.submit(
+                _campaign_spec(backend, KEYS, workers=2)
+            ).result()
+            telemetry = Telemetry.create()
+            observed_system = _fresh_system(seed, telemetry=telemetry)
+            observed_system.lifecycle.add_observer(
+                MetricsObserver(telemetry.metrics)
+            )
+            observed = observed_system.submit(
+                _campaign_spec(backend, KEYS, workers=2)
+            ).result()
+            assert [run.to_document() for run in observed.runs()] == [
+                run.to_document() for run in bare.runs()
+            ]
+            assert observed.cache_statistics == bare.cache_statistics
+            assert [
+                record.to_dict() for record in observed_system.catalog.all()
+            ] == [record.to_dict() for record in bare_system.catalog.all()]
+            # The bundle really recorded the campaign.
+            counted = telemetry.metrics.counter_value(
+                "cells_total", outcome="passed"
+            ) + telemetry.metrics.counter_value("cells_total", outcome="failed")
+            assert counted == len(observed.cells)
+            sequences[backend] = telemetry.tracer.sequence(category="cell")
+        assert sequences[PARITY_BACKENDS[0]], (
+            "the instrumented cell pass recorded no spans"
+        )
+        assert len(set(sequences.values())) == 1, (
+            "the deterministic cell-pass span sequence diverged between "
+            "backends: " + ", ".join(sorted(sequences))
+        )
 
     def test_build_task_pickle_round_trip(self, sp_system, tiny_hermes):
         """BuildTask crosses the process boundary: pickle must round-trip.

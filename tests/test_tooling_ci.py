@@ -92,6 +92,12 @@ class TestCiScript:
         # ... the service-purity audit ...
         assert "service-purity audit" in source
         assert "src/repro/service" in source
+        # ... the telemetry-purity audit ...
+        assert "telemetry-purity audit" in source
+        assert "src/repro/telemetry" in source
+        assert "src/repro/hepdata" in source
+        # ... the bench-trend gate ...
+        assert "bench-trends check" in source
         # ... and the explicit backend-parity shard.
         assert "REPRO_PARITY_BACKENDS=simulated,threads,processes" in source
         assert "test_scheduler_determinism.py" in source
@@ -301,3 +307,74 @@ class TestServicePurityAudit:
         assert not self.PATTERN.search("handle = self.system.submit(spec)")
         assert not self.PATTERN.search("return time.monotonic()")
         assert not self.PATTERN.search("self.clock = clock or monotonic_clock")
+
+
+class TestTelemetryPurityAudit:
+    """Telemetry observes on monotonic clocks; science stays uninstrumented.
+
+    Two rules, both also enforced as a ``scripts/ci.sh`` stage: no
+    ``time.time()`` under ``src/repro/telemetry/`` (the registry and
+    tracer run on injectable monotonic clocks, so metric timestamps can
+    never be stepped by NTP), and no ``repro.telemetry`` import under the
+    science layers ``src/repro/hepdata/`` and ``src/repro/environment/``
+    (instrumentation wraps the science from the outside; a science module
+    importing the observability layer could start influencing the numbers
+    it reports).
+    """
+
+    CLOCK_PATTERN = re.compile(r"time\.time\(")
+    IMPORT_PATTERN = re.compile(r"(?:from|import)\s+repro\.telemetry")
+
+    #: Science layers that must never import the telemetry package.
+    SCIENCE_ROOTS = ("hepdata", "environment")
+
+    def _source_files(self, *parts):
+        root = os.path.join(REPO_ROOT, "src", "repro", *parts)
+        for directory, _subdirectories, filenames in os.walk(root):
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    yield os.path.join(directory, filename)
+
+    def test_no_wall_clock_calls_in_the_telemetry_layer(self):
+        violations = []
+        for path in self._source_files("telemetry"):
+            with open(path, encoding="utf-8") as handle:
+                for line_number, line in enumerate(handle, start=1):
+                    if self.CLOCK_PATTERN.search(line):
+                        violations.append(f"{path}:{line_number}: {line.strip()}")
+        assert violations == [], (
+            "wall-clock time call in src/repro/telemetry/ — use "
+            "time.monotonic() (or the injected clock) instead:\n"
+            + "\n".join(violations)
+        )
+
+    def test_science_layers_do_not_import_telemetry(self):
+        violations = []
+        for science_root in self.SCIENCE_ROOTS:
+            for path in self._source_files(science_root):
+                with open(path, encoding="utf-8") as handle:
+                    for line_number, line in enumerate(handle, start=1):
+                        if self.IMPORT_PATTERN.search(line):
+                            violations.append(
+                                f"{path}:{line_number}: {line.strip()}"
+                            )
+        assert violations == [], (
+            "repro.telemetry imported from a science layer — hepdata/ and "
+            "environment/ must stay instrumentation-free:\n"
+            + "\n".join(violations)
+        )
+
+    def test_the_audit_patterns_catch_the_forbidden_shapes(self):
+        """The regexes really fire on the shapes they must forbid."""
+        assert self.CLOCK_PATTERN.search("stamp = time.time()")
+        assert not self.CLOCK_PATTERN.search("stamp = time.monotonic()")
+        for violation in (
+            "from repro.telemetry import Telemetry",
+            "import repro.telemetry",
+            "from repro.telemetry.metrics import MetricsRegistry",
+        ):
+            assert self.IMPORT_PATTERN.search(violation)
+        # Science importing its own siblings passes.
+        assert not self.IMPORT_PATTERN.search(
+            "from repro.environment.compilers import Compiler"
+        )
